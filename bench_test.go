@@ -1,0 +1,372 @@
+// Package nwade_test holds the paper-level benchmark harness: one
+// benchmark per table and figure of the NWADE paper's evaluation section,
+// plus micro-benchmarks for the hot primitives underneath them.
+//
+// The macro benchmarks run reduced sweeps per iteration (few rounds,
+// short rounds) so `go test -bench=.` finishes in minutes; the full
+// paper-scale sweeps are produced by `go run ./cmd/nwade-bench -exp all`.
+// Custom metrics report the reproduced quantity (detection rate, trigger
+// rate, latency, throughput ratio) alongside the usual ns/op.
+package nwade_test
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/chain"
+	"nwade/internal/eval"
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+	"nwade/internal/sched"
+	"nwade/internal/sim"
+	"nwade/internal/traffic"
+	"nwade/internal/vnet"
+)
+
+// benchCfg is the reduced evaluation configuration used per iteration.
+func benchCfg(seed int64) eval.Config {
+	return eval.Config{
+		Rounds:   2,
+		Density:  60,
+		Duration: 50 * time.Second,
+		AttackAt: 20 * time.Second,
+		KeyBits:  1024,
+		BaseSeed: seed,
+	}
+}
+
+// BenchmarkTableIIFalseAlarms regenerates Table II (false-alarm trigger
+// and detection rates across the eleven attack settings).
+func BenchmarkTableIIFalseAlarms(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.TableII(benchCfg(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		var det, rounds int
+		for _, r := range res.Rows {
+			det += r.TypeADetected
+			rounds += r.TypeARounds
+		}
+		b.ReportMetric(100*float64(det)/float64(rounds), "typeA-detect-%")
+	}
+}
+
+// BenchmarkFig4DetectionRate regenerates Fig. 4 (detection rate vs
+// vehicle density) over a reduced sweep.
+func BenchmarkFig4DetectionRate(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig4(benchCfg(int64(i)+1), []string{"V1", "V5", "IM", "IM_V5"}, []float64{40, 80})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var det, rounds int
+		for _, p := range res.Points {
+			det += p.Detected
+			rounds += p.Rounds
+		}
+		b.ReportMetric(100*float64(det)/float64(rounds), "detect-%")
+	}
+}
+
+// BenchmarkFig5DetectionTime regenerates Fig. 5 (detection latency for
+// plan deviations and wrong-plan blocks).
+func BenchmarkFig5DetectionTime(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig5(benchCfg(int64(i)+1), []float64{60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		var sum time.Duration
+		var n int
+		for _, p := range res.Points {
+			if p.Samples > 0 {
+				sum += p.Mean
+				n++
+			}
+		}
+		if n > 0 {
+			b.ReportMetric(float64(sum.Milliseconds())/float64(n), "detect-ms")
+		}
+	}
+}
+
+// BenchmarkFig6BlockchainPackage regenerates the packaging half of
+// Fig. 6: Merkle root plus RSA-2048 signature over a realistic batch.
+func BenchmarkFig6BlockchainPackage(b *testing.B) {
+	signer, plans := fig6Fixture(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.Package(signer, nil, time.Second, plans); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6BlockchainVerify regenerates the verification half of
+// Fig. 6: Algorithm 1 on a fresh vehicle cache.
+func BenchmarkFig6BlockchainVerify(b *testing.B) {
+	signer, plans := fig6Fixture(b)
+	blk, err := chain.Package(signer, nil, time.Second, plans)
+	if err != nil {
+		b.Fatal(err)
+	}
+	inter := benchInter(b)
+	checker := &plan.ConflictChecker{Inter: inter}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := chain.NewChain(signer.Public(), 0)
+		if err := c.Append(blk); err != nil {
+			b.Fatal(err)
+		}
+		if cs := checker.CheckAll(blk.Plans, nil); len(cs) != 0 {
+			b.Fatal("unexpected conflicts")
+		}
+	}
+}
+
+// BenchmarkFig7NetworkLoad regenerates Fig. 7 (packet counts for the
+// no-attack / local-report / global-report event classes).
+func BenchmarkFig7NetworkLoad(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := eval.Fig7(benchCfg(int64(i) + 1))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(float64(res.Cases[2].Stats.TotalPackets()), "packets")
+	}
+}
+
+// BenchmarkFig8Throughput regenerates Fig. 8 (throughput with vs without
+// NWADE) on a reduced sweep and reports the overhead ratio.
+func BenchmarkFig8Throughput(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		cfg := benchCfg(int64(i) + 1)
+		cfg.Duration = 90 * time.Second
+		res, err := eval.Fig8(cfg, []intersection.Kind{intersection.KindCross4}, []float64{60})
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(res.Points[0].Overhead(), "throughput-ratio")
+	}
+}
+
+// --- Micro-benchmarks for the primitives under the experiments ---------
+
+var (
+	benchOnce   sync.Once
+	benchSigner *chain.Signer
+	benchCross  *intersection.Intersection
+)
+
+func benchFixtures(b *testing.B) (*chain.Signer, *intersection.Intersection) {
+	b.Helper()
+	benchOnce.Do(func() {
+		s, err := chain.NewSigner(chain.DefaultKeyBits)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in, err := intersection.Cross4(intersection.Config{}, 2)
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchSigner, benchCross = s, in
+	})
+	return benchSigner, benchCross
+}
+
+func benchInter(b *testing.B) *intersection.Intersection {
+	_, in := benchFixtures(b)
+	return in
+}
+
+// fig6Fixture builds a realistic 80 veh/min batch of scheduled plans.
+func fig6Fixture(b *testing.B) (*chain.Signer, []*plan.TravelPlan) {
+	b.Helper()
+	signer, inter := benchFixtures(b)
+	g := traffic.NewGenerator(inter, traffic.Config{RatePerMin: 80}, 42)
+	ledger := sched.NewLedger(inter)
+	var reqs []sched.Request
+	for _, a := range g.Until(10 * time.Second) {
+		reqs = append(reqs, sched.Request{Vehicle: a.Vehicle, Char: a.Char, Route: a.Route, ArriveAt: a.At, Speed: a.Speed})
+	}
+	plans, err := (&sched.Reservation{}).Schedule(reqs, 0, ledger)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return signer, plans
+}
+
+// BenchmarkMerkleRoot measures the Merkle tree over a 16-plan block.
+func BenchmarkMerkleRoot(b *testing.B) {
+	_, plans := fig6Fixture(b)
+	leaves := make([][]byte, 0, 16)
+	for len(leaves) < 16 {
+		for _, p := range plans {
+			leaves = append(leaves, p.Encode())
+			if len(leaves) == 16 {
+				break
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := chain.MerkleRoot(leaves); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPlanEncode measures the deterministic plan encoding.
+func BenchmarkPlanEncode(b *testing.B) {
+	_, plans := fig6Fixture(b)
+	p := plans[0]
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = p.Encode()
+	}
+}
+
+// BenchmarkConflictCheck measures one plan-vs-plan conflict decision.
+func BenchmarkConflictCheck(b *testing.B) {
+	inter := benchInter(b)
+	_, plans := fig6Fixture(b)
+	if len(plans) < 2 {
+		b.Skip("need two plans")
+	}
+	cc := &plan.ConflictChecker{Inter: inter}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = cc.Check(plans[0], plans[1%len(plans)])
+	}
+}
+
+// BenchmarkSchedulerAdmit measures admitting one request against a loaded
+// ledger.
+func BenchmarkSchedulerAdmit(b *testing.B) {
+	inter := benchInter(b)
+	g := traffic.NewGenerator(inter, traffic.Config{RatePerMin: 80}, 7)
+	ledger := sched.NewLedger(inter)
+	var reqs []sched.Request
+	for _, a := range g.Until(20 * time.Second) {
+		reqs = append(reqs, sched.Request{Vehicle: a.Vehicle, Char: a.Char, Route: a.Route, ArriveAt: a.At, Speed: a.Speed})
+	}
+	base, err := (&sched.Reservation{}).Schedule(reqs[:len(reqs)-1], 0, ledger)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ledger.Add(base...)
+	last := reqs[len(reqs)-1]
+	s := &sched.Reservation{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Schedule([]sched.Request{last}, 0, ledger); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimSecond measures one simulated second of a busy benign
+// intersection (all protocol layers live).
+func BenchmarkSimSecond(b *testing.B) {
+	signer, inter := benchFixtures(b)
+	e, err := sim.NewWithSigner(sim.Config{
+		Inter:      inter,
+		Duration:   time.Hour, // driven manually below
+		RatePerMin: 80,
+		Seed:       1,
+		Scenario:   attack.Benign(),
+		NWADE:      true,
+	}, signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	// Warm up to a populated intersection.
+	for e.Now() < 30*time.Second {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ { // 10 ticks = 1 simulated second
+			e.Step()
+		}
+	}
+}
+
+// BenchmarkIntersectionBuild measures full geometry construction plus
+// conflict-zone extraction for the paper's 4-way cross.
+func BenchmarkIntersectionBuild(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := intersection.Cross4(intersection.Config{}, 2); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMerkleProof measures inclusion-proof generation + check.
+func BenchmarkMerkleProof(b *testing.B) {
+	_, plans := fig6Fixture(b)
+	leaves := make([][]byte, len(plans))
+	for i, p := range plans {
+		leaves[i] = p.Encode()
+	}
+	root, err := chain.MerkleRoot(leaves)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		proof, err := chain.BuildProof(leaves, i%len(leaves))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !chain.VerifyProof(root, leaves[i%len(leaves)], proof) {
+			b.Fatal("proof rejected")
+		}
+	}
+}
+
+// BenchmarkVNetBroadcast measures one broadcast transmission to a
+// 100-node neighborhood.
+func BenchmarkVNetBroadcast(b *testing.B) {
+	net := vnet.New(vnet.Config{}, 1, nil)
+	for i := 0; i < 100; i++ {
+		net.Register(vnet.VehicleNode(uint64(i)))
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net.BroadcastMsg(time.Duration(i)*time.Millisecond, vnet.IMNode, "block", nil, 1000)
+		if i%32 == 0 {
+			net.Poll(time.Duration(i+1) * time.Millisecond) // drain
+		}
+	}
+}
+
+// BenchmarkSimSecondMixed measures a simulated second with 30% legacy
+// traffic (the transitional-period extension).
+func BenchmarkSimSecondMixed(b *testing.B) {
+	signer, inter := benchFixtures(b)
+	e, err := sim.NewWithSigner(sim.Config{
+		Inter:          inter,
+		Duration:       time.Hour,
+		RatePerMin:     80,
+		Seed:           2,
+		Scenario:       attack.Benign(),
+		NWADE:          true,
+		LegacyFraction: 0.3,
+	}, signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e.Now() < 30*time.Second {
+		e.Step()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 10; j++ {
+			e.Step()
+		}
+	}
+}

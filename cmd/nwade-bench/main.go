@@ -1,0 +1,159 @@
+// Command nwade-bench regenerates the NWADE paper's tables and figures
+// (Table II, Fig. 4 through Fig. 8, and the Eq. 2/Eq. 3 analytic curves)
+// from the simulator, printing each as a text table.
+//
+// Examples:
+//
+//	nwade-bench -exp all -rounds 10            # full evaluation (slow)
+//	nwade-bench -exp fig4 -rounds 5
+//	nwade-bench -exp table2 -rounds 3 -duration 50s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nwade/internal/eval"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-bench:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table2, fig4, fig5, fig6, fig7, fig8, eq2, eq3, mixed, ablations, all")
+		rounds   = flag.Int("rounds", 10, "rounds per attack setting (paper: 10)")
+		duration = flag.Duration("duration", 60*time.Second, "simulated span of each round")
+		density  = flag.Float64("density", 80, "default vehicle density (veh/min)")
+		seed     = flag.Int64("seed", 1, "base random seed")
+		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+	)
+	flag.Parse()
+
+	cfg := eval.Config{
+		Rounds:   *rounds,
+		Density:  *density,
+		Duration: *duration,
+		BaseSeed: *seed,
+	}
+	densities := []float64(nil)
+	settings := []string(nil)
+	if *quick {
+		cfg.Rounds = 2
+		densities = []float64{40, 80}
+		settings = []string{"V1", "V5", "IM", "IM_V5"}
+	}
+
+	want := func(name string) bool { return *exp == "all" || *exp == name }
+	ran := false
+
+	if want("table2") {
+		ran = true
+		res, err := eval.TableII(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig4") {
+		ran = true
+		res, err := eval.Fig4(cfg, settings, densities)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig5") {
+		ran = true
+		res, err := eval.Fig5(cfg, densities)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig6") {
+		ran = true
+		res, err := eval.Fig6(cfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig7") {
+		ran = true
+		res, err := eval.Fig7(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("fig8") {
+		ran = true
+		fig8cfg := cfg
+		if fig8cfg.Duration < 90*time.Second {
+			fig8cfg.Duration = 90 * time.Second
+		}
+		res, err := eval.Fig8(fig8cfg, nil, densities)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("eq2") {
+		ran = true
+		fmt.Println(eval.Eq2(0.1, 5, 12))
+	}
+	if want("eq3") {
+		ran = true
+		fmt.Println(eval.Eq3(0.001, 0.1, 15))
+	}
+	if want("mixed") {
+		ran = true
+		mixCfg := cfg
+		if mixCfg.Duration < 90*time.Second {
+			mixCfg.Duration = 90 * time.Second
+		}
+		res, err := eval.MixedTraffic(mixCfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res)
+	}
+	if want("ablations") {
+		ran = true
+		abCfg := cfg
+		if abCfg.Duration < 90*time.Second {
+			abCfg.Duration = 90 * time.Second
+		}
+		schedRes, err := eval.SchedulerAblation(abCfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(schedRes)
+		senseRes, err := eval.SensingSweep(abCfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(senseRes)
+		dcRes, err := eval.DoubleCheckAblation(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Println(dcRes)
+		lossRes, err := eval.PacketLoss(abCfg, nil)
+		if err != nil {
+			return err
+		}
+		fmt.Println(lossRes)
+	}
+	if !ran {
+		return fmt.Errorf("unknown experiment %q", *exp)
+	}
+	return nil
+}

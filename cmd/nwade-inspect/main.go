@@ -1,0 +1,136 @@
+// Command nwade-inspect prints the static structure the other tools run
+// on: intersection geometry (legs, lanes, routes, conflict zones) and a
+// demonstration travel-plan blockchain with its verification chain.
+//
+// Examples:
+//
+//	nwade-inspect -intersection cfi4
+//	nwade-inspect -intersection cross4 -chain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"nwade/internal/chain"
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+	"nwade/internal/sched"
+	"nwade/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-inspect:", err)
+		os.Exit(1)
+	}
+}
+
+var kindByName = map[string]intersection.Kind{
+	"roundabout3": intersection.KindRoundabout3,
+	"cross4":      intersection.KindCross4,
+	"irregular5":  intersection.KindIrregular5,
+	"cfi4":        intersection.KindCFI4,
+	"ddi4":        intersection.KindDDI4,
+}
+
+func run() error {
+	var (
+		kindName  = flag.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
+		showChain = flag.Bool("chain", false, "also build and verify a demo travel-plan chain")
+	)
+	flag.Parse()
+	kind, ok := kindByName[*kindName]
+	if !ok {
+		return fmt.Errorf("unknown intersection %q", *kindName)
+	}
+	inter, err := intersection.Build(kind, intersection.Config{})
+	if err != nil {
+		return err
+	}
+	printGeometry(inter)
+	if *showChain {
+		return demoChain(inter)
+	}
+	return nil
+}
+
+// printGeometry dumps legs, routes and the conflict table summary.
+func printGeometry(in *intersection.Intersection) {
+	fmt.Printf("%s\n", in.Name)
+	fmt.Printf("legs: %d, incoming lanes: %d, routes: %d, conflict zones: %d\n\n",
+		len(in.LegHeadings), in.TotalInLanes(), len(in.Routes), len(in.Conflicts()))
+	for leg, h := range in.LegHeadings {
+		fmt.Printf("leg %d: heading %5.1f deg, %d incoming lanes, movements %v\n",
+			leg, h*180/3.14159265, in.InLanes[leg], in.MovementsFromLeg(leg))
+	}
+	fmt.Println("\nroutes:")
+	for _, r := range in.Routes {
+		fmt.Printf("  #%-3d %-14s -> leg %d  %-8s  len %6.1f m  conflict area [%.0f, %.0f]  %d conflicts\n",
+			r.ID, r.From, r.ToLeg, r.Movement, r.Length(), r.CrossStart, r.CrossEnd, len(in.ConflictsOf(r.ID)))
+	}
+}
+
+// demoChain schedules a little traffic, packages three blocks, verifies
+// them, then demonstrates tamper detection and a Merkle inclusion proof.
+func demoChain(in *intersection.Intersection) error {
+	fmt.Println("\n--- travel-plan chain demo ---")
+	signer, err := chain.NewSigner(chain.DefaultKeyBits)
+	if err != nil {
+		return err
+	}
+	ledger := sched.NewLedger(in)
+	gen := traffic.NewGenerator(in, traffic.Config{RatePerMin: 80}, 7)
+	scheduler := &sched.Reservation{}
+	var prev *chain.Block
+	verifier := chain.NewChain(signer.Public(), 0)
+	for i := 0; i < 3; i++ {
+		batchStart := time.Duration(i) * 5 * time.Second
+		var reqs []sched.Request
+		for _, a := range gen.Until(batchStart + 5*time.Second) {
+			reqs = append(reqs, sched.Request{Vehicle: a.Vehicle, Char: a.Char, Route: a.Route, ArriveAt: a.At, Speed: a.Speed})
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		plans, err := scheduler.Schedule(reqs, batchStart, ledger)
+		if err != nil {
+			return err
+		}
+		ledger.Add(plans...)
+		b, err := chain.Package(signer, prev, batchStart, plans)
+		if err != nil {
+			return err
+		}
+		if err := verifier.Append(b); err != nil {
+			return fmt.Errorf("verification failed: %w", err)
+		}
+		fmt.Printf("block %d: %2d plans, root %v, hash %v — verified\n",
+			b.Seq, len(b.Plans), b.Root, b.HashBlock())
+		prev = b
+	}
+	// Tamper demonstration.
+	head := verifier.Head()
+	evil := *head
+	evil.Plans = append([]*plan.TravelPlan{}, head.Plans...)
+	tampered := evil.Plans[0].Clone()
+	tampered.Waypoints[0].S += 50
+	evil.Plans[0] = tampered
+	if err := chain.VerifyRoot(&evil); err != nil {
+		fmt.Printf("tampered plan rejected: %v\n", err)
+	} else {
+		return fmt.Errorf("tampering went undetected")
+	}
+	// Merkle inclusion proof for the first plan of the head block.
+	leaves := head.PlanLeaves()
+	proof, err := chain.BuildProof(leaves, 0)
+	if err != nil {
+		return err
+	}
+	ok := chain.VerifyProof(head.Root, leaves[0], proof)
+	fmt.Printf("merkle inclusion proof for %v: valid=%v (%d siblings)\n",
+		head.Plans[0].Vehicle, ok, len(proof.Steps))
+	return nil
+}

@@ -1,0 +1,3 @@
+module nwade
+
+go 1.22

@@ -1,0 +1,178 @@
+// Package attack defines the adversary model of the NWADE evaluation:
+// the eleven attack settings of Table I (V1–V10, IM, IM_V1–IM_V10) and
+// the role assignment that turns a set of simulated vehicles into an
+// attacking coalition at a chosen moment.
+//
+// The package configures malice; the compromised behavior itself is
+// implemented by the protocol cores (nwade.VehicleMalice, nwade.IMMalice)
+// and the simulation engine (physical plan violations).
+package attack
+
+import (
+	"fmt"
+	"time"
+
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+)
+
+// Scenario is one attack setting (a row of Table I).
+type Scenario struct {
+	// Name is the paper's label, e.g. "V3" or "IM_V5".
+	Name string
+	// MaliciousVehicles is the size of the vehicle coalition.
+	MaliciousVehicles int
+	// MaliciousIM marks the intersection manager as compromised.
+	MaliciousIM bool
+	// PlanViolations is the number of physical plan violations the
+	// coalition performs (Table I uses 1).
+	PlanViolations int
+	// FalseReports is the number of fabricated incident reports
+	// (Table I uses coalition size minus one).
+	FalseReports int
+	// TypeB switches the fabricated reports from false incident
+	// reports (type A) to false global reports claiming the IM is
+	// compromised (type B in Table II).
+	TypeB bool
+	// AttackAt is when the compromise activates.
+	AttackAt time.Duration
+}
+
+// String implements fmt.Stringer.
+func (s Scenario) String() string { return s.Name }
+
+// Benign is the no-attack scenario used for overhead experiments
+// (Fig. 7 "no attack", Fig. 8).
+func Benign() Scenario { return Scenario{Name: "benign"} }
+
+// Settings returns the eleven attack settings of Table I with the
+// paper's parameters, activating at the given time.
+func Settings(attackAt time.Duration) []Scenario {
+	sizes := []int{1, 2, 3, 5, 10}
+	var out []Scenario
+	for _, k := range sizes {
+		out = append(out, Scenario{
+			Name:              fmt.Sprintf("V%d", k),
+			MaliciousVehicles: k,
+			PlanViolations:    1,
+			FalseReports:      k - 1,
+			AttackAt:          attackAt,
+		})
+	}
+	out = append(out, Scenario{
+		Name:        "IM",
+		MaliciousIM: true,
+		AttackAt:    attackAt,
+	})
+	for _, k := range sizes {
+		out = append(out, Scenario{
+			Name:              fmt.Sprintf("IM_V%d", k),
+			MaliciousVehicles: k,
+			MaliciousIM:       true,
+			PlanViolations:    1,
+			FalseReports:      k - 1,
+			AttackAt:          attackAt,
+		})
+	}
+	return out
+}
+
+// ByName finds a setting by its Table I label.
+func ByName(name string, attackAt time.Duration) (Scenario, bool) {
+	if name == "benign" {
+		return Benign(), true
+	}
+	for _, s := range Settings(attackAt) {
+		if s.Name == name {
+			return s, true
+		}
+	}
+	return Scenario{}, false
+}
+
+// IMMalice derives the manager-side malice configuration.
+//
+// A lone compromised IM mounts the conflicting-plans attack of Fig. 1(c):
+// blocks with colliding schedules, which Algorithm 1 lets every vehicle
+// detect. A colluding IM (IM_Vk) plays subtler: it shields the coalition
+// by dismissing every genuine incident report, and — echoing Fig. 1(d) —
+// broadcasts a sham evacuation framing a benign vehicle, which vehicles
+// near the wronged target can expose by local verification.
+func (s Scenario) IMMalice() *nwade.IMMalice {
+	if !s.MaliciousIM {
+		return nil
+	}
+	if s.MaliciousVehicles == 0 {
+		return &nwade.IMMalice{ActiveAt: s.AttackAt, ConflictingPlans: true}
+	}
+	return &nwade.IMMalice{
+		ActiveAt:        s.AttackAt,
+		DismissAll:      true,
+		FalseEvacuation: true,
+		// Fire the sham early, while benign vehicles still trust the
+		// IM enough to process its evacuation broadcast.
+		FalseEvacAt: s.AttackAt + 2*time.Second,
+	}
+}
+
+// Roles is the concrete assignment of coalition members.
+type Roles struct {
+	// Violator physically deviates from its plan.
+	Violator plan.VehicleID
+	// FalseReporters fabricate reports (type A) or global claims
+	// (type B) and vote falsely.
+	FalseReporters []plan.VehicleID
+	// All is the full coalition.
+	All map[plan.VehicleID]bool
+}
+
+// Assign distributes the scenario's roles over the chosen coalition
+// members (the engine picks the members — typically an anchor vehicle
+// plus its nearest peers, so the coalition is spatially clustered as in
+// threat category ii). The first member becomes the violator when the
+// scenario includes a plan violation.
+func (s Scenario) Assign(members []plan.VehicleID) Roles {
+	r := Roles{All: make(map[plan.VehicleID]bool, len(members))}
+	for _, id := range members {
+		r.All[id] = true
+	}
+	i := 0
+	if s.PlanViolations > 0 && len(members) > 0 {
+		r.Violator = members[0]
+		i = 1
+	}
+	for n := 0; n < s.FalseReports && i < len(members); n++ {
+		r.FalseReporters = append(r.FalseReporters, members[i])
+		i++
+	}
+	return r
+}
+
+// MaliceFor builds the per-vehicle malice configuration for a coalition
+// member under this scenario.
+func (s Scenario) MaliceFor(id plan.VehicleID, roles Roles) *nwade.VehicleMalice {
+	if !roles.All[id] {
+		return nil
+	}
+	m := &nwade.VehicleMalice{
+		VoteFalsely: len(roles.All) > 1,
+		Accomplices: roles.All,
+	}
+	if id == roles.Violator {
+		m.ViolateAt = s.AttackAt
+		m.Violation = nwade.ViolationSpeeding
+	}
+	for i, fr := range roles.FalseReporters {
+		if fr != id {
+			continue
+		}
+		fireAt := s.AttackAt + time.Duration(i)*500*time.Millisecond
+		if s.TypeB {
+			m.FalseGlobalAt = fireAt
+			m.FalseGlobalReason = nwade.ReasonConflictingPlans
+		} else {
+			m.FalseReportAt = fireAt
+		}
+	}
+	return m
+}

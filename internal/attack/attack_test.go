@@ -1,0 +1,175 @@
+package attack
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+)
+
+func TestSettingsMatchTableI(t *testing.T) {
+	ss := Settings(30 * time.Second)
+	if len(ss) != 11 {
+		t.Fatalf("settings = %d, want 11 (Table I)", len(ss))
+	}
+	want := map[string]struct {
+		vehicles   int
+		im         bool
+		violations int
+		falseReps  int
+	}{
+		"V1":     {1, false, 1, 0},
+		"V2":     {2, false, 1, 1},
+		"V3":     {3, false, 1, 2},
+		"V5":     {5, false, 1, 4},
+		"V10":    {10, false, 1, 9},
+		"IM":     {0, true, 0, 0},
+		"IM_V1":  {1, true, 1, 0},
+		"IM_V2":  {2, true, 1, 1},
+		"IM_V3":  {3, true, 1, 2},
+		"IM_V5":  {5, true, 1, 4},
+		"IM_V10": {10, true, 1, 9},
+	}
+	seen := map[string]bool{}
+	for _, s := range ss {
+		w, ok := want[s.Name]
+		if !ok {
+			t.Errorf("unexpected setting %q", s.Name)
+			continue
+		}
+		seen[s.Name] = true
+		if s.MaliciousVehicles != w.vehicles || s.MaliciousIM != w.im ||
+			s.PlanViolations != w.violations || s.FalseReports != w.falseReps {
+			t.Errorf("%s = %+v, want %+v", s.Name, s, w)
+		}
+		if s.AttackAt != 30*time.Second {
+			t.Errorf("%s AttackAt = %v", s.Name, s.AttackAt)
+		}
+	}
+	if len(seen) != len(want) {
+		t.Errorf("missing settings: got %v", seen)
+	}
+}
+
+func TestByName(t *testing.T) {
+	s, ok := ByName("IM_V5", 10*time.Second)
+	if !ok || s.MaliciousVehicles != 5 || !s.MaliciousIM {
+		t.Errorf("ByName(IM_V5) = %+v, %v", s, ok)
+	}
+	if _, ok := ByName("nope", 0); ok {
+		t.Error("unknown name resolved")
+	}
+	b, ok := ByName("benign", 0)
+	if !ok || b.Name != "benign" {
+		t.Errorf("benign = %+v", b)
+	}
+}
+
+func TestIMMaliceShape(t *testing.T) {
+	if m := Benign().IMMalice(); m != nil {
+		t.Error("benign scenario has IM malice")
+	}
+	im, _ := ByName("IM", 0)
+	m := im.IMMalice()
+	if m == nil || !m.ConflictingPlans || m.DismissAll {
+		t.Errorf("IM malice = %+v", m)
+	}
+	imv, _ := ByName("IM_V3", 20*time.Second)
+	m2 := imv.IMMalice()
+	if m2 == nil || m2.ConflictingPlans || !m2.DismissAll || !m2.FalseEvacuation {
+		t.Errorf("IM_V3 malice = %+v", m2)
+	}
+	if m2.FalseEvacAt != 22*time.Second {
+		t.Errorf("FalseEvacAt = %v", m2.FalseEvacAt)
+	}
+	v1, _ := ByName("V1", 0)
+	if v1.IMMalice() != nil {
+		t.Error("V1 has IM malice")
+	}
+}
+
+func TestAssignRoles(t *testing.T) {
+	s, _ := ByName("V5", 30*time.Second)
+	members := []plan.VehicleID{10, 11, 12, 13, 14}
+	roles := s.Assign(members)
+	if roles.Violator != 10 {
+		t.Errorf("violator = %v", roles.Violator)
+	}
+	if len(roles.FalseReporters) != 4 {
+		t.Errorf("false reporters = %v", roles.FalseReporters)
+	}
+	for _, fr := range roles.FalseReporters {
+		if fr == roles.Violator {
+			t.Error("violator is also a false reporter")
+		}
+		if !roles.All[fr] {
+			t.Error("false reporter not in coalition")
+		}
+	}
+	if len(roles.All) != 5 {
+		t.Errorf("coalition = %d", len(roles.All))
+	}
+}
+
+func TestAssignWithFewerMembersThanRoles(t *testing.T) {
+	s, _ := ByName("V10", 30*time.Second)
+	roles := s.Assign([]plan.VehicleID{1, 2, 3})
+	if roles.Violator != 1 {
+		t.Errorf("violator = %v", roles.Violator)
+	}
+	if len(roles.FalseReporters) != 2 {
+		t.Errorf("false reporters = %v (capped by membership)", roles.FalseReporters)
+	}
+}
+
+func TestMaliceForRoles(t *testing.T) {
+	s, _ := ByName("V3", 30*time.Second)
+	roles := s.Assign([]plan.VehicleID{1, 2, 3})
+	if m := s.MaliceFor(99, roles); m != nil {
+		t.Error("outsider got malice")
+	}
+	mv := s.MaliceFor(1, roles)
+	if mv == nil || mv.ViolateAt != 30*time.Second || mv.Violation != nwade.ViolationSpeeding {
+		t.Errorf("violator malice = %+v", mv)
+	}
+	if !mv.VoteFalsely || !mv.IsAccomplice(2) || !mv.IsAccomplice(3) {
+		t.Error("violator does not collude")
+	}
+	mf := s.MaliceFor(2, roles)
+	if mf == nil || mf.FalseReportAt == 0 {
+		t.Errorf("false reporter malice = %+v", mf)
+	}
+	if mf.FalseGlobalAt != 0 {
+		t.Error("type A reporter got a false-global schedule")
+	}
+}
+
+func TestMaliceForTypeB(t *testing.T) {
+	s, _ := ByName("V3", 30*time.Second)
+	s.TypeB = true
+	roles := s.Assign([]plan.VehicleID{1, 2, 3})
+	mf := s.MaliceFor(2, roles)
+	if mf.FalseGlobalAt == 0 || mf.FalseReportAt != 0 {
+		t.Errorf("type B reporter malice = %+v", mf)
+	}
+	if mf.FalseGlobalReason != nwade.ReasonConflictingPlans {
+		t.Errorf("type B reason = %v", mf.FalseGlobalReason)
+	}
+}
+
+func TestSingleVehicleScenarioNoColludeFlag(t *testing.T) {
+	s, _ := ByName("V1", 30*time.Second)
+	roles := s.Assign([]plan.VehicleID{7})
+	m := s.MaliceFor(7, roles)
+	if m.VoteFalsely {
+		t.Error("lone attacker marked as colluding voter")
+	}
+}
+
+func TestScenarioString(t *testing.T) {
+	s, _ := ByName("V2", 0)
+	if s.String() != "V2" {
+		t.Errorf("String = %q", s.String())
+	}
+}

@@ -1,0 +1,181 @@
+package chain
+
+import (
+	"crypto"
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"time"
+
+	"nwade/internal/plan"
+)
+
+// Block is one block of the travel-plan chain:
+// B_i = ⟨s_i, h_{i-1}, τ_i, R_i⟩ plus the plan payload itself. The
+// signature covers ⟨Seq, PrevHash, Timestamp, Root⟩.
+type Block struct {
+	Seq       uint64        // position in the chain, genesis = 0
+	PrevHash  Hash          // h_{i-1}; zero for the genesis block
+	Timestamp time.Duration // τ_i, simulation time of packaging
+	Root      Hash          // R_i, Merkle root over the encoded plans
+	Sig       []byte        // s_i, signature over the header
+	Plans     []*plan.TravelPlan
+}
+
+// headerBytes returns the canonical byte encoding of the signed header.
+func (b *Block) headerBytes() []byte {
+	buf := make([]byte, 0, 8+len(b.PrevHash)+8+len(b.Root))
+	buf = binary.BigEndian.AppendUint64(buf, b.Seq)
+	buf = append(buf, b.PrevHash[:]...)
+	buf = binary.BigEndian.AppendUint64(buf, uint64(b.Timestamp))
+	buf = append(buf, b.Root[:]...)
+	return buf
+}
+
+// HashBlock returns the hash that the next block must reference as
+// PrevHash. It covers the full header including the signature.
+func (b *Block) HashBlock() Hash {
+	hsh := sha256.New()
+	hsh.Write(b.headerBytes())
+	hsh.Write(b.Sig)
+	var out Hash
+	copy(out[:], hsh.Sum(nil))
+	return out
+}
+
+// PlanLeaves returns the deterministic encodings of the block's plans, in
+// order — the Merkle leaves.
+func (b *Block) PlanLeaves() [][]byte {
+	leaves := make([][]byte, len(b.Plans))
+	for i, p := range b.Plans {
+		leaves[i] = p.Encode()
+	}
+	return leaves
+}
+
+// PlanFor returns the plan for the given vehicle, if present.
+func (b *Block) PlanFor(id plan.VehicleID) (*plan.TravelPlan, bool) {
+	for _, p := range b.Plans {
+		if p.Vehicle == id {
+			return p, true
+		}
+	}
+	return nil, false
+}
+
+// Signer produces block signatures with the intersection manager's
+// private key. The paper uses a 2048-bit RSA key; KeyBits is configurable
+// for tests.
+type Signer struct {
+	key *rsa.PrivateKey
+}
+
+// DefaultKeyBits is the paper's key length for K_r.
+const DefaultKeyBits = 2048
+
+// NewSigner generates a fresh RSA key pair of the given size (0 means
+// DefaultKeyBits).
+func NewSigner(bits int) (*Signer, error) {
+	if bits == 0 {
+		bits = DefaultKeyBits
+	}
+	key, err := rsa.GenerateKey(rand.Reader, bits)
+	if err != nil {
+		return nil, fmt.Errorf("chain: generate key: %w", err)
+	}
+	return &Signer{key: key}, nil
+}
+
+// Public returns the verification key K_u to distribute to vehicles.
+func (s *Signer) Public() *rsa.PublicKey { return &s.key.PublicKey }
+
+// Sign signs a block header, filling in b.Sig. The block's Root must be
+// set first.
+func (s *Signer) Sign(b *Block) error {
+	digest := sha256.Sum256(b.headerBytes())
+	sig, err := rsa.SignPKCS1v15(rand.Reader, s.key, crypto.SHA256, digest[:])
+	if err != nil {
+		return fmt.Errorf("chain: sign block %d: %w", b.Seq, err)
+	}
+	b.Sig = sig
+	return nil
+}
+
+// Verification errors, matching the failure arms of Algorithm 1.
+var (
+	ErrBadSignature = errors.New("chain: invalid block signature")
+	ErrBadRoot      = errors.New("chain: merkle root does not match plans")
+	ErrBrokenLink   = errors.New("chain: prev-hash does not match previous block")
+	ErrBadSeq       = errors.New("chain: block sequence number out of order")
+	ErrNoPlans      = errors.New("chain: block contains no plans")
+)
+
+// VerifySignature checks s_i with the manager's public key K_u
+// (Algorithm 1, step i).
+func VerifySignature(pub *rsa.PublicKey, b *Block) error {
+	digest := sha256.Sum256(b.headerBytes())
+	if err := rsa.VerifyPKCS1v15(pub, crypto.SHA256, digest[:], b.Sig); err != nil {
+		return fmt.Errorf("%w: %v", ErrBadSignature, err)
+	}
+	return nil
+}
+
+// VerifyRoot recomputes the Merkle root over the block's plans and
+// compares it to R_i. A compromised manager that alters a plan after
+// signing, or a peer that forwards a tampered block, fails here.
+func VerifyRoot(b *Block) error {
+	if len(b.Plans) == 0 {
+		return ErrNoPlans
+	}
+	root, err := MerkleRoot(b.PlanLeaves())
+	if err != nil {
+		return fmt.Errorf("chain: recompute root: %w", err)
+	}
+	if root != b.Root {
+		return ErrBadRoot
+	}
+	return nil
+}
+
+// VerifyLink checks h_{i-1} against the previous block (Algorithm 1,
+// step iii). prev may be nil for the genesis block, in which case
+// PrevHash must be zero.
+func VerifyLink(prev, b *Block) error {
+	if prev == nil {
+		if b.Seq != 0 || !b.PrevHash.IsZero() {
+			return fmt.Errorf("%w: non-genesis block %d without predecessor", ErrBrokenLink, b.Seq)
+		}
+		return nil
+	}
+	if b.Seq != prev.Seq+1 {
+		return fmt.Errorf("%w: %d after %d", ErrBadSeq, b.Seq, prev.Seq)
+	}
+	if prev.HashBlock() != b.PrevHash {
+		return ErrBrokenLink
+	}
+	return nil
+}
+
+// Package assembles and signs a new block from a batch of plans.
+func Package(s *Signer, prev *Block, now time.Duration, plans []*plan.TravelPlan) (*Block, error) {
+	if len(plans) == 0 {
+		return nil, ErrNoPlans
+	}
+	b := &Block{Timestamp: now, Plans: plans}
+	if prev != nil {
+		b.Seq = prev.Seq + 1
+		b.PrevHash = prev.HashBlock()
+	}
+	root, err := MerkleRoot(b.PlanLeaves())
+	if err != nil {
+		return nil, fmt.Errorf("chain: package: %w", err)
+	}
+	b.Root = root
+	if err := s.Sign(b); err != nil {
+		return nil, err
+	}
+	return b, nil
+}

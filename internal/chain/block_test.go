@@ -1,0 +1,191 @@
+package chain
+
+import (
+	"errors"
+	"sync"
+	"testing"
+	"time"
+
+	"nwade/internal/geom"
+	"nwade/internal/plan"
+)
+
+// testSigner caches one RSA key for the whole test binary; key generation
+// dominates test time otherwise.
+var (
+	signerOnce sync.Once
+	testSig    *Signer
+)
+
+func sharedSigner(t testing.TB) *Signer {
+	t.Helper()
+	signerOnce.Do(func() {
+		s, err := NewSigner(DefaultKeyBits)
+		if err != nil {
+			t.Fatalf("NewSigner: %v", err)
+		}
+		testSig = s
+	})
+	return testSig
+}
+
+func testPlans(n int, t0 time.Duration) []*plan.TravelPlan {
+	out := make([]*plan.TravelPlan, n)
+	for i := range out {
+		out[i] = &plan.TravelPlan{
+			Vehicle: plan.VehicleID(i + 1),
+			Char:    plan.Characteristics{Brand: "Acme", Model: "Z", Color: "red", Length: 4.5, Width: 1.9},
+			Status:  plan.Status{Pos: geom.V(float64(i), 0), Speed: 10, At: t0},
+			RouteID: i % 4,
+			Issued:  t0,
+			Waypoints: []plan.Waypoint{
+				{T: t0, S: 0, V: 10},
+				{T: t0 + 30*time.Second, S: 400, V: 10},
+			},
+		}
+	}
+	return out
+}
+
+func TestPackageAndVerify(t *testing.T) {
+	s := sharedSigner(t)
+	b, err := Package(s, nil, time.Second, testPlans(5, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Seq != 0 || !b.PrevHash.IsZero() {
+		t.Errorf("genesis block: seq=%d prev=%v", b.Seq, b.PrevHash)
+	}
+	if err := VerifySignature(s.Public(), b); err != nil {
+		t.Errorf("signature: %v", err)
+	}
+	if err := VerifyRoot(b); err != nil {
+		t.Errorf("root: %v", err)
+	}
+	if err := VerifyLink(nil, b); err != nil {
+		t.Errorf("link: %v", err)
+	}
+}
+
+func TestPackageEmpty(t *testing.T) {
+	s := sharedSigner(t)
+	if _, err := Package(s, nil, 0, nil); !errors.Is(err, ErrNoPlans) {
+		t.Errorf("empty package: %v", err)
+	}
+}
+
+func TestChainedBlocks(t *testing.T) {
+	s := sharedSigner(t)
+	b0, err := Package(s, nil, time.Second, testPlans(3, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := Package(s, b0, 2*time.Second, testPlans(4, 2*time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b1.Seq != 1 {
+		t.Errorf("seq = %d, want 1", b1.Seq)
+	}
+	if err := VerifyLink(b0, b1); err != nil {
+		t.Errorf("link: %v", err)
+	}
+	// Broken link detected.
+	b1.PrevHash[0] ^= 0xFF
+	if err := VerifyLink(b0, b1); !errors.Is(err, ErrBrokenLink) {
+		t.Errorf("tampered link: %v", err)
+	}
+}
+
+func TestVerifySignatureTampered(t *testing.T) {
+	s := sharedSigner(t)
+	b, err := Package(s, nil, time.Second, testPlans(3, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tampering with any header field invalidates the signature.
+	b.Timestamp++
+	if err := VerifySignature(s.Public(), b); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered timestamp: %v", err)
+	}
+	b.Timestamp--
+	b.Root[3] ^= 0x01
+	if err := VerifySignature(s.Public(), b); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered root: %v", err)
+	}
+	b.Root[3] ^= 0x01
+	b.Sig[0] ^= 0x01
+	if err := VerifySignature(s.Public(), b); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("tampered sig: %v", err)
+	}
+}
+
+func TestForeignKeyRejected(t *testing.T) {
+	s := sharedSigner(t)
+	attacker, err := NewSigner(1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Package(attacker, nil, time.Second, testPlans(2, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := VerifySignature(s.Public(), b); !errors.Is(err, ErrBadSignature) {
+		t.Errorf("foreign signature accepted: %v", err)
+	}
+}
+
+func TestVerifyRootDetectsPlanTampering(t *testing.T) {
+	s := sharedSigner(t)
+	b, err := Package(s, nil, time.Second, testPlans(4, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A compromised relay alters one plan's waypoint after signing.
+	b.Plans[2].Waypoints[1].S += 100
+	if err := VerifyRoot(b); !errors.Is(err, ErrBadRoot) {
+		t.Errorf("tampered plan: %v", err)
+	}
+}
+
+func TestVerifyRootNoPlans(t *testing.T) {
+	b := &Block{}
+	if err := VerifyRoot(b); !errors.Is(err, ErrNoPlans) {
+		t.Errorf("no plans: %v", err)
+	}
+}
+
+func TestVerifyLinkSeqGap(t *testing.T) {
+	s := sharedSigner(t)
+	b0, _ := Package(s, nil, time.Second, testPlans(2, time.Second))
+	b1, _ := Package(s, b0, 2*time.Second, testPlans(2, 2*time.Second))
+	b2, _ := Package(s, b1, 3*time.Second, testPlans(2, 3*time.Second))
+	if err := VerifyLink(b0, b2); !errors.Is(err, ErrBadSeq) {
+		t.Errorf("seq gap: %v", err)
+	}
+	// Non-genesis without predecessor.
+	if err := VerifyLink(nil, b1); !errors.Is(err, ErrBrokenLink) {
+		t.Errorf("non-genesis without prev: %v", err)
+	}
+}
+
+func TestPlanFor(t *testing.T) {
+	s := sharedSigner(t)
+	b, _ := Package(s, nil, time.Second, testPlans(3, time.Second))
+	if p, ok := b.PlanFor(2); !ok || p.Vehicle != 2 {
+		t.Errorf("PlanFor(2) = %v, %v", p, ok)
+	}
+	if _, ok := b.PlanFor(99); ok {
+		t.Error("PlanFor(99) found a plan")
+	}
+}
+
+func TestHashBlockCoversSig(t *testing.T) {
+	s := sharedSigner(t)
+	b, _ := Package(s, nil, time.Second, testPlans(2, time.Second))
+	h := b.HashBlock()
+	b.Sig[0] ^= 0x01
+	if b.HashBlock() == h {
+		t.Error("HashBlock must cover the signature")
+	}
+}

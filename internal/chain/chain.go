@@ -1,0 +1,181 @@
+package chain
+
+import (
+	"crypto/rsa"
+	"errors"
+	"fmt"
+
+	"nwade/internal/plan"
+)
+
+// Chain is a vehicle- or manager-side view of the travel-plan blockchain.
+// Vehicles keep at most MaxLen blocks — the paper's τ/δ bound: crossing
+// time over the batch window — and prune older ones as they go.
+type Chain struct {
+	pub    *rsa.PublicKey
+	blocks []*Block
+	// MaxLen bounds the number of cached blocks; 0 means unbounded
+	// (the intersection manager keeps everything).
+	MaxLen int
+}
+
+// NewChain creates an empty chain view that verifies incoming blocks with
+// the given public key.
+func NewChain(pub *rsa.PublicKey, maxLen int) *Chain {
+	return &Chain{pub: pub, MaxLen: maxLen}
+}
+
+// ErrUnknownBlock is returned when a requested block is not cached.
+var ErrUnknownBlock = errors.New("chain: block not in cache")
+
+// ErrCacheFull is returned by Prepend when the cache window is exhausted.
+var ErrCacheFull = errors.New("chain: cache full")
+
+// PublicKey returns the verification key this chain view checks blocks
+// against.
+func (c *Chain) PublicKey() *rsa.PublicKey { return c.pub }
+
+// Len returns the number of cached blocks.
+func (c *Chain) Len() int { return len(c.blocks) }
+
+// Head returns the most recent block, or nil when empty.
+func (c *Chain) Head() *Block {
+	if len(c.blocks) == 0 {
+		return nil
+	}
+	return c.blocks[len(c.blocks)-1]
+}
+
+// Blocks returns the cached blocks oldest-first. The returned slice is a
+// copy; the blocks themselves are shared and must be treated as
+// immutable.
+func (c *Chain) Blocks() []*Block {
+	out := make([]*Block, len(c.blocks))
+	copy(out, c.blocks)
+	return out
+}
+
+// BySeq returns the cached block with the given sequence number.
+func (c *Chain) BySeq(seq uint64) (*Block, error) {
+	for _, b := range c.blocks {
+		if b.Seq == seq {
+			return b, nil
+		}
+	}
+	return nil, fmt.Errorf("%w: seq %d", ErrUnknownBlock, seq)
+}
+
+// Append verifies a block against the chain and appends it: signature,
+// Merkle root, and linkage to the current head (Algorithm 1 steps i and
+// iii; the plan-conflict step lives in the nwade package because it needs
+// the intersection's conflict table). A gap in sequence numbers after
+// pruning is accepted when the vehicle has pruned the predecessor.
+func (c *Chain) Append(b *Block) error {
+	if err := VerifySignature(c.pub, b); err != nil {
+		return err
+	}
+	if err := VerifyRoot(b); err != nil {
+		return err
+	}
+	head := c.Head()
+	if head != nil || b.Seq == 0 {
+		if head != nil && b.Seq != head.Seq+1 {
+			return fmt.Errorf("%w: got %d after %d", ErrBadSeq, b.Seq, head.Seq)
+		}
+		if err := VerifyLink(head, b); err != nil {
+			return err
+		}
+	}
+	// A vehicle that arrives mid-stream accepts its first block without
+	// a predecessor (head == nil, b.Seq > 0): it cannot check linkage
+	// until the next block arrives.
+	c.blocks = append(c.blocks, b)
+	c.prune()
+	return nil
+}
+
+// Prepend verifies a block that precedes the oldest cached block and
+// inserts it at the front. Vehicles that join mid-stream use this to
+// back-fill the plans of vehicles that entered earlier: the forward link
+// (b.HashBlock() == oldest.PrevHash) proves the fetched block is the
+// authentic predecessor even when it came from an untrusted peer.
+func (c *Chain) Prepend(b *Block) error {
+	if err := VerifySignature(c.pub, b); err != nil {
+		return err
+	}
+	if err := VerifyRoot(b); err != nil {
+		return err
+	}
+	if len(c.blocks) == 0 {
+		c.blocks = []*Block{b}
+		return nil
+	}
+	oldest := c.blocks[0]
+	if err := VerifyLink(b, oldest); err != nil {
+		return err
+	}
+	if c.MaxLen > 0 && len(c.blocks) >= c.MaxLen {
+		return fmt.Errorf("%w: %d blocks", ErrCacheFull, c.MaxLen)
+	}
+	c.blocks = append([]*Block{b}, c.blocks...)
+	return nil
+}
+
+// prune drops the oldest blocks beyond MaxLen.
+func (c *Chain) prune() {
+	if c.MaxLen <= 0 || len(c.blocks) <= c.MaxLen {
+		return
+	}
+	drop := len(c.blocks) - c.MaxLen
+	c.blocks = append([]*Block(nil), c.blocks[drop:]...)
+}
+
+// PlanFor searches the cached blocks (newest first, so reissued plans win)
+// for the given vehicle's plan.
+func (c *Chain) PlanFor(id plan.VehicleID) (*plan.TravelPlan, *Block, bool) {
+	for i := len(c.blocks) - 1; i >= 0; i-- {
+		if p, ok := c.blocks[i].PlanFor(id); ok {
+			return p, c.blocks[i], true
+		}
+	}
+	return nil, nil, false
+}
+
+// AllPlans returns every plan in the cached window, newest block first.
+// When a vehicle appears in several blocks only its newest plan is
+// returned, matching "the latest plan supersedes".
+func (c *Chain) AllPlans() []*plan.TravelPlan {
+	seen := make(map[plan.VehicleID]bool)
+	var out []*plan.TravelPlan
+	for i := len(c.blocks) - 1; i >= 0; i-- {
+		for _, p := range c.blocks[i].Plans {
+			if seen[p.Vehicle] {
+				continue
+			}
+			seen[p.Vehicle] = true
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// VerifyWhole re-verifies every cached block and link, e.g. during global
+// verification when blocks were collected from peer vehicles.
+func (c *Chain) VerifyWhole() error {
+	var prev *Block
+	for i, b := range c.blocks {
+		if err := VerifySignature(c.pub, b); err != nil {
+			return fmt.Errorf("block %d: %w", b.Seq, err)
+		}
+		if err := VerifyRoot(b); err != nil {
+			return fmt.Errorf("block %d: %w", b.Seq, err)
+		}
+		if i > 0 {
+			if err := VerifyLink(prev, b); err != nil {
+				return fmt.Errorf("block %d: %w", b.Seq, err)
+			}
+		}
+		prev = b
+	}
+	return nil
+}

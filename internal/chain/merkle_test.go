@@ -1,0 +1,163 @@
+package chain
+
+import (
+	"errors"
+	"fmt"
+	"testing"
+	"testing/quick"
+)
+
+func leaves(n int) [][]byte {
+	out := make([][]byte, n)
+	for i := range out {
+		out[i] = []byte(fmt.Sprintf("plan-%d", i))
+	}
+	return out
+}
+
+func TestMerkleRootEmpty(t *testing.T) {
+	if _, err := MerkleRoot(nil); !errors.Is(err, ErrEmptyTree) {
+		t.Errorf("empty: %v", err)
+	}
+}
+
+func TestMerkleRootSingleLeaf(t *testing.T) {
+	root, err := MerkleRoot(leaves(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if root != HashLeaf([]byte("plan-0")) {
+		t.Error("single-leaf root must equal the leaf hash")
+	}
+}
+
+func TestMerkleRootDeterministic(t *testing.T) {
+	a, _ := MerkleRoot(leaves(7))
+	b, _ := MerkleRoot(leaves(7))
+	if a != b {
+		t.Error("root not deterministic")
+	}
+}
+
+func TestMerkleRootSensitiveToLeafChange(t *testing.T) {
+	for n := 1; n <= 9; n++ {
+		base, _ := MerkleRoot(leaves(n))
+		for i := 0; i < n; i++ {
+			ls := leaves(n)
+			ls[i] = append(ls[i], 'x')
+			mod, _ := MerkleRoot(ls)
+			if mod == base {
+				t.Errorf("n=%d: changing leaf %d did not change root", n, i)
+			}
+		}
+	}
+}
+
+func TestMerkleRootSensitiveToOrder(t *testing.T) {
+	ls := leaves(4)
+	base, _ := MerkleRoot(ls)
+	ls[0], ls[1] = ls[1], ls[0]
+	swapped, _ := MerkleRoot(ls)
+	if base == swapped {
+		t.Error("swapping leaves did not change root")
+	}
+}
+
+func TestLeafNodeDomainSeparation(t *testing.T) {
+	// A leaf whose content happens to be two concatenated hashes must
+	// not hash to the same value as the interior node of those hashes.
+	l := HashLeaf([]byte("a"))
+	r := HashLeaf([]byte("b"))
+	node := hashNode(l, r)
+	var concat []byte
+	concat = append(concat, l[:]...)
+	concat = append(concat, r[:]...)
+	if HashLeaf(concat) == node {
+		t.Error("leaf/node domain separation violated")
+	}
+}
+
+func TestBuildAndVerifyProofAllSizes(t *testing.T) {
+	for n := 1; n <= 12; n++ {
+		ls := leaves(n)
+		root, err := MerkleRoot(ls)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < n; i++ {
+			proof, err := BuildProof(ls, i)
+			if err != nil {
+				t.Fatalf("n=%d i=%d: %v", n, i, err)
+			}
+			if !VerifyProof(root, ls[i], proof) {
+				t.Errorf("n=%d: proof for leaf %d rejected", n, i)
+			}
+			// The proof must not verify a different leaf.
+			other := (i + 1) % n
+			if n > 1 && VerifyProof(root, ls[other], proof) {
+				t.Errorf("n=%d: proof for leaf %d accepted leaf %d", n, i, other)
+			}
+			// Tampered leaf content must fail.
+			if VerifyProof(root, append(append([]byte{}, ls[i]...), 'z'), proof) {
+				t.Errorf("n=%d: tampered leaf accepted", n)
+			}
+		}
+	}
+}
+
+func TestBuildProofErrors(t *testing.T) {
+	if _, err := BuildProof(nil, 0); !errors.Is(err, ErrEmptyTree) {
+		t.Errorf("empty: %v", err)
+	}
+	if _, err := BuildProof(leaves(3), 3); err == nil {
+		t.Error("out-of-range index accepted")
+	}
+	if _, err := BuildProof(leaves(3), -1); err == nil {
+		t.Error("negative index accepted")
+	}
+}
+
+func TestVerifyProofNil(t *testing.T) {
+	root, _ := MerkleRoot(leaves(2))
+	if VerifyProof(root, []byte("plan-0"), nil) {
+		t.Error("nil proof accepted")
+	}
+}
+
+func TestMerkleProofPropertyRandom(t *testing.T) {
+	f := func(raw [][]byte, idxSeed uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 40 {
+			raw = raw[:40]
+		}
+		idx := int(idxSeed) % len(raw)
+		root, err := MerkleRoot(raw)
+		if err != nil {
+			return false
+		}
+		proof, err := BuildProof(raw, idx)
+		if err != nil {
+			return false
+		}
+		return VerifyProof(root, raw[idx], proof)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHashString(t *testing.T) {
+	h := HashLeaf([]byte("x"))
+	if len(h.String()) != 12 {
+		t.Errorf("String length = %d, want 12 hex chars", len(h.String()))
+	}
+	var zero Hash
+	if !zero.IsZero() {
+		t.Error("zero hash not IsZero")
+	}
+	if h.IsZero() {
+		t.Error("non-zero hash IsZero")
+	}
+}

@@ -1,0 +1,138 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// ablationCfg extends the quick config so vehicles have time to cross
+// (route traversal alone takes ~40 s of simulated time).
+func ablationCfg() Config {
+	cfg := quickCfg()
+	cfg.Duration = 90 * time.Second
+	return cfg
+}
+
+func TestSchedulerAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := ablationCfg()
+	cfg.Density = 40 // keep traffic-light queues tractable
+	res, err := SchedulerAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// NWADE must detect the violation regardless of the manager
+		// family it runs over (paper Section III integrability claim).
+		if r.Detected != r.Rounds {
+			t.Errorf("%s: detection %d/%d", r.Scheduler, r.Detected, r.Rounds)
+		}
+		// Throughput is reported, not asserted: a 90 s round with a
+		// mid-run attack leaves little time for complete crossings.
+	}
+	if !strings.Contains(res.String(), "reservation") {
+		t.Error("rendering missing schedulers")
+	}
+}
+
+func TestSensingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := quickCfg()
+	res, err := SensingSweep(cfg, []float64{300, 1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		// Even the short 300 ft radius catches a violator: watchers
+		// surround it well within that range.
+		if r.Detected != r.Rounds {
+			t.Errorf("%g ft: detection %d/%d", r.RadiusFt, r.Detected, r.Rounds)
+		}
+	}
+}
+
+func TestDoubleCheckAblation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := quickCfg()
+	cfg.Rounds = 4
+	res, err := DoubleCheckAblation(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	with, without := res.Rows[0], res.Rows[1]
+	if !with.DoubleCheck || without.DoubleCheck {
+		t.Fatal("row order unexpected")
+	}
+	// The defense's value: with the second round, every false alarm is
+	// exposed; without it, exposures can only be fewer or equal.
+	if with.Exposed != with.Rounds {
+		t.Errorf("with double-check: exposed %d/%d", with.Exposed, with.Rounds)
+	}
+	if without.Exposed > with.Exposed {
+		t.Errorf("removing the defense improved exposure: %d > %d", without.Exposed, with.Exposed)
+	}
+}
+
+func TestPacketLossRecovery(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := ablationCfg()
+	res, err := PacketLoss(cfg, []float64{0, 0.05})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.Detected != r.Rounds {
+			t.Errorf("loss %.0f%%: detection %d/%d", r.LossRate*100, r.Detected, r.Rounds)
+		}
+	}
+	// With losses, block re-request recovery must actually engage.
+	if res.Rows[1].Recovered == 0 {
+		t.Error("5% loss never exercised block re-requests")
+	}
+}
+
+func TestMixedTrafficSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("ablation sweep is slow")
+	}
+	cfg := ablationCfg()
+	res, err := MixedTraffic(cfg, []float64{0, 0.3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	pure, mixed := res.Rows[0], res.Rows[1]
+	if pure.Detected != pure.Rounds {
+		t.Errorf("pure AV traffic: detection %d/%d", pure.Detected, pure.Rounds)
+	}
+	// The transitional penalty: mixing should not IMPROVE throughput.
+	if mixed.Throughput > pure.Throughput*1.2 {
+		t.Errorf("mixed throughput %.1f implausibly above pure %.1f", mixed.Throughput, pure.Throughput)
+	}
+	if !strings.Contains(res.String(), "Legacy share") {
+		t.Error("rendering missing header")
+	}
+}

@@ -1,0 +1,347 @@
+// Package eval reproduces the NWADE paper's evaluation: one generator per
+// table and figure (Table II, Fig. 4–Fig. 8, plus the Eq. 2/Eq. 3
+// analytic curves), each returning typed rows with a printable rendering.
+//
+// Absolute numbers depend on the substrate (this repo's simulator versus
+// the authors' 3D testbed); what the generators reproduce is the shape of
+// each result — who detects what, at which rates, and at what cost. See
+// EXPERIMENTS.md for the paper-vs-measured comparison.
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/chain"
+	"nwade/internal/intersection"
+	"nwade/internal/metrics"
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+	"nwade/internal/sim"
+	"nwade/internal/vnet"
+)
+
+// Config tunes the experiment harness. The zero value reproduces the
+// paper's setup (10 rounds per setting, 80 veh/min default density).
+type Config struct {
+	// Rounds per attack setting (paper: 10).
+	Rounds int
+	// Density in vehicles/min when an experiment does not sweep it.
+	Density float64
+	// Duration of each simulated round.
+	Duration time.Duration
+	// AttackAt is when compromises activate within a round.
+	AttackAt time.Duration
+	// KeyBits for the IM's signing key in simulation rounds. Protocol
+	// outcomes do not depend on key size, so rounds default to 1024 for
+	// speed; the blockchain-cost experiment (Fig. 6) always measures
+	// the paper's 2048-bit keys.
+	KeyBits int
+	// BaseSeed makes the whole evaluation reproducible.
+	BaseSeed int64
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Rounds <= 0 {
+		c.Rounds = 10
+	}
+	if c.Density <= 0 {
+		c.Density = 80
+	}
+	if c.Duration <= 0 {
+		c.Duration = 60 * time.Second
+	}
+	if c.AttackAt <= 0 {
+		c.AttackAt = 25 * time.Second
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = 1024
+	}
+	if c.BaseSeed == 0 {
+		c.BaseSeed = 1
+	}
+	return c
+}
+
+// outcome is one finished simulation round plus its attack ground truth.
+type outcome struct {
+	res      metrics.RunResult
+	scenario attack.Scenario
+	roles    attack.Roles
+	onsets   map[plan.VehicleID]time.Duration
+}
+
+// benignActor reports whether an event actor is outside the coalition
+// (actor 0 is the IM).
+func (o *outcome) benignActor(id plan.VehicleID) bool {
+	return id != 0 && !o.roles.All[id]
+}
+
+// runner executes rounds with a shared signing key.
+type runner struct {
+	cfg    Config
+	signer *chain.Signer
+}
+
+func newRunner(cfg Config) (*runner, error) {
+	cfg = cfg.Normalize()
+	signer, err := chain.NewSigner(cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("eval: %w", err)
+	}
+	return &runner{cfg: cfg, signer: signer}, nil
+}
+
+// round runs one simulation.
+func (r *runner) round(inter *intersection.Intersection, sc attack.Scenario, density float64, seed int64, nwadeOn bool) (*outcome, error) {
+	e, err := sim.NewWithSigner(sim.Config{
+		Inter:      inter,
+		Duration:   r.cfg.Duration,
+		RatePerMin: density,
+		Seed:       seed,
+		Scenario:   sc,
+		NWADE:      nwadeOn,
+	}, r.signer)
+	if err != nil {
+		return nil, err
+	}
+	res := e.Run()
+	return &outcome{
+		res:      res,
+		scenario: sc,
+		roles:    e.Roles(),
+		onsets:   e.AttackOnsets(),
+	}, nil
+}
+
+// --- Outcome classification -------------------------------------------
+
+// detected decides whether the round's attack was detected, per setting
+// family (see DESIGN.md experiment index).
+func detected(o *outcome) bool {
+	col := o.res.Collector
+	sc := o.scenario
+	switch {
+	case !sc.MaliciousIM:
+		// Vk: the physical plan violation must be confirmed.
+		if o.roles.Violator == 0 {
+			return false
+		}
+		_, ok := col.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvIncidentConfirmed && e.Subject == o.roles.Violator
+		})
+		return ok
+	case sc.MaliciousVehicles == 0:
+		// IM: any vehicle catching the conflicting-plans block.
+		return col.Count(nwade.EvBlockRejected) > 0
+	default:
+		// IM_Vk: the community concludes the IM is compromised —
+		// at least two distinct benign vehicles broadcast global
+		// reports (or a sabotaged block is caught outright).
+		if col.Count(nwade.EvBlockRejected) > 0 {
+			return true
+		}
+		reporters := col.DistinctActors(func(e nwade.Event) bool {
+			return e.Type == nwade.EvGlobalSent && o.benignActor(e.Actor)
+		})
+		return len(reporters) >= 2
+	}
+}
+
+// detectionTime returns the detection latency for the round's primary
+// attack: for plan violations, first report to confirmation; for wrong
+// plans, block broadcast to first rejection.
+func detectionTime(o *outcome) (time.Duration, bool) {
+	col := o.res.Collector
+	if !o.scenario.MaliciousIM {
+		rep, ok1 := col.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvReportSent && e.Subject == o.roles.Violator && o.benignActor(e.Actor)
+		})
+		conf, ok2 := col.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvIncidentConfirmed && e.Subject == o.roles.Violator
+		})
+		if !ok1 || !ok2 || conf.At < rep.At {
+			return 0, false
+		}
+		return conf.At - rep.At, true
+	}
+	rej, ok := col.First(nwade.EvBlockRejected)
+	if !ok {
+		return 0, false
+	}
+	// Latency from the broadcast of the rejected block.
+	var cast nwade.Event
+	found := false
+	for _, e := range col.Events() {
+		if e.Type == nwade.EvBlockBroadcast && e.At <= rej.At {
+			cast = e
+			found = true
+		}
+	}
+	if !found || rej.At < cast.At {
+		return 0, false
+	}
+	return rej.At - cast.At, true
+}
+
+// framedTargets returns the benign vehicles framed by false reports or a
+// sham evacuation in this round.
+func framedTargets(o *outcome) map[plan.VehicleID]bool {
+	col := o.res.Collector
+	out := make(map[plan.VehicleID]bool)
+	for _, e := range col.Events() {
+		switch {
+		case e.Type == nwade.EvReportSent && strings.Contains(e.Info, "FALSE"):
+			if o.benignActor(e.Subject) {
+				out[e.Subject] = true
+			}
+		case e.Type == nwade.EvEvacuationStarted && strings.Contains(e.Info, "SHAM"):
+			if o.benignActor(e.Subject) {
+				out[e.Subject] = true
+			}
+		}
+	}
+	return out
+}
+
+// shamExposureGrace is how quickly a sham evacuation must be exposed for
+// the attack to count as a non-trigger: within this window vehicles have
+// barely reacted; past it the false alarm genuinely moved traffic.
+const shamExposureGrace = 1500 * time.Millisecond
+
+// typeAOutcome classifies the round's type-A false alarms: whether any
+// false claim genuinely misled the system (a framed benign vehicle
+// confirmed through voting, or a sham evacuation that stayed unexposed
+// past the grace window), and whether every false alarm was ultimately
+// identified.
+func typeAOutcome(o *outcome) (attempted, triggered, detected bool) {
+	col := o.res.Collector
+	framed := framedTargets(o)
+	if len(framed) == 0 {
+		return false, false, false
+	}
+	attempted = true
+	for id := range framed {
+		fid := id
+		// Voting path: the colluders got the framed vehicle confirmed.
+		if _, ok := col.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvIncidentConfirmed && e.Subject == fid
+		}); ok {
+			triggered = true
+		}
+		// Sham-evacuation path: triggered only if the frame-up was not
+		// promptly exposed by witnesses near the wronged vehicle.
+		if sham, ok := col.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvEvacuationStarted && e.Subject == fid && strings.Contains(e.Info, "SHAM")
+		}); ok {
+			exposed, ok := col.FirstWhere(func(e nwade.Event) bool {
+				return e.Type == nwade.EvFalseAccusationSeen && e.At >= sham.At
+			})
+			if !ok || exposed.At-sham.At > shamExposureGrace {
+				triggered = true
+			}
+		}
+	}
+	if !triggered {
+		// No framed vehicle caused an evacuation: the claims were
+		// dismissed, ignored, or simply failed verification.
+		return attempted, false, true
+	}
+	// Triggered: detection requires the system to later identify the
+	// alarm as false — a round-2 reversal, a witness exposing the sham,
+	// or a post-trigger dismissal of the framed target.
+	for id := range framed {
+		fid := id
+		if _, ok := col.FirstWhere(func(e nwade.Event) bool {
+			switch e.Type {
+			case nwade.EvFalseAlarmDetected, nwade.EvFalseAccusationSeen:
+				return e.Subject == fid || e.Subject == 0
+			case nwade.EvAlarmDismissed:
+				return e.Subject == fid
+			}
+			return false
+		}); ok {
+			return attempted, true, true
+		}
+	}
+	return attempted, true, false
+}
+
+// typeBOutcome classifies false global reports: whether any benign
+// vehicle was tricked into self-evacuation by a fabricated claim, and
+// whether the claim was refuted.
+func typeBOutcome(o *outcome) (attempted, triggered, detected bool) {
+	col := o.res.Collector
+	sent := col.CountWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvGlobalSent && strings.Contains(e.Info, "FALSE")
+	})
+	if sent == 0 {
+		return false, false, false
+	}
+	attempted = true
+	// Trigger: a benign vehicle self-evacuated citing a block problem
+	// even though the IM is honest in type-B rounds.
+	trig := col.CountWhere(func(e nwade.Event) bool {
+		if e.Type != nwade.EvSelfEvacuation || !o.benignActor(e.Actor) {
+			return false
+		}
+		return e.Info == nwade.ReasonConflictingPlans.String() || e.Info == nwade.ReasonBadBlock.String()
+	})
+	triggered = trig > 0
+	detected = col.Count(nwade.EvGlobalRefuted) > 0 || !triggered
+	return attempted, triggered, detected
+}
+
+// pct renders a ratio as a percentage.
+func pct(hits, total int) string {
+	if total == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.0f%%", 100*float64(hits)/float64(total))
+}
+
+// table renders rows of cells with aligned columns.
+func table(header []string, rows [][]string) string {
+	widths := make([]int, len(header))
+	for i, h := range header {
+		widths[i] = len(h)
+	}
+	for _, r := range rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(header)
+	for i, w := range widths {
+		if i > 0 {
+			b.WriteString("  ")
+		}
+		b.WriteString(strings.Repeat("-", w))
+	}
+	b.WriteByte('\n')
+	for _, r := range rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// vnetConfigWithLoss builds a network config with the given per-receiver
+// drop rate and the paper's defaults otherwise.
+func vnetConfigWithLoss(rate float64) vnet.Config {
+	return vnet.Config{DropRate: rate}
+}

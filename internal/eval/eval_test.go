@@ -1,0 +1,256 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// quickCfg keeps protocol experiments fast in unit tests: few rounds,
+// short rounds, small key.
+func quickCfg() Config {
+	return Config{
+		Rounds:   2,
+		Density:  60,
+		Duration: 50 * time.Second,
+		AttackAt: 20 * time.Second,
+		KeyBits:  1024,
+		BaseSeed: 5,
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.Rounds != 10 || c.Density != 80 || c.Duration != 60*time.Second {
+		t.Errorf("defaults = %+v", c)
+	}
+	if c.KeyBits != 1024 || c.BaseSeed != 1 || c.AttackAt != 25*time.Second {
+		t.Errorf("defaults = %+v", c)
+	}
+}
+
+func TestEq2Shape(t *testing.T) {
+	e := Eq2(0.1, 5, 10)
+	if len(e.K) != 10 {
+		t.Fatalf("points = %d", len(e.K))
+	}
+	for _, pd := range e.PD {
+		if pd <= 0 || pd > 1 {
+			t.Errorf("P_d = %v out of range", pd)
+		}
+	}
+	if !strings.Contains(e.String(), "Eq. 2") {
+		t.Error("rendering missing title")
+	}
+	if got := Eq2(0.1, 5, 0); len(got.K) != 10 {
+		t.Error("maxK<1 should default")
+	}
+}
+
+func TestEq3PaperExample(t *testing.T) {
+	e := Eq3(0.001, 0.1, 15)
+	// k=11 must be ~0.001 (the paper's 0.1% example).
+	var pe11 float64
+	for i, k := range e.K {
+		if k == 11 {
+			pe11 = e.PE[i]
+		}
+	}
+	if pe11 < 0.0009 || pe11 > 0.0012 {
+		t.Errorf("P_e(11) = %v, want ~0.001", pe11)
+	}
+	if !strings.Contains(e.String(), "paper example") {
+		t.Error("rendering missing the worked-example marker")
+	}
+}
+
+func TestFig6ChainCosts(t *testing.T) {
+	res, err := Fig6(quickCfg(), []float64{80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 5 {
+		t.Fatalf("rows = %d, want one per intersection kind", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.PackageTime <= 0 || r.VerifyTime <= 0 {
+			t.Errorf("%v: non-positive timing %v/%v", r.Kind, r.PackageTime, r.VerifyTime)
+		}
+		// Paper's claim: well under 20 ms for both operations.
+		if r.PackageTime > 20*time.Millisecond {
+			t.Errorf("%v: packaging %v exceeds the paper's 20 ms bound", r.Kind, r.PackageTime)
+		}
+		if r.VerifyTime > 20*time.Millisecond {
+			t.Errorf("%v: verification %v exceeds the paper's 20 ms bound", r.Kind, r.VerifyTime)
+		}
+		if r.Batch < 1 {
+			t.Errorf("%v: empty batch", r.Kind)
+		}
+	}
+	if !strings.Contains(res.String(), "Fig. 6") {
+		t.Error("rendering missing title")
+	}
+}
+
+func TestFig7NetworkLoadShape(t *testing.T) {
+	res, err := Fig7(quickCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cases) != 3 {
+		t.Fatalf("cases = %d", len(res.Cases))
+	}
+	if res.Cases[0].Stats.TotalPackets() == 0 {
+		t.Fatal("no packets in benign case")
+	}
+	// The paper's shape: the security traffic grows from no-attack to
+	// local reports to global-report events.
+	base := res.Cases[0].SecurityPackets()
+	local := res.Cases[1].SecurityPackets()
+	global := res.Cases[2].SecurityPackets()
+	if local <= base {
+		t.Errorf("local-report security traffic (%d) not above baseline (%d)", local, base)
+	}
+	if global <= base {
+		t.Errorf("global-report security traffic (%d) not above baseline (%d)", global, base)
+	}
+	// The benign case must carry no report traffic at all.
+	if res.Cases[0].Stats.Packets["incident"] != 0 || res.Cases[0].Stats.Packets["global"] != 0 {
+		t.Errorf("benign case has report packets: %v", res.Cases[0].Stats.Packets)
+	}
+	// The attack cases must carry their namesake traffic.
+	if res.Cases[1].Stats.Packets["incident"] == 0 {
+		t.Error("local-report case has no incident packets")
+	}
+	if res.Cases[2].Stats.Packets["global"] == 0 {
+		t.Error("global-report case has no global packets")
+	}
+	if !strings.Contains(res.String(), "TOTAL") {
+		t.Error("rendering missing totals")
+	}
+}
+
+func TestTableIIQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep is slow")
+	}
+	cfg := quickCfg()
+	res, err := TableII(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 11 {
+		t.Fatalf("rows = %d, want 11", len(res.Rows))
+	}
+	for _, r := range res.Rows {
+		if r.TypeARounds != cfg.Rounds {
+			t.Errorf("%s: typeA rounds = %d", r.Setting, r.TypeARounds)
+		}
+		// The headline property: false alarms are always detected.
+		if r.TypeADetected != r.TypeARounds {
+			t.Errorf("%s: typeA detection %d/%d — false alarms must always be identified",
+				r.Setting, r.TypeADetected, r.TypeARounds)
+		}
+		if r.TypeBApplicable {
+			// The false global claims themselves are always refuted by
+			// block re-verification; the tolerance of one round covers
+			// a KNOWN ISSUE (see EXPERIMENTS.md): long after the
+			// attack, an evacuation-upheaval reschedule can emit one
+			// genuinely inconsistent block, whose rejection is counted
+			// against this metric even though no fabricated claim was
+			// believed.
+			if r.TypeBTriggered > 1 {
+				t.Errorf("%s: typeB triggered %d times — block verification must refute them all",
+					r.Setting, r.TypeBTriggered)
+			}
+			if r.TypeBDetected != r.TypeBRounds {
+				t.Errorf("%s: typeB detection %d/%d", r.Setting, r.TypeBDetected, r.TypeBRounds)
+			}
+		} else if !strings.HasPrefix(r.Setting, "IM") {
+			t.Errorf("%s: typeB not applicable only for IM settings", r.Setting)
+		}
+	}
+	s := res.String()
+	if !strings.Contains(s, "N/A") {
+		t.Error("IM rows should render typeB as N/A")
+	}
+}
+
+func TestFig4Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep is slow")
+	}
+	cfg := quickCfg()
+	res, err := Fig4(cfg, []string{"V1", "IM"}, []float64{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Rounds != cfg.Rounds {
+			t.Errorf("%s: rounds = %d", p.Setting, p.Rounds)
+		}
+		// Fig. 4's headline: these settings detect at 100%.
+		if p.Detected != p.Rounds {
+			t.Errorf("%s at %g/min: detection %d/%d, want all",
+				p.Setting, p.Density, p.Detected, p.Rounds)
+		}
+	}
+	if !strings.Contains(res.String(), "V1") {
+		t.Error("rendering missing settings")
+	}
+	if _, err := Fig4(cfg, []string{"nope"}, []float64{60}); err == nil {
+		t.Error("unknown setting accepted")
+	}
+}
+
+func TestFig5Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep is slow")
+	}
+	cfg := quickCfg()
+	res, err := Fig5(cfg, []float64{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("points = %d", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.Samples == 0 {
+			t.Errorf("%s: no detection samples", p.Class)
+			continue
+		}
+		// Paper: both classes detect in under 360 ms.
+		if p.Mean > 360*time.Millisecond {
+			t.Errorf("%s: mean detection %v exceeds the paper's 360 ms", p.Class, p.Mean)
+		}
+	}
+}
+
+func TestFig8Quick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("protocol sweep is slow")
+	}
+	cfg := quickCfg()
+	cfg.Duration = 90 * time.Second
+	res, err := Fig8(cfg, nil, []float64{60})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 5 {
+		t.Fatalf("points = %d, want one per kind", len(res.Points))
+	}
+	for _, p := range res.Points {
+		if p.WithNWADE <= 0 || p.PlainAIM <= 0 {
+			t.Errorf("%v: zero throughput (%v / %v)", p.Kind, p.WithNWADE, p.PlainAIM)
+			continue
+		}
+		// Fig. 8's headline: NWADE costs almost nothing.
+		if r := p.Overhead(); r < 0.8 || r > 1.25 {
+			t.Errorf("%v at %g/min: overhead ratio %.2f, want ~1", p.Kind, p.Density, r)
+		}
+	}
+}

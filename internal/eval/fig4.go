@@ -1,0 +1,109 @@
+package eval
+
+import (
+	"fmt"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+)
+
+// Fig4Settings are the attack settings plotted in Fig. 4.
+var Fig4Settings = []string{"V1", "V5", "V10", "IM", "IM_V1", "IM_V5", "IM_V10"}
+
+// Fig4Densities is the paper's density sweep (vehicles per minute).
+var Fig4Densities = []float64{20, 40, 60, 80, 100, 120}
+
+// Fig4Point is one (setting, density) cell: detection rate over rounds.
+type Fig4Point struct {
+	Setting  string
+	Density  float64
+	Rounds   int
+	Detected int
+}
+
+// Rate returns the detection rate.
+func (p Fig4Point) Rate() float64 { return float64(p.Detected) / float64(max(p.Rounds, 1)) }
+
+// Fig4Result reproduces Fig. 4: detection rate under different vehicle
+// densities, on the paper's 10-incoming-lane 4-way cross.
+type Fig4Result struct {
+	Points []Fig4Point
+	Cfg    Config
+	// Settings/Densities actually swept (configurable subsets for
+	// quick runs).
+	Settings  []string
+	Densities []float64
+}
+
+// Fig4 sweeps density × attack setting and measures detection rates.
+// Passing nil for settings or densities uses the paper's full sweep.
+func Fig4(cfg Config, settings []string, densities []float64) (*Fig4Result, error) {
+	cfg = cfg.Normalize()
+	if settings == nil {
+		settings = Fig4Settings
+	}
+	if densities == nil {
+		densities = Fig4Densities
+	}
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := intersection.Cross4Lanes(intersection.Config{}, []int{3, 2, 3, 2})
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig4Result{Cfg: cfg, Settings: settings, Densities: densities}
+	for _, name := range settings {
+		sc, ok := attack.ByName(name, cfg.AttackAt)
+		if !ok {
+			return nil, fmt.Errorf("fig4: unknown setting %q", name)
+		}
+		for _, d := range densities {
+			pt := Fig4Point{Setting: name, Density: d}
+			for i := 0; i < cfg.Rounds; i++ {
+				seed := cfg.BaseSeed + int64(i)*131 + int64(d)
+				o, err := r.round(inter, sc, d, seed, true)
+				if err != nil {
+					return nil, fmt.Errorf("fig4 %s d=%v round %d: %w", name, d, i, err)
+				}
+				pt.Rounds++
+				if detected(o) {
+					pt.Detected++
+				}
+			}
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// String renders the detection-rate matrix (settings × densities).
+func (f *Fig4Result) String() string {
+	header := []string{"Setting"}
+	for _, d := range f.Densities {
+		header = append(header, fmt.Sprintf("%g/min", d))
+	}
+	var rows [][]string
+	for _, s := range f.Settings {
+		row := []string{s}
+		for _, d := range f.Densities {
+			cell := "-"
+			for _, p := range f.Points {
+				if p.Setting == s && p.Density == d {
+					cell = pct(p.Detected, p.Rounds)
+				}
+			}
+			row = append(row, cell)
+		}
+		rows = append(rows, row)
+	}
+	return "Fig. 4 — Detection Rate under Different Vehicle Densities\n" + table(header, rows)
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,92 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/metrics"
+)
+
+// Fig5Point is one density's mean detection time for one report class.
+type Fig5Point struct {
+	Class   string // "deviating" or "wrong-plans"
+	Density float64
+	Mean    time.Duration
+	Max     time.Duration
+	Samples int
+}
+
+// Fig5Result reproduces Fig. 5: time to detect (a) vehicles deviating
+// from travel plans and (b) wrong travel plans, at a 4-way intersection.
+type Fig5Result struct {
+	Points    []Fig5Point
+	Cfg       Config
+	Densities []float64
+}
+
+// Fig5 measures detection latencies across densities. Nil densities uses
+// the paper's sweep.
+func Fig5(cfg Config, densities []float64) (*Fig5Result, error) {
+	cfg = cfg.Normalize()
+	if densities == nil {
+		densities = Fig4Densities
+	}
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig5Result{Cfg: cfg, Densities: densities}
+	classes := []struct {
+		name    string
+		setting string
+	}{
+		{"deviating", "V1"},
+		{"wrong-plans", "IM"},
+	}
+	for _, cl := range classes {
+		sc, _ := attack.ByName(cl.setting, cfg.AttackAt)
+		for _, d := range densities {
+			var samples []time.Duration
+			for i := 0; i < cfg.Rounds; i++ {
+				seed := cfg.BaseSeed + int64(i)*149 + int64(d)*3
+				o, err := r.round(inter, sc, d, seed, true)
+				if err != nil {
+					return nil, fmt.Errorf("fig5 %s d=%v round %d: %w", cl.name, d, i, err)
+				}
+				if dt, ok := detectionTime(o); ok {
+					samples = append(samples, dt)
+				}
+			}
+			out.Points = append(out.Points, Fig5Point{
+				Class:   cl.name,
+				Density: d,
+				Mean:    metrics.MeanDuration(samples),
+				Max:     metrics.MaxDuration(samples),
+				Samples: len(samples),
+			})
+		}
+	}
+	return out, nil
+}
+
+// String renders the latency table.
+func (f *Fig5Result) String() string {
+	header := []string{"Class", "Density", "Mean", "Max", "Samples"}
+	var rows [][]string
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			p.Class,
+			fmt.Sprintf("%g/min", p.Density),
+			p.Mean.Round(time.Millisecond).String(),
+			p.Max.Round(time.Millisecond).String(),
+			fmt.Sprintf("%d", p.Samples),
+		})
+	}
+	return "Fig. 5 — Detection Time\n" + table(header, rows)
+}

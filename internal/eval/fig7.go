@@ -1,0 +1,102 @@
+package eval
+
+import (
+	"fmt"
+	"sort"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/nwade"
+	"nwade/internal/vnet"
+)
+
+// Fig7Case is one traffic event class of Fig. 7.
+type Fig7Case struct {
+	Name     string
+	Scenario string // attack setting producing this traffic
+	Stats    vnet.Stats
+}
+
+// SecurityPackets counts the report-and-response traffic NWADE adds on
+// top of plan dissemination and block retrieval: incident reports,
+// verification votes, dismissals, global reports and evacuation alerts.
+func (c Fig7Case) SecurityPackets() int {
+	var n int
+	for _, kind := range []string{
+		nwade.KindIncident, nwade.KindVerifyReq, nwade.KindVerifyResp,
+		nwade.KindDismiss, nwade.KindGlobal, nwade.KindEvacuation,
+	} {
+		n += c.Stats.Packets[kind]
+	}
+	return n
+}
+
+// Fig7Result reproduces Fig. 7: the number of packets in the network at a
+// 4-way intersection under (i) no attack, (ii) local reports sent, and
+// (iii) global reports sent.
+type Fig7Result struct {
+	Cases []Fig7Case
+	Cfg   Config
+}
+
+// Fig7 measures per-kind packet counts for the three event classes.
+func Fig7(cfg Config) (*Fig7Result, error) {
+	cfg = cfg.Normalize()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		return nil, err
+	}
+	cases := []struct{ name, setting string }{
+		{"no attack", "benign"},
+		{"local reports", "V1"},  // deviation -> incident reports + votes
+		{"global reports", "IM"}, // bad blocks -> global broadcasts
+	}
+	out := &Fig7Result{Cfg: cfg}
+	for _, c := range cases {
+		sc, _ := attack.ByName(c.setting, cfg.AttackAt)
+		o, err := r.round(inter, sc, cfg.Density, cfg.BaseSeed, true)
+		if err != nil {
+			return nil, fmt.Errorf("fig7 %s: %w", c.name, err)
+		}
+		out.Cases = append(out.Cases, Fig7Case{Name: c.name, Scenario: c.setting, Stats: o.res.Net})
+	}
+	return out, nil
+}
+
+// String renders packets by kind and totals.
+func (f *Fig7Result) String() string {
+	// Collect every kind seen, stable order.
+	kindSet := map[string]bool{}
+	for _, c := range f.Cases {
+		for k := range c.Stats.Packets {
+			kindSet[k] = true
+		}
+	}
+	kinds := make([]string, 0, len(kindSet))
+	for k := range kindSet {
+		kinds = append(kinds, k)
+	}
+	sort.Strings(kinds)
+	header := []string{"Kind"}
+	for _, c := range f.Cases {
+		header = append(header, c.Name)
+	}
+	var rows [][]string
+	for _, k := range kinds {
+		row := []string{k}
+		for _, c := range f.Cases {
+			row = append(row, fmt.Sprintf("%d", c.Stats.Packets[k]))
+		}
+		rows = append(rows, row)
+	}
+	total := []string{"TOTAL"}
+	for _, c := range f.Cases {
+		total = append(total, fmt.Sprintf("%d", c.Stats.TotalPackets()))
+	}
+	rows = append(rows, total)
+	return "Fig. 7 — Network Load (packets by message kind)\n" + table(header, rows)
+}

@@ -1,0 +1,101 @@
+package eval
+
+import (
+	"fmt"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+)
+
+// Fig8Point is one (intersection, density) throughput pair with and
+// without NWADE.
+type Fig8Point struct {
+	Kind       intersection.Kind
+	Density    float64
+	WithNWADE  float64 // vehicles per minute through the intersection
+	PlainAIM   float64
+	RoundsUsed int
+}
+
+// Overhead returns throughput(with)/throughput(without).
+func (p Fig8Point) Overhead() float64 {
+	if p.PlainAIM == 0 {
+		return 0
+	}
+	return p.WithNWADE / p.PlainAIM
+}
+
+// Fig8Result reproduces Fig. 8: traffic throughput with and without the
+// NWADE mechanism across intersection types and densities.
+type Fig8Result struct {
+	Points    []Fig8Point
+	Cfg       Config
+	Densities []float64
+}
+
+// Fig8Densities is the default density sweep for the throughput study.
+var Fig8Densities = []float64{20, 80, 120}
+
+// Fig8 measures throughput for every intersection kind. Nil densities
+// uses {20, 80, 120}; nil kinds uses all five.
+func Fig8(cfg Config, kinds []intersection.Kind, densities []float64) (*Fig8Result, error) {
+	cfg = cfg.Normalize()
+	if densities == nil {
+		densities = Fig8Densities
+	}
+	if kinds == nil {
+		kinds = intersection.Kinds()
+	}
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	out := &Fig8Result{Cfg: cfg, Densities: densities}
+	for _, kind := range kinds {
+		inter, err := intersection.Build(kind, intersection.Config{})
+		if err != nil {
+			return nil, err
+		}
+		for _, d := range densities {
+			pt := Fig8Point{Kind: kind, Density: d}
+			rounds := cfg.Rounds
+			if rounds > 3 {
+				rounds = 3 // throughput variance is low; 3 rounds suffice
+			}
+			pt.RoundsUsed = rounds
+			for i := 0; i < rounds; i++ {
+				seed := cfg.BaseSeed + int64(i)*379 + int64(d)*7
+				on, err := r.round(inter, attack.Benign(), d, seed, true)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %v d=%v: %w", kind, d, err)
+				}
+				off, err := r.round(inter, attack.Benign(), d, seed, false)
+				if err != nil {
+					return nil, fmt.Errorf("fig8 %v d=%v: %w", kind, d, err)
+				}
+				pt.WithNWADE += on.res.Throughput()
+				pt.PlainAIM += off.res.Throughput()
+			}
+			pt.WithNWADE /= float64(rounds)
+			pt.PlainAIM /= float64(rounds)
+			out.Points = append(out.Points, pt)
+		}
+	}
+	return out, nil
+}
+
+// String renders the throughput comparison.
+func (f *Fig8Result) String() string {
+	header := []string{"Intersection", "Density", "NWADE (veh/min)", "Plain (veh/min)", "Ratio"}
+	var rows [][]string
+	for _, p := range f.Points {
+		rows = append(rows, []string{
+			p.Kind.String(),
+			fmt.Sprintf("%g/min", p.Density),
+			fmt.Sprintf("%.1f", p.WithNWADE),
+			fmt.Sprintf("%.1f", p.PlainAIM),
+			fmt.Sprintf("%.2f", p.Overhead()),
+		})
+	}
+	return "Fig. 8 — Traffic Throughput with/without NWADE\n" + table(header, rows)
+}

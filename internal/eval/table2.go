@@ -1,0 +1,130 @@
+package eval
+
+import (
+	"fmt"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+)
+
+// TableIIRow is one attack setting's false-alarm outcome.
+type TableIIRow struct {
+	Setting string
+	// Type A: false incident reports framing a benign vehicle.
+	TypeARounds    int
+	TypeATriggered int
+	TypeADetected  int
+	// Type B: false global reports claiming the IM sends wrong plans.
+	// Not applicable (paper: "N/A") for malicious-IM settings.
+	TypeBApplicable bool
+	TypeBRounds     int
+	TypeBTriggered  int
+	TypeBDetected   int
+}
+
+// TableIIResult reproduces Table II ("False Alarm Rate").
+type TableIIResult struct {
+	Rows []TableIIRow
+	Cfg  Config
+}
+
+// TableII runs the eleven Table I settings and measures false-alarm
+// trigger and detection rates of both types.
+func TableII(cfg Config) (*TableIIResult, error) {
+	cfg = cfg.Normalize()
+	r, err := newRunner(cfg)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := intersection.Cross4Lanes(intersection.Config{}, []int{3, 2, 3, 2})
+	if err != nil {
+		return nil, err
+	}
+	out := &TableIIResult{Cfg: cfg}
+	for _, sc := range attack.Settings(cfg.AttackAt) {
+		row := TableIIRow{Setting: sc.Name, TypeBApplicable: !sc.MaliciousIM}
+		// Type A rounds: the setting as-is (false incident reports and,
+		// for colluding IMs, the sham evacuation).
+		for i := 0; i < cfg.Rounds; i++ {
+			o, err := r.round(inter, sc, cfg.Density, cfg.BaseSeed+int64(i)*101, true)
+			if err != nil {
+				return nil, fmt.Errorf("table2 %s round %d: %w", sc.Name, i, err)
+			}
+			attempted, trig, det := typeAOutcome(o)
+			if !attempted {
+				// Settings without false reports (V1, IM, IM_V1)
+				// cannot trigger type A; count the round as a
+				// non-trigger with trivial detection, as the paper's
+				// 0%/100% rows do.
+				row.TypeARounds++
+				row.TypeADetected++
+				continue
+			}
+			row.TypeARounds++
+			if trig {
+				row.TypeATriggered++
+			}
+			if det {
+				row.TypeADetected++
+			}
+		}
+		// Type B rounds: the same coalition broadcasts fabricated
+		// global reports instead (only meaningful with an honest IM).
+		if row.TypeBApplicable && sc.FalseReports > 0 {
+			scB := sc
+			scB.TypeB = true
+			for i := 0; i < cfg.Rounds; i++ {
+				o, err := r.round(inter, scB, cfg.Density, cfg.BaseSeed+7777+int64(i)*101, true)
+				if err != nil {
+					return nil, fmt.Errorf("table2 %s typeB round %d: %w", sc.Name, i, err)
+				}
+				attempted, trig, det := typeBOutcome(o)
+				row.TypeBRounds++
+				if !attempted {
+					row.TypeBDetected++
+					continue
+				}
+				if trig {
+					row.TypeBTriggered++
+				}
+				if det {
+					row.TypeBDetected++
+				}
+			}
+		} else if row.TypeBApplicable {
+			// V1 has no spare colluder to fabricate globals: trivially
+			// 0%/100% like the paper's merged V1–V5 row.
+			row.TypeBRounds = cfg.Rounds
+			row.TypeBDetected = cfg.Rounds
+		}
+		out.Rows = append(out.Rows, row)
+	}
+	return out, nil
+}
+
+// String renders the table in the paper's layout.
+func (t *TableIIResult) String() string {
+	header := []string{"Setting", "TypeA Trigger", "TypeA Detect", "TypeB Trigger", "TypeB Detect"}
+	var rows [][]string
+	for _, r := range t.Rows {
+		bTrig, bDet := "N/A", "N/A"
+		if r.TypeBApplicable {
+			bTrig = pct(r.TypeBTriggered, r.TypeBRounds)
+			bDet = pct(r.TypeBDetected, r.TypeBRounds)
+		}
+		rows = append(rows, []string{
+			r.Setting,
+			pct(r.TypeATriggered, r.TypeARounds),
+			pct(r.TypeADetected, r.TypeARounds),
+			bTrig,
+			bDet,
+		})
+	}
+	return "Table II — False Alarm Rate (trigger / detection)\n" + table(header, rows)
+}
+
+// Span estimates the simulated time covered, for reporting.
+func (t *TableIIResult) Span() time.Duration {
+	return time.Duration(len(t.Rows)*t.Cfg.Rounds*2) * t.Cfg.Duration
+}

@@ -1,0 +1,203 @@
+package geom
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// ErrTooFewPoints is returned when constructing a path from fewer than two
+// points.
+var ErrTooFewPoints = errors.New("geom: path needs at least two points")
+
+// Path is an immutable polyline with arc-length parametrisation. It is the
+// spatial component of every lane, approach and route in the simulator: a
+// vehicle's longitudinal position is a single scalar s in [0, Length()].
+type Path struct {
+	pts []Vec2
+	cum []float64 // cum[i] = arc length from pts[0] to pts[i]
+}
+
+// NewPath builds a path from the given points. Consecutive duplicate
+// points are dropped. It returns ErrTooFewPoints if fewer than two
+// distinct points remain.
+func NewPath(pts []Vec2) (*Path, error) {
+	clean := make([]Vec2, 0, len(pts))
+	for _, p := range pts {
+		if n := len(clean); n > 0 && clean[n-1].Dist(p) < 1e-9 {
+			continue
+		}
+		clean = append(clean, p)
+	}
+	if len(clean) < 2 {
+		return nil, ErrTooFewPoints
+	}
+	cum := make([]float64, len(clean))
+	for i := 1; i < len(clean); i++ {
+		cum[i] = cum[i-1] + clean[i].Dist(clean[i-1])
+	}
+	return &Path{pts: clean, cum: cum}, nil
+}
+
+// MustPath is like NewPath but panics on error. It is intended for
+// statically-known geometry in intersection builders and tests.
+func MustPath(pts []Vec2) *Path {
+	p, err := NewPath(pts)
+	if err != nil {
+		panic(fmt.Sprintf("geom: MustPath: %v", err))
+	}
+	return p
+}
+
+// Length returns the total arc length of the path.
+func (p *Path) Length() float64 { return p.cum[len(p.cum)-1] }
+
+// Points returns a copy of the path's vertices.
+func (p *Path) Points() []Vec2 {
+	out := make([]Vec2, len(p.pts))
+	copy(out, p.pts)
+	return out
+}
+
+// Start returns the first point of the path.
+func (p *Path) Start() Vec2 { return p.pts[0] }
+
+// End returns the last point of the path.
+func (p *Path) End() Vec2 { return p.pts[len(p.pts)-1] }
+
+// segIndex returns the index i of the segment containing arc length s,
+// such that cum[i] <= s <= cum[i+1], clamping s into range.
+func (p *Path) segIndex(s float64) (int, float64) {
+	if s <= 0 {
+		return 0, 0
+	}
+	if s >= p.Length() {
+		return len(p.pts) - 2, p.Length()
+	}
+	// Binary search for the first cum[i] > s.
+	lo, hi := 0, len(p.cum)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if p.cum[mid] <= s {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo - 1, s
+}
+
+// PointAt returns the point at arc length s, clamped to [0, Length()].
+func (p *Path) PointAt(s float64) Vec2 {
+	i, s := p.segIndex(s)
+	segLen := p.cum[i+1] - p.cum[i]
+	if segLen == 0 {
+		return p.pts[i]
+	}
+	t := (s - p.cum[i]) / segLen
+	return p.pts[i].Lerp(p.pts[i+1], t)
+}
+
+// HeadingAt returns the tangent heading (radians) at arc length s.
+func (p *Path) HeadingAt(s float64) float64 {
+	i, _ := p.segIndex(s)
+	return p.pts[i+1].Sub(p.pts[i]).Angle()
+}
+
+// Offset returns the point at arc length s displaced laterally by d
+// (positive d is to the left of the direction of travel).
+func (p *Path) Offset(s, d float64) Vec2 {
+	i, _ := p.segIndex(s)
+	dir := p.pts[i+1].Sub(p.pts[i]).Unit()
+	return p.PointAt(s).Add(dir.Perp().Scale(d))
+}
+
+// Project returns the arc length of the point on the path closest to q,
+// along with the distance from q to that closest point.
+func (p *Path) Project(q Vec2) (s, dist float64) {
+	best := math.Inf(1)
+	bestS := 0.0
+	for i := 0; i+1 < len(p.pts); i++ {
+		a, b := p.pts[i], p.pts[i+1]
+		ab := b.Sub(a)
+		l2 := ab.LenSq()
+		t := 0.0
+		if l2 > 0 {
+			t = math.Max(0, math.Min(1, q.Sub(a).Dot(ab)/l2))
+		}
+		c := a.Add(ab.Scale(t))
+		if d := q.DistSq(c); d < best {
+			best = d
+			bestS = p.cum[i] + math.Sqrt(l2)*t
+		}
+	}
+	return bestS, math.Sqrt(best)
+}
+
+// Sample returns points spaced at most ds apart along the whole path,
+// always including both endpoints.
+func (p *Path) Sample(ds float64) []Vec2 {
+	if ds <= 0 {
+		ds = 1
+	}
+	n := int(math.Ceil(p.Length()/ds)) + 1
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Vec2, n)
+	for i := 0; i < n; i++ {
+		out[i] = p.PointAt(p.Length() * float64(i) / float64(n-1))
+	}
+	return out
+}
+
+// MinDistanceWindows finds all maximal arc-length windows [a0,a1]x[b0,b1]
+// where paths p and q come within sep of each other, sampling every ds
+// meters. It is the primitive behind conflict-zone extraction.
+func MinDistanceWindows(p, q *Path, sep, ds float64) []Window {
+	if ds <= 0 {
+		ds = 1
+	}
+	np := int(math.Ceil(p.Length()/ds)) + 1
+	nq := int(math.Ceil(q.Length()/ds)) + 1
+	type hit struct{ sp, sq float64 }
+	var hits []hit
+	for i := 0; i < np; i++ {
+		sp := p.Length() * float64(i) / float64(np-1)
+		pp := p.PointAt(sp)
+		for j := 0; j < nq; j++ {
+			sq := q.Length() * float64(j) / float64(nq-1)
+			if pp.Dist(q.PointAt(sq)) < sep {
+				hits = append(hits, hit{sp: sp, sq: sq})
+			}
+		}
+	}
+	if len(hits) == 0 {
+		return nil
+	}
+	// Merge all hits into a single bounding window per connected cluster.
+	// For intersection geometry, conflicting route pairs almost always
+	// cross once, so clustering by gap in sp is sufficient.
+	w := Window{A0: hits[0].sp, A1: hits[0].sp, B0: hits[0].sq, B1: hits[0].sq}
+	var out []Window
+	for _, h := range hits[1:] {
+		if h.sp-w.A1 > 3*ds {
+			out = append(out, w)
+			w = Window{A0: h.sp, A1: h.sp, B0: h.sq, B1: h.sq}
+			continue
+		}
+		w.A1 = math.Max(w.A1, h.sp)
+		w.A0 = math.Min(w.A0, h.sp)
+		w.B0 = math.Min(w.B0, h.sq)
+		w.B1 = math.Max(w.B1, h.sq)
+	}
+	out = append(out, w)
+	return out
+}
+
+// Window is a pair of arc-length intervals on two paths within which the
+// paths are closer than a separation threshold.
+type Window struct {
+	A0, A1 float64 // interval on the first path
+	B0, B1 float64 // interval on the second path
+}

@@ -1,0 +1,196 @@
+package geom
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPathErrors(t *testing.T) {
+	if _, err := NewPath(nil); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("nil points: err = %v, want ErrTooFewPoints", err)
+	}
+	if _, err := NewPath([]Vec2{V(1, 1)}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("one point: err = %v, want ErrTooFewPoints", err)
+	}
+	// Duplicates collapse to a single point.
+	if _, err := NewPath([]Vec2{V(1, 1), V(1, 1)}); !errors.Is(err, ErrTooFewPoints) {
+		t.Errorf("duplicate points: err = %v, want ErrTooFewPoints", err)
+	}
+}
+
+func TestMustPathPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustPath did not panic on invalid input")
+		}
+	}()
+	MustPath(nil)
+}
+
+func TestPathLength(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(3, 4), V(3, 10)})
+	if got := p.Length(); !approx(got, 11, 1e-12) {
+		t.Errorf("Length = %v, want 11", got)
+	}
+}
+
+func TestPointAtEndpointsAndClamping(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0)})
+	if got := p.PointAt(-5); got != V(0, 0) {
+		t.Errorf("PointAt(-5) = %v", got)
+	}
+	if got := p.PointAt(0); got != V(0, 0) {
+		t.Errorf("PointAt(0) = %v", got)
+	}
+	if got := p.PointAt(10); got != V(10, 0) {
+		t.Errorf("PointAt(L) = %v", got)
+	}
+	if got := p.PointAt(25); got != V(10, 0) {
+		t.Errorf("PointAt(>L) = %v", got)
+	}
+	if got := p.PointAt(4); !approx(got.X, 4, 1e-12) {
+		t.Errorf("PointAt(4) = %v", got)
+	}
+}
+
+func TestPointAtMonotoneProgress(t *testing.T) {
+	p := MustPath(Arc(V(0, 0), 50, 0, math.Pi, 64))
+	prev := -1.0
+	for s := 0.0; s <= p.Length(); s += 0.5 {
+		proj, _ := p.Project(p.PointAt(s))
+		if proj < prev-1e-6 {
+			t.Fatalf("projection went backwards at s=%v: %v < %v", s, proj, prev)
+		}
+		prev = proj
+	}
+}
+
+func TestHeadingAt(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0), V(10, 10)})
+	if got := p.HeadingAt(5); !approx(got, 0, 1e-12) {
+		t.Errorf("HeadingAt(5) = %v, want 0", got)
+	}
+	if got := p.HeadingAt(15); !approx(got, math.Pi/2, 1e-12) {
+		t.Errorf("HeadingAt(15) = %v, want pi/2", got)
+	}
+}
+
+func TestOffsetLeft(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0)})
+	got := p.Offset(5, 2)
+	if !approx(got.X, 5, 1e-12) || !approx(got.Y, 2, 1e-12) {
+		t.Errorf("Offset = %v, want (5,2)", got)
+	}
+}
+
+func TestProjectRecoversArcLength(t *testing.T) {
+	pts := Concat(
+		Line(V(0, 0), V(100, 0), 4),
+		Arc(V(100, 50), 50, -math.Pi/2, 0, 32),
+	)
+	p := MustPath(pts)
+	f := func(frac float64) bool {
+		if math.IsNaN(frac) || math.IsInf(frac, 0) {
+			return true
+		}
+		frac = math.Abs(math.Mod(frac, 1))
+		s := frac * p.Length()
+		proj, d := p.Project(p.PointAt(s))
+		return approx(proj, s, 0.5) && d < 1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestProjectOffPath(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0)})
+	s, d := p.Project(V(5, 7))
+	if !approx(s, 5, 1e-9) || !approx(d, 7, 1e-9) {
+		t.Errorf("Project = (%v, %v), want (5, 7)", s, d)
+	}
+}
+
+func TestSampleEndpoints(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0), V(10, 10)})
+	pts := p.Sample(1.5)
+	if pts[0] != p.Start() || pts[len(pts)-1] != p.End() {
+		t.Error("Sample must include both endpoints")
+	}
+	for i := 1; i < len(pts); i++ {
+		if pts[i].Dist(pts[i-1]) > 1.5+1e-9 {
+			t.Errorf("sample gap %v exceeds ds", pts[i].Dist(pts[i-1]))
+		}
+	}
+	// Degenerate ds falls back to a positive spacing.
+	if got := p.Sample(-1); len(got) < 2 {
+		t.Error("Sample with non-positive ds must still return endpoints")
+	}
+}
+
+func TestPointsReturnsCopy(t *testing.T) {
+	p := MustPath([]Vec2{V(0, 0), V(10, 0)})
+	pts := p.Points()
+	pts[0] = V(99, 99)
+	if p.Start() != V(0, 0) {
+		t.Error("mutating Points() result must not affect the path")
+	}
+}
+
+func TestMinDistanceWindowsCrossing(t *testing.T) {
+	// Two perpendicular paths crossing at (50, 0)/(0 on the other axis).
+	a := MustPath([]Vec2{V(0, 0), V(100, 0)})
+	b := MustPath([]Vec2{V(50, -50), V(50, 50)})
+	ws := MinDistanceWindows(a, b, 5, 1)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1", len(ws))
+	}
+	w := ws[0]
+	if w.A0 > 50 || w.A1 < 50 {
+		t.Errorf("window on a = [%v, %v], should contain 50", w.A0, w.A1)
+	}
+	if w.B0 > 50 || w.B1 < 50 {
+		t.Errorf("window on b = [%v, %v], should contain 50", w.B0, w.B1)
+	}
+}
+
+func TestMinDistanceWindowsDisjoint(t *testing.T) {
+	a := MustPath([]Vec2{V(0, 0), V(100, 0)})
+	b := MustPath([]Vec2{V(0, 100), V(100, 100)})
+	if ws := MinDistanceWindows(a, b, 5, 2); ws != nil {
+		t.Errorf("windows = %v, want none", ws)
+	}
+}
+
+func TestMinDistanceWindowsParallelOverlap(t *testing.T) {
+	a := MustPath([]Vec2{V(0, 0), V(100, 0)})
+	b := MustPath([]Vec2{V(0, 2), V(100, 2)})
+	ws := MinDistanceWindows(a, b, 5, 1)
+	if len(ws) != 1 {
+		t.Fatalf("windows = %d, want 1 merged window", len(ws))
+	}
+	if ws[0].A0 > 1 || ws[0].A1 < 99 {
+		t.Errorf("parallel window = %+v, want nearly full length", ws[0])
+	}
+}
+
+func TestSegIndexRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := []Vec2{V(0, 0)}
+	for i := 0; i < 50; i++ {
+		last := pts[len(pts)-1]
+		pts = append(pts, last.Add(V(rng.Float64()*10+0.1, rng.Float64()*4-2)))
+	}
+	p := MustPath(pts)
+	for i := 0; i < 1000; i++ {
+		s := rng.Float64() * p.Length()
+		pt := p.PointAt(s)
+		proj, d := p.Project(pt)
+		if d > 1e-6 || math.Abs(proj-s) > 1e-6 {
+			t.Fatalf("roundtrip failed at s=%v: proj=%v d=%v", s, proj, d)
+		}
+	}
+}

@@ -1,0 +1,76 @@
+package geom
+
+import "math"
+
+// Line returns n+1 evenly spaced points from a to b inclusive. n must be
+// at least 1; smaller values are treated as 1.
+func Line(a, b Vec2, n int) []Vec2 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Vec2, n+1)
+	for i := 0; i <= n; i++ {
+		out[i] = a.Lerp(b, float64(i)/float64(n))
+	}
+	return out
+}
+
+// Arc returns n+1 points on the circular arc centered at c with radius r,
+// sweeping from angle a0 to a1 (radians, counter-clockwise if a1 > a0).
+func Arc(c Vec2, r, a0, a1 float64, n int) []Vec2 {
+	if n < 1 {
+		n = 1
+	}
+	out := make([]Vec2, n+1)
+	for i := 0; i <= n; i++ {
+		t := a0 + (a1-a0)*float64(i)/float64(n)
+		out[i] = c.Add(Heading(t).Scale(r))
+	}
+	return out
+}
+
+// Fillet returns a smooth quadratic-Bezier turn connecting the end of the
+// inbound direction at point p0 to the outbound direction leaving point
+// p2, using p1 as the control point (typically the corner apex). It is
+// used to build left/right turn geometry inside intersections.
+func Fillet(p0, p1, p2 Vec2, n int) []Vec2 {
+	if n < 2 {
+		n = 2
+	}
+	out := make([]Vec2, n+1)
+	for i := 0; i <= n; i++ {
+		t := float64(i) / float64(n)
+		// Quadratic Bezier: (1-t)^2 p0 + 2t(1-t) p1 + t^2 p2.
+		a := p0.Scale((1 - t) * (1 - t))
+		b := p1.Scale(2 * t * (1 - t))
+		c := p2.Scale(t * t)
+		out[i] = a.Add(b).Add(c)
+	}
+	return out
+}
+
+// Concat joins point sequences, dropping duplicated junction points.
+func Concat(segs ...[]Vec2) []Vec2 {
+	var out []Vec2
+	for _, seg := range segs {
+		for _, p := range seg {
+			if n := len(out); n > 0 && out[n-1].Dist(p) < 1e-9 {
+				continue
+			}
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ArcLength returns the total polyline length of pts.
+func ArcLength(pts []Vec2) float64 {
+	var l float64
+	for i := 1; i < len(pts); i++ {
+		l += pts[i].Dist(pts[i-1])
+	}
+	return l
+}
+
+// Deg converts degrees to radians.
+func Deg(d float64) float64 { return d * math.Pi / 180 }

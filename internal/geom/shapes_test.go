@@ -1,0 +1,83 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLine(t *testing.T) {
+	pts := Line(V(0, 0), V(10, 0), 5)
+	if len(pts) != 6 {
+		t.Fatalf("len = %d, want 6", len(pts))
+	}
+	if pts[0] != V(0, 0) || pts[5] != V(10, 0) {
+		t.Error("Line endpoints wrong")
+	}
+	if pts[1] != V(2, 0) {
+		t.Errorf("pts[1] = %v", pts[1])
+	}
+	if got := Line(V(0, 0), V(1, 0), 0); len(got) != 2 {
+		t.Error("n<1 should clamp to 1 segment")
+	}
+}
+
+func TestArcGeometry(t *testing.T) {
+	pts := Arc(V(0, 0), 10, 0, math.Pi/2, 16)
+	if len(pts) != 17 {
+		t.Fatalf("len = %d", len(pts))
+	}
+	for _, p := range pts {
+		if !approx(p.Len(), 10, 1e-9) {
+			t.Fatalf("arc point %v not on circle", p)
+		}
+	}
+	if !approx(pts[0].X, 10, 1e-9) || !approx(pts[16].Y, 10, 1e-9) {
+		t.Error("arc endpoints wrong")
+	}
+	// Quarter arc length of r=10 is 5*pi.
+	if got := ArcLength(pts); !approx(got, 5*math.Pi, 0.1) {
+		t.Errorf("arc length = %v, want ~%v", got, 5*math.Pi)
+	}
+}
+
+func TestFilletEndpointsAndTangency(t *testing.T) {
+	p0, p1, p2 := V(0, -10), V(0, 0), V(10, 0)
+	pts := Fillet(p0, p1, p2, 16)
+	if pts[0] != p0 || pts[len(pts)-1] != p2 {
+		t.Error("fillet endpoints wrong")
+	}
+	// Initial tangent points from p0 toward control point p1.
+	d0 := pts[1].Sub(pts[0]).Unit()
+	want0 := p1.Sub(p0).Unit()
+	if d0.Dist(want0) > 0.05 {
+		t.Errorf("initial tangent %v, want %v", d0, want0)
+	}
+	dn := pts[len(pts)-1].Sub(pts[len(pts)-2]).Unit()
+	wantn := p2.Sub(p1).Unit()
+	if dn.Dist(wantn) > 0.05 {
+		t.Errorf("final tangent %v, want %v", dn, wantn)
+	}
+}
+
+func TestConcatDropsDuplicates(t *testing.T) {
+	a := Line(V(0, 0), V(10, 0), 2)
+	b := Line(V(10, 0), V(10, 10), 2)
+	joined := Concat(a, b)
+	if len(joined) != len(a)+len(b)-1 {
+		t.Errorf("len = %d, want %d", len(joined), len(a)+len(b)-1)
+	}
+	for i := 1; i < len(joined); i++ {
+		if joined[i] == joined[i-1] {
+			t.Error("duplicate junction point survived Concat")
+		}
+	}
+}
+
+func TestDeg(t *testing.T) {
+	if !approx(Deg(180), math.Pi, 1e-12) {
+		t.Errorf("Deg(180) = %v", Deg(180))
+	}
+	if !approx(Deg(90), math.Pi/2, 1e-12) {
+		t.Errorf("Deg(90) = %v", Deg(90))
+	}
+}

@@ -1,0 +1,109 @@
+// Package geom provides the 2-D geometry primitives used by the traffic
+// simulator: vectors, arc-length-parametrised polyline paths, and shape
+// construction helpers (line segments, circular arcs, clothoid-free turn
+// fillets).
+//
+// All lengths are in meters and all angles in radians unless stated
+// otherwise. Paths are immutable after construction so they can be shared
+// between the intersection model, the scheduler and every vehicle without
+// synchronisation.
+package geom
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec2 is a two-dimensional vector or point.
+type Vec2 struct {
+	X, Y float64
+}
+
+// V is shorthand for constructing a Vec2.
+func V(x, y float64) Vec2 { return Vec2{X: x, Y: y} }
+
+// Add returns v + o.
+func (v Vec2) Add(o Vec2) Vec2 { return Vec2{X: v.X + o.X, Y: v.Y + o.Y} }
+
+// Sub returns v - o.
+func (v Vec2) Sub(o Vec2) Vec2 { return Vec2{X: v.X - o.X, Y: v.Y - o.Y} }
+
+// Scale returns v scaled by k.
+func (v Vec2) Scale(k float64) Vec2 { return Vec2{X: v.X * k, Y: v.Y * k} }
+
+// Dot returns the dot product of v and o.
+func (v Vec2) Dot(o Vec2) float64 { return v.X*o.X + v.Y*o.Y }
+
+// Cross returns the z-component of the 3-D cross product of v and o.
+func (v Vec2) Cross(o Vec2) float64 { return v.X*o.Y - v.Y*o.X }
+
+// Len returns the Euclidean norm of v.
+func (v Vec2) Len() float64 { return math.Hypot(v.X, v.Y) }
+
+// LenSq returns the squared Euclidean norm of v.
+func (v Vec2) LenSq() float64 { return v.X*v.X + v.Y*v.Y }
+
+// Dist returns the Euclidean distance between v and o.
+func (v Vec2) Dist(o Vec2) float64 { return v.Sub(o).Len() }
+
+// DistSq returns the squared Euclidean distance between v and o.
+func (v Vec2) DistSq(o Vec2) float64 { return v.Sub(o).LenSq() }
+
+// Unit returns v normalised to length one. The zero vector is returned
+// unchanged.
+func (v Vec2) Unit() Vec2 {
+	l := v.Len()
+	if l == 0 {
+		return v
+	}
+	return v.Scale(1 / l)
+}
+
+// Perp returns v rotated by +90 degrees.
+func (v Vec2) Perp() Vec2 { return Vec2{X: -v.Y, Y: v.X} }
+
+// Rotate returns v rotated counter-clockwise by theta radians.
+func (v Vec2) Rotate(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{X: c*v.X - s*v.Y, Y: s*v.X + c*v.Y}
+}
+
+// Angle returns the heading of v in radians, in (-pi, pi].
+func (v Vec2) Angle() float64 { return math.Atan2(v.Y, v.X) }
+
+// Lerp linearly interpolates between v and o by t in [0, 1].
+func (v Vec2) Lerp(o Vec2, t float64) Vec2 {
+	return Vec2{X: v.X + (o.X-v.X)*t, Y: v.Y + (o.Y-v.Y)*t}
+}
+
+// String implements fmt.Stringer.
+func (v Vec2) String() string { return fmt.Sprintf("(%.2f, %.2f)", v.X, v.Y) }
+
+// Heading returns the unit vector pointing in direction theta.
+func Heading(theta float64) Vec2 {
+	s, c := math.Sincos(theta)
+	return Vec2{X: c, Y: s}
+}
+
+// SegmentDist returns the minimum distance from point p to the segment ab.
+func SegmentDist(p, a, b Vec2) float64 {
+	ab := b.Sub(a)
+	l2 := ab.LenSq()
+	if l2 == 0 {
+		return p.Dist(a)
+	}
+	t := p.Sub(a).Dot(ab) / l2
+	t = math.Max(0, math.Min(1, t))
+	return p.Dist(a.Add(ab.Scale(t)))
+}
+
+// NormalizeAngle wraps theta into (-pi, pi].
+func NormalizeAngle(theta float64) float64 {
+	for theta > math.Pi {
+		theta -= 2 * math.Pi
+	}
+	for theta <= -math.Pi {
+		theta += 2 * math.Pi
+	}
+	return theta
+}

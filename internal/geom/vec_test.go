@@ -1,0 +1,161 @@
+package geom
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func finite(vs ...float64) bool {
+	for _, v := range vs {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestVecBasics(t *testing.T) {
+	a := V(3, 4)
+	if got := a.Len(); got != 5 {
+		t.Errorf("Len = %v, want 5", got)
+	}
+	if got := a.Add(V(1, -1)); got != V(4, 3) {
+		t.Errorf("Add = %v", got)
+	}
+	if got := a.Sub(V(1, 1)); got != V(2, 3) {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := a.Scale(2); got != V(6, 8) {
+		t.Errorf("Scale = %v", got)
+	}
+	if got := a.Dot(V(2, 1)); got != 10 {
+		t.Errorf("Dot = %v", got)
+	}
+	if got := a.Cross(V(1, 0)); got != -4 {
+		t.Errorf("Cross = %v", got)
+	}
+	if got := V(1, 0).Perp(); got != V(0, 1) {
+		t.Errorf("Perp = %v", got)
+	}
+}
+
+func TestUnitZeroVector(t *testing.T) {
+	if got := V(0, 0).Unit(); got != V(0, 0) {
+		t.Errorf("Unit of zero vector = %v, want zero", got)
+	}
+}
+
+func TestUnitLengthProperty(t *testing.T) {
+	f := func(x, y float64) bool {
+		if !finite(x, y) {
+			return true
+		}
+		v := V(x, y)
+		if v.Len() == 0 || math.IsInf(v.Len(), 0) {
+			return true
+		}
+		return approx(v.Unit().Len(), 1, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotatePreservesLength(t *testing.T) {
+	f := func(x, y, theta float64) bool {
+		if !finite(x, y, theta) || math.Abs(x) > 1e100 || math.Abs(y) > 1e100 {
+			return true
+		}
+		v := V(x, y)
+		return approx(v.Rotate(theta).Len(), v.Len(), 1e-6*(1+v.Len()))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRotateQuarterTurn(t *testing.T) {
+	got := V(1, 0).Rotate(math.Pi / 2)
+	if !approx(got.X, 0, 1e-12) || !approx(got.Y, 1, 1e-12) {
+		t.Errorf("Rotate(pi/2) = %v, want (0,1)", got)
+	}
+}
+
+func TestHeading(t *testing.T) {
+	for _, tc := range []struct {
+		theta float64
+		want  Vec2
+	}{
+		{0, V(1, 0)},
+		{math.Pi / 2, V(0, 1)},
+		{math.Pi, V(-1, 0)},
+	} {
+		got := Heading(tc.theta)
+		if !approx(got.X, tc.want.X, 1e-12) || !approx(got.Y, tc.want.Y, 1e-12) {
+			t.Errorf("Heading(%v) = %v, want %v", tc.theta, got, tc.want)
+		}
+	}
+}
+
+func TestAngleHeadingRoundTrip(t *testing.T) {
+	f := func(theta float64) bool {
+		if !finite(theta) {
+			return true
+		}
+		theta = NormalizeAngle(math.Mod(theta, 2*math.Pi))
+		got := Heading(theta).Angle()
+		return approx(NormalizeAngle(got-theta), 0, 1e-9)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLerp(t *testing.T) {
+	a, b := V(0, 0), V(10, 20)
+	if got := a.Lerp(b, 0.5); got != V(5, 10) {
+		t.Errorf("Lerp = %v", got)
+	}
+	if got := a.Lerp(b, 0); got != a {
+		t.Errorf("Lerp(0) = %v", got)
+	}
+	if got := a.Lerp(b, 1); got != b {
+		t.Errorf("Lerp(1) = %v", got)
+	}
+}
+
+func TestSegmentDist(t *testing.T) {
+	a, b := V(0, 0), V(10, 0)
+	if got := SegmentDist(V(5, 3), a, b); !approx(got, 3, 1e-12) {
+		t.Errorf("interior projection = %v, want 3", got)
+	}
+	if got := SegmentDist(V(-4, 3), a, b); !approx(got, 5, 1e-12) {
+		t.Errorf("clamped to endpoint = %v, want 5", got)
+	}
+	if got := SegmentDist(V(1, 1), a, a); !approx(got, math.Sqrt2, 1e-12) {
+		t.Errorf("degenerate segment = %v, want sqrt2", got)
+	}
+}
+
+func TestNormalizeAngle(t *testing.T) {
+	for _, tc := range []struct{ in, want float64 }{
+		{0, 0},
+		{3 * math.Pi, math.Pi},
+		{-3 * math.Pi, math.Pi},
+		{math.Pi / 4, math.Pi / 4},
+		{2 * math.Pi, 0},
+	} {
+		if got := NormalizeAngle(tc.in); !approx(got, tc.want, 1e-9) {
+			t.Errorf("NormalizeAngle(%v) = %v, want %v", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestVecString(t *testing.T) {
+	if got := V(1.5, -2).String(); got != "(1.50, -2.00)" {
+		t.Errorf("String = %q", got)
+	}
+}

@@ -1,0 +1,480 @@
+package intersection
+
+import (
+	"fmt"
+	"math"
+
+	"nwade/internal/geom"
+)
+
+// endpoint is a point plus the travel heading through it, used to stitch
+// route segments together with tangent-continuous curves.
+type endpoint struct {
+	pt  geom.Vec2
+	dir float64
+}
+
+// turnPath connects two endpoints with a quadratic turn whose control
+// point is the intersection of the two heading lines. Nearly-parallel
+// headings degenerate to a straight line.
+func turnPath(a, b endpoint, n int) []geom.Vec2 {
+	h0 := geom.Heading(a.dir)
+	h1 := geom.Heading(b.dir)
+	den := h0.Cross(h1)
+	if math.Abs(den) < 1e-6 {
+		return geom.Line(a.pt, b.pt, 4)
+	}
+	// Solve a.pt + s*h0 = b.pt + t*h1.
+	d := b.pt.Sub(a.pt)
+	s := d.Cross(h1) / den
+	t := d.Cross(h0) / den
+	// The apex must be ahead of a and behind b, else fall back to the
+	// midpoint as control point.
+	apex := a.pt.Add(h0.Scale(s))
+	if s < 0 || t > 0 {
+		apex = a.pt.Lerp(b.pt, 0.5)
+	}
+	return geom.Fillet(a.pt, apex, b.pt, n)
+}
+
+// legGeom captures per-leg derived geometry.
+type legGeom struct {
+	heading float64 // outward from center
+	inLanes int
+}
+
+// inLaneLine returns the spawn endpoint and box-entry endpoint of incoming
+// lane i on the leg, given box radius rb. Incoming lanes sit to the right
+// of the inbound travel direction.
+func (lg legGeom) inLaneLine(i int, laneW, rb, approachLen float64) (spawn, entry endpoint) {
+	off := geom.Heading(lg.heading + math.Pi/2).Scale((0.5 + float64(i)) * laneW)
+	dirIn := geom.NormalizeAngle(lg.heading + math.Pi)
+	spawn = endpoint{pt: off.Add(geom.Heading(lg.heading).Scale(rb + approachLen)), dir: dirIn}
+	entry = endpoint{pt: off.Add(geom.Heading(lg.heading).Scale(rb)), dir: dirIn}
+	return spawn, entry
+}
+
+// outLaneLine returns the box-exit endpoint and the terminal endpoint of
+// outgoing lane j on the leg. Outgoing lanes sit to the right of the
+// outbound travel direction.
+func (lg legGeom) outLaneLine(j int, laneW, rb, exitLen float64) (exit, end endpoint) {
+	off := geom.Heading(lg.heading - math.Pi/2).Scale((0.5 + float64(j)) * laneW)
+	exit = endpoint{pt: off.Add(geom.Heading(lg.heading).Scale(rb)), dir: lg.heading}
+	end = endpoint{pt: off.Add(geom.Heading(lg.heading).Scale(rb + exitLen)), dir: lg.heading}
+	return exit, end
+}
+
+// laneMovements distributes the available movements of a leg over its
+// incoming lanes: leftmost lane turns left, rightmost turns right, middle
+// lanes go straight, with fallbacks so that every lane serves at least one
+// movement and every movement is served by at least one lane.
+func laneMovements(lanes int, avail []Movement) [][]Movement {
+	has := map[Movement]bool{}
+	for _, m := range avail {
+		has[m] = true
+	}
+	out := make([][]Movement, lanes)
+	add := func(i int, m Movement) {
+		if !has[m] {
+			return
+		}
+		for _, x := range out[i] {
+			if x == m {
+				return
+			}
+		}
+		out[i] = append(out[i], m)
+	}
+	switch {
+	case lanes == 1:
+		for _, m := range []Movement{MovementLeft, MovementStraight, MovementRight} {
+			add(0, m)
+		}
+	case lanes == 2:
+		add(0, MovementLeft)
+		add(0, MovementStraight)
+		add(1, MovementStraight)
+		add(1, MovementRight)
+	default:
+		add(0, MovementLeft)
+		for i := 1; i < lanes-1; i++ {
+			add(i, MovementStraight)
+		}
+		add(lanes-1, MovementRight)
+	}
+	// Ensure every available movement is covered.
+	covered := map[Movement]bool{}
+	for _, ms := range out {
+		for _, m := range ms {
+			covered[m] = true
+		}
+	}
+	for _, m := range avail {
+		if !covered[m] {
+			switch m {
+			case MovementLeft:
+				add(0, m)
+			case MovementRight:
+				add(lanes-1, m)
+			default:
+				add(lanes/2, m)
+			}
+		}
+	}
+	// Ensure no lane is left without a movement.
+	for i := range out {
+		if len(out[i]) == 0 {
+			for _, m := range []Movement{MovementStraight, MovementRight, MovementLeft} {
+				if has[m] {
+					add(i, m)
+					break
+				}
+			}
+		}
+	}
+	return out
+}
+
+// stdBuilder assembles a conventional at-grade intersection: straight
+// approaches, turn curves through a circular conflict area, straight
+// exits. Cross4 and Irregular5 use it directly; CFI4 and DDI4 override
+// individual route paths.
+type stdBuilder struct {
+	kind Kind
+	name string
+	cfg  Config
+	legs []legGeom
+	rb   float64 // conflict-area radius
+
+	// pathOverride, when non-nil, may return a custom full path plus
+	// cross bracket for a route; returning ok=false falls back to the
+	// standard geometry.
+	pathOverride func(b *stdBuilder, from LaneRef, toLeg int, m Movement) (pts []geom.Vec2, crossStart, crossEnd float64, ok bool)
+}
+
+// boxRadius computes a conflict-area radius that clears the widest leg.
+func boxRadius(legs []legGeom, laneW float64) float64 {
+	maxLanes := 1
+	for _, lg := range legs {
+		if lg.inLanes > maxLanes {
+			maxLanes = lg.inLanes
+		}
+	}
+	// In + out lanes plus a margin for displaced CFI/DDI lanes.
+	return float64(2*maxLanes+2)*laneW + 4
+}
+
+// targetLegs returns, for the given leg, the movement classification of
+// every other leg reachable from it.
+func (b *stdBuilder) targetLegs(leg int) map[int]Movement {
+	out := make(map[int]Movement)
+	dIn := geom.NormalizeAngle(b.legs[leg].heading + math.Pi)
+	for j := range b.legs {
+		if j == leg {
+			continue
+		}
+		out[j] = ClassifyTurn(dIn, b.legs[j].heading)
+	}
+	return out
+}
+
+// stdRoutePath builds the default approach+turn+exit path.
+func (b *stdBuilder) stdRoutePath(from LaneRef, toLeg int) (pts []geom.Vec2, crossStart, crossEnd float64) {
+	cfg := b.cfg
+	spawn, entry := b.legs[from.Leg].inLaneLine(from.Lane, cfg.LaneWidth, b.rb, cfg.ApproachLen)
+	outLane := from.Lane
+	if max := b.legs[toLeg].inLanes - 1; outLane > max {
+		outLane = max
+	}
+	exit, end := b.legs[toLeg].outLaneLine(outLane, cfg.LaneWidth, b.rb, cfg.ExitLen)
+	approach := geom.Line(spawn.pt, entry.pt, 8)
+	cross := turnPath(entry, exit, 24)
+	tail := geom.Line(exit.pt, end.pt, 4)
+	pts = geom.Concat(approach, cross, tail)
+	crossStart = geom.ArcLength(approach)
+	crossEnd = crossStart + geom.ArcLength(cross)
+	return pts, crossStart, crossEnd
+}
+
+// build assembles the Intersection from the builder's legs.
+func (b *stdBuilder) build() (*Intersection, error) {
+	in := &Intersection{
+		Kind:   b.kind,
+		Name:   b.name,
+		Config: b.cfg,
+	}
+	for _, lg := range b.legs {
+		in.LegHeadings = append(in.LegHeadings, lg.heading)
+		in.InLanes = append(in.InLanes, lg.inLanes)
+	}
+	for leg := range b.legs {
+		targets := b.targetLegs(leg)
+		avail := make([]Movement, 0, 3)
+		seen := map[Movement]bool{}
+		for _, m := range targets {
+			if !seen[m] {
+				seen[m] = true
+				avail = append(avail, m)
+			}
+		}
+		perLane := laneMovements(b.legs[leg].inLanes, avail)
+		for lane, movements := range perLane {
+			from := LaneRef{Leg: leg, Lane: lane}
+			for _, m := range movements {
+				for toLeg, tm := range targets {
+					if tm != m {
+						continue
+					}
+					var (
+						pts        []geom.Vec2
+						cs, ce     float64
+						overridden bool
+					)
+					if b.pathOverride != nil {
+						pts, cs, ce, overridden = b.pathOverride(b, from, toLeg, m)
+					}
+					if !overridden {
+						pts, cs, ce = b.stdRoutePath(from, toLeg)
+					}
+					full, err := geom.NewPath(pts)
+					if err != nil {
+						return nil, fmt.Errorf("intersection %s: route %v->%d: %w", b.name, from, toLeg, err)
+					}
+					in.Routes = append(in.Routes, &Route{
+						ID:         len(in.Routes),
+						From:       from,
+						ToLeg:      toLeg,
+						Movement:   m,
+						Full:       full,
+						CrossStart: cs,
+						CrossEnd:   ce,
+					})
+				}
+			}
+		}
+	}
+	if err := in.finish(); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// Cross4 builds a conventional 4-way cross intersection with the given
+// number of incoming lanes per leg (total incoming lanes = 4*lanesPerLeg).
+func Cross4(cfg Config, lanesPerLeg int) (*Intersection, error) {
+	return Cross4Lanes(cfg, []int{lanesPerLeg, lanesPerLeg, lanesPerLeg, lanesPerLeg})
+}
+
+// Cross4Lanes builds a 4-way cross with a per-leg lane count, which allows
+// asymmetric layouts such as the paper's 10-incoming-lane cross
+// ([3,2,3,2]).
+func Cross4Lanes(cfg Config, lanes []int) (*Intersection, error) {
+	if len(lanes) != 4 {
+		return nil, fmt.Errorf("%w: Cross4 needs 4 lane counts, got %d", ErrBadLayout, len(lanes))
+	}
+	cfg = cfg.Normalize()
+	b := &stdBuilder{kind: KindCross4, name: "4-way cross", cfg: cfg}
+	for k := 0; k < 4; k++ {
+		if lanes[k] < 1 {
+			return nil, fmt.Errorf("%w: leg %d has %d lanes", ErrBadLayout, k, lanes[k])
+		}
+		b.legs = append(b.legs, legGeom{heading: geom.Deg(90 * float64(k)), inLanes: lanes[k]})
+	}
+	b.rb = boxRadius(b.legs, cfg.LaneWidth)
+	return b.build()
+}
+
+// Irregular5 builds a 5-way intersection with uneven leg angles, matching
+// the paper's "5-way irregular intersection" case.
+func Irregular5(cfg Config, lanesPerLeg int) (*Intersection, error) {
+	if lanesPerLeg < 1 {
+		return nil, fmt.Errorf("%w: lanesPerLeg = %d", ErrBadLayout, lanesPerLeg)
+	}
+	cfg = cfg.Normalize()
+	b := &stdBuilder{kind: KindIrregular5, name: "5-way irregular", cfg: cfg}
+	for _, deg := range []float64{0, 75, 160, 215, 285} {
+		b.legs = append(b.legs, legGeom{heading: geom.Deg(deg), inLanes: lanesPerLeg})
+	}
+	b.rb = boxRadius(b.legs, cfg.LaneWidth)
+	return b.build()
+}
+
+// Roundabout3 builds a single-lane 3-way roundabout with counter-clockwise
+// circulation.
+func Roundabout3(cfg Config) (*Intersection, error) {
+	cfg = cfg.Normalize()
+	const ringR = 18.0
+	rb := ringR + 22
+	b := &stdBuilder{kind: KindRoundabout3, name: "3-way roundabout", cfg: cfg, rb: rb}
+	for _, deg := range []float64{0, 120, 240} {
+		b.legs = append(b.legs, legGeom{heading: geom.Deg(deg), inLanes: 1})
+	}
+	b.pathOverride = func(b *stdBuilder, from LaneRef, toLeg int, m Movement) ([]geom.Vec2, float64, float64, bool) {
+		spawn, entry := b.legs[from.Leg].inLaneLine(from.Lane, cfg.LaneWidth, rb, cfg.ApproachLen)
+		exit, end := b.legs[toLeg].outLaneLine(0, cfg.LaneWidth, rb, cfg.ExitLen)
+		// Counter-clockwise circulation: traffic merges on the near
+		// side of its leg (ring angle leg+45°, where the ring tangent
+		// deflects the inbound direction ~45° rightward) and diverges
+		// 45° before the exit leg.
+		phiIn := b.legs[from.Leg].heading + geom.Deg(45)
+		phiOut := b.legs[toLeg].heading - geom.Deg(45)
+		for phiOut <= phiIn+geom.Deg(10) {
+			phiOut += 2 * math.Pi
+		}
+		ringIn := endpoint{pt: geom.Heading(phiIn).Scale(ringR), dir: phiIn + math.Pi/2}
+		ringOut := endpoint{pt: geom.Heading(phiOut).Scale(ringR), dir: phiOut + math.Pi/2}
+		approach := geom.Line(spawn.pt, entry.pt, 8)
+		merge := turnPath(entry, ringIn, 12)
+		n := int(math.Ceil((phiOut - phiIn) / geom.Deg(6)))
+		ring := geom.Arc(geom.V(0, 0), ringR, phiIn, phiOut, n)
+		diverge := turnPath(ringOut, exit, 12)
+		tail := geom.Line(exit.pt, end.pt, 4)
+		pts := geom.Concat(approach, merge, ring, diverge, tail)
+		cs := geom.ArcLength(approach)
+		ce := cs + geom.ArcLength(merge) + geom.ArcLength(ring) + geom.ArcLength(diverge)
+		return pts, cs, ce, true
+	}
+	return b.build()
+}
+
+// CFI4 builds a 4-way continuous flow intersection: left-turning traffic
+// crosses over the opposing lanes upstream of the main conflict area, so
+// left turns at the box no longer conflict with opposing through traffic.
+func CFI4(cfg Config, lanesPerLeg int) (*Intersection, error) {
+	if lanesPerLeg < 1 {
+		return nil, fmt.Errorf("%w: lanesPerLeg = %d", ErrBadLayout, lanesPerLeg)
+	}
+	cfg = cfg.Normalize()
+	b := &stdBuilder{kind: KindCFI4, name: "4-way CFI", cfg: cfg}
+	for k := 0; k < 4; k++ {
+		b.legs = append(b.legs, legGeom{heading: geom.Deg(90 * float64(k)), inLanes: lanesPerLeg})
+	}
+	b.rb = boxRadius(b.legs, cfg.LaneWidth)
+	const xoverDist = 100.0 // crossover begins this far before the box
+	const xoverRamp = 40.0  // length of the diagonal crossover segment
+	b.pathOverride = func(b *stdBuilder, from LaneRef, toLeg int, m Movement) ([]geom.Vec2, float64, float64, bool) {
+		if m != MovementLeft {
+			return nil, 0, 0, false
+		}
+		lg := b.legs[from.Leg]
+		laneW := cfg.LaneWidth
+		spawn, _ := lg.inLaneLine(from.Lane, laneW, b.rb, cfg.ApproachLen)
+		// Displaced lane: beyond the opposing incoming lanes, i.e. on
+		// the left side of the road at lateral offset -(opp+1) lanes.
+		oppLanes := b.legs[(from.Leg+2)%4].inLanes
+		dispOff := geom.Heading(lg.heading + math.Pi/2).Scale(-(float64(oppLanes) + 1.0) * laneW)
+		along := func(dist float64) geom.Vec2 { return geom.Heading(lg.heading).Scale(dist) }
+		// Points along the original lane line.
+		laneOff := geom.Heading(lg.heading + math.Pi/2).Scale((0.5 + float64(from.Lane)) * laneW)
+		preXover := laneOff.Add(along(b.rb + xoverDist + xoverRamp))
+		// Points along the displaced line.
+		postXover := dispOff.Add(along(b.rb + xoverDist))
+		boxEntry := endpoint{pt: dispOff.Add(along(b.rb)), dir: geom.NormalizeAngle(lg.heading + math.Pi)}
+		exit, end := b.legs[toLeg].outLaneLine(0, laneW, b.rb, cfg.ExitLen)
+		approach := geom.Line(spawn.pt, preXover, 8)
+		ramp := geom.Line(preXover, postXover, 6)
+		disp := geom.Line(postXover, boxEntry.pt, 4)
+		cross := turnPath(boxEntry, exit, 24)
+		tail := geom.Line(exit.pt, end.pt, 4)
+		pts := geom.Concat(approach, ramp, disp, cross, tail)
+		// The crossover zone is part of the conflict-managed area.
+		cs := geom.ArcLength(approach)
+		ce := cs + geom.ArcLength(ramp) + geom.ArcLength(disp) + geom.ArcLength(cross)
+		return pts, cs, ce, true
+	}
+	return b.build()
+}
+
+// DDI4 builds a 4-way diverging diamond interchange: through traffic on
+// the main road (legs 0 and 2) swaps to the left side between two
+// crossovers, which removes the left-turn/opposing-through conflict at the
+// ramps (legs 1 and 3).
+func DDI4(cfg Config, lanesPerLeg int) (*Intersection, error) {
+	if lanesPerLeg < 1 {
+		return nil, fmt.Errorf("%w: lanesPerLeg = %d", ErrBadLayout, lanesPerLeg)
+	}
+	cfg = cfg.Normalize()
+	b := &stdBuilder{kind: KindDDI4, name: "4-way DDI", cfg: cfg}
+	for k := 0; k < 4; k++ {
+		b.legs = append(b.legs, legGeom{heading: geom.Deg(90 * float64(k)), inLanes: lanesPerLeg})
+	}
+	b.rb = boxRadius(b.legs, cfg.LaneWidth)
+	const xoverDist = 70.0
+	const xoverRamp = 40.0
+	mainRoad := func(leg int) bool { return leg == 0 || leg == 2 }
+	b.pathOverride = func(b *stdBuilder, from LaneRef, toLeg int, m Movement) ([]geom.Vec2, float64, float64, bool) {
+		if !mainRoad(from.Leg) {
+			return nil, 0, 0, false
+		}
+		lg := b.legs[from.Leg]
+		laneW := cfg.LaneWidth
+		spawn, _ := lg.inLaneLine(from.Lane, laneW, b.rb, cfg.ApproachLen)
+		along := func(d float64) geom.Vec2 { return geom.Heading(lg.heading).Scale(d) }
+		laneOff := geom.Heading(lg.heading + math.Pi/2).Scale((0.5 + float64(from.Lane)) * laneW)
+		// Mirrored (left-side) offset for the displaced section.
+		mirOff := geom.Heading(lg.heading + math.Pi/2).Scale(-(0.5 + float64(from.Lane)) * laneW)
+		preX := laneOff.Add(along(b.rb + xoverDist + xoverRamp))
+		postX := mirOff.Add(along(b.rb + xoverDist))
+		boxEntry := endpoint{pt: mirOff.Add(along(b.rb)), dir: geom.NormalizeAngle(lg.heading + math.Pi)}
+		approach := geom.Line(spawn.pt, preX, 8)
+		rampIn := geom.Line(preX, postX, 6)
+		dispIn := geom.Line(postX, boxEntry.pt, 3)
+		switch m {
+		case MovementStraight:
+			// Continue displaced through the box, then cross back on
+			// the far side.
+			far := b.legs[toLeg]
+			outLane := from.Lane
+			if max := far.inLanes - 1; outLane > max {
+				outLane = max
+			}
+			exit, end := far.outLaneLine(outLane, laneW, b.rb, cfg.ExitLen)
+			farMir := geom.Heading(far.heading - math.Pi/2).Scale(-(0.5 + float64(outLane)) * laneW)
+			farAlong := func(d float64) geom.Vec2 { return geom.Heading(far.heading).Scale(d) }
+			boxExit := farMir.Add(farAlong(b.rb))
+			postX2 := farMir.Add(farAlong(b.rb + xoverDist))
+			preX2 := exit.pt.Add(farAlong(xoverDist + xoverRamp)).Sub(farAlong(0))
+			box := geom.Line(boxEntry.pt, boxExit, 8)
+			dispOut := geom.Line(boxExit, postX2, 3)
+			rampOut := geom.Line(postX2, preX2, 6)
+			tail := geom.Line(preX2, end.pt, 6)
+			pts := geom.Concat(approach, rampIn, dispIn, box, dispOut, rampOut, tail)
+			cs := geom.ArcLength(approach)
+			ce := cs + geom.ArcLength(rampIn) + geom.ArcLength(dispIn) + geom.ArcLength(box) +
+				geom.ArcLength(dispOut) + geom.ArcLength(rampOut)
+			return pts, cs, ce, true
+		case MovementLeft:
+			// Free-flow left from the displaced side onto the ramp.
+			exit, end := b.legs[toLeg].outLaneLine(0, laneW, b.rb, cfg.ExitLen)
+			cross := turnPath(boxEntry, exit, 24)
+			tail := geom.Line(exit.pt, end.pt, 4)
+			pts := geom.Concat(approach, rampIn, dispIn, cross, tail)
+			cs := geom.ArcLength(approach)
+			ce := cs + geom.ArcLength(rampIn) + geom.ArcLength(dispIn) + geom.ArcLength(cross)
+			return pts, cs, ce, true
+		default:
+			// Right turns leave before the crossover; standard path.
+			return nil, 0, 0, false
+		}
+	}
+	return b.build()
+}
+
+// Build constructs the intersection of the given kind with default lane
+// counts matching the paper's evaluation setup.
+func Build(kind Kind, cfg Config) (*Intersection, error) {
+	switch kind {
+	case KindRoundabout3:
+		return Roundabout3(cfg)
+	case KindCross4:
+		return Cross4(cfg, 2)
+	case KindIrregular5:
+		return Irregular5(cfg, 2)
+	case KindCFI4:
+		return CFI4(cfg, 2)
+	case KindDDI4:
+		return DDI4(cfg, 2)
+	default:
+		return nil, fmt.Errorf("%w: kind %d", ErrBadLayout, int(kind))
+	}
+}

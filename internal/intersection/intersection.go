@@ -1,0 +1,369 @@
+// Package intersection models the road geometry of the five intersection
+// types evaluated in the NWADE paper: 3-way roundabout, 4-way cross, 5-way
+// irregular intersection, 4-way continuous flow intersection (CFI), and
+// 4-way diverging diamond interchange (DDI).
+//
+// An Intersection is a static description: a set of legs, incoming and
+// outgoing lanes, and Routes (drivable paths from an incoming lane to an
+// outgoing lane), plus the precomputed pairwise conflict zones between
+// routes. The intersection manager schedules occupancy of conflict zones;
+// vehicles reuse the same conflict table to independently validate travel
+// plans they receive.
+package intersection
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"nwade/internal/geom"
+)
+
+// Kind identifies one of the five evaluated intersection layouts.
+type Kind int
+
+// Intersection layout kinds, in the order the paper lists them.
+const (
+	KindRoundabout3 Kind = iota + 1
+	KindCross4
+	KindIrregular5
+	KindCFI4
+	KindDDI4
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRoundabout3:
+		return "3-way roundabout"
+	case KindCross4:
+		return "4-way cross"
+	case KindIrregular5:
+		return "5-way irregular"
+	case KindCFI4:
+		return "4-way CFI"
+	case KindDDI4:
+		return "4-way DDI"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Kinds returns all layout kinds in display order.
+func Kinds() []Kind {
+	return []Kind{KindRoundabout3, KindCross4, KindIrregular5, KindCFI4, KindDDI4}
+}
+
+// Movement classifies a route by its turn direction.
+type Movement int
+
+// Movements. A 3-way intersection may not offer all of them from every
+// leg; the traffic generator redistributes ratios over available ones.
+const (
+	MovementLeft Movement = iota + 1
+	MovementStraight
+	MovementRight
+)
+
+// String implements fmt.Stringer.
+func (m Movement) String() string {
+	switch m {
+	case MovementLeft:
+		return "left"
+	case MovementStraight:
+		return "straight"
+	case MovementRight:
+		return "right"
+	default:
+		return fmt.Sprintf("Movement(%d)", int(m))
+	}
+}
+
+// ClassifyTurn maps the change in travel heading across an intersection to
+// a Movement. Turns of more than 30 degrees count as left/right.
+func ClassifyTurn(inDir, outDir float64) Movement {
+	d := geom.NormalizeAngle(outDir - inDir)
+	switch {
+	case d > geom.Deg(30):
+		return MovementLeft
+	case d < geom.Deg(-30):
+		return MovementRight
+	default:
+		return MovementStraight
+	}
+}
+
+// LaneRef identifies one incoming lane of one leg.
+type LaneRef struct {
+	Leg  int // leg index
+	Lane int // lane index within the leg, 0 = innermost (leftmost)
+}
+
+// String implements fmt.Stringer.
+func (l LaneRef) String() string { return fmt.Sprintf("leg%d/lane%d", l.Leg, l.Lane) }
+
+// Route is a drivable path from an incoming lane, through the conflict
+// area, to an outgoing leg. Full is the complete path a vehicle follows;
+// CrossStart/CrossEnd bracket the portion inside the conflict area in
+// Full's arc-length coordinates.
+type Route struct {
+	ID       int
+	From     LaneRef
+	ToLeg    int
+	Movement Movement
+	Full     *geom.Path
+	// CrossStart and CrossEnd are arc lengths on Full bracketing the
+	// intersection conflict area (for CFI/DDI this also spans the
+	// crossover zones on the approaches).
+	CrossStart, CrossEnd float64
+}
+
+// Length returns the total route length in meters.
+func (r *Route) Length() float64 { return r.Full.Length() }
+
+// Conflict records that two routes pass within the separation threshold of
+// each other, with the arc-length windows on each route.
+type Conflict struct {
+	A, B         int // route IDs, A < B
+	AWin0, AWin1 float64
+	BWin0, BWin1 float64
+}
+
+// WindowFor returns the arc-length window of the conflict on the given
+// route ID and reports whether the route participates in the conflict.
+func (c Conflict) WindowFor(routeID int) (lo, hi float64, ok bool) {
+	switch routeID {
+	case c.A:
+		return c.AWin0, c.AWin1, true
+	case c.B:
+		return c.BWin0, c.BWin1, true
+	default:
+		return 0, 0, false
+	}
+}
+
+// Other returns the route ID on the other side of the conflict.
+func (c Conflict) Other(routeID int) int {
+	if routeID == c.A {
+		return c.B
+	}
+	return c.A
+}
+
+// Config carries the geometric parameters shared by all builders. The zero
+// value is usable: Normalize fills in defaults.
+type Config struct {
+	LaneWidth   float64 // lane width in meters (default 3.5)
+	ApproachLen float64 // approach length from spawn to conflict area (default 400)
+	ExitLen     float64 // exit length past the conflict area (default 200)
+	ConflictSep float64 // distance below which two paths conflict (default 3.0)
+	SampleDS    float64 // sampling step for conflict extraction (default 2.0)
+}
+
+// Normalize returns cfg with zero fields replaced by defaults.
+func (cfg Config) Normalize() Config {
+	if cfg.LaneWidth <= 0 {
+		cfg.LaneWidth = 3.5
+	}
+	if cfg.ApproachLen <= 0 {
+		cfg.ApproachLen = 400
+	}
+	if cfg.ExitLen <= 0 {
+		cfg.ExitLen = 200
+	}
+	if cfg.ConflictSep <= 0 {
+		cfg.ConflictSep = 3.0
+	}
+	if cfg.SampleDS <= 0 {
+		cfg.SampleDS = 2.0
+	}
+	return cfg
+}
+
+// Intersection is an immutable road layout plus its conflict table.
+type Intersection struct {
+	Kind   Kind
+	Name   string
+	Config Config
+	// LegHeadings[k] is the outward heading of leg k as seen from the
+	// intersection center.
+	LegHeadings []float64
+	// InLanes[k] is the number of incoming lanes on leg k.
+	InLanes []int
+	Routes  []*Route
+
+	conflicts        []Conflict
+	conflictsByRoute map[int][]Conflict
+	routesFrom       map[LaneRef][]*Route
+}
+
+// Errors returned by intersection construction and lookup.
+var (
+	ErrNoRoute    = errors.New("intersection: no route for movement")
+	ErrBadLayout  = errors.New("intersection: invalid layout")
+	ErrBadRouteID = errors.New("intersection: unknown route id")
+)
+
+// finish indexes routes and computes the conflict table. Builders call it
+// last.
+func (in *Intersection) finish() error {
+	if len(in.Routes) == 0 {
+		return fmt.Errorf("%w: no routes", ErrBadLayout)
+	}
+	in.routesFrom = make(map[LaneRef][]*Route)
+	for i, r := range in.Routes {
+		if r.ID != i {
+			return fmt.Errorf("%w: route %d has ID %d", ErrBadLayout, i, r.ID)
+		}
+		in.routesFrom[r.From] = append(in.routesFrom[r.From], r)
+	}
+	in.computeConflicts()
+	return nil
+}
+
+// computeConflicts extracts pairwise conflict windows. Route pairs sharing
+// the same incoming lane are only scanned past the point where they can
+// diverge (the conflict area), because their shared approach is governed
+// by car-following separation, not by zone reservation.
+func (in *Intersection) computeConflicts() {
+	cfg := in.Config
+	in.conflictsByRoute = make(map[int][]Conflict)
+	for i := 0; i < len(in.Routes); i++ {
+		for j := i + 1; j < len(in.Routes); j++ {
+			a, b := in.Routes[i], in.Routes[j]
+			aPath, aOff := a.Full, 0.0
+			bPath, bOff := b.Full, 0.0
+			if a.From == b.From || (a.From.Leg == b.From.Leg && a.ToLeg == b.ToLeg) {
+				// Same entry lane (shared approach) or same
+				// leg-to-leg relation (parallel lanes): only
+				// the conflict area can hold real crossings.
+				var err error
+				aPath, aOff, err = subPath(a.Full, a.CrossStart, a.Full.Length())
+				if err != nil {
+					continue
+				}
+				bPath, bOff, err = subPath(b.Full, b.CrossStart, b.Full.Length())
+				if err != nil {
+					continue
+				}
+			}
+			wins := geom.MinDistanceWindows(aPath, bPath, cfg.ConflictSep, cfg.SampleDS)
+			for _, w := range wins {
+				c := Conflict{
+					A: a.ID, B: b.ID,
+					AWin0: w.A0 + aOff, AWin1: w.A1 + aOff,
+					BWin0: w.B0 + bOff, BWin1: w.B1 + bOff,
+				}
+				in.conflicts = append(in.conflicts, c)
+				in.conflictsByRoute[a.ID] = append(in.conflictsByRoute[a.ID], c)
+				in.conflictsByRoute[b.ID] = append(in.conflictsByRoute[b.ID], c)
+			}
+		}
+	}
+}
+
+// subPath extracts the sub-polyline of p between arc lengths s0 and s1 and
+// returns it together with the offset (s0) that maps the sub-path's arc
+// lengths back onto p.
+func subPath(p *geom.Path, s0, s1 float64) (*geom.Path, float64, error) {
+	if s1 <= s0 {
+		return nil, 0, fmt.Errorf("%w: empty subpath [%v,%v]", ErrBadLayout, s0, s1)
+	}
+	ds := 2.0
+	n := int(math.Ceil((s1-s0)/ds)) + 1
+	if n < 2 {
+		n = 2
+	}
+	pts := make([]geom.Vec2, n)
+	for i := 0; i < n; i++ {
+		pts[i] = p.PointAt(s0 + (s1-s0)*float64(i)/float64(n-1))
+	}
+	sub, err := geom.NewPath(pts)
+	if err != nil {
+		return nil, 0, fmt.Errorf("intersection: subpath: %w", err)
+	}
+	return sub, s0, nil
+}
+
+// Conflicts returns the full conflict table.
+func (in *Intersection) Conflicts() []Conflict { return in.conflicts }
+
+// ConflictsOf returns the conflicts involving the given route.
+func (in *Intersection) ConflictsOf(routeID int) []Conflict {
+	return in.conflictsByRoute[routeID]
+}
+
+// Route returns the route with the given ID.
+func (in *Intersection) Route(id int) (*Route, error) {
+	if id < 0 || id >= len(in.Routes) {
+		return nil, fmt.Errorf("%w: %d", ErrBadRouteID, id)
+	}
+	return in.Routes[id], nil
+}
+
+// RoutesFromLane returns all routes leaving the given incoming lane.
+func (in *Intersection) RoutesFromLane(l LaneRef) []*Route { return in.routesFrom[l] }
+
+// RoutesFromLeg returns all routes entering from the given leg with the
+// given movement.
+func (in *Intersection) RoutesFromLeg(leg int, m Movement) []*Route {
+	var out []*Route
+	for _, r := range in.Routes {
+		if r.From.Leg == leg && r.Movement == m {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// MovementsFromLeg returns the set of movements available from a leg.
+func (in *Intersection) MovementsFromLeg(leg int) []Movement {
+	seen := map[Movement]bool{}
+	var out []Movement
+	for _, r := range in.Routes {
+		if r.From.Leg == leg && !seen[r.Movement] {
+			seen[r.Movement] = true
+			out = append(out, r.Movement)
+		}
+	}
+	return out
+}
+
+// TotalInLanes returns the number of incoming lanes across all legs.
+func (in *Intersection) TotalInLanes() int {
+	var n int
+	for _, l := range in.InLanes {
+		n += l
+	}
+	return n
+}
+
+// Validate checks structural invariants: every route path is long enough
+// to contain its conflict-area bracket, IDs are dense, and every incoming
+// lane has at least one route.
+func (in *Intersection) Validate() error {
+	if len(in.LegHeadings) != len(in.InLanes) {
+		return fmt.Errorf("%w: %d headings vs %d lane counts",
+			ErrBadLayout, len(in.LegHeadings), len(in.InLanes))
+	}
+	for _, r := range in.Routes {
+		if r.CrossStart < 0 || r.CrossEnd > r.Full.Length()+1e-6 || r.CrossStart >= r.CrossEnd {
+			return fmt.Errorf("%w: route %d cross bracket [%v,%v] outside [0,%v]",
+				ErrBadLayout, r.ID, r.CrossStart, r.CrossEnd, r.Full.Length())
+		}
+		if r.From.Leg < 0 || r.From.Leg >= len(in.LegHeadings) {
+			return fmt.Errorf("%w: route %d from unknown leg %d", ErrBadLayout, r.ID, r.From.Leg)
+		}
+		if r.ToLeg < 0 || r.ToLeg >= len(in.LegHeadings) {
+			return fmt.Errorf("%w: route %d to unknown leg %d", ErrBadLayout, r.ID, r.ToLeg)
+		}
+	}
+	for leg, lanes := range in.InLanes {
+		for lane := 0; lane < lanes; lane++ {
+			if len(in.routesFrom[LaneRef{Leg: leg, Lane: lane}]) == 0 {
+				return fmt.Errorf("%w: lane %v has no routes", ErrBadLayout, LaneRef{Leg: leg, Lane: lane})
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,343 @@
+package intersection
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"nwade/internal/geom"
+)
+
+func buildAll(t *testing.T) map[Kind]*Intersection {
+	t.Helper()
+	out := make(map[Kind]*Intersection)
+	for _, k := range Kinds() {
+		in, err := Build(k, Config{})
+		if err != nil {
+			t.Fatalf("Build(%v): %v", k, err)
+		}
+		out[k] = in
+	}
+	return out
+}
+
+func TestBuildAllKindsValidate(t *testing.T) {
+	for k, in := range buildAll(t) {
+		if err := in.Validate(); err != nil {
+			t.Errorf("%v: Validate: %v", k, err)
+		}
+		if in.Kind != k {
+			t.Errorf("%v: Kind = %v", k, in.Kind)
+		}
+		if len(in.Routes) == 0 {
+			t.Errorf("%v: no routes", k)
+		}
+	}
+}
+
+func TestKindString(t *testing.T) {
+	for _, k := range Kinds() {
+		if k.String() == "" {
+			t.Errorf("Kind %d has empty String", int(k))
+		}
+	}
+	if got := Kind(99).String(); got != "Kind(99)" {
+		t.Errorf("unknown kind String = %q", got)
+	}
+}
+
+func TestMovementString(t *testing.T) {
+	cases := map[Movement]string{
+		MovementLeft:     "left",
+		MovementStraight: "straight",
+		MovementRight:    "right",
+		Movement(42):     "Movement(42)",
+	}
+	for m, want := range cases {
+		if got := m.String(); got != want {
+			t.Errorf("%d.String() = %q, want %q", int(m), got, want)
+		}
+	}
+}
+
+func TestClassifyTurn(t *testing.T) {
+	// Heading west (pi), exiting south (-pi/2): left turn.
+	if got := ClassifyTurn(math.Pi, -math.Pi/2); got != MovementLeft {
+		t.Errorf("west->south = %v, want left", got)
+	}
+	// Heading west, exiting north: right turn.
+	if got := ClassifyTurn(math.Pi, math.Pi/2); got != MovementRight {
+		t.Errorf("west->north = %v, want right", got)
+	}
+	// Heading west, exiting west: straight.
+	if got := ClassifyTurn(math.Pi, math.Pi); got != MovementStraight {
+		t.Errorf("west->west = %v, want straight", got)
+	}
+	// Small deviations stay straight.
+	if got := ClassifyTurn(0, geom.Deg(20)); got != MovementStraight {
+		t.Errorf("20 degrees = %v, want straight", got)
+	}
+}
+
+func TestCross4RouteCount(t *testing.T) {
+	in, err := Cross4(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4 legs x (lane0: left+straight, lane1: straight+right) = 16 routes.
+	if got := len(in.Routes); got != 16 {
+		t.Errorf("routes = %d, want 16", got)
+	}
+	if got := in.TotalInLanes(); got != 8 {
+		t.Errorf("TotalInLanes = %d, want 8", got)
+	}
+}
+
+func TestCross4TenLanePaperLayout(t *testing.T) {
+	in, err := Cross4Lanes(Config{}, []int{3, 2, 3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.TotalInLanes(); got != 10 {
+		t.Errorf("TotalInLanes = %d, want 10 (paper's Fig. 4 layout)", got)
+	}
+	if err := in.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCross4LanesErrors(t *testing.T) {
+	if _, err := Cross4Lanes(Config{}, []int{2, 2}); !errors.Is(err, ErrBadLayout) {
+		t.Errorf("wrong lane count slice: %v", err)
+	}
+	if _, err := Cross4Lanes(Config{}, []int{0, 2, 2, 2}); !errors.Is(err, ErrBadLayout) {
+		t.Errorf("zero lanes: %v", err)
+	}
+}
+
+func TestBuildUnknownKind(t *testing.T) {
+	if _, err := Build(Kind(0), Config{}); !errors.Is(err, ErrBadLayout) {
+		t.Errorf("unknown kind: %v", err)
+	}
+}
+
+func TestEveryMovementReachable(t *testing.T) {
+	for k, in := range buildAll(t) {
+		for leg := range in.LegHeadings {
+			ms := in.MovementsFromLeg(leg)
+			if len(ms) == 0 {
+				t.Errorf("%v: leg %d has no movements", k, leg)
+			}
+			for _, m := range ms {
+				if len(in.RoutesFromLeg(leg, m)) == 0 {
+					t.Errorf("%v: leg %d movement %v has no routes", k, leg, m)
+				}
+			}
+		}
+	}
+}
+
+func TestRouteGeometrySane(t *testing.T) {
+	for k, in := range buildAll(t) {
+		cfg := in.Config
+		for _, r := range in.Routes {
+			if r.Length() < cfg.ApproachLen {
+				t.Errorf("%v: route %d too short: %v", k, r.ID, r.Length())
+			}
+			// Approach portion should be nearly straight toward the
+			// center: heading at s=0 matches heading at CrossStart/2.
+			h0 := r.Full.HeadingAt(0)
+			h1 := r.Full.HeadingAt(r.CrossStart / 2)
+			if math.Abs(geom.NormalizeAngle(h0-h1)) > geom.Deg(35) {
+				t.Errorf("%v: route %d approach bends too much", k, r.ID)
+			}
+			// Path must make progress: start and end far apart.
+			if r.Full.Start().Dist(r.Full.End()) < 50 {
+				t.Errorf("%v: route %d start/end too close", k, r.ID)
+			}
+		}
+	}
+}
+
+func TestCross4ConflictsExist(t *testing.T) {
+	in, err := Cross4(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(in.Conflicts()) == 0 {
+		t.Fatal("a 4-way cross must have conflicts")
+	}
+	// Straight routes from perpendicular legs must conflict.
+	ns := in.RoutesFromLeg(0, MovementStraight)
+	ew := in.RoutesFromLeg(1, MovementStraight)
+	if len(ns) == 0 || len(ew) == 0 {
+		t.Fatal("missing straight routes")
+	}
+	found := false
+	for _, c := range in.ConflictsOf(ns[0].ID) {
+		if c.Other(ns[0].ID) == ew[0].ID {
+			found = true
+			// The conflict window must lie inside the cross bracket.
+			lo, hi, ok := c.WindowFor(ns[0].ID)
+			if !ok {
+				t.Fatal("WindowFor failed")
+			}
+			if lo < ns[0].CrossStart-5 || hi > ns[0].CrossEnd+5 {
+				t.Errorf("conflict window [%v,%v] outside cross bracket [%v,%v]",
+					lo, hi, ns[0].CrossStart, ns[0].CrossEnd)
+			}
+		}
+	}
+	if !found {
+		t.Error("perpendicular straight routes do not conflict")
+	}
+}
+
+func TestOppositeStraightsDoNotConflict(t *testing.T) {
+	in, err := Cross4(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := in.RoutesFromLeg(0, MovementStraight)[0]
+	for _, b := range in.RoutesFromLeg(2, MovementStraight) {
+		for _, c := range in.ConflictsOf(a.ID) {
+			if c.Other(a.ID) == b.ID {
+				t.Errorf("opposite straight routes %d and %d conflict", a.ID, b.ID)
+			}
+		}
+	}
+}
+
+func TestCFILeftTurnAvoidsOpposingThroughAtBox(t *testing.T) {
+	in, err := CFI4(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lefts := in.RoutesFromLeg(0, MovementLeft)
+	if len(lefts) == 0 {
+		t.Fatal("no left routes")
+	}
+	left := lefts[0]
+	opposing := in.RoutesFromLeg(2, MovementStraight)
+	for _, op := range opposing {
+		for _, c := range in.ConflictsOf(left.ID) {
+			if c.Other(left.ID) != op.ID {
+				continue
+			}
+			lo, _, _ := c.WindowFor(left.ID)
+			// The CFI property: the conflict (the crossover) happens
+			// upstream of the final turn area, i.e. well before the
+			// end of the route's conflict bracket.
+			boxStart := left.CrossEnd - 80
+			if lo > boxStart {
+				t.Errorf("CFI left/opposing-through conflict at s=%v is inside the box (>%v)", lo, boxStart)
+			}
+		}
+	}
+}
+
+func TestRoundaboutRoutesShareRing(t *testing.T) {
+	in, err := Roundabout3(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 3 legs x 2 targets = 6 routes.
+	if got := len(in.Routes); got != 6 {
+		t.Errorf("routes = %d, want 6", got)
+	}
+	// Every route passes near the ring (distance from center ~ ringR
+	// somewhere in its cross bracket).
+	for _, r := range in.Routes {
+		mid := r.Full.PointAt((r.CrossStart + r.CrossEnd) / 2)
+		d := mid.Len()
+		if d < 10 || d > 30 {
+			t.Errorf("route %d midpoint at distance %v from center, want near ring", r.ID, d)
+		}
+	}
+}
+
+func TestRouteLookupErrors(t *testing.T) {
+	in, err := Cross4(Config{}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := in.Route(-1); !errors.Is(err, ErrBadRouteID) {
+		t.Errorf("Route(-1): %v", err)
+	}
+	if _, err := in.Route(len(in.Routes)); !errors.Is(err, ErrBadRouteID) {
+		t.Errorf("Route(n): %v", err)
+	}
+	if r, err := in.Route(0); err != nil || r.ID != 0 {
+		t.Errorf("Route(0) = %v, %v", r, err)
+	}
+}
+
+func TestLaneMovementsProperties(t *testing.T) {
+	all := []Movement{MovementLeft, MovementStraight, MovementRight}
+	for lanes := 1; lanes <= 5; lanes++ {
+		for _, avail := range [][]Movement{all, {MovementLeft, MovementRight}, {MovementStraight}} {
+			out := laneMovements(lanes, avail)
+			if len(out) != lanes {
+				t.Fatalf("lanes=%d: got %d lane entries", lanes, len(out))
+			}
+			covered := map[Movement]bool{}
+			for i, ms := range out {
+				if len(ms) == 0 {
+					t.Errorf("lanes=%d avail=%v: lane %d empty", lanes, avail, i)
+				}
+				for _, m := range ms {
+					covered[m] = true
+				}
+			}
+			for _, m := range avail {
+				if !covered[m] {
+					t.Errorf("lanes=%d avail=%v: movement %v not covered", lanes, avail, m)
+				}
+			}
+		}
+	}
+}
+
+func TestConfigNormalizeDefaults(t *testing.T) {
+	cfg := Config{}.Normalize()
+	if cfg.LaneWidth != 3.5 || cfg.ApproachLen != 400 || cfg.ExitLen != 200 {
+		t.Errorf("defaults wrong: %+v", cfg)
+	}
+	// Explicit values survive.
+	cfg2 := Config{LaneWidth: 3.0}.Normalize()
+	if cfg2.LaneWidth != 3.0 {
+		t.Error("explicit LaneWidth overwritten")
+	}
+}
+
+func TestConflictWindowForUnknownRoute(t *testing.T) {
+	c := Conflict{A: 1, B: 2}
+	if _, _, ok := c.WindowFor(3); ok {
+		t.Error("WindowFor(3) should report !ok")
+	}
+}
+
+func TestDDIThroughIsDisplaced(t *testing.T) {
+	in, err := DDI4(Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A through route on the main road must pass on the LEFT side of
+	// its approach lane somewhere in the middle (mirrored offset).
+	th := in.RoutesFromLeg(0, MovementStraight)[0]
+	mid := th.Full.PointAt((th.CrossStart + th.CrossEnd) / 2)
+	// Leg 0 points east; its incoming lanes are at y > 0. The displaced
+	// section must be at y < 0.
+	if mid.Y >= 0 {
+		t.Errorf("DDI through midpoint %v not displaced to the left side", mid)
+	}
+	// And the route must start and end on the normal (right) side.
+	if th.Full.Start().Y <= 0 {
+		t.Errorf("DDI through start %v should be on the normal side", th.Full.Start())
+	}
+	// The far leg (leg 2) points west; the right-hand side of westbound
+	// travel is y > 0, so the route must cross back before exiting.
+	if th.Full.End().Y <= 0 {
+		t.Errorf("DDI through end %v should be back on the normal side of the far leg", th.Full.End())
+	}
+}

@@ -1,0 +1,152 @@
+package intersection
+
+import (
+	"math"
+	"testing"
+
+	"nwade/internal/geom"
+)
+
+// TestRouteTangentContinuity checks that no route has a kink sharper
+// than a vehicle could physically steer through: consecutive sampled
+// headings change by less than 40 degrees per 2 m of arc (a minimum
+// turning radius of about 3 m — tight urban turns at an irregular
+// junction get close to it, anything sharper is a geometry bug).
+func TestRouteTangentContinuity(t *testing.T) {
+	for k, in := range buildAll(t) {
+		for _, r := range in.Routes {
+			const ds = 2.0
+			prev := r.Full.HeadingAt(0)
+			for s := ds; s < r.Length(); s += ds {
+				h := r.Full.HeadingAt(s)
+				if d := math.Abs(geom.NormalizeAngle(h - prev)); d > geom.Deg(40) {
+					t.Fatalf("%v route %d: heading jump %.1f deg at s=%.1f",
+						k, r.ID, d*180/math.Pi, s)
+				}
+				prev = h
+			}
+		}
+	}
+}
+
+// TestConflictWindowsWithinRoutes checks every conflict window lies
+// within both routes' arc-length ranges and is non-degenerate.
+func TestConflictWindowsWithinRoutes(t *testing.T) {
+	for k, in := range buildAll(t) {
+		for _, c := range in.Conflicts() {
+			ra, err := in.Route(c.A)
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+			rb, err := in.Route(c.B)
+			if err != nil {
+				t.Fatalf("%v: %v", k, err)
+			}
+			if c.AWin0 < -1e-6 || c.AWin1 > ra.Length()+1e-6 || c.AWin0 > c.AWin1 {
+				t.Errorf("%v: conflict %d/%d window A [%v,%v] outside route length %v",
+					k, c.A, c.B, c.AWin0, c.AWin1, ra.Length())
+			}
+			if c.BWin0 < -1e-6 || c.BWin1 > rb.Length()+1e-6 || c.BWin0 > c.BWin1 {
+				t.Errorf("%v: conflict %d/%d window B [%v,%v] outside route length %v",
+					k, c.A, c.B, c.BWin0, c.BWin1, rb.Length())
+			}
+		}
+	}
+}
+
+// TestConflictsAreGeometricallyReal verifies each conflict window
+// midpoint pair really comes within a loose multiple of the separation
+// threshold (the window is a bounding interval, so use its center).
+func TestConflictsAreGeometricallyReal(t *testing.T) {
+	for k, in := range buildAll(t) {
+		sep := in.Config.ConflictSep
+		for _, c := range in.Conflicts() {
+			ra, _ := in.Route(c.A)
+			rb, _ := in.Route(c.B)
+			// Somewhere inside the windows the paths must come close.
+			best := math.Inf(1)
+			for i := 0; i <= 8; i++ {
+				sa := c.AWin0 + (c.AWin1-c.AWin0)*float64(i)/8
+				pa := ra.Full.PointAt(sa)
+				for j := 0; j <= 8; j++ {
+					sb := c.BWin0 + (c.BWin1-c.BWin0)*float64(j)/8
+					if d := pa.Dist(rb.Full.PointAt(sb)); d < best {
+						best = d
+					}
+				}
+			}
+			if best > sep*2 {
+				t.Errorf("%v: conflict %d/%d closest sampled distance %.2f m >> sep %.2f",
+					k, c.A, c.B, best, sep)
+			}
+		}
+	}
+}
+
+// TestConflictIndexConsistency checks ConflictsOf returns exactly the
+// table entries mentioning the route.
+func TestConflictIndexConsistency(t *testing.T) {
+	for k, in := range buildAll(t) {
+		count := make(map[int]int)
+		for _, c := range in.Conflicts() {
+			count[c.A]++
+			count[c.B]++
+		}
+		for _, r := range in.Routes {
+			if got := len(in.ConflictsOf(r.ID)); got != count[r.ID] {
+				t.Errorf("%v: route %d index has %d conflicts, table has %d",
+					k, r.ID, got, count[r.ID])
+			}
+			for _, c := range in.ConflictsOf(r.ID) {
+				if c.A != r.ID && c.B != r.ID {
+					t.Errorf("%v: route %d indexed to foreign conflict %d/%d", k, r.ID, c.A, c.B)
+				}
+			}
+		}
+	}
+}
+
+// TestRoutesFromLaneCoversAllRoutes checks the per-lane index is a
+// partition of the route set.
+func TestRoutesFromLaneCoversAllRoutes(t *testing.T) {
+	for k, in := range buildAll(t) {
+		var total int
+		for leg, lanes := range in.InLanes {
+			for lane := 0; lane < lanes; lane++ {
+				rs := in.RoutesFromLane(LaneRef{Leg: leg, Lane: lane})
+				total += len(rs)
+				for _, r := range rs {
+					if r.From.Leg != leg || r.From.Lane != lane {
+						t.Errorf("%v: route %d indexed under wrong lane", k, r.ID)
+					}
+				}
+			}
+		}
+		if total != len(in.Routes) {
+			t.Errorf("%v: lane index covers %d of %d routes", k, total, len(in.Routes))
+		}
+	}
+}
+
+// TestSpawnPointsDistinct checks no two lanes share a spawn point (the
+// simulator spawns bodies there).
+func TestSpawnPointsDistinct(t *testing.T) {
+	for k, in := range buildAll(t) {
+		seen := map[LaneRef]geom.Vec2{}
+		for _, r := range in.Routes {
+			start := r.Full.Start()
+			if prev, ok := seen[r.From]; ok {
+				if prev.Dist(start) > 1e-6 {
+					t.Errorf("%v: lane %v has two spawn points %v and %v", k, r.From, prev, start)
+				}
+				continue
+			}
+			seen[r.From] = start
+			for other, p := range seen {
+				if other != r.From && p.Dist(start) < 3 {
+					t.Errorf("%v: lanes %v and %v spawn within 3 m", k, other, r.From)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,186 @@
+// Package metrics collects and aggregates the observable outcomes of a
+// simulation run: protocol events, traffic throughput, collisions, and
+// network load. The eval package derives every paper metric from these.
+package metrics
+
+import (
+	"sort"
+	"sync"
+	"time"
+
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+	"nwade/internal/vnet"
+)
+
+// Collector gathers one run's outcomes. It is safe for concurrent event
+// emission (the engine is single-threaded, but tests may not be).
+type Collector struct {
+	mu     sync.Mutex
+	events []nwade.Event
+
+	Spawned    int
+	Exited     int
+	Collisions int
+	// Towed counts permanently stopped vehicles removed from the road
+	// (wrecks and completed pull-overs); they do not count as exits.
+	Towed int
+	// ExitTimes records when each vehicle left, for throughput curves.
+	ExitTimes []time.Duration
+}
+
+// NewCollector creates an empty collector.
+func NewCollector() *Collector { return &Collector{} }
+
+// Sink returns an EventSink recording into the collector.
+func (c *Collector) Sink() nwade.EventSink {
+	return func(e nwade.Event) {
+		c.mu.Lock()
+		defer c.mu.Unlock()
+		c.events = append(c.events, e)
+	}
+}
+
+// Events returns a copy of the recorded events in emission order.
+func (c *Collector) Events() []nwade.Event {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]nwade.Event, len(c.events))
+	copy(out, c.events)
+	return out
+}
+
+// Count returns the number of events of the given type.
+func (c *Collector) Count(t nwade.EventType) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int
+	for _, e := range c.events {
+		if e.Type == t {
+			n++
+		}
+	}
+	return n
+}
+
+// First returns the first event of the given type.
+func (c *Collector) First(t nwade.EventType) (nwade.Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.events {
+		if e.Type == t {
+			return e, true
+		}
+	}
+	return nwade.Event{}, false
+}
+
+// FirstWhere returns the first event matching the predicate.
+func (c *Collector) FirstWhere(f func(nwade.Event) bool) (nwade.Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for _, e := range c.events {
+		if f(e) {
+			return e, true
+		}
+	}
+	return nwade.Event{}, false
+}
+
+// CountWhere counts events matching the predicate.
+func (c *Collector) CountWhere(f func(nwade.Event) bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var n int
+	for _, e := range c.events {
+		if f(e) {
+			n++
+		}
+	}
+	return n
+}
+
+// DistinctActors returns the distinct actors of events matching the
+// predicate, sorted.
+func (c *Collector) DistinctActors(f func(nwade.Event) bool) []plan.VehicleID {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	set := make(map[plan.VehicleID]bool)
+	for _, e := range c.events {
+		if f(e) {
+			set[e.Actor] = true
+		}
+	}
+	out := make([]plan.VehicleID, 0, len(set))
+	for id := range set {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// RecordExit notes a vehicle leaving the intersection.
+func (c *Collector) RecordExit(at time.Duration) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.Exited++
+	c.ExitTimes = append(c.ExitTimes, at)
+}
+
+// ThroughputPerMin computes exits per minute over the run span.
+func (c *Collector) ThroughputPerMin(span time.Duration) float64 {
+	if span <= 0 {
+		return 0
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return float64(c.Exited) / span.Minutes()
+}
+
+// RunResult is the outcome summary of one simulation round.
+type RunResult struct {
+	Scenario   string
+	Seed       int64
+	Duration   time.Duration
+	Spawned    int
+	Exited     int
+	Collisions int
+	Net        vnet.Stats
+	Collector  *Collector
+}
+
+// Throughput returns exits per minute for the run.
+func (r RunResult) Throughput() float64 {
+	return r.Collector.ThroughputPerMin(r.Duration)
+}
+
+// Rate is a ratio helper for aggregation over rounds.
+func Rate(hits, total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(hits) / float64(total)
+}
+
+// MeanDuration averages a set of durations (0 when empty).
+func MeanDuration(ds []time.Duration) time.Duration {
+	if len(ds) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range ds {
+		sum += d
+	}
+	return sum / time.Duration(len(ds))
+}
+
+// MaxDuration returns the maximum (0 when empty).
+func MaxDuration(ds []time.Duration) time.Duration {
+	var max time.Duration
+	for _, d := range ds {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}

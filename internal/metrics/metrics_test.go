@@ -1,0 +1,101 @@
+package metrics
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+)
+
+func TestCollectorSinkAndCounts(t *testing.T) {
+	c := NewCollector()
+	sink := c.Sink()
+	sink(nwade.Event{At: time.Second, Type: nwade.EvReportSent, Actor: 1, Subject: 2})
+	sink(nwade.Event{At: 2 * time.Second, Type: nwade.EvReportSent, Actor: 3, Subject: 2})
+	sink(nwade.Event{At: 3 * time.Second, Type: nwade.EvIncidentConfirmed, Subject: 2})
+	if got := c.Count(nwade.EvReportSent); got != 2 {
+		t.Errorf("Count = %d", got)
+	}
+	if got := c.Count(nwade.EvSelfEvacuation); got != 0 {
+		t.Errorf("Count(absent) = %d", got)
+	}
+	ev, ok := c.First(nwade.EvIncidentConfirmed)
+	if !ok || ev.At != 3*time.Second {
+		t.Errorf("First = %+v, %v", ev, ok)
+	}
+	if _, ok := c.First(nwade.EvExited); ok {
+		t.Error("First found absent event")
+	}
+	if len(c.Events()) != 3 {
+		t.Errorf("Events = %d", len(c.Events()))
+	}
+}
+
+func TestCollectorPredicates(t *testing.T) {
+	c := NewCollector()
+	sink := c.Sink()
+	for i := 1; i <= 4; i++ {
+		sink(nwade.Event{At: time.Duration(i) * time.Second, Type: nwade.EvGlobalSent, Actor: plan.VehicleID(1 + i%2)})
+	}
+	n := c.CountWhere(func(e nwade.Event) bool { return e.Type == nwade.EvGlobalSent })
+	if n != 4 {
+		t.Errorf("CountWhere = %d", n)
+	}
+	actors := c.DistinctActors(func(e nwade.Event) bool { return e.Type == nwade.EvGlobalSent })
+	if len(actors) != 2 || actors[0] != 1 || actors[1] != 2 {
+		t.Errorf("DistinctActors = %v", actors)
+	}
+	ev, ok := c.FirstWhere(func(e nwade.Event) bool { return e.Actor == 2 })
+	if !ok || ev.At != time.Second {
+		t.Errorf("FirstWhere = %+v, %v", ev, ok)
+	}
+}
+
+func TestThroughput(t *testing.T) {
+	c := NewCollector()
+	for i := 0; i < 30; i++ {
+		c.RecordExit(time.Duration(i) * time.Second)
+	}
+	if got := c.ThroughputPerMin(time.Minute); got != 30 {
+		t.Errorf("ThroughputPerMin = %v", got)
+	}
+	if got := c.ThroughputPerMin(0); got != 0 {
+		t.Errorf("zero span = %v", got)
+	}
+	if c.Exited != 30 || len(c.ExitTimes) != 30 {
+		t.Errorf("Exited = %d, times = %d", c.Exited, len(c.ExitTimes))
+	}
+}
+
+func TestRate(t *testing.T) {
+	if Rate(3, 10) != 0.3 {
+		t.Errorf("Rate = %v", Rate(3, 10))
+	}
+	if Rate(1, 0) != 0 {
+		t.Errorf("Rate(1,0) = %v", Rate(1, 0))
+	}
+}
+
+func TestDurationHelpers(t *testing.T) {
+	ds := []time.Duration{time.Second, 3 * time.Second, 2 * time.Second}
+	if got := MeanDuration(ds); got != 2*time.Second {
+		t.Errorf("Mean = %v", got)
+	}
+	if got := MaxDuration(ds); got != 3*time.Second {
+		t.Errorf("Max = %v", got)
+	}
+	if MeanDuration(nil) != 0 || MaxDuration(nil) != 0 {
+		t.Error("empty helpers nonzero")
+	}
+}
+
+func TestRunResultThroughput(t *testing.T) {
+	c := NewCollector()
+	c.RecordExit(time.Second)
+	c.RecordExit(2 * time.Second)
+	r := RunResult{Duration: time.Minute, Collector: c}
+	if got := r.Throughput(); got != 2 {
+		t.Errorf("Throughput = %v", got)
+	}
+}

@@ -1,0 +1,250 @@
+package nwade
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nwade/internal/chain"
+	"nwade/internal/geom"
+	"nwade/internal/plan"
+	"nwade/internal/sched"
+	"nwade/internal/vnet"
+)
+
+func TestViolationKindStrings(t *testing.T) {
+	for _, v := range []ViolationKind{ViolationSpeeding, ViolationHardBrake, ViolationLaneChange} {
+		if v.String() == "none" {
+			t.Errorf("%d has no String case", int(v))
+		}
+	}
+	if ViolationKind(0).String() != "none" {
+		t.Error("zero violation kind should render as none")
+	}
+}
+
+func TestGlobalReasonStrings(t *testing.T) {
+	for r := ReasonBadBlock; r <= ReasonFalseAccusation; r++ {
+		if r.String() == "unknown" {
+			t.Errorf("reason %d has no String case", int(r))
+		}
+	}
+	if GlobalReason(0).String() != "unknown" {
+		t.Error("zero reason should render as unknown")
+	}
+}
+
+func TestErrBadTransitionMessage(t *testing.T) {
+	a := NewIMAutomaton()
+	err := a.To(IMRecovery)
+	var bad *ErrBadTransition
+	if !errors.As(err, &bad) {
+		t.Fatalf("error type = %T", err)
+	}
+	if bad.Error() == "" {
+		t.Error("empty transition error message")
+	}
+}
+
+func TestIsAccompliceNil(t *testing.T) {
+	var m *VehicleMalice
+	if m.IsAccomplice(1) {
+		t.Error("nil malice has accomplices")
+	}
+	m2 := &VehicleMalice{}
+	if m2.IsAccomplice(1) {
+		t.Error("empty malice has accomplices")
+	}
+}
+
+func TestSizeOfBlock(t *testing.T) {
+	if SizeOfBlock(nil) <= 0 {
+		t.Error("nil block size")
+	}
+	s, _ := fixtures(t)
+	b, err := chain.Package(s, nil, time.Second, scheduledPlans(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := SizeOfBlock(b); got <= SizeOfBlock(nil) {
+		t.Errorf("block with plans (%d) not larger than base (%d)", got, SizeOfBlock(nil))
+	}
+}
+
+func TestAdoptPlanUnverifiedAndRequestOnly(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	outs := car.TickRequestOnly(0)
+	if len(outs) != 1 || outs[0].Kind != KindRequest {
+		t.Fatalf("TickRequestOnly = %+v", outs)
+	}
+	// Once requested, the baseline tick is silent.
+	if outs := car.TickRequestOnly(time.Second); len(outs) != 0 {
+		t.Error("duplicate baseline request")
+	}
+	p := scheduledPlans(t, 1)[0]
+	car.AdoptPlanUnverified(p)
+	if car.Plan() != p {
+		t.Error("plan not adopted")
+	}
+	if car.State() != VFollowing {
+		t.Errorf("state = %v", car.State())
+	}
+	// Exited baseline vehicles are silent too.
+	car.MarkExited(2 * time.Second)
+	if outs := car.TickRequestOnly(3 * time.Second); len(outs) != 0 {
+		t.Error("exited baseline vehicle still requests")
+	}
+}
+
+func TestIMServesBlockRequests(t *testing.T) {
+	_, in := fixtures(t)
+	var b *bus
+	sink := func(e Event) { b.events = append(b.events, e) }
+	im := mkIM(t, sink, nil)
+	c1 := mkCar(t, 1, in.RoutesFromLeg(0, 2)[0], sink, nil, 0)
+	b = newBus(t, im, c1)
+	pump(b, 0, 3*time.Second, 100*time.Millisecond, nil, nil, nil)
+	if len(im.Blocks()) == 0 {
+		t.Fatal("no blocks packaged")
+	}
+	seq := im.Blocks()[0].Seq
+	outs := im.HandleMessage(4*time.Second, vnet.Message{From: vnet.VehicleNode(1), Kind: KindBlockReq,
+		Payload: BlockReqMsg{Requester: 1, Seq: seq}})
+	if len(outs) != 1 || outs[0].Kind != KindBlockResp {
+		t.Fatalf("block request response = %+v", outs)
+	}
+	// Unknown block: silence.
+	if outs := im.HandleMessage(4*time.Second, vnet.Message{From: vnet.VehicleNode(1), Kind: KindBlockReq,
+		Payload: BlockReqMsg{Requester: 1, Seq: 999}}); len(outs) != 0 {
+		t.Error("unknown block request answered")
+	}
+}
+
+func TestIMIgnoresMalformedPayloads(t *testing.T) {
+	im := mkIM(t, nil, nil)
+	for _, kind := range []string{KindRequest, KindIncident, KindVerifyResp, KindBlockReq, "unknown"} {
+		if outs := im.HandleMessage(time.Second, vnet.Message{Kind: kind, Payload: "garbage"}); len(outs) != 0 {
+			t.Errorf("kind %q with garbage payload produced output", kind)
+		}
+	}
+}
+
+func TestVehicleIgnoresMalformedPayloads(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	for _, kind := range []string{KindBlock, KindBlockResp, KindVerifyReq, KindDismiss, KindEvacuation, KindGlobal, KindBlockReq, "unknown"} {
+		if outs := car.HandleMessage(time.Second, vnet.Message{Kind: kind, Payload: 42}); len(outs) != 0 {
+			t.Errorf("kind %q with garbage payload produced output", kind)
+		}
+	}
+}
+
+func TestIMRequestForUnknownRouteIgnored(t *testing.T) {
+	im := mkIM(t, nil, nil)
+	im.HandleMessage(time.Second, vnet.Message{Kind: KindRequest, Payload: RequestMsg{Vehicle: 1, RouteID: 9999}})
+	outs := im.Tick(2*time.Second, nil)
+	for _, o := range outs {
+		if o.Kind == KindBlock {
+			t.Error("block packaged for an invalid request")
+		}
+	}
+}
+
+func TestIMVehicleGoneClearsState(t *testing.T) {
+	im := mkIM(t, nil, nil)
+	im.HandleMessage(time.Second, vnet.Message{Kind: KindRequest, Payload: RequestMsg{Vehicle: 1, RouteID: 0, ArriveAt: time.Second, Speed: 15}})
+	im.VehicleGone(1)
+	outs := im.Tick(2*time.Second, nil)
+	for _, o := range outs {
+		if o.Kind == KindBlock {
+			t.Error("block packaged for a departed vehicle")
+		}
+	}
+	// Requests from departed vehicles are dropped.
+	im.HandleMessage(3*time.Second, vnet.Message{Kind: KindRequest, Payload: RequestMsg{Vehicle: 1, RouteID: 0, ArriveAt: 3 * time.Second, Speed: 15}})
+	for _, o := range im.Tick(4*time.Second, nil) {
+		if o.Kind == KindBlock {
+			t.Error("block packaged for a departed vehicle's late request")
+		}
+	}
+}
+
+func TestFreshenProjectsAndCaps(t *testing.T) {
+	_, in := fixtures(t)
+	im := mkIM(t, nil, nil)
+	r := in.Routes[0]
+	// Stale request: 10 s old, cruising at 20 m/s.
+	req := sched.Request{Vehicle: 1, Route: r, ArriveAt: 0, Speed: 20, CurrentS: 0}
+	out := im.freshen(req, 10*time.Second)
+	if out.ArriveAt != 10*time.Second {
+		t.Errorf("ArriveAt = %v", out.ArriveAt)
+	}
+	if out.CurrentS < 150 || out.CurrentS > 210 {
+		t.Errorf("projected s = %v, want ~200", out.CurrentS)
+	}
+	// Long staleness pins the vehicle at the entry line with speed 0.
+	far := im.freshen(sched.Request{Vehicle: 2, Route: r, ArriveAt: 0, Speed: 20}, 60*time.Second)
+	if far.CurrentS > r.CrossStart-17 || far.Speed != 0 {
+		t.Errorf("line hold: s=%v v=%v", far.CurrentS, far.Speed)
+	}
+	// Fresh requests pass through untouched.
+	same := im.freshen(sched.Request{Vehicle: 3, Route: r, ArriveAt: 5 * time.Second, Speed: 20}, 5*time.Second)
+	if same.CurrentS != 0 || same.ArriveAt != 5*time.Second {
+		t.Errorf("fresh request modified: %+v", same)
+	}
+	// A scheduled leader on the lane caps the projection.
+	lead := &plan.TravelPlan{Vehicle: 9, RouteID: r.ID, Waypoints: []plan.Waypoint{
+		{T: 0, S: 0, V: 5}, {T: 40 * time.Second, S: 200, V: 5},
+	}}
+	im.Ledger().Add(lead)
+	capped := im.freshen(sched.Request{Vehicle: 4, Route: r, ArriveAt: 0, Speed: 20}, 10*time.Second)
+	ls, _ := lead.StateAt(10 * time.Second)
+	if capped.CurrentS > ls-8.9 {
+		t.Errorf("projection %v not capped behind leader at %v", capped.CurrentS, ls)
+	}
+}
+
+func TestFireFalseEvacuationPicksCentralTarget(t *testing.T) {
+	_, in := fixtures(t)
+	var b *bus
+	sink := func(e Event) { b.events = append(b.events, e) }
+	im := mkIM(t, sink, &IMMalice{FalseEvacuation: true, FalseEvacAt: 3 * time.Second})
+	c1 := mkCar(t, 1, in.RoutesFromLeg(0, 2)[0], sink, nil, 0)
+	c2 := mkCar(t, 2, in.RoutesFromLeg(1, 2)[0], sink, nil, 0)
+	b = newBus(t, im, c1, c2)
+	pump(b, 0, 5*time.Second, 100*time.Millisecond, nil, nil, nil)
+	ev, ok := b.firstEvent(EvEvacuationStarted)
+	if !ok {
+		t.Fatal("sham evacuation never fired")
+	}
+	if ev.Subject != 1 && ev.Subject != 2 {
+		t.Errorf("sham target = %v", ev.Subject)
+	}
+	if len(im.Suspects()) != 1 {
+		t.Errorf("suspects = %v", im.Suspects())
+	}
+}
+
+func TestVehicleLaneChangeViolationDetectable(t *testing.T) {
+	// A 7 m lateral offset (two lane widths) exceeds the 5 m tolerance.
+	_, in := fixtures(t)
+	r := in.Routes[0]
+	p := scheduledPlans(t, 1)[0]
+	at := p.Start() + 10*time.Second
+	obs := ExpectedStatus(p, r, at)
+	obs.Pos = obs.Pos.Add(geom.Heading(obs.Heading + 1.5707).Scale(7))
+	if _, _, violated := CheckConduct(p, r, obs, DefaultTolerance()); !violated {
+		t.Error("lane-change offset not detected")
+	}
+}
+
+func TestDismissForWrongReporterIgnored(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	// Dismiss addressed to someone else must not disturb state.
+	car.HandleMessage(time.Second, vnet.Message{Kind: KindDismiss, Payload: DismissMsg{Reporter: 2, Suspect: 3, Benign: true}})
+	if car.State() != VPreparation {
+		t.Errorf("state = %v", car.State())
+	}
+}

@@ -1,0 +1,112 @@
+package nwade
+
+import (
+	"time"
+
+	"nwade/internal/plan"
+)
+
+// EventType enumerates the observable protocol events. The evaluation
+// harness reconstructs every paper metric (detection rates, false-alarm
+// rates, detection times) from these.
+type EventType int
+
+// Protocol events.
+const (
+	// Intersection-manager side.
+	EvBlockBroadcast EventType = iota + 1
+	EvIncidentReceived
+	EvDirectCheck
+	EvVoteRound
+	EvAlarmDismissed
+	EvFalseAlarmTriggered
+	EvFalseAlarmDetected
+	EvIncidentConfirmed
+	EvEvacuationStarted
+	EvRecoveryStarted
+	EvReportIgnored
+
+	// Vehicle side.
+	EvDeviationSpotted
+	EvReportSent
+	EvBlockAccepted
+	EvBlockRejected
+	EvGlobalSent
+	EvGlobalRefuted
+	EvSelfEvacuation
+	EvEvacPlanAdopted
+	EvFalseAccusationSeen
+	EvSuspectQuorum
+	EvExited
+)
+
+// String implements fmt.Stringer.
+func (t EventType) String() string {
+	switch t {
+	case EvBlockBroadcast:
+		return "block-broadcast"
+	case EvIncidentReceived:
+		return "incident-received"
+	case EvDirectCheck:
+		return "direct-check"
+	case EvVoteRound:
+		return "vote-round"
+	case EvAlarmDismissed:
+		return "alarm-dismissed"
+	case EvFalseAlarmTriggered:
+		return "false-alarm-triggered"
+	case EvFalseAlarmDetected:
+		return "false-alarm-detected"
+	case EvIncidentConfirmed:
+		return "incident-confirmed"
+	case EvEvacuationStarted:
+		return "evacuation-started"
+	case EvRecoveryStarted:
+		return "recovery-started"
+	case EvReportIgnored:
+		return "report-ignored"
+	case EvDeviationSpotted:
+		return "deviation-spotted"
+	case EvReportSent:
+		return "report-sent"
+	case EvBlockAccepted:
+		return "block-accepted"
+	case EvBlockRejected:
+		return "block-rejected"
+	case EvGlobalSent:
+		return "global-sent"
+	case EvGlobalRefuted:
+		return "global-refuted"
+	case EvSelfEvacuation:
+		return "self-evacuation"
+	case EvEvacPlanAdopted:
+		return "evac-plan-adopted"
+	case EvFalseAccusationSeen:
+		return "false-accusation-seen"
+	case EvSuspectQuorum:
+		return "suspect-quorum"
+	case EvExited:
+		return "exited"
+	default:
+		return "unknown-event"
+	}
+}
+
+// Event is one observable protocol occurrence.
+type Event struct {
+	At      time.Duration
+	Type    EventType
+	Actor   plan.VehicleID // 0 for the intersection manager
+	Subject plan.VehicleID // the vehicle the event is about, if any
+	Info    string
+}
+
+// EventSink receives events; nil sinks are allowed everywhere.
+type EventSink func(Event)
+
+// emit is a nil-safe send.
+func (s EventSink) emit(e Event) {
+	if s != nil {
+		s(e)
+	}
+}

@@ -1,0 +1,1124 @@
+package nwade
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"nwade/internal/chain"
+	"nwade/internal/geom"
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+	"nwade/internal/sched"
+	"nwade/internal/units"
+	"nwade/internal/vnet"
+)
+
+// IMConfig parameterises the intersection-manager side of NWADE.
+type IMConfig struct {
+	// BatchWindow is δ, the interval at which pending requests are
+	// scheduled and packaged into one block (default 1 s).
+	BatchWindow time.Duration
+	// PerceptionRadius is the IM's own sensing range from the
+	// intersection center; suspects inside it are checked directly
+	// (default 1000 ft).
+	PerceptionRadius float64
+	// Tolerance is the deviation tolerance for direct checks.
+	Tolerance Tolerance
+	// VoteTimeout bounds how long the IM waits for verification votes.
+	VoteTimeout time.Duration
+	// GroupSize is the number of verifiers asked per voting round.
+	GroupSize int
+	// StrikeLimit is how many dismissed alarms a reporter may accrue
+	// before its reports are ignored.
+	StrikeLimit int
+	// EvacSpeedFactor scales the speed limit for evacuation plans so
+	// vehicles keep reaction margin (Section IV-B5).
+	EvacSpeedFactor float64
+	// EvacClearance is how long after the last suspect sighting the IM
+	// waits before post-evacuation recovery.
+	EvacClearance time.Duration
+	// HazardHorizon is how far ahead a suspect's movement is
+	// extrapolated when rescheduling around it.
+	HazardHorizon time.Duration
+	// DisableDoubleCheck removes the second verification round (the
+	// paper's defense against colluding voters). Exists only for the
+	// ablation study; leave false in production.
+	DisableDoubleCheck bool
+}
+
+// DefaultIMConfig returns the paper's settings.
+func DefaultIMConfig() IMConfig {
+	return IMConfig{
+		BatchWindow:      units.BatchWindow,
+		PerceptionRadius: units.SensingRadiusDefault,
+		Tolerance:        DefaultTolerance(),
+		VoteTimeout:      500 * time.Millisecond,
+		GroupSize:        7,
+		StrikeLimit:      3,
+		EvacSpeedFactor:  0.6,
+		EvacClearance:    20 * time.Second,
+		HazardHorizon:    60 * time.Second,
+	}
+}
+
+// IMMalice configures a compromised intersection manager. Nil means
+// benign. The flags correspond to the threat model's category (iii) and
+// (iv) behaviors.
+type IMMalice struct {
+	// ActiveAt is when the compromise activates; the IM behaves
+	// honestly before it.
+	ActiveAt time.Duration
+	// ConflictingPlans makes the IM sabotage packaged blocks so that
+	// two plans collide (the "wrong travel plans" attack of Fig. 1c).
+	ConflictingPlans bool
+	// BadSignature corrupts block signatures.
+	BadSignature bool
+	// Unresponsive drops incident reports silently.
+	Unresponsive bool
+	// DismissAll dismisses every incident report as false.
+	DismissAll bool
+	// FalseEvacuation broadcasts a sham evacuation against the benign
+	// vehicle FalseEvacTarget at FalseEvacAt.
+	FalseEvacuation bool
+	FalseEvacAt     time.Duration
+	FalseEvacTarget plan.VehicleID
+	firedFalseEvac  bool
+}
+
+// active reports whether the compromise is live at now.
+func (m *IMMalice) active(now time.Duration) bool {
+	return m != nil && now >= m.ActiveAt
+}
+
+// VehicleObs is a ground-truth observation from the IM's own sensors
+// (e.g. roadside cameras) within its perception radius.
+type VehicleObs struct {
+	ID     plan.VehicleID
+	Status plan.Status
+}
+
+// verification is an in-flight report-verification workflow.
+type verification struct {
+	nonce    uint64
+	suspect  plan.VehicleID
+	reporter plan.VehicleID
+	// extraReporters are vehicles that reported the same suspect while
+	// this verification was in flight; they receive the verdict too
+	// (silently dropping them would make honest reporters conclude the
+	// IM is unresponsive).
+	extraReporters []plan.VehicleID
+	evidence       plan.Status
+	round          int
+	deadline       time.Duration
+	asked          map[plan.VehicleID]bool // current round
+	askedEver      map[plan.VehicleID]bool
+	votes          map[plan.VehicleID]VerifyResponse
+	triggered      bool // evacuation already triggered after round 1
+}
+
+// IMCore is the intersection-manager protocol engine: scheduling, block
+// packaging, report verification with two-group voting, evacuation and
+// recovery. It is network-agnostic: HandleMessage and Tick return the
+// outbound messages.
+type IMCore struct {
+	cfg    IMConfig
+	inter  *intersection.Intersection
+	signer *chain.Signer
+	sch    sched.Scheduler
+	evac   *sched.Reservation
+	ledger *sched.Ledger
+	auto   *IMAutomaton
+	sink   EventSink
+	mal    *IMMalice
+
+	blocks    []*chain.Block // full history, for serving block requests
+	pending   map[plan.VehicleID]sched.Request
+	lastBatch time.Duration
+
+	nonce    uint64
+	verifs   map[uint64]*verification
+	strikes  map[plan.VehicleID]int
+	suspects map[plan.VehicleID]SuspectInfo
+	visible  map[plan.VehicleID]plan.Status
+	lastSeen map[plan.VehicleID]time.Duration // suspect sightings
+	evacAt   time.Duration
+	gone     map[plan.VehicleID]bool // vehicles that exited
+	// watching counts consecutive ticks the IM's own sensors saw a
+	// vehicle violating its plan (the paper's case-i camera check,
+	// running continuously rather than only on reports).
+	watching map[plan.VehicleID]int
+	// unplannedSince tracks visible vehicles that never requested a
+	// plan — legacy (human-driven) traffic in the transitional mix.
+	// They become rolling hazards new admissions must route around.
+	unplannedSince map[plan.VehicleID]time.Duration
+	lastHazardSync time.Duration
+}
+
+// NewIMCore assembles the manager core.
+func NewIMCore(cfg IMConfig, inter *intersection.Intersection, signer *chain.Signer, scheduler sched.Scheduler, sink EventSink, mal *IMMalice) *IMCore {
+	if cfg.BatchWindow <= 0 {
+		cfg = DefaultIMConfig()
+	}
+	return &IMCore{
+		cfg:            cfg,
+		inter:          inter,
+		signer:         signer,
+		sch:            scheduler,
+		evac:           &sched.Reservation{Profile: sched.ProfileConfig{VMax: units.SpeedLimit * cfg.EvacSpeedFactor}},
+		ledger:         sched.NewLedger(inter),
+		auto:           NewIMAutomaton(),
+		sink:           sink,
+		mal:            mal,
+		pending:        make(map[plan.VehicleID]sched.Request),
+		verifs:         make(map[uint64]*verification),
+		strikes:        make(map[plan.VehicleID]int),
+		suspects:       make(map[plan.VehicleID]SuspectInfo),
+		visible:        make(map[plan.VehicleID]plan.Status),
+		lastSeen:       make(map[plan.VehicleID]time.Duration),
+		gone:           make(map[plan.VehicleID]bool),
+		watching:       make(map[plan.VehicleID]int),
+		unplannedSince: make(map[plan.VehicleID]time.Duration),
+	}
+}
+
+// State exposes the DFA state.
+func (im *IMCore) State() IMState { return im.auto.State() }
+
+// Ledger exposes the accepted plans (for tests and the engine's physics).
+func (im *IMCore) Ledger() *sched.Ledger { return im.ledger }
+
+// Head returns the newest packaged block.
+func (im *IMCore) Head() *chain.Block {
+	if len(im.blocks) == 0 {
+		return nil
+	}
+	return im.blocks[len(im.blocks)-1]
+}
+
+// Blocks returns the full packaged-block history (oldest first).
+func (im *IMCore) Blocks() []*chain.Block {
+	out := make([]*chain.Block, len(im.blocks))
+	copy(out, im.blocks)
+	return out
+}
+
+// Strikes returns the recorded false-report strikes for a vehicle.
+func (im *IMCore) Strikes(id plan.VehicleID) int { return im.strikes[id] }
+
+// Suspects returns the currently confirmed suspects.
+func (im *IMCore) Suspects() []plan.VehicleID {
+	out := make([]plan.VehicleID, 0, len(im.suspects))
+	for id := range im.suspects {
+		out = append(out, id)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VehicleGone informs the IM that a vehicle exited the intersection.
+func (im *IMCore) VehicleGone(id plan.VehicleID) {
+	im.gone[id] = true
+	im.ledger.Remove(id)
+	delete(im.pending, id)
+}
+
+// HandleMessage processes one inbound message.
+func (im *IMCore) HandleMessage(now time.Duration, msg vnet.Message) []Out {
+	switch msg.Kind {
+	case KindRequest:
+		req, ok := msg.Payload.(RequestMsg)
+		if !ok {
+			return nil
+		}
+		return im.handleRequest(req)
+	case KindIncident:
+		ir, ok := msg.Payload.(IncidentReport)
+		if !ok {
+			return nil
+		}
+		return im.handleIncident(now, ir)
+	case KindVerifyResp:
+		vr, ok := msg.Payload.(VerifyResponse)
+		if !ok {
+			return nil
+		}
+		return im.handleVote(now, vr)
+	case KindBlockReq:
+		br, ok := msg.Payload.(BlockReqMsg)
+		if !ok {
+			return nil
+		}
+		return im.handleBlockReq(msg.From, br)
+	default:
+		return nil
+	}
+}
+
+// handleRequest queues a scheduling request.
+func (im *IMCore) handleRequest(req RequestMsg) []Out {
+	if im.gone[req.Vehicle] {
+		return nil
+	}
+	r, err := im.inter.Route(req.RouteID)
+	if err != nil {
+		return nil
+	}
+	// A requester is a protocol participant: stop treating it as
+	// legacy traffic (its ledger entry becomes a real plan, not a
+	// hazard extrapolation).
+	delete(im.unplannedSince, req.Vehicle)
+	delete(im.watching, req.Vehicle)
+	im.pending[req.Vehicle] = sched.Request{
+		Vehicle:  req.Vehicle,
+		Char:     req.Char,
+		Route:    r,
+		ArriveAt: req.ArriveAt,
+		Speed:    req.Speed,
+		CurrentS: req.CurrentS,
+	}
+	return nil
+}
+
+// handleBlockReq serves a cached block.
+func (im *IMCore) handleBlockReq(from vnet.NodeID, br BlockReqMsg) []Out {
+	for _, b := range im.blocks {
+		if b.Seq == br.Seq {
+			return []Out{{To: from, Kind: KindBlockResp, Payload: BlockRespMsg{Block: b}, Size: SizeOfBlock(b)}}
+		}
+	}
+	return nil
+}
+
+// handleIncident is the report-verification entry point (Section IV-B2).
+func (im *IMCore) handleIncident(now time.Duration, ir IncidentReport) []Out {
+	im.sink.emit(Event{At: now, Type: EvIncidentReceived, Actor: 0, Subject: ir.Suspect, Info: fmt.Sprintf("from %v", ir.Reporter)})
+	if im.mal.active(now) && im.mal.Unresponsive {
+		im.sink.emit(Event{At: now, Type: EvReportIgnored, Subject: ir.Suspect, Info: "malicious IM drops report"})
+		return nil
+	}
+	if im.mal.active(now) && im.mal.DismissAll {
+		return []Out{im.dismiss(now, ir.Reporter, ir.Suspect, false)}
+	}
+	if info, confirmed := im.suspects[ir.Suspect]; confirmed {
+		// Already evacuating around this suspect: absorb the fresh
+		// sighting and acknowledge the reporter so it does not take
+		// the silence for a compromised manager.
+		info.LastSeen = ir.Evidence
+		im.suspects[ir.Suspect] = info
+		im.lastSeen[ir.Suspect] = now
+		return []Out{{To: vnet.VehicleNode(uint64(ir.Reporter)), Kind: KindDismiss,
+			Payload: DismissMsg{Reporter: ir.Reporter, Suspect: ir.Suspect, Benign: false}, Size: sizeDismiss}}
+	}
+	if im.strikes[ir.Reporter] >= im.cfg.StrikeLimit {
+		im.sink.emit(Event{At: now, Type: EvReportIgnored, Subject: ir.Suspect, Info: fmt.Sprintf("reporter %v exceeded strike limit", ir.Reporter)})
+		return nil
+	}
+	// A suspect already under verification: remember the additional
+	// reporter so it gets the verdict instead of timing out.
+	for _, v := range im.verifs {
+		if v.suspect == ir.Suspect {
+			if ir.Reporter != v.reporter {
+				v.extraReporters = append(v.extraReporters, ir.Reporter)
+			}
+			return nil
+		}
+	}
+	_ = im.auto.To(IMReportVerify)
+	// Case (i): the IM can observe the suspect directly.
+	if obs, ok := im.visible[ir.Suspect]; ok {
+		return im.directCheck(now, ir, obs)
+	}
+	// Case (ii): delegate to a group of local verifiers.
+	return im.startVote(now, ir, 1, nil)
+}
+
+// coreZoneRadius bounds the area where an unplanned vehicle is itself a
+// threat: inside it, everything on the road must hold a reservation.
+const coreZoneRadius = 80.0
+
+// directCheck compares the suspect's observed status with its plan.
+func (im *IMCore) directCheck(now time.Duration, ir IncidentReport, obs plan.Status) []Out {
+	p, ok := im.ledger.Get(ir.Suspect)
+	if !ok {
+		// No plan on file. An unplanned vehicle inside the conflict
+		// area is a threat; one still on the approach is just a
+		// newcomer awaiting admission.
+		if obs.Pos.Len() <= coreZoneRadius {
+			im.sink.emit(Event{At: now, Type: EvDirectCheck, Subject: ir.Suspect, Info: "unplanned vehicle in the conflict area"})
+			return im.confirmIncident(now, ir.Suspect, obs)
+		}
+		im.sink.emit(Event{At: now, Type: EvDirectCheck, Subject: ir.Suspect, Info: "no plan yet, outside conflict area"})
+		return []Out{im.dismiss(now, ir.Reporter, ir.Suspect, false)}
+	}
+	r, err := im.inter.Route(p.RouteID)
+	if err != nil {
+		return nil
+	}
+	posErr, spdErr, violated := CheckConduct(p, r, obs, im.cfg.Tolerance)
+	attack := violated && Aggressive(p, r, obs, im.cfg.Tolerance)
+	im.sink.emit(Event{At: now, Type: EvDirectCheck, Subject: ir.Suspect,
+		Info: fmt.Sprintf("posErr=%.1f spdErr=%.1f violated=%v attack=%v", posErr, spdErr, violated, attack)})
+	if attack {
+		return im.confirmIncident(now, ir.Suspect, obs)
+	}
+	if violated {
+		// Off-plan but passive (delayed/stopped): the reporter saw a
+		// real anomaly, so no strike; the fix is a fresh plan.
+		im.replanFromObservation(now, ir.Suspect, obs)
+		return []Out{im.dismiss(now, ir.Reporter, ir.Suspect, false)}
+	}
+	return []Out{im.dismiss(now, ir.Reporter, ir.Suspect, true)}
+}
+
+// replanFromObservation queues a re-scheduling request for a vehicle the
+// IM observed off its plan in a non-hostile way, starting from where it
+// actually is.
+func (im *IMCore) replanFromObservation(now time.Duration, id plan.VehicleID, obs plan.Status) {
+	p, ok := im.ledger.Get(id)
+	if !ok {
+		return
+	}
+	r, err := im.inter.Route(p.RouteID)
+	if err != nil {
+		return
+	}
+	if _, pending := im.pending[id]; pending {
+		return
+	}
+	s, _ := r.Full.Project(obs.Pos)
+	im.pending[id] = sched.Request{
+		Vehicle:  id,
+		Char:     p.Char,
+		Route:    r,
+		ArriveAt: now,
+		Speed:    obs.Speed,
+		CurrentS: s,
+	}
+}
+
+// dismiss clears an alarm. withStrike records the reporter for future
+// reference — only on high-confidence dismissals (the IM observed the
+// suspect itself, or a round-2 group exposed the alarm as false); a
+// merely lost vote must not silence honest reporters, or a clustered
+// coalition could strike out the few witnesses around it.
+func (im *IMCore) dismiss(now time.Duration, reporter, suspect plan.VehicleID, withStrike bool) Out {
+	info := fmt.Sprintf("reporter %v", reporter)
+	if withStrike {
+		im.strikes[reporter]++
+		info = fmt.Sprintf("reporter %v strike %d", reporter, im.strikes[reporter])
+	}
+	im.sink.emit(Event{At: now, Type: EvAlarmDismissed, Subject: suspect, Info: info})
+	_ = im.auto.To(IMStandby)
+	return Out{To: vnet.VehicleNode(uint64(reporter)), Kind: KindDismiss,
+		Payload: DismissMsg{Reporter: reporter, Suspect: suspect, Benign: true}, Size: sizeDismiss}
+}
+
+// startVote opens a verification round by asking the GroupSize vehicles
+// nearest to the evidence location (excluding reporter, suspect, and — in
+// round 2 — everyone already asked).
+func (im *IMCore) startVote(now time.Duration, ir IncidentReport, round int, prev *verification) []Out {
+	v := &verification{
+		suspect:   ir.Suspect,
+		reporter:  ir.Reporter,
+		evidence:  ir.Evidence,
+		round:     round,
+		deadline:  now + im.cfg.VoteTimeout,
+		asked:     make(map[plan.VehicleID]bool),
+		askedEver: make(map[plan.VehicleID]bool),
+		votes:     make(map[plan.VehicleID]VerifyResponse),
+	}
+	if prev != nil {
+		v.nonce = prev.nonce
+		v.triggered = prev.triggered
+		v.extraReporters = prev.extraReporters
+		for id := range prev.askedEver {
+			v.askedEver[id] = true
+		}
+	} else {
+		im.nonce++
+		v.nonce = im.nonce
+	}
+	group := im.selectVerifiers(now, ir.Suspect, ir.Reporter, ir.Evidence.Pos, v.askedEver)
+	if len(group) == 0 {
+		// Nobody can verify. Err on the side of safety: confirm on the
+		// reporter's evidence alone.
+		im.sink.emit(Event{At: now, Type: EvVoteRound, Subject: ir.Suspect, Info: "no verifiers available"})
+		return im.confirmIncident(now, ir.Suspect, ir.Evidence)
+	}
+	var outs []Out
+	for _, id := range group {
+		v.asked[id] = true
+		v.askedEver[id] = true
+		outs = append(outs, Out{To: vnet.VehicleNode(uint64(id)), Kind: KindVerifyReq,
+			Payload: VerifyRequest{Suspect: ir.Suspect, Nonce: v.nonce}, Size: sizeVerifyReq})
+	}
+	im.verifs[v.nonce] = v
+	im.sink.emit(Event{At: now, Type: EvVoteRound, Subject: ir.Suspect,
+		Info: fmt.Sprintf("round %d, %d verifiers", round, len(group))})
+	return outs
+}
+
+// selectVerifiers returns up to GroupSize vehicles nearest to pos, by
+// their scheduled positions, excluding the parties and prior voters.
+func (im *IMCore) selectVerifiers(now time.Duration, suspect, reporter plan.VehicleID, pos geom.Vec2, exclude map[plan.VehicleID]bool) []plan.VehicleID {
+	type cand struct {
+		id plan.VehicleID
+		d  float64
+	}
+	var cands []cand
+	for _, p := range im.ledger.Active() {
+		id := p.Vehicle
+		if id == suspect || id == reporter || exclude[id] || im.gone[id] {
+			continue
+		}
+		if _, isLegacy := im.unplannedSince[id]; isLegacy {
+			continue // legacy vehicles have no radio, cannot vote
+		}
+		r, err := im.inter.Route(p.RouteID)
+		if err != nil {
+			continue
+		}
+		s, _ := p.StateAt(now)
+		d := r.Full.PointAt(s).Dist(pos)
+		cands = append(cands, cand{id: id, d: d})
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].d != cands[j].d {
+			return cands[i].d < cands[j].d
+		}
+		return cands[i].id < cands[j].id
+	})
+	n := im.cfg.GroupSize
+	if n > len(cands) {
+		n = len(cands)
+	}
+	out := make([]plan.VehicleID, 0, n)
+	for _, c := range cands[:n] {
+		out = append(out, c.id)
+	}
+	return out
+}
+
+// handleVote tallies one verification response.
+func (im *IMCore) handleVote(now time.Duration, vr VerifyResponse) []Out {
+	v, ok := im.verifs[vr.Nonce]
+	if !ok || !v.asked[vr.Voter] || v.suspect != vr.Suspect {
+		return nil
+	}
+	if _, dup := v.votes[vr.Voter]; dup {
+		return nil
+	}
+	v.votes[vr.Voter] = vr
+	if len(v.votes) >= len(v.asked) {
+		return im.decideVote(now, v)
+	}
+	return nil
+}
+
+// decideVote closes a round over the votes of verifiers that could
+// actually see the suspect (non-visible votes abstain): majority abnormal
+// advances the workflow; majority normal dismisses (round 1) or reveals a
+// false alarm (round 2). A round with no sighted votes is inconclusive:
+// round 1 errs toward safety and confirms on the reporter's evidence,
+// round 2 leaves the round-1 outcome standing.
+func (im *IMCore) decideVote(now time.Duration, v *verification) []Out {
+	delete(im.verifs, v.nonce)
+	abnormal, sighted := 0, 0
+	for _, vr := range v.votes {
+		if !vr.Visible {
+			continue
+		}
+		sighted++
+		if vr.Abnormal {
+			abnormal++
+		}
+	}
+	if sighted == 0 {
+		im.sink.emit(Event{At: now, Type: EvVoteRound, Subject: v.suspect,
+			Info: fmt.Sprintf("round %d inconclusive: no sighted votes", v.round)})
+		if v.round == 1 {
+			return im.confirmIncident(now, v.suspect, v.evidence)
+		}
+		return nil
+	}
+	majority := abnormal*2 > sighted
+	switch {
+	case v.round == 1 && majority:
+		// Paper: enter evacuation immediately for safety, then
+		// double-check with a fresh group.
+		outs := im.confirmIncident(now, v.suspect, v.evidence)
+		if im.cfg.DisableDoubleCheck {
+			return outs // ablation: trust the first majority
+		}
+		v.triggered = true
+		ir := IncidentReport{Reporter: v.reporter, Suspect: v.suspect, Evidence: v.evidence, At: now}
+		outs = append(outs, im.startVote(now, ir, 2, v)...)
+		return outs
+	case v.round == 1 && !majority:
+		return im.dismissAllReporters(now, v, false)
+	case majority:
+		// Round 2 also abnormal: confirmed for good.
+		im.sink.emit(Event{At: now, Type: EvIncidentConfirmed, Subject: v.suspect, Info: "round-2 confirmation"})
+		return nil
+	default:
+		// Round 2 cleared the suspect: the round-1 majority was a
+		// coordinated false alarm (Table II type A). Recover.
+		im.sink.emit(Event{At: now, Type: EvFalseAlarmDetected, Subject: v.suspect,
+			Info: fmt.Sprintf("reporter %v and %d colluders", v.reporter, len(v.votes))})
+		delete(im.suspects, v.suspect)
+		outs := im.dismissAllReporters(now, v, true)
+		if len(im.suspects) == 0 && im.auto.State() == IMEvacuation {
+			outs = append(outs, im.recover(now)...)
+		}
+		return outs
+	}
+}
+
+// dismissAllReporters sends the dismissal verdict to the original
+// reporter and everyone who re-reported the suspect meanwhile.
+func (im *IMCore) dismissAllReporters(now time.Duration, v *verification, withStrike bool) []Out {
+	outs := []Out{im.dismiss(now, v.reporter, v.suspect, withStrike)}
+	seen := map[plan.VehicleID]bool{v.reporter: true}
+	for _, rep := range v.extraReporters {
+		if seen[rep] {
+			continue
+		}
+		seen[rep] = true
+		outs = append(outs, im.dismiss(now, rep, v.suspect, false))
+	}
+	return outs
+}
+
+// confirmIncident marks the suspect and starts (or extends) evacuation.
+func (im *IMCore) confirmIncident(now time.Duration, suspect plan.VehicleID, lastSeen plan.Status) []Out {
+	char := plan.Characteristics{}
+	if p, ok := im.ledger.Get(suspect); ok {
+		char = p.Char
+	}
+	if _, dup := im.suspects[suspect]; !dup {
+		im.suspects[suspect] = SuspectInfo{Vehicle: suspect, Char: char, LastSeen: lastSeen}
+	}
+	im.lastSeen[suspect] = now
+	im.sink.emit(Event{At: now, Type: EvIncidentConfirmed, Subject: suspect})
+	return im.startEvacuation(now)
+}
+
+// startEvacuation reschedules everyone around the suspects and broadcasts
+// the alert with the evacuation block (Section IV-B5).
+func (im *IMCore) startEvacuation(now time.Duration) []Out {
+	_ = im.auto.To(IMEvacuation)
+	im.evacAt = now
+	im.sink.emit(Event{At: now, Type: EvEvacuationStarted, Info: fmt.Sprintf("%d suspects", len(im.suspects))})
+	plans := im.rescheduleAll(now, im.evac, true)
+	outs := im.packageAndBroadcast(now, plans, true)
+	return outs
+}
+
+// recover is the post-evacuation recovery: normal-speed rescheduling.
+func (im *IMCore) recover(now time.Duration) []Out {
+	_ = im.auto.To(IMRecovery)
+	im.sink.emit(Event{At: now, Type: EvRecoveryStarted})
+	plans := im.rescheduleAll(now, &sched.Reservation{}, false)
+	outs := im.packageAndBroadcast(now, plans, false)
+	_ = im.auto.To(IMStandby)
+	return outs
+}
+
+// rescheduleAll replans every active vehicle from its current scheduled
+// position. With hazards, confirmed suspects are replaced by extrapolated
+// hazard plans that the new schedules must avoid. Vehicles that cannot be
+// rescheduled keep their old plans.
+func (im *IMCore) rescheduleAll(now time.Duration, scheduler sched.Scheduler, hazards bool) []*plan.TravelPlan {
+	fresh := sched.NewLedger(im.inter)
+	if hazards {
+		for id, info := range im.suspects {
+			if hp := im.hazardPlan(now, id, info); hp != nil {
+				fresh.Add(hp)
+			}
+		}
+	}
+	// Legacy-traffic hazards carry over: they are constraints, never
+	// schedulable (or broadcastable) plans.
+	for id := range im.unplannedSince {
+		if p, ok := im.ledger.Get(id); ok {
+			fresh.Add(p)
+		}
+	}
+	// Farthest-along vehicles replan first: they have the least room to
+	// maneuver.
+	active := im.ledger.Active()
+	type prog struct {
+		p *plan.TravelPlan
+		s float64
+		v float64
+	}
+	var ps []prog
+	for _, p := range active {
+		if _, isSuspect := im.suspects[p.Vehicle]; isSuspect {
+			continue
+		}
+		if _, isLegacy := im.unplannedSince[p.Vehicle]; isLegacy {
+			continue
+		}
+		if im.gone[p.Vehicle] || p.Done(now) {
+			continue
+		}
+		s, v := p.StateAt(now)
+		ps = append(ps, prog{p: p, s: s, v: v})
+	}
+	sort.Slice(ps, func(i, j int) bool {
+		if ps[i].s != ps[j].s {
+			return ps[i].s > ps[j].s
+		}
+		return ps[i].p.Vehicle < ps[j].p.Vehicle
+	})
+	// Pre-seed every vehicle's current plan, then replace them one by
+	// one. Each admission is therefore checked against the *current*
+	// plan of every other vehicle — new where already replaced, old
+	// otherwise — so the final mix of new and kept-old plans is
+	// pairwise conflict-free.
+	for _, pr := range ps {
+		fresh.Add(pr.p)
+	}
+	var out []*plan.TravelPlan
+	for _, pr := range ps {
+		r, err := im.inter.Route(pr.p.RouteID)
+		if err != nil {
+			continue
+		}
+		req := sched.Request{
+			Vehicle:  pr.p.Vehicle,
+			Char:     pr.p.Char,
+			Route:    r,
+			ArriveAt: now,
+			Speed:    pr.v,
+			CurrentS: pr.s,
+		}
+		fresh.Remove(pr.p.Vehicle)
+		plans, err := scheduler.Schedule([]sched.Request{req}, now, fresh)
+		if err != nil {
+			// Keep the old plan rather than leaving the vehicle
+			// planless; it was part of the seeded, consistent set.
+			fresh.Add(pr.p)
+			out = append(out, pr.p)
+			continue
+		}
+		np := plans[0]
+		np.Evacuation = hazards
+		fresh.Add(np)
+		out = append(out, np)
+	}
+	im.ledger = fresh
+	return out
+}
+
+// hazardPlan extrapolates a suspect's last observed motion so new plans
+// keep clear of it.
+func (im *IMCore) hazardPlan(now time.Duration, id plan.VehicleID, info SuspectInfo) *plan.TravelPlan {
+	old, ok := im.ledger.Get(id)
+	if !ok {
+		return nil
+	}
+	r, err := im.inter.Route(old.RouteID)
+	if err != nil {
+		return nil
+	}
+	s, _ := r.Full.Project(info.LastSeen.Pos)
+	speed := info.LastSeen.Speed
+	if speed < 0 {
+		speed = 0
+	}
+	horizon := im.cfg.HazardHorizon
+	end := s + speed*horizon.Seconds()
+	if end > r.Full.Length() {
+		end = r.Full.Length()
+	}
+	ws := []plan.Waypoint{
+		{T: now, S: s, V: speed},
+		{T: now + horizon, S: end, V: speed},
+	}
+	return &plan.TravelPlan{
+		Vehicle:   id,
+		Char:      info.Char,
+		Status:    info.LastSeen,
+		RouteID:   old.RouteID,
+		Waypoints: ws,
+		Issued:    now,
+	}
+}
+
+// packageAndBroadcast signs the plans into a block, applies any IM
+// malice, and emits the broadcast (block or evacuation alert).
+func (im *IMCore) packageAndBroadcast(now time.Duration, plans []*plan.TravelPlan, evacuation bool) []Out {
+	if len(plans) == 0 {
+		return nil
+	}
+	if im.mal.active(now) && im.mal.ConflictingPlans {
+		im.sabotage(now, plans)
+	}
+	b, err := chain.Package(im.signer, im.Head(), now, plans)
+	if err != nil {
+		return nil
+	}
+	if im.mal.active(now) && im.mal.BadSignature {
+		b.Sig[0] ^= 0xFF
+	}
+	im.blocks = append(im.blocks, b)
+	im.sink.emit(Event{At: now, Type: EvBlockBroadcast, Info: fmt.Sprintf("seq %d, %d plans, evac=%v", b.Seq, len(b.Plans), evacuation)})
+	if evacuation {
+		suspects := make([]SuspectInfo, 0, len(im.suspects))
+		for _, s := range im.suspects {
+			suspects = append(suspects, s)
+		}
+		sort.Slice(suspects, func(i, j int) bool { return suspects[i].Vehicle < suspects[j].Vehicle })
+		return []Out{{To: vnet.Broadcast, Kind: KindEvacuation,
+			Payload: EvacuationAlert{Suspects: suspects, Block: b}, Size: SizeOfBlock(b) + 64}}
+	}
+	return []Out{{To: vnet.Broadcast, Kind: KindBlock, Payload: BlockMsg{Block: b}, Size: SizeOfBlock(b)}}
+}
+
+// sabotage makes a plan in the batch collide with another plan: it
+// retimes one plan's waypoints so it occupies a conflict zone exactly
+// when a victim plan does. The victim is preferably in the same batch;
+// with a single-plan batch the victim comes from the ledger (a plan in
+// an earlier block — Algorithm 1 step iv catches cross-block conflicts).
+// Vehicles running Algorithm 1 catch either form.
+func (im *IMCore) sabotage(now time.Duration, plans []*plan.TravelPlan) {
+	// Prefer an in-batch victim, then fall back to victims in earlier
+	// blocks. Only plans in the batch being packaged are ever retimed.
+	for _, victims := range [][]*plan.TravelPlan{plans, im.ledger.Active()} {
+		for _, p := range plans {
+			for _, v := range victims {
+				if p.Vehicle == v.Vehicle {
+					continue
+				}
+				if im.retimeOnto(p, v) {
+					return
+				}
+			}
+		}
+	}
+}
+
+// retimeOnto shifts plan p's schedule so it enters a shared conflict
+// zone exactly when victim v does, reporting success.
+func (im *IMCore) retimeOnto(p, v *plan.TravelPlan) bool {
+	for _, cz := range im.inter.ConflictsOf(v.RouteID) {
+		if cz.Other(v.RouteID) != p.RouteID {
+			continue
+		}
+		vLo, _, _ := cz.WindowFor(v.RouteID)
+		pLo, _, _ := cz.WindowFor(p.RouteID)
+		tv, okV := v.TimeAt(vLo)
+		tp, okP := p.TimeAt(pLo)
+		if !okV || !okP {
+			continue
+		}
+		shift := tv - tp
+		for k := range p.Waypoints {
+			p.Waypoints[k].T += shift
+		}
+		return true
+	}
+	return false
+}
+
+// Tick advances time-driven behavior: batching, vote deadlines,
+// evacuation clearance, and scheduled malice.
+func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
+	im.visible = make(map[plan.VehicleID]plan.Status, len(visible))
+	for _, o := range visible {
+		im.visible[o.ID] = o.Status
+		if _, isSuspect := im.suspects[o.ID]; isSuspect {
+			im.lastSeen[o.ID] = now
+			info := im.suspects[o.ID]
+			info.LastSeen = o.Status
+			im.suspects[o.ID] = info
+		}
+	}
+	var outs []Out
+	// Legacy-traffic hazards: a visible vehicle that has not requested
+	// a plan for a while is a non-participant (human-driven); keep a
+	// rolling extrapolation of it in the ledger so newly admitted plans
+	// route around it (paper future work: mixed traffic).
+	if now-im.lastHazardSync >= time.Second {
+		im.lastHazardSync = now
+		im.syncLegacyHazards(now)
+	}
+	// Continuous self-monitoring (the paper's case i, with the IM's own
+	// cameras): a vehicle seen violating its plan on two consecutive
+	// ticks is confirmed without waiting for peer reports. A benign IM
+	// with eyes on its own intersection needs no witnesses.
+	if im.mal == nil || !im.mal.active(now) {
+		for _, o := range visible {
+			id := o.ID
+			if _, isSuspect := im.suspects[id]; isSuspect || im.gone[id] {
+				continue
+			}
+			if _, isLegacy := im.unplannedSince[id]; isLegacy {
+				// Legacy vehicles only have hazard extrapolations on
+				// file, not commitments they could violate.
+				continue
+			}
+			p, ok := im.ledger.Get(id)
+			if !ok {
+				continue
+			}
+			r, err := im.inter.Route(p.RouteID)
+			if err != nil || now < p.Start()+800*time.Millisecond || p.Done(now) {
+				continue
+			}
+			_, _, violated := CheckConduct(p, r, o.Status, im.cfg.Tolerance)
+			if !violated {
+				im.watching[id] = 0
+				continue
+			}
+			im.watching[id]++
+			if im.watching[id] < 2 {
+				continue
+			}
+			if !Aggressive(p, r, o.Status, im.cfg.Tolerance) {
+				// Delayed or stopped, not hostile: re-plan the vehicle
+				// from where it actually is instead of evacuating.
+				im.replanFromObservation(now, id, o.Status)
+				im.watching[id] = 0
+				continue
+			}
+			pe, se, _ := CheckConduct(p, r, o.Status, im.cfg.Tolerance)
+			why, mag := aggressiveWhy(p, r, o.Status, im.cfg.Tolerance)
+			im.sink.emit(Event{At: now, Type: EvDirectCheck, Subject: id,
+				Info: fmt.Sprintf("self-monitoring posErr=%.1f spdErr=%.1f %s=%.1f", pe, se, why, mag)})
+			outs = append(outs, im.confirmIncident(now, id, o.Status)...)
+		}
+	}
+	// Vote deadlines: decide on whatever votes arrived.
+	var due []*verification
+	for _, v := range im.verifs {
+		if now >= v.deadline {
+			due = append(due, v)
+		}
+	}
+	sort.Slice(due, func(i, j int) bool { return due[i].nonce < due[j].nonce })
+	for _, v := range due {
+		outs = append(outs, im.decideVote(now, v)...)
+	}
+	// Batch scheduling.
+	if now-im.lastBatch >= im.cfg.BatchWindow && len(im.pending) > 0 && im.auto.State() == IMStandby {
+		outs = append(outs, im.runBatch(now)...)
+	}
+	// Evacuation clearance: all suspects unseen long enough -> recover.
+	if im.auto.State() == IMEvacuation && len(im.suspects) > 0 {
+		cleared := true
+		for id := range im.suspects {
+			if gone := im.gone[id]; gone {
+				continue
+			}
+			if now-im.lastSeen[id] < im.cfg.EvacClearance {
+				cleared = false
+				break
+			}
+		}
+		if cleared {
+			im.suspects = make(map[plan.VehicleID]SuspectInfo)
+			outs = append(outs, im.recover(now)...)
+		}
+	}
+	// Scheduled sham evacuation.
+	if im.mal != nil && im.mal.FalseEvacuation && !im.mal.firedFalseEvac && now >= im.mal.FalseEvacAt {
+		im.mal.firedFalseEvac = true
+		outs = append(outs, im.fireFalseEvacuation(now)...)
+	}
+	return outs
+}
+
+// freshen projects a stale request to the batch time: the vehicle has
+// been cruising toward the conflict area at its reported speed, queueing
+// behind already-scheduled traffic on its lane, and holds at the entry
+// line if it got there — mirroring the planless-cruise behavior of the
+// vehicles themselves.
+func (im *IMCore) freshen(req sched.Request, now time.Duration) sched.Request {
+	if req.ArriveAt >= now {
+		return req
+	}
+	elapsed := (now - req.ArriveAt).Seconds()
+	stopLine := req.Route.CrossStart - 18
+	s := req.CurrentS + req.Speed*elapsed
+	if s >= stopLine {
+		s = stopLine
+		req.Speed = 0 // held at the line
+	}
+	// A cruiser cannot have driven past scheduled traffic ahead of it
+	// on the same lane: cap the projection behind the nearest leader.
+	for _, p := range im.ledger.Active() {
+		r, err := im.inter.Route(p.RouteID)
+		if err != nil || r.From != req.Route.From || p.Vehicle == req.Vehicle {
+			continue
+		}
+		ls, lv := p.StateAt(now)
+		if ls >= req.CurrentS && s > ls-9 {
+			s = ls - 9
+			if s < req.CurrentS {
+				s = req.CurrentS
+			}
+			if req.Speed > lv {
+				req.Speed = lv
+			}
+		}
+	}
+	req.CurrentS = s
+	req.ArriveAt = now
+	return req
+}
+
+// syncLegacyHazards refreshes ledger hazard plans for visible vehicles
+// that never joined the protocol. The hazard rides the route whose
+// geometry best matches the observation.
+func (im *IMCore) syncLegacyHazards(now time.Duration) {
+	for id, obs := range im.visible {
+		if im.gone[id] {
+			continue
+		}
+		if _, hasPlan := im.ledger.Get(id); hasPlan {
+			// Participants (and already-hazarded vehicles, which we
+			// refresh below) are skipped here.
+			if _, tracked := im.unplannedSince[id]; !tracked {
+				continue
+			}
+		}
+		if _, pending := im.pending[id]; pending {
+			continue
+		}
+		first, seen := im.unplannedSince[id]
+		if !seen {
+			im.unplannedSince[id] = now
+			continue
+		}
+		if now-first < 2500*time.Millisecond {
+			continue
+		}
+		if hp := im.legacyHazardPlan(now, id, obs); hp != nil {
+			im.ledger.Add(hp)
+		}
+	}
+}
+
+// legacyHazardPlan extrapolates an unplanned vehicle along the nearest
+// route for a short horizon.
+func (im *IMCore) legacyHazardPlan(now time.Duration, id plan.VehicleID, obs plan.Status) *plan.TravelPlan {
+	var best *intersection.Route
+	bestD := math.Inf(1)
+	for _, r := range im.inter.Routes {
+		_, d := r.Full.Project(obs.Pos)
+		if d < bestD {
+			bestD = d
+			best = r
+		}
+	}
+	if best == nil || bestD > 10 {
+		return nil
+	}
+	s, _ := best.Full.Project(obs.Pos)
+	speed := obs.Speed
+	if speed < 0 {
+		speed = 0
+	}
+	const horizon = 20 * time.Second
+	end := s + speed*horizon.Seconds()
+	if end > best.Full.Length() {
+		end = best.Full.Length()
+	}
+	return &plan.TravelPlan{
+		Vehicle: id,
+		Status:  obs,
+		RouteID: best.ID,
+		Waypoints: []plan.Waypoint{
+			{T: now, S: s, V: speed},
+			{T: now + horizon, S: end, V: speed},
+		},
+		Issued: now,
+	}
+}
+
+// runBatch schedules pending requests, packages them, and disseminates
+// the block, stepping through the DFA's scheduling path. When the whole
+// batch cannot be admitted, it falls back to per-request admission and
+// keeps only the failing requests pending.
+func (im *IMCore) runBatch(now time.Duration) []Out {
+	im.lastBatch = now
+	im.auto.MustTo(IMScheduling)
+	reqs := make([]sched.Request, 0, len(im.pending))
+	for _, r := range im.pending {
+		reqs = append(reqs, im.freshen(r, now))
+	}
+	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Vehicle < reqs[j].Vehicle })
+	im.pending = make(map[plan.VehicleID]sched.Request)
+	plans, err := im.sch.Schedule(reqs, now, im.ledger)
+	if err != nil {
+		plans = plans[:0]
+		for _, r := range reqs {
+			ps, err := im.sch.Schedule([]sched.Request{r}, now, im.ledger)
+			if err != nil {
+				// Keep it pending; the vehicle re-requests with a
+				// fresh position and admission pressure eases as
+				// earlier vehicles clear.
+				im.pending[r.Vehicle] = r
+				continue
+			}
+			plans = append(plans, ps[0])
+			im.ledger.Add(ps[0])
+		}
+		if len(plans) == 0 {
+			im.auto.MustTo(IMPackaging)
+			im.auto.MustTo(IMDisseminating)
+			im.auto.MustTo(IMStandby)
+			return nil
+		}
+	}
+	im.ledger.Add(plans...)
+	im.ledger.Prune(now, time.Minute)
+	im.auto.MustTo(IMPackaging)
+	outs := im.packageAndBroadcast(now, plans, false)
+	im.auto.MustTo(IMDisseminating)
+	im.auto.MustTo(IMStandby)
+	return outs
+}
+
+// fireFalseEvacuation broadcasts a sham evacuation naming a benign
+// target (threat categories iii/iv).
+func (im *IMCore) fireFalseEvacuation(now time.Duration) []Out {
+	target := im.mal.FalseEvacTarget
+	if target == 0 {
+		// Pick the active vehicle closest to the center.
+		best := math.Inf(1)
+		for _, p := range im.ledger.Active() {
+			r, err := im.inter.Route(p.RouteID)
+			if err != nil {
+				continue
+			}
+			s, _ := p.StateAt(now)
+			if d := r.Full.PointAt(s).Len(); d < best {
+				best = d
+				target = p.Vehicle
+			}
+		}
+	}
+	if target == 0 {
+		return nil
+	}
+	char := plan.Characteristics{}
+	status := plan.Status{At: now}
+	if p, ok := im.ledger.Get(target); ok {
+		char = p.Char
+		if r, err := im.inter.Route(p.RouteID); err == nil {
+			s, v := p.StateAt(now)
+			status = plan.Status{Pos: r.Full.PointAt(s), Speed: v, Heading: r.Full.HeadingAt(s), At: now}
+		}
+	}
+	im.suspects[target] = SuspectInfo{Vehicle: target, Char: char, LastSeen: status}
+	im.lastSeen[target] = now
+	im.sink.emit(Event{At: now, Type: EvEvacuationStarted, Subject: target, Info: "SHAM evacuation by compromised IM"})
+	plans := im.rescheduleAll(now, im.evac, true)
+	return im.packageAndBroadcast(now, plans, true)
+}

@@ -1,0 +1,66 @@
+package nwade
+
+import (
+	"math"
+)
+
+// DetectProbability is Eq. 2 of the paper: the probability P_d that the
+// intersection manager identifies a coordinated false-report attack by k
+// compromised vehicles, where pv is the probability of compromising a
+// single vehicle and omega regularises the exponent:
+//
+//	P_d = 1 / e^(omega * k * pv^k)
+//
+// P_d falls with the number of colluders on the same road segment, but
+// pv^k shrinks faster than k grows, so P_d stays high for realistic pv.
+func DetectProbability(k int, pv, omega float64) float64 {
+	if k <= 0 {
+		return 1
+	}
+	return 1 / math.Exp(omega*float64(k)*math.Pow(pv, float64(k)))
+}
+
+// SelfEvacProbability is Eq. 3 of the paper: the probability P_e that a
+// vehicle needs to self-evacuate, given the probability pim that the
+// intersection manager is compromised, pv that a single vehicle is
+// compromised, ploc that a compromised vehicle is near the relevant
+// location, and k the number of colluding vehicles needed to win a local
+// majority:
+//
+//	P_e = 1 - (1 - pim)(1 - (pv*ploc)^k)
+func SelfEvacProbability(pim, pv, ploc float64, k int) float64 {
+	if k < 0 {
+		k = 0
+	}
+	return 1 - (1-pim)*(1-math.Pow(pv*ploc, float64(k)))
+}
+
+// MajorityColluders returns the number of vehicles an attacker must
+// control near a location to win a simple majority among n voters:
+// floor(n/2)+1 (the paper's 20/2+1 = 11 example).
+func MajorityColluders(n int) int {
+	if n <= 0 {
+		return 1
+	}
+	return n/2 + 1
+}
+
+// SafetyThreshold derives the global-report quorum for a vehicle far from
+// a suspect (Section IV-B3/B4): high enough that the residual
+// false-trigger probability from Eq. 3 stays below target, but at least
+// minQuorum. It returns the smallest k with SelfEvacProbability below the
+// target, capped at cap.
+func SafetyThreshold(pim, pv, ploc, target float64, minQuorum, cap int) int {
+	if minQuorum < 1 {
+		minQuorum = 1
+	}
+	if cap < minQuorum {
+		cap = minQuorum
+	}
+	for k := minQuorum; k <= cap; k++ {
+		if SelfEvacProbability(pim, pv, ploc, k) <= target {
+			return k
+		}
+	}
+	return cap
+}

@@ -1,0 +1,116 @@
+package nwade
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSelfEvacProbabilityPaperExample(t *testing.T) {
+	// Section IV-B4: pv*ploc = 10%, pim = 0.1%, k = 11 colluders needed
+	// among ~20 vehicles -> P_e ~ 0.1%.
+	pe := SelfEvacProbability(0.001, 0.1, 1.0, 11)
+	if math.Abs(pe-0.001) > 1e-4 {
+		t.Errorf("P_e = %v, want ~0.001 (paper's worked example)", pe)
+	}
+}
+
+func TestSelfEvacProbabilityBounds(t *testing.T) {
+	f := func(pim, pv, ploc float64, k uint8) bool {
+		pim = math.Abs(math.Mod(pim, 1))
+		pv = math.Abs(math.Mod(pv, 1))
+		ploc = math.Abs(math.Mod(ploc, 1))
+		pe := SelfEvacProbability(pim, pv, ploc, int(k%30))
+		return pe >= -1e-12 && pe <= 1+1e-12
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSelfEvacProbabilityMonotoneInK(t *testing.T) {
+	// More colluders required -> lower evacuation probability.
+	prev := math.Inf(1)
+	for k := 1; k <= 15; k++ {
+		pe := SelfEvacProbability(0.001, 0.1, 1.0, k)
+		if pe > prev+1e-15 {
+			t.Fatalf("P_e not non-increasing at k=%d: %v > %v", k, pe, prev)
+		}
+		prev = pe
+	}
+}
+
+func TestSelfEvacProbabilityDegenerate(t *testing.T) {
+	// k=0: (pv*ploc)^0 = 1, so evacuation is certain.
+	if pe := SelfEvacProbability(0, 0.5, 0.5, 0); pe != 1 {
+		t.Errorf("k=0: P_e = %v, want 1", pe)
+	}
+	// Negative k clamps to 0.
+	if pe := SelfEvacProbability(0, 0.5, 0.5, -3); pe != 1 {
+		t.Errorf("k<0: P_e = %v, want 1", pe)
+	}
+	// Compromised IM for sure: P_e = 1.
+	if pe := SelfEvacProbability(1, 0.1, 0.1, 5); math.Abs(pe-1) > 1e-12 {
+		t.Errorf("pim=1: P_e = %v", pe)
+	}
+}
+
+func TestDetectProbabilityShape(t *testing.T) {
+	// k=0 -> certain detection.
+	if got := DetectProbability(0, 0.1, 5); got != 1 {
+		t.Errorf("k=0: P_d = %v", got)
+	}
+	// P_d in (0, 1].
+	for k := 1; k <= 20; k++ {
+		pd := DetectProbability(k, 0.1, 5)
+		if pd <= 0 || pd > 1 {
+			t.Fatalf("k=%d: P_d = %v out of range", k, pd)
+		}
+	}
+	// Paper's qualitative claim: pv^k shrinks faster than k grows, so
+	// for large k detection approaches certainty again.
+	if d20, d2 := DetectProbability(20, 0.1, 5), DetectProbability(2, 0.1, 5); d20 < d2 {
+		t.Errorf("P_d(20)=%v < P_d(2)=%v; tail should recover", d20, d2)
+	}
+	// The worst case sits at small k > 0.
+	d1 := DetectProbability(1, 0.3, 10)
+	if d1 >= 1 {
+		t.Errorf("P_d(1) = %v, want < 1", d1)
+	}
+}
+
+func TestMajorityColluders(t *testing.T) {
+	// Paper: 20 vehicles -> 11 needed.
+	if got := MajorityColluders(20); got != 11 {
+		t.Errorf("MajorityColluders(20) = %d, want 11", got)
+	}
+	if got := MajorityColluders(0); got != 1 {
+		t.Errorf("MajorityColluders(0) = %d, want 1", got)
+	}
+	if got := MajorityColluders(1); got != 1 {
+		t.Errorf("MajorityColluders(1) = %d, want 1", got)
+	}
+	if got := MajorityColluders(5); got != 3 {
+		t.Errorf("MajorityColluders(5) = %d, want 3", got)
+	}
+}
+
+func TestSafetyThreshold(t *testing.T) {
+	// With the paper's numbers the quorum needed for P_e <= 0.2% is
+	// small.
+	k := SafetyThreshold(0.001, 0.1, 1.0, 0.002, 2, 20)
+	if k < 2 || k > 20 {
+		t.Fatalf("threshold = %d out of range", k)
+	}
+	if pe := SelfEvacProbability(0.001, 0.1, 1.0, k); pe > 0.002 {
+		t.Errorf("threshold %d gives P_e = %v > target", k, pe)
+	}
+	// Unreachable target returns the cap.
+	if got := SafetyThreshold(0.5, 0.9, 1.0, 1e-9, 1, 7); got != 7 {
+		t.Errorf("unreachable target: %d, want cap 7", got)
+	}
+	// Degenerate bounds normalise.
+	if got := SafetyThreshold(0, 0, 0, 1, 0, -1); got < 1 {
+		t.Errorf("degenerate bounds: %d", got)
+	}
+}

@@ -1,0 +1,191 @@
+// Package nwade implements the paper's primary contribution: the
+// Neighborhood Watch mechanism for Attack Detection and Evacuation.
+//
+// It provides the two event-driven deterministic finite automata of
+// Fig. 2 (7 intersection-manager states, 8 vehicle states), the message
+// vocabulary exchanged over the VANET, the verification algorithms
+// (Algorithm 1 block verification, Algorithm 2 local verification,
+// Algorithm 3 global verification), the report-verification workflow with
+// two-group majority voting, evacuation and post-evacuation recovery, and
+// the closed-form probability models of Eq. 2 and Eq. 3.
+//
+// The protocol cores (IMCore, VehicleCore) are network-agnostic: they
+// consume messages and ticks and return outbound messages, which makes
+// them unit-testable without the simulator and embeddable in it.
+package nwade
+
+import (
+	"fmt"
+)
+
+// IMState is one of the 7 intersection-manager states of Fig. 2.
+type IMState int
+
+// Intersection-manager states.
+const (
+	IMStandby IMState = iota + 1
+	IMScheduling
+	IMPackaging
+	IMDisseminating
+	IMReportVerify
+	IMEvacuation
+	IMRecovery
+)
+
+// String implements fmt.Stringer.
+func (s IMState) String() string {
+	switch s {
+	case IMStandby:
+		return "standby"
+	case IMScheduling:
+		return "scheduling"
+	case IMPackaging:
+		return "packaging"
+	case IMDisseminating:
+		return "disseminating"
+	case IMReportVerify:
+		return "report-verify"
+	case IMEvacuation:
+		return "evacuation"
+	case IMRecovery:
+		return "recovery"
+	default:
+		return fmt.Sprintf("IMState(%d)", int(s))
+	}
+}
+
+// imTransitions is the allowed IM transition relation.
+var imTransitions = map[IMState][]IMState{
+	IMStandby:       {IMScheduling, IMReportVerify, IMEvacuation},
+	IMScheduling:    {IMPackaging},
+	IMPackaging:     {IMDisseminating},
+	IMDisseminating: {IMStandby},
+	IMReportVerify:  {IMStandby, IMEvacuation},
+	IMEvacuation:    {IMEvacuation, IMRecovery},
+	IMRecovery:      {IMStandby},
+}
+
+// VehicleState is one of the 8 vehicle states of Fig. 2.
+type VehicleState int
+
+// Vehicle states.
+const (
+	VPreparation VehicleState = iota + 1
+	VBlockVerify
+	VFollowing
+	VReporting
+	VGlobalVerify
+	VEvacuating
+	VSelfEvac
+	VExited
+)
+
+// String implements fmt.Stringer.
+func (s VehicleState) String() string {
+	switch s {
+	case VPreparation:
+		return "preparation"
+	case VBlockVerify:
+		return "block-verify"
+	case VFollowing:
+		return "following"
+	case VReporting:
+		return "reporting"
+	case VGlobalVerify:
+		return "global-verify"
+	case VEvacuating:
+		return "evacuating"
+	case VSelfEvac:
+		return "self-evacuation"
+	case VExited:
+		return "exited"
+	default:
+		return fmt.Sprintf("VehicleState(%d)", int(s))
+	}
+}
+
+// vehicleTransitions is the allowed vehicle transition relation.
+var vehicleTransitions = map[VehicleState][]VehicleState{
+	VPreparation:  {VBlockVerify, VSelfEvac, VGlobalVerify, VExited},
+	VBlockVerify:  {VFollowing, VSelfEvac, VPreparation},
+	VFollowing:    {VBlockVerify, VReporting, VGlobalVerify, VEvacuating, VSelfEvac, VExited},
+	VReporting:    {VFollowing, VEvacuating, VSelfEvac, VGlobalVerify, VExited},
+	VGlobalVerify: {VFollowing, VSelfEvac, VEvacuating, VExited},
+	VEvacuating:   {VFollowing, VBlockVerify, VSelfEvac, VReporting, VExited},
+	VSelfEvac:     {VExited},
+	VExited:       {},
+}
+
+// ErrBadTransition reports a transition not present in the automaton.
+type ErrBadTransition struct {
+	From, To fmt.Stringer
+}
+
+// Error implements error.
+func (e *ErrBadTransition) Error() string {
+	return fmt.Sprintf("nwade: illegal transition %v -> %v", e.From, e.To)
+}
+
+// IMAutomaton tracks the intersection manager's protocol state and
+// enforces the transition relation.
+type IMAutomaton struct {
+	state IMState
+}
+
+// NewIMAutomaton starts in standby.
+func NewIMAutomaton() *IMAutomaton { return &IMAutomaton{state: IMStandby} }
+
+// State returns the current state.
+func (a *IMAutomaton) State() IMState { return a.state }
+
+// To transitions to the target state, enforcing the relation.
+func (a *IMAutomaton) To(next IMState) error {
+	if a.state == next {
+		return nil
+	}
+	for _, s := range imTransitions[a.state] {
+		if s == next {
+			a.state = next
+			return nil
+		}
+	}
+	return &ErrBadTransition{From: a.state, To: next}
+}
+
+// MustTo is To for transitions the protocol guarantees are legal; an
+// illegal one is a programming error.
+func (a *IMAutomaton) MustTo(next IMState) {
+	if err := a.To(next); err != nil {
+		panic(err)
+	}
+}
+
+// VehicleAutomaton tracks a vehicle's protocol state.
+type VehicleAutomaton struct {
+	state VehicleState
+}
+
+// NewVehicleAutomaton starts in preparation.
+func NewVehicleAutomaton() *VehicleAutomaton {
+	return &VehicleAutomaton{state: VPreparation}
+}
+
+// State returns the current state.
+func (a *VehicleAutomaton) State() VehicleState { return a.state }
+
+// To transitions to the target state, enforcing the relation.
+func (a *VehicleAutomaton) To(next VehicleState) error {
+	if a.state == next {
+		return nil
+	}
+	for _, s := range vehicleTransitions[a.state] {
+		if s == next {
+			a.state = next
+			return nil
+		}
+	}
+	return &ErrBadTransition{From: a.state, To: next}
+}
+
+// Terminal reports whether the vehicle reached a terminal state.
+func (a *VehicleAutomaton) Terminal() bool { return a.state == VExited }

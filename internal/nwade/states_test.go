@@ -1,0 +1,149 @@
+package nwade
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestIMAutomatonHappyPath(t *testing.T) {
+	a := NewIMAutomaton()
+	if a.State() != IMStandby {
+		t.Fatalf("initial state = %v", a.State())
+	}
+	for _, s := range []IMState{IMScheduling, IMPackaging, IMDisseminating, IMStandby} {
+		if err := a.To(s); err != nil {
+			t.Fatalf("To(%v): %v", s, err)
+		}
+	}
+	// Report verification path.
+	for _, s := range []IMState{IMReportVerify, IMEvacuation, IMRecovery, IMStandby} {
+		if err := a.To(s); err != nil {
+			t.Fatalf("To(%v): %v", s, err)
+		}
+	}
+}
+
+func TestIMAutomatonIllegal(t *testing.T) {
+	a := NewIMAutomaton()
+	err := a.To(IMRecovery)
+	if err == nil {
+		t.Fatal("standby -> recovery accepted")
+	}
+	var bad *ErrBadTransition
+	if !errors.As(err, &bad) {
+		t.Fatalf("error type = %T", err)
+	}
+	if a.State() != IMStandby {
+		t.Error("failed transition changed state")
+	}
+	// Self-transition is a no-op, not an error.
+	if err := a.To(IMStandby); err != nil {
+		t.Errorf("self transition: %v", err)
+	}
+}
+
+func TestIMAutomatonMustToPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustTo did not panic on illegal transition")
+		}
+	}()
+	NewIMAutomaton().MustTo(IMPackaging)
+}
+
+func TestVehicleAutomatonLifecycles(t *testing.T) {
+	paths := [][]VehicleState{
+		// Normal traveling.
+		{VBlockVerify, VFollowing, VExited},
+		// Local verification with dismissal.
+		{VBlockVerify, VFollowing, VReporting, VFollowing, VExited},
+		// Report confirmed, evacuation.
+		{VBlockVerify, VFollowing, VReporting, VEvacuating, VExited},
+		// Bad block: straight to self-evacuation.
+		{VBlockVerify, VSelfEvac, VExited},
+		// Global verification path.
+		{VBlockVerify, VFollowing, VGlobalVerify, VSelfEvac, VExited},
+	}
+	for i, path := range paths {
+		a := NewVehicleAutomaton()
+		if a.State() != VPreparation {
+			t.Fatalf("path %d: initial state = %v", i, a.State())
+		}
+		for _, s := range path {
+			if err := a.To(s); err != nil {
+				t.Fatalf("path %d: To(%v): %v", i, s, err)
+			}
+		}
+		if !a.Terminal() {
+			t.Errorf("path %d: not terminal after exit", i)
+		}
+	}
+}
+
+func TestVehicleAutomatonIllegal(t *testing.T) {
+	a := NewVehicleAutomaton()
+	if err := a.To(VReporting); err == nil {
+		t.Error("preparation -> reporting accepted")
+	}
+	// Exited is absorbing.
+	a2 := NewVehicleAutomaton()
+	mustV(t, a2, VBlockVerify, VFollowing, VExited)
+	if err := a2.To(VFollowing); err == nil {
+		t.Error("exited -> following accepted")
+	}
+	// Self-evacuation only leads to exited.
+	a3 := NewVehicleAutomaton()
+	mustV(t, a3, VBlockVerify, VSelfEvac)
+	if err := a3.To(VFollowing); err == nil {
+		t.Error("self-evac -> following accepted")
+	}
+	if err := a3.To(VExited); err != nil {
+		t.Errorf("self-evac -> exited: %v", err)
+	}
+}
+
+func mustV(t *testing.T, a *VehicleAutomaton, states ...VehicleState) {
+	t.Helper()
+	for _, s := range states {
+		if err := a.To(s); err != nil {
+			t.Fatalf("To(%v): %v", s, err)
+		}
+	}
+}
+
+func TestStateStrings(t *testing.T) {
+	for s := IMStandby; s <= IMRecovery; s++ {
+		if s.String() == "" {
+			t.Errorf("IMState %d empty string", int(s))
+		}
+	}
+	for s := VPreparation; s <= VExited; s++ {
+		if s.String() == "" {
+			t.Errorf("VehicleState %d empty string", int(s))
+		}
+	}
+	if IMState(99).String() != "IMState(99)" {
+		t.Error("unknown IM state string")
+	}
+	if VehicleState(99).String() != "VehicleState(99)" {
+		t.Error("unknown vehicle state string")
+	}
+}
+
+func TestStateCountsMatchPaper(t *testing.T) {
+	// Fig. 2: 7 IM states, 8 vehicle states.
+	if len(imTransitions) != 7 {
+		t.Errorf("IM states = %d, want 7", len(imTransitions))
+	}
+	if len(vehicleTransitions) != 8 {
+		t.Errorf("vehicle states = %d, want 8", len(vehicleTransitions))
+	}
+}
+
+func TestEventTypeStrings(t *testing.T) {
+	for e := EvBlockBroadcast; e <= EvExited; e++ {
+		if e.String() == "unknown-event" {
+			t.Errorf("event %d lacks a String case", int(e))
+		}
+	}
+}

@@ -1,0 +1,441 @@
+package nwade
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/chain"
+	"nwade/internal/geom"
+	"nwade/internal/plan"
+	"nwade/internal/vnet"
+)
+
+// deliverBlock packages plans and hands the block straight to a car.
+func deliverBlock(t *testing.T, car *VehicleCore, prev *chain.Block, now time.Duration, plans []*plan.TravelPlan) *chain.Block {
+	t.Helper()
+	s, _ := fixtures(t)
+	b, err := chain.Package(s, prev, now, plans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	car.HandleMessage(now, vnet.Message{From: vnet.IMNode, Kind: KindBlock, Payload: BlockMsg{Block: b}})
+	return b
+}
+
+func TestVehicleRequestsPlanOnce(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	outs := car.Tick(0, plan.Status{}, nil)
+	var requests int
+	for _, o := range outs {
+		if o.Kind == KindRequest {
+			requests++
+			if o.To != vnet.IMNode {
+				t.Errorf("request sent to %v", o.To)
+			}
+			rm, ok := o.Payload.(RequestMsg)
+			if !ok || rm.Vehicle != 1 || rm.RouteID != in.Routes[0].ID {
+				t.Errorf("request payload = %+v", o.Payload)
+			}
+		}
+	}
+	if requests != 1 {
+		t.Fatalf("requests = %d", requests)
+	}
+	// Second tick: no duplicate request.
+	for _, o := range car.Tick(100*time.Millisecond, plan.Status{}, nil) {
+		if o.Kind == KindRequest {
+			t.Fatal("duplicate request")
+		}
+	}
+}
+
+func TestVehicleAdoptsOwnPlan(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 3) // vehicles 1..3
+	deliverBlock(t, car, nil, time.Second, plans)
+	if car.Plan() == nil || car.Plan().Vehicle != 1 {
+		t.Fatal("own plan not adopted")
+	}
+	if car.State() != VFollowing {
+		t.Errorf("state = %v", car.State())
+	}
+}
+
+func TestVehicleBackfillRequestsOlderBlocks(t *testing.T) {
+	s, in := fixtures(t)
+	car := mkCar(t, 9, in.Routes[0], nil, nil, 0)
+	plans := scheduledPlans(t, 6)
+	b0, err := chain.Package(s, nil, time.Second, plans[:2])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, err := chain.Package(s, b0, 2*time.Second, plans[2:4])
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := chain.Package(s, b1, 3*time.Second, plans[4:])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The car joins at block 2 and must ask for the predecessors.
+	outs := car.HandleMessage(3*time.Second, vnet.Message{From: vnet.IMNode, Kind: KindBlock, Payload: BlockMsg{Block: b2}})
+	var wanted []uint64
+	for _, o := range outs {
+		if o.Kind == KindBlockReq {
+			wanted = append(wanted, o.Payload.(BlockReqMsg).Seq)
+		}
+	}
+	if len(wanted) != 2 {
+		t.Fatalf("back-fill requests = %v", wanted)
+	}
+	// Serve them; the car prepends and can now see all plans.
+	car.HandleMessage(3100*time.Millisecond, vnet.Message{From: vnet.IMNode, Kind: KindBlockResp, Payload: BlockRespMsg{Block: b1}})
+	car.HandleMessage(3200*time.Millisecond, vnet.Message{From: vnet.IMNode, Kind: KindBlockResp, Payload: BlockRespMsg{Block: b0}})
+	if car.Chain().Len() != 3 {
+		t.Fatalf("chain len = %d, want 3", car.Chain().Len())
+	}
+	if _, _, ok := car.Chain().PlanFor(plans[0].Vehicle); !ok {
+		t.Error("back-filled plan not visible")
+	}
+}
+
+func TestVehicleWatchReportsDeviatingNeighbor(t *testing.T) {
+	_, in := fixtures(t)
+	var events []Event
+	sink := func(e Event) { events = append(events, e) }
+	car := mkCar(t, 1, in.Routes[0], sink, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 3)
+	deliverBlock(t, car, nil, time.Second, plans)
+
+	// Neighbor 2 exactly on plan: no report.
+	r2, err := in.Route(plans[1].RouteID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	at := 10 * time.Second
+	onPlan := ExpectedStatus(plans[1], r2, at)
+	outs := car.Tick(at, plan.Status{At: at}, []Neighbor{{ID: 2, Status: onPlan}})
+	for _, o := range outs {
+		if o.Kind == KindIncident {
+			t.Fatal("reported an on-plan neighbor")
+		}
+	}
+	// Neighbor 2 off course over two consecutive observations (a single
+	// violating sample is treated as sensor noise): incident report
+	// with evidence.
+	at2 := at + 100*time.Millisecond
+	mkOff := func(t time.Duration) plan.Status {
+		o := ExpectedStatus(plans[1], r2, t)
+		// Deviate laterally (out of lane) — an aggressive deviation.
+		o.Pos = o.Pos.Add(geom.Heading(o.Heading + 1.5707).Scale(8))
+		o.At = t
+		return o
+	}
+	off := mkOff(at2)
+	car.Tick(at2, plan.Status{At: at2}, []Neighbor{{ID: 2, Status: off}})
+	at2 += 100 * time.Millisecond
+	off = mkOff(at2)
+	outs = car.Tick(at2, plan.Status{At: at2}, []Neighbor{{ID: 2, Status: off}})
+	var ir *IncidentReport
+	for _, o := range outs {
+		if o.Kind == KindIncident {
+			v := o.Payload.(IncidentReport)
+			ir = &v
+		}
+	}
+	if ir == nil {
+		t.Fatal("deviation not reported")
+	}
+	if ir.Suspect != 2 || ir.Reporter != 1 {
+		t.Errorf("report = %+v", ir)
+	}
+	if ir.Evidence.Pos != off.Pos {
+		t.Error("evidence does not carry the observation")
+	}
+	if car.State() != VReporting {
+		t.Errorf("state = %v", car.State())
+	}
+	// Cooldown: the next tick must not re-report.
+	outs = car.Tick(at2+100*time.Millisecond, plan.Status{}, []Neighbor{{ID: 2, Status: off}})
+	for _, o := range outs {
+		if o.Kind == KindIncident {
+			t.Fatal("re-reported within cooldown")
+		}
+	}
+}
+
+func TestVehicleHonestVoteAndColludingVote(t *testing.T) {
+	_, in := fixtures(t)
+	honest := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	colluder := mkCar(t, 3, in.Routes[0], nil, &VehicleMalice{VoteFalsely: true, Accomplices: map[plan.VehicleID]bool{4: true}}, 0)
+	honest.Tick(0, plan.Status{}, nil)
+	colluder.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 4)
+	deliverBlock(t, honest, nil, time.Second, plans)
+	deliverBlock(t, colluder, nil, time.Second, plans)
+
+	r2, _ := in.Route(plans[1].RouteID)
+	at := 10 * time.Second
+	onPlan := ExpectedStatus(plans[1], r2, at)
+	honest.Tick(at, plan.Status{At: at}, []Neighbor{{ID: 2, Status: onPlan}})
+	colluder.Tick(at, plan.Status{At: at}, []Neighbor{{ID: 2, Status: onPlan}})
+
+	ask := vnet.Message{From: vnet.IMNode, Kind: KindVerifyReq, Payload: VerifyRequest{Suspect: 2, Nonce: 7}}
+	hOut := honest.HandleMessage(at, ask)
+	cOut := colluder.HandleMessage(at, ask)
+	hv := hOut[0].Payload.(VerifyResponse)
+	cv := cOut[0].Payload.(VerifyResponse)
+	if hv.Abnormal {
+		t.Error("honest voter flagged an on-plan vehicle")
+	}
+	if !cv.Abnormal {
+		t.Error("colluder did not pile onto the framed vehicle")
+	}
+	// The colluder protects its accomplice even if visibly deviating.
+	r4, _ := in.Route(plans[3].RouteID)
+	bad := ExpectedStatus(plans[3], r4, at)
+	bad.Pos = bad.Pos.Add(geom.V(0, 15))
+	colluder.Tick(at+100*time.Millisecond, plan.Status{}, []Neighbor{{ID: 4, Status: bad}})
+	askAcc := vnet.Message{From: vnet.IMNode, Kind: KindVerifyReq, Payload: VerifyRequest{Suspect: 4, Nonce: 8}}
+	av := colluder.HandleMessage(at+100*time.Millisecond, askAcc)[0].Payload.(VerifyResponse)
+	if av.Abnormal {
+		t.Error("colluder betrayed its accomplice")
+	}
+}
+
+func TestVehiclePersistentDismissalsBreakTrust(t *testing.T) {
+	_, in := fixtures(t)
+	var events []Event
+	sink := func(e Event) { events = append(events, e) }
+	car := mkCar(t, 1, in.Routes[0], sink, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 2)
+	deliverBlock(t, car, nil, time.Second, plans)
+	r2, _ := in.Route(plans[1].RouteID)
+
+	report := func(at time.Duration) bool {
+		// Two consecutive violating observations are needed to report.
+		for i := 0; i < 2; i++ {
+			off := ExpectedStatus(plans[1], r2, at)
+			off.Pos = off.Pos.Add(geom.Heading(off.Heading + 1.5707).Scale(8))
+			off.At = at
+			outs := car.Tick(at, plan.Status{At: at}, []Neighbor{{ID: 2, Status: off}})
+			for _, o := range outs {
+				if o.Kind == KindIncident {
+					return true
+				}
+			}
+			at += 100 * time.Millisecond
+		}
+		return false
+	}
+	at := 10 * time.Second
+	if !report(at) {
+		t.Fatal("first report missing")
+	}
+	// IM (compromised) dismisses; the violation persists.
+	car.HandleMessage(at+200*time.Millisecond, vnet.Message{From: vnet.IMNode, Kind: KindDismiss,
+		Payload: DismissMsg{Reporter: 1, Suspect: 2, Benign: true}})
+	at += DefaultVehicleConfig().ReportCooldown + 400*time.Millisecond
+	if !report(at) {
+		t.Fatal("second report missing")
+	}
+	car.HandleMessage(at+200*time.Millisecond, vnet.Message{From: vnet.IMNode, Kind: KindDismiss,
+		Payload: DismissMsg{Reporter: 1, Suspect: 2, Benign: true}})
+	// Third persistent observation: the car gives up on the IM.
+	at += DefaultVehicleConfig().ReportCooldown + 400*time.Millisecond
+	off := ExpectedStatus(plans[1], r2, at)
+	off.Pos = off.Pos.Add(geom.Heading(off.Heading + 1.5707).Scale(8))
+	off.At = at
+	outs := car.Tick(at, plan.Status{At: at}, []Neighbor{{ID: 2, Status: off}})
+	if !car.SelfEvacuating() {
+		t.Fatal("vehicle kept trusting an IM that dismisses a persistent violation")
+	}
+	var global bool
+	for _, o := range outs {
+		if o.Kind == KindGlobal {
+			global = true
+		}
+	}
+	if !global {
+		t.Error("no global report after losing trust")
+	}
+}
+
+func TestVehicleGlobalQuorumTriggersSelfEvac(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	deliverBlock(t, car, nil, time.Second, scheduledPlans(t, 2))
+	// Distinct peers report IM misbehavior; at quorum the car leaves.
+	for i := 0; i < DefaultVehicleConfig().GlobalQuorum; i++ {
+		gr := GlobalReport{Reporter: plan.VehicleID(10 + i), Reason: ReasonIMUnresponsive, At: time.Second}
+		car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(uint64(10 + i)), Kind: KindGlobal, Payload: gr})
+	}
+	if !car.SelfEvacuating() {
+		t.Fatal("quorum of global reports did not trigger self-evacuation")
+	}
+}
+
+func TestVehicleRefutesFalseGlobalAboutHeldBlock(t *testing.T) {
+	_, in := fixtures(t)
+	var events []Event
+	sink := func(e Event) { events = append(events, e) }
+	car := mkCar(t, 1, in.Routes[0], sink, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	b := deliverBlock(t, car, nil, time.Second, scheduledPlans(t, 2))
+	// Type B false alarm: a liar claims the block is conflicting.
+	gr := GlobalReport{Reporter: 9, Reason: ReasonConflictingPlans, BlockSeq: b.Seq, At: 2 * time.Second}
+	car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(9), Kind: KindGlobal, Payload: gr})
+	if car.SelfEvacuating() {
+		t.Fatal("false global report tricked the vehicle")
+	}
+	var refuted bool
+	for _, e := range events {
+		if e.Type == EvGlobalRefuted {
+			refuted = true
+		}
+	}
+	if !refuted {
+		t.Error("false claim not refuted")
+	}
+}
+
+func TestVehicleFetchesUnknownReportedBlock(t *testing.T) {
+	s, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 4)
+	b0, _ := chain.Package(s, nil, time.Second, plans[:2])
+	// The car never saw b0; a global report names it.
+	gr := GlobalReport{Reporter: 9, Reason: ReasonConflictingPlans, BlockSeq: 0, At: 2 * time.Second}
+	outs := car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(9), Kind: KindGlobal, Payload: gr})
+	var reqSeq *uint64
+	for _, o := range outs {
+		if o.Kind == KindBlockReq {
+			v := o.Payload.(BlockReqMsg).Seq
+			reqSeq = &v
+		}
+	}
+	if reqSeq == nil || *reqSeq != 0 {
+		t.Fatal("vehicle did not fetch the reported block")
+	}
+	// A peer serves the (clean) block; the claim is refuted.
+	car.HandleMessage(2200*time.Millisecond, vnet.Message{From: vnet.VehicleNode(3), Kind: KindBlockResp, Payload: BlockRespMsg{Block: b0}})
+	if car.SelfEvacuating() {
+		t.Error("clean fetched block still led to self-evacuation")
+	}
+}
+
+func TestVehicleFetchedBadBlockConfirmsGlobal(t *testing.T) {
+	s, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	plans := scheduledPlans(t, 4)
+	// Build a genuinely conflicting block, as a compromised IM would.
+	bad := []*plan.TravelPlan{plans[0], plans[1]}
+	im := NewIMCore(DefaultIMConfig(), in, s, nil, nil, &IMMalice{ConflictingPlans: true})
+	im.sabotage(0, bad)
+	bb, err := chain.Package(s, nil, time.Second, bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gr := GlobalReport{Reporter: 9, Reason: ReasonConflictingPlans, BlockSeq: 0, At: 2 * time.Second}
+	car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(9), Kind: KindGlobal, Payload: gr})
+	outs := car.HandleMessage(2200*time.Millisecond, vnet.Message{From: vnet.VehicleNode(3), Kind: KindBlockResp, Payload: BlockRespMsg{Block: bb}})
+	if !car.SelfEvacuating() {
+		t.Fatal("verified-bad block did not trigger self-evacuation")
+	}
+	var global bool
+	for _, o := range outs {
+		if o.Kind == KindGlobal {
+			global = true
+		}
+	}
+	if !global {
+		t.Error("no corroborating global report")
+	}
+}
+
+func TestVehicleServesPeersBlockRequests(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	b := deliverBlock(t, car, nil, time.Second, scheduledPlans(t, 2))
+	outs := car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(5), Kind: KindBlockReq,
+		Payload: BlockReqMsg{Requester: 5, Seq: b.Seq}})
+	if len(outs) != 1 || outs[0].Kind != KindBlockResp {
+		t.Fatalf("outs = %+v", outs)
+	}
+	if outs[0].To != vnet.VehicleNode(5) {
+		t.Errorf("response addressed to %v", outs[0].To)
+	}
+	// Unknown block: silence.
+	if outs := car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(5), Kind: KindBlockReq,
+		Payload: BlockReqMsg{Requester: 5, Seq: 42}}); len(outs) != 0 {
+		t.Error("responded to unknown block request")
+	}
+}
+
+func TestVehicleExitedIsInert(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.MarkExited(time.Second)
+	if outs := car.Tick(2*time.Second, plan.Status{}, nil); len(outs) != 0 {
+		t.Error("exited vehicle still talks")
+	}
+	if outs := car.HandleMessage(2*time.Second, vnet.Message{Kind: KindGlobal, Payload: GlobalReport{Reporter: 2}}); len(outs) != 0 {
+		t.Error("exited vehicle handles messages")
+	}
+	if car.State() != VExited {
+		t.Error("state not exited")
+	}
+}
+
+func TestVehicleSuspectQuorumFarAway(t *testing.T) {
+	_, in := fixtures(t)
+	car := mkCar(t, 1, in.Routes[0], nil, nil, 0)
+	car.Tick(0, plan.Status{}, nil)
+	deliverBlock(t, car, nil, time.Second, scheduledPlans(t, 2))
+	// Reports about a far-away suspect accumulate to the quorum.
+	q := DefaultVehicleConfig().GlobalQuorum
+	for i := 0; i < q; i++ {
+		gr := GlobalReport{Reporter: plan.VehicleID(20 + i), Reason: ReasonAbnormalVehicle, Suspect: 99, At: time.Second}
+		car.HandleMessage(2*time.Second, vnet.Message{From: vnet.VehicleNode(uint64(20 + i)), Kind: KindGlobal, Payload: gr})
+	}
+	if !car.SelfEvacuating() {
+		t.Fatal("suspect quorum ignored")
+	}
+}
+
+func TestVehicleMaliceFalseGlobalFires(t *testing.T) {
+	_, in := fixtures(t)
+	mal := &VehicleMalice{FalseGlobalAt: 5 * time.Second}
+	car := mkCar(t, 1, in.Routes[0], nil, mal, 0)
+	car.Tick(0, plan.Status{}, nil)
+	deliverBlock(t, car, nil, time.Second, scheduledPlans(t, 2))
+	outs := car.Tick(5*time.Second, plan.Status{}, nil)
+	var fired bool
+	for _, o := range outs {
+		if o.Kind == KindGlobal {
+			gr := o.Payload.(GlobalReport)
+			if gr.Reason != ReasonConflictingPlans {
+				t.Errorf("default false-global reason = %v", gr.Reason)
+			}
+			fired = true
+		}
+	}
+	if !fired {
+		t.Fatal("false global never fired")
+	}
+	// Fires once.
+	for _, o := range car.Tick(6*time.Second, plan.Status{}, nil) {
+		if o.Kind == KindGlobal {
+			t.Fatal("false global fired twice")
+		}
+	}
+}

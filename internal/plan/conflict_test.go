@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"nwade/internal/intersection"
+)
+
+// testInter builds a small 4-way cross shared by conflict tests.
+func testInter(t *testing.T) *intersection.Intersection {
+	t.Helper()
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+// planThrough builds a constant-speed plan over the full route, entering
+// the route at t0.
+func planThrough(id VehicleID, r *intersection.Route, t0 time.Duration, speed float64) *TravelPlan {
+	n := 40
+	ws := make([]Waypoint, n+1)
+	L := r.Length()
+	for i := 0; i <= n; i++ {
+		s := L * float64(i) / float64(n)
+		ws[i] = Waypoint{
+			T: t0 + time.Duration(float64(time.Second)*s/speed),
+			S: s,
+			V: speed,
+		}
+	}
+	return &TravelPlan{Vehicle: id, RouteID: r.ID, Waypoints: ws, Issued: t0}
+}
+
+func crossingRoutes(t *testing.T, in *intersection.Intersection) (a, b *intersection.Route) {
+	t.Helper()
+	a = in.RoutesFromLeg(0, intersection.MovementStraight)[0]
+	for _, c := range in.ConflictsOf(a.ID) {
+		other, err := in.Route(c.Other(a.ID))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if other.From.Leg != a.From.Leg {
+			return a, other
+		}
+	}
+	t.Fatal("no crossing route found")
+	return nil, nil
+}
+
+func TestSimultaneousCrossingConflicts(t *testing.T) {
+	in := testInter(t)
+	ra, rb := crossingRoutes(t, in)
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, ra, 0, 15)
+	b := planThrough(2, rb, 0, 15)
+	cf := cc.Check(a, b)
+	if cf == nil {
+		t.Fatal("simultaneous crossing plans must conflict")
+	}
+	if cf.A != 1 || cf.B != 2 {
+		t.Errorf("conflict parties = %v, %v", cf.A, cf.B)
+	}
+	if !strings.Contains(cf.Error(), "conflict") {
+		t.Errorf("Error() = %q", cf.Error())
+	}
+}
+
+func TestWellSeparatedCrossingOK(t *testing.T) {
+	in := testInter(t)
+	ra, rb := crossingRoutes(t, in)
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, ra, 0, 15)
+	b := planThrough(2, rb, 60*time.Second, 15)
+	if cf := cc.Check(a, b); cf != nil {
+		t.Errorf("well-separated plans flagged: %v", cf)
+	}
+}
+
+func TestSameVehicleNeverConflicts(t *testing.T) {
+	in := testInter(t)
+	ra, _ := crossingRoutes(t, in)
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, ra, 0, 15)
+	b := planThrough(1, ra, 0, 15)
+	if cf := cc.Check(a, b); cf != nil {
+		t.Errorf("same-vehicle plans flagged: %v", cf)
+	}
+}
+
+func TestCarFollowingViolation(t *testing.T) {
+	in := testInter(t)
+	r := in.RoutesFromLeg(0, intersection.MovementStraight)[0]
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, r, 0, 15)
+	// Second vehicle enters the same lane a fraction of the headway later.
+	b := planThrough(2, r, 300*time.Millisecond, 15)
+	cf := cc.Check(a, b)
+	if cf == nil {
+		t.Fatal("tailgating plans must conflict")
+	}
+	if !strings.Contains(cf.Reason, "car-following") {
+		t.Errorf("reason = %q, want car-following", cf.Reason)
+	}
+	// A full headway apart is fine.
+	c := planThrough(3, r, 3*time.Second, 15)
+	if cf := cc.Check(a, c); cf != nil {
+		t.Errorf("separated same-lane plans flagged: %v", cf)
+	}
+}
+
+func TestOpposingStraightsNeverConflict(t *testing.T) {
+	in := testInter(t)
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, in.RoutesFromLeg(0, intersection.MovementStraight)[0], 0, 15)
+	b := planThrough(2, in.RoutesFromLeg(2, intersection.MovementStraight)[0], 0, 15)
+	if cf := cc.Check(a, b); cf != nil {
+		t.Errorf("opposing straights flagged: %v", cf)
+	}
+}
+
+func TestBadRouteIDReported(t *testing.T) {
+	in := testInter(t)
+	cc := &ConflictChecker{Inter: in}
+	a := planThrough(1, in.Routes[0], 0, 15)
+	bad := a.Clone()
+	bad.Vehicle = 2
+	bad.RouteID = 9999
+	if cf := cc.Check(a, bad); cf == nil {
+		t.Error("plan with unknown route accepted")
+	}
+	if cf := cc.Check(bad, a); cf == nil {
+		t.Error("plan with unknown route accepted (first position)")
+	}
+}
+
+func TestCheckAllFindsPairwiseAndPrior(t *testing.T) {
+	in := testInter(t)
+	ra, rb := crossingRoutes(t, in)
+	cc := &ConflictChecker{Inter: in}
+	batch := []*TravelPlan{
+		planThrough(1, ra, 0, 15),
+		planThrough(2, rb, 0, 15),
+	}
+	prior := []*TravelPlan{planThrough(3, rb, 400*time.Millisecond, 15)}
+	conflicts := cc.CheckAll(batch, prior)
+	// 1-2 conflict (crossing), 1-3 conflict (crossing, prior), and
+	// 2-3 conflict (same route close together).
+	if len(conflicts) < 3 {
+		t.Errorf("found %d conflicts, want >= 3: %v", len(conflicts), conflicts)
+	}
+}
+
+func TestCustomHeadwayRespected(t *testing.T) {
+	in := testInter(t)
+	ra, rb := crossingRoutes(t, in)
+	// With an enormous headway, even 20 s separation conflicts.
+	cc := &ConflictChecker{Inter: in, Headway: 60 * time.Second}
+	a := planThrough(1, ra, 0, 15)
+	b := planThrough(2, rb, 20*time.Second, 15)
+	if cf := cc.Check(a, b); cf == nil {
+		t.Error("20s separation should violate a 60s headway")
+	}
+}
+
+func TestOccupancyPlanEndsInsideZone(t *testing.T) {
+	in := testInter(t)
+	ra, rb := crossingRoutes(t, in)
+	cc := &ConflictChecker{Inter: in}
+	// Plan a stops dead in the middle of the conflict zone (evacuation
+	// stop): its occupancy extends to the end of the plan, so a later
+	// crossing plan must conflict with it.
+	cz := func() intersection.Conflict {
+		for _, c := range in.ConflictsOf(ra.ID) {
+			if c.Other(ra.ID) == rb.ID {
+				return c
+			}
+		}
+		t.Fatal("no zone")
+		return intersection.Conflict{}
+	}()
+	lo, hi, _ := cz.WindowFor(ra.ID)
+	mid := (lo + hi) / 2
+	a := &TravelPlan{Vehicle: 1, RouteID: ra.ID, Waypoints: []Waypoint{
+		{T: 0, S: 0, V: 15},
+		{T: 30 * time.Second, S: mid, V: 0},
+	}}
+	// Time b so it enters the zone right at the end of a's plan, while a
+	// is still stopped inside the zone.
+	bLo, _, _ := cz.WindowFor(rb.ID)
+	t0b := 30*time.Second - time.Duration(float64(time.Second)*bLo/15)
+	b := planThrough(2, rb, t0b, 15)
+	if cf := cc.Check(a, b); cf == nil {
+		t.Error("plan crossing a zone blocked by a stopped vehicle must conflict")
+	}
+}

@@ -1,0 +1,199 @@
+package plan
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Deterministic binary encoding for travel plans. Block hashes, Merkle
+// roots and signatures are computed over these bytes, so the encoding must
+// be byte-stable across runs and platforms: fixed-width big-endian
+// integers, IEEE-754 bit patterns for floats, and length-prefixed strings.
+
+// ErrTruncated is returned when decoding runs out of bytes.
+var ErrTruncated = errors.New("plan: truncated encoding")
+
+// encVersion is bumped when the wire layout changes.
+const encVersion = 1
+
+type encoder struct{ buf []byte }
+
+func (e *encoder) u8(v uint8)   { e.buf = append(e.buf, v) }
+func (e *encoder) u64(v uint64) { e.buf = binary.BigEndian.AppendUint64(e.buf, v) }
+func (e *encoder) i64(v int64)  { e.u64(uint64(v)) }
+func (e *encoder) f64(v float64) {
+	e.u64(math.Float64bits(v))
+}
+func (e *encoder) str(s string) {
+	e.u64(uint64(len(s)))
+	e.buf = append(e.buf, s...)
+}
+
+type decoder struct{ buf []byte }
+
+func (d *decoder) u8() (uint8, error) {
+	if len(d.buf) < 1 {
+		return 0, ErrTruncated
+	}
+	v := d.buf[0]
+	d.buf = d.buf[1:]
+	return v, nil
+}
+
+func (d *decoder) u64() (uint64, error) {
+	if len(d.buf) < 8 {
+		return 0, ErrTruncated
+	}
+	v := binary.BigEndian.Uint64(d.buf)
+	d.buf = d.buf[8:]
+	return v, nil
+}
+
+func (d *decoder) i64() (int64, error) {
+	v, err := d.u64()
+	return int64(v), err
+}
+
+func (d *decoder) f64() (float64, error) {
+	v, err := d.u64()
+	return math.Float64frombits(v), err
+}
+
+func (d *decoder) str() (string, error) {
+	n, err := d.u64()
+	if err != nil {
+		return "", err
+	}
+	if uint64(len(d.buf)) < n {
+		return "", ErrTruncated
+	}
+	s := string(d.buf[:n])
+	d.buf = d.buf[n:]
+	return s, nil
+}
+
+// Encode serialises the plan deterministically.
+func (p *TravelPlan) Encode() []byte {
+	var e encoder
+	e.u8(encVersion)
+	e.u64(uint64(p.Vehicle))
+	e.str(p.Char.Brand)
+	e.str(p.Char.Model)
+	e.str(p.Char.Color)
+	e.f64(p.Char.Length)
+	e.f64(p.Char.Width)
+	e.f64(p.Status.Pos.X)
+	e.f64(p.Status.Pos.Y)
+	e.f64(p.Status.Speed)
+	e.f64(p.Status.Heading)
+	e.i64(int64(p.Status.At))
+	e.i64(int64(p.RouteID))
+	e.i64(int64(p.Issued))
+	if p.Evacuation {
+		e.u8(1)
+	} else {
+		e.u8(0)
+	}
+	e.u64(uint64(len(p.Waypoints)))
+	for _, w := range p.Waypoints {
+		e.i64(int64(w.T))
+		e.f64(w.S)
+		e.f64(w.V)
+	}
+	return e.buf
+}
+
+// Decode parses an encoded plan. It is the inverse of Encode.
+func Decode(data []byte) (*TravelPlan, error) {
+	d := decoder{buf: data}
+	ver, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	if ver != encVersion {
+		return nil, fmt.Errorf("plan: unsupported encoding version %d", ver)
+	}
+	var p TravelPlan
+	id, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	p.Vehicle = VehicleID(id)
+	if p.Char.Brand, err = d.str(); err != nil {
+		return nil, err
+	}
+	if p.Char.Model, err = d.str(); err != nil {
+		return nil, err
+	}
+	if p.Char.Color, err = d.str(); err != nil {
+		return nil, err
+	}
+	if p.Char.Length, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if p.Char.Width, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if p.Status.Pos.X, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if p.Status.Pos.Y, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if p.Status.Speed, err = d.f64(); err != nil {
+		return nil, err
+	}
+	if p.Status.Heading, err = d.f64(); err != nil {
+		return nil, err
+	}
+	at, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	p.Status.At = time.Duration(at)
+	rid, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	p.RouteID = int(rid)
+	issued, err := d.i64()
+	if err != nil {
+		return nil, err
+	}
+	p.Issued = time.Duration(issued)
+	evac, err := d.u8()
+	if err != nil {
+		return nil, err
+	}
+	p.Evacuation = evac == 1
+	n, err := d.u64()
+	if err != nil {
+		return nil, err
+	}
+	if n > uint64(len(d.buf)) { // each waypoint needs >= 24 bytes; cheap sanity cap
+		return nil, fmt.Errorf("plan: waypoint count %d exceeds remaining data", n)
+	}
+	p.Waypoints = make([]Waypoint, n)
+	for i := range p.Waypoints {
+		t, err := d.i64()
+		if err != nil {
+			return nil, err
+		}
+		s, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		v, err := d.f64()
+		if err != nil {
+			return nil, err
+		}
+		p.Waypoints[i] = Waypoint{T: time.Duration(t), S: s, V: v}
+	}
+	if len(d.buf) != 0 {
+		return nil, fmt.Errorf("plan: %d trailing bytes", len(d.buf))
+	}
+	return &p, nil
+}

@@ -1,0 +1,101 @@
+package plan
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := mkPlan(99, 5, 3*time.Second)
+	p.Evacuation = true
+	data := p.Encode()
+	q, err := Decode(data)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if q.Vehicle != p.Vehicle || q.RouteID != p.RouteID || q.Issued != p.Issued ||
+		q.Evacuation != p.Evacuation || q.Char != p.Char || q.Status != p.Status {
+		t.Errorf("header mismatch: %+v vs %+v", q, p)
+	}
+	if len(q.Waypoints) != len(p.Waypoints) {
+		t.Fatalf("waypoints: %d vs %d", len(q.Waypoints), len(p.Waypoints))
+	}
+	for i := range q.Waypoints {
+		if q.Waypoints[i] != p.Waypoints[i] {
+			t.Errorf("waypoint %d: %+v vs %+v", i, q.Waypoints[i], p.Waypoints[i])
+		}
+	}
+}
+
+func TestEncodeDeterministic(t *testing.T) {
+	p := mkPlan(7, 2, time.Second)
+	a := p.Encode()
+	b := p.Clone().Encode()
+	if !bytes.Equal(a, b) {
+		t.Error("Encode is not deterministic across clones")
+	}
+}
+
+func TestEncodeDistinguishesPlans(t *testing.T) {
+	a := mkPlan(1, 0, 0)
+	b := mkPlan(1, 0, 0)
+	b.Waypoints[2].V += 0.0001
+	if bytes.Equal(a.Encode(), b.Encode()) {
+		t.Error("different plans encode identically")
+	}
+	c := mkPlan(2, 0, 0)
+	if bytes.Equal(a.Encode(), c.Encode()) {
+		t.Error("different vehicles encode identically")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	if _, err := Decode(nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("nil: %v", err)
+	}
+	p := mkPlan(1, 0, 0)
+	data := p.Encode()
+	// Truncations at every prefix length must error, never panic.
+	for i := 0; i < len(data); i++ {
+		if _, err := Decode(data[:i]); err == nil {
+			t.Fatalf("truncation at %d accepted", i)
+		}
+	}
+	// Trailing garbage rejected.
+	if _, err := Decode(append(append([]byte{}, data...), 0x00)); err == nil {
+		t.Error("trailing bytes accepted")
+	}
+	// Wrong version rejected.
+	bad := append([]byte{}, data...)
+	bad[0] = 99
+	if _, err := Decode(bad); err == nil {
+		t.Error("bad version accepted")
+	}
+}
+
+func TestDecodeFuzzedNoPanic(t *testing.T) {
+	f := func(data []byte) bool {
+		_, _ = Decode(data) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDecodeHugeWaypointCountRejected(t *testing.T) {
+	p := mkPlan(1, 0, 0, Waypoint{T: 0, S: 0, V: 0})
+	data := p.Encode()
+	// The waypoint count is the 8 bytes before the final waypoint
+	// (24 bytes). Corrupt it to a huge value.
+	idx := len(data) - 24 - 8
+	for i := 0; i < 8; i++ {
+		data[idx+i] = 0xFF
+	}
+	if _, err := Decode(data); err == nil {
+		t.Error("huge waypoint count accepted")
+	}
+}

@@ -1,0 +1,182 @@
+package sched
+
+import (
+	"math"
+	"time"
+
+	"nwade/internal/plan"
+	"nwade/internal/units"
+)
+
+// profileParams bounds the kinematics of generated trajectories.
+type profileParams struct {
+	vmax float64       // speed limit
+	amax float64       // max acceleration
+	bmax float64       // max deceleration
+	dt   time.Duration // integration step
+	wp   time.Duration // waypoint emission interval
+}
+
+// Car-following gap parameters: a follower stays at least
+// followGapDist + followGapTime*speed behind its leader.
+const (
+	followGapDist = 8.0
+	followGapTime = 1700 * time.Millisecond
+)
+
+// defaultProfile returns the paper's kinematic limits.
+func defaultProfile() profileParams {
+	return profileParams{
+		vmax: units.SpeedLimit,
+		amax: units.MaxAccel,
+		bmax: units.MaxDecel,
+		dt:   250 * time.Millisecond,
+		wp:   500 * time.Millisecond,
+	}
+}
+
+// earliestEntry integrates full-throttle driving to estimate the earliest
+// time a vehicle at (s0, v0) at time t0 can reach arc length sT.
+func earliestEntry(t0 time.Duration, s0, v0, sT float64, prof profileParams) time.Duration {
+	t, s, v := t0, s0, v0
+	dt := prof.dt.Seconds()
+	for s < sT {
+		v += prof.amax * dt
+		if v > prof.vmax {
+			v = prof.vmax
+		}
+		s += v * dt
+		t += prof.dt
+		if t-t0 > 20*time.Minute {
+			break
+		}
+	}
+	return t
+}
+
+// leadInfo references the plan of the vehicle immediately ahead on the
+// same incoming lane. The controller keeps a speed-dependent gap behind it
+// while both are on the shared approach (s < sharedEnd).
+type leadInfo struct {
+	p         *plan.TravelPlan
+	sharedEnd float64
+}
+
+// findLeader locates, among prior plans, the nearest plan ahead of the
+// request on the same incoming lane, so the generated trajectory can
+// car-follow it instead of driving into it.
+func findLeader(req Request, t0 time.Duration, prior []*plan.TravelPlan, ledger *Ledger) *leadInfo {
+	inter := ledger.Checker().Inter
+	var best *plan.TravelPlan
+	bestS := math.Inf(1)
+	for _, q := range prior {
+		qr, err := inter.Route(q.RouteID)
+		if err != nil || qr.From != req.Route.From {
+			continue
+		}
+		sq, _ := q.StateAt(t0)
+		if sq >= req.CurrentS && sq < bestS {
+			// Ignore leaders already past the shared approach.
+			if sq < math.Min(qr.CrossStart, req.Route.CrossStart)+30 {
+				best = q
+				bestS = sq
+			}
+		}
+	}
+	if best == nil {
+		return nil
+	}
+	br, err := inter.Route(best.RouteID)
+	if err != nil {
+		return nil
+	}
+	return &leadInfo{p: best, sharedEnd: math.Min(br.CrossStart, req.Route.CrossStart)}
+}
+
+// buildPlan integrates a simple longitudinal controller into a waypoint
+// schedule. Before the conflict-area entry the controller drives at the
+// speed that arrives exactly at the target entry time (earliest feasible
+// plus the admission delay), which naturally produces slow-downs or a
+// stop-and-wait at the entry line; past the entry it accelerates back to
+// the limit and holds it to the end of the route. When lead is non-nil
+// the controller additionally keeps a speed-dependent gap behind the
+// leading vehicle's scheduled position on the shared approach.
+func buildPlan(req Request, now time.Duration, delay time.Duration, prof profileParams, lead *leadInfo) *plan.TravelPlan {
+	r := req.Route
+	t0 := req.ArriveAt
+	if now > t0 {
+		t0 = now
+	}
+	entryS := r.CrossStart
+	L := r.Full.Length()
+	target := earliestEntry(t0, req.CurrentS, req.Speed, entryS, prof) + delay
+
+	dt := prof.dt.Seconds()
+	t, s, v := t0, req.CurrentS, req.Speed
+	ws := []plan.Waypoint{{T: t, S: s, V: v}}
+	lastWP := t
+	// Guard against runaway integration; generous enough for a stop of
+	// several minutes at a saturated intersection.
+	deadline := t0 + 30*time.Minute
+
+	for s < L && t < deadline {
+		var vdes float64
+		if s < entryS && t < target {
+			rem := entryS - s
+			trem := (target - t).Seconds()
+			if trem <= dt {
+				vdes = prof.vmax
+			} else {
+				vdes = rem / trem
+				// Creep rather than fully stall far from the line,
+				// but allow a true stop right at the line.
+				if vdes < 0.3 && rem > 5 {
+					vdes = 0.3
+				}
+			}
+		} else {
+			vdes = prof.vmax
+		}
+		if vdes > prof.vmax {
+			vdes = prof.vmax
+		}
+		a := (vdes - v) / dt
+		a = math.Max(-prof.bmax, math.Min(prof.amax, a))
+		v += a * dt
+		if v < 0 {
+			v = 0
+		}
+		// Car-following: never advance past the leader's scheduled
+		// position minus a speed-dependent gap while on the shared
+		// approach. Safety overrides the comfort deceleration limit.
+		if lead != nil && s < lead.sharedEnd {
+			sL, _ := lead.p.StateAt(t + prof.dt)
+			maxS := sL - (followGapDist + followGapTime.Seconds()*v)
+			if s+v*dt > maxS {
+				v = math.Max(0, (maxS-s)/dt)
+			}
+		}
+		s += v * dt
+		if s > L {
+			s = L
+		}
+		t += prof.dt
+		if t-lastWP >= prof.wp || s >= L {
+			ws = append(ws, plan.Waypoint{T: t, S: s, V: v})
+			lastWP = t
+		}
+	}
+	if ws[len(ws)-1].S < L {
+		// Integration hit the deadline; close the plan at the end of
+		// the route so occupancy stays bounded.
+		ws = append(ws, plan.Waypoint{T: t + time.Second, S: L, V: prof.vmax})
+	}
+	return &plan.TravelPlan{
+		Vehicle:   req.Vehicle,
+		Char:      req.Char,
+		Status:    plan.Status{Pos: r.Full.PointAt(req.CurrentS), Speed: req.Speed, Heading: r.Full.HeadingAt(req.CurrentS), At: t0},
+		RouteID:   r.ID,
+		Waypoints: ws,
+		Issued:    now,
+	}
+}

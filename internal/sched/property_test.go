@@ -1,0 +1,138 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+	"nwade/internal/traffic"
+	"nwade/internal/units"
+)
+
+// TestScheduledPlanInvariants property-checks every plan the reservation
+// scheduler emits over randomized traffic: monotone waypoints, bounded
+// speeds, plausible accelerations, full route coverage, and conflict
+// freedom against the ledger.
+func TestScheduledPlanInvariants(t *testing.T) {
+	in := testInter(t)
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 8; trial++ {
+		seed := rng.Int63()
+		rate := 30 + rng.Float64()*90
+		g := traffic.NewGenerator(in, traffic.Config{RatePerMin: rate}, seed)
+		ledger := NewLedger(in)
+		s := &Reservation{}
+		var prior []*plan.TravelPlan
+		for batch := 0; batch < 3; batch++ {
+			start := time.Duration(batch) * 15 * time.Second
+			var reqs []Request
+			for _, a := range g.Until(start + 15*time.Second) {
+				reqs = append(reqs, Request{Vehicle: a.Vehicle, Char: a.Char, Route: a.Route, ArriveAt: a.At, Speed: a.Speed})
+			}
+			if len(reqs) == 0 {
+				continue
+			}
+			plans, err := s.Schedule(reqs, start, ledger)
+			if err != nil {
+				t.Fatalf("trial %d batch %d: %v", trial, batch, err)
+			}
+			ledger.Add(plans...)
+			for i, p := range plans {
+				checkPlanInvariants(t, in, reqs[i], p)
+			}
+			prior = append(prior, plans...)
+		}
+		assertConflictFree(t, in, prior)
+	}
+}
+
+// checkPlanInvariants asserts the physical sanity of one plan.
+func checkPlanInvariants(t *testing.T, in *intersection.Intersection, req Request, p *plan.TravelPlan) {
+	t.Helper()
+	if err := p.Validate(); err != nil {
+		t.Fatalf("%v: %v", p.Vehicle, err)
+	}
+	if p.Start() < req.ArriveAt {
+		t.Errorf("%v: starts %v before arrival %v", p.Vehicle, p.Start(), req.ArriveAt)
+	}
+	r, err := in.Route(p.RouteID)
+	if err != nil {
+		t.Fatalf("%v: %v", p.Vehicle, err)
+	}
+	if p.FinalS() < r.Length()-1 {
+		t.Errorf("%v: plan ends at %v of %v", p.Vehicle, p.FinalS(), r.Length())
+	}
+	ws := p.Waypoints
+	for i := 1; i < len(ws); i++ {
+		dt := (ws[i].T - ws[i-1].T).Seconds()
+		if dt <= 0 {
+			continue
+		}
+		v := (ws[i].S - ws[i-1].S) / dt
+		// Average segment speed within physical bounds (small slack
+		// for interpolation).
+		if v < -1e-9 || v > units.SpeedLimit*1.05+1 {
+			t.Fatalf("%v: segment speed %v out of bounds at waypoint %d", p.Vehicle, v, i)
+		}
+		if ws[i].V < 0 || ws[i].V > units.SpeedLimit*1.05+1 {
+			t.Fatalf("%v: recorded speed %v out of bounds", p.Vehicle, ws[i].V)
+		}
+	}
+}
+
+// TestMidRouteRequestInvariants property-checks rescheduling requests at
+// random positions along random routes.
+func TestMidRouteRequestInvariants(t *testing.T) {
+	in := testInter(t)
+	rng := rand.New(rand.NewSource(7))
+	s := &Reservation{}
+	for trial := 0; trial < 25; trial++ {
+		r := in.Routes[rng.Intn(len(in.Routes))]
+		curS := rng.Float64() * r.Length() * 0.9
+		speed := rng.Float64() * units.SpeedLimit
+		now := time.Duration(rng.Intn(60)) * time.Second
+		ledger := NewLedger(in)
+		plans, err := s.Schedule([]Request{{
+			Vehicle: 1, Route: r, ArriveAt: now, Speed: speed, CurrentS: curS,
+		}}, now, ledger)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		p := plans[0]
+		if err := p.Validate(); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if p.Waypoints[0].S != curS {
+			t.Errorf("trial %d: plan starts at %v, want %v", trial, p.Waypoints[0].S, curS)
+		}
+		if p.FinalS() < r.Length()-1 {
+			t.Errorf("trial %d: plan ends early at %v", trial, p.FinalS())
+		}
+	}
+}
+
+// TestTrafficLightGreenPeriodicity property-checks the phase arithmetic.
+func TestTrafficLightGreenPeriodicity(t *testing.T) {
+	in := testInter(t)
+	tl := &TrafficLight{Inter: in, Green: 9 * time.Second, AllRed: 2 * time.Second}
+	rng := rand.New(rand.NewSource(3))
+	cycle := time.Duration(len(in.LegHeadings)) * (9 + 2) * time.Second
+	for trial := 0; trial < 200; trial++ {
+		leg := rng.Intn(len(in.LegHeadings))
+		at := time.Duration(rng.Int63n(int64(10 * time.Minute)))
+		s, e := tl.NextGreen(leg, at)
+		if e-s != 9*time.Second {
+			t.Fatalf("green length %v", e-s)
+		}
+		if e <= at {
+			t.Fatalf("window [%v,%v) ended before query %v", s, e, at)
+		}
+		// Shifting the query by a full cycle shifts the window by one.
+		s2, e2 := tl.NextGreen(leg, at+cycle)
+		if s2-s != cycle || e2-e != cycle {
+			t.Fatalf("cycle periodicity broken: %v vs %v", s2-s, cycle)
+		}
+	}
+}

@@ -1,0 +1,66 @@
+package sched
+
+import (
+	"fmt"
+	"time"
+
+	"nwade/internal/plan"
+)
+
+// Reservation is the primary scheduler: a DASH-like FCFS trajectory-
+// reservation algorithm. Each request is admitted at the earliest entry
+// time whose trajectory clears every conflict zone against all accepted
+// plans, for any intersection geometry.
+type Reservation struct {
+	// Profile overrides the kinematic limits; zero value uses defaults.
+	Profile ProfileConfig
+}
+
+// ProfileConfig exposes the tunable kinematics of generated plans.
+type ProfileConfig struct {
+	VMax float64 // speed limit (default: paper's 50 mph)
+	AMax float64 // max acceleration (default 2 m/s²)
+	BMax float64 // max deceleration (default 3 m/s²)
+}
+
+// params merges the config with defaults.
+func (c ProfileConfig) params() profileParams {
+	p := defaultProfile()
+	if c.VMax > 0 {
+		p.vmax = c.VMax
+	}
+	if c.AMax > 0 {
+		p.amax = c.AMax
+	}
+	if c.BMax > 0 {
+		p.bmax = c.BMax
+	}
+	return p
+}
+
+var _ Scheduler = (*Reservation)(nil)
+
+// Name implements Scheduler.
+func (r *Reservation) Name() string { return "reservation" }
+
+// Schedule implements Scheduler: FCFS admission with minimal entry delay.
+func (r *Reservation) Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([]*plan.TravelPlan, error) {
+	prof := r.Profile.params()
+	ordered := sortBatch(reqs)
+	accepted := make([]*plan.TravelPlan, 0, len(ordered))
+	byVehicle := make(map[plan.VehicleID]*plan.TravelPlan, len(ordered))
+	for _, req := range ordered {
+		p, err := admit(req, now, ledger, accepted, prof)
+		if err != nil {
+			return nil, fmt.Errorf("reservation: %w", err)
+		}
+		accepted = append(accepted, p)
+		byVehicle[req.Vehicle] = p
+	}
+	// Return plans in the caller's original request order.
+	out := make([]*plan.TravelPlan, len(reqs))
+	for i, req := range reqs {
+		out[i] = byVehicle[req.Vehicle]
+	}
+	return out, nil
+}

@@ -1,0 +1,301 @@
+package sched
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+	"nwade/internal/traffic"
+)
+
+func testInter(t testing.TB) *intersection.Intersection {
+	t.Helper()
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func reqsFromTraffic(t testing.TB, in *intersection.Intersection, rate float64, window time.Duration, seed int64) []Request {
+	t.Helper()
+	g := traffic.NewGenerator(in, traffic.Config{RatePerMin: rate}, seed)
+	var reqs []Request
+	for _, a := range g.Until(window) {
+		reqs = append(reqs, Request{
+			Vehicle:  a.Vehicle,
+			Char:     a.Char,
+			Route:    a.Route,
+			ArriveAt: a.At,
+			Speed:    a.Speed,
+		})
+	}
+	return reqs
+}
+
+// assertConflictFree checks that all plans are mutually conflict-free.
+func assertConflictFree(t *testing.T, in *intersection.Intersection, plans []*plan.TravelPlan) {
+	t.Helper()
+	cc := &plan.ConflictChecker{Inter: in}
+	for i := 0; i < len(plans); i++ {
+		for j := i + 1; j < len(plans); j++ {
+			if cf := cc.Check(plans[i], plans[j]); cf != nil {
+				t.Errorf("scheduled plans conflict: %v", cf)
+			}
+		}
+	}
+}
+
+func TestReservationSchedulesBatchConflictFree(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 80, time.Minute, 1)
+	if len(reqs) < 30 {
+		t.Fatalf("only %d requests", len(reqs))
+	}
+	s := &Reservation{}
+	plans, err := s.Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(reqs) {
+		t.Fatalf("plans = %d, want %d", len(plans), len(reqs))
+	}
+	for i, p := range plans {
+		if p.Vehicle != reqs[i].Vehicle {
+			t.Fatalf("plan %d for %v, want %v (order preserved)", i, p.Vehicle, reqs[i].Vehicle)
+		}
+		if err := p.Validate(); err != nil {
+			t.Fatalf("plan %v invalid: %v", p.Vehicle, err)
+		}
+		if p.FinalS() < reqs[i].Route.Length()-1 {
+			t.Errorf("plan %v does not reach route end: %v < %v", p.Vehicle, p.FinalS(), reqs[i].Route.Length())
+		}
+	}
+	assertConflictFree(t, in, plans)
+}
+
+func TestReservationRespectsLedger(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	s := &Reservation{}
+	// One arrival stream split into two scheduling batches, as the
+	// engine does every batch window.
+	g := traffic.NewGenerator(in, traffic.Config{RatePerMin: 80}, 2)
+	toReqs := func(arrs []traffic.Arrival) []Request {
+		var reqs []Request
+		for _, a := range arrs {
+			reqs = append(reqs, Request{Vehicle: a.Vehicle, Char: a.Char, Route: a.Route, ArriveAt: a.At, Speed: a.Speed})
+		}
+		return reqs
+	}
+	first := toReqs(g.Until(30 * time.Second))
+	plans1, err := s.Schedule(first, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger.Add(plans1...)
+	second := toReqs(g.Until(60 * time.Second))
+	plans2, err := s.Schedule(second, 30*time.Second, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConflictFree(t, in, append(append([]*plan.TravelPlan{}, plans1...), plans2...))
+}
+
+func TestReservationAllIntersectionKinds(t *testing.T) {
+	for _, k := range intersection.Kinds() {
+		k := k
+		t.Run(k.String(), func(t *testing.T) {
+			in, err := intersection.Build(k, intersection.Config{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ledger := NewLedger(in)
+			reqs := reqsFromTraffic(t, in, 60, 45*time.Second, 5)
+			s := &Reservation{}
+			plans, err := s.Schedule(reqs, 0, ledger)
+			if err != nil {
+				t.Fatal(err)
+			}
+			assertConflictFree(t, in, plans)
+		})
+	}
+}
+
+func TestPlanStartsNoEarlierThanArrival(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 80, 30*time.Second, 9)
+	plans, err := (&Reservation{}).Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range plans {
+		if p.Start() < reqs[i].ArriveAt {
+			t.Errorf("plan %v starts %v before arrival %v", p.Vehicle, p.Start(), reqs[i].ArriveAt)
+		}
+	}
+}
+
+func TestMidRouteRescheduling(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	r := in.RoutesFromLeg(0, intersection.MovementStraight)[0]
+	req := Request{
+		Vehicle:  1,
+		Route:    r,
+		ArriveAt: 10 * time.Second,
+		Speed:    15,
+		CurrentS: 150, // already mid-approach
+	}
+	plans, err := (&Reservation{}).Schedule([]Request{req}, 10*time.Second, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := plans[0]
+	if p.Waypoints[0].S != 150 {
+		t.Errorf("reschedule starts at s=%v, want 150", p.Waypoints[0].S)
+	}
+	if p.FinalS() < r.Length()-1 {
+		t.Errorf("reschedule does not reach route end")
+	}
+}
+
+func TestTrafficLightPhasesExclusive(t *testing.T) {
+	in := testInter(t)
+	tl := &TrafficLight{Inter: in}
+	// Green windows of different legs never overlap.
+	for leg := 0; leg < 4; leg++ {
+		s0, e0 := tl.NextGreen(leg, 0)
+		for other := leg + 1; other < 4; other++ {
+			s1, e1 := tl.NextGreen(other, 0)
+			if s0 < e1 && s1 < e0 {
+				t.Errorf("greens of legs %d and %d overlap: [%v,%v) vs [%v,%v)", leg, other, s0, e0, s1, e1)
+			}
+		}
+	}
+	// NextGreen returns a window that ends after the query time.
+	for _, at := range []time.Duration{0, 5 * time.Second, time.Minute, time.Hour} {
+		for leg := 0; leg < 4; leg++ {
+			s, e := tl.NextGreen(leg, at)
+			if e <= at {
+				t.Errorf("NextGreen(%d, %v) = [%v,%v), ends before query", leg, at, s, e)
+			}
+			if e-s != tl.green() {
+				t.Errorf("green window length = %v", e-s)
+			}
+		}
+	}
+}
+
+func TestTrafficLightSchedulesConflictFree(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 40, 30*time.Second, 4)
+	tl := &TrafficLight{Inter: in}
+	plans, err := tl.Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConflictFree(t, in, plans)
+	// Every vehicle must enter the conflict area within a green window
+	// of its leg.
+	for i, p := range plans {
+		r := reqs[i].Route
+		in0, ok := p.TimeAt(r.CrossStart)
+		if !ok {
+			t.Fatalf("plan %v never reaches cross start", p.Vehicle)
+		}
+		gs, ge := tl.NextGreen(r.From.Leg, in0)
+		if in0 < gs-time.Second || in0 > ge {
+			t.Errorf("plan %v enters at %v outside green [%v,%v)", p.Vehicle, in0, gs, ge)
+		}
+	}
+}
+
+func TestPlatoonSchedulesConflictFree(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 80, 45*time.Second, 6)
+	pl := &Platoon{}
+	plans, err := pl.Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(plans) != len(reqs) {
+		t.Fatalf("plans = %d, want %d", len(plans), len(reqs))
+	}
+	assertConflictFree(t, in, plans)
+}
+
+func TestSchedulerNames(t *testing.T) {
+	in := testInter(t)
+	for _, s := range []Scheduler{&Reservation{}, &TrafficLight{Inter: in}, &Platoon{}} {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+	}
+}
+
+func TestLedgerLifecycle(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 40, 20*time.Second, 8)
+	plans, err := (&Reservation{}).Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ledger.Add(plans...)
+	if ledger.Len() != len(plans) {
+		t.Errorf("Len = %d, want %d", ledger.Len(), len(plans))
+	}
+	if _, ok := ledger.Get(plans[0].Vehicle); !ok {
+		t.Error("Get missed an added plan")
+	}
+	ledger.Remove(plans[0].Vehicle)
+	if _, ok := ledger.Get(plans[0].Vehicle); ok {
+		t.Error("Remove did not remove")
+	}
+	// Prune drops completed plans.
+	var latest time.Duration
+	for _, p := range plans {
+		if p.End() > latest {
+			latest = p.End()
+		}
+	}
+	ledger.Prune(latest+time.Minute, 30*time.Second)
+	if ledger.Len() != 0 {
+		t.Errorf("after Prune: Len = %d", ledger.Len())
+	}
+}
+
+func TestLedgerActiveDeterministicOrder(t *testing.T) {
+	in := testInter(t)
+	ledger := NewLedger(in)
+	r := in.Routes[0]
+	for _, id := range []plan.VehicleID{5, 3, 9, 1} {
+		ledger.Add(&plan.TravelPlan{Vehicle: id, RouteID: r.ID, Waypoints: []plan.Waypoint{{T: 0, S: 0}, {T: time.Second, S: 1}}})
+	}
+	act := ledger.Active()
+	for i := 1; i < len(act); i++ {
+		if act[i].Vehicle < act[i-1].Vehicle {
+			t.Fatal("Active not sorted")
+		}
+	}
+}
+
+func TestHighDensitySaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation test is slow")
+	}
+	in := testInter(t)
+	ledger := NewLedger(in)
+	reqs := reqsFromTraffic(t, in, 120, time.Minute, 10)
+	plans, err := (&Reservation{}).Schedule(reqs, 0, ledger)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertConflictFree(t, in, plans)
+}

@@ -1,0 +1,801 @@
+// Package sim is the discrete-time traffic and protocol simulator that
+// hosts NWADE: it owns the intersection, the VANET, the intersection-
+// manager core, one protocol core and one physical body per vehicle, the
+// Poisson arrival process, and the attack injection. A run is fully
+// deterministic given its seed.
+package sim
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/chain"
+	"nwade/internal/geom"
+	"nwade/internal/intersection"
+	"nwade/internal/metrics"
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+	"nwade/internal/sched"
+	"nwade/internal/traffic"
+	"nwade/internal/units"
+	"nwade/internal/vnet"
+)
+
+// Config parameterises a simulation run.
+type Config struct {
+	Inter *intersection.Intersection
+	// Scheduler is the intersection-management algorithm (default:
+	// DASH-like reservation).
+	Scheduler sched.Scheduler
+	// Duration is the simulated time span (default 2 min).
+	Duration time.Duration
+	// Step is the tick length (default 100 ms).
+	Step time.Duration
+	// RatePerMin is the Poisson arrival rate (default 80).
+	RatePerMin float64
+	// Seed drives every stochastic choice of the run.
+	Seed int64
+	// Scenario is the attack setting (default benign).
+	Scenario attack.Scenario
+	// NWADE disables the security mechanism when false: plans are
+	// distributed unverified and nobody watches (the Fig. 8 baseline).
+	NWADE bool
+	// LegacyFraction is the share of arrivals that are legacy (human-
+	// driven) vehicles: they never talk to the intersection manager,
+	// cruise with car-following, and cross on gap acceptance. This
+	// implements the paper's stated future work — the transitional
+	// period with mixed autonomous and legacy traffic.
+	LegacyFraction float64
+	// IMConfig / VehicleConfig tune the protocol cores.
+	IMConfig      nwade.IMConfig
+	VehicleConfig nwade.VehicleConfig
+	// Net tunes the VANET.
+	Net vnet.Config
+	// KeyBits sizes the IM's signing key (default 2048; tests may use
+	// 1024 for speed).
+	KeyBits int
+}
+
+// normalize fills defaults.
+func (c Config) normalize() Config {
+	if c.Duration <= 0 {
+		c.Duration = 2 * time.Minute
+	}
+	if c.Step <= 0 {
+		c.Step = units.SimStep
+	}
+	if c.RatePerMin <= 0 {
+		c.RatePerMin = 80
+	}
+	if c.Scheduler == nil {
+		c.Scheduler = &sched.Reservation{}
+	}
+	if c.IMConfig.BatchWindow <= 0 {
+		c.IMConfig = nwade.DefaultIMConfig()
+	}
+	if c.VehicleConfig.SensingRadius <= 0 {
+		c.VehicleConfig = nwade.DefaultVehicleConfig()
+	}
+	if c.KeyBits == 0 {
+		c.KeyBits = chain.DefaultKeyBits
+	}
+	return c
+}
+
+// body is a vehicle's physical state, advanced by the engine.
+type body struct {
+	id      plan.VehicleID
+	core    *nwade.VehicleCore
+	route   *intersection.Route
+	s       float64 // arc length along route
+	v       float64
+	lat     float64 // lateral offset (lane changes, pull-over)
+	arrive  time.Duration
+	exited  bool
+	stopped bool // permanently stopped (collision or completed pull-over)
+	// legacy marks a human-driven vehicle outside the AIM system.
+	legacy bool
+	// waitingSince tracks how long a legacy vehicle has held at the
+	// entry line (impatience eventually overrides gap acceptance).
+	waitingSince time.Duration
+	// stoppedAt is when the body stopped for good; wrecks and pulled-
+	// over vehicles are towed off the road after WreckClearance.
+	stoppedAt time.Duration
+
+	posCache geom.Vec2
+}
+
+// WreckClearance is how long a permanently stopped vehicle blocks the
+// road before it is towed away.
+const WreckClearance = 20 * time.Second
+
+// pos returns the body's ground-truth position (cached per tick).
+func (b *body) pos() geom.Vec2 { return b.posCache }
+
+// refreshPos recomputes the cached position after the body moved.
+func (b *body) refreshPos() { b.posCache = b.route.Full.Offset(b.s, b.lat) }
+
+// present reports whether the body is physically on the road at now.
+func (b *body) present(now time.Duration) bool { return !b.exited && now >= b.arrive }
+
+// status returns the ground-truth status observable by sensors.
+func (b *body) status(now time.Duration) plan.Status {
+	return plan.Status{
+		Pos:     b.pos(),
+		Speed:   b.v,
+		Heading: b.route.Full.HeadingAt(b.s),
+		At:      now,
+	}
+}
+
+// Engine is one simulation run.
+type Engine struct {
+	cfg    Config
+	rng    *rand.Rand
+	signer *chain.Signer
+	im     *nwade.IMCore
+	net    *vnet.Network
+	gen    *traffic.Generator
+	col    *metrics.Collector
+	bodies map[plan.VehicleID]*body
+	order  []plan.VehicleID // deterministic iteration order
+	now    time.Duration
+
+	roles         attack.Roles
+	rolesAssigned bool
+	attackOnsets  map[plan.VehicleID]time.Duration
+
+	// deferred holds arrivals whose spawn point is still occupied by a
+	// queued vehicle (queue spill-back past the spawn location).
+	deferred []traffic.Arrival
+}
+
+// New builds an engine. The signer is generated here (slow for 2048-bit
+// keys) so callers can reuse engines' configs cheaply via NewWithSigner.
+func New(cfg Config) (*Engine, error) {
+	cfg = cfg.normalize()
+	signer, err := chain.NewSigner(cfg.KeyBits)
+	if err != nil {
+		return nil, fmt.Errorf("sim: %w", err)
+	}
+	return NewWithSigner(cfg, signer)
+}
+
+// NewWithSigner builds an engine with a pre-generated signing key.
+func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
+	cfg = cfg.normalize()
+	if cfg.Inter == nil {
+		return nil, fmt.Errorf("sim: no intersection configured")
+	}
+	e := &Engine{
+		cfg:          cfg,
+		rng:          rand.New(rand.NewSource(cfg.Seed)),
+		signer:       signer,
+		col:          metrics.NewCollector(),
+		bodies:       make(map[plan.VehicleID]*body),
+		attackOnsets: make(map[plan.VehicleID]time.Duration),
+	}
+	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
+	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.col.Sink(), cfg.Scenario.IMMalice())
+	e.net.Register(vnet.IMNode)
+	return e, nil
+}
+
+// Collector exposes the run's metrics.
+func (e *Engine) Collector() *metrics.Collector { return e.col }
+
+// Net exposes the network (for load statistics).
+func (e *Engine) Net() *vnet.Network { return e.net }
+
+// IM exposes the manager core.
+func (e *Engine) IM() *nwade.IMCore { return e.im }
+
+// Roles returns the attack role assignment (zero value when benign or
+// not yet activated).
+func (e *Engine) Roles() attack.Roles { return e.roles }
+
+// AttackOnsets returns when each compromised vehicle began acting.
+func (e *Engine) AttackOnsets() map[plan.VehicleID]time.Duration {
+	out := make(map[plan.VehicleID]time.Duration, len(e.attackOnsets))
+	for k, v := range e.attackOnsets {
+		out[k] = v
+	}
+	return out
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// locate implements the network's Locator.
+func (e *Engine) locate(id vnet.NodeID) (geom.Vec2, bool) {
+	if id == vnet.IMNode {
+		return geom.V(0, 0), true
+	}
+	for vid, b := range e.bodies {
+		if vnet.VehicleNode(uint64(vid)) == id && !b.exited {
+			return b.pos(), true
+		}
+	}
+	return geom.Vec2{}, false
+}
+
+// Run advances the simulation to the configured duration and returns the
+// result summary.
+func (e *Engine) Run() metrics.RunResult {
+	for e.now < e.cfg.Duration {
+		e.step()
+	}
+	return metrics.RunResult{
+		Scenario:   e.cfg.Scenario.Name,
+		Seed:       e.cfg.Seed,
+		Duration:   e.cfg.Duration,
+		Spawned:    e.col.Spawned,
+		Exited:     e.col.Exited,
+		Collisions: e.col.Collisions,
+		Net:        e.net.Stats(),
+		Collector:  e.col,
+	}
+}
+
+// Step advances the simulation by one tick; Run calls it in a loop, and
+// tests and tools may drive it manually for instrumentation.
+func (e *Engine) Step() { e.step() }
+
+// step advances one tick.
+func (e *Engine) step() {
+	e.now += e.cfg.Step
+	now := e.now
+
+	e.spawn(now)
+	e.activateAttack(now)
+	e.deliver(now)
+	e.physics(now)
+	e.tickIM(now)
+	e.tickVehicles(now)
+	e.collisions(now)
+}
+
+// spawn materialises arrivals due this tick. An arrival whose entry lane
+// is still occupied near the spawn point (a queue reaching back to the
+// edge of the simulated area) is deferred until the lane clears.
+func (e *Engine) spawn(now time.Duration) {
+	pending := append(e.deferred, e.gen.Until(now)...)
+	e.deferred = e.deferred[:0]
+	blockedLanes := make(map[intersection.LaneRef]bool)
+	for _, a := range pending {
+		// An arrival only materialises at its due time, on an
+		// unblocked lane, preserving per-lane FIFO order. Until then
+		// it simply does not exist in the world.
+		if a.At > now || blockedLanes[a.Route.From] || e.spawnBlocked(a, now) {
+			blockedLanes[a.Route.From] = true
+			e.deferred = append(e.deferred, a)
+			continue
+		}
+		core := nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
+			e.cfg.VehicleConfig, e.col.Sink(), nil, now, a.Speed)
+		b := &body{id: a.Vehicle, core: core, route: a.Route, v: a.Speed, arrive: now}
+		if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
+			b.legacy = true
+		}
+		b.refreshPos()
+		e.bodies[a.Vehicle] = b
+		e.order = append(e.order, a.Vehicle)
+		if !b.legacy {
+			// Legacy vehicles carry no radio: they never join the
+			// network or the protocol.
+			e.net.Register(vnet.VehicleNode(uint64(a.Vehicle)))
+		}
+		e.col.Spawned++
+		// Only one vehicle can materialise per lane per tick; the next
+		// one must wait for this one to move clear of the spawn point.
+		blockedLanes[a.Route.From] = true
+	}
+}
+
+// spawnBlocked reports whether another vehicle occupies the arrival's
+// entry lane near the spawn point.
+func (e *Engine) spawnBlocked(a traffic.Arrival, now time.Duration) bool {
+	for _, id := range e.order {
+		o := e.bodies[id]
+		if o.exited || o.route.From != a.Route.From {
+			continue
+		}
+		if o.s < 12 {
+			return true
+		}
+	}
+	return false
+}
+
+// activateAttack assigns coalition roles once the attack time arrives:
+// an anchor vehicle mid-approach plus its nearest active peers, so the
+// coalition is spatially clustered (threat category ii).
+func (e *Engine) activateAttack(now time.Duration) {
+	sc := e.cfg.Scenario
+	if e.rolesAssigned || sc.Name == "" || sc.Name == "benign" || now < sc.AttackAt {
+		return
+	}
+	if sc.MaliciousVehicles == 0 {
+		e.rolesAssigned = true // IM-only attack needs no vehicle roles
+		return
+	}
+	// Candidates: active vehicles with plans, still on approach or in
+	// the conflict area.
+	var cands []*body
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if !b.present(now) || b.core.Plan() == nil {
+			continue
+		}
+		if b.s > b.route.CrossEnd {
+			continue
+		}
+		cands = append(cands, b)
+	}
+	if len(cands) == 0 {
+		return // try again next tick
+	}
+	anchor := cands[e.rng.Intn(len(cands))]
+	sort.Slice(cands, func(i, j int) bool {
+		di := cands[i].pos().Dist(anchor.pos())
+		dj := cands[j].pos().Dist(anchor.pos())
+		if di != dj {
+			return di < dj
+		}
+		return cands[i].id < cands[j].id
+	})
+	n := sc.MaliciousVehicles
+	if n > len(cands) {
+		n = len(cands)
+	}
+	members := make([]plan.VehicleID, 0, n)
+	for _, b := range cands[:n] {
+		members = append(members, b.id)
+	}
+	e.roles = sc.Assign(members)
+	for _, id := range members {
+		if m := sc.MaliceFor(id, e.roles); m != nil {
+			e.bodies[id].core.SetMalice(m)
+			e.attackOnsets[id] = now
+		}
+	}
+	e.rolesAssigned = true
+}
+
+// deliver routes due network messages into the protocol cores.
+func (e *Engine) deliver(now time.Duration) {
+	for _, d := range e.net.Poll(now) {
+		if d.To == vnet.IMNode {
+			e.dispatch(now, vnet.IMNode, e.im.HandleMessage(now, d.Msg))
+			continue
+		}
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if vnet.VehicleNode(uint64(id)) != d.To || b.exited || b.legacy {
+				continue
+			}
+			if !e.cfg.NWADE {
+				e.plainHandle(b, d.Msg)
+				continue
+			}
+			e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
+		}
+	}
+}
+
+// plainHandle is the no-NWADE baseline: adopt plans without verification,
+// ignore everything else.
+func (e *Engine) plainHandle(b *body, msg vnet.Message) {
+	bm, ok := msg.Payload.(nwade.BlockMsg)
+	if !ok || bm.Block == nil {
+		return
+	}
+	if p, ok := bm.Block.PlanFor(b.id); ok {
+		b.core.AdoptPlanUnverified(p)
+	}
+}
+
+// dispatch puts protocol outputs on the network.
+func (e *Engine) dispatch(now time.Duration, from vnet.NodeID, outs []nwade.Out) {
+	for _, o := range outs {
+		if o.To == vnet.Broadcast {
+			e.net.BroadcastMsg(now, from, o.Kind, o.Payload, o.Size)
+			continue
+		}
+		// Unicast errors mean the receiver left; ignore.
+		_, _ = e.net.Unicast(now, from, o.To, o.Kind, o.Payload, o.Size)
+	}
+}
+
+// tickIM feeds the manager its perception snapshot and pumps its outputs.
+func (e *Engine) tickIM(now time.Duration) {
+	var visible []nwade.VehicleObs
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if !b.present(now) {
+			continue
+		}
+		if b.pos().Len() <= e.cfg.IMConfig.PerceptionRadius {
+			visible = append(visible, nwade.VehicleObs{ID: id, Status: b.status(now)})
+		}
+	}
+	e.dispatch(now, vnet.IMNode, e.im.Tick(now, visible))
+}
+
+// tickVehicles runs each vehicle core with its sensed neighborhood.
+func (e *Engine) tickVehicles(now time.Duration) {
+	if !e.cfg.NWADE {
+		// Baseline: only the plan request is needed.
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if !b.present(now) || b.legacy {
+				continue
+			}
+			e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.TickRequestOnly(now))
+		}
+		return
+	}
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if !b.present(now) || b.legacy {
+			continue
+		}
+		neighbors := e.sense(b)
+		e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.Tick(now, b.status(now), neighbors))
+	}
+}
+
+// sense returns the ground-truth statuses of vehicles within the sensing
+// radius of b.
+func (e *Engine) sense(b *body) []nwade.Neighbor {
+	var out []nwade.Neighbor
+	r := e.cfg.VehicleConfig.SensingRadius
+	for _, id := range e.order {
+		o := e.bodies[id]
+		if o.id == b.id || !o.present(e.now) {
+			continue
+		}
+		if o.pos().Dist(b.pos()) <= r {
+			out = append(out, nwade.Neighbor{ID: o.id, Status: o.status(e.now)})
+		}
+	}
+	return out
+}
+
+// physics advances every body one tick.
+func (e *Engine) physics(now time.Duration) {
+	dt := e.cfg.Step.Seconds()
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if b.exited || now < b.arrive {
+			continue
+		}
+		e.move(b, now, dt)
+		b.refreshPos()
+		// Tow permanently stopped vehicles (wrecks, completed
+		// pull-overs) off the road once the scene is cleared.
+		if b.stopped && now-b.stoppedAt > WreckClearance {
+			b.exited = true
+			b.core.MarkExited(now)
+			e.im.VehicleGone(b.id)
+			e.net.Unregister(vnet.VehicleNode(uint64(b.id)))
+			e.col.Towed++
+			continue
+		}
+		if b.s >= b.route.Full.Length()-0.5 && !b.exited {
+			b.exited = true
+			b.core.MarkExited(now)
+			e.im.VehicleGone(b.id)
+			e.net.Unregister(vnet.VehicleNode(uint64(b.id)))
+			e.col.RecordExit(now)
+		}
+	}
+}
+
+// move applies the body's motion mode.
+func (e *Engine) move(b *body, now time.Duration, dt float64) {
+	if b.stopped {
+		b.v = 0
+		if b.stoppedAt == 0 {
+			b.stoppedAt = now
+		}
+		return
+	}
+	if b.legacy {
+		e.legacyMove(b, now, dt)
+		return
+	}
+	mal := b.core.Malice()
+	violating := mal != nil && mal.ViolateAt > 0 && now >= mal.ViolateAt
+	switch {
+	case b.core.SelfEvacuating():
+		// Pull over: brake hard, drift to the shoulder.
+		b.v -= 1.2 * units.MaxDecel * dt
+		if b.v <= 0 {
+			b.v = 0
+			b.stopped = true
+			b.stoppedAt = now
+		}
+		b.s += b.v * dt
+		if b.lat > -3.0 {
+			b.lat -= 1.2 * dt
+		}
+	case violating:
+		e.violate(b, mal, now, dt)
+	case b.core.Plan() != nil:
+		// Benign with a plan: follow it exactly — unless collision
+		// avoidance overrides (a stopped vehicle dead ahead).
+		if e.obstacleAhead(b) {
+			b.v = 0
+			return
+		}
+		s, v := b.core.Plan().StateAt(now)
+		if s > b.s {
+			// Track the plan, but never faster than physically
+			// possible (after an emergency stop the plan may be far
+			// ahead; catch up gradually instead of teleporting), and
+			// never into the vehicle ahead. For on-plan traffic the
+			// scheduler's gaps (>= 8 m) make both caps inactive.
+			step := s - b.s
+			if max := 1.1 * units.SpeedLimit * dt; step > max {
+				step = max
+			}
+			if gap, ok := e.leaderGap(b); ok {
+				if maxStep := gap - 5; step > maxStep {
+					step = maxStep
+				}
+			}
+			if step > 0 {
+				b.s += step
+			}
+		}
+		b.v = v
+		// Ease any residual lateral offset back to the lane center.
+		if b.lat > 0.05 {
+			b.lat -= 1.0 * dt
+		} else if b.lat < -0.05 {
+			b.lat += 1.0 * dt
+		}
+	default:
+		// No plan yet: cruise with car-following, and never enter the
+		// conflict area unscheduled.
+		if gap, ok := e.leaderGap(b); ok {
+			maxV := (gap - 9) / 1.2
+			if maxV < 0 {
+				maxV = 0
+			}
+			if b.v > maxV {
+				b.v = maxV
+			}
+		}
+		stopLine := b.route.CrossStart - 15
+		if b.s+b.v*dt >= stopLine {
+			b.v -= units.MaxDecel * dt
+			if b.v < 0 {
+				b.v = 0
+			}
+		}
+		b.s += b.v * dt
+	}
+}
+
+// legacyMove drives a human vehicle: cruise with car-following on the
+// approach, yield at the entry line until the conflict area looks clear
+// (gap acceptance), cross at a cautious speed, then resume cruising.
+func (e *Engine) legacyMove(b *body, now time.Duration, dt float64) {
+	const (
+		crossSpeed = 9.0  // cautious crossing speed, m/s
+		impatience = 25.0 // seconds a human waits before chancing it
+	)
+	stopLine := b.route.CrossStart - 12
+	switch {
+	case b.s >= b.route.CrossStart && b.s < b.route.CrossEnd:
+		// Committed: cross steadily.
+		if b.v < crossSpeed {
+			b.v += units.MaxAccel * dt
+		}
+	case b.s >= stopLine && b.s < b.route.CrossStart:
+		// At the line: yield until the box looks clear, with human
+		// impatience as the tiebreaker against endless streams.
+		waited := now - b.waitingSince
+		if b.waitingSince == 0 {
+			b.waitingSince = now
+			waited = 0
+		}
+		if !e.boxClearFor(b) && waited < time.Duration(impatience*float64(time.Second)) {
+			b.v -= 1.2 * units.MaxDecel * dt
+			if b.v < 0 {
+				b.v = 0
+			}
+		} else if b.v < crossSpeed {
+			b.v += units.MaxAccel * dt
+		}
+	default:
+		// Approach and exit: ordinary cruising with car-following.
+		if gap, ok := e.leaderGap(b); ok {
+			maxV := (gap - 9) / 1.2
+			if maxV < 0 {
+				maxV = 0
+			}
+			if b.v > maxV {
+				b.v = maxV
+			}
+		} else if b.v < units.SpeedLimit*0.85 {
+			b.v += units.MaxAccel * dt
+		}
+	}
+	b.s += b.v * dt
+}
+
+// boxClearFor reports whether the conflict area looks passable to a
+// yielding legacy driver: no other vehicle inside or about to enter it.
+func (e *Engine) boxClearFor(b *body) bool {
+	for _, id := range e.order {
+		o := e.bodies[id]
+		if o.id == b.id || !o.present(e.now) {
+			continue
+		}
+		d := o.pos().Len()
+		if d < 45 {
+			return false
+		}
+		if d < 110 && o.v > 8 {
+			return false // fast traffic bearing down on the box
+		}
+	}
+	return true
+}
+
+// violate executes the physical plan violation.
+func (e *Engine) violate(b *body, mal *nwade.VehicleMalice, now time.Duration, dt float64) {
+	p := b.core.Plan()
+	switch mal.Violation {
+	case nwade.ViolationSpeeding:
+		// Run well above the scheduled speed.
+		target := units.SpeedLimit * 1.4
+		if p != nil {
+			_, pv := p.StateAt(now)
+			if pv+10 > target {
+				target = pv + 10
+			}
+		}
+		if b.v < target {
+			b.v += 2 * units.MaxAccel * dt
+		}
+		b.s += b.v * dt
+	case nwade.ViolationHardBrake:
+		b.v -= 1.5 * units.MaxDecel * dt
+		if b.v < 0 {
+			b.v = 0
+		}
+		b.s += b.v * dt
+	case nwade.ViolationLaneChange:
+		// Keep the scheduled longitudinal motion but swerve across
+		// two lane widths.
+		if p != nil {
+			s, v := p.StateAt(now)
+			b.s, b.v = s, v
+		} else {
+			b.s += b.v * dt
+		}
+		if b.lat < 7.0 {
+			b.lat += 2.5 * dt
+		}
+	default:
+		b.s += b.v * dt
+	}
+}
+
+// obstacleAhead reports a stopped vehicle directly ahead on the same
+// incoming lane — the trigger for on-board emergency braking. The range
+// is deliberately below the scheduler's minimum car-following gap (8 m),
+// so plan-conformant traffic — including creeping queues at the entry
+// line — never triggers it; only vehicles that stopped outside their
+// plans (attackers, pull-overs, collisions) do. It only applies on the
+// approach: inside the conflict area, crossing traffic legitimately
+// passes close by and plans govern separation.
+func (e *Engine) obstacleAhead(b *body) bool {
+	if b.s >= b.route.CrossStart-2 {
+		return false
+	}
+	for _, id := range e.order {
+		o := e.bodies[id]
+		if o.id == b.id || !o.present(e.now) || o.v >= 1.0 {
+			continue
+		}
+		if o.route.From != b.route.From || o.s >= o.route.CrossStart {
+			continue
+		}
+		if gap := o.s - b.s; gap > 0 && gap < 6 {
+			return true
+		}
+	}
+	return false
+}
+
+// leaderGap returns the arc distance to the nearest vehicle ahead on the
+// same incoming lane, within following range and while both are on the
+// approach.
+func (e *Engine) leaderGap(b *body) (float64, bool) {
+	if b.s >= b.route.CrossStart-2 {
+		return 0, false
+	}
+	best := 60.0
+	found := false
+	for _, id := range e.order {
+		o := e.bodies[id]
+		if o.id == b.id || !o.present(e.now) {
+			continue
+		}
+		if o.route.From != b.route.From || o.s >= o.route.CrossStart {
+			continue
+		}
+		if gap := o.s - b.s; gap > 0 && gap < best {
+			best = gap
+			found = true
+		}
+	}
+	return best, found
+}
+
+// collisions detects physical contact and stops the involved bodies.
+func (e *Engine) collisions(now time.Duration) {
+	for i := 0; i < len(e.order); i++ {
+		a := e.bodies[e.order[i]]
+		if !a.present(now) {
+			continue
+		}
+		for j := i + 1; j < len(e.order); j++ {
+			c := e.bodies[e.order[j]]
+			if !c.present(now) {
+				continue
+			}
+			if a.pos().Dist(c.pos()) < 2.2 {
+				if !a.stopped || !c.stopped {
+					e.col.Collisions++
+				}
+				if !a.stopped {
+					a.stopped, a.stoppedAt = true, now
+				}
+				if !c.stopped {
+					c.stopped, c.stoppedAt = true, now
+				}
+				a.v, c.v = 0, 0
+			}
+		}
+	}
+}
+
+// ActiveVehicles returns the number of vehicles currently in the
+// simulation.
+func (e *Engine) ActiveVehicles() int {
+	var n int
+	for _, b := range e.bodies {
+		if !b.exited {
+			n++
+		}
+	}
+	return n
+}
+
+// BodyState reports a vehicle's physical state (for tests).
+func (e *Engine) BodyState(id plan.VehicleID) (s, v, lat float64, ok bool) {
+	b, found := e.bodies[id]
+	if !found {
+		return 0, 0, 0, false
+	}
+	return b.s, b.v, b.lat, true
+}
+
+// CoreOf returns a vehicle's protocol core (for tests).
+func (e *Engine) CoreOf(id plan.VehicleID) (*nwade.VehicleCore, bool) {
+	b, found := e.bodies[id]
+	if !found {
+		return nil, false
+	}
+	return b.core, true
+}

@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/nwade"
+)
+
+func TestLegacyMixBasics(t *testing.T) {
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Inter: in, Duration: 2 * time.Minute, RatePerMin: 50,
+		Seed: 5, Scenario: attack.Benign(), NWADE: true, LegacyFraction: 0.3,
+	}
+	e, err := NewWithSigner(cfg, testSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	var legacy, av int
+	for _, b := range e.bodies {
+		if b.legacy {
+			legacy++
+		} else {
+			av++
+		}
+	}
+	if legacy == 0 || av == 0 {
+		t.Fatalf("mix missing a class: legacy=%d av=%d", legacy, av)
+	}
+	// Legacy share roughly matches the configured fraction.
+	frac := float64(legacy) / float64(legacy+av)
+	if frac < 0.15 || frac > 0.45 {
+		t.Errorf("legacy fraction = %.2f, want ~0.3", frac)
+	}
+	// Traffic still flows for both classes.
+	if res.Exited == 0 {
+		t.Fatal("nothing exited in mixed traffic")
+	}
+	// Watchers never file incident reports about legacy vehicles (no
+	// plans to deviate from).
+	for _, ev := range res.Collector.Events() {
+		if ev.Type == nwade.EvReportSent {
+			if b, ok := e.bodies[ev.Subject]; ok && b.legacy {
+				t.Errorf("incident report filed against legacy vehicle %v", ev.Subject)
+			}
+		}
+	}
+	// Legacy vehicles never enter the protocol: no confirmed suspects
+	// among them in a benign round.
+	for _, id := range e.IM().Suspects() {
+		if b, ok := e.bodies[id]; ok && b.legacy {
+			t.Errorf("legacy vehicle %v marked suspect", id)
+		}
+	}
+}
+
+func TestLegacyDoesNotBreakDetection(t *testing.T) {
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := attack.ByName("V1", 25*time.Second)
+	cfg := Config{
+		Inter: in, Duration: 70 * time.Second, RatePerMin: 60,
+		Seed: 9, Scenario: sc, NWADE: true, LegacyFraction: 0.2,
+	}
+	e, err := NewWithSigner(cfg, testSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	roles := e.Roles()
+	if roles.Violator == 0 {
+		t.Skip("no violator assigned (all candidates legacy?)")
+	}
+	if _, ok := res.Collector.FirstWhere(func(ev nwade.Event) bool {
+		return ev.Type == nwade.EvIncidentConfirmed && ev.Subject == roles.Violator
+	}); !ok {
+		t.Error("violation undetected amid legacy traffic")
+	}
+}
+
+func TestLegacyZeroFractionUnchanged(t *testing.T) {
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Inter: in, Duration: 45 * time.Second, RatePerMin: 60, Seed: 1, NWADE: true}
+	e, err := NewWithSigner(cfg, testSigner(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.Run()
+	for _, b := range e.bodies {
+		if b.legacy {
+			t.Fatal("legacy vehicle spawned with zero fraction")
+		}
+	}
+}

@@ -1,0 +1,176 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"nwade/internal/intersection"
+	"nwade/internal/plan"
+)
+
+func testInter(t *testing.T) *intersection.Intersection {
+	t.Helper()
+	in, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return in
+}
+
+func TestPoissonRateMatches(t *testing.T) {
+	in := testInter(t)
+	g := NewGenerator(in, Config{RatePerMin: 80}, 42)
+	window := 30 * time.Minute
+	arr := g.Until(window)
+	want := g.ExpectedCount(window)
+	got := float64(len(arr))
+	// 30 min at 80/min = 2400 expected; allow 4 sigma (~4*sqrt(2400)).
+	if math.Abs(got-want) > 4*math.Sqrt(want) {
+		t.Errorf("arrivals = %v, want ~%v", got, want)
+	}
+}
+
+func TestArrivalsAreOrderedAndUnique(t *testing.T) {
+	in := testInter(t)
+	g := NewGenerator(in, Config{RatePerMin: 120}, 7)
+	arr := g.Until(5 * time.Minute)
+	seen := map[plan.VehicleID]bool{}
+	for i, a := range arr {
+		if seen[a.Vehicle] {
+			t.Fatalf("duplicate vehicle ID %v", a.Vehicle)
+		}
+		seen[a.Vehicle] = true
+		if i > 0 && a.At < arr[i-1].At-10*time.Second {
+			// Per-lane gap pushes can reorder slightly; gross
+			// disorder means a bug.
+			t.Fatalf("arrival %d grossly out of order: %v after %v", i, a.At, arr[i-1].At)
+		}
+		if a.Route == nil {
+			t.Fatal("nil route")
+		}
+		if a.Speed <= 0 || a.Speed > 23 {
+			t.Errorf("speed = %v", a.Speed)
+		}
+		if a.Char.Brand == "" || a.Char.Color == "" {
+			t.Errorf("missing characteristics: %+v", a.Char)
+		}
+	}
+}
+
+func TestTurnRatiosRespected(t *testing.T) {
+	in := testInter(t)
+	g := NewGenerator(in, Config{RatePerMin: 120}, 3)
+	arr := g.Until(60 * time.Minute)
+	counts := map[intersection.Movement]int{}
+	for _, a := range arr {
+		counts[a.Route.Movement]++
+	}
+	total := float64(len(arr))
+	straight := float64(counts[intersection.MovementStraight]) / total
+	left := float64(counts[intersection.MovementLeft]) / total
+	right := float64(counts[intersection.MovementRight]) / total
+	if math.Abs(straight-0.50) > 0.05 {
+		t.Errorf("straight ratio = %v, want ~0.50", straight)
+	}
+	if math.Abs(left-0.25) > 0.05 {
+		t.Errorf("left ratio = %v, want ~0.25", left)
+	}
+	if math.Abs(right-0.25) > 0.05 {
+		t.Errorf("right ratio = %v, want ~0.25", right)
+	}
+}
+
+func TestPerLaneSpawnGap(t *testing.T) {
+	in := testInter(t)
+	gap := 1500 * time.Millisecond
+	g := NewGenerator(in, Config{RatePerMin: 120, MinSpawnGap: gap}, 11)
+	arr := g.Until(10 * time.Minute)
+	last := map[intersection.LaneRef]time.Duration{}
+	for _, a := range arr {
+		if prev, ok := last[a.Route.From]; ok {
+			if a.At-prev < gap {
+				t.Fatalf("lane %v spawned twice within %v", a.Route.From, a.At-prev)
+			}
+		}
+		last[a.Route.From] = a.At
+	}
+}
+
+func TestDeterministicPerSeed(t *testing.T) {
+	in := testInter(t)
+	a := NewGenerator(in, Config{}, 99).Until(2 * time.Minute)
+	b := NewGenerator(in, Config{}, 99).Until(2 * time.Minute)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].At != b[i].At || a[i].Vehicle != b[i].Vehicle || a[i].Route.ID != b[i].Route.ID {
+			t.Fatalf("arrival %d differs between identical seeds", i)
+		}
+	}
+	c := NewGenerator(in, Config{}, 100).Until(2 * time.Minute)
+	same := len(a) == len(c)
+	if same {
+		for i := range a {
+			if a[i].At != c[i].At {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical streams")
+	}
+}
+
+func TestRoundaboutRedistributesRatios(t *testing.T) {
+	in, err := intersection.Roundabout3(intersection.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGenerator(in, Config{RatePerMin: 120}, 5)
+	arr := g.Until(20 * time.Minute)
+	if len(arr) == 0 {
+		t.Fatal("no arrivals on roundabout")
+	}
+	// A 3-way roundabout offers no straight movement; all arrivals must
+	// still be assigned valid routes.
+	for _, a := range arr {
+		if a.Route.Movement == intersection.MovementStraight {
+			t.Fatalf("impossible straight movement on 3-way roundabout")
+		}
+	}
+}
+
+func TestUntilIsIncremental(t *testing.T) {
+	in := testInter(t)
+	g := NewGenerator(in, Config{}, 21)
+	first := g.Until(time.Minute)
+	second := g.Until(2 * time.Minute)
+	for _, a := range second {
+		if a.At < 50*time.Second {
+			t.Errorf("second Until returned early arrival at %v", a.At)
+		}
+	}
+	if len(first) == 0 || len(second) == 0 {
+		t.Error("expected arrivals in both windows")
+	}
+}
+
+func TestMeanInterArrival(t *testing.T) {
+	if got := MeanInterArrival(60); got != time.Second {
+		t.Errorf("MeanInterArrival(60) = %v", got)
+	}
+	if got := MeanInterArrival(0); got != math.MaxInt64 {
+		t.Errorf("MeanInterArrival(0) = %v", got)
+	}
+}
+
+func TestGeneratorString(t *testing.T) {
+	in := testInter(t)
+	g := NewGenerator(in, Config{RatePerMin: 80}, 1)
+	if g.String() == "" {
+		t.Error("empty String")
+	}
+}

@@ -1,0 +1,77 @@
+// Package units provides physical unit conversions and the default
+// physical constants used throughout the NWADE reproduction.
+//
+// All simulation code works in SI units (meters, seconds, m/s). The paper
+// quotes several parameters in imperial units (mph, ft); the conversion
+// helpers here keep those quotes readable at call sites, e.g.
+// units.MPH(50) or units.Feet(1500).
+package units
+
+import "time"
+
+// Conversion factors between imperial and SI units.
+const (
+	// MetersPerFoot is the exact definition of the international foot.
+	MetersPerFoot = 0.3048
+	// MetersPerMile is the exact definition of the international mile.
+	MetersPerMile = 1609.344
+)
+
+// Feet converts a length in feet to meters.
+func Feet(ft float64) float64 { return ft * MetersPerFoot }
+
+// ToFeet converts a length in meters to feet.
+func ToFeet(m float64) float64 { return m / MetersPerFoot }
+
+// MPH converts a speed in miles per hour to meters per second.
+func MPH(mph float64) float64 { return mph * MetersPerMile / 3600 }
+
+// ToMPH converts a speed in meters per second to miles per hour.
+func ToMPH(mps float64) float64 { return mps * 3600 / MetersPerMile }
+
+// KMH converts a speed in kilometers per hour to meters per second.
+func KMH(kmh float64) float64 { return kmh * 1000 / 3600 }
+
+// Default physical parameters from the paper's experimental settings
+// (Section VI-A).
+var (
+	// SpeedLimit is the default speed limit: 50 mph (80 km/h).
+	SpeedLimit = MPH(50)
+	// MaxAccel is the maximum acceleration: 6.6 ft/s^2 (2 m/s^2).
+	MaxAccel = 2.0
+	// MaxDecel is the maximum deceleration: 10.0 ft/s^2 (3 m/s^2).
+	MaxDecel = 3.0
+	// CommRadius is the maximum communication radius: 1500 ft (457 m).
+	CommRadius = Feet(1500)
+	// SensingRadiusDefault is the default vehicle/IM perception range:
+	// 1000 ft (305 m).
+	SensingRadiusDefault = Feet(1000)
+	// SensingRadiusMin is the lower bound of the evaluated sensing
+	// range sweep: 300 ft (91 m).
+	SensingRadiusMin = Feet(300)
+)
+
+// Default protocol parameters from the paper's experimental settings.
+const (
+	// NetworkLatency is the simulated one-hop VANET latency.
+	NetworkLatency = 30 * time.Millisecond
+	// BatchWindow is the interval delta at which the intersection
+	// manager processes a batch of vehicle requests into one block.
+	BatchWindow = time.Second
+	// SimStep is the discrete simulation tick.
+	SimStep = 100 * time.Millisecond
+)
+
+// Default turn ratios from the paper: 25% left, 50% straight, 25% right.
+const (
+	LeftTurnRatio  = 0.25
+	StraightRatio  = 0.50
+	RightTurnRatio = 0.25
+)
+
+// VehicleLength and VehicleWidth are nominal passenger-car dimensions used
+// by the collision and separation checks.
+const (
+	VehicleLength = 4.5
+	VehicleWidth  = 1.9
+)

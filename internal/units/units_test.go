@@ -1,0 +1,64 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func almostEqual(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestFeetRoundTrip(t *testing.T) {
+	f := func(ft float64) bool {
+		if math.IsNaN(ft) || math.IsInf(ft, 0) {
+			return true
+		}
+		return almostEqual(ToFeet(Feet(ft)), ft, math.Abs(ft)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMPHRoundTrip(t *testing.T) {
+	f := func(mph float64) bool {
+		if math.IsNaN(mph) || math.IsInf(mph, 0) || math.Abs(mph) > 1e300 {
+			return true
+		}
+		return almostEqual(ToMPH(MPH(mph)), mph, math.Abs(mph)*1e-12+1e-12)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPaperConstants(t *testing.T) {
+	// 50 mph is approximately 22.35 m/s (80 km/h).
+	if !almostEqual(SpeedLimit, 22.352, 0.001) {
+		t.Errorf("SpeedLimit = %v, want ~22.352 m/s", SpeedLimit)
+	}
+	// 1500 ft is approximately 457 m as quoted in the paper.
+	if !almostEqual(CommRadius, 457.2, 0.01) {
+		t.Errorf("CommRadius = %v, want ~457.2 m", CommRadius)
+	}
+	// 1000 ft is approximately 305 m.
+	if !almostEqual(SensingRadiusDefault, 304.8, 0.01) {
+		t.Errorf("SensingRadiusDefault = %v, want ~304.8 m", SensingRadiusDefault)
+	}
+	// 300 ft is approximately 91 m.
+	if !almostEqual(SensingRadiusMin, 91.44, 0.01) {
+		t.Errorf("SensingRadiusMin = %v, want ~91.44 m", SensingRadiusMin)
+	}
+}
+
+func TestTurnRatiosSumToOne(t *testing.T) {
+	if got := LeftTurnRatio + StraightRatio + RightTurnRatio; got != 1.0 {
+		t.Errorf("turn ratios sum to %v, want 1.0", got)
+	}
+}
+
+func TestKMH(t *testing.T) {
+	if !almostEqual(KMH(80), 22.222, 0.001) {
+		t.Errorf("KMH(80) = %v, want ~22.222", KMH(80))
+	}
+}

@@ -1,0 +1,289 @@
+// Package vnet simulates the vehicular network of the NWADE evaluation: a
+// broadcast medium with fixed one-hop latency (30 ms in the paper), a
+// maximum communication radius (1500 ft), optional packet loss, and
+// per-message-kind packet counters used to reproduce the network-load
+// experiment (Fig. 7).
+//
+// The network is deliberately simple — the paper models it as latency plus
+// a radius — but it is safe for concurrent senders and delivers messages
+// deterministically given a seed.
+package vnet
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"sync"
+	"time"
+
+	"nwade/internal/geom"
+	"nwade/internal/units"
+)
+
+// NodeID identifies a network participant: the intersection manager or a
+// vehicle.
+type NodeID string
+
+// IMNode is the intersection manager's address.
+const IMNode NodeID = "im"
+
+// Broadcast is the destination of broadcast messages.
+const Broadcast NodeID = "*"
+
+// VehicleNode derives a vehicle's network address from its numeric ID.
+func VehicleNode(id uint64) NodeID { return NodeID(fmt.Sprintf("v%d", id)) }
+
+// Message is one packet in flight or delivered.
+type Message struct {
+	From    NodeID
+	To      NodeID // Broadcast for broadcast transmissions
+	Kind    string
+	Payload any
+	Size    int           // payload size estimate in bytes, for load stats
+	Sent    time.Duration // simulation time of transmission
+	Deliver time.Duration // simulation time of delivery
+}
+
+// Delivery is a message copy arriving at one receiver.
+type Delivery struct {
+	To  NodeID
+	Msg Message
+}
+
+// Config holds the network parameters.
+type Config struct {
+	// Latency is the one-hop delivery latency (default 30 ms).
+	Latency time.Duration
+	// CommRadius limits who hears a transmission (default 1500 ft).
+	// Zero or negative means unlimited.
+	CommRadius float64
+	// DropRate is the per-receiver probability of losing a packet.
+	DropRate float64
+}
+
+// Normalize fills defaults.
+func (c Config) Normalize() Config {
+	if c.Latency == 0 {
+		c.Latency = units.NetworkLatency
+	}
+	if c.CommRadius == 0 {
+		c.CommRadius = units.CommRadius
+	}
+	return c
+}
+
+// Locator resolves a node's current position; ok=false means the node has
+// no physical position (it left the simulation).
+type Locator func(NodeID) (geom.Vec2, bool)
+
+// Stats aggregates network load, keyed by message kind.
+type Stats struct {
+	Packets   map[string]int // transmissions per kind
+	Bytes     map[string]int
+	Dropped   int // per-receiver losses
+	Delivered int // per-receiver deliveries
+}
+
+// TotalPackets sums transmissions over all kinds.
+func (s Stats) TotalPackets() int {
+	var n int
+	for _, v := range s.Packets {
+		n += v
+	}
+	return n
+}
+
+// Network is the simulated medium.
+type Network struct {
+	mu      sync.Mutex
+	cfg     Config
+	rng     *rand.Rand
+	locator Locator
+	nodes   map[NodeID]bool
+	queue   deliveryHeap
+	seq     uint64
+	stats   Stats
+}
+
+// New creates a network. locator may be nil, which disables radius checks.
+func New(cfg Config, seed int64, locator Locator) *Network {
+	return &Network{
+		cfg:     cfg.Normalize(),
+		rng:     rand.New(rand.NewSource(seed)),
+		locator: locator,
+		nodes:   make(map[NodeID]bool),
+		stats: Stats{
+			Packets: make(map[string]int),
+			Bytes:   make(map[string]int),
+		},
+	}
+}
+
+// Register adds a node to the medium.
+func (n *Network) Register(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.nodes[id] = true
+}
+
+// Unregister removes a node; queued deliveries to it are discarded at
+// poll time.
+func (n *Network) Unregister(id NodeID) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	delete(n.nodes, id)
+}
+
+// ErrUnknownNode is returned when sending to an unregistered node.
+var ErrUnknownNode = errors.New("vnet: unknown node")
+
+// inRange reports whether two nodes can hear each other at the moment of
+// transmission.
+func (n *Network) inRange(a, b NodeID) bool {
+	if n.locator == nil || n.cfg.CommRadius <= 0 {
+		return true
+	}
+	pa, okA := n.locator(a)
+	pb, okB := n.locator(b)
+	if !okA || !okB {
+		return false
+	}
+	return pa.Dist(pb) <= n.cfg.CommRadius
+}
+
+// Unicast sends one packet. It returns false when the receiver is out of
+// range or the packet is dropped; an error when the receiver is not
+// registered.
+func (n *Network) Unicast(now time.Duration, from, to NodeID, kind string, payload any, size int) (bool, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if !n.nodes[to] {
+		return false, fmt.Errorf("%w: %s", ErrUnknownNode, to)
+	}
+	n.stats.Packets[kind]++
+	n.stats.Bytes[kind] += size
+	if !n.inRange(from, to) || n.dropped() {
+		n.stats.Dropped++
+		return false, nil
+	}
+	n.push(Delivery{To: to, Msg: Message{
+		From: from, To: to, Kind: kind, Payload: payload, Size: size,
+		Sent: now, Deliver: now + n.cfg.Latency,
+	}})
+	return true, nil
+}
+
+// BroadcastMsg transmits one packet heard by every registered node within
+// range of the sender (excluding the sender). It returns the number of
+// receivers that will get a copy. A broadcast counts as ONE packet in the
+// load statistics — one transmission on the shared medium.
+func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payload any, size int) int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.stats.Packets[kind]++
+	n.stats.Bytes[kind] += size
+	// Deterministic receiver order.
+	ids := make([]NodeID, 0, len(n.nodes))
+	for id := range n.nodes {
+		if id != from {
+			ids = append(ids, id)
+		}
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	var count int
+	for _, id := range ids {
+		if !n.inRange(from, id) || n.dropped() {
+			n.stats.Dropped++
+			continue
+		}
+		n.push(Delivery{To: id, Msg: Message{
+			From: from, To: Broadcast, Kind: kind, Payload: payload, Size: size,
+			Sent: now, Deliver: now + n.cfg.Latency,
+		}})
+		count++
+	}
+	return count
+}
+
+// dropped draws the per-receiver loss. Caller holds the lock.
+func (n *Network) dropped() bool {
+	return n.cfg.DropRate > 0 && n.rng.Float64() < n.cfg.DropRate
+}
+
+// push enqueues a delivery. Caller holds the lock.
+func (n *Network) push(d Delivery) {
+	n.seq++
+	heap.Push(&n.queue, queued{Delivery: d, seq: n.seq})
+}
+
+// Poll returns every delivery due at or before now, in delivery-time
+// order (FIFO among equal times). Deliveries to nodes that have since
+// unregistered are silently discarded.
+func (n *Network) Poll(now time.Duration) []Delivery {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	var out []Delivery
+	for n.queue.Len() > 0 && n.queue[0].Msg.Deliver <= now {
+		d := heap.Pop(&n.queue).(queued)
+		if !n.nodes[d.To] {
+			n.stats.Dropped++
+			continue
+		}
+		n.stats.Delivered++
+		out = append(out, d.Delivery)
+	}
+	return out
+}
+
+// Pending returns the number of queued deliveries.
+func (n *Network) Pending() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.queue.Len()
+}
+
+// Stats returns a copy of the accumulated statistics.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	out := Stats{
+		Packets:   make(map[string]int, len(n.stats.Packets)),
+		Bytes:     make(map[string]int, len(n.stats.Bytes)),
+		Dropped:   n.stats.Dropped,
+		Delivered: n.stats.Delivered,
+	}
+	for k, v := range n.stats.Packets {
+		out.Packets[k] = v
+	}
+	for k, v := range n.stats.Bytes {
+		out.Bytes[k] = v
+	}
+	return out
+}
+
+// queued is a heap entry; seq breaks delivery-time ties FIFO.
+type queued struct {
+	Delivery
+	seq uint64
+}
+
+type deliveryHeap []queued
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if h[i].Msg.Deliver != h[j].Msg.Deliver {
+		return h[i].Msg.Deliver < h[j].Msg.Deliver
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(queued)) }
+func (h *deliveryHeap) Pop() any {
+	old := *h
+	n := len(old)
+	it := old[n-1]
+	*h = old[:n-1]
+	return it
+}

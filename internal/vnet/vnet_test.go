@@ -1,0 +1,222 @@
+package vnet
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"nwade/internal/geom"
+)
+
+func fixedLocator(pos map[NodeID]geom.Vec2) Locator {
+	return func(id NodeID) (geom.Vec2, bool) {
+		p, ok := pos[id]
+		return p, ok
+	}
+}
+
+func TestUnicastDelivery(t *testing.T) {
+	n := New(Config{Latency: 30 * time.Millisecond}, 1, nil)
+	n.Register("a")
+	n.Register("b")
+	ok, err := n.Unicast(0, "a", "b", "ping", 42, 100)
+	if err != nil || !ok {
+		t.Fatalf("Unicast = %v, %v", ok, err)
+	}
+	// Not yet due.
+	if got := n.Poll(20 * time.Millisecond); len(got) != 0 {
+		t.Errorf("early Poll returned %d", len(got))
+	}
+	got := n.Poll(30 * time.Millisecond)
+	if len(got) != 1 {
+		t.Fatalf("Poll = %d deliveries", len(got))
+	}
+	d := got[0]
+	if d.To != "b" || d.Msg.From != "a" || d.Msg.Kind != "ping" || d.Msg.Payload != 42 {
+		t.Errorf("delivery = %+v", d)
+	}
+	if d.Msg.Deliver != 30*time.Millisecond {
+		t.Errorf("Deliver = %v", d.Msg.Deliver)
+	}
+}
+
+func TestUnicastUnknownNode(t *testing.T) {
+	n := New(Config{}, 1, nil)
+	n.Register("a")
+	if _, err := n.Unicast(0, "a", "ghost", "x", nil, 1); !errors.Is(err, ErrUnknownNode) {
+		t.Errorf("unknown node: %v", err)
+	}
+}
+
+func TestBroadcastReachesAllInRange(t *testing.T) {
+	pos := map[NodeID]geom.Vec2{
+		"a": geom.V(0, 0),
+		"b": geom.V(100, 0),
+		"c": geom.V(200, 0),
+		"d": geom.V(5000, 0), // out of range
+	}
+	n := New(Config{CommRadius: 457, Latency: 30 * time.Millisecond}, 1, fixedLocator(pos))
+	for id := range pos {
+		n.Register(id)
+	}
+	count := n.BroadcastMsg(0, "a", "block", "payload", 500)
+	if count != 2 {
+		t.Fatalf("receivers = %d, want 2", count)
+	}
+	got := n.Poll(time.Second)
+	if len(got) != 2 {
+		t.Fatalf("deliveries = %d", len(got))
+	}
+	seen := map[NodeID]bool{}
+	for _, d := range got {
+		seen[d.To] = true
+		if d.Msg.To != Broadcast {
+			t.Errorf("broadcast To = %v", d.Msg.To)
+		}
+	}
+	if !seen["b"] || !seen["c"] || seen["d"] || seen["a"] {
+		t.Errorf("receivers = %v", seen)
+	}
+	// One transmission counted.
+	if n.Stats().Packets["block"] != 1 {
+		t.Errorf("packets = %d, want 1 per broadcast", n.Stats().Packets["block"])
+	}
+}
+
+func TestUnicastOutOfRangeDropped(t *testing.T) {
+	pos := map[NodeID]geom.Vec2{"a": geom.V(0, 0), "b": geom.V(9999, 0)}
+	n := New(Config{CommRadius: 457}, 1, fixedLocator(pos))
+	n.Register("a")
+	n.Register("b")
+	ok, err := n.Unicast(0, "a", "b", "x", nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("out-of-range unicast delivered")
+	}
+	if n.Stats().Dropped != 1 {
+		t.Errorf("Dropped = %d", n.Stats().Dropped)
+	}
+}
+
+func TestDropRate(t *testing.T) {
+	n := New(Config{DropRate: 1.0}, 1, nil)
+	n.Register("a")
+	n.Register("b")
+	ok, err := n.Unicast(0, "a", "b", "x", nil, 1)
+	if err != nil || ok {
+		t.Errorf("full drop rate delivered: %v, %v", ok, err)
+	}
+	n2 := New(Config{DropRate: 0}, 1, nil)
+	n2.Register("a")
+	n2.Register("b")
+	if ok, _ := n2.Unicast(0, "a", "b", "x", nil, 1); !ok {
+		t.Error("zero drop rate lost a packet")
+	}
+}
+
+func TestPollOrderFIFOAmongEqualTimes(t *testing.T) {
+	n := New(Config{Latency: 10 * time.Millisecond}, 1, nil)
+	n.Register("r")
+	n.Register("s")
+	for i := 0; i < 5; i++ {
+		if _, err := n.Unicast(0, "s", "r", "k", i, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := n.Poll(time.Second)
+	for i, d := range got {
+		if d.Msg.Payload != i {
+			t.Fatalf("out of order: got %v at %d", d.Msg.Payload, i)
+		}
+	}
+}
+
+func TestUnregisteredReceiverDiscarded(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond}, 1, nil)
+	n.Register("a")
+	n.Register("b")
+	if _, err := n.Unicast(0, "a", "b", "x", nil, 1); err != nil {
+		t.Fatal(err)
+	}
+	n.Unregister("b") // b leaves before delivery
+	if got := n.Poll(time.Second); len(got) != 0 {
+		t.Errorf("delivered to unregistered node: %v", got)
+	}
+	if n.Pending() != 0 {
+		t.Errorf("Pending = %d", n.Pending())
+	}
+}
+
+func TestStatsAccumulate(t *testing.T) {
+	n := New(Config{Latency: time.Millisecond}, 1, nil)
+	n.Register("a")
+	n.Register("b")
+	for i := 0; i < 3; i++ {
+		if _, err := n.Unicast(0, "a", "b", "report", nil, 200); err != nil {
+			t.Fatal(err)
+		}
+	}
+	n.BroadcastMsg(0, "a", "block", nil, 1000)
+	st := n.Stats()
+	if st.Packets["report"] != 3 || st.Packets["block"] != 1 {
+		t.Errorf("Packets = %v", st.Packets)
+	}
+	if st.Bytes["report"] != 600 || st.Bytes["block"] != 1000 {
+		t.Errorf("Bytes = %v", st.Bytes)
+	}
+	if st.TotalPackets() != 4 {
+		t.Errorf("TotalPackets = %d", st.TotalPackets())
+	}
+	n.Poll(time.Second)
+	if got := n.Stats().Delivered; got != 4 { // 3 unicasts + 1 broadcast copy to b
+		t.Errorf("Delivered = %d", got)
+	}
+	// Stats returns a copy.
+	st2 := n.Stats()
+	st2.Packets["report"] = 999
+	if n.Stats().Packets["report"] == 999 {
+		t.Error("Stats not a copy")
+	}
+}
+
+func TestBroadcastDeterministicOrder(t *testing.T) {
+	run := func() []NodeID {
+		n := New(Config{Latency: time.Millisecond}, 7, nil)
+		for _, id := range []NodeID{"v3", "v1", "v2", "im"} {
+			n.Register(id)
+		}
+		n.BroadcastMsg(0, "im", "block", nil, 1)
+		var order []NodeID
+		for _, d := range n.Poll(time.Second) {
+			order = append(order, d.To)
+		}
+		return order
+	}
+	a, b := run(), run()
+	if len(a) != 3 || len(b) != 3 {
+		t.Fatalf("deliveries = %d, %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("broadcast delivery order not deterministic")
+		}
+	}
+}
+
+func TestVehicleNode(t *testing.T) {
+	if got := VehicleNode(17); got != "v17" {
+		t.Errorf("VehicleNode = %q", got)
+	}
+}
+
+func TestConfigNormalize(t *testing.T) {
+	c := Config{}.Normalize()
+	if c.Latency != 30*time.Millisecond {
+		t.Errorf("Latency default = %v", c.Latency)
+	}
+	if c.CommRadius < 457 || c.CommRadius > 458 {
+		t.Errorf("CommRadius default = %v", c.CommRadius)
+	}
+}
