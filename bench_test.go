@@ -18,10 +18,12 @@ import (
 	"nwade/internal/chain"
 	"nwade/internal/eval"
 	"nwade/internal/intersection"
+	"nwade/internal/nwade"
 	"nwade/internal/plan"
 	"nwade/internal/sched"
 	"nwade/internal/sim"
 	"nwade/internal/traffic"
+	"nwade/internal/units"
 	"nwade/internal/vnet"
 )
 
@@ -367,6 +369,87 @@ func BenchmarkSimSecondMixed(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for j := 0; j < 10; j++ {
 			e.Step()
+		}
+	}
+}
+
+// senseEngine builds a warmed dense engine for the sensing benchmarks.
+// radiusFt of 0 keeps the paper default (1000 ft, which covers most of
+// the intersection — the grid's worst case); 300 ft is the low end of
+// the paper's sensing sweep, where locality actually prunes.
+func senseEngine(b *testing.B, radiusFt float64) *sim.Engine {
+	b.Helper()
+	signer, inter := benchFixtures(b)
+	cfg := sim.Config{
+		Inter:      inter,
+		Duration:   time.Hour,
+		RatePerMin: 120,
+		Seed:       3,
+		Scenario:   attack.Benign(),
+		NWADE:      true,
+	}
+	if radiusFt > 0 {
+		vcfg := nwade.DefaultVehicleConfig()
+		vcfg.SensingRadius = units.Feet(radiusFt)
+		cfg.VehicleConfig = vcfg
+	}
+	e, err := sim.NewWithSigner(cfg, signer)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for e.Now() < 40*time.Second {
+		e.Step()
+	}
+	return e
+}
+
+// benchSense measures one full sensing pass (every vehicle's neighbor
+// query) via the grid or the reference O(V²) all-pairs scan.
+func benchSense(b *testing.B, useGrid bool, radiusFt float64) {
+	e := senseEngine(b, radiusFt)
+	b.ResetTimer()
+	var n int
+	for i := 0; i < b.N; i++ {
+		n = e.SenseAll(useGrid)
+	}
+	b.ReportMetric(float64(n), "neighbors")
+}
+
+func BenchmarkSenseGrid(b *testing.B)      { benchSense(b, true, 0) }
+func BenchmarkSenseScan(b *testing.B)      { benchSense(b, false, 0) }
+func BenchmarkSenseGrid300ft(b *testing.B) { benchSense(b, true, 300) }
+func BenchmarkSenseScan300ft(b *testing.B) { benchSense(b, false, 300) }
+
+// speedupCfg is the reduced Fig. 4 sweep the parallel-harness benchmarks
+// share, so sequential and parallel iterations do identical work.
+func speedupCfg(workers int) eval.Config {
+	return eval.Config{
+		Rounds:   2,
+		Duration: 40 * time.Second,
+		AttackAt: 15 * time.Second,
+		KeyBits:  1024,
+		BaseSeed: 5,
+		Workers:  workers,
+	}
+}
+
+// BenchmarkFig4SweepSequential runs the reduced Fig. 4 sweep with a
+// single worker (the reference the parallel path must match).
+func BenchmarkFig4SweepSequential(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig4(speedupCfg(1), []string{"V1", "IM"}, []float64{40, 80}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig4SweepParallel runs the same sweep with the full worker
+// pool; the ratio to BenchmarkFig4SweepSequential is the harness speedup
+// on this host (≈1.0 on one core, scales with GOMAXPROCS).
+func BenchmarkFig4SweepParallel(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := eval.Fig4(speedupCfg(0), []string{"V1", "IM"}, []float64{40, 80}); err != nil {
+			b.Fatal(err)
 		}
 	}
 }

@@ -5,14 +5,18 @@
 // Examples:
 //
 //	nwade-bench -exp all -rounds 10            # full evaluation (slow)
-//	nwade-bench -exp fig4 -rounds 5
+//	nwade-bench -exp fig4 -rounds 5 -workers 8
 //	nwade-bench -exp table2 -rounds 3 -duration 50s
+//	nwade-bench -exp speedup -json bench.json  # parallel-vs-sequential
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"reflect"
+	"runtime"
 	"time"
 
 	"nwade/internal/eval"
@@ -25,14 +29,36 @@ func main() {
 	}
 }
 
+// expTiming is one experiment's machine-readable wall-time record.
+type expTiming struct {
+	Experiment string  `json:"experiment"`
+	WallMS     float64 `json:"wall_ms"`
+	Rounds     int     `json:"rounds"`
+	Workers    int     `json:"workers"`
+	// Speedup is parallel-over-sequential wall time, only set by the
+	// "speedup" experiment.
+	Speedup float64 `json:"speedup,omitempty"`
+}
+
+// benchReport is what -json writes: enough machine context to compare
+// runs across hosts.
+type benchReport struct {
+	GOMAXPROCS  int         `json:"gomaxprocs"`
+	NumCPU      int         `json:"numcpu"`
+	Workers     int         `json:"workers"`
+	Experiments []expTiming `json:"experiments"`
+}
+
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2, fig4, fig5, fig6, fig7, fig8, eq2, eq3, mixed, ablations, all")
+		exp      = flag.String("exp", "all", "experiment: table2, fig4, fig5, fig6, fig7, fig8, eq2, eq3, mixed, ablations, speedup, all")
 		rounds   = flag.Int("rounds", 10, "rounds per attack setting (paper: 10)")
 		duration = flag.Duration("duration", 60*time.Second, "simulated span of each round")
 		density  = flag.Float64("density", 80, "default vehicle density (veh/min)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		workers  = flag.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		jsonOut  = flag.String("json", "", "write per-experiment wall times to this JSON file")
 	)
 	flag.Parse()
 
@@ -41,6 +67,7 @@ func run() error {
 		Density:  *density,
 		Duration: *duration,
 		BaseSeed: *seed,
+		Workers:  *workers,
 	}
 	densities := []float64(nil)
 	settings := []string(nil)
@@ -50,48 +77,60 @@ func run() error {
 		settings = []string{"V1", "V5", "IM", "IM_V5"}
 	}
 
+	report := benchReport{
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		Workers:    *workers,
+	}
+	// timed runs one experiment, prints its result, and records wall time.
+	timed := func(name string, rounds int, f func() (fmt.Stringer, error)) error {
+		start := time.Now()
+		res, err := f()
+		if err != nil {
+			return err
+		}
+		wall := time.Since(start)
+		fmt.Println(res)
+		fmt.Printf("[%s: %.0f ms wall]\n\n", name, float64(wall.Microseconds())/1000)
+		report.Experiments = append(report.Experiments, expTiming{
+			Experiment: name, WallMS: float64(wall.Microseconds()) / 1000,
+			Rounds: rounds, Workers: *workers,
+		})
+		return nil
+	}
+
 	want := func(name string) bool { return *exp == "all" || *exp == name }
 	ran := false
 
 	if want("table2") {
 		ran = true
-		res, err := eval.TableII(cfg)
-		if err != nil {
+		if err := timed("table2", cfg.Rounds, func() (fmt.Stringer, error) { return eval.TableII(cfg) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("fig4") {
 		ran = true
-		res, err := eval.Fig4(cfg, settings, densities)
-		if err != nil {
+		if err := timed("fig4", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig4(cfg, settings, densities) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("fig5") {
 		ran = true
-		res, err := eval.Fig5(cfg, densities)
-		if err != nil {
+		if err := timed("fig5", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig5(cfg, densities) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("fig6") {
 		ran = true
-		res, err := eval.Fig6(cfg, nil)
-		if err != nil {
+		if err := timed("fig6", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig6(cfg, nil) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("fig7") {
 		ran = true
-		res, err := eval.Fig7(cfg)
-		if err != nil {
+		if err := timed("fig7", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig7(cfg) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("fig8") {
 		ran = true
@@ -99,11 +138,9 @@ func run() error {
 		if fig8cfg.Duration < 90*time.Second {
 			fig8cfg.Duration = 90 * time.Second
 		}
-		res, err := eval.Fig8(fig8cfg, nil, densities)
-		if err != nil {
+		if err := timed("fig8", fig8cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig8(fig8cfg, nil, densities) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("eq2") {
 		ran = true
@@ -119,11 +156,9 @@ func run() error {
 		if mixCfg.Duration < 90*time.Second {
 			mixCfg.Duration = 90 * time.Second
 		}
-		res, err := eval.MixedTraffic(mixCfg, nil)
-		if err != nil {
+		if err := timed("mixed", mixCfg.Rounds, func() (fmt.Stringer, error) { return eval.MixedTraffic(mixCfg, nil) }); err != nil {
 			return err
 		}
-		fmt.Println(res)
 	}
 	if want("ablations") {
 		ran = true
@@ -131,29 +166,90 @@ func run() error {
 		if abCfg.Duration < 90*time.Second {
 			abCfg.Duration = 90 * time.Second
 		}
-		schedRes, err := eval.SchedulerAblation(abCfg)
-		if err != nil {
+		steps := []struct {
+			name string
+			cfg  eval.Config
+			f    func(eval.Config) (fmt.Stringer, error)
+		}{
+			{"ablation-scheduler", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.SchedulerAblation(c) }},
+			{"ablation-sensing", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.SensingSweep(c, nil) }},
+			{"ablation-doublecheck", cfg, func(c eval.Config) (fmt.Stringer, error) { return eval.DoubleCheckAblation(c) }},
+			{"ablation-loss", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.PacketLoss(c, nil) }},
+		}
+		for _, s := range steps {
+			c := s.cfg
+			f := s.f
+			if err := timed(s.name, c.Rounds, func() (fmt.Stringer, error) { return f(c) }); err != nil {
+				return err
+			}
+		}
+	}
+	if want("speedup") {
+		ran = true
+		if err := speedup(cfg, &report); err != nil {
 			return err
 		}
-		fmt.Println(schedRes)
-		senseRes, err := eval.SensingSweep(abCfg, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(senseRes)
-		dcRes, err := eval.DoubleCheckAblation(cfg)
-		if err != nil {
-			return err
-		}
-		fmt.Println(dcRes)
-		lossRes, err := eval.PacketLoss(abCfg, nil)
-		if err != nil {
-			return err
-		}
-		fmt.Println(lossRes)
 	}
 	if !ran {
 		return fmt.Errorf("unknown experiment %q", *exp)
 	}
+
+	if *jsonOut != "" {
+		data, err := json.MarshalIndent(report, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", *jsonOut)
+	}
+	return nil
+}
+
+// speedup times a reduced Fig. 4 sweep sequentially and with the full
+// worker pool, verifies the results are identical, and records the ratio.
+// On a single-core host the ratio is ~1.0 by construction; it scales with
+// GOMAXPROCS on real hardware.
+func speedup(cfg eval.Config, report *benchReport) error {
+	settings := []string{"V1", "V5", "IM", "IM_V5"}
+	densities := []float64{40, 80, 120}
+	if cfg.Rounds > 3 {
+		cfg.Rounds = 3
+	}
+	if cfg.Duration > 40*time.Second {
+		cfg.Duration = 40 * time.Second
+	}
+
+	cfg.Workers = 1
+	t0 := time.Now()
+	seq, err := eval.Fig4(cfg, settings, densities)
+	if err != nil {
+		return err
+	}
+	seqWall := time.Since(t0)
+
+	parWorkers := runtime.GOMAXPROCS(0)
+	cfg.Workers = parWorkers
+	t1 := time.Now()
+	par, err := eval.Fig4(cfg, settings, densities)
+	if err != nil {
+		return err
+	}
+	parWall := time.Since(t1)
+
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		return fmt.Errorf("speedup: parallel results differ from sequential")
+	}
+	ratio := float64(seqWall) / float64(parWall)
+	fmt.Printf("Speedup — reduced Fig. 4 sweep (%d rounds × %d settings × %d densities)\n",
+		cfg.Rounds, len(settings), len(densities))
+	fmt.Printf("  sequential (workers=1):  %8.0f ms\n", float64(seqWall.Microseconds())/1000)
+	fmt.Printf("  parallel   (workers=%d):  %8.0f ms\n", parWorkers, float64(parWall.Microseconds())/1000)
+	fmt.Printf("  speedup: %.2fx on %d CPU(s); results identical\n\n", ratio, runtime.NumCPU())
+	report.Experiments = append(report.Experiments,
+		expTiming{Experiment: "speedup-sequential", WallMS: float64(seqWall.Microseconds()) / 1000, Rounds: cfg.Rounds, Workers: 1},
+		expTiming{Experiment: "speedup-parallel", WallMS: float64(parWall.Microseconds()) / 1000, Rounds: cfg.Rounds, Workers: parWorkers, Speedup: ratio},
+	)
 	return nil
 }

@@ -7,6 +7,7 @@
 //	nwade-sim -intersection cross4 -density 80 -duration 60s -scenario V3
 //	nwade-sim -intersection roundabout3 -scenario IM -events
 //	nwade-sim -scenario benign -nwade=false   # plain AIM baseline
+//	nwade-sim -scenario V5 -rounds 8 -workers 4   # multi-seed replicas
 package main
 
 import (
@@ -17,7 +18,9 @@ import (
 	"time"
 
 	"nwade/internal/attack"
+	"nwade/internal/eval"
 	"nwade/internal/intersection"
+	"nwade/internal/metrics"
 	"nwade/internal/sim"
 )
 
@@ -48,6 +51,8 @@ func run() error {
 		nwadeOn  = flag.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
 		events   = flag.Bool("events", false, "print the protocol event log")
 		keyBits  = flag.Int("keybits", 1024, "IM signing key size (paper: 2048)")
+		rounds   = flag.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
+		workers  = flag.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -63,15 +68,21 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
-	engine, err := sim.New(sim.Config{
-		Inter:      inter,
-		Duration:   *duration,
-		RatePerMin: *density,
-		Seed:       *seed,
-		Scenario:   sc,
-		NWADE:      *nwadeOn,
-		KeyBits:    *keyBits,
-	})
+	mkConfig := func(seed int64) sim.Config {
+		return sim.Config{
+			Inter:      inter,
+			Duration:   *duration,
+			RatePerMin: *density,
+			Seed:       seed,
+			Scenario:   sc,
+			NWADE:      *nwadeOn,
+			KeyBits:    *keyBits,
+		}
+	}
+	if *rounds > 1 {
+		return runReplicas(mkConfig, *rounds, *workers, *seed, inter.Name, sc.Name, *density, *duration, *nwadeOn)
+	}
+	engine, err := sim.New(mkConfig(*seed))
 	if err != nil {
 		return err
 	}
@@ -115,5 +126,46 @@ func run() error {
 			fmt.Println()
 		}
 	}
+	return nil
+}
+
+// runReplicas executes rounds engines with consecutive seeds across the
+// eval worker pool and prints per-round and aggregate traffic summaries.
+func runReplicas(mkConfig func(int64) sim.Config, rounds, workers int, baseSeed int64, interName, scName string, density float64, duration time.Duration, nwadeOn bool) error {
+	seeds := make([]int64, rounds)
+	for i := range seeds {
+		seeds[i] = baseSeed + int64(i)
+	}
+	start := time.Now()
+	results, err := eval.RunCells(workers, seeds, func(seed int64) (metrics.RunResult, error) {
+		engine, err := sim.New(mkConfig(seed))
+		if err != nil {
+			return metrics.RunResult{}, fmt.Errorf("seed %d: %w", seed, err)
+		}
+		return engine.Run(), nil
+	})
+	if err != nil {
+		return err
+	}
+	wall := time.Since(start)
+
+	fmt.Printf("intersection : %s\n", interName)
+	fmt.Printf("scenario     : %s\n", scName)
+	fmt.Printf("density      : %g veh/min for %v (NWADE %v)\n", density, duration, nwadeOn)
+	fmt.Printf("replicas     : %d (seeds %d..%d, workers=%d, %v wall)\n\n",
+		rounds, baseSeed, seeds[rounds-1], workers, wall.Round(time.Millisecond))
+	fmt.Printf("  %-6s %8s %8s %12s %11s\n", "seed", "spawned", "exited", "veh/min", "collisions")
+	var spawned, exited, collisions int
+	var thr float64
+	for i, res := range results {
+		fmt.Printf("  %-6d %8d %8d %12.1f %11d\n", seeds[i], res.Spawned, res.Exited, res.Throughput(), res.Collisions)
+		spawned += res.Spawned
+		exited += res.Exited
+		collisions += res.Collisions
+		thr += res.Throughput()
+	}
+	n := float64(rounds)
+	fmt.Printf("  %-6s %8.1f %8.1f %12.1f %11.1f\n", "mean",
+		float64(spawned)/n, float64(exited)/n, thr/n, float64(collisions)/n)
 	return nil
 }

@@ -69,6 +69,12 @@ func (b *Block) PlanFor(id plan.VehicleID) (*plan.TravelPlan, bool) {
 // Signer produces block signatures with the intersection manager's
 // private key. The paper uses a 2048-bit RSA key; KeyBits is configurable
 // for tests.
+//
+// A Signer is safe for concurrent use: the key is fully precomputed at
+// construction and never mutated afterward, and PKCS#1 v1.5 signing is
+// deterministic, so concurrent Sign calls over the same header produce
+// identical signatures. The eval package relies on this to share one
+// Signer across parallel simulation rounds.
 type Signer struct {
 	key *rsa.PrivateKey
 }
@@ -86,6 +92,10 @@ func NewSigner(bits int) (*Signer, error) {
 	if err != nil {
 		return nil, fmt.Errorf("chain: generate key: %w", err)
 	}
+	// GenerateKey precomputes the CRT values, but do it explicitly: a
+	// lazily-populated Precomputed struct inside concurrent Sign calls
+	// would be a data race, so the invariant is pinned here.
+	key.Precompute()
 	return &Signer{key: key}, nil
 }
 

@@ -189,3 +189,48 @@ func TestHashBlockCoversSig(t *testing.T) {
 		t.Error("HashBlock must cover the signature")
 	}
 }
+
+// TestSignerConcurrent hammers one shared Signer from many goroutines, the
+// way the eval worker pool does across parallel simulation rounds. Run
+// under -race this is the regression test for the Signer's concurrency
+// contract; the signature equality checks also pin down that PKCS#1 v1.5
+// signing is deterministic, which is what makes parallel sweeps
+// bit-identical to sequential ones.
+func TestSignerConcurrent(t *testing.T) {
+	s := sharedSigner(t)
+	ref, err := Package(s, nil, time.Second, testPlans(3, time.Second))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers = 16
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 25; i++ {
+				b := *ref // shallow copy: Sign only writes b.Sig
+				b.Sig = nil
+				if err := s.Sign(&b); err != nil {
+					errs[w] = err
+					return
+				}
+				if string(b.Sig) != string(ref.Sig) {
+					errs[w] = errors.New("concurrent signature differs from reference")
+					return
+				}
+				if err := VerifySignature(s.Public(), &b); err != nil {
+					errs[w] = err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+}

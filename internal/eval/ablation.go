@@ -50,25 +50,35 @@ func SchedulerAblation(cfg Config) (*SchedulerAblationResult, error) {
 		&sched.Platoon{},
 	}
 	sc, _ := attack.ByName("V1", cfg.AttackAt)
+	var specs []simSpec
+	for _, s := range scheds {
+		for i := 0; i < cfg.Rounds; i++ {
+			specs = append(specs, simSpec{
+				label: fmt.Sprintf("ablation sched %s round %d", s.Name(), i),
+				cfg: sim.Config{
+					Inter: inter, Scheduler: s, Duration: cfg.Duration,
+					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*211,
+					Scenario: sc, NWADE: true,
+				},
+			})
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("scheduler ablation: %w", err)
+	}
 	out := &SchedulerAblationResult{Cfg: cfg}
+	k := 0
 	for _, s := range scheds {
 		row := SchedulerAblationRow{Scheduler: s.Name()}
 		for i := 0; i < cfg.Rounds; i++ {
-			e, err := sim.NewWithSigner(sim.Config{
-				Inter: inter, Scheduler: s, Duration: cfg.Duration,
-				RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*211,
-				Scenario: sc, NWADE: true,
-			}, r.signer)
-			if err != nil {
-				return nil, err
-			}
-			res := e.Run()
-			o := &outcome{res: res, scenario: sc, roles: e.Roles(), onsets: e.AttackOnsets()}
+			o := outs[k]
+			k++
 			row.Rounds++
 			if detected(o) {
 				row.Detected++
 			}
-			row.Throughput += res.Throughput()
+			row.Throughput += o.res.Throughput()
 		}
 		row.Throughput /= float64(row.Rounds)
 		out.Rows = append(out.Rows, row)
@@ -116,23 +126,33 @@ func SensingSweep(cfg Config, radiiFt []float64) (*SensingSweepResult, error) {
 		return nil, err
 	}
 	sc, _ := attack.ByName("V1", cfg.AttackAt)
+	var specs []simSpec
+	for _, ft := range radiiFt {
+		vcfg := nwade.DefaultVehicleConfig()
+		vcfg.SensingRadius = units.Feet(ft)
+		for i := 0; i < cfg.Rounds; i++ {
+			specs = append(specs, simSpec{
+				label: fmt.Sprintf("ablation sensing %gft round %d", ft, i),
+				cfg: sim.Config{
+					Inter: inter, Duration: cfg.Duration,
+					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*223,
+					Scenario: sc, NWADE: true, VehicleConfig: vcfg,
+				},
+			})
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("sensing sweep: %w", err)
+	}
 	out := &SensingSweepResult{Cfg: cfg}
+	k := 0
 	for _, ft := range radiiFt {
 		row := SensingSweepRow{RadiusFt: ft}
 		var delays []time.Duration
 		for i := 0; i < cfg.Rounds; i++ {
-			vcfg := nwade.DefaultVehicleConfig()
-			vcfg.SensingRadius = units.Feet(ft)
-			e, err := sim.NewWithSigner(sim.Config{
-				Inter: inter, Duration: cfg.Duration,
-				RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*223,
-				Scenario: sc, NWADE: true, VehicleConfig: vcfg,
-			}, r.signer)
-			if err != nil {
-				return nil, err
-			}
-			res := e.Run()
-			o := &outcome{res: res, scenario: sc, roles: e.Roles(), onsets: e.AttackOnsets()}
+			o := outs[k]
+			k++
 			row.Rounds++
 			if detected(o) {
 				row.Detected++
@@ -196,25 +216,35 @@ func DoubleCheckAblation(cfg Config) (*DoubleCheckResult, error) {
 		return nil, err
 	}
 	sc, _ := attack.ByName("V5", cfg.AttackAt)
+	var specs []simSpec
+	for _, enabled := range []bool{true, false} {
+		imCfg := nwade.DefaultIMConfig()
+		imCfg.DisableDoubleCheck = !enabled
+		// Push verification into the voting path: a nearly blind
+		// IM must rely on the verifier groups.
+		imCfg.PerceptionRadius = 30
+		for i := 0; i < cfg.Rounds; i++ {
+			specs = append(specs, simSpec{
+				label: fmt.Sprintf("ablation double-check=%v round %d", enabled, i),
+				cfg: sim.Config{
+					Inter: inter, Duration: cfg.Duration,
+					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*227,
+					Scenario: sc, NWADE: true, IMConfig: imCfg,
+				},
+			})
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("double-check ablation: %w", err)
+	}
 	out := &DoubleCheckResult{Cfg: cfg}
+	k := 0
 	for _, enabled := range []bool{true, false} {
 		row := DoubleCheckRow{DoubleCheck: enabled}
 		for i := 0; i < cfg.Rounds; i++ {
-			imCfg := nwade.DefaultIMConfig()
-			imCfg.DisableDoubleCheck = !enabled
-			// Push verification into the voting path: a nearly blind
-			// IM must rely on the verifier groups.
-			imCfg.PerceptionRadius = 30
-			e, err := sim.NewWithSigner(sim.Config{
-				Inter: inter, Duration: cfg.Duration,
-				RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*227,
-				Scenario: sc, NWADE: true, IMConfig: imCfg,
-			}, r.signer)
-			if err != nil {
-				return nil, err
-			}
-			res := e.Run()
-			o := &outcome{res: res, scenario: sc, roles: e.Roles(), onsets: e.AttackOnsets()}
+			o := outs[k]
+			k++
 			_, trig, det := typeAOutcome(o)
 			row.Rounds++
 			if trig && !det {
@@ -274,21 +304,32 @@ func PacketLoss(cfg Config, rates []float64) (*PacketLossResult, error) {
 		return nil, err
 	}
 	sc, _ := attack.ByName("V1", cfg.AttackAt)
+	var specs []simSpec
+	for _, rate := range rates {
+		for i := 0; i < cfg.Rounds; i++ {
+			specs = append(specs, simSpec{
+				label: fmt.Sprintf("ablation loss=%.2f round %d", rate, i),
+				cfg: sim.Config{
+					Inter: inter, Duration: cfg.Duration,
+					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*233,
+					Scenario: sc, NWADE: true,
+					Net: vnetConfigWithLoss(rate),
+				},
+			})
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("packet loss: %w", err)
+	}
 	out := &PacketLossResult{Cfg: cfg}
+	k := 0
 	for _, rate := range rates {
 		row := PacketLossRow{LossRate: rate}
 		for i := 0; i < cfg.Rounds; i++ {
-			e, err := sim.NewWithSigner(sim.Config{
-				Inter: inter, Duration: cfg.Duration,
-				RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*233,
-				Scenario: sc, NWADE: true,
-				Net: vnetConfigWithLoss(rate),
-			}, r.signer)
-			if err != nil {
-				return nil, err
-			}
-			res := e.Run()
-			o := &outcome{res: res, scenario: sc, roles: e.Roles(), onsets: e.AttackOnsets()}
+			o := outs[k]
+			k++
+			res := o.res
 			row.Rounds++
 			// Under loss, a dropped incident report degrades to the
 			// reporter's fallback (self-evacuation plus a global

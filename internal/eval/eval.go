@@ -41,6 +41,11 @@ type Config struct {
 	KeyBits int
 	// BaseSeed makes the whole evaluation reproducible.
 	BaseSeed int64
+	// Workers bounds how many simulation rounds run concurrently
+	// (0 = GOMAXPROCS, 1 = sequential). Results are identical for any
+	// value: rounds are independently seeded and collected in cell
+	// order (see RunCells).
+	Workers int
 }
 
 // Normalize fills defaults.
@@ -95,26 +100,20 @@ func newRunner(cfg Config) (*runner, error) {
 	return &runner{cfg: cfg, signer: signer}, nil
 }
 
-// round runs one simulation.
-func (r *runner) round(inter *intersection.Intersection, sc attack.Scenario, density float64, seed int64, nwadeOn bool) (*outcome, error) {
-	e, err := sim.NewWithSigner(sim.Config{
-		Inter:      inter,
-		Duration:   r.cfg.Duration,
-		RatePerMin: density,
-		Seed:       seed,
-		Scenario:   sc,
-		NWADE:      nwadeOn,
-	}, r.signer)
-	if err != nil {
-		return nil, err
+// spec builds the standard round configuration the experiments share;
+// generators override individual sim.Config fields for their ablations.
+func (r *runner) spec(label string, inter *intersection.Intersection, sc attack.Scenario, density float64, seed int64, nwadeOn bool) simSpec {
+	return simSpec{
+		label: label,
+		cfg: sim.Config{
+			Inter:      inter,
+			Duration:   r.cfg.Duration,
+			RatePerMin: density,
+			Seed:       seed,
+			Scenario:   sc,
+			NWADE:      nwadeOn,
+		},
 	}
-	res := e.Run()
-	return &outcome{
-		res:      res,
-		scenario: sc,
-		roles:    e.Roles(),
-		onsets:   e.AttackOnsets(),
-	}, nil
 }
 
 // --- Outcome classification -------------------------------------------
@@ -172,16 +171,12 @@ func detectionTime(o *outcome) (time.Duration, bool) {
 	if !ok {
 		return 0, false
 	}
-	// Latency from the broadcast of the rejected block.
-	var cast nwade.Event
-	found := false
-	for _, e := range col.Events() {
-		if e.Type == nwade.EvBlockBroadcast && e.At <= rej.At {
-			cast = e
-			found = true
-		}
-	}
-	if !found || rej.At < cast.At {
+	// Latency from the broadcast of the rejected block: the last
+	// broadcast at or before the rejection.
+	cast, found := col.LastWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvBlockBroadcast && e.At <= rej.At
+	})
+	if !found {
 		return 0, false
 	}
 	return rej.At - cast.At, true

@@ -54,19 +54,32 @@ func Fig4(cfg Config, settings []string, densities []float64) (*Fig4Result, erro
 		return nil, err
 	}
 	out := &Fig4Result{Cfg: cfg, Settings: settings, Densities: densities}
+	var specs []simSpec
 	for _, name := range settings {
 		sc, ok := attack.ByName(name, cfg.AttackAt)
 		if !ok {
 			return nil, fmt.Errorf("fig4: unknown setting %q", name)
 		}
 		for _, d := range densities {
-			pt := Fig4Point{Setting: name, Density: d}
 			for i := 0; i < cfg.Rounds; i++ {
 				seed := cfg.BaseSeed + int64(i)*131 + int64(d)
-				o, err := r.round(inter, sc, d, seed, true)
-				if err != nil {
-					return nil, fmt.Errorf("fig4 %s d=%v round %d: %w", name, d, i, err)
-				}
+				specs = append(specs, r.spec(
+					fmt.Sprintf("fig4 %s d=%v round %d", name, d, i),
+					inter, sc, d, seed, true))
+			}
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig4: %w", err)
+	}
+	k := 0
+	for _, name := range settings {
+		for _, d := range densities {
+			pt := Fig4Point{Setting: name, Density: d}
+			for i := 0; i < cfg.Rounds; i++ {
+				o := outs[k]
+				k++
 				pt.Rounds++
 				if detected(o) {
 					pt.Detected++

@@ -49,16 +49,29 @@ func Fig5(cfg Config, densities []float64) (*Fig5Result, error) {
 		{"deviating", "V1"},
 		{"wrong-plans", "IM"},
 	}
+	var specs []simSpec
 	for _, cl := range classes {
 		sc, _ := attack.ByName(cl.setting, cfg.AttackAt)
 		for _, d := range densities {
-			var samples []time.Duration
 			for i := 0; i < cfg.Rounds; i++ {
 				seed := cfg.BaseSeed + int64(i)*149 + int64(d)*3
-				o, err := r.round(inter, sc, d, seed, true)
-				if err != nil {
-					return nil, fmt.Errorf("fig5 %s d=%v round %d: %w", cl.name, d, i, err)
-				}
+				specs = append(specs, r.spec(
+					fmt.Sprintf("fig5 %s d=%v round %d", cl.name, d, i),
+					inter, sc, d, seed, true))
+			}
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig5: %w", err)
+	}
+	k := 0
+	for _, cl := range classes {
+		for _, d := range densities {
+			var samples []time.Duration
+			for i := 0; i < cfg.Rounds; i++ {
+				o := outs[k]
+				k++
 				if dt, ok := detectionTime(o); ok {
 					samples = append(samples, dt)
 				}

@@ -55,14 +55,20 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 		{"local reports", "V1"},  // deviation -> incident reports + votes
 		{"global reports", "IM"}, // bad blocks -> global broadcasts
 	}
-	out := &Fig7Result{Cfg: cfg}
+	var specs []simSpec
 	for _, c := range cases {
 		sc, _ := attack.ByName(c.setting, cfg.AttackAt)
-		o, err := r.round(inter, sc, cfg.Density, cfg.BaseSeed, true)
-		if err != nil {
-			return nil, fmt.Errorf("fig7 %s: %w", c.name, err)
-		}
-		out.Cases = append(out.Cases, Fig7Case{Name: c.name, Scenario: c.setting, Stats: o.res.Net})
+		specs = append(specs, r.spec(
+			fmt.Sprintf("fig7 %s", c.name),
+			inter, sc, cfg.Density, cfg.BaseSeed, true))
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig7: %w", err)
+	}
+	out := &Fig7Result{Cfg: cfg}
+	for i, c := range cases {
+		out.Cases = append(out.Cases, Fig7Case{Name: c.name, Scenario: c.setting, Stats: outs[i].res.Net})
 	}
 	return out, nil
 }

@@ -50,31 +50,39 @@ func Fig8(cfg Config, kinds []intersection.Kind, densities []float64) (*Fig8Resu
 	if err != nil {
 		return nil, err
 	}
-	out := &Fig8Result{Cfg: cfg, Densities: densities}
+	rounds := cfg.Rounds
+	if rounds > 3 {
+		rounds = 3 // throughput variance is low; 3 rounds suffice
+	}
+	var specs []simSpec
 	for _, kind := range kinds {
 		inter, err := intersection.Build(kind, intersection.Config{})
 		if err != nil {
 			return nil, err
 		}
 		for _, d := range densities {
-			pt := Fig8Point{Kind: kind, Density: d}
-			rounds := cfg.Rounds
-			if rounds > 3 {
-				rounds = 3 // throughput variance is low; 3 rounds suffice
-			}
-			pt.RoundsUsed = rounds
 			for i := 0; i < rounds; i++ {
 				seed := cfg.BaseSeed + int64(i)*379 + int64(d)*7
-				on, err := r.round(inter, attack.Benign(), d, seed, true)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %v d=%v: %w", kind, d, err)
-				}
-				off, err := r.round(inter, attack.Benign(), d, seed, false)
-				if err != nil {
-					return nil, fmt.Errorf("fig8 %v d=%v: %w", kind, d, err)
-				}
-				pt.WithNWADE += on.res.Throughput()
-				pt.PlainAIM += off.res.Throughput()
+				// Same-seed on/off pair: identical traffic, NWADE toggled.
+				specs = append(specs,
+					r.spec(fmt.Sprintf("fig8 %v d=%v on", kind, d), inter, attack.Benign(), d, seed, true),
+					r.spec(fmt.Sprintf("fig8 %v d=%v off", kind, d), inter, attack.Benign(), d, seed, false))
+			}
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("fig8: %w", err)
+	}
+	out := &Fig8Result{Cfg: cfg, Densities: densities}
+	k := 0
+	for _, kind := range kinds {
+		for _, d := range densities {
+			pt := Fig8Point{Kind: kind, Density: d, RoundsUsed: rounds}
+			for i := 0; i < rounds; i++ {
+				pt.WithNWADE += outs[k].res.Throughput()
+				pt.PlainAIM += outs[k+1].res.Throughput()
+				k += 2
 			}
 			pt.WithNWADE /= float64(rounds)
 			pt.PlainAIM /= float64(rounds)

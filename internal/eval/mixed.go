@@ -45,20 +45,31 @@ func MixedTraffic(cfg Config, fractions []float64) (*MixedResult, error) {
 		return nil, err
 	}
 	sc, _ := attack.ByName("V1", cfg.AttackAt)
+	var specs []simSpec
+	for _, frac := range fractions {
+		for i := 0; i < cfg.Rounds; i++ {
+			specs = append(specs, simSpec{
+				label: fmt.Sprintf("mixed legacy=%.0f%% round %d", frac*100, i),
+				cfg: sim.Config{
+					Inter: inter, Duration: cfg.Duration,
+					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*241,
+					Scenario: sc, NWADE: true, LegacyFraction: frac,
+				},
+			})
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("mixed traffic: %w", err)
+	}
 	out := &MixedResult{Cfg: cfg}
+	k := 0
 	for _, frac := range fractions {
 		row := MixedRow{LegacyFraction: frac}
 		for i := 0; i < cfg.Rounds; i++ {
-			e, err := sim.NewWithSigner(sim.Config{
-				Inter: inter, Duration: cfg.Duration,
-				RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*241,
-				Scenario: sc, NWADE: true, LegacyFraction: frac,
-			}, r.signer)
-			if err != nil {
-				return nil, err
-			}
-			res := e.Run()
-			o := &outcome{res: res, scenario: sc, roles: e.Roles(), onsets: e.AttackOnsets()}
+			o := outs[k]
+			k++
+			res := o.res
 			row.Rounds++
 			row.Throughput += res.Throughput()
 			row.Collisions += float64(res.Collisions)

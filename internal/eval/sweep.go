@@ -1,0 +1,106 @@
+// Parallel sweep execution. Every experiment in this package is a sweep
+// of independent, independently-seeded simulation rounds; RunCells fans
+// them across a bounded worker pool while keeping results in cell order,
+// so parallel sweeps are bit-identical to sequential ones.
+package eval
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"nwade/internal/sim"
+)
+
+// RunCells executes run over every cell with at most workers concurrent
+// invocations (workers <= 0 means GOMAXPROCS) and returns the results in
+// input order.
+//
+// Determinism contract: run must derive all randomness from its cell (the
+// experiment generators seed each round as BaseSeed plus a per-cell
+// offset), and shared state must be read-only or internally synchronized
+// (the shared chain.Signer is safe: RSA-PKCS#1v1.5 signing is
+// deterministic and the precomputed key is never mutated). Under that
+// contract the result slice — and everything aggregated from it in order
+// — is identical for any worker count.
+//
+// Errors and panics are captured per cell; the first failing cell in
+// input order decides the returned error, independent of scheduling.
+func RunCells[C, R any](workers int, cells []C, run func(C) (R, error)) ([]R, error) {
+	n := len(cells)
+	results := make([]R, n)
+	errs := make([]error, n)
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		// Goroutine-free fast path; also the reference ordering the
+		// parallel path must reproduce.
+		for i, c := range cells {
+			results[i], errs[i] = runCell(run, c)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = runCell(run, cells[i])
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return results, fmt.Errorf("cell %d of %d: %w", i+1, n, err)
+		}
+	}
+	return results, nil
+}
+
+// runCell invokes run, converting a panic into an error so one bad cell
+// cannot take down a whole sweep (or the process, from a pool goroutine).
+func runCell[C, R any](run func(C) (R, error), c C) (r R, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("eval: cell panicked: %v", p)
+		}
+	}()
+	return run(c)
+}
+
+// simSpec is one simulation round of a sweep: a fully-specified engine
+// configuration plus a label for error messages.
+type simSpec struct {
+	cfg   sim.Config
+	label string
+}
+
+// runSpecs executes one engine per spec across the worker pool, sharing
+// the runner's signing key, and returns the outcomes in spec order.
+func (r *runner) runSpecs(specs []simSpec) ([]*outcome, error) {
+	return RunCells(r.cfg.Workers, specs, func(s simSpec) (*outcome, error) {
+		e, err := sim.NewWithSigner(s.cfg, r.signer)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", s.label, err)
+		}
+		res := e.Run()
+		return &outcome{
+			res:      res,
+			scenario: s.cfg.Scenario,
+			roles:    e.Roles(),
+			onsets:   e.AttackOnsets(),
+		}, nil
+	})
+}

@@ -41,16 +41,42 @@ func TableII(cfg Config) (*TableIIResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	out := &TableIIResult{Cfg: cfg}
-	for _, sc := range attack.Settings(cfg.AttackAt) {
-		row := TableIIRow{Setting: sc.Name, TypeBApplicable: !sc.MaliciousIM}
-		// Type A rounds: the setting as-is (false incident reports and,
-		// for colluding IMs, the sham evacuation).
+	// Queue every setting's rounds as one flat cell list: Type A rounds
+	// (the setting as-is: false incident reports and, for colluding IMs,
+	// the sham evacuation), then Type B rounds (the same coalition
+	// broadcasts fabricated global reports instead — only meaningful
+	// with an honest IM and a spare colluder).
+	var specs []simSpec
+	settings := attack.Settings(cfg.AttackAt)
+	typeB := make([]bool, len(settings))
+	for si, sc := range settings {
 		for i := 0; i < cfg.Rounds; i++ {
-			o, err := r.round(inter, sc, cfg.Density, cfg.BaseSeed+int64(i)*101, true)
-			if err != nil {
-				return nil, fmt.Errorf("table2 %s round %d: %w", sc.Name, i, err)
+			specs = append(specs, r.spec(
+				fmt.Sprintf("table2 %s round %d", sc.Name, i),
+				inter, sc, cfg.Density, cfg.BaseSeed+int64(i)*101, true))
+		}
+		if !sc.MaliciousIM && sc.FalseReports > 0 {
+			typeB[si] = true
+			scB := sc
+			scB.TypeB = true
+			for i := 0; i < cfg.Rounds; i++ {
+				specs = append(specs, r.spec(
+					fmt.Sprintf("table2 %s typeB round %d", sc.Name, i),
+					inter, scB, cfg.Density, cfg.BaseSeed+7777+int64(i)*101, true))
 			}
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("table2: %w", err)
+	}
+	out := &TableIIResult{Cfg: cfg}
+	k := 0
+	for si, sc := range settings {
+		row := TableIIRow{Setting: sc.Name, TypeBApplicable: !sc.MaliciousIM}
+		for i := 0; i < cfg.Rounds; i++ {
+			o := outs[k]
+			k++
 			attempted, trig, det := typeAOutcome(o)
 			if !attempted {
 				// Settings without false reports (V1, IM, IM_V1)
@@ -69,16 +95,10 @@ func TableII(cfg Config) (*TableIIResult, error) {
 				row.TypeADetected++
 			}
 		}
-		// Type B rounds: the same coalition broadcasts fabricated
-		// global reports instead (only meaningful with an honest IM).
-		if row.TypeBApplicable && sc.FalseReports > 0 {
-			scB := sc
-			scB.TypeB = true
+		if typeB[si] {
 			for i := 0; i < cfg.Rounds; i++ {
-				o, err := r.round(inter, scB, cfg.Density, cfg.BaseSeed+7777+int64(i)*101, true)
-				if err != nil {
-					return nil, fmt.Errorf("table2 %s typeB round %d: %w", sc.Name, i, err)
-				}
+				o := outs[k]
+				k++
 				attempted, trig, det := typeBOutcome(o)
 				row.TypeBRounds++
 				if !attempted {

@@ -87,6 +87,19 @@ func (c *Collector) FirstWhere(f func(nwade.Event) bool) (nwade.Event, bool) {
 	return nwade.Event{}, false
 }
 
+// LastWhere returns the last event matching the predicate, scanning
+// backwards so late-run matches don't pay for the whole event log.
+func (c *Collector) LastWhere(f func(nwade.Event) bool) (nwade.Event, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for i := len(c.events) - 1; i >= 0; i-- {
+		if f(c.events[i]) {
+			return c.events[i], true
+		}
+	}
+	return nwade.Event{}, false
+}
+
 // CountWhere counts events matching the predicate.
 func (c *Collector) CountWhere(f func(nwade.Event) bool) int {
 	c.mu.Lock()

@@ -52,6 +52,35 @@ func TestCollectorPredicates(t *testing.T) {
 	}
 }
 
+func TestLastWhere(t *testing.T) {
+	c := NewCollector()
+	sink := c.Sink()
+	for i := 1; i <= 5; i++ {
+		sink(nwade.Event{At: time.Duration(i) * time.Second, Type: nwade.EvBlockBroadcast})
+	}
+	sink(nwade.Event{At: 6 * time.Second, Type: nwade.EvBlockRejected})
+	// Last broadcast at or before a cutoff, the detection-latency query.
+	ev, ok := c.LastWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvBlockBroadcast && e.At <= 3*time.Second
+	})
+	if !ok || ev.At != 3*time.Second {
+		t.Errorf("LastWhere(cutoff 3s) = %+v, %v", ev, ok)
+	}
+	ev, ok = c.LastWhere(func(e nwade.Event) bool { return e.Type == nwade.EvBlockBroadcast })
+	if !ok || ev.At != 5*time.Second {
+		t.Errorf("LastWhere = %+v, %v", ev, ok)
+	}
+	if _, ok := c.LastWhere(func(e nwade.Event) bool { return e.Type == nwade.EvExited }); ok {
+		t.Error("LastWhere found absent event")
+	}
+	// Agrees with FirstWhere when exactly one event matches.
+	f, _ := c.FirstWhere(func(e nwade.Event) bool { return e.Type == nwade.EvBlockRejected })
+	l, _ := c.LastWhere(func(e nwade.Event) bool { return e.Type == nwade.EvBlockRejected })
+	if f != l {
+		t.Errorf("single match: FirstWhere %+v != LastWhere %+v", f, l)
+	}
+}
+
 func TestThroughput(t *testing.T) {
 	c := NewCollector()
 	for i := 0; i < 30; i++ {

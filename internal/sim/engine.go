@@ -104,6 +104,10 @@ type body struct {
 	// stoppedAt is when the body stopped for good; wrecks and pulled-
 	// over vehicles are towed off the road after WreckClearance.
 	stoppedAt time.Duration
+	// orderIdx is the body's index in the engine's deterministic
+	// iteration order; spatial-grid queries sort candidates by it so
+	// grid results match the sequential scans exactly.
+	orderIdx int
 
 	posCache geom.Vec2
 }
@@ -144,6 +148,20 @@ type Engine struct {
 	order  []plan.VehicleID // deterministic iteration order
 	now    time.Duration
 
+	// grid indexes present bodies for radius queries (sensing, legacy
+	// gap acceptance, IM visibility). Rebuilt twice per tick.
+	grid *spatialGrid
+	// moveSlack widens physics-phase grid queries by the farthest any
+	// body can travel in one tick, so mid-tick position updates can
+	// never move a body past a stale cell boundary undetected.
+	moveSlack float64
+	// lanes groups non-exited bodies by entry lane for the same-lane
+	// car-following scans. Rebuilt once per tick after spawning.
+	lanes map[intersection.LaneRef][]*body
+	// byNode resolves network addresses to bodies in O(1) for message
+	// delivery and the network locator.
+	byNode map[vnet.NodeID]*body
+
 	roles         attack.Roles
 	rolesAssigned bool
 	attackOnsets  map[plan.VehicleID]time.Duration
@@ -177,6 +195,12 @@ func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
 		col:          metrics.NewCollector(),
 		bodies:       make(map[plan.VehicleID]*body),
 		attackOnsets: make(map[plan.VehicleID]time.Duration),
+		grid:         newSpatialGrid(cfg.VehicleConfig.SensingRadius),
+		// 45 m/s (~100 mph) bounds every motion mode, including the
+		// speeding violation's overshoot.
+		moveSlack: 45 * cfg.Step.Seconds(),
+		lanes:     make(map[intersection.LaneRef][]*body),
+		byNode:    make(map[vnet.NodeID]*body),
 	}
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
 	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
@@ -215,10 +239,8 @@ func (e *Engine) locate(id vnet.NodeID) (geom.Vec2, bool) {
 	if id == vnet.IMNode {
 		return geom.V(0, 0), true
 	}
-	for vid, b := range e.bodies {
-		if vnet.VehicleNode(uint64(vid)) == id && !b.exited {
-			return b.pos(), true
-		}
+	if b := e.byNode[id]; b != nil && !b.exited {
+		return b.pos(), true
 	}
 	return geom.Vec2{}, false
 }
@@ -252,11 +274,35 @@ func (e *Engine) step() {
 
 	e.spawn(now)
 	e.activateAttack(now)
+	// Index positions as they stand entering the physics phase; queries
+	// issued while bodies move widen by moveSlack.
+	e.reindex(now)
 	e.deliver(now)
 	e.physics(now)
+	// Reindex settled positions for the protocol phase (IM perception
+	// and vehicle sensing read exact post-physics state).
+	e.grid.rebuild(e.order, e.bodies, now)
 	e.tickIM(now)
 	e.tickVehicles(now)
 	e.collisions(now)
+}
+
+// reindex rebuilds the per-tick spatial structures: the hash grid and the
+// per-lane body lists. Lane membership never changes, so the lane lists
+// stay valid for the whole tick; grid positions go stale during physics
+// and are compensated by moveSlack.
+func (e *Engine) reindex(now time.Duration) {
+	e.grid.rebuild(e.order, e.bodies, now)
+	for ref, s := range e.lanes {
+		e.lanes[ref] = s[:0]
+	}
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if b.exited {
+			continue
+		}
+		e.lanes[b.route.From] = append(e.lanes[b.route.From], b)
+	}
 }
 
 // spawn materialises arrivals due this tick. An arrival whose entry lane
@@ -277,13 +323,14 @@ func (e *Engine) spawn(now time.Duration) {
 		}
 		core := nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
 			e.cfg.VehicleConfig, e.col.Sink(), nil, now, a.Speed)
-		b := &body{id: a.Vehicle, core: core, route: a.Route, v: a.Speed, arrive: now}
+		b := &body{id: a.Vehicle, core: core, route: a.Route, v: a.Speed, arrive: now, orderIdx: len(e.order)}
 		if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
 			b.legacy = true
 		}
 		b.refreshPos()
 		e.bodies[a.Vehicle] = b
 		e.order = append(e.order, a.Vehicle)
+		e.byNode[vnet.VehicleNode(uint64(a.Vehicle))] = b
 		if !b.legacy {
 			// Legacy vehicles carry no radio: they never join the
 			// network or the protocol.
@@ -297,11 +344,13 @@ func (e *Engine) spawn(now time.Duration) {
 }
 
 // spawnBlocked reports whether another vehicle occupies the arrival's
-// entry lane near the spawn point.
+// entry lane near the spawn point. The lane index is one tick old here
+// (spawn runs before reindex), which is exact: arrivals admitted earlier
+// in the same tick already blocked the lane via the caller's per-tick
+// lane set, and exits are re-checked live.
 func (e *Engine) spawnBlocked(a traffic.Arrival, now time.Duration) bool {
-	for _, id := range e.order {
-		o := e.bodies[id]
-		if o.exited || o.route.From != a.Route.From {
+	for _, o := range e.lanes[a.Route.From] {
+		if o.exited {
 			continue
 		}
 		if o.s < 12 {
@@ -373,17 +422,15 @@ func (e *Engine) deliver(now time.Duration) {
 			e.dispatch(now, vnet.IMNode, e.im.HandleMessage(now, d.Msg))
 			continue
 		}
-		for _, id := range e.order {
-			b := e.bodies[id]
-			if vnet.VehicleNode(uint64(id)) != d.To || b.exited || b.legacy {
-				continue
-			}
-			if !e.cfg.NWADE {
-				e.plainHandle(b, d.Msg)
-				continue
-			}
-			e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
+		b := e.byNode[d.To]
+		if b == nil || b.exited || b.legacy {
+			continue
 		}
+		if !e.cfg.NWADE {
+			e.plainHandle(b, d.Msg)
+			continue
+		}
+		e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
 	}
 }
 
@@ -412,17 +459,17 @@ func (e *Engine) dispatch(now time.Duration, from vnet.NodeID, outs []nwade.Out)
 }
 
 // tickIM feeds the manager its perception snapshot and pumps its outputs.
+// Visibility is a grid query around the intersection center; the grid was
+// rebuilt after physics, so indexed positions are exact.
 func (e *Engine) tickIM(now time.Duration) {
 	var visible []nwade.VehicleObs
-	for _, id := range e.order {
-		b := e.bodies[id]
-		if !b.present(now) {
-			continue
+	r := e.cfg.IMConfig.PerceptionRadius
+	e.grid.forEachOrdered(geom.V(0, 0), r, 0, func(b *body) bool {
+		if b.present(now) && b.pos().Len() <= r {
+			visible = append(visible, nwade.VehicleObs{ID: b.id, Status: b.status(now)})
 		}
-		if b.pos().Len() <= e.cfg.IMConfig.PerceptionRadius {
-			visible = append(visible, nwade.VehicleObs{ID: id, Status: b.status(now)})
-		}
-	}
+		return true
+	})
 	e.dispatch(now, vnet.IMNode, e.im.Tick(now, visible))
 }
 
@@ -450,8 +497,28 @@ func (e *Engine) tickVehicles(now time.Duration) {
 }
 
 // sense returns the ground-truth statuses of vehicles within the sensing
-// radius of b.
+// radius of b, in the engine's deterministic iteration order. The grid
+// query and the all-pairs scan (senseScan) are equivalent by
+// construction; grid_test.go asserts it tick by tick.
 func (e *Engine) sense(b *body) []nwade.Neighbor {
+	var out []nwade.Neighbor
+	r := e.cfg.VehicleConfig.SensingRadius
+	bp := b.pos()
+	e.grid.forEachOrdered(bp, r, 0, func(o *body) bool {
+		if o == b || !o.present(e.now) {
+			return true
+		}
+		if o.pos().Dist(bp) <= r {
+			out = append(out, nwade.Neighbor{ID: o.id, Status: o.status(e.now)})
+		}
+		return true
+	})
+	return out
+}
+
+// senseScan is the original O(V²) neighbor scan, kept as the reference
+// implementation for equivalence tests and the grid-vs-scan benchmarks.
+func (e *Engine) senseScan(b *body) []nwade.Neighbor {
 	var out []nwade.Neighbor
 	r := e.cfg.VehicleConfig.SensingRadius
 	for _, id := range e.order {
@@ -464,6 +531,26 @@ func (e *Engine) sense(b *body) []nwade.Neighbor {
 		}
 	}
 	return out
+}
+
+// SenseAll runs a full sensing pass over every active protocol vehicle
+// using either the spatial grid or the reference scan, returning the
+// number of neighbor entries produced. Exported for the BenchmarkSense*
+// pair; it relies on the grid state left by the last Step.
+func (e *Engine) SenseAll(useGrid bool) int {
+	var n int
+	for _, id := range e.order {
+		b := e.bodies[id]
+		if !b.present(e.now) || b.legacy {
+			continue
+		}
+		if useGrid {
+			n += len(e.sense(b))
+		} else {
+			n += len(e.senseScan(b))
+		}
+	}
+	return n
 }
 
 // physics advances every body one tick.
@@ -633,21 +720,22 @@ func (e *Engine) legacyMove(b *body, now time.Duration, dt float64) {
 
 // boxClearFor reports whether the conflict area looks passable to a
 // yielding legacy driver: no other vehicle inside or about to enter it.
+// It runs mid-physics, so the grid query widens by moveSlack and the
+// distance test reads live positions; the result is order-independent.
 func (e *Engine) boxClearFor(b *body) bool {
-	for _, id := range e.order {
-		o := e.bodies[id]
-		if o.id == b.id || !o.present(e.now) {
-			continue
+	clear := true
+	e.grid.forEach(geom.V(0, 0), 110, e.moveSlack, func(o *body) bool {
+		if o == b || !o.present(e.now) {
+			return true
 		}
 		d := o.pos().Len()
-		if d < 45 {
+		if d < 45 || (d < 110 && o.v > 8) {
+			clear = false
 			return false
 		}
-		if d < 110 && o.v > 8 {
-			return false // fast traffic bearing down on the box
-		}
-	}
-	return true
+		return true
+	})
+	return clear
 }
 
 // violate executes the physical plan violation.
@@ -702,12 +790,11 @@ func (e *Engine) obstacleAhead(b *body) bool {
 	if b.s >= b.route.CrossStart-2 {
 		return false
 	}
-	for _, id := range e.order {
-		o := e.bodies[id]
-		if o.id == b.id || !o.present(e.now) || o.v >= 1.0 {
+	for _, o := range e.lanes[b.route.From] {
+		if o == b || !o.present(e.now) || o.v >= 1.0 {
 			continue
 		}
-		if o.route.From != b.route.From || o.s >= o.route.CrossStart {
+		if o.s >= o.route.CrossStart {
 			continue
 		}
 		if gap := o.s - b.s; gap > 0 && gap < 6 {
@@ -726,12 +813,11 @@ func (e *Engine) leaderGap(b *body) (float64, bool) {
 	}
 	best := 60.0
 	found := false
-	for _, id := range e.order {
-		o := e.bodies[id]
-		if o.id == b.id || !o.present(e.now) {
+	for _, o := range e.lanes[b.route.From] {
+		if o == b || !o.present(e.now) {
 			continue
 		}
-		if o.route.From != b.route.From || o.s >= o.route.CrossStart {
+		if o.s >= o.route.CrossStart {
 			continue
 		}
 		if gap := o.s - b.s; gap > 0 && gap < best {

@@ -1,0 +1,217 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/geom"
+	"nwade/internal/intersection"
+	"nwade/internal/nwade"
+	"nwade/internal/plan"
+)
+
+// gridEngine builds a busy mixed-traffic engine for equivalence tests:
+// legacy vehicles exercise the gap-acceptance queries, the V1 attack
+// exercises wrecks, pull-overs and towing.
+func gridEngine(t *testing.T, legacy float64) *Engine {
+	t.Helper()
+	inter, err := Cross4ForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := attack.ByName("V1", 15*time.Second)
+	e, err := New(Config{
+		Inter:          inter,
+		Duration:       time.Hour, // stepped manually
+		RatePerMin:     120,
+		Seed:           11,
+		Scenario:       sc,
+		NWADE:          true,
+		LegacyFraction: legacy,
+		KeyBits:        1024,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// Cross4ForTest builds the standard 4-way test intersection.
+func Cross4ForTest() (*intersection.Intersection, error) {
+	return intersection.Cross4(intersection.Config{}, 2)
+}
+
+// TestGridSenseMatchesScan asserts the spatial-grid neighbor query returns
+// exactly the reference all-pairs scan — same neighbors, same order —
+// for every vehicle on every tick of a dense mixed run.
+func TestGridSenseMatchesScan(t *testing.T) {
+	e := gridEngine(t, 0.3)
+	for e.Now() < 30*time.Second {
+		e.Step()
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if !b.present(e.now) || b.legacy {
+				continue
+			}
+			got := e.sense(b)
+			want := e.senseScan(b)
+			if len(got) != len(want) {
+				t.Fatalf("t=%v v%d: grid %d neighbors, scan %d", e.Now(), id, len(got), len(want))
+			}
+			for i := range got {
+				if got[i].ID != want[i].ID || got[i].Status != want[i].Status {
+					t.Fatalf("t=%v v%d neighbor %d: grid %+v, scan %+v", e.Now(), id, i, got[i], want[i])
+				}
+			}
+		}
+	}
+	if e.col.Spawned < 40 {
+		t.Fatalf("run too sparse to be meaningful: %d spawned", e.col.Spawned)
+	}
+}
+
+// TestGridIMVisibilityMatchesScan asserts the IM perception snapshot from
+// the grid equals the linear scan over all bodies.
+func TestGridIMVisibilityMatchesScan(t *testing.T) {
+	e := gridEngine(t, 0)
+	r := e.cfg.IMConfig.PerceptionRadius
+	for e.Now() < 40*time.Second {
+		e.Step()
+		var got []nwade.VehicleObs
+		e.grid.forEachOrdered(geom.V(0, 0), r, 0, func(b *body) bool {
+			if b.present(e.now) && b.pos().Len() <= r {
+				got = append(got, nwade.VehicleObs{ID: b.id, Status: b.status(e.now)})
+			}
+			return true
+		})
+		var want []nwade.VehicleObs
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if !b.present(e.now) {
+				continue
+			}
+			if b.pos().Len() <= r {
+				want = append(want, nwade.VehicleObs{ID: b.id, Status: b.status(e.now)})
+			}
+		}
+		if len(got) != len(want) {
+			t.Fatalf("t=%v: grid sees %d vehicles, scan %d", e.Now(), len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("t=%v obs %d: grid %+v, scan %+v", e.Now(), i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestGridBoxClearMatchesScan asserts grid-backed gap acceptance equals
+// the reference scan, under the mid-physics staleness the moveSlack
+// margin must absorb. It drives physics half-steps by checking after
+// every full tick, which bounds but does not eliminate staleness — the
+// grid here is the post-physics rebuild, exactly what boxClearFor reads
+// at the start of the next physics phase.
+func TestGridBoxClearMatchesScan(t *testing.T) {
+	e := gridEngine(t, 0.5)
+	for e.Now() < 30*time.Second {
+		e.Step()
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if !b.present(e.now) {
+				continue
+			}
+			got := e.boxClearFor(b)
+			want := true
+			for _, oid := range e.order {
+				o := e.bodies[oid]
+				if o.id == b.id || !o.present(e.now) {
+					continue
+				}
+				d := o.pos().Len()
+				if d < 45 || (d < 110 && o.v > 8) {
+					want = false
+					break
+				}
+			}
+			if got != want {
+				t.Fatalf("t=%v v%d: grid boxClear=%v, scan=%v", e.Now(), id, got, want)
+			}
+		}
+	}
+}
+
+// TestGridLaneQueriesMatchScan asserts the lane-indexed leaderGap and
+// obstacleAhead agree with full scans over every body.
+func TestGridLaneQueriesMatchScan(t *testing.T) {
+	e := gridEngine(t, 0.3)
+	for e.Now() < 30*time.Second {
+		e.Step()
+		for _, id := range e.order {
+			b := e.bodies[id]
+			if !b.present(e.now) {
+				continue
+			}
+			gotGap, gotOK := e.leaderGap(b)
+			wantGap, wantOK := 60.0, false
+			if b.s < b.route.CrossStart-2 {
+				for _, oid := range e.order {
+					o := e.bodies[oid]
+					if o.id == b.id || !o.present(e.now) {
+						continue
+					}
+					if o.route.From != b.route.From || o.s >= o.route.CrossStart {
+						continue
+					}
+					if gap := o.s - b.s; gap > 0 && gap < wantGap {
+						wantGap, wantOK = gap, true
+					}
+				}
+			} else {
+				wantGap = 0
+			}
+			if gotOK != wantOK || (wantOK && gotGap != wantGap) {
+				t.Fatalf("t=%v v%d: leaderGap grid=(%v,%v) scan=(%v,%v)", e.Now(), id, gotGap, gotOK, wantGap, wantOK)
+			}
+		}
+	}
+}
+
+// TestGridQueryBounds exercises cell-boundary cases directly: points just
+// inside and outside the radius across cell borders.
+func TestGridQueryBounds(t *testing.T) {
+	g := newSpatialGrid(100)
+	mk := func(idx int, x, y float64) *body {
+		b := &body{id: plan.VehicleID(idx + 1), orderIdx: idx}
+		b.posCache = geom.V(x, y)
+		return b
+	}
+	bodies := []*body{
+		mk(0, 0, 0),
+		mk(1, 99.5, 0),    // same-cell edge, inside
+		mk(2, 100.5, 0),   // adjacent cell, just outside radius
+		mk(3, 199.5, 0),   // adjacent cell, far outside
+		mk(4, -99.5, -1),  // negative-coordinate cell, inside
+		mk(5, 70.7, 70.7), // diagonal, ~99.98 away, inside
+	}
+	for _, b := range bodies {
+		k := g.keyAt(b.pos())
+		g.cells[k] = append(g.cells[k], b)
+	}
+	var got []int
+	g.forEachOrdered(geom.V(0, 0), 100, 0, func(b *body) bool {
+		if b.pos().Len() <= 100 {
+			got = append(got, b.orderIdx)
+		}
+		return true
+	})
+	want := []int{0, 1, 4, 5}
+	if len(got) != len(want) {
+		t.Fatalf("in-radius set = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("in-radius set = %v, want %v", got, want)
+		}
+	}
+}
