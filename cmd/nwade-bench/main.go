@@ -1,12 +1,16 @@
 // Command nwade-bench regenerates the NWADE paper's tables and figures
-// (Table II, Fig. 4 through Fig. 8, and the Eq. 2/Eq. 3 analytic curves)
-// from the simulator, printing each as a text table.
+// (Table II, Fig. 4 through Fig. 8, the Eq. 2/Eq. 3 analytic curves, and
+// this repo's extension experiments) from the simulator, printing each as
+// a text table. Experiments come from the eval registry: -list shows
+// them, -exp selects one by name, by group, or "all".
 //
 // Examples:
 //
+//	nwade-bench -list
 //	nwade-bench -exp all -rounds 10            # full evaluation (slow)
 //	nwade-bench -exp fig4 -rounds 5 -workers 8
 //	nwade-bench -exp table2 -rounds 3 -duration 50s
+//	nwade-bench -exp fig4 -faults burst15 -retrans
 //	nwade-bench -exp speedup -json bench.json  # parallel-vs-sequential
 package main
 
@@ -15,11 +19,12 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"reflect"
 	"runtime"
+	"strings"
 	"time"
 
 	"nwade/internal/eval"
+	"nwade/internal/vnet"
 )
 
 func main() {
@@ -51,30 +56,47 @@ type benchReport struct {
 
 func run() error {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table2, fig4, fig5, fig6, fig7, fig8, eq2, eq3, mixed, ablations, speedup, all")
+		exp      = flag.String("exp", "all", "experiment name, group, or \"all\" (see -list)")
 		rounds   = flag.Int("rounds", 10, "rounds per attack setting (paper: 10)")
 		duration = flag.Duration("duration", 60*time.Second, "simulated span of each round")
 		density  = flag.Float64("density", 80, "default vehicle density (veh/min)")
 		seed     = flag.Int64("seed", 1, "base random seed")
 		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
 		workers  = flag.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		faults   = flag.String("faults", "", "network fault profile injected into every round ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans  = flag.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		list     = flag.Bool("list", false, "list registered experiments and exit")
 		jsonOut  = flag.String("json", "", "write per-experiment wall times to this JSON file")
 	)
 	flag.Parse()
 
-	cfg := eval.Config{
-		Rounds:   *rounds,
-		Density:  *density,
-		Duration: *duration,
-		BaseSeed: *seed,
-		Workers:  *workers,
+	if *list {
+		listExperiments()
+		return nil
 	}
-	densities := []float64(nil)
-	settings := []string(nil)
+
+	fc, err := vnet.ParseFaultProfile(*faults)
+	if err != nil {
+		return err
+	}
+	cfg := eval.Config{
+		Rounds:     *rounds,
+		Density:    *density,
+		Duration:   *duration,
+		BaseSeed:   *seed,
+		Workers:    *workers,
+		Faults:     fc,
+		Resilience: *retrans,
+	}
 	if *quick {
 		cfg.Rounds = 2
-		densities = []float64{40, 80}
-		settings = []string{"V1", "V5", "IM", "IM_V5"}
+		cfg.Densities = []float64{40, 80}
+		cfg.Settings = []string{"V1", "V5", "IM", "IM_V5"}
+	}
+
+	selected, err := selectExperiments(*exp)
+	if err != nil {
+		return err
 	}
 
 	report := benchReport{
@@ -82,116 +104,26 @@ func run() error {
 		NumCPU:     runtime.NumCPU(),
 		Workers:    *workers,
 	}
-	// timed runs one experiment, prints its result, and records wall time.
-	timed := func(name string, rounds int, f func() (fmt.Stringer, error)) error {
+	ms := func(d time.Duration) float64 { return float64(d.Microseconds()) / 1000 }
+	for _, g := range selected {
 		start := time.Now()
-		res, err := f()
+		res, err := g.Run(cfg)
 		if err != nil {
 			return err
 		}
 		wall := time.Since(start)
 		fmt.Println(res)
-		fmt.Printf("[%s: %.0f ms wall]\n\n", name, float64(wall.Microseconds())/1000)
+		fmt.Printf("[%s: %.0f ms wall]\n\n", g.Name, ms(wall))
+		if sr, ok := res.(*eval.SpeedupResult); ok {
+			report.Experiments = append(report.Experiments,
+				expTiming{Experiment: "speedup-sequential", WallMS: ms(sr.Sequential), Rounds: sr.Rounds, Workers: 1},
+				expTiming{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds, Workers: sr.Workers, Speedup: sr.Ratio()},
+			)
+			continue
+		}
 		report.Experiments = append(report.Experiments, expTiming{
-			Experiment: name, WallMS: float64(wall.Microseconds()) / 1000,
-			Rounds: rounds, Workers: *workers,
+			Experiment: g.Name, WallMS: ms(wall), Rounds: cfg.Rounds, Workers: *workers,
 		})
-		return nil
-	}
-
-	want := func(name string) bool { return *exp == "all" || *exp == name }
-	ran := false
-
-	if want("table2") {
-		ran = true
-		if err := timed("table2", cfg.Rounds, func() (fmt.Stringer, error) { return eval.TableII(cfg) }); err != nil {
-			return err
-		}
-	}
-	if want("fig4") {
-		ran = true
-		if err := timed("fig4", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig4(cfg, settings, densities) }); err != nil {
-			return err
-		}
-	}
-	if want("fig5") {
-		ran = true
-		if err := timed("fig5", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig5(cfg, densities) }); err != nil {
-			return err
-		}
-	}
-	if want("fig6") {
-		ran = true
-		if err := timed("fig6", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig6(cfg, nil) }); err != nil {
-			return err
-		}
-	}
-	if want("fig7") {
-		ran = true
-		if err := timed("fig7", cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig7(cfg) }); err != nil {
-			return err
-		}
-	}
-	if want("fig8") {
-		ran = true
-		fig8cfg := cfg
-		if fig8cfg.Duration < 90*time.Second {
-			fig8cfg.Duration = 90 * time.Second
-		}
-		if err := timed("fig8", fig8cfg.Rounds, func() (fmt.Stringer, error) { return eval.Fig8(fig8cfg, nil, densities) }); err != nil {
-			return err
-		}
-	}
-	if want("eq2") {
-		ran = true
-		fmt.Println(eval.Eq2(0.1, 5, 12))
-	}
-	if want("eq3") {
-		ran = true
-		fmt.Println(eval.Eq3(0.001, 0.1, 15))
-	}
-	if want("mixed") {
-		ran = true
-		mixCfg := cfg
-		if mixCfg.Duration < 90*time.Second {
-			mixCfg.Duration = 90 * time.Second
-		}
-		if err := timed("mixed", mixCfg.Rounds, func() (fmt.Stringer, error) { return eval.MixedTraffic(mixCfg, nil) }); err != nil {
-			return err
-		}
-	}
-	if want("ablations") {
-		ran = true
-		abCfg := cfg
-		if abCfg.Duration < 90*time.Second {
-			abCfg.Duration = 90 * time.Second
-		}
-		steps := []struct {
-			name string
-			cfg  eval.Config
-			f    func(eval.Config) (fmt.Stringer, error)
-		}{
-			{"ablation-scheduler", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.SchedulerAblation(c) }},
-			{"ablation-sensing", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.SensingSweep(c, nil) }},
-			{"ablation-doublecheck", cfg, func(c eval.Config) (fmt.Stringer, error) { return eval.DoubleCheckAblation(c) }},
-			{"ablation-loss", abCfg, func(c eval.Config) (fmt.Stringer, error) { return eval.PacketLoss(c, nil) }},
-		}
-		for _, s := range steps {
-			c := s.cfg
-			f := s.f
-			if err := timed(s.name, c.Rounds, func() (fmt.Stringer, error) { return f(c) }); err != nil {
-				return err
-			}
-		}
-	}
-	if want("speedup") {
-		ran = true
-		if err := speedup(cfg, &report); err != nil {
-			return err
-		}
-	}
-	if !ran {
-		return fmt.Errorf("unknown experiment %q", *exp)
 	}
 
 	if *jsonOut != "" {
@@ -207,49 +139,38 @@ func run() error {
 	return nil
 }
 
-// speedup times a reduced Fig. 4 sweep sequentially and with the full
-// worker pool, verifies the results are identical, and records the ratio.
-// On a single-core host the ratio is ~1.0 by construction; it scales with
-// GOMAXPROCS on real hardware.
-func speedup(cfg eval.Config, report *benchReport) error {
-	settings := []string{"V1", "V5", "IM", "IM_V5"}
-	densities := []float64{40, 80, 120}
-	if cfg.Rounds > 3 {
-		cfg.Rounds = 3
+// selectExperiments resolves -exp against the registry: everything, one
+// group, or one experiment.
+func selectExperiments(exp string) ([]eval.Generator, error) {
+	if exp == "all" {
+		return eval.All(), nil
 	}
-	if cfg.Duration > 40*time.Second {
-		cfg.Duration = 40 * time.Second
+	var group []eval.Generator
+	for _, g := range eval.All() {
+		if g.Meta.Group == exp {
+			group = append(group, g)
+		}
 	}
+	if len(group) > 0 {
+		return group, nil
+	}
+	if g, ok := eval.Lookup(exp); ok {
+		return []eval.Generator{g}, nil
+	}
+	return nil, fmt.Errorf("unknown experiment %q (see -list)", exp)
+}
 
-	cfg.Workers = 1
-	t0 := time.Now()
-	seq, err := eval.Fig4(cfg, settings, densities)
-	if err != nil {
-		return err
+// listExperiments prints the registry in run order.
+func listExperiments() {
+	fmt.Println("registered experiments (run order):")
+	for _, g := range eval.All() {
+		group := ""
+		if g.Meta.Group != "" {
+			group = " [" + g.Meta.Group + "]"
+		}
+		fmt.Printf("  %-22s %s%s\n", g.Name, g.Meta.Desc, group)
 	}
-	seqWall := time.Since(t0)
-
-	parWorkers := runtime.GOMAXPROCS(0)
-	cfg.Workers = parWorkers
-	t1 := time.Now()
-	par, err := eval.Fig4(cfg, settings, densities)
-	if err != nil {
-		return err
+	if groups := eval.Groups(); len(groups) > 0 {
+		fmt.Printf("groups: %s\n", strings.Join(groups, ", "))
 	}
-	parWall := time.Since(t1)
-
-	if !reflect.DeepEqual(seq.Points, par.Points) {
-		return fmt.Errorf("speedup: parallel results differ from sequential")
-	}
-	ratio := float64(seqWall) / float64(parWall)
-	fmt.Printf("Speedup — reduced Fig. 4 sweep (%d rounds × %d settings × %d densities)\n",
-		cfg.Rounds, len(settings), len(densities))
-	fmt.Printf("  sequential (workers=1):  %8.0f ms\n", float64(seqWall.Microseconds())/1000)
-	fmt.Printf("  parallel   (workers=%d):  %8.0f ms\n", parWorkers, float64(parWall.Microseconds())/1000)
-	fmt.Printf("  speedup: %.2fx on %d CPU(s); results identical\n\n", ratio, runtime.NumCPU())
-	report.Experiments = append(report.Experiments,
-		expTiming{Experiment: "speedup-sequential", WallMS: float64(seqWall.Microseconds()) / 1000, Rounds: cfg.Rounds, Workers: 1},
-		expTiming{Experiment: "speedup-parallel", WallMS: float64(parWall.Microseconds()) / 1000, Rounds: cfg.Rounds, Workers: parWorkers, Speedup: ratio},
-	)
-	return nil
 }

@@ -8,6 +8,7 @@
 //	nwade-sim -intersection roundabout3 -scenario IM -events
 //	nwade-sim -scenario benign -nwade=false   # plain AIM baseline
 //	nwade-sim -scenario V5 -rounds 8 -workers 4   # multi-seed replicas
+//	nwade-sim -scenario IM -faults partition -retrans   # degraded network
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"fmt"
 	"os"
 	"sort"
+	"strings"
 	"time"
 
 	"nwade/internal/attack"
@@ -22,6 +24,7 @@ import (
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
 	"nwade/internal/sim"
+	"nwade/internal/vnet"
 )
 
 func main() {
@@ -53,6 +56,8 @@ func run() error {
 		keyBits  = flag.Int("keybits", 1024, "IM signing key size (paper: 2048)")
 		rounds   = flag.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
 		workers  = flag.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
+		faults   = flag.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans  = flag.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
 	)
 	flag.Parse()
 
@@ -68,8 +73,12 @@ func run() error {
 	if !ok {
 		return fmt.Errorf("unknown scenario %q", *scenario)
 	}
+	fc, err := vnet.ParseFaultProfile(*faults)
+	if err != nil {
+		return err
+	}
 	mkConfig := func(seed int64) sim.Config {
-		return sim.Config{
+		cfg := sim.Config{
 			Inter:      inter,
 			Duration:   *duration,
 			RatePerMin: *density,
@@ -77,10 +86,26 @@ func run() error {
 			Scenario:   sc,
 			NWADE:      *nwadeOn,
 			KeyBits:    *keyBits,
+			Resilience: *retrans,
 		}
+		cfg.Net.Faults = fc
+		return cfg
 	}
+	degraded := fc.Enabled() || *retrans
 	if *rounds > 1 {
-		return runReplicas(mkConfig, *rounds, *workers, *seed, inter.Name, sc.Name, *density, *duration, *nwadeOn)
+		return runReplicas(replicaRun{
+			MkConfig: mkConfig,
+			Rounds:   *rounds,
+			Workers:  *workers,
+			BaseSeed: *seed,
+			Inter:    inter.Name,
+			Scenario: sc.Name,
+			Density:  *density,
+			Duration: *duration,
+			NWADE:    *nwadeOn,
+			Faults:   *faults,
+			Retrans:  *retrans,
+		})
 	}
 	engine, err := sim.New(mkConfig(*seed))
 	if err != nil {
@@ -91,6 +116,10 @@ func run() error {
 	fmt.Printf("intersection : %s\n", inter.Name)
 	fmt.Printf("scenario     : %s (attack at %v)\n", sc.Name, sc.AttackAt)
 	fmt.Printf("density      : %g veh/min for %v (seed %d, NWADE %v)\n", *density, *duration, *seed, *nwadeOn)
+	if degraded {
+		fmt.Printf("faults       : %s (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
+			profileName(*faults), *retrans, res.Net.FaultDropped, res.Net.Duplicated, res.Retransmits)
+	}
 	fmt.Printf("spawned      : %d\n", res.Spawned)
 	fmt.Printf("exited       : %d (%.1f veh/min)\n", res.Exited, res.Throughput())
 	fmt.Printf("collisions   : %d\n", res.Collisions)
@@ -129,16 +158,45 @@ func run() error {
 	return nil
 }
 
-// runReplicas executes rounds engines with consecutive seeds across the
-// eval worker pool and prints per-round and aggregate traffic summaries.
-func runReplicas(mkConfig func(int64) sim.Config, rounds, workers int, baseSeed int64, interName, scName string, density float64, duration time.Duration, nwadeOn bool) error {
-	seeds := make([]int64, rounds)
+// profileName renders a -faults value for display.
+func profileName(name string) string {
+	if name == "" {
+		return "none"
+	}
+	return name
+}
+
+// replicaRun bundles what a multi-seed replica sweep needs: the round
+// factory plus the already-resolved labels the summary header prints.
+// A typed struct instead of a positional parameter list, so new knobs
+// (fault profiles, retransmission) ride in as fields.
+type replicaRun struct {
+	MkConfig func(int64) sim.Config
+	Rounds   int
+	Workers  int
+	BaseSeed int64
+	Inter    string
+	Scenario string
+	Density  float64
+	Duration time.Duration
+	NWADE    bool
+	// Faults is the -faults profile name ("" = clean network) and
+	// Retrans whether the retransmission layer was on; both only affect
+	// the printed summary (MkConfig already applied them).
+	Faults  string
+	Retrans bool
+}
+
+// runReplicas executes the replica sweep across the eval worker pool and
+// prints per-round and aggregate traffic summaries.
+func runReplicas(rr replicaRun) error {
+	seeds := make([]int64, rr.Rounds)
 	for i := range seeds {
-		seeds[i] = baseSeed + int64(i)
+		seeds[i] = rr.BaseSeed + int64(i)
 	}
 	start := time.Now()
-	results, err := eval.RunCells(workers, seeds, func(seed int64) (metrics.RunResult, error) {
-		engine, err := sim.New(mkConfig(seed))
+	results, err := eval.RunCells(rr.Workers, seeds, func(seed int64) (metrics.RunResult, error) {
+		engine, err := sim.New(rr.MkConfig(seed))
 		if err != nil {
 			return metrics.RunResult{}, fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -149,13 +207,17 @@ func runReplicas(mkConfig func(int64) sim.Config, rounds, workers int, baseSeed 
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("intersection : %s\n", interName)
-	fmt.Printf("scenario     : %s\n", scName)
-	fmt.Printf("density      : %g veh/min for %v (NWADE %v)\n", density, duration, nwadeOn)
+	fmt.Printf("intersection : %s\n", rr.Inter)
+	fmt.Printf("scenario     : %s\n", rr.Scenario)
+	fmt.Printf("density      : %g veh/min for %v (NWADE %v)\n", rr.Density, rr.Duration, rr.NWADE)
+	if rr.Faults != "" || rr.Retrans {
+		fmt.Printf("faults       : %s (retrans %v)\n", profileName(rr.Faults), rr.Retrans)
+	}
 	fmt.Printf("replicas     : %d (seeds %d..%d, workers=%d, %v wall)\n\n",
-		rounds, baseSeed, seeds[rounds-1], workers, wall.Round(time.Millisecond))
+		rr.Rounds, rr.BaseSeed, seeds[rr.Rounds-1], rr.Workers, wall.Round(time.Millisecond))
 	fmt.Printf("  %-6s %8s %8s %12s %11s\n", "seed", "spawned", "exited", "veh/min", "collisions")
 	var spawned, exited, collisions int
+	var dropped, duplicated, retransmits int
 	var thr float64
 	for i, res := range results {
 		fmt.Printf("  %-6d %8d %8d %12.1f %11d\n", seeds[i], res.Spawned, res.Exited, res.Throughput(), res.Collisions)
@@ -163,9 +225,16 @@ func runReplicas(mkConfig func(int64) sim.Config, rounds, workers int, baseSeed 
 		exited += res.Exited
 		collisions += res.Collisions
 		thr += res.Throughput()
+		dropped += res.Net.FaultDropped
+		duplicated += res.Net.Duplicated
+		retransmits += res.Retransmits
 	}
-	n := float64(rounds)
+	n := float64(rr.Rounds)
 	fmt.Printf("  %-6s %8.1f %8.1f %12.1f %11.1f\n", "mean",
 		float64(spawned)/n, float64(exited)/n, thr/n, float64(collisions)/n)
+	if rr.Faults != "" || rr.Retrans {
+		fmt.Printf("\n  fault-dropped %d, duplicated %d, retransmits %d (totals)\n",
+			dropped, duplicated, retransmits)
+	}
 	return nil
 }

@@ -17,6 +17,32 @@ import (
 // the vehicles' sensing radius, packet loss, and the second verification
 // round.
 
+func init() {
+	Register("ablation-scheduler", Meta{
+		Desc:        "Ablation — detection across scheduler families",
+		Group:       "ablations",
+		MinDuration: 90 * time.Second,
+		Order:       90,
+	}, func(cfg Config) (Result, error) { return SchedulerAblation(cfg) })
+	Register("ablation-sensing", Meta{
+		Desc:        "Ablation — detection vs sensing radius",
+		Group:       "ablations",
+		MinDuration: 90 * time.Second,
+		Order:       91,
+	}, func(cfg Config) (Result, error) { return SensingSweep(cfg, nil) })
+	Register("ablation-doublecheck", Meta{
+		Desc:  "Ablation — double-check defense on/off under framing",
+		Group: "ablations",
+		Order: 92,
+	}, func(cfg Config) (Result, error) { return DoubleCheckAblation(cfg) })
+	Register("ablation-loss", Meta{
+		Desc:        "Ablation — detection under per-receiver packet loss",
+		Group:       "ablations",
+		MinDuration: 90 * time.Second,
+		Order:       93,
+	}, func(cfg Config) (Result, error) { return PacketLoss(cfg, nil) })
+}
+
 // SchedulerAblationRow is one scheduler family's outcome under attack.
 type SchedulerAblationRow struct {
 	Scheduler  string

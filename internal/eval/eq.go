@@ -14,6 +14,15 @@ type Eq2Result struct {
 	PD    []float64
 }
 
+func init() {
+	// The closed-form curves take the paper's worked-example parameters;
+	// they ignore the sweep config entirely.
+	Register("eq2", Meta{Desc: "Eq. 2 — analytic detection probability vs coalition size", Order: 70},
+		func(Config) (Result, error) { return Eq2(0.1, 5, 12), nil })
+	Register("eq3", Meta{Desc: "Eq. 3 — analytic self-evacuation probability vs coalition size", Order: 71},
+		func(Config) (Result, error) { return Eq3(0.001, 0.1, 15), nil })
+}
+
 // Eq2 evaluates P_d over a range of coalition sizes.
 func Eq2(pv, omega float64, maxK int) *Eq2Result {
 	if maxK < 1 {

@@ -46,6 +46,18 @@ type Config struct {
 	// value: rounds are independently seeded and collected in cell
 	// order (see RunCells).
 	Workers int
+	// Faults injects a network fault profile into every simulation round
+	// (applied by runSpecs, so it reaches all generators uniformly). The
+	// zero value keeps rounds byte-identical to a fault-free build.
+	Faults vnet.FaultConfig
+	// Resilience enables the protocol retransmission layer in every
+	// round (sim.Config.Resilience).
+	Resilience bool
+	// Settings restricts sweeps over attack settings (nil = the paper's
+	// full list); used by the generator registry wrappers for quick runs.
+	Settings []string
+	// Densities restricts density sweeps (nil = the paper's full list).
+	Densities []float64
 }
 
 // Normalize fills defaults.
@@ -77,6 +89,9 @@ type outcome struct {
 	scenario attack.Scenario
 	roles    attack.Roles
 	onsets   map[plan.VehicleID]time.Duration
+	// violations is ground truth for physical plan violations actually
+	// executed (vs scheduled): see sim.Engine.Violations.
+	violations map[plan.VehicleID]time.Duration
 }
 
 // benignActor reports whether an event actor is outside the coalition
@@ -100,18 +115,31 @@ func newRunner(cfg Config) (*runner, error) {
 	return &runner{cfg: cfg, signer: signer}, nil
 }
 
+// RunSpec names the per-round knobs every experiment sets. A typed
+// struct instead of a positional parameter list: cross-cutting additions
+// (fault profiles, resilience) ride in via the runner's Config and
+// runSpecs, not yet another argument.
+type RunSpec struct {
+	Label    string
+	Inter    *intersection.Intersection
+	Scenario attack.Scenario
+	Density  float64
+	Seed     int64
+	NWADE    bool
+}
+
 // spec builds the standard round configuration the experiments share;
 // generators override individual sim.Config fields for their ablations.
-func (r *runner) spec(label string, inter *intersection.Intersection, sc attack.Scenario, density float64, seed int64, nwadeOn bool) simSpec {
+func (r *runner) spec(s RunSpec) simSpec {
 	return simSpec{
-		label: label,
+		label: s.Label,
 		cfg: sim.Config{
-			Inter:      inter,
+			Inter:      s.Inter,
 			Duration:   r.cfg.Duration,
-			RatePerMin: density,
-			Seed:       seed,
-			Scenario:   sc,
-			NWADE:      nwadeOn,
+			RatePerMin: s.Density,
+			Seed:       s.Seed,
+			Scenario:   s.Scenario,
+			NWADE:      s.NWADE,
 		},
 	}
 }

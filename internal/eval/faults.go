@@ -1,0 +1,288 @@
+package eval
+
+import (
+	"fmt"
+	"strings"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/nwade"
+	"nwade/internal/vnet"
+)
+
+// FaultSweepProfiles is the degraded-network sweep's default fault axis:
+// clean baseline, uniform loss, bursty (Gilbert–Elliott) loss at the same
+// mean rate, a timed IM partition, and everything at once.
+var FaultSweepProfiles = []string{"none", "loss5", "loss15", "burst15", "partition", "chaos"}
+
+// FaultSweepSettings are the attack settings the sweep measures under
+// degraded networks. V1 exercises the incident-report path (reports and
+// confirmations crossing a lossy channel); IM exercises block delivery,
+// where gaps are indistinguishable from a withheld chain without the
+// retransmission layer.
+var FaultSweepSettings = []string{"V1", "IM"}
+
+// FaultSweepRow is one (profile, setting, retransmission arm) cell.
+type FaultSweepRow struct {
+	Profile string
+	Setting string
+	// Retrans is whether the protocol resilience layer was on.
+	Retrans bool
+	Rounds  int
+	// Attacked counts rounds where the attack actually materialized —
+	// the violator physically deviated, or the compromised IM broadcast
+	// at least one block while active. Severe degradation can preempt
+	// the attack itself (a violator already pulling over after a
+	// transport-induced false alarm, or an IM stalled in a spurious
+	// evacuation); such vacuous rounds have nothing to detect and are
+	// excluded from the detection rate's denominator.
+	Attacked int
+	// Detected counts attacked rounds where the protocol caught it.
+	Detected int
+	// FalseAlarms counts rounds where a benign vehicle self-evacuated
+	// under an honest IM (transport faults mistaken for an attack).
+	// Meaningless when the IM really is malicious.
+	FalseAlarms   int
+	FalseAlarmsOK bool
+	// Latencies holds per-round detection latencies for detected rounds.
+	Latencies []time.Duration
+	// Retransmits counts protocol retransmissions across rounds;
+	// FaultDropped/Duplicated are the network layer's own tallies.
+	Retransmits  int
+	FaultDropped int
+	Duplicated   int
+}
+
+// Rate returns the row's detection rate over the rounds where the attack
+// materialized.
+func (r FaultSweepRow) Rate() float64 { return float64(r.Detected) / float64(max(r.Attacked, 1)) }
+
+// MeanLatency averages the detected rounds' latencies (0 when none).
+func (r FaultSweepRow) MeanLatency() time.Duration {
+	if len(r.Latencies) == 0 {
+		return 0
+	}
+	var sum time.Duration
+	for _, d := range r.Latencies {
+		sum += d
+	}
+	return sum / time.Duration(len(r.Latencies))
+}
+
+// FaultSweepResult extends Fig. 7's packet-count story to degraded
+// networks: detection rate, false alarms and latency versus loss
+// burstiness and partitions, with the retransmission layer on and off.
+type FaultSweepResult struct {
+	Rows []FaultSweepRow
+	Cfg  Config
+}
+
+func init() {
+	Register("faultsweep", Meta{Desc: "Degraded networks — detection under loss/burst/partition, retransmission on/off", Order: 100},
+		func(cfg Config) (Result, error) { return FaultSweep(cfg, nil) })
+}
+
+// FaultSweep runs each fault profile × attack setting with the
+// retransmission layer off and on, over paired seeds so both arms see
+// identical traffic and fault schedules. Nil profiles uses
+// FaultSweepProfiles.
+func FaultSweep(cfg Config, profiles []string) (*FaultSweepResult, error) {
+	cfg = cfg.Normalize()
+	if profiles == nil {
+		profiles = FaultSweepProfiles
+	}
+	// The sweep sets faults and resilience per spec; scrub the
+	// harness-level knobs so runSpecs does not overwrite the off arm.
+	hcfg := cfg
+	hcfg.Faults = vnet.FaultConfig{}
+	hcfg.Resilience = false
+	r, err := newRunner(hcfg)
+	if err != nil {
+		return nil, err
+	}
+	inter, err := intersection.Cross4Lanes(intersection.Config{}, []int{3, 2, 3, 2})
+	if err != nil {
+		return nil, err
+	}
+	var specs []simSpec
+	for _, prof := range profiles {
+		fc, err := vnet.ParseFaultProfile(prof)
+		if err != nil {
+			return nil, fmt.Errorf("faultsweep: %w", err)
+		}
+		for _, name := range FaultSweepSettings {
+			sc, ok := attack.ByName(name, cfg.AttackAt)
+			if !ok {
+				return nil, fmt.Errorf("faultsweep: unknown setting %q", name)
+			}
+			for _, retrans := range []bool{false, true} {
+				for i := 0; i < cfg.Rounds; i++ {
+					s := r.spec(RunSpec{
+						Label:    fmt.Sprintf("faultsweep %s %s retrans=%v round %d", prof, name, retrans, i),
+						Inter:    inter,
+						Scenario: sc,
+						Density:  cfg.Density,
+						Seed:     cfg.BaseSeed + int64(i)*167,
+						NWADE:    true,
+					})
+					s.cfg.Net.Faults = fc
+					s.cfg.Resilience = retrans
+					specs = append(specs, s)
+				}
+			}
+		}
+	}
+	outs, err := r.runSpecs(specs)
+	if err != nil {
+		return nil, fmt.Errorf("faultsweep: %w", err)
+	}
+	out := &FaultSweepResult{Cfg: cfg}
+	k := 0
+	for _, prof := range profiles {
+		for _, name := range FaultSweepSettings {
+			for _, retrans := range []bool{false, true} {
+				row := FaultSweepRow{Profile: prof, Setting: name, Retrans: retrans}
+				for i := 0; i < cfg.Rounds; i++ {
+					o := outs[k]
+					k++
+					row.Rounds++
+					if faultAttackMaterialized(o) {
+						row.Attacked++
+						if faultDetected(o) {
+							row.Detected++
+							if lat, ok := faultDetectionTime(o); ok {
+								row.Latencies = append(row.Latencies, lat)
+							}
+						}
+					}
+					if !o.scenario.MaliciousIM {
+						row.FalseAlarmsOK = true
+						if benignSelfEvacuated(o) {
+							row.FalseAlarms++
+						}
+					}
+					row.Retransmits += o.res.Retransmits
+					row.FaultDropped += o.res.Net.FaultDropped
+					row.Duplicated += o.res.Net.Duplicated
+				}
+				out.Rows = append(out.Rows, row)
+			}
+		}
+	}
+	return out, nil
+}
+
+// faultAttackMaterialized reports whether the round's attack actually
+// happened. Degraded transport can preempt it: a compromised IM only
+// sabotages blocks it packages, so if a spurious (loss-induced) incident
+// stalls the manager in evacuation before onset it never emits an
+// attackable block; and a violator that is already self-evacuating pulls
+// over instead of deviating. Ground truth, not event inference: block
+// broadcasts are IM events, physical deviations come from the engine.
+func faultAttackMaterialized(o *outcome) bool {
+	sc := o.scenario
+	if sc.MaliciousIM {
+		_, ok := o.res.Collector.FirstWhere(func(e nwade.Event) bool {
+			return e.Type == nwade.EvBlockBroadcast && e.At >= sc.AttackAt
+		})
+		return ok
+	}
+	if o.roles.Violator == 0 {
+		return false
+	}
+	_, ok := o.violations[o.roles.Violator]
+	return ok
+}
+
+// gapRejection reports whether a block-rejected event is a transport
+// artifact — a sequence gap or duplicate from loss/partition — rather
+// than a verification failure of the block's content. Counting those as
+// "attack detected" would credit the fault injector, not the protocol.
+func gapRejection(e nwade.Event) bool {
+	return strings.Contains(e.Info, "sequence number out of order")
+}
+
+// faultDetected is detected() with gap rejections excluded from the
+// malicious-IM criteria.
+func faultDetected(o *outcome) bool {
+	col := o.res.Collector
+	sc := o.scenario
+	if !sc.MaliciousIM {
+		return detected(o)
+	}
+	realReject := col.CountWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvBlockRejected && !gapRejection(e)
+	})
+	if sc.MaliciousVehicles == 0 {
+		return realReject > 0
+	}
+	if realReject > 0 {
+		return true
+	}
+	reporters := col.DistinctActors(func(e nwade.Event) bool {
+		return e.Type == nwade.EvGlobalSent && o.benignActor(e.Actor)
+	})
+	return len(reporters) >= 2
+}
+
+// faultDetectionTime mirrors detectionTime() but measures from the first
+// content rejection, skipping gap rejections.
+func faultDetectionTime(o *outcome) (time.Duration, bool) {
+	if !o.scenario.MaliciousIM {
+		return detectionTime(o)
+	}
+	col := o.res.Collector
+	rej, ok := col.FirstWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvBlockRejected && !gapRejection(e)
+	})
+	if !ok {
+		return 0, false
+	}
+	cast, found := col.LastWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvBlockBroadcast && e.At <= rej.At
+	})
+	if !found {
+		return 0, false
+	}
+	return rej.At - cast.At, true
+}
+
+// benignSelfEvacuated reports whether any vehicle outside the coalition
+// entered self-evacuation.
+func benignSelfEvacuated(o *outcome) bool {
+	_, ok := o.res.Collector.FirstWhere(func(e nwade.Event) bool {
+		return e.Type == nwade.EvSelfEvacuation && o.benignActor(e.Actor)
+	})
+	return ok
+}
+
+// String renders the sweep, pairing each profile × setting's off/on arms.
+func (f *FaultSweepResult) String() string {
+	header := []string{"Profile", "Setting", "Retrans", "Attacks", "Detect", "FalseAlarm", "MeanLat", "Retransmits", "FaultDrop", "Dup"}
+	var rows [][]string
+	for _, r := range f.Rows {
+		retrans := "off"
+		if r.Retrans {
+			retrans = "on"
+		}
+		fa := "N/A"
+		if r.FalseAlarmsOK {
+			fa = pct(r.FalseAlarms, r.Rounds)
+		}
+		lat := "-"
+		if len(r.Latencies) > 0 {
+			lat = r.MeanLatency().Truncate(time.Millisecond).String()
+		}
+		detect := "-"
+		if r.Attacked > 0 {
+			detect = pct(r.Detected, r.Attacked)
+		}
+		rows = append(rows, []string{
+			r.Profile, r.Setting, retrans,
+			fmt.Sprintf("%d/%d", r.Attacked, r.Rounds), detect, fa, lat,
+			fmt.Sprint(r.Retransmits), fmt.Sprint(r.FaultDropped), fmt.Sprint(r.Duplicated),
+		})
+	}
+	return "Degraded Networks — Detection under Faults (retransmission off/on)\n" + table(header, rows)
+}

@@ -1,0 +1,62 @@
+package eval
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestFaultSweepRetransBenefit runs the degraded-network sweep on the
+// partition profile (the setting where recovery matters most: the IM is
+// unreachable around the attack) and checks the acceptance property:
+// with retransmission on, detection is never worse than with it off, on
+// identical traffic and fault schedules (paired seeds).
+func TestFaultSweepRetransBenefit(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	cfg := Config{Rounds: 2, Duration: 45 * time.Second, Workers: 0}
+	res, err := FaultSweep(cfg, []string{"partition"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := map[string]FaultSweepRow{}
+	for _, r := range res.Rows {
+		key := r.Setting
+		if r.Retrans {
+			key += "/on"
+		} else {
+			key += "/off"
+		}
+		rows[key] = r
+	}
+	for _, setting := range FaultSweepSettings {
+		off, on := rows[setting+"/off"], rows[setting+"/on"]
+		if off.Rounds != cfg.Rounds || on.Rounds != cfg.Rounds {
+			t.Fatalf("%s rounds = %d/%d, want %d", setting, off.Rounds, on.Rounds, cfg.Rounds)
+		}
+		if off.Attacked == 0 && on.Attacked == 0 {
+			t.Errorf("%s: attack never materialized in either arm", setting)
+		}
+		if on.Rate() < off.Rate() {
+			t.Errorf("%s: retrans-on detection %.0f%% (%d/%d) < retrans-off %.0f%% (%d/%d)",
+				setting, 100*on.Rate(), on.Detected, on.Attacked,
+				100*off.Rate(), off.Detected, off.Attacked)
+		}
+		if on.Retransmits == 0 {
+			t.Errorf("%s: retrans arm never retransmitted under a partition", setting)
+		}
+		if off.Retransmits != 0 {
+			t.Errorf("%s: retrans-off arm retransmitted %d times", setting, off.Retransmits)
+		}
+		if off.FaultDropped == 0 || on.FaultDropped == 0 {
+			t.Errorf("%s: partition dropped nothing (off %d, on %d)", setting, off.FaultDropped, on.FaultDropped)
+		}
+	}
+	out := res.String()
+	for _, want := range []string{"partition", "V1", "IM", "Retrans"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered table missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -35,6 +35,11 @@ type Fig4Result struct {
 	Densities []float64
 }
 
+func init() {
+	Register("fig4", Meta{Desc: "Fig. 4 — detection rate vs vehicle density", Order: 20},
+		func(cfg Config) (Result, error) { return Fig4(cfg, cfg.Settings, cfg.Densities) })
+}
+
 // Fig4 sweeps density × attack setting and measures detection rates.
 // Passing nil for settings or densities uses the paper's full sweep.
 func Fig4(cfg Config, settings []string, densities []float64) (*Fig4Result, error) {
@@ -63,9 +68,14 @@ func Fig4(cfg Config, settings []string, densities []float64) (*Fig4Result, erro
 		for _, d := range densities {
 			for i := 0; i < cfg.Rounds; i++ {
 				seed := cfg.BaseSeed + int64(i)*131 + int64(d)
-				specs = append(specs, r.spec(
-					fmt.Sprintf("fig4 %s d=%v round %d", name, d, i),
-					inter, sc, d, seed, true))
+				specs = append(specs, r.spec(RunSpec{
+					Label:    fmt.Sprintf("fig4 %s d=%v round %d", name, d, i),
+					Inter:    inter,
+					Scenario: sc,
+					Density:  d,
+					Seed:     seed,
+					NWADE:    true,
+				}))
 			}
 		}
 	}

@@ -26,6 +26,11 @@ type Fig5Result struct {
 	Densities []float64
 }
 
+func init() {
+	Register("fig5", Meta{Desc: "Fig. 5 — detection latency vs vehicle density", Order: 30},
+		func(cfg Config) (Result, error) { return Fig5(cfg, cfg.Densities) })
+}
+
 // Fig5 measures detection latencies across densities. Nil densities uses
 // the paper's sweep.
 func Fig5(cfg Config, densities []float64) (*Fig5Result, error) {
@@ -55,9 +60,14 @@ func Fig5(cfg Config, densities []float64) (*Fig5Result, error) {
 		for _, d := range densities {
 			for i := 0; i < cfg.Rounds; i++ {
 				seed := cfg.BaseSeed + int64(i)*149 + int64(d)*3
-				specs = append(specs, r.spec(
-					fmt.Sprintf("fig5 %s d=%v round %d", cl.name, d, i),
-					inter, sc, d, seed, true))
+				specs = append(specs, r.spec(RunSpec{
+					Label:    fmt.Sprintf("fig5 %s d=%v round %d", cl.name, d, i),
+					Inter:    inter,
+					Scenario: sc,
+					Density:  d,
+					Seed:     seed,
+					NWADE:    true,
+				}))
 			}
 		}
 	}

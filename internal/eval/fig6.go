@@ -37,6 +37,11 @@ type Fig6Result struct {
 // Fig6Densities are the density labels shown in the paper's Fig. 6.
 var Fig6Densities = []float64{20, 80, 120}
 
+func init() {
+	Register("fig6", Meta{Desc: "Fig. 6 — blockchain cost per intersection kind", Order: 40},
+		func(cfg Config) (Result, error) { return Fig6(cfg, nil) })
+}
+
 // Fig6 measures chain costs for every intersection kind. Nil densities
 // uses the paper's {20, 80, 120}.
 func Fig6(cfg Config, densities []float64) (*Fig6Result, error) {

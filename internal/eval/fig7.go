@@ -39,6 +39,11 @@ type Fig7Result struct {
 	Cfg   Config
 }
 
+func init() {
+	Register("fig7", Meta{Desc: "Fig. 7 — packet counts per event class", Order: 50},
+		func(cfg Config) (Result, error) { return Fig7(cfg) })
+}
+
 // Fig7 measures per-kind packet counts for the three event classes.
 func Fig7(cfg Config) (*Fig7Result, error) {
 	cfg = cfg.Normalize()
@@ -58,9 +63,14 @@ func Fig7(cfg Config) (*Fig7Result, error) {
 	var specs []simSpec
 	for _, c := range cases {
 		sc, _ := attack.ByName(c.setting, cfg.AttackAt)
-		specs = append(specs, r.spec(
-			fmt.Sprintf("fig7 %s", c.name),
-			inter, sc, cfg.Density, cfg.BaseSeed, true))
+		specs = append(specs, r.spec(RunSpec{
+			Label:    fmt.Sprintf("fig7 %s", c.name),
+			Inter:    inter,
+			Scenario: sc,
+			Density:  cfg.Density,
+			Seed:     cfg.BaseSeed,
+			NWADE:    true,
+		}))
 	}
 	outs, err := r.runSpecs(specs)
 	if err != nil {

@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"nwade/internal/attack"
 	"nwade/internal/intersection"
@@ -36,6 +37,14 @@ type Fig8Result struct {
 // Fig8Densities is the default density sweep for the throughput study.
 var Fig8Densities = []float64{20, 80, 120}
 
+func init() {
+	Register("fig8", Meta{
+		Desc:        "Fig. 8 — throughput with/without NWADE per intersection kind",
+		MinDuration: 90 * time.Second,
+		Order:       60,
+	}, func(cfg Config) (Result, error) { return Fig8(cfg, nil, cfg.Densities) })
+}
+
 // Fig8 measures throughput for every intersection kind. Nil densities
 // uses {20, 80, 120}; nil kinds uses all five.
 func Fig8(cfg Config, kinds []intersection.Kind, densities []float64) (*Fig8Result, error) {
@@ -65,8 +74,14 @@ func Fig8(cfg Config, kinds []intersection.Kind, densities []float64) (*Fig8Resu
 				seed := cfg.BaseSeed + int64(i)*379 + int64(d)*7
 				// Same-seed on/off pair: identical traffic, NWADE toggled.
 				specs = append(specs,
-					r.spec(fmt.Sprintf("fig8 %v d=%v on", kind, d), inter, attack.Benign(), d, seed, true),
-					r.spec(fmt.Sprintf("fig8 %v d=%v off", kind, d), inter, attack.Benign(), d, seed, false))
+					r.spec(RunSpec{
+						Label: fmt.Sprintf("fig8 %v d=%v on", kind, d), Inter: inter,
+						Scenario: attack.Benign(), Density: d, Seed: seed, NWADE: true,
+					}),
+					r.spec(RunSpec{
+						Label: fmt.Sprintf("fig8 %v d=%v off", kind, d), Inter: inter,
+						Scenario: attack.Benign(), Density: d, Seed: seed, NWADE: false,
+					}))
 			}
 		}
 	}

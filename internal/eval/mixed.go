@@ -2,6 +2,7 @@ package eval
 
 import (
 	"fmt"
+	"time"
 
 	"nwade/internal/attack"
 	"nwade/internal/intersection"
@@ -26,6 +27,14 @@ type MixedRow struct {
 type MixedResult struct {
 	Rows []MixedRow
 	Cfg  Config
+}
+
+func init() {
+	Register("mixed", Meta{
+		Desc:        "Mixed traffic — legacy-vehicle share sweep under V1",
+		MinDuration: 90 * time.Second,
+		Order:       80,
+	}, func(cfg Config) (Result, error) { return MixedTraffic(cfg, nil) })
 }
 
 // MixedTraffic sweeps the legacy share under the V1 attack setting,

@@ -1,0 +1,100 @@
+// The experiment registry: every table/figure generator registers itself
+// under a stable name with one common signature, so the CLIs iterate the
+// registry instead of hand-maintaining a switch per experiment.
+package eval
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Result is what every experiment produces: a typed value with a
+// printable table rendering.
+type Result interface{ fmt.Stringer }
+
+// GeneratorFunc is the registry's common experiment signature. Sweep
+// subsets (settings, densities) and fault profiles ride inside Config.
+type GeneratorFunc func(Config) (Result, error)
+
+// Meta describes a registered experiment.
+type Meta struct {
+	// Desc is a one-line summary for -list output.
+	Desc string
+	// Group optionally batches experiments under a collective name the
+	// CLI also accepts (e.g. "ablations").
+	Group string
+	// MinDuration floors Config.Duration: some experiments need longer
+	// rounds than the harness default to be meaningful (throughput and
+	// recovery measurements).
+	MinDuration time.Duration
+	// Order positions the experiment in -exp all runs and -list output.
+	Order int
+}
+
+// Generator is one registered experiment.
+type Generator struct {
+	Name string
+	Meta Meta
+	Fn   GeneratorFunc
+}
+
+// Run invokes the generator with Meta.MinDuration applied.
+func (g Generator) Run(cfg Config) (Result, error) {
+	if g.Meta.MinDuration > 0 {
+		cfg = cfg.Normalize()
+		if cfg.Duration < g.Meta.MinDuration {
+			cfg.Duration = g.Meta.MinDuration
+		}
+	}
+	return g.Fn(cfg)
+}
+
+var registry = make(map[string]Generator)
+
+// Register adds an experiment to the registry. Names must be unique;
+// generators register from init, so a collision is a programming error.
+func Register(name string, meta Meta, fn GeneratorFunc) {
+	if _, dup := registry[name]; dup {
+		panic(fmt.Sprintf("eval: duplicate generator %q", name))
+	}
+	registry[name] = Generator{Name: name, Meta: meta, Fn: fn}
+}
+
+// Lookup resolves one experiment by name.
+func Lookup(name string) (Generator, bool) {
+	g, ok := registry[name]
+	return g, ok
+}
+
+// All returns every registered experiment, ordered by Meta.Order then
+// name.
+func All() []Generator {
+	out := make([]Generator, 0, len(registry))
+	for _, g := range registry {
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Meta.Order != out[j].Meta.Order {
+			return out[i].Meta.Order < out[j].Meta.Order
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Groups returns the distinct non-empty group names, sorted.
+func Groups() []string {
+	seen := make(map[string]bool)
+	for _, g := range registry {
+		if g.Meta.Group != "" {
+			seen[g.Meta.Group] = true
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for k := range seen {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,91 @@
+package eval
+
+import (
+	"fmt"
+	"reflect"
+	"runtime"
+	"time"
+)
+
+// SpeedupResult compares a reduced Fig. 4 sweep run sequentially and
+// with the full worker pool. The two sweeps must produce identical
+// points; the ratio is purely a wall-clock measurement.
+type SpeedupResult struct {
+	Rounds     int
+	Settings   []string
+	Densities  []float64
+	Sequential time.Duration
+	Parallel   time.Duration
+	Workers    int
+}
+
+// Ratio returns sequential-over-parallel wall time.
+func (s *SpeedupResult) Ratio() float64 {
+	if s.Parallel <= 0 {
+		return 0
+	}
+	return float64(s.Sequential) / float64(s.Parallel)
+}
+
+func init() {
+	Register("speedup", Meta{Desc: "Parallel-vs-sequential sweep timing (results verified identical)", Order: 110},
+		func(cfg Config) (Result, error) { return Speedup(cfg) })
+}
+
+// Speedup times a reduced Fig. 4 sweep sequentially and with the full
+// worker pool, verifies the results are identical, and records the
+// ratio. On a single-core host the ratio is ~1.0 by construction; it
+// scales with GOMAXPROCS on real hardware.
+func Speedup(cfg Config) (*SpeedupResult, error) {
+	cfg = cfg.Normalize()
+	settings := []string{"V1", "V5", "IM", "IM_V5"}
+	densities := []float64{40, 80, 120}
+	if cfg.Rounds > 3 {
+		cfg.Rounds = 3
+	}
+	if cfg.Duration > 40*time.Second {
+		cfg.Duration = 40 * time.Second
+	}
+
+	cfg.Workers = 1
+	t0 := time.Now()
+	seq, err := Fig4(cfg, settings, densities)
+	if err != nil {
+		return nil, err
+	}
+	seqWall := time.Since(t0)
+
+	parWorkers := runtime.GOMAXPROCS(0)
+	cfg.Workers = parWorkers
+	t1 := time.Now()
+	par, err := Fig4(cfg, settings, densities)
+	if err != nil {
+		return nil, err
+	}
+	parWall := time.Since(t1)
+
+	if !reflect.DeepEqual(seq.Points, par.Points) {
+		return nil, fmt.Errorf("speedup: parallel results differ from sequential")
+	}
+	return &SpeedupResult{
+		Rounds:     cfg.Rounds,
+		Settings:   settings,
+		Densities:  densities,
+		Sequential: seqWall,
+		Parallel:   parWall,
+		Workers:    parWorkers,
+	}, nil
+}
+
+// String renders the timing comparison.
+func (s *SpeedupResult) String() string {
+	return fmt.Sprintf(
+		"Speedup — reduced Fig. 4 sweep (%d rounds × %d settings × %d densities)\n"+
+			"  sequential (workers=1):  %8.0f ms\n"+
+			"  parallel   (workers=%d):  %8.0f ms\n"+
+			"  speedup: %.2fx on %d CPU(s); results identical",
+		s.Rounds, len(s.Settings), len(s.Densities),
+		float64(s.Sequential.Microseconds())/1000,
+		s.Workers, float64(s.Parallel.Microseconds())/1000,
+		s.Ratio(), runtime.NumCPU())
+}

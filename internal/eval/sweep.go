@@ -88,19 +88,29 @@ type simSpec struct {
 }
 
 // runSpecs executes one engine per spec across the worker pool, sharing
-// the runner's signing key, and returns the outcomes in spec order.
+// the runner's signing key, and returns the outcomes in spec order. The
+// harness-level fault profile and resilience switch are applied here so
+// every generator inherits them uniformly, whether it went through
+// runner.spec or built its sim.Config by hand.
 func (r *runner) runSpecs(specs []simSpec) ([]*outcome, error) {
 	return RunCells(r.cfg.Workers, specs, func(s simSpec) (*outcome, error) {
-		e, err := sim.NewWithSigner(s.cfg, r.signer)
+		if r.cfg.Faults.Enabled() && !s.cfg.Net.Faults.Enabled() {
+			s.cfg.Net.Faults = r.cfg.Faults
+		}
+		if r.cfg.Resilience {
+			s.cfg.Resilience = true
+		}
+		e, err := sim.New(s.cfg, sim.WithSigner(r.signer))
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.label, err)
 		}
 		res := e.Run()
 		return &outcome{
-			res:      res,
-			scenario: s.cfg.Scenario,
-			roles:    e.Roles(),
-			onsets:   e.AttackOnsets(),
+			res:        res,
+			scenario:   s.cfg.Scenario,
+			roles:      e.Roles(),
+			onsets:     e.AttackOnsets(),
+			violations: e.Violations(),
 		}, nil
 	})
 }

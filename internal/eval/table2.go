@@ -29,6 +29,11 @@ type TableIIResult struct {
 	Cfg  Config
 }
 
+func init() {
+	Register("table2", Meta{Desc: "Table II — false-alarm trigger/detection rates", Order: 10},
+		func(cfg Config) (Result, error) { return TableII(cfg) })
+}
+
 // TableII runs the eleven Table I settings and measures false-alarm
 // trigger and detection rates of both types.
 func TableII(cfg Config) (*TableIIResult, error) {
@@ -51,18 +56,28 @@ func TableII(cfg Config) (*TableIIResult, error) {
 	typeB := make([]bool, len(settings))
 	for si, sc := range settings {
 		for i := 0; i < cfg.Rounds; i++ {
-			specs = append(specs, r.spec(
-				fmt.Sprintf("table2 %s round %d", sc.Name, i),
-				inter, sc, cfg.Density, cfg.BaseSeed+int64(i)*101, true))
+			specs = append(specs, r.spec(RunSpec{
+				Label:    fmt.Sprintf("table2 %s round %d", sc.Name, i),
+				Inter:    inter,
+				Scenario: sc,
+				Density:  cfg.Density,
+				Seed:     cfg.BaseSeed + int64(i)*101,
+				NWADE:    true,
+			}))
 		}
 		if !sc.MaliciousIM && sc.FalseReports > 0 {
 			typeB[si] = true
 			scB := sc
 			scB.TypeB = true
 			for i := 0; i < cfg.Rounds; i++ {
-				specs = append(specs, r.spec(
-					fmt.Sprintf("table2 %s typeB round %d", sc.Name, i),
-					inter, scB, cfg.Density, cfg.BaseSeed+7777+int64(i)*101, true))
+				specs = append(specs, r.spec(RunSpec{
+					Label:    fmt.Sprintf("table2 %s typeB round %d", sc.Name, i),
+					Inter:    inter,
+					Scenario: scB,
+					Density:  cfg.Density,
+					Seed:     cfg.BaseSeed + 7777 + int64(i)*101,
+					NWADE:    true,
+				}))
 			}
 		}
 	}

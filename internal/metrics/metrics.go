@@ -158,8 +158,11 @@ type RunResult struct {
 	Spawned    int
 	Exited     int
 	Collisions int
-	Net        vnet.Stats
-	Collector  *Collector
+	// Retransmits counts protocol-level retransmissions (resilience
+	// layer); network-level duplicates live in Net.Duplicated.
+	Retransmits int
+	Net         vnet.Stats
+	Collector   *Collector
 }
 
 // Throughput returns exits per minute for the run.

@@ -38,6 +38,12 @@ const (
 	EvFalseAccusationSeen
 	EvSuspectQuorum
 	EvExited
+
+	// Resilience layer (both sides). Appended after the original enum so
+	// recorded event streams keep their numbering.
+	EvRetransmit
+	EvBlockDeferred
+	EvChainResync
 )
 
 // String implements fmt.Stringer.
@@ -87,6 +93,12 @@ func (t EventType) String() string {
 		return "suspect-quorum"
 	case EvExited:
 		return "exited"
+	case EvRetransmit:
+		return "retransmit"
+	case EvBlockDeferred:
+		return "block-deferred"
+	case EvChainResync:
+		return "chain-resync"
 	default:
 		return "unknown-event"
 	}

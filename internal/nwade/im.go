@@ -46,6 +46,12 @@ type IMConfig struct {
 	// paper's defense against colluding voters). Exists only for the
 	// ablation study; leave false in production.
 	DisableDoubleCheck bool
+	// HeadRebroadcast, when positive, makes the IM periodically re-send
+	// its newest broadcast (block or evacuation alert) so vehicles that
+	// lost the original catch up. Only enable together with vehicle
+	// resilience: without duplicate suppression, a re-broadcast fails
+	// linkage verification on every up-to-date vehicle.
+	HeadRebroadcast time.Duration
 }
 
 // DefaultIMConfig returns the paper's settings.
@@ -137,6 +143,12 @@ type IMCore struct {
 	pending   map[plan.VehicleID]sched.Request
 	lastBatch time.Duration
 
+	// Head re-broadcast state (resilience): the last broadcast message
+	// verbatim, so an evacuation alert is repeated as an alert, not
+	// demoted to a plain block.
+	lastCastMsg *Out
+	lastCastAt  time.Duration
+
 	nonce    uint64
 	verifs   map[uint64]*verification
 	strikes  map[plan.VehicleID]int
@@ -159,7 +171,9 @@ type IMCore struct {
 // NewIMCore assembles the manager core.
 func NewIMCore(cfg IMConfig, inter *intersection.Intersection, signer *chain.Signer, scheduler sched.Scheduler, sink EventSink, mal *IMMalice) *IMCore {
 	if cfg.BatchWindow <= 0 {
+		hr := cfg.HeadRebroadcast
 		cfg = DefaultIMConfig()
+		cfg.HeadRebroadcast = hr
 	}
 	return &IMCore{
 		cfg:            cfg,
@@ -767,16 +781,21 @@ func (im *IMCore) packageAndBroadcast(now time.Duration, plans []*plan.TravelPla
 	}
 	im.blocks = append(im.blocks, b)
 	im.sink.emit(Event{At: now, Type: EvBlockBroadcast, Info: fmt.Sprintf("seq %d, %d plans, evac=%v", b.Seq, len(b.Plans), evacuation)})
+	var out Out
 	if evacuation {
 		suspects := make([]SuspectInfo, 0, len(im.suspects))
 		for _, s := range im.suspects {
 			suspects = append(suspects, s)
 		}
 		sort.Slice(suspects, func(i, j int) bool { return suspects[i].Vehicle < suspects[j].Vehicle })
-		return []Out{{To: vnet.Broadcast, Kind: KindEvacuation,
-			Payload: EvacuationAlert{Suspects: suspects, Block: b}, Size: SizeOfBlock(b) + 64}}
+		out = Out{To: vnet.Broadcast, Kind: KindEvacuation,
+			Payload: EvacuationAlert{Suspects: suspects, Block: b}, Size: SizeOfBlock(b) + 64}
+	} else {
+		out = Out{To: vnet.Broadcast, Kind: KindBlock, Payload: BlockMsg{Block: b}, Size: SizeOfBlock(b)}
 	}
-	return []Out{{To: vnet.Broadcast, Kind: KindBlock, Payload: BlockMsg{Block: b}, Size: SizeOfBlock(b)}}
+	im.lastCastMsg = &out
+	im.lastCastAt = now
+	return []Out{out}
 }
 
 // sabotage makes a plan in the batch collide with another plan: it
@@ -929,6 +948,13 @@ func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
 	if im.mal != nil && im.mal.FalseEvacuation && !im.mal.firedFalseEvac && now >= im.mal.FalseEvacAt {
 		im.mal.firedFalseEvac = true
 		outs = append(outs, im.fireFalseEvacuation(now)...)
+	}
+	// Head re-broadcast (resilience): repeat the newest broadcast so
+	// vehicles that lost it re-join the chain.
+	if im.cfg.HeadRebroadcast > 0 && im.lastCastMsg != nil && now-im.lastCastAt >= im.cfg.HeadRebroadcast {
+		im.lastCastAt = now
+		im.sink.emit(Event{At: now, Type: EvRetransmit, Info: fmt.Sprintf("head seq %d", im.Head().Seq)})
+		outs = append(outs, *im.lastCastMsg)
 	}
 	return outs
 }

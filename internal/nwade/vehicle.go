@@ -38,6 +38,10 @@ type VehicleConfig struct {
 	NearbyRadius float64
 	// ChainMax bounds the cached chain window (τ/δ in the paper).
 	ChainMax int
+	// Resilience configures retransmission and gap recovery under a
+	// lossy network. Zero value = off (the paper's reliable-delivery
+	// assumption).
+	Resilience ResilienceConfig
 }
 
 // DefaultVehicleConfig returns the paper's settings.
@@ -164,6 +168,16 @@ type VehicleCore struct {
 	evacReason GlobalReason
 	sentGlobal bool
 	missing    map[uint64]bool // back-fill requests outstanding
+
+	// Resilience bookkeeping (only populated when cfg.Resilience.Enabled).
+	held          map[uint64]heldBlock   // ahead-of-sequence blocks
+	blockRetry    map[uint64]*retryState // missing-block re-requests
+	pendingReport *IncidentReport        // last incident report, for retransmission
+	reportRetry   *retryState
+	globalOut     *GlobalReport // our global report, re-broadcast after self-evac
+	globalRetry   *retryState
+	seenGlobals   map[string]bool // duplicate suppression for peers' globals
+	seenEvacs     map[uint64]bool // duplicate suppression for evacuation alerts
 }
 
 // NewVehicleCore creates the vehicle protocol core.
@@ -171,8 +185,11 @@ func NewVehicleCore(id plan.VehicleID, char plan.Characteristics, route *interse
 	inter *intersection.Intersection, pub *chain.Signer, cfg VehicleConfig, sink EventSink, mal *VehicleMalice,
 	arriveAt time.Duration, speed float64) *VehicleCore {
 	if cfg.SensingRadius <= 0 {
+		res := cfg.Resilience
 		cfg = DefaultVehicleConfig()
+		cfg.Resilience = res
 	}
+	cfg.Resilience = cfg.Resilience.Normalize()
 	return &VehicleCore{
 		id:            id,
 		char:          char,
@@ -195,6 +212,10 @@ func NewVehicleCore(id plan.VehicleID, char plan.Characteristics, route *interse
 		globalSuspect: make(map[plan.VehicleID]map[plan.VehicleID]bool),
 		pendingBlocks: make(map[uint64]bool),
 		missing:       make(map[uint64]bool),
+		held:          make(map[uint64]heldBlock),
+		blockRetry:    make(map[uint64]*retryState),
+		seenGlobals:   make(map[string]bool),
+		seenEvacs:     make(map[uint64]bool),
 	}
 }
 
@@ -276,9 +297,14 @@ func (vc *VehicleCore) enterSelfEvac(now time.Duration, reason GlobalReason, blo
 	}
 	vc.sentGlobal = true
 	vc.sink.emit(Event{At: now, Type: EvGlobalSent, Actor: vc.id, Subject: suspect, Info: reason.String()})
-	return []Out{{To: vnet.Broadcast, Kind: KindGlobal,
-		Payload: GlobalReport{Reporter: vc.id, Reason: reason, BlockSeq: blockSeq, Suspect: suspect, At: now},
-		Size:    sizeGlobal}}
+	gr := GlobalReport{Reporter: vc.id, Reason: reason, BlockSeq: blockSeq, Suspect: suspect, At: now}
+	if vc.resilient() {
+		// Keep re-broadcasting it: one lost packet must not cost the
+		// quorum a witness.
+		vc.globalOut = &gr
+		vc.globalRetry = vc.cfg.Resilience.newRetry(now)
+	}
+	return []Out{{To: vnet.Broadcast, Kind: KindGlobal, Payload: gr, Size: sizeGlobal}}
 }
 
 // HandleMessage processes one inbound message.
@@ -338,11 +364,34 @@ func (vc *VehicleCore) HandleMessage(now time.Duration, msg vnet.Message) []Out 
 	}
 }
 
-// handleBlock runs Algorithm 1 on a freshly broadcast block.
+// handleBlock runs Algorithm 1 on a freshly broadcast block. With
+// resilience on, duplicates of already-chained blocks are dropped and
+// ahead-of-sequence blocks are held back while the gap is re-requested —
+// without it, either would fail linkage verification and trigger a
+// spurious self-evacuation.
 func (vc *VehicleCore) handleBlock(now time.Duration, b *chain.Block, evacuation bool) []Out {
 	if b == nil {
 		return nil
 	}
+	if vc.resilient() {
+		if head := vc.cache.Head(); head != nil {
+			if b.Seq <= head.Seq {
+				return nil // duplicate or stale re-broadcast
+			}
+			if b.Seq > head.Seq+1 {
+				return vc.deferBlock(now, b, evacuation, head.Seq)
+			}
+		}
+	}
+	outs := vc.processBlock(now, b, evacuation)
+	if vc.resilient() && !vc.selfEvac && vc.auto.State() != VExited {
+		outs = append(outs, vc.drainHeld(now)...)
+	}
+	return outs
+}
+
+// processBlock is the verification core of handleBlock (Algorithm 1).
+func (vc *VehicleCore) processBlock(now time.Duration, b *chain.Block, evacuation bool) []Out {
 	prevState := vc.auto.State()
 	_ = vc.auto.To(VBlockVerify)
 	err := VerifyBlock(vc.cache, vc.chk, b, vc.knownSuspects)
@@ -355,6 +404,8 @@ func (vc *VehicleCore) handleBlock(now time.Duration, b *chain.Block, evacuation
 		return vc.enterSelfEvac(now, reason, b.Seq, 0)
 	}
 	vc.sink.emit(Event{At: now, Type: EvBlockAccepted, Actor: vc.id, Info: fmt.Sprintf("seq %d", b.Seq)})
+	delete(vc.missing, b.Seq)
+	delete(vc.blockRetry, b.Seq)
 	var outs []Out
 	// Back-fill older blocks the first time we join the stream, so we
 	// can watch vehicles that arrived before us.
@@ -404,6 +455,7 @@ func (vc *VehicleCore) handleBlockResp(now time.Duration, b *chain.Block) []Out 
 		return nil
 	}
 	delete(vc.missing, b.Seq)
+	delete(vc.blockRetry, b.Seq)
 	wanted := vc.pendingBlocks[b.Seq]
 	delete(vc.pendingBlocks, b.Seq)
 	// Re-verify content for globally reported blocks regardless of
@@ -431,6 +483,10 @@ func (vc *VehicleCore) handleBlockResp(now time.Duration, b *chain.Block) []Out 
 			return vc.enterSelfEvac(now, ReasonBadBlock, b.Seq, 0)
 		}
 		vc.sink.emit(Event{At: now, Type: EvBlockAccepted, Actor: vc.id, Info: fmt.Sprintf("back-fill seq %d", b.Seq)})
+	case vc.resilient() && b.Seq > head.Seq+1:
+		// Gap responses arriving out of order: hold until the gap below
+		// them fills.
+		return vc.deferBlock(now, b, false, head.Seq)
 	}
 	return nil
 }
@@ -504,6 +560,14 @@ func (vc *VehicleCore) handleDismiss(now time.Duration, dm DismissMsg) {
 
 // handleEvacuation processes the IM's evacuation broadcast.
 func (vc *VehicleCore) handleEvacuation(now time.Duration, ea EvacuationAlert) []Out {
+	// The IM re-broadcasts alerts under resilience; only the first copy
+	// of each evacuation block is processed.
+	if vc.resilient() && ea.Block != nil {
+		if vc.seenEvacs[ea.Block.Seq] {
+			return nil
+		}
+		vc.seenEvacs[ea.Block.Seq] = true
+	}
 	// The alert names the suspects; their cached plans stop being
 	// authoritative for conflict verification (the new schedules route
 	// around where the suspects actually are, not where their plans
@@ -560,6 +624,15 @@ func (vc *VehicleCore) handleEvacuation(now time.Duration, ea EvacuationAlert) [
 func (vc *VehicleCore) handleGlobal(now time.Duration, gr GlobalReport) []Out {
 	if gr.Reporter == vc.id || vc.selfEvac {
 		return nil
+	}
+	// Retransmitted globals must not repeat the verification work (or
+	// double-count toward quorums, which are per-reporter maps anyway).
+	if vc.resilient() {
+		key := fmt.Sprintf("%d|%d|%d|%d", gr.Reporter, gr.Reason, gr.Suspect, gr.BlockSeq)
+		if vc.seenGlobals[key] {
+			return nil
+		}
+		vc.seenGlobals[key] = true
 	}
 	// Colluders ignore the defense traffic entirely.
 	if vc.mal != nil && vc.mal.VoteFalsely && vc.mal.IsAccomplice(gr.Reporter) {
@@ -656,8 +729,13 @@ func (vc *VehicleCore) recordIMGlobal(gr GlobalReport) {
 // neighborhood watch (Algorithm 2), report timeouts, and scheduled
 // protocol-level malice.
 func (vc *VehicleCore) Tick(now time.Duration, self plan.Status, neighbors []Neighbor) []Out {
-	if vc.auto.State() == VExited || vc.selfEvac {
+	if vc.auto.State() == VExited {
 		return nil
+	}
+	if vc.selfEvac {
+		// Self-evacuating vehicles leave the protocol, but keep
+		// re-broadcasting their global report under resilience.
+		return vc.globalResendTick(now)
 	}
 	var outs []Out
 	vc.lastNeighbors = make(map[plan.VehicleID]plan.Status, len(neighbors))
@@ -696,6 +774,13 @@ func (vc *VehicleCore) Tick(now time.Duration, self plan.Status, neighbors []Nei
 		vc.sink.emit(Event{At: now, Type: EvReportIgnored, Actor: vc.id, Subject: suspect, Info: "IM timeout"})
 		outs = append(outs, vc.enterSelfEvac(now, ReasonIMUnresponsive, 0, suspect)...)
 		return outs
+	}
+	// Retransmissions due this tick (missing blocks, pending report).
+	if vc.resilient() {
+		outs = append(outs, vc.resilienceTick(now)...)
+		if vc.selfEvac || vc.auto.State() == VExited {
+			return outs
+		}
 	}
 	// Neighborhood watch.
 	outs = append(outs, vc.watch(now, neighbors)...)
@@ -772,13 +857,19 @@ func (vc *VehicleCore) watch(now time.Duration, neighbors []Neighbor) []Out {
 		vc.cooldown[n.ID] = now + vc.cfg.ReportCooldown
 		_ = vc.auto.To(VReporting)
 		vc.sink.emit(Event{At: now, Type: EvReportSent, Actor: vc.id, Subject: n.ID})
-		outs = append(outs, Out{To: vnet.IMNode, Kind: KindIncident, Payload: IncidentReport{
+		ir := IncidentReport{
 			Reporter: vc.id,
 			Suspect:  n.ID,
 			Evidence: n.Status,
 			BlockSeq: seq,
 			At:       now,
-		}, Size: sizeIncident})
+		}
+		if vc.resilient() {
+			// Retransmit until the verdict arrives or IMTimeout fires.
+			vc.pendingReport = &ir
+			vc.reportRetry = vc.cfg.Resilience.newRetry(now)
+		}
+		outs = append(outs, Out{To: vnet.IMNode, Kind: KindIncident, Payload: ir, Size: sizeIncident})
 	}
 	return outs
 }

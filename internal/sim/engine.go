@@ -52,15 +52,27 @@ type Config struct {
 	// IMConfig / VehicleConfig tune the protocol cores.
 	IMConfig      nwade.IMConfig
 	VehicleConfig nwade.VehicleConfig
-	// Net tunes the VANET.
+	// Net tunes the VANET (including vnet.Config.Faults, the
+	// deterministic fault-injection layer).
 	Net vnet.Config
+	// Resilience turns on the protocol retransmission layer on both
+	// sides: vehicle gap re-requests and report retransmission
+	// (nwade.DefaultResilienceConfig) plus the IM's periodic head
+	// re-broadcast. Off by default — the paper's reliable-delivery
+	// assumption — so benign runs stay bit-identical.
+	Resilience bool
 	// KeyBits sizes the IM's signing key (default 2048; tests may use
 	// 1024 for speed).
 	KeyBits int
 }
 
-// normalize fills defaults.
-func (c Config) normalize() Config {
+// HeadRebroadcastDefault is the IM head re-broadcast period installed by
+// Config.Resilience when IMConfig.HeadRebroadcast is unset.
+const HeadRebroadcastDefault = 2 * time.Second
+
+// Normalize fills defaults (exported for symmetry with vnet.Config and
+// eval.Config).
+func (c Config) Normalize() Config {
 	if c.Duration <= 0 {
 		c.Duration = 2 * time.Minute
 	}
@@ -74,10 +86,22 @@ func (c Config) normalize() Config {
 		c.Scheduler = &sched.Reservation{}
 	}
 	if c.IMConfig.BatchWindow <= 0 {
+		hr := c.IMConfig.HeadRebroadcast
 		c.IMConfig = nwade.DefaultIMConfig()
+		c.IMConfig.HeadRebroadcast = hr
 	}
 	if c.VehicleConfig.SensingRadius <= 0 {
+		res := c.VehicleConfig.Resilience
 		c.VehicleConfig = nwade.DefaultVehicleConfig()
+		c.VehicleConfig.Resilience = res
+	}
+	if c.Resilience {
+		if !c.VehicleConfig.Resilience.Enabled {
+			c.VehicleConfig.Resilience = nwade.DefaultResilienceConfig()
+		}
+		if c.IMConfig.HeadRebroadcast <= 0 {
+			c.IMConfig.HeadRebroadcast = HeadRebroadcastDefault
+		}
 	}
 	if c.KeyBits == 0 {
 		c.KeyBits = chain.DefaultKeyBits
@@ -165,26 +189,57 @@ type Engine struct {
 	roles         attack.Roles
 	rolesAssigned bool
 	attackOnsets  map[plan.VehicleID]time.Duration
+	// violations records when each violator first executed its physical
+	// plan violation — ground truth for "did the attack materialize",
+	// which can differ from attackOnsets when the violator was already
+	// pulling over (self-evacuating) at its scheduled violation time.
+	violations map[plan.VehicleID]time.Duration
 
 	// deferred holds arrivals whose spawn point is still occupied by a
 	// queued vehicle (queue spill-back past the spawn location).
 	deferred []traffic.Arrival
 }
 
-// New builds an engine. The signer is generated here (slow for 2048-bit
-// keys) so callers can reuse engines' configs cheaply via NewWithSigner.
-func New(cfg Config) (*Engine, error) {
-	cfg = cfg.normalize()
-	signer, err := chain.NewSigner(cfg.KeyBits)
-	if err != nil {
-		return nil, fmt.Errorf("sim: %w", err)
-	}
-	return NewWithSigner(cfg, signer)
+// Option configures an Engine beyond its Config.
+type Option func(*options)
+
+type options struct {
+	signer *chain.Signer
+	faults *vnet.FaultConfig
 }
 
-// NewWithSigner builds an engine with a pre-generated signing key.
-func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
-	cfg = cfg.normalize()
+// WithSigner reuses a pre-generated signing key. Key generation is the
+// slow part of engine construction (especially at 2048 bits), so sweeps
+// share one signer across rounds.
+func WithSigner(s *chain.Signer) Option {
+	return func(o *options) { o.signer = s }
+}
+
+// WithFaults installs a network fault-injection profile (overrides
+// Config.Net.Faults).
+func WithFaults(fc vnet.FaultConfig) Option {
+	return func(o *options) { o.faults = &fc }
+}
+
+// New builds an engine. A signer is generated unless WithSigner provides
+// one.
+func New(cfg Config, opts ...Option) (*Engine, error) {
+	var o options
+	for _, fn := range opts {
+		fn(&o)
+	}
+	if o.faults != nil {
+		cfg.Net.Faults = *o.faults
+	}
+	signer := o.signer
+	if signer == nil {
+		var err error
+		signer, err = chain.NewSigner(cfg.Normalize().KeyBits)
+		if err != nil {
+			return nil, fmt.Errorf("sim: %w", err)
+		}
+	}
+	cfg = cfg.Normalize()
 	if cfg.Inter == nil {
 		return nil, fmt.Errorf("sim: no intersection configured")
 	}
@@ -195,6 +250,7 @@ func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
 		col:          metrics.NewCollector(),
 		bodies:       make(map[plan.VehicleID]*body),
 		attackOnsets: make(map[plan.VehicleID]time.Duration),
+		violations:   make(map[plan.VehicleID]time.Duration),
 		grid:         newSpatialGrid(cfg.VehicleConfig.SensingRadius),
 		// 45 m/s (~100 mph) bounds every motion mode, including the
 		// speeding violation's overshoot.
@@ -207,6 +263,13 @@ func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
 	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.col.Sink(), cfg.Scenario.IMMalice())
 	e.net.Register(vnet.IMNode)
 	return e, nil
+}
+
+// NewWithSigner builds an engine with a pre-generated signing key.
+//
+// Deprecated: use New(cfg, WithSigner(signer)) instead.
+func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
+	return New(cfg, WithSigner(signer))
 }
 
 // Collector exposes the run's metrics.
@@ -226,6 +289,18 @@ func (e *Engine) Roles() attack.Roles { return e.roles }
 func (e *Engine) AttackOnsets() map[plan.VehicleID]time.Duration {
 	out := make(map[plan.VehicleID]time.Duration, len(e.attackOnsets))
 	for k, v := range e.attackOnsets {
+		out[k] = v
+	}
+	return out
+}
+
+// Violations returns when each violator first physically deviated from
+// its plan. A violator scheduled to deviate (see AttackOnsets) that was
+// already self-evacuating never appears here: its attack never
+// materialized on the road.
+func (e *Engine) Violations() map[plan.VehicleID]time.Duration {
+	out := make(map[plan.VehicleID]time.Duration, len(e.violations))
+	for k, v := range e.violations {
 		out[k] = v
 	}
 	return out
@@ -252,14 +327,15 @@ func (e *Engine) Run() metrics.RunResult {
 		e.step()
 	}
 	return metrics.RunResult{
-		Scenario:   e.cfg.Scenario.Name,
-		Seed:       e.cfg.Seed,
-		Duration:   e.cfg.Duration,
-		Spawned:    e.col.Spawned,
-		Exited:     e.col.Exited,
-		Collisions: e.col.Collisions,
-		Net:        e.net.Stats(),
-		Collector:  e.col,
+		Scenario:    e.cfg.Scenario.Name,
+		Seed:        e.cfg.Seed,
+		Duration:    e.cfg.Duration,
+		Spawned:     e.col.Spawned,
+		Exited:      e.col.Exited,
+		Collisions:  e.col.Collisions,
+		Retransmits: e.col.Count(nwade.EvRetransmit),
+		Net:         e.net.Stats(),
+		Collector:   e.col,
 	}
 }
 
@@ -612,6 +688,9 @@ func (e *Engine) move(b *body, now time.Duration, dt float64) {
 			b.lat -= 1.2 * dt
 		}
 	case violating:
+		if _, seen := e.violations[b.id]; !seen {
+			e.violations[b.id] = now
+		}
 		e.violate(b, mal, now, dt)
 	case b.core.Plan() != nil:
 		// Benign with a plan: follow it exactly — unless collision

@@ -1,0 +1,77 @@
+package sim
+
+import (
+	"testing"
+
+	"nwade/internal/vnet"
+)
+
+// faultRefConfig is the zero-fault reference run degraded with the
+// all-faults profile and the resilience layer on.
+func faultRefConfig(t *testing.T) Config {
+	t.Helper()
+	cfg := zeroFaultRefConfig(t)
+	chaos, ok := vnet.FaultProfile("chaos")
+	if !ok {
+		t.Fatal("chaos profile missing")
+	}
+	cfg.Net.Faults = chaos
+	cfg.Resilience = true
+	return cfg
+}
+
+// TestFaultDeterminism: two same-seed runs under the full fault profile
+// must behave identically, event for event — the fault model draws from
+// its own seeded RNG, never wall clock or map order.
+func TestFaultDeterminism(t *testing.T) {
+	digest := func() string {
+		e, err := New(faultRefConfig(t))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return runDigest(t, e.Run())
+	}
+	a, b := digest(), digest()
+	if a != b {
+		t.Fatalf("same-seed fault runs diverged:\n a %s\n b %s", a, b)
+	}
+}
+
+// TestFaultsPerturbTheRun guards against the fault layer silently doing
+// nothing: the chaos profile must actually change the run relative to the
+// clean golden reference.
+func TestFaultsPerturbTheRun(t *testing.T) {
+	e, err := New(faultRefConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if got := runDigest(t, res); got == zeroFaultGolden {
+		t.Fatal("chaos run digests equal to the clean reference")
+	}
+	if res.Net.FaultDropped == 0 {
+		t.Error("chaos profile dropped no packets")
+	}
+	if res.Retransmits == 0 {
+		t.Error("resilience layer never retransmitted under chaos")
+	}
+}
+
+// TestSeedChangesFaultSchedule: a different seed must yield a different
+// fault schedule (and thus a different run).
+func TestSeedChangesFaultSchedule(t *testing.T) {
+	cfg := faultRefConfig(t)
+	e1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := cfg
+	cfg2.Seed = cfg.Seed + 1
+	e2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if runDigest(t, e1.Run()) == runDigest(t, e2.Run()) {
+		t.Fatal("different seeds digested identically under faults")
+	}
+}

@@ -1,0 +1,69 @@
+package sim
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"testing"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/metrics"
+)
+
+// runDigest hashes everything observable about a finished run: the full
+// event log, the traffic counters, and the per-kind network totals. Two
+// runs digest equal iff they behaved identically.
+func runDigest(t *testing.T, res metrics.RunResult) string {
+	t.Helper()
+	h := sha256.New()
+	for _, e := range res.Collector.Events() {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s\n", e.At, e.Type, e.Actor, e.Subject, e.Info)
+	}
+	fmt.Fprintf(h, "spawned=%d exited=%d collisions=%d\n", res.Spawned, res.Exited, res.Collisions)
+	fmt.Fprintf(h, "delivered=%d dropped=%d packets=%d\n",
+		res.Net.Delivered, res.Net.Dropped, res.Net.TotalPackets())
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// zeroFaultGolden is the digest of the reference run below, recorded on
+// the pre-fault-layer engine. The fault-injection layer must leave the
+// benign zero-fault path bit-identical: if this test fails, the fault
+// model consumed randomness (or altered delivery) on a path it should
+// never touch.
+const zeroFaultGolden = "6d5b9e4e6fcb4da030067409d5e1de5df2bfaae641bd86a5818858c58e67aa6c"
+
+func zeroFaultRefConfig(t *testing.T) Config {
+	t.Helper()
+	inter, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, ok := attack.ByName("V1", 20*time.Second)
+	if !ok {
+		t.Fatal("unknown scenario V1")
+	}
+	return Config{
+		Inter:      inter,
+		Duration:   40 * time.Second,
+		RatePerMin: 80,
+		Seed:       42,
+		Scenario:   sc,
+		NWADE:      true,
+		KeyBits:    1024,
+	}
+}
+
+// TestZeroFaultRegression asserts the reference run still digests to the
+// golden value with the fault layer compiled in.
+func TestZeroFaultRegression(t *testing.T) {
+	e, err := New(zeroFaultRefConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runDigest(t, e.Run())
+	if got != zeroFaultGolden {
+		t.Fatalf("zero-fault run digest changed:\n got  %s\n want %s", got, zeroFaultGolden)
+	}
+}

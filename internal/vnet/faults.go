@@ -1,0 +1,252 @@
+// Deterministic network fault injection. The paper's Fig. 7 degrades the
+// network with uniform packet loss only; real V2X links also suffer bursty
+// loss, latency jitter, duplication, reordering, asymmetric link failures
+// and outright partitions. FaultModel injects all of those from a single
+// seeded RNG, so a faulty run is exactly reproducible from its seed and a
+// zero-valued FaultConfig is exactly the fault-free network: no random
+// draws are consumed for disabled features, which keeps the benign path
+// bit-identical to a build without the fault layer.
+package vnet
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+	"time"
+)
+
+// BurstConfig parameterises a two-state Gilbert–Elliott loss channel: the
+// channel flips between a good and a bad state with the given per-packet
+// transition probabilities, and drops packets with a state-dependent rate.
+// Mean loss is LossBad·πbad + LossGood·πgood with πbad = PEnterBad /
+// (PEnterBad + PExitBad); small transition probabilities at the same mean
+// loss produce longer bursts.
+type BurstConfig struct {
+	// PEnterBad is the good→bad transition probability per packet event.
+	PEnterBad float64
+	// PExitBad is the bad→good transition probability per packet event.
+	PExitBad float64
+	// LossGood is the drop probability while the channel is good.
+	LossGood float64
+	// LossBad is the drop probability while the channel is bad.
+	LossBad float64
+}
+
+// enabled reports whether the burst channel does anything.
+func (b BurstConfig) enabled() bool {
+	return b.PEnterBad > 0 || b.LossGood > 0 || b.LossBad > 0
+}
+
+// LinkRule drops every packet on one directional link. "*" matches any
+// node on either side, so {From: "v7", To: "*"} mutes v7's transmitter
+// and {From: "*", To: "v7"} breaks its receiver.
+type LinkRule struct {
+	From NodeID
+	To   NodeID
+}
+
+// matches reports whether a delivery from→to falls under the rule.
+func (r LinkRule) matches(from, to NodeID) bool {
+	return (r.From == Broadcast || r.From == from) && (r.To == Broadcast || r.To == to)
+}
+
+// Partition isolates a set of nodes during [Start, End): packets crossing
+// the cut — exactly one endpoint inside Nodes — are dropped; traffic
+// wholly inside or wholly outside the set is unaffected. Partition{Start:
+// 20s, End: 30s, Nodes: [im]} makes the IM unreachable from 20s to 30s.
+type Partition struct {
+	Start time.Duration
+	End   time.Duration
+	Nodes []NodeID
+}
+
+// active reports whether the partition window covers now.
+func (p Partition) active(now time.Duration) bool {
+	return now >= p.Start && now < p.End
+}
+
+// contains reports whether the node is on the isolated side.
+func (p Partition) contains(id NodeID) bool {
+	for _, n := range p.Nodes {
+		if n == id {
+			return true
+		}
+	}
+	return false
+}
+
+// FaultConfig declares which faults to inject. The zero value injects
+// nothing and is guaranteed not to perturb the fault-free delivery
+// schedule or random stream.
+type FaultConfig struct {
+	// Loss is an additional uniform per-receiver drop probability, on
+	// top of Config.DropRate (which predates the fault layer and keeps
+	// its own RNG stream for backward compatibility).
+	Loss float64
+	// Burst is the Gilbert–Elliott burst-loss channel.
+	Burst BurstConfig
+	// Jitter adds a uniform random delay in [0, Jitter) to each
+	// delivery, on top of the fixed one-hop latency.
+	Jitter time.Duration
+	// DupProb duplicates a delivery with this probability; the copy is
+	// delivered after an extra delay in [0, Jitter) (or immediately at
+	// zero jitter), so duplicates may also arrive out of order.
+	DupProb float64
+	// ReorderProb holds a delivery back by ReorderDelay with this
+	// probability, letting later transmissions overtake it.
+	ReorderProb  float64
+	ReorderDelay time.Duration
+	// Links are directional kill rules, applied unconditionally.
+	Links []LinkRule
+	// Partitions are timed network splits.
+	Partitions []Partition
+}
+
+// Enabled reports whether any fault is configured.
+func (c FaultConfig) Enabled() bool {
+	return c.Loss > 0 || c.Burst.enabled() || c.Jitter > 0 || c.DupProb > 0 ||
+		c.ReorderProb > 0 || len(c.Links) > 0 || len(c.Partitions) > 0
+}
+
+// fate is the fault layer's verdict on one delivery.
+type fate struct {
+	drop     bool
+	extra    time.Duration // added to the one-hop latency
+	dup      bool
+	dupExtra time.Duration
+}
+
+// FaultModel is the seeded runtime of a FaultConfig. It draws from its
+// own RNG — never the network's — in a fixed per-delivery order, so two
+// runs with the same seed produce the identical delivery schedule. Not
+// safe for concurrent use on its own; the owning Network serialises calls
+// under its mutex.
+type FaultModel struct {
+	cfg FaultConfig
+	rng *rand.Rand
+	bad bool // Gilbert–Elliott channel state
+}
+
+// NewFaultModel builds a fault model; it returns nil when cfg injects
+// nothing, and a nil *FaultModel judges every delivery as clean.
+func NewFaultModel(cfg FaultConfig, seed int64) *FaultModel {
+	if !cfg.Enabled() {
+		return nil
+	}
+	return &FaultModel{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+}
+
+// judge decides one delivery's fate. Draw order is fixed — burst, loss,
+// jitter, reorder, duplication — and disabled features draw nothing, so
+// enabling one fault never shifts another's random stream structure
+// within a run.
+func (fm *FaultModel) judge(now time.Duration, from, to NodeID) fate {
+	if fm == nil {
+		return fate{}
+	}
+	c := fm.cfg
+	for _, r := range c.Links {
+		if r.matches(from, to) {
+			return fate{drop: true}
+		}
+	}
+	for _, p := range c.Partitions {
+		if p.active(now) && p.contains(from) != p.contains(to) {
+			return fate{drop: true}
+		}
+	}
+	if c.Burst.enabled() {
+		// Advance the channel, then draw the state-dependent loss.
+		if fm.bad {
+			if fm.rng.Float64() < c.Burst.PExitBad {
+				fm.bad = false
+			}
+		} else if fm.rng.Float64() < c.Burst.PEnterBad {
+			fm.bad = true
+		}
+		rate := c.Burst.LossGood
+		if fm.bad {
+			rate = c.Burst.LossBad
+		}
+		if rate > 0 && fm.rng.Float64() < rate {
+			return fate{drop: true}
+		}
+	}
+	if c.Loss > 0 && fm.rng.Float64() < c.Loss {
+		return fate{drop: true}
+	}
+	var f fate
+	if c.Jitter > 0 {
+		f.extra = time.Duration(fm.rng.Int63n(int64(c.Jitter)))
+	}
+	if c.ReorderProb > 0 && fm.rng.Float64() < c.ReorderProb {
+		f.extra += c.ReorderDelay
+	}
+	if c.DupProb > 0 && fm.rng.Float64() < c.DupProb {
+		f.dup = true
+		if c.Jitter > 0 {
+			f.dupExtra = time.Duration(fm.rng.Int63n(int64(c.Jitter)))
+		}
+	}
+	return f
+}
+
+// --- Named fault profiles ---------------------------------------------
+
+// faultProfiles are the CLI-selectable degraded-network settings. The
+// burst profiles are tuned to ~15% mean loss so they compare directly
+// with loss15; partition windows straddle the evaluation's default
+// attack time (25 s).
+var faultProfiles = map[string]FaultConfig{
+	"none":   {},
+	"loss5":  {Loss: 0.05},
+	"loss15": {Loss: 0.15},
+	// πbad = 0.02/(0.02+0.15) ≈ 0.118; mean loss ≈ 0.118·0.85 + 0.882·0.06 ≈ 15%.
+	"burst15": {Burst: BurstConfig{PEnterBad: 0.02, PExitBad: 0.15, LossGood: 0.06, LossBad: 0.85}},
+	"jitter":  {Jitter: 60 * time.Millisecond, ReorderProb: 0.10, ReorderDelay: 120 * time.Millisecond},
+	"dup":     {DupProb: 0.15, Jitter: 20 * time.Millisecond},
+	"partition": {Partitions: []Partition{
+		{Start: 20 * time.Second, End: 30 * time.Second, Nodes: []NodeID{IMNode}},
+	}},
+	"chaos": {
+		Loss:         0.05,
+		Burst:        BurstConfig{PEnterBad: 0.01, PExitBad: 0.20, LossGood: 0.02, LossBad: 0.70},
+		Jitter:       40 * time.Millisecond,
+		DupProb:      0.05,
+		ReorderProb:  0.05,
+		ReorderDelay: 90 * time.Millisecond,
+		Partitions: []Partition{
+			{Start: 28 * time.Second, End: 33 * time.Second, Nodes: []NodeID{IMNode}},
+		},
+	},
+}
+
+// FaultProfile resolves a named degraded-network profile.
+func FaultProfile(name string) (FaultConfig, bool) {
+	c, ok := faultProfiles[name]
+	return c, ok
+}
+
+// FaultProfileNames lists the available profiles, sorted.
+func FaultProfileNames() []string {
+	out := make([]string, 0, len(faultProfiles))
+	for k := range faultProfiles {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ParseFaultProfile resolves a profile name with a helpful error.
+func ParseFaultProfile(name string) (FaultConfig, error) {
+	if name == "" {
+		return FaultConfig{}, nil
+	}
+	c, ok := FaultProfile(name)
+	if !ok {
+		return FaultConfig{}, fmt.Errorf("vnet: unknown fault profile %q (have %s)",
+			name, strings.Join(FaultProfileNames(), ", "))
+	}
+	return c, nil
+}

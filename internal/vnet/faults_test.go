@@ -1,0 +1,272 @@
+package vnet
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func TestFaultModelDisabled(t *testing.T) {
+	if fm := NewFaultModel(FaultConfig{}, 7); fm != nil {
+		t.Fatalf("zero config built a model: %+v", fm)
+	}
+	var fm *FaultModel
+	f := fm.judge(time.Second, "a", "b")
+	if f.drop || f.dup || f.extra != 0 || f.dupExtra != 0 {
+		t.Errorf("nil model fate = %+v, want clean", f)
+	}
+}
+
+// TestLossStatistics drives many deliveries through uniform and burst
+// channels and checks the realised drop rate against the configured mean.
+func TestLossStatistics(t *testing.T) {
+	const n = 40000
+	cases := []struct {
+		name string
+		cfg  FaultConfig
+		mean float64 // expected drop fraction
+		tol  float64
+	}{
+		{"uniform5", FaultConfig{Loss: 0.05}, 0.05, 0.01},
+		{"uniform15", FaultConfig{Loss: 0.15}, 0.15, 0.01},
+		// πbad = 0.02/(0.02+0.15) ≈ 0.1176;
+		// mean = 0.1176·0.85 + 0.8824·0.06 ≈ 0.153.
+		{"burst15", FaultConfig{Burst: BurstConfig{
+			PEnterBad: 0.02, PExitBad: 0.15, LossGood: 0.06, LossBad: 0.85,
+		}}, 0.153, 0.03},
+		{"burstPure", FaultConfig{Burst: BurstConfig{
+			PEnterBad: 0.05, PExitBad: 0.25, LossGood: 0, LossBad: 1.0,
+		}}, 0.05 / (0.05 + 0.25), 0.03},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fm := NewFaultModel(tc.cfg, 11)
+			var drops int
+			for i := 0; i < n; i++ {
+				if fm.judge(0, "a", "b").drop {
+					drops++
+				}
+			}
+			got := float64(drops) / n
+			if math.Abs(got-tc.mean) > tc.tol {
+				t.Errorf("drop rate = %.4f, want %.3f ± %.3f", got, tc.mean, tc.tol)
+			}
+		})
+	}
+}
+
+// TestBurstsAreBursty checks the defining property of the Gilbert–Elliott
+// channel: at the same mean loss, drops clump into longer runs than under
+// uniform loss.
+func TestBurstsAreBursty(t *testing.T) {
+	const n = 40000
+	meanRun := func(cfg FaultConfig) float64 {
+		fm := NewFaultModel(cfg, 5)
+		var runs, dropped int
+		inRun := false
+		for i := 0; i < n; i++ {
+			if fm.judge(0, "a", "b").drop {
+				dropped++
+				if !inRun {
+					runs++
+					inRun = true
+				}
+			} else {
+				inRun = false
+			}
+		}
+		if runs == 0 {
+			t.Fatal("no drops observed")
+		}
+		return float64(dropped) / float64(runs)
+	}
+	uniform := meanRun(FaultConfig{Loss: 0.15})
+	burst := meanRun(FaultConfig{Burst: BurstConfig{
+		PEnterBad: 0.02, PExitBad: 0.15, LossGood: 0.06, LossBad: 0.85,
+	}})
+	if burst <= uniform*1.5 {
+		t.Errorf("burst mean run %.2f not clearly longer than uniform %.2f", burst, uniform)
+	}
+}
+
+func TestLinkRules(t *testing.T) {
+	cases := []struct {
+		name     string
+		rule     LinkRule
+		from, to NodeID
+		drop     bool
+	}{
+		{"muteTx matching", LinkRule{From: "v7", To: Broadcast}, "v7", "im", true},
+		{"muteTx other sender", LinkRule{From: "v7", To: Broadcast}, "v8", "im", false},
+		{"deafRx matching", LinkRule{From: Broadcast, To: "v7"}, "im", "v7", true},
+		{"deafRx other receiver", LinkRule{From: Broadcast, To: "v7"}, "im", "v8", false},
+		{"directional", LinkRule{From: "a", To: "b"}, "b", "a", false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fm := NewFaultModel(FaultConfig{Links: []LinkRule{tc.rule}}, 1)
+			if got := fm.judge(0, tc.from, tc.to).drop; got != tc.drop {
+				t.Errorf("judge(%s→%s) drop = %v, want %v", tc.from, tc.to, got, tc.drop)
+			}
+		})
+	}
+}
+
+func TestPartitionWindows(t *testing.T) {
+	cfg := FaultConfig{Partitions: []Partition{
+		{Start: 20 * time.Second, End: 30 * time.Second, Nodes: []NodeID{IMNode}},
+	}}
+	cases := []struct {
+		name     string
+		at       time.Duration
+		from, to NodeID
+		drop     bool
+	}{
+		{"before window", 19*time.Second + 999*time.Millisecond, "v1", IMNode, false},
+		{"window start inclusive", 20 * time.Second, "v1", IMNode, true},
+		{"mid window to IM", 25 * time.Second, "v1", IMNode, true},
+		{"mid window from IM", 25 * time.Second, IMNode, "v1", true},
+		{"mid window vehicle to vehicle", 25 * time.Second, "v1", "v2", false},
+		{"window end exclusive", 30 * time.Second, "v1", IMNode, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fm := NewFaultModel(cfg, 1)
+			if got := fm.judge(tc.at, tc.from, tc.to).drop; got != tc.drop {
+				t.Errorf("judge(%v, %s→%s) drop = %v, want %v", tc.at, tc.from, tc.to, got, tc.drop)
+			}
+		})
+	}
+}
+
+// TestSameSeedSameSchedule is the determinism contract: two models with
+// the same config and seed hand every delivery the identical fate.
+func TestSameSeedSameSchedule(t *testing.T) {
+	cfg, _ := FaultProfile("chaos")
+	a := NewFaultModel(cfg, 42)
+	b := NewFaultModel(cfg, 42)
+	other := NewFaultModel(cfg, 43)
+	diverged := false
+	for i := 0; i < 5000; i++ {
+		at := time.Duration(i) * 10 * time.Millisecond
+		fa := a.judge(at, "v1", IMNode)
+		fb := b.judge(at, "v1", IMNode)
+		if fa != fb {
+			t.Fatalf("delivery %d: same seed diverged: %+v vs %+v", i, fa, fb)
+		}
+		if fa != other.judge(at, "v1", IMNode) {
+			diverged = true
+		}
+	}
+	if !diverged {
+		t.Error("different seeds produced the identical 5000-delivery schedule")
+	}
+}
+
+func TestJitterAndDuplication(t *testing.T) {
+	cfg := FaultConfig{Jitter: 50 * time.Millisecond, DupProb: 1.0}
+	fm := NewFaultModel(cfg, 9)
+	sawExtra := false
+	for i := 0; i < 200; i++ {
+		f := fm.judge(0, "a", "b")
+		if f.drop {
+			t.Fatalf("delivery %d dropped without loss configured", i)
+		}
+		if !f.dup {
+			t.Fatalf("delivery %d not duplicated at DupProb=1", i)
+		}
+		if f.extra < 0 || f.extra >= cfg.Jitter || f.dupExtra < 0 || f.dupExtra >= cfg.Jitter {
+			t.Fatalf("delivery %d jitter out of range: %+v", i, f)
+		}
+		if f.extra > 0 {
+			sawExtra = true
+		}
+	}
+	if !sawExtra {
+		t.Error("no delivery drew nonzero jitter in 200 tries")
+	}
+}
+
+func TestReorderDelay(t *testing.T) {
+	cfg := FaultConfig{ReorderProb: 1.0, ReorderDelay: 120 * time.Millisecond}
+	fm := NewFaultModel(cfg, 3)
+	f := fm.judge(0, "a", "b")
+	if f.extra != cfg.ReorderDelay {
+		t.Errorf("extra = %v, want %v", f.extra, cfg.ReorderDelay)
+	}
+}
+
+// TestNetworkFaultStats exercises the fault layer end to end through the
+// Network: drops are tallied as FaultDropped, duplicates as Duplicated
+// and delivered twice.
+func TestNetworkFaultStats(t *testing.T) {
+	t.Run("loss", func(t *testing.T) {
+		n := New(Config{Latency: 10 * time.Millisecond, Faults: FaultConfig{Loss: 1.0}}, 1, nil)
+		n.Register("a")
+		n.Register("b")
+		ok, err := n.Unicast(0, "a", "b", "ping", nil, 8)
+		if err != nil || ok {
+			t.Fatalf("Unicast = %v, %v; want dropped", ok, err)
+		}
+		if got := n.Poll(time.Second); len(got) != 0 {
+			t.Errorf("delivered %d packets at Loss=1", len(got))
+		}
+		st := n.Stats()
+		if st.FaultDropped != 1 || st.Dropped != 1 || st.Delivered != 0 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+	t.Run("duplication", func(t *testing.T) {
+		n := New(Config{Latency: 10 * time.Millisecond, Faults: FaultConfig{DupProb: 1.0}}, 1, nil)
+		n.Register("a")
+		n.Register("b")
+		if ok, err := n.Unicast(0, "a", "b", "ping", nil, 8); err != nil || !ok {
+			t.Fatalf("Unicast = %v, %v", ok, err)
+		}
+		if got := n.Poll(time.Second); len(got) != 2 {
+			t.Fatalf("delivered %d copies at DupProb=1, want 2", len(got))
+		}
+		st := n.Stats()
+		if st.Duplicated != 1 || st.Delivered != 2 {
+			t.Errorf("stats = %+v", st)
+		}
+	})
+	t.Run("partition", func(t *testing.T) {
+		cfg := Config{Latency: 10 * time.Millisecond, Faults: FaultConfig{Partitions: []Partition{
+			{Start: 0, End: time.Second, Nodes: []NodeID{"b"}},
+		}}}
+		n := New(cfg, 1, nil)
+		n.Register("a")
+		n.Register("b")
+		if ok, _ := n.Unicast(500*time.Millisecond, "a", "b", "ping", nil, 8); ok {
+			t.Error("delivery crossed an active partition")
+		}
+		if ok, _ := n.Unicast(time.Second, "a", "b", "ping", nil, 8); !ok {
+			t.Error("delivery dropped after the partition healed")
+		}
+	})
+}
+
+func TestFaultProfiles(t *testing.T) {
+	for _, name := range FaultProfileNames() {
+		cfg, ok := FaultProfile(name)
+		if !ok {
+			t.Fatalf("FaultProfile(%q) missing", name)
+		}
+		if name == "none" {
+			if cfg.Enabled() {
+				t.Error("profile none is enabled")
+			}
+			continue
+		}
+		if !cfg.Enabled() {
+			t.Errorf("profile %q is a no-op", name)
+		}
+	}
+	if _, err := ParseFaultProfile("bogus"); err == nil {
+		t.Error("ParseFaultProfile accepted an unknown name")
+	}
+	if cfg, err := ParseFaultProfile(""); err != nil || cfg.Enabled() {
+		t.Errorf("empty profile = %+v, %v; want clean", cfg, err)
+	}
+}

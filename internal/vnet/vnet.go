@@ -61,6 +61,11 @@ type Config struct {
 	CommRadius float64
 	// DropRate is the per-receiver probability of losing a packet.
 	DropRate float64
+	// Faults configures the deterministic fault-injection layer (burst
+	// loss, jitter, duplication, reordering, link kills, partitions).
+	// The zero value injects nothing and leaves delivery bit-identical
+	// to a network without the fault layer.
+	Faults FaultConfig
 }
 
 // Normalize fills defaults.
@@ -82,8 +87,14 @@ type Locator func(NodeID) (geom.Vec2, bool)
 type Stats struct {
 	Packets   map[string]int // transmissions per kind
 	Bytes     map[string]int
-	Dropped   int // per-receiver losses
+	Dropped   int // per-receiver losses (all causes)
 	Delivered int // per-receiver deliveries
+	// FaultDropped counts the subset of Dropped caused by the fault
+	// layer (burst loss, link kills, partitions, uniform fault loss).
+	FaultDropped int
+	// Duplicated counts extra delivery copies injected by the fault
+	// layer.
+	Duplicated int
 }
 
 // TotalPackets sums transmissions over all kinds.
@@ -100,6 +111,7 @@ type Network struct {
 	mu      sync.Mutex
 	cfg     Config
 	rng     *rand.Rand
+	fm      *FaultModel
 	locator Locator
 	nodes   map[NodeID]bool
 	queue   deliveryHeap
@@ -108,10 +120,14 @@ type Network struct {
 }
 
 // New creates a network. locator may be nil, which disables radius checks.
+// The fault model, when configured, draws from its own RNG stream (derived
+// from seed) so the legacy DropRate stream is undisturbed.
 func New(cfg Config, seed int64, locator Locator) *Network {
+	cfg = cfg.Normalize()
 	return &Network{
-		cfg:     cfg.Normalize(),
+		cfg:     cfg,
 		rng:     rand.New(rand.NewSource(seed)),
+		fm:      NewFaultModel(cfg.Faults, seed^0x5eedfa17),
 		locator: locator,
 		nodes:   make(map[NodeID]bool),
 		stats: Stats{
@@ -168,11 +184,30 @@ func (n *Network) Unicast(now time.Duration, from, to NodeID, kind string, paylo
 		n.stats.Dropped++
 		return false, nil
 	}
-	n.push(Delivery{To: to, Msg: Message{
+	f := n.fm.judge(now, from, to)
+	if f.drop {
+		n.stats.Dropped++
+		n.stats.FaultDropped++
+		return false, nil
+	}
+	n.deliverCopies(f, Delivery{To: to, Msg: Message{
 		From: from, To: to, Kind: kind, Payload: payload, Size: size,
 		Sent: now, Deliver: now + n.cfg.Latency,
 	}})
 	return true, nil
+}
+
+// deliverCopies enqueues a judged delivery plus any fault-injected
+// duplicate. Caller holds the lock.
+func (n *Network) deliverCopies(f fate, d Delivery) {
+	d.Msg.Deliver += f.extra
+	n.push(d)
+	if f.dup {
+		n.stats.Duplicated++
+		dup := d
+		dup.Msg.Deliver += f.dupExtra
+		n.push(dup)
+	}
 }
 
 // BroadcastMsg transmits one packet heard by every registered node within
@@ -198,7 +233,13 @@ func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payl
 			n.stats.Dropped++
 			continue
 		}
-		n.push(Delivery{To: id, Msg: Message{
+		f := n.fm.judge(now, from, id)
+		if f.drop {
+			n.stats.Dropped++
+			n.stats.FaultDropped++
+			continue
+		}
+		n.deliverCopies(f, Delivery{To: id, Msg: Message{
 			From: from, To: Broadcast, Kind: kind, Payload: payload, Size: size,
 			Sent: now, Deliver: now + n.cfg.Latency,
 		}})
@@ -249,10 +290,12 @@ func (n *Network) Stats() Stats {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	out := Stats{
-		Packets:   make(map[string]int, len(n.stats.Packets)),
-		Bytes:     make(map[string]int, len(n.stats.Bytes)),
-		Dropped:   n.stats.Dropped,
-		Delivered: n.stats.Delivered,
+		Packets:      make(map[string]int, len(n.stats.Packets)),
+		Bytes:        make(map[string]int, len(n.stats.Bytes)),
+		Dropped:      n.stats.Dropped,
+		Delivered:    n.stats.Delivered,
+		FaultDropped: n.stats.FaultDropped,
+		Duplicated:   n.stats.Duplicated,
 	}
 	for k, v := range n.stats.Packets {
 		out.Packets[k] = v
