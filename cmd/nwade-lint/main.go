@@ -1,0 +1,128 @@
+// nwade-lint runs the repository's determinism & correctness analyzer
+// suite (internal/analysis) over package patterns, printing one
+// "file:line: [analyzer] message" diagnostic per finding and exiting
+// nonzero when any survive. Stdlib only: packages are type-checked with
+// go/parser + go/types against GOROOT source, so the tool needs no
+// module downloads and go.mod stays dependency-free.
+//
+// Usage:
+//
+//	go run ./cmd/nwade-lint ./...
+//	go run ./cmd/nwade-lint ./internal/nwade ./internal/eval/...
+//
+// Suppression: //lint:ignore <analyzer> <reason> on the offending line
+// or the line directly above it. The reason is mandatory. DESIGN.md §9
+// documents every rule.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"nwade/internal/analysis"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: nwade-lint [packages]\n\n"+
+			"Patterns: ./... (module tree), dir, dir/... — relative to the module root.\n\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+
+	analyzers := analysis.Default()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	root, err := findModuleRoot()
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	var dirs []string
+	seen := make(map[string]bool)
+	for _, pat := range patterns {
+		expanded, err := expand(loader, root, pat)
+		if err != nil {
+			fatal(err)
+		}
+		for _, d := range expanded {
+			if !seen[d] {
+				seen[d] = true
+				dirs = append(dirs, d)
+			}
+		}
+	}
+
+	diags, err := analysis.LintDirs(loader, dirs, analyzers)
+	if err != nil {
+		fatal(err)
+	}
+	for _, d := range diags {
+		rel := d
+		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
+			rel.Pos.Filename = r
+		}
+		fmt.Println(rel)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "nwade-lint: %d finding(s)\n", len(diags))
+		os.Exit(1)
+	}
+}
+
+// expand resolves one package pattern to directories.
+func expand(l *analysis.Loader, root, pat string) ([]string, error) {
+	base, recursive := pat, false
+	if rest, ok := strings.CutSuffix(pat, "/..."); ok {
+		base, recursive = rest, true
+	}
+	if base == "." || base == "" {
+		base = root
+	} else if !filepath.IsAbs(base) {
+		base = filepath.Join(root, base)
+	}
+	if recursive {
+		return l.FindPackages(base)
+	}
+	return []string{base}, nil
+}
+
+// findModuleRoot walks up from the working directory to the go.mod.
+func findModuleRoot() (string, error) {
+	dir, err := os.Getwd()
+	if err != nil {
+		return "", err
+	}
+	for {
+		if _, err := os.Stat(filepath.Join(dir, "go.mod")); err == nil {
+			return dir, nil
+		}
+		parent := filepath.Dir(dir)
+		if parent == dir {
+			return "", fmt.Errorf("nwade-lint: no go.mod above %s", dir)
+		}
+		dir = parent
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "nwade-lint:", err)
+	os.Exit(2)
+}

@@ -1,0 +1,147 @@
+// Package analysis is a zero-dependency static-analysis suite guarding
+// the repository's determinism contract: every paper metric rests on
+// bit-identical seeded replays (see the golden-digest regression tests),
+// so wall-clock reads, global RNG draws, order-sensitive map iteration,
+// exact float comparison, and silently dropped errors are mechanically
+// banned. cmd/nwade-lint is the CLI front end; DESIGN.md §9 documents
+// each rule and its suppression story.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named rule. Run inspects a package and reports
+// findings through the pass.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass)
+}
+
+// Pass hands one package to one analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Pkg      *Package
+	diags    *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:      p.Pkg.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the canonical "file:line: [name] message" form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Analyzer, d.Message)
+}
+
+// ignoreRe matches suppression directives: //lint:ignore <analyzer> <reason>.
+// The reason is mandatory — an unexplained suppression is itself a finding.
+var ignoreRe = regexp.MustCompile(`^//lint:ignore\s+(\S+)\s*(.*)$`)
+
+// ignoreKey locates one suppression: analyzer name + file line.
+type ignoreKey struct {
+	analyzer string
+	file     string
+	line     int
+}
+
+// RunPackage applies the analyzers to one loaded package and returns the
+// surviving diagnostics sorted by position. A //lint:ignore directive on
+// the offending line, or on the line directly above it, suppresses that
+// analyzer's findings there.
+func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+	}
+	ignores := make(map[ignoreKey]bool)
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := ignoreRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				if strings.TrimSpace(m[2]) == "" {
+					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
+						Message: fmt.Sprintf("lint:ignore %s without a reason", m[1])})
+					continue
+				}
+				ignores[ignoreKey{m[1], pos.Filename, pos.Line}] = true
+			}
+		}
+	}
+	out := diags[:0]
+	for _, d := range diags {
+		if ignores[ignoreKey{d.Analyzer, d.Pos.Filename, d.Pos.Line}] ||
+			ignores[ignoreKey{d.Analyzer, d.Pos.Filename, d.Pos.Line - 1}] {
+			continue
+		}
+		out = append(out, d)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Pos.Filename != out[j].Pos.Filename {
+			return out[i].Pos.Filename < out[j].Pos.Filename
+		}
+		if out[i].Pos.Line != out[j].Pos.Line {
+			return out[i].Pos.Line < out[j].Pos.Line
+		}
+		return out[i].Analyzer < out[j].Analyzer
+	})
+	return out
+}
+
+// LintDirs loads every directory and runs the analyzers, concatenating
+// the per-package diagnostics (already sorted within a package).
+func LintDirs(l *Loader, dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, dir := range dirs {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return diags, err
+		}
+		diags = append(diags, RunPackage(pkg, analyzers)...)
+	}
+	return diags, nil
+}
+
+// Default returns the production analyzer set with this repository's
+// configuration. The determinism rules apply to the simulation core; the
+// error-discipline rule applies everywhere.
+func Default() []*Analyzer {
+	return []*Analyzer{
+		NewNoDeterminism(DefaultNoDeterminismConfig()),
+		NewMapRange(DefaultMapRangeConfig()),
+		NewFloatEq(DefaultFloatEqConfig()),
+		NewErrDrop(DefaultErrDropConfig()),
+	}
+}
+
+// pkgPathOf resolves an identifier that names an imported package,
+// giving its import path ("" when id is not a package qualifier).
+func (p *Pass) pkgPathOf(id *ast.Ident) string {
+	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+		return pn.Imported().Path()
+	}
+	return ""
+}

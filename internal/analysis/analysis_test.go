@@ -1,0 +1,109 @@
+package analysis
+
+import (
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// lintSource type-checks one throwaway single-file module and runs the
+// nodeterminism analyzer (unrestricted) over it — the smallest harness
+// that exercises the directive machinery end to end.
+func lintSource(t *testing.T, src string) []Diagnostic {
+	t.Helper()
+	dir := t.TempDir()
+	files := map[string]string{
+		"go.mod": "module fixture\n\ngo 1.22\n",
+		"p.go":   src,
+	}
+	for name, content := range files {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	l, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, err := l.LoadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return RunPackage(pkg, []*Analyzer{NewNoDeterminism(NoDeterminismConfig{})})
+}
+
+func TestIgnoreDirectiveSuppressesLineBelow(t *testing.T) {
+	diags := lintSource(t, `package p
+
+import "time"
+
+//lint:ignore nodeterminism the fixture needs a wall-clock read
+var T = time.Now()
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestIgnoreDirectiveSuppressesSameLine(t *testing.T) {
+	diags := lintSource(t, `package p
+
+import "time"
+
+var T = time.Now() //lint:ignore nodeterminism the fixture needs a wall-clock read
+`)
+	if len(diags) != 0 {
+		t.Fatalf("want no diagnostics, got %v", diags)
+	}
+}
+
+func TestIgnoreWithoutReasonIsItselfAFinding(t *testing.T) {
+	diags := lintSource(t, `package p
+
+import "time"
+
+//lint:ignore nodeterminism
+var T = time.Now()
+`)
+	var sawDirective, sawFinding bool
+	for _, d := range diags {
+		switch d.Analyzer {
+		case "directive":
+			sawDirective = true
+		case "nodeterminism":
+			sawFinding = true
+		}
+	}
+	if !sawDirective {
+		t.Errorf("reason-less directive not reported: %v", diags)
+	}
+	if !sawFinding {
+		t.Errorf("reason-less directive must not suppress the finding: %v", diags)
+	}
+}
+
+func TestIgnoreWrongAnalyzerDoesNotSuppress(t *testing.T) {
+	diags := lintSource(t, `package p
+
+import "time"
+
+//lint:ignore floateq names must match the reporting analyzer
+var T = time.Now()
+`)
+	if len(diags) != 1 || diags[0].Analyzer != "nodeterminism" {
+		t.Fatalf("want exactly the nodeterminism finding, got %v", diags)
+	}
+}
+
+func TestDiagnosticString(t *testing.T) {
+	d := Diagnostic{
+		Pos:      token.Position{Filename: "a/b.go", Line: 7},
+		Analyzer: "floateq",
+		Message:  "== on floating-point operands",
+	}
+	want := "a/b.go:7: [floateq] == on floating-point operands"
+	if got := d.String(); got != want {
+		t.Fatalf("String() = %q, want %q", got, want)
+	}
+}

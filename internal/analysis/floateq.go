@@ -1,0 +1,88 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"path/filepath"
+	"strings"
+)
+
+// FloatEqConfig tunes the floateq analyzer.
+type FloatEqConfig struct {
+	// AllowFiles are path suffixes (slash-separated) of files where
+	// direct float comparison is approved — the designated comparison
+	// helpers live there.
+	AllowFiles []string
+}
+
+// DefaultFloatEqConfig approves only the eval package's comparison
+// helpers; everything else must go through them (or a tolerance).
+func DefaultFloatEqConfig() FloatEqConfig {
+	return FloatEqConfig{AllowFiles: []string{"internal/eval/eq.go"}}
+}
+
+// NewFloatEq builds the floateq analyzer: it reports == and != between
+// floating-point operands outside the approved helper files and test
+// files. Exact float equality is almost always a latent replay-breaker:
+// a re-ordered reduction or a fused multiply-add changes the bit
+// pattern without changing the math.
+func NewFloatEq(cfg FloatEqConfig) *Analyzer {
+	a := &Analyzer{
+		Name: "floateq",
+		Doc:  "flags ==/!= on floating-point operands outside the approved helpers",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			name := filepath.ToSlash(pass.Pkg.Fset.Position(f.Pos()).Filename)
+			if allowedFile(name, cfg.AllowFiles) {
+				continue
+			}
+			ast.Inspect(f, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				// Comparison against constant zero is exact in IEEE-754
+				// and is the canonical division guard: allowed.
+				if isZeroConst(pass, bin.X) || isZeroConst(pass, bin.Y) {
+					return true
+				}
+				if isFloat(pass.Pkg.Info.TypeOf(bin.X)) || isFloat(pass.Pkg.Info.TypeOf(bin.Y)) {
+					pass.Reportf(bin.Pos(),
+						"%s on floating-point operands; compare through the eval/eq.go helpers or a tolerance", bin.Op)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// isZeroConst reports whether expr is a compile-time constant equal to
+// zero.
+func isZeroConst(pass *Pass, expr ast.Expr) bool {
+	tv, ok := pass.Pkg.Info.Types[expr]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	switch tv.Value.Kind() {
+	case constant.Int, constant.Float:
+		return constant.Sign(tv.Value) == 0
+	}
+	return false
+}
+
+// allowedFile reports whether file (slash-separated) is an approved
+// helper file or a test file.
+func allowedFile(file string, allow []string) bool {
+	if strings.HasSuffix(file, "_test.go") {
+		return true
+	}
+	for _, suf := range allow {
+		if strings.HasSuffix(file, suf) {
+			return true
+		}
+	}
+	return false
+}

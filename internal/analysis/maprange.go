@@ -1,0 +1,336 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// MapRangeConfig tunes the maprange analyzer.
+type MapRangeConfig struct {
+	// Mutators are method names that, called inside a map-range body,
+	// count as mutating order-sensitive external state.
+	Mutators []string
+}
+
+// DefaultMapRangeConfig covers the repository's mutation verbs: ledger
+// and chain Add/Append, heap pushes, and stream writes.
+func DefaultMapRangeConfig() MapRangeConfig {
+	return MapRangeConfig{Mutators: []string{
+		"Add", "Append", "Push", "Enqueue", "Write", "WriteString", "WriteByte",
+	}}
+}
+
+// mapRangeLoop accumulates what one range-over-map body does.
+type mapRangeLoop struct {
+	kinds   map[string]bool // category -> seen
+	appends []appendSite    // append destinations, for the sorted-keys exemption
+	pure    bool            // only appends seen so far
+}
+
+type appendSite struct {
+	dest string // root identifier of the destination ("" when unknown)
+}
+
+// NewMapRange builds the maprange analyzer. It flags `range` over a map
+// whose body performs an order-sensitive effect — draws from a
+// *rand.Rand, appends to a slice, emits events, prints, sends on a
+// channel, float-accumulates, or calls a configured mutator — because
+// Go's map iteration order is random and every such effect leaks that
+// order into the simulation. The one built-in exemption is the
+// key-extraction idiom: a body that only appends, where every
+// destination slice is sorted later in the same function.
+func NewMapRange(cfg MapRangeConfig) *Analyzer {
+	mutators := make(map[string]bool, len(cfg.Mutators))
+	for _, m := range cfg.Mutators {
+		mutators[m] = true
+	}
+	a := &Analyzer{
+		Name: "maprange",
+		Doc:  "flags order-sensitive effects inside range-over-map loops",
+	}
+	a.Run = func(pass *Pass) {
+		for _, f := range pass.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch fn := n.(type) {
+				case *ast.FuncDecl:
+					if fn.Body != nil {
+						checkFuncBody(pass, fn.Body, mutators)
+					}
+				case *ast.FuncLit:
+					checkFuncBody(pass, fn.Body, mutators)
+				}
+				return true
+			})
+		}
+	}
+	return a
+}
+
+// checkFuncBody finds the map-range loops directly inside one function
+// body (nested function literals are visited by the outer Inspect) and
+// reports the order-sensitive ones.
+func checkFuncBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own checkFuncBody call handles it
+		}
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		if !isMapType(pass.Pkg.Info.TypeOf(rng.X)) {
+			return true
+		}
+		loop := scanRangeBody(pass, rng.Body, mutators)
+		if len(loop.kinds) == 0 {
+			return true
+		}
+		if loop.pure && allSortedLater(pass, body, rng, loop.appends) {
+			return true // key-extraction idiom: append-only, sorted below
+		}
+		var kinds []string
+		for _, k := range []string{"rand draw", "append", "event emission", "output", "channel send", "float accumulation", "mutator call"} {
+			if loop.kinds[k] {
+				kinds = append(kinds, k)
+			}
+		}
+		pass.Reportf(rng.Pos(),
+			"map iteration order reaches ordered state (%s); extract and sort the keys first, or annotate //lint:ignore maprange <reason>",
+			strings.Join(kinds, ", "))
+		return true
+	})
+}
+
+// scanRangeBody classifies the order-sensitive effects in a loop body,
+// including nested literals and loops (the effect still runs once per
+// random-order iteration).
+func scanRangeBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) *mapRangeLoop {
+	loop := &mapRangeLoop{kinds: make(map[string]bool), pure: true}
+	record := func(kind string) {
+		loop.kinds[kind] = true
+		if kind != "append" {
+			loop.pure = false
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.SendStmt:
+			record("channel send")
+		case *ast.AssignStmt:
+			if dest, ok := appendAssign(x); ok {
+				record("append")
+				loop.appends = append(loop.appends, appendSite{dest: dest})
+				return true
+			}
+			switch x.Tok {
+			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+				if len(x.Lhs) == 1 && isFloat(pass.Pkg.Info.TypeOf(x.Lhs[0])) {
+					record("float accumulation")
+				}
+			}
+		case *ast.CallExpr:
+			switch fun := x.Fun.(type) {
+			case *ast.Ident:
+				if fun.Name == "append" && isBuiltinAppend(pass, fun) {
+					// append outside an assignment (argument position):
+					// destination unknown, never exempt.
+					if !insideAppendAssign(body, x) {
+						record("append")
+						loop.pure = false
+					}
+				}
+			case *ast.SelectorExpr:
+				name := fun.Sel.Name
+				if qual, ok := fun.X.(*ast.Ident); ok {
+					switch pass.pkgPathOf(qual) {
+					case "fmt":
+						if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+							record("output")
+						}
+						return true
+					case "container/heap":
+						if name == "Push" {
+							record("mutator call")
+						}
+						return true
+					case "":
+						// not a package qualifier: fall through to the
+						// receiver checks below
+					default:
+						return true // other stdlib/package call
+					}
+				}
+				if isRandRecv(pass, fun.X) {
+					record("rand draw")
+					return true
+				}
+				if name == "emit" || name == "Emit" {
+					record("event emission")
+					return true
+				}
+				if mutators[name] {
+					record("mutator call")
+				}
+			}
+		}
+		return true
+	})
+	return loop
+}
+
+// appendAssign reports whether stmt is `x = append(x, ...)` (any
+// assignment whose sole RHS is an append call), returning the root
+// identifier of the destination.
+func appendAssign(stmt *ast.AssignStmt) (string, bool) {
+	if len(stmt.Rhs) != 1 || len(stmt.Lhs) != 1 {
+		return "", false
+	}
+	call, ok := stmt.Rhs[0].(*ast.CallExpr)
+	if !ok {
+		return "", false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return "", false
+	}
+	return rootIdent(stmt.Lhs[0]), true
+}
+
+// insideAppendAssign reports whether call is the RHS of an
+// x = append(...) assignment somewhere in body.
+func insideAppendAssign(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if st, ok := n.(*ast.AssignStmt); ok {
+			if len(st.Rhs) == 1 && st.Rhs[0] == call {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}
+
+// isBuiltinAppend confirms the ident resolves to the append builtin (not
+// a shadowing local).
+func isBuiltinAppend(pass *Pass, id *ast.Ident) bool {
+	obj := pass.Pkg.Info.Uses[id]
+	if obj == nil {
+		return true // unresolved: assume the builtin
+	}
+	_, ok := obj.(*types.Builtin)
+	return ok
+}
+
+// isRandRecv reports whether expr is a *math/rand.Rand (or /v2) value.
+func isRandRecv(pass *Pass, expr ast.Expr) bool {
+	t := pass.Pkg.Info.TypeOf(expr)
+	if t == nil {
+		return false
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return false
+	}
+	path := named.Obj().Pkg().Path()
+	return named.Obj().Name() == "Rand" && (path == "math/rand" || path == "math/rand/v2")
+}
+
+// isMapType reports whether t's underlying type is a map.
+func isMapType(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	_, ok := t.Underlying().(*types.Map)
+	return ok
+}
+
+// isFloat reports whether t is a floating-point type.
+func isFloat(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// allSortedLater reports whether every append destination is passed to a
+// sort/slices ordering call after the loop, within the same function
+// body — the extract-keys-then-sort idiom.
+func allSortedLater(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, sites []appendSite) bool {
+	if len(sites) == 0 {
+		return false
+	}
+	sorted := make(map[string]bool)
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rng.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		qual, ok := sel.X.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		switch pass.pkgPathOf(qual) {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		if !isSortingFunc(sel.Sel.Name) {
+			return true
+		}
+		for _, arg := range call.Args {
+			ast.Inspect(arg, func(an ast.Node) bool {
+				if id, ok := an.(*ast.Ident); ok {
+					sorted[id.Name] = true
+				}
+				return true
+			})
+		}
+		return true
+	})
+	for _, s := range sites {
+		if s.dest == "" || !sorted[s.dest] {
+			return false
+		}
+	}
+	return true
+}
+
+// isSortingFunc recognises the ordering entry points of sort and slices.
+func isSortingFunc(name string) bool {
+	switch name {
+	case "Slice", "SliceStable", "Strings", "Ints", "Float64s", "Sort":
+		return true
+	}
+	return strings.HasPrefix(name, "Sort")
+}
+
+// rootIdent returns the leftmost identifier of an lvalue expression.
+func rootIdent(e ast.Expr) string {
+	for {
+		switch x := e.(type) {
+		case *ast.Ident:
+			return x.Name
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.ParenExpr:
+			e = x.X
+		default:
+			return ""
+		}
+	}
+}

@@ -1,0 +1,50 @@
+// Package errdrop exercises the errdrop analyzer: discarding the error
+// result of a must-check call — as a bare statement, via go/defer, or by
+// blanking the error position — must be flagged; checked calls must not.
+package errdrop
+
+import (
+	"encoding/json"
+	"os"
+
+	"nwade/internal/chain"
+)
+
+// dropped uses must-check calls as bare statements.
+func dropped(c *chain.Chain, b *chain.Block) {
+	c.Append(b)                             // want "error result of nwade/internal/chain\.Chain\.Append discarded"
+	json.Marshal(b)                         // want "error result of encoding/json\.Marshal discarded"
+	os.WriteFile("x", nil, 0o644)           // want "error result of os\.WriteFile discarded"
+	chain.VerifySignature(c.PublicKey(), b) // want "error result of nwade/internal/chain\.VerifySignature discarded"
+}
+
+// deferred discards through defer and go statements.
+func deferred(c *chain.Chain, b *chain.Block) {
+	defer c.VerifyWhole() // want "error result of nwade/internal/chain\.Chain\.VerifyWhole discarded"
+	go c.Prepend(b)       // want "error result of nwade/internal/chain\.Chain\.Prepend discarded"
+}
+
+// blanked sends the error position to the blank identifier.
+func blanked(b *chain.Block, leaves [][]byte) {
+	_, _ = chain.NewSigner(chain.DefaultKeyBits) // want "error result of nwade/internal/chain\.NewSigner assigned to _"
+	_, _ = chain.MerkleRoot(leaves)              // want "error result of nwade/internal/chain\.MerkleRoot assigned to _"
+	_ = json.NewEncoder(os.Stdout).Encode(b)     // want "error result of encoding/json\.Encoder\.Encode assigned to _"
+}
+
+// checked handles every error: nothing to report.
+func checked(c *chain.Chain, b *chain.Block) error {
+	if err := c.Append(b); err != nil {
+		return err
+	}
+	data, err := json.Marshal(b)
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("x", data, 0o644)
+}
+
+// unlisted calls are outside the must-check set even when they return
+// errors; the analyzer stays silent.
+func unlisted() {
+	os.Remove("x")
+}

@@ -1,0 +1,48 @@
+// Package floateq exercises the floateq analyzer: exact ==/!= between
+// floating-point operands must be flagged; zero guards, integer
+// equality, and orderings must not.
+package floateq
+
+// badEq compares floats exactly.
+func badEq(a, b float64) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+// badNeq flags float32 too.
+func badNeq(a, b float32) bool {
+	return a != b // want "!= on floating-point operands"
+}
+
+type meters float64
+
+// badNamed: named float types are still floats underneath.
+func badNamed(a, b meters) bool {
+	return a == b // want "== on floating-point operands"
+}
+
+// okZeroGuard: comparison against constant zero is IEEE-754-exact and is
+// the canonical division guard.
+func okZeroGuard(d float64) float64 {
+	if d == 0 {
+		return 0
+	}
+	return 1 / d
+}
+
+// okNamedZero: a typed zero constant is still a zero constant.
+func okNamedZero(x meters) bool {
+	const none meters = 0
+	return x == none
+}
+
+// okInts: integer equality is exact.
+func okInts(a, b int) bool { return a == b }
+
+// okOrdering: < and >= are tolerant of representation noise by design.
+func okOrdering(a, b float64) bool { return a < b }
+
+// okAnnotated documents an exact tie-break.
+func okAnnotated(a, b float64) bool {
+	//lint:ignore floateq fixture demonstrates an explained suppression
+	return a == b
+}

@@ -1,0 +1,103 @@
+// Package maprange exercises the maprange analyzer: order-sensitive
+// effects inside range-over-map loops must be flagged; the
+// extract-keys-then-sort idiom and order-free bodies must not.
+package maprange
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// badAppend leaks map order into a slice that is never sorted.
+func badAppend(m map[string]int) []string {
+	var out []string
+	for k := range m { // want "map iteration order reaches ordered state \(append\)"
+		out = append(out, k)
+	}
+	return out
+}
+
+// goodExtractSort is the blessed idiom: append the keys, sort after.
+func goodExtractSort(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// badRand draws from an RNG once per random-order iteration, so the
+// stream's alignment with vehicles differs between replays.
+func badRand(m map[string]int, r *rand.Rand) int {
+	total := 0
+	for range m { // want "rand draw"
+		total += r.Intn(10)
+	}
+	return total
+}
+
+// badPrint emits output in map order.
+func badPrint(m map[string]int) {
+	for k, v := range m { // want "output"
+		fmt.Println(k, v)
+	}
+}
+
+// badSend forwards map order on a channel.
+func badSend(m map[string]int, ch chan string) {
+	for k := range m { // want "channel send"
+		ch <- k
+	}
+}
+
+// badFloat accumulates floats in map order; re-associating the sum
+// changes the bit pattern of the result.
+func badFloat(m map[string]float64) float64 {
+	var sum float64
+	for _, v := range m { // want "float accumulation"
+		sum += v
+	}
+	return sum
+}
+
+type ledger struct{ rows []string }
+
+func (l *ledger) Add(s string) { l.rows = append(l.rows, s) }
+
+// badMutator calls a configured mutation verb per iteration.
+func badMutator(m map[string]int, l *ledger) {
+	for k := range m { // want "mutator call"
+		l.Add(k)
+	}
+}
+
+type bus struct{}
+
+func (bus) Emit(string) {}
+
+// badEmit publishes an event per iteration.
+func badEmit(m map[string]int, b bus) {
+	for k := range m { // want "event emission"
+		b.Emit(k)
+	}
+}
+
+// okCounting only folds into an int: integer addition commutes exactly,
+// so iteration order cannot be observed.
+func okCounting(m map[string]int) int {
+	n := 0
+	for _, v := range m {
+		n += v
+	}
+	return n
+}
+
+// okAnnotated documents why order cannot matter at this site.
+func okAnnotated(m map[string]int, ch chan string) {
+	//lint:ignore maprange fixture demonstrates an explained suppression
+	for k := range m {
+		ch <- k
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
 	"nwade/internal/nwade"
+	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/sim"
 	"nwade/internal/vnet"
@@ -247,7 +248,7 @@ func typeAOutcome(o *outcome) (attempted, triggered, detected bool) {
 		return false, false, false
 	}
 	attempted = true
-	for id := range framed {
+	for _, id := range ordered.Keys(framed) {
 		fid := id
 		// Voting path: the colluders got the framed vehicle confirmed.
 		if _, ok := col.FirstWhere(func(e nwade.Event) bool {
@@ -276,7 +277,7 @@ func typeAOutcome(o *outcome) (attempted, triggered, detected bool) {
 	// Triggered: detection requires the system to later identify the
 	// alarm as false — a round-2 reversal, a witness exposing the sham,
 	// or a post-trigger dismissal of the framed target.
-	for id := range framed {
+	for _, id := range ordered.Keys(framed) {
 		fid := id
 		if _, ok := col.FirstWhere(func(e nwade.Event) bool {
 			switch e.Type {

@@ -113,6 +113,7 @@ func (f *Fig4Result) String() string {
 		for _, d := range f.Densities {
 			cell := "-"
 			for _, p := range f.Points {
+				//lint:ignore floateq densities are copied verbatim from the sweep list; matching a point is identity, not arithmetic
 				if p.Setting == s && p.Density == d {
 					cell = pct(p.Detected, p.Rounds)
 				}

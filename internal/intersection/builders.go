@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"nwade/internal/geom"
+	"nwade/internal/ordered"
 )
 
 // endpoint is a point plus the travel heading through it, used to stitch
@@ -208,11 +209,15 @@ func (b *stdBuilder) build() (*Intersection, error) {
 		in.InLanes = append(in.InLanes, lg.inLanes)
 	}
 	for leg := range b.legs {
+		// Target legs are keyed by leg index; iterate them sorted so the
+		// available-movement order — and with it lane assignment and
+		// route numbering — never depends on map order.
 		targets := b.targetLegs(leg)
+		targetLegs := ordered.Keys(targets)
 		avail := make([]Movement, 0, 3)
 		seen := map[Movement]bool{}
-		for _, m := range targets {
-			if !seen[m] {
+		for _, toLeg := range targetLegs {
+			if m := targets[toLeg]; !seen[m] {
 				seen[m] = true
 				avail = append(avail, m)
 			}
@@ -221,8 +226,8 @@ func (b *stdBuilder) build() (*Intersection, error) {
 		for lane, movements := range perLane {
 			from := LaneRef{Leg: leg, Lane: lane}
 			for _, m := range movements {
-				for toLeg, tm := range targets {
-					if tm != m {
+				for _, toLeg := range targetLegs {
+					if targets[toLeg] != m {
 						continue
 					}
 					var (

@@ -4,11 +4,11 @@
 package metrics
 
 import (
-	"sort"
 	"sync"
 	"time"
 
 	"nwade/internal/nwade"
+	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/vnet"
 )
@@ -124,12 +124,7 @@ func (c *Collector) DistinctActors(f func(nwade.Event) bool) []plan.VehicleID {
 			set[e.Actor] = true
 		}
 	}
-	out := make([]plan.VehicleID, 0, len(set))
-	for id := range set {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return ordered.Keys(set)
 }
 
 // RecordExit notes a vehicle leaving the intersection.

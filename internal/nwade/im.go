@@ -9,6 +9,7 @@ import (
 	"nwade/internal/chain"
 	"nwade/internal/geom"
 	"nwade/internal/intersection"
+	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/sched"
 	"nwade/internal/units"
@@ -223,12 +224,7 @@ func (im *IMCore) Strikes(id plan.VehicleID) int { return im.strikes[id] }
 
 // Suspects returns the currently confirmed suspects.
 func (im *IMCore) Suspects() []plan.VehicleID {
-	out := make([]plan.VehicleID, 0, len(im.suspects))
-	for id := range im.suspects {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return ordered.Keys(im.suspects)
 }
 
 // VehicleGone informs the IM that a vehicle exited the intersection.
@@ -331,6 +327,7 @@ func (im *IMCore) handleIncident(now time.Duration, ir IncidentReport) []Out {
 	}
 	// A suspect already under verification: remember the additional
 	// reporter so it gets the verdict instead of timing out.
+	//lint:ignore maprange at most one verification matches: a second one per suspect is never opened (checked right here)
 	for _, v := range im.verifs {
 		if v.suspect == ir.Suspect {
 			if ir.Reporter != v.reporter {
@@ -499,6 +496,7 @@ func (im *IMCore) selectVerifiers(now time.Duration, suspect, reporter plan.Vehi
 		cands = append(cands, cand{id: id, d: d})
 	}
 	sort.Slice(cands, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break: bit-equal distances fall through to the ID order
 		if cands[i].d != cands[j].d {
 			return cands[i].d < cands[j].d
 		}
@@ -647,15 +645,15 @@ func (im *IMCore) recover(now time.Duration) []Out {
 func (im *IMCore) rescheduleAll(now time.Duration, scheduler sched.Scheduler, hazards bool) []*plan.TravelPlan {
 	fresh := sched.NewLedger(im.inter)
 	if hazards {
-		for id, info := range im.suspects {
-			if hp := im.hazardPlan(now, id, info); hp != nil {
+		for _, id := range ordered.Keys(im.suspects) {
+			if hp := im.hazardPlan(now, id, im.suspects[id]); hp != nil {
 				fresh.Add(hp)
 			}
 		}
 	}
 	// Legacy-traffic hazards carry over: they are constraints, never
 	// schedulable (or broadcastable) plans.
-	for id := range im.unplannedSince {
+	for _, id := range ordered.Keys(im.unplannedSince) {
 		if p, ok := im.ledger.Get(id); ok {
 			fresh.Add(p)
 		}
@@ -683,6 +681,7 @@ func (im *IMCore) rescheduleAll(now time.Duration, scheduler sched.Scheduler, ha
 		ps = append(ps, prog{p: p, s: s, v: v})
 	}
 	sort.Slice(ps, func(i, j int) bool {
+		//lint:ignore floateq exact tie-break: bit-equal progress falls through to the ID order
 		if ps[i].s != ps[j].s {
 			return ps[i].s > ps[j].s
 		}
@@ -783,11 +782,8 @@ func (im *IMCore) packageAndBroadcast(now time.Duration, plans []*plan.TravelPla
 	im.sink.emit(Event{At: now, Type: EvBlockBroadcast, Info: fmt.Sprintf("seq %d, %d plans, evac=%v", b.Seq, len(b.Plans), evacuation)})
 	var out Out
 	if evacuation {
-		suspects := make([]SuspectInfo, 0, len(im.suspects))
-		for _, s := range im.suspects {
-			suspects = append(suspects, s)
-		}
-		sort.Slice(suspects, func(i, j int) bool { return suspects[i].Vehicle < suspects[j].Vehicle })
+		// Key order is Vehicle order: SuspectInfo is keyed by its Vehicle.
+		suspects := ordered.Values(im.suspects)
 		out = Out{To: vnet.Broadcast, Kind: KindEvacuation,
 			Payload: EvacuationAlert{Suspects: suspects, Block: b}, Size: SizeOfBlock(b) + 64}
 	} else {
@@ -912,14 +908,15 @@ func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
 			outs = append(outs, im.confirmIncident(now, id, o.Status)...)
 		}
 	}
-	// Vote deadlines: decide on whatever votes arrived.
+	// Vote deadlines: decide on whatever votes arrived. The nonce keys
+	// are snapshotted before deciding — decideVote deletes its own entry
+	// and round 2 may open a fresh verification.
 	var due []*verification
-	for _, v := range im.verifs {
-		if now >= v.deadline {
+	for _, nonce := range ordered.Keys(im.verifs) {
+		if v := im.verifs[nonce]; now >= v.deadline {
 			due = append(due, v)
 		}
 	}
-	sort.Slice(due, func(i, j int) bool { return due[i].nonce < due[j].nonce })
 	for _, v := range due {
 		outs = append(outs, im.decideVote(now, v)...)
 	}
@@ -1002,7 +999,8 @@ func (im *IMCore) freshen(req sched.Request, now time.Duration) sched.Request {
 // that never joined the protocol. The hazard rides the route whose
 // geometry best matches the observation.
 func (im *IMCore) syncLegacyHazards(now time.Duration) {
-	for id, obs := range im.visible {
+	for _, id := range ordered.Keys(im.visible) {
+		obs := im.visible[id]
 		if im.gone[id] {
 			continue
 		}
@@ -1075,10 +1073,9 @@ func (im *IMCore) runBatch(now time.Duration) []Out {
 	im.lastBatch = now
 	im.auto.MustTo(IMScheduling)
 	reqs := make([]sched.Request, 0, len(im.pending))
-	for _, r := range im.pending {
-		reqs = append(reqs, im.freshen(r, now))
+	for _, id := range ordered.Keys(im.pending) {
+		reqs = append(reqs, im.freshen(im.pending[id], now))
 	}
-	sort.Slice(reqs, func(i, j int) bool { return reqs[i].Vehicle < reqs[j].Vehicle })
 	im.pending = make(map[plan.VehicleID]sched.Request)
 	plans, err := im.sch.Schedule(reqs, now, im.ledger)
 	if err != nil {

@@ -15,10 +15,10 @@ package nwade
 
 import (
 	"fmt"
-	"sort"
 	"time"
 
 	"nwade/internal/chain"
+	"nwade/internal/ordered"
 	"nwade/internal/vnet"
 )
 
@@ -193,14 +193,10 @@ func (vc *VehicleCore) resyncChain(now time.Duration) []Out {
 func (vc *VehicleCore) resilienceTick(now time.Duration) []Out {
 	res := vc.cfg.Resilience
 	var outs []Out
-	// Missing blocks, in deterministic sequence order.
+	// Missing blocks, in deterministic sequence order. The keys are
+	// snapshotted: the body deletes exhausted retries.
 	if len(vc.blockRetry) > 0 {
-		seqs := make([]uint64, 0, len(vc.blockRetry))
-		for seq := range vc.blockRetry {
-			seqs = append(seqs, seq)
-		}
-		sort.Slice(seqs, func(i, j int) bool { return seqs[i] < seqs[j] })
-		for _, seq := range seqs {
+		for _, seq := range ordered.Keys(vc.blockRetry) {
 			rs := vc.blockRetry[seq]
 			if !rs.due(now) {
 				continue

@@ -1,0 +1,30 @@
+// Package ordered provides the one blessed way to iterate a map
+// deterministically: extract the keys, sort them, index back in. Every
+// ad-hoc make/append/sort key-extraction idiom in the tree should go
+// through Keys so the maprange analyzer (cmd/nwade-lint) has a single
+// audited implementation to trust.
+package ordered
+
+import (
+	"cmp"
+	"slices"
+)
+
+// Keys returns m's keys in ascending order.
+func Keys[M ~map[K]V, K cmp.Ordered, V any](m M) []K {
+	out := make([]K, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// Values returns m's values in ascending key order.
+func Values[M ~map[K]V, K cmp.Ordered, V any](m M) []V {
+	out := make([]V, 0, len(m))
+	for _, k := range Keys(m) {
+		out = append(out, m[k])
+	}
+	return out
+}

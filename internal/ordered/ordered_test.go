@@ -1,0 +1,31 @@
+package ordered
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestKeys(t *testing.T) {
+	m := map[string]int{"c": 3, "a": 1, "b": 2}
+	if got, want := Keys(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+	if got := Keys(map[int]bool{}); len(got) != 0 {
+		t.Errorf("Keys(empty) = %v, want empty", got)
+	}
+}
+
+func TestKeysNamedTypes(t *testing.T) {
+	type id uint64
+	m := map[id]string{9: "i", 1: "a", 4: "d"}
+	if got, want := Keys(m), []id{1, 4, 9}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Keys = %v, want %v", got, want)
+	}
+}
+
+func TestValues(t *testing.T) {
+	m := map[int]string{2: "b", 1: "a", 3: "c"}
+	if got, want := Values(m), []string{"a", "b", "c"}; !reflect.DeepEqual(got, want) {
+		t.Errorf("Values = %v, want %v", got, want)
+	}
+}

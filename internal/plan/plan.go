@@ -149,6 +149,7 @@ func (p *TravelPlan) TimeAt(s float64) (time.Duration, bool) {
 	for i := 1; i < len(ws); i++ {
 		if ws[i].S >= s {
 			a, b := ws[i-1], ws[i]
+			//lint:ignore floateq degenerate-interval guard: exact equality is what makes the division below safe
 			if b.S == a.S {
 				return a.T, true
 			}

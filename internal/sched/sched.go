@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nwade/internal/intersection"
+	"nwade/internal/ordered"
 	"nwade/internal/plan"
 )
 
@@ -84,12 +85,7 @@ func (l *Ledger) Prune(now, grace time.Duration) {
 
 // Active returns the current plans in deterministic (vehicle ID) order.
 func (l *Ledger) Active() []*plan.TravelPlan {
-	out := make([]*plan.TravelPlan, 0, len(l.plans))
-	for _, p := range l.plans {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Vehicle < out[j].Vehicle })
-	return out
+	return ordered.Values(l.plans)
 }
 
 // Len returns the number of active plans.

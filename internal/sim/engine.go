@@ -468,6 +468,7 @@ func (e *Engine) activateAttack(now time.Duration) {
 	sort.Slice(cands, func(i, j int) bool {
 		di := cands[i].pos().Dist(anchor.pos())
 		dj := cands[j].pos().Dist(anchor.pos())
+		//lint:ignore floateq exact tie-break: bit-equal distances fall through to the ID order
 		if di != dj {
 			return di < dj
 		}

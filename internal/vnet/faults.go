@@ -11,9 +11,10 @@ package vnet
 import (
 	"fmt"
 	"math/rand"
-	"sort"
 	"strings"
 	"time"
+
+	"nwade/internal/ordered"
 )
 
 // BurstConfig parameterises a two-state Gilbert–Elliott loss channel: the
@@ -230,12 +231,7 @@ func FaultProfile(name string) (FaultConfig, bool) {
 
 // FaultProfileNames lists the available profiles, sorted.
 func FaultProfileNames() []string {
-	out := make([]string, 0, len(faultProfiles))
-	for k := range faultProfiles {
-		out = append(out, k)
-	}
-	sort.Strings(out)
-	return out
+	return ordered.Keys(faultProfiles)
 }
 
 // ParseFaultProfile resolves a profile name with a helpful error.

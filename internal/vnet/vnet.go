@@ -14,11 +14,11 @@ import (
 	"errors"
 	"fmt"
 	"math/rand"
-	"sort"
 	"sync"
 	"time"
 
 	"nwade/internal/geom"
+	"nwade/internal/ordered"
 	"nwade/internal/units"
 )
 
@@ -220,15 +220,11 @@ func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payl
 	n.stats.Packets[kind]++
 	n.stats.Bytes[kind] += size
 	// Deterministic receiver order.
-	ids := make([]NodeID, 0, len(n.nodes))
-	for id := range n.nodes {
-		if id != from {
-			ids = append(ids, id)
-		}
-	}
-	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 	var count int
-	for _, id := range ids {
+	for _, id := range ordered.Keys(n.nodes) {
+		if id == from {
+			continue
+		}
 		if !n.inRange(from, id) || n.dropped() {
 			n.stats.Dropped++
 			continue
