@@ -12,66 +12,59 @@
 //	nwade-bench -exp table2 -rounds 3 -duration 50s
 //	nwade-bench -exp fig4 -faults burst15 -retrans
 //	nwade-bench -exp speedup -json bench.json  # parallel-vs-sequential
+//	nwade-bench -exp fig4 -quick -obs          # aggregate protocol counters
+//	nwade-bench -exp fig4 -quick -pprof cpu.pb # CPU profile of the sweep
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
+	"nwade/internal/benchfmt"
 	"nwade/internal/eval"
+	"nwade/internal/obs"
 	"nwade/internal/vnet"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nwade-bench:", err)
 		os.Exit(1)
 	}
 }
 
-// expTiming is one experiment's machine-readable wall-time record.
-type expTiming struct {
-	Experiment string  `json:"experiment"`
-	WallMS     float64 `json:"wall_ms"`
-	Rounds     int     `json:"rounds"`
-	Workers    int     `json:"workers"`
-	// Speedup is parallel-over-sequential wall time, only set by the
-	// "speedup" experiment.
-	Speedup float64 `json:"speedup,omitempty"`
-}
-
-// benchReport is what -json writes: enough machine context to compare
-// runs across hosts.
-type benchReport struct {
-	GOMAXPROCS  int         `json:"gomaxprocs"`
-	NumCPU      int         `json:"numcpu"`
-	Workers     int         `json:"workers"`
-	Experiments []expTiming `json:"experiments"`
-}
-
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-bench", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		exp      = flag.String("exp", "all", "experiment name, group, or \"all\" (see -list)")
-		rounds   = flag.Int("rounds", 10, "rounds per attack setting (paper: 10)")
-		duration = flag.Duration("duration", 60*time.Second, "simulated span of each round")
-		density  = flag.Float64("density", 80, "default vehicle density (veh/min)")
-		seed     = flag.Int64("seed", 1, "base random seed")
-		quick    = flag.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		workers  = flag.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		faults   = flag.String("faults", "", "network fault profile injected into every round ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-		retrans  = flag.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
-		list     = flag.Bool("list", false, "list registered experiments and exit")
-		jsonOut  = flag.String("json", "", "write per-experiment wall times to this JSON file")
+		exp      = fs.String("exp", "all", "experiment name, group, or \"all\" (see -list)")
+		rounds   = fs.Int("rounds", 10, "rounds per attack setting (paper: 10)")
+		duration = fs.Duration("duration", 60*time.Second, "simulated span of each round")
+		density  = fs.Float64("density", 80, "default vehicle density (veh/min)")
+		seed     = fs.Int64("seed", 1, "base random seed")
+		quick    = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		workers  = fs.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		faults   = fs.String("faults", "", "network fault profile injected into every round ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans  = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		list     = fs.Bool("list", false, "list registered experiments and exit")
+		jsonOut  = fs.String("json", "", "write per-experiment wall times to this JSON file")
+		traceOut = fs.String("trace", "", "write a JSONL protocol-event trace to this file (forces -workers 1)")
+		obsRep   = fs.Bool("obs", false, "print aggregated observability counters after the run")
+		pprofOut = fs.String("pprof", "", "write a CPU profile to this file")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	if *list {
-		listExperiments()
+		listExperiments(out)
 		return nil
 	}
 
@@ -79,6 +72,39 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	if *traceOut != "" && *workers != 1 {
+		// Concurrent rounds would interleave their trace records; the
+		// counters are synchronized but the JSONL stream is per-run.
+		fmt.Fprintln(out, "note: -trace forces -workers 1")
+		*workers = 1
+	}
+	var sink *obs.Sink
+	var traceFile *os.File
+	if *traceOut != "" || *obsRep || *pprofOut != "" {
+		o := obs.Options{Profile: *pprofOut != ""}
+		if *traceOut != "" {
+			traceFile, err = os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer traceFile.Close()
+			o.Trace = traceFile
+		}
+		sink = obs.New(o)
+		sink.WriteMeta(obs.Meta{Tool: "nwade-bench", Experiment: *exp, Seed: *seed})
+	}
+	if *pprofOut != "" {
+		pf, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	cfg := eval.Config{
 		Rounds:     *rounds,
 		Density:    *density,
@@ -87,6 +113,7 @@ func run() error {
 		Workers:    *workers,
 		Faults:     fc,
 		Resilience: *retrans,
+		Obs:        sink,
 	}
 	if *quick {
 		cfg.Rounds = 2
@@ -99,7 +126,7 @@ func run() error {
 		return err
 	}
 
-	report := benchReport{
+	report := benchfmt.Report{
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
 		NumCPU:     runtime.NumCPU(),
 		Workers:    *workers,
@@ -112,20 +139,28 @@ func run() error {
 			return err
 		}
 		wall := time.Since(start)
-		fmt.Println(res)
-		fmt.Printf("[%s: %.0f ms wall]\n\n", g.Name, ms(wall))
+		fmt.Fprintln(out, res)
+		fmt.Fprintf(out, "[%s: %.0f ms wall]\n\n", g.Name, ms(wall))
 		if sr, ok := res.(*eval.SpeedupResult); ok {
 			report.Experiments = append(report.Experiments,
-				expTiming{Experiment: "speedup-sequential", WallMS: ms(sr.Sequential), Rounds: sr.Rounds, Workers: 1},
-				expTiming{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds, Workers: sr.Workers, Speedup: sr.Ratio()},
+				benchfmt.Timing{Experiment: "speedup-sequential", WallMS: ms(sr.Sequential), Rounds: sr.Rounds, Workers: 1},
+				benchfmt.Timing{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds, Workers: sr.Workers, Speedup: sr.Ratio()},
 			)
 			continue
 		}
-		report.Experiments = append(report.Experiments, expTiming{
+		report.Experiments = append(report.Experiments, benchfmt.Timing{
 			Experiment: g.Name, WallMS: ms(wall), Rounds: cfg.Rounds, Workers: *workers,
 		})
 	}
 
+	if sink != nil {
+		if err := sink.Close(); err != nil {
+			return err
+		}
+		if *obsRep {
+			sink.WriteReport(out)
+		}
+	}
 	if *jsonOut != "" {
 		data, err := json.MarshalIndent(report, "", "  ")
 		if err != nil {
@@ -134,7 +169,7 @@ func run() error {
 		if err := os.WriteFile(*jsonOut, append(data, '\n'), 0o644); err != nil {
 			return err
 		}
-		fmt.Printf("wrote %s\n", *jsonOut)
+		fmt.Fprintf(out, "wrote %s\n", *jsonOut)
 	}
 	return nil
 }
@@ -161,16 +196,16 @@ func selectExperiments(exp string) ([]eval.Generator, error) {
 }
 
 // listExperiments prints the registry in run order.
-func listExperiments() {
-	fmt.Println("registered experiments (run order):")
+func listExperiments(out io.Writer) {
+	fmt.Fprintln(out, "registered experiments (run order):")
 	for _, g := range eval.All() {
 		group := ""
 		if g.Meta.Group != "" {
 			group = " [" + g.Meta.Group + "]"
 		}
-		fmt.Printf("  %-22s %s%s\n", g.Name, g.Meta.Desc, group)
+		fmt.Fprintf(out, "  %-22s %s%s\n", g.Name, g.Meta.Desc, group)
 	}
 	if groups := eval.Groups(); len(groups) > 0 {
-		fmt.Printf("groups: %s\n", strings.Join(groups, ", "))
+		fmt.Fprintf(out, "groups: %s\n", strings.Join(groups, ", "))
 	}
 }

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nwade/internal/benchfmt"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-list"}, &buf); err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"registered experiments", "fig4", "table2"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// The eq2/eq3 experiments are analytic (no simulation), so they make a
+// fast end-to-end test of experiment selection and the -json report.
+func TestRunAnalyticJSON(t *testing.T) {
+	jsonOut := filepath.Join(t.TempDir(), "bench.json")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "eq2", "-json", jsonOut}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	rep, err := benchfmt.Load(jsonOut)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(rep.Experiments) != 1 || rep.Experiments[0].Experiment != "eq2" {
+		t.Fatalf("unexpected report: %+v", rep)
+	}
+}
+
+func TestRunTraceForcesSequential(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "bench.jsonl")
+	var buf bytes.Buffer
+	if err := run([]string{"-exp", "eq2", "-trace", trace, "-workers", "4"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "-trace forces -workers 1") {
+		t.Fatalf("missing workers note:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-exp", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("unknown experiment should fail")
+	}
+}

@@ -1,0 +1,69 @@
+// nwade-benchdiff compares two nwade-bench JSON reports and exits
+// non-zero when any experiment slowed down past the threshold. It is
+// the CI benchmark-regression gate:
+//
+//	nwade-benchdiff -threshold 15% BENCH_baseline.json BENCH_new.json
+//
+// Experiments present in only one report are printed but never gate —
+// adding or retiring an experiment is a schema change, not a
+// regression.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"nwade/internal/benchfmt"
+)
+
+func main() {
+	code, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-benchdiff:", err)
+		if code == 0 {
+			code = 2
+		}
+	}
+	os.Exit(code)
+}
+
+// run executes the comparison and returns the process exit code:
+// 0 clean, 1 regression found, 2 usage or I/O error.
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("nwade-benchdiff", flag.ContinueOnError)
+	fs.SetOutput(out)
+	threshold := fs.String("threshold", "15%", "max tolerated slowdown per experiment (\"15%\" or \"0.15\")")
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: nwade-benchdiff [-threshold 15%] OLD.json NEW.json")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2, err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return 2, fmt.Errorf("want exactly 2 report files, got %d", fs.NArg())
+	}
+	thr, err := benchfmt.ParseThreshold(*threshold)
+	if err != nil {
+		return 2, err
+	}
+	oldRep, err := benchfmt.Load(fs.Arg(0))
+	if err != nil {
+		return 2, err
+	}
+	newRep, err := benchfmt.Load(fs.Arg(1))
+	if err != nil {
+		return 2, err
+	}
+	deltas := benchfmt.Diff(oldRep, newRep, thr)
+	fmt.Fprint(out, benchfmt.Format(deltas))
+	if n := benchfmt.Regressions(deltas); n > 0 {
+		fmt.Fprintf(out, "\n%d experiment(s) regressed past %.1f%%\n", n, thr*100)
+		return 1, nil
+	}
+	fmt.Fprintf(out, "\nno regression past %.1f%%\n", thr*100)
+	return 0, nil
+}

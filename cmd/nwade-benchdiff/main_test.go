@@ -1,0 +1,58 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name, body string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunCleanAndRegressed(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json",
+		`{"experiments":[{"experiment":"a","wall_ms":100},{"experiment":"b","wall_ms":100}]}`)
+	ok := writeReport(t, dir, "ok.json",
+		`{"experiments":[{"experiment":"a","wall_ms":105},{"experiment":"b","wall_ms":90}]}`)
+	bad := writeReport(t, dir, "bad.json",
+		`{"experiments":[{"experiment":"a","wall_ms":100},{"experiment":"b","wall_ms":200}]}`)
+
+	var buf bytes.Buffer
+	code, err := run([]string{"-threshold", "15%", old, ok}, &buf)
+	if err != nil || code != 0 {
+		t.Fatalf("clean diff: code=%d err=%v\n%s", code, err, buf.String())
+	}
+
+	buf.Reset()
+	code, err = run([]string{"-threshold", "15%", old, bad}, &buf)
+	if err != nil || code != 1 {
+		t.Fatalf("regressed diff: code=%d err=%v\n%s", code, err, buf.String())
+	}
+	if !strings.Contains(buf.String(), "REGRESSION") {
+		t.Fatalf("output missing REGRESSION marker:\n%s", buf.String())
+	}
+}
+
+func TestRunUsageErrors(t *testing.T) {
+	dir := t.TempDir()
+	old := writeReport(t, dir, "old.json", `{"experiments":[]}`)
+	for _, args := range [][]string{
+		{old},                                  // missing NEW
+		{"-threshold", "nope", old, old},       // bad threshold
+		{old, filepath.Join(dir, "gone.json")}, // unreadable file
+	} {
+		code, err := run(args, &bytes.Buffer{})
+		if err == nil || code != 2 {
+			t.Fatalf("run(%v): code=%d err=%v, want usage error", args, code, err)
+		}
+	}
+}

@@ -1,28 +1,34 @@
 // Command nwade-inspect prints the static structure the other tools run
 // on: intersection geometry (legs, lanes, routes, conflict zones) and a
-// demonstration travel-plan blockchain with its verification chain.
+// demonstration travel-plan blockchain with its verification chain. The
+// trace subcommand summarizes a JSONL observability trace written by
+// nwade-sim -trace or nwade-bench -trace.
 //
 // Examples:
 //
 //	nwade-inspect -intersection cfi4
 //	nwade-inspect -intersection cross4 -chain
+//	nwade-inspect trace run.jsonl
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"time"
 
 	"nwade/internal/chain"
 	"nwade/internal/intersection"
+	"nwade/internal/obs"
+	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/sched"
 	"nwade/internal/traffic"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nwade-inspect:", err)
 		os.Exit(1)
 	}
@@ -36,12 +42,19 @@ var kindByName = map[string]intersection.Kind{
 	"ddi4":        intersection.KindDDI4,
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	if len(args) > 0 && args[0] == "trace" {
+		return traceCmd(args[1:], out)
+	}
+	fs := flag.NewFlagSet("nwade-inspect", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		kindName  = flag.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
-		showChain = flag.Bool("chain", false, "also build and verify a demo travel-plan chain")
+		kindName  = fs.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
+		showChain = fs.Bool("chain", false, "also build and verify a demo travel-plan chain")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 	kind, ok := kindByName[*kindName]
 	if !ok {
 		return fmt.Errorf("unknown intersection %q", *kindName)
@@ -50,33 +63,138 @@ func run() error {
 	if err != nil {
 		return err
 	}
-	printGeometry(inter)
+	printGeometry(out, inter)
 	if *showChain {
-		return demoChain(inter)
+		return demoChain(out, inter)
 	}
 	return nil
 }
 
+// traceCmd summarizes a JSONL trace: run header, detection timeline,
+// protocol-event census, per-message-kind network load, and — when the
+// sum record carries them — per-phase engine spans.
+func traceCmd(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-inspect trace", flag.ContinueOnError)
+	fs.SetOutput(out)
+	fs.Usage = func() {
+		fmt.Fprintln(out, "usage: nwade-inspect trace FILE.jsonl")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 1 {
+		fs.Usage()
+		return fmt.Errorf("want exactly one trace file, got %d args", fs.NArg())
+	}
+	f, err := os.Open(fs.Arg(0))
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	printTrace(out, tr)
+	return nil
+}
+
+// printTrace renders the parsed trace. Aggregates come from Stats(),
+// i.e. recomputed from the raw ev/net records, so the summary is honest
+// even for a truncated trace; only the span table needs the sum record.
+func printTrace(out io.Writer, tr *obs.Trace) {
+	if m := tr.Meta; m != nil {
+		fmt.Fprintf(out, "trace        : %s", orDash(m.Tool))
+		if m.Experiment != "" {
+			fmt.Fprintf(out, " -exp %s", m.Experiment)
+		}
+		fmt.Fprintln(out)
+		fmt.Fprintf(out, "scenario     : %s (seed %d)\n", orDash(m.Scenario), m.Seed)
+		if m.Intersection != "" {
+			fmt.Fprintf(out, "intersection : %s\n", m.Intersection)
+		}
+		if m.DurationNS > 0 {
+			fmt.Fprintf(out, "duration     : %v\n", time.Duration(m.DurationNS))
+		}
+		if m.Profile {
+			fmt.Fprintln(out, "profile      : wall-clock span timing enabled")
+		}
+	}
+	ts := tr.Stats()
+
+	fmt.Fprintln(out, "\ndetection timeline:")
+	timelineRow(out, "block-broadcast", ts.FirstBroadcast)
+	timelineRow(out, "report-sent", ts.FirstReport)
+	timelineRow(out, "block-rejected", ts.FirstReject)
+	timelineRow(out, "incident-confirmed", ts.FirstConfirm)
+	timelineRow(out, "evacuation", ts.FirstEvac)
+	if d, ok := ts.DetectionLatency(); ok {
+		fmt.Fprintf(out, "  vehicle-attack detection latency: %v (report -> confirm)\n", d.Round(time.Millisecond))
+	}
+	if d, ok := ts.IMDetectionLatency(); ok {
+		fmt.Fprintf(out, "  IM-attack detection latency:      %v (broadcast -> reject)\n", d.Round(time.Millisecond))
+	}
+
+	fmt.Fprintf(out, "\nprotocol events (%d total):\n", ts.Events)
+	for _, typ := range ordered.Keys(ts.EventsByType) {
+		fmt.Fprintf(out, "  %-22s %6d\n", typ, ts.EventsByType[typ])
+	}
+
+	fmt.Fprintf(out, "\nnetwork load (%d packets, %d bytes):\n", ts.NetPackets, ts.NetBytes)
+	for _, kind := range ordered.Keys(ts.KindBytes) {
+		fmt.Fprintf(out, "  %-12s %6d packets %10d bytes\n", kind, ts.KindPackets[kind], ts.KindBytes[kind])
+	}
+
+	if sum := tr.Summary; sum != nil && len(sum.Spans) > 0 {
+		fmt.Fprintln(out, "\nengine phases:")
+		fmt.Fprintf(out, "  %-16s %10s %10s %12s\n", "phase", "calls", "items", "wall")
+		for _, sp := range sum.Spans {
+			wall := "-"
+			if sp.WallNS > 0 {
+				wall = time.Duration(sp.WallNS).Round(time.Microsecond).String()
+			}
+			fmt.Fprintf(out, "  %-16s %10d %10d %12s\n", sp.Path, sp.Count, sp.Items, wall)
+		}
+	}
+}
+
+// timelineRow prints one first-occurrence line; negative means never.
+func timelineRow(out io.Writer, label string, at time.Duration) {
+	if at < 0 {
+		fmt.Fprintf(out, "  first %-20s -\n", label)
+		return
+	}
+	fmt.Fprintf(out, "  first %-20s %v\n", label, at.Round(time.Millisecond))
+}
+
+func orDash(s string) string {
+	if s == "" {
+		return "-"
+	}
+	return s
+}
+
 // printGeometry dumps legs, routes and the conflict table summary.
-func printGeometry(in *intersection.Intersection) {
-	fmt.Printf("%s\n", in.Name)
-	fmt.Printf("legs: %d, incoming lanes: %d, routes: %d, conflict zones: %d\n\n",
+func printGeometry(out io.Writer, in *intersection.Intersection) {
+	fmt.Fprintf(out, "%s\n", in.Name)
+	fmt.Fprintf(out, "legs: %d, incoming lanes: %d, routes: %d, conflict zones: %d\n\n",
 		len(in.LegHeadings), in.TotalInLanes(), len(in.Routes), len(in.Conflicts()))
 	for leg, h := range in.LegHeadings {
-		fmt.Printf("leg %d: heading %5.1f deg, %d incoming lanes, movements %v\n",
+		fmt.Fprintf(out, "leg %d: heading %5.1f deg, %d incoming lanes, movements %v\n",
 			leg, h*180/3.14159265, in.InLanes[leg], in.MovementsFromLeg(leg))
 	}
-	fmt.Println("\nroutes:")
+	fmt.Fprintln(out, "\nroutes:")
 	for _, r := range in.Routes {
-		fmt.Printf("  #%-3d %-14s -> leg %d  %-8s  len %6.1f m  conflict area [%.0f, %.0f]  %d conflicts\n",
+		fmt.Fprintf(out, "  #%-3d %-14s -> leg %d  %-8s  len %6.1f m  conflict area [%.0f, %.0f]  %d conflicts\n",
 			r.ID, r.From, r.ToLeg, r.Movement, r.Length(), r.CrossStart, r.CrossEnd, len(in.ConflictsOf(r.ID)))
 	}
 }
 
 // demoChain schedules a little traffic, packages three blocks, verifies
 // them, then demonstrates tamper detection and a Merkle inclusion proof.
-func demoChain(in *intersection.Intersection) error {
-	fmt.Println("\n--- travel-plan chain demo ---")
+func demoChain(out io.Writer, in *intersection.Intersection) error {
+	fmt.Fprintln(out, "\n--- travel-plan chain demo ---")
 	signer, err := chain.NewSigner(chain.DefaultKeyBits)
 	if err != nil {
 		return err
@@ -107,7 +225,7 @@ func demoChain(in *intersection.Intersection) error {
 		if err := verifier.Append(b); err != nil {
 			return fmt.Errorf("verification failed: %w", err)
 		}
-		fmt.Printf("block %d: %2d plans, root %v, hash %v — verified\n",
+		fmt.Fprintf(out, "block %d: %2d plans, root %v, hash %v — verified\n",
 			b.Seq, len(b.Plans), b.Root, b.HashBlock())
 		prev = b
 	}
@@ -119,7 +237,7 @@ func demoChain(in *intersection.Intersection) error {
 	tampered.Waypoints[0].S += 50
 	evil.Plans[0] = tampered
 	if err := chain.VerifyRoot(&evil); err != nil {
-		fmt.Printf("tampered plan rejected: %v\n", err)
+		fmt.Fprintf(out, "tampered plan rejected: %v\n", err)
 	} else {
 		return fmt.Errorf("tampering went undetected")
 	}
@@ -130,7 +248,7 @@ func demoChain(in *intersection.Intersection) error {
 		return err
 	}
 	ok := chain.VerifyProof(head.Root, leaves[0], proof)
-	fmt.Printf("merkle inclusion proof for %v: valid=%v (%d siblings)\n",
+	fmt.Fprintf(out, "merkle inclusion proof for %v: valid=%v (%d siblings)\n",
 		head.Plans[0].Vehicle, ok, len(proof.Steps))
 	return nil
 }

@@ -1,0 +1,72 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"nwade/internal/obs"
+)
+
+func TestRunGeometry(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-intersection", "cross4"}, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "routes:") {
+		t.Fatalf("geometry output missing routes:\n%s", buf.String())
+	}
+}
+
+func TestRunUnknownIntersection(t *testing.T) {
+	if err := run([]string{"-intersection", "nope"}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("unknown intersection should fail")
+	}
+}
+
+func TestTraceSubcommand(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sink := obs.New(obs.Options{Trace: f})
+	sink.WriteMeta(obs.Meta{Tool: "test", Scenario: "V1", Seed: 7})
+	sink.Event(1*time.Second, "block-broadcast", 0, 0, "")
+	sink.Event(2*time.Second, "report-sent", 3, 9, "")
+	sink.Event(3*time.Second, "incident-confirmed", 0, 9, "")
+	sink.NetSend(2*time.Second, "v3", "IM", "incident", 120, false)
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := run([]string{"trace", path}, &buf); err != nil {
+		t.Fatalf("trace subcommand: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"scenario     : V1 (seed 7)",
+		"vehicle-attack detection latency: 1s",
+		"incident          1 packets        120 bytes",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("trace output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestTraceSubcommandUsage(t *testing.T) {
+	if err := run([]string{"trace"}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("trace with no file should fail")
+	}
+	if err := run([]string{"trace", "does-not-exist.jsonl"}, &bytes.Buffer{}); err == nil {
+		t.Fatalf("trace with missing file should fail")
+	}
+}

@@ -18,6 +18,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
@@ -26,32 +27,50 @@ import (
 )
 
 func main() {
-	list := flag.Bool("list", false, "list the analyzers and exit")
-	flag.Usage = func() {
-		fmt.Fprintf(flag.CommandLine.Output(), "usage: nwade-lint [packages]\n\n"+
-			"Patterns: ./... (module tree), dir, dir/... — relative to the module root.\n\n")
-		flag.PrintDefaults()
+	findings, err := run(os.Args[1:], os.Stdout)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-lint:", err)
+		os.Exit(2)
 	}
-	flag.Parse()
+	if findings > 0 {
+		fmt.Fprintf(os.Stderr, "nwade-lint: %d finding(s)\n", findings)
+		os.Exit(1)
+	}
+}
+
+// run lints the requested patterns and returns the surviving finding
+// count (the caller maps >0 to exit code 1, errors to 2).
+func run(args []string, out io.Writer) (int, error) {
+	fs := flag.NewFlagSet("nwade-lint", flag.ContinueOnError)
+	fs.SetOutput(out)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	fs.Usage = func() {
+		fmt.Fprintf(out, "usage: nwade-lint [packages]\n\n"+
+			"Patterns: ./... (module tree), dir, dir/... — relative to the module root.\n\n")
+		fs.PrintDefaults()
+	}
+	if err := fs.Parse(args); err != nil {
+		return 0, err
+	}
 
 	analyzers := analysis.Default()
 	if *list {
 		for _, a := range analyzers {
-			fmt.Printf("%-16s %s\n", a.Name, a.Doc)
+			fmt.Fprintf(out, "%-16s %s\n", a.Name, a.Doc)
 		}
-		return
+		return 0, nil
 	}
 
 	root, err := findModuleRoot()
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	loader, err := analysis.NewLoader(root)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 
-	patterns := flag.Args()
+	patterns := fs.Args()
 	if len(patterns) == 0 {
 		patterns = []string{"./..."}
 	}
@@ -60,7 +79,7 @@ func main() {
 	for _, pat := range patterns {
 		expanded, err := expand(loader, root, pat)
 		if err != nil {
-			fatal(err)
+			return 0, err
 		}
 		for _, d := range expanded {
 			if !seen[d] {
@@ -72,19 +91,16 @@ func main() {
 
 	diags, err := analysis.LintDirs(loader, dirs, analyzers)
 	if err != nil {
-		fatal(err)
+		return 0, err
 	}
 	for _, d := range diags {
 		rel := d
 		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
 			rel.Pos.Filename = r
 		}
-		fmt.Println(rel)
+		fmt.Fprintln(out, rel)
 	}
-	if len(diags) > 0 {
-		fmt.Fprintf(os.Stderr, "nwade-lint: %d finding(s)\n", len(diags))
-		os.Exit(1)
-	}
+	return len(diags), nil
 }
 
 // expand resolves one package pattern to directories.
@@ -120,9 +136,4 @@ func findModuleRoot() (string, error) {
 		}
 		dir = parent
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "nwade-lint:", err)
-	os.Exit(2)
 }

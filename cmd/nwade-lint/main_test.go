@@ -1,0 +1,24 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestRunList(t *testing.T) {
+	var buf bytes.Buffer
+	findings, err := run([]string{"-list"}, &buf)
+	if err != nil {
+		t.Fatalf("run -list: %v", err)
+	}
+	if findings != 0 {
+		t.Fatalf("-list reported %d findings", findings)
+	}
+	out := buf.String()
+	for _, want := range []string{"nodeterminism", "maprange", "floateq", "errdrop"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("-list output missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -9,12 +9,16 @@
 //	nwade-sim -scenario benign -nwade=false   # plain AIM baseline
 //	nwade-sim -scenario V5 -rounds 8 -workers 4   # multi-seed replicas
 //	nwade-sim -scenario IM -faults partition -retrans   # degraded network
+//	nwade-sim -scenario V1 -trace run.jsonl   # protocol-event trace
+//	nwade-sim -scenario V1 -obs -pprof cpu.pb # counters + CPU profile
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -23,12 +27,13 @@ import (
 	"nwade/internal/eval"
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
+	"nwade/internal/obs"
 	"nwade/internal/sim"
 	"nwade/internal/vnet"
 )
 
 func main() {
-	if err := run(); err != nil {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "nwade-sim:", err)
 		os.Exit(1)
 	}
@@ -43,23 +48,30 @@ var kindByName = map[string]intersection.Kind{
 	"ddi4":        intersection.KindDDI4,
 }
 
-func run() error {
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-sim", flag.ContinueOnError)
+	fs.SetOutput(out)
 	var (
-		kindName = flag.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
-		density  = flag.Float64("density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
-		duration = flag.Duration("duration", 60*time.Second, "simulated time span")
-		seed     = flag.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		scenario = flag.String("scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
-		attackAt = flag.Duration("attack-at", 25*time.Second, "when the compromise activates")
-		nwadeOn  = flag.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
-		events   = flag.Bool("events", false, "print the protocol event log")
-		keyBits  = flag.Int("keybits", 1024, "IM signing key size (paper: 2048)")
-		rounds   = flag.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
-		workers  = flag.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
-		faults   = flag.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-		retrans  = flag.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		kindName = fs.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
+		density  = fs.Float64("density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
+		duration = fs.Duration("duration", 60*time.Second, "simulated time span")
+		seed     = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		scenario = fs.String("scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
+		attackAt = fs.Duration("attack-at", 25*time.Second, "when the compromise activates")
+		nwadeOn  = fs.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
+		events   = fs.Bool("events", false, "print the protocol event log")
+		keyBits  = fs.Int("keybits", 1024, "IM signing key size (paper: 2048)")
+		rounds   = fs.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
+		workers  = fs.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
+		faults   = fs.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans  = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		traceOut = fs.String("trace", "", "write a JSONL protocol-event trace to this file (inspect with nwade-inspect trace)")
+		obsRep   = fs.Bool("obs", false, "print the observability report (counters, histograms, spans) after the run")
+		pprofOut = fs.String("pprof", "", "write a CPU profile to this file (enables wall-clock span timing)")
 	)
-	flag.Parse()
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	kind, ok := kindByName[*kindName]
 	if !ok {
@@ -77,6 +89,41 @@ func run() error {
 	if err != nil {
 		return err
 	}
+
+	// Observability sink: nil unless one of -trace/-obs/-pprof asks for
+	// it, so the default run pays only nil checks.
+	var sink *obs.Sink
+	if *traceOut != "" || *obsRep || *pprofOut != "" {
+		o := obs.Options{Profile: *pprofOut != ""}
+		if *traceOut != "" {
+			tf, err := os.Create(*traceOut)
+			if err != nil {
+				return err
+			}
+			defer tf.Close()
+			o.Trace = tf
+		}
+		sink = obs.New(o)
+		sink.WriteMeta(obs.Meta{
+			Tool:         "nwade-sim",
+			Scenario:     sc.Name,
+			Seed:         *seed,
+			Intersection: inter.Name,
+			DurationNS:   int64(*duration),
+		})
+	}
+	if *pprofOut != "" {
+		pf, err := os.Create(*pprofOut)
+		if err != nil {
+			return err
+		}
+		defer pf.Close()
+		if err := pprof.StartCPUProfile(pf); err != nil {
+			return err
+		}
+		defer pprof.StopCPUProfile()
+	}
+
 	mkConfig := func(seed int64) sim.Config {
 		cfg := sim.Config{
 			Inter:      inter,
@@ -93,7 +140,12 @@ func run() error {
 	}
 	degraded := fc.Enabled() || *retrans
 	if *rounds > 1 {
-		return runReplicas(replicaRun{
+		if *traceOut != "" && *workers != 1 {
+			// Concurrent replicas would interleave their trace records.
+			fmt.Fprintln(out, "note: -trace forces -workers 1")
+			*workers = 1
+		}
+		err := runReplicas(out, replicaRun{
 			MkConfig: mkConfig,
 			Rounds:   *rounds,
 			Workers:  *workers,
@@ -105,55 +157,83 @@ func run() error {
 			NWADE:    *nwadeOn,
 			Faults:   *faults,
 			Retrans:  *retrans,
+			Obs:      sink,
 		})
+		if err != nil {
+			return err
+		}
+		return finishObs(out, sink, *obsRep, *traceOut)
 	}
-	engine, err := sim.New(mkConfig(*seed))
+	simOpts := []sim.Option{}
+	if sink != nil {
+		simOpts = append(simOpts, sim.WithObs(sink))
+	}
+	engine, err := sim.New(mkConfig(*seed), simOpts...)
 	if err != nil {
 		return err
 	}
 	res := engine.Run()
 
-	fmt.Printf("intersection : %s\n", inter.Name)
-	fmt.Printf("scenario     : %s (attack at %v)\n", sc.Name, sc.AttackAt)
-	fmt.Printf("density      : %g veh/min for %v (seed %d, NWADE %v)\n", *density, *duration, *seed, *nwadeOn)
+	fmt.Fprintf(out, "intersection : %s\n", inter.Name)
+	fmt.Fprintf(out, "scenario     : %s (attack at %v)\n", sc.Name, sc.AttackAt)
+	fmt.Fprintf(out, "density      : %g veh/min for %v (seed %d, NWADE %v)\n", *density, *duration, *seed, *nwadeOn)
 	if degraded {
-		fmt.Printf("faults       : %s (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
+		fmt.Fprintf(out, "faults       : %s (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
 			profileName(*faults), *retrans, res.Net.FaultDropped, res.Net.Duplicated, res.Retransmits)
 	}
-	fmt.Printf("spawned      : %d\n", res.Spawned)
-	fmt.Printf("exited       : %d (%.1f veh/min)\n", res.Exited, res.Throughput())
-	fmt.Printf("collisions   : %d\n", res.Collisions)
+	fmt.Fprintf(out, "spawned      : %d\n", res.Spawned)
+	fmt.Fprintf(out, "exited       : %d (%.1f veh/min)\n", res.Exited, res.Throughput())
+	fmt.Fprintf(out, "collisions   : %d\n", res.Collisions)
 	if roles := engine.Roles(); len(roles.All) > 0 {
-		fmt.Printf("coalition    : violator=%v falseReporters=%v\n", roles.Violator, roles.FalseReporters)
+		fmt.Fprintf(out, "coalition    : violator=%v falseReporters=%v\n", roles.Violator, roles.FalseReporters)
 	}
 
-	fmt.Println("\nnetwork packets by kind:")
+	fmt.Fprintln(out, "\nnetwork packets by kind:")
 	kinds := make([]string, 0, len(res.Net.Packets))
 	for k := range res.Net.Packets {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Printf("  %-12s %6d (%d bytes)\n", k, res.Net.Packets[k], res.Net.Bytes[k])
+		fmt.Fprintf(out, "  %-12s %6d (%d bytes)\n", k, res.Net.Packets[k], res.Net.Bytes[k])
 	}
-	fmt.Printf("  %-12s %6d\n", "TOTAL", res.Net.TotalPackets())
+	fmt.Fprintf(out, "  %-12s %6d\n", "TOTAL", res.Net.TotalPackets())
 
 	if *events {
-		fmt.Println("\nprotocol events:")
+		fmt.Fprintln(out, "\nprotocol events:")
 		for _, e := range res.Collector.Events() {
 			actor := "IM"
 			if e.Actor != 0 {
 				actor = e.Actor.String()
 			}
-			fmt.Printf("  %-10v %-22v %-5s", e.At.Round(time.Millisecond), e.Type, actor)
+			fmt.Fprintf(out, "  %-10v %-22v %-5s", e.At.Round(time.Millisecond), e.Type, actor)
 			if e.Subject != 0 {
-				fmt.Printf(" subject=%v", e.Subject)
+				fmt.Fprintf(out, " subject=%v", e.Subject)
 			}
 			if e.Info != "" {
-				fmt.Printf("  %s", e.Info)
+				fmt.Fprintf(out, "  %s", e.Info)
 			}
-			fmt.Println()
+			fmt.Fprintln(out)
 		}
+	}
+	return finishObs(out, sink, *obsRep, *traceOut)
+}
+
+// finishObs seals the sink (writing the trace's sum record) and prints
+// the report when -obs asked for it. Safe on a nil sink.
+func finishObs(out io.Writer, sink *obs.Sink, report bool, tracePath string) error {
+	if sink == nil {
+		return nil
+	}
+	if err := sink.Close(); err != nil {
+		return err
+	}
+	if report {
+		fmt.Fprintln(out)
+		sink.WriteReport(out)
+	}
+	if tracePath != "" {
+		fmt.Fprintf(out, "wrote trace %s\n", tracePath)
 	}
 	return nil
 }
@@ -185,18 +265,25 @@ type replicaRun struct {
 	// the printed summary (MkConfig already applied them).
 	Faults  string
 	Retrans bool
+	// Obs, when non-nil, is installed into every replica (counters
+	// aggregate across the sweep; run caps Workers at 1 when tracing).
+	Obs *obs.Sink
 }
 
 // runReplicas executes the replica sweep across the eval worker pool and
 // prints per-round and aggregate traffic summaries.
-func runReplicas(rr replicaRun) error {
+func runReplicas(out io.Writer, rr replicaRun) error {
 	seeds := make([]int64, rr.Rounds)
 	for i := range seeds {
 		seeds[i] = rr.BaseSeed + int64(i)
 	}
 	start := time.Now()
 	results, err := eval.RunCells(rr.Workers, seeds, func(seed int64) (metrics.RunResult, error) {
-		engine, err := sim.New(rr.MkConfig(seed))
+		opts := []sim.Option{}
+		if rr.Obs != nil {
+			opts = append(opts, sim.WithObs(rr.Obs))
+		}
+		engine, err := sim.New(rr.MkConfig(seed), opts...)
 		if err != nil {
 			return metrics.RunResult{}, fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -207,20 +294,20 @@ func runReplicas(rr replicaRun) error {
 	}
 	wall := time.Since(start)
 
-	fmt.Printf("intersection : %s\n", rr.Inter)
-	fmt.Printf("scenario     : %s\n", rr.Scenario)
-	fmt.Printf("density      : %g veh/min for %v (NWADE %v)\n", rr.Density, rr.Duration, rr.NWADE)
+	fmt.Fprintf(out, "intersection : %s\n", rr.Inter)
+	fmt.Fprintf(out, "scenario     : %s\n", rr.Scenario)
+	fmt.Fprintf(out, "density      : %g veh/min for %v (NWADE %v)\n", rr.Density, rr.Duration, rr.NWADE)
 	if rr.Faults != "" || rr.Retrans {
-		fmt.Printf("faults       : %s (retrans %v)\n", profileName(rr.Faults), rr.Retrans)
+		fmt.Fprintf(out, "faults       : %s (retrans %v)\n", profileName(rr.Faults), rr.Retrans)
 	}
-	fmt.Printf("replicas     : %d (seeds %d..%d, workers=%d, %v wall)\n\n",
+	fmt.Fprintf(out, "replicas     : %d (seeds %d..%d, workers=%d, %v wall)\n\n",
 		rr.Rounds, rr.BaseSeed, seeds[rr.Rounds-1], rr.Workers, wall.Round(time.Millisecond))
-	fmt.Printf("  %-6s %8s %8s %12s %11s\n", "seed", "spawned", "exited", "veh/min", "collisions")
+	fmt.Fprintf(out, "  %-6s %8s %8s %12s %11s\n", "seed", "spawned", "exited", "veh/min", "collisions")
 	var spawned, exited, collisions int
 	var dropped, duplicated, retransmits int
 	var thr float64
 	for i, res := range results {
-		fmt.Printf("  %-6d %8d %8d %12.1f %11d\n", seeds[i], res.Spawned, res.Exited, res.Throughput(), res.Collisions)
+		fmt.Fprintf(out, "  %-6d %8d %8d %12.1f %11d\n", seeds[i], res.Spawned, res.Exited, res.Throughput(), res.Collisions)
 		spawned += res.Spawned
 		exited += res.Exited
 		collisions += res.Collisions
@@ -230,10 +317,10 @@ func runReplicas(rr replicaRun) error {
 		retransmits += res.Retransmits
 	}
 	n := float64(rr.Rounds)
-	fmt.Printf("  %-6s %8.1f %8.1f %12.1f %11.1f\n", "mean",
+	fmt.Fprintf(out, "  %-6s %8.1f %8.1f %12.1f %11.1f\n", "mean",
 		float64(spawned)/n, float64(exited)/n, thr/n, float64(collisions)/n)
 	if rr.Faults != "" || rr.Retrans {
-		fmt.Printf("\n  fault-dropped %d, duplicated %d, retransmits %d (totals)\n",
+		fmt.Fprintf(out, "\n  fault-dropped %d, duplicated %d, retransmits %d (totals)\n",
 			dropped, duplicated, retransmits)
 	}
 	return nil

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"nwade/internal/obs"
+)
+
+func TestRunSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-scenario", "benign", "-duration", "2s", "-density", "30", "-keybits", "512"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	out := buf.String()
+	for _, want := range []string{"spawned", "collisions", "network packets by kind"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunReplicas(t *testing.T) {
+	var buf bytes.Buffer
+	args := []string{"-scenario", "benign", "-duration", "2s", "-density", "30",
+		"-keybits", "512", "-rounds", "2", "-workers", "1"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "mean") {
+		t.Fatalf("replica output missing aggregate row:\n%s", buf.String())
+	}
+}
+
+func TestRunTraceAndObs(t *testing.T) {
+	trace := filepath.Join(t.TempDir(), "run.jsonl")
+	var buf bytes.Buffer
+	args := []string{"-scenario", "benign", "-duration", "2s", "-density", "30",
+		"-keybits", "512", "-trace", trace, "-obs"}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	if !strings.Contains(buf.String(), "observability summary") {
+		t.Fatalf("-obs output missing report:\n%s", buf.String())
+	}
+	f, err := os.Open(trace)
+	if err != nil {
+		t.Fatalf("trace file: %v", err)
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		t.Fatalf("ReadTrace: %v", err)
+	}
+	if tr.Meta == nil || tr.Meta.Tool != "nwade-sim" || tr.Meta.Scenario != "benign" {
+		t.Fatalf("trace meta = %+v", tr.Meta)
+	}
+	if tr.Summary == nil {
+		t.Fatalf("trace missing sum record")
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	for _, args := range [][]string{
+		{"-scenario", "nope"},
+		{"-intersection", "nope"},
+		{"-faults", "nope"},
+	} {
+		if err := run(args, &bytes.Buffer{}); err == nil {
+			t.Fatalf("run(%v) should fail", args)
+		}
+	}
+}

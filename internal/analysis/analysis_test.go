@@ -12,6 +12,13 @@ import (
 // that exercises the directive machinery end to end.
 func lintSource(t *testing.T, src string) []Diagnostic {
 	t.Helper()
+	return lintSourceCfg(t, src, NoDeterminismConfig{})
+}
+
+// lintSourceCfg is lintSource with an explicit analyzer configuration,
+// for exercising the Sanctioned function list.
+func lintSourceCfg(t *testing.T, src string, cfg NoDeterminismConfig) []Diagnostic {
+	t.Helper()
 	dir := t.TempDir()
 	files := map[string]string{
 		"go.mod": "module fixture\n\ngo 1.22\n",
@@ -30,7 +37,53 @@ func lintSource(t *testing.T, src string) []Diagnostic {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return RunPackage(pkg, []*Analyzer{NewNoDeterminism(NoDeterminismConfig{})})
+	return RunPackage(pkg, []*Analyzer{NewNoDeterminism(cfg)})
+}
+
+func TestSanctionedFunctionIsExempt(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func wallNow() time.Time { return time.Now() }
+
+func other() time.Time { return time.Now() }
+`
+	cfg := NoDeterminismConfig{Sanctioned: []string{"fixture.wallNow"}}
+	diags := lintSourceCfg(t, src, cfg)
+	if len(diags) != 1 {
+		t.Fatalf("want 1 diagnostic (other only), got %v", diags)
+	}
+	if diags[0].Pos.Line != 7 {
+		t.Fatalf("diagnostic should be in other() on line 7, got %v", diags[0])
+	}
+}
+
+func TestSanctionedMethodIsExempt(t *testing.T) {
+	src := `package p
+
+import "time"
+
+type clock struct{}
+
+func (c *clock) now() time.Time { return time.Now() }
+`
+	cfg := NoDeterminismConfig{Sanctioned: []string{"fixture.clock.now"}}
+	if diags := lintSourceCfg(t, src, cfg); len(diags) != 0 {
+		t.Fatalf("sanctioned method should be exempt, got %v", diags)
+	}
+}
+
+func TestUnsanctionedStillReported(t *testing.T) {
+	src := `package p
+
+import "time"
+
+func wallNow() time.Time { return time.Now() }
+`
+	if diags := lintSourceCfg(t, src, NoDeterminismConfig{}); len(diags) != 1 {
+		t.Fatalf("without sanction the call must be reported, got %v", diags)
+	}
 }
 
 func TestIgnoreDirectiveSuppressesLineBelow(t *testing.T) {

@@ -10,20 +10,33 @@ type NoDeterminismConfig struct {
 	// PackagePrefixes restricts the rule to packages whose import path
 	// starts with one of these prefixes. Empty means every package.
 	PackagePrefixes []string
+	// Sanctioned lists fully-qualified functions ("pkg/path.Func" or
+	// "pkg/path.Type.Method") whose bodies are exempt: the audited entry
+	// points that are allowed to read the wall clock on purpose. A
+	// sanctioned function is a reviewed design decision, unlike a
+	// //lint:ignore directive, which marks a local exception.
+	Sanctioned []string
 }
 
 // DefaultNoDeterminismConfig bans wall-clock and global-RNG reads inside
-// the simulation core: everything a seeded replay flows through.
+// the simulation core: everything a seeded replay flows through. The
+// observability layer is in scope too — its one sanctioned wall-clock
+// read (obs.wallNow, behind the explicit profiling mode) is the only
+// place the host clock may enter.
 func DefaultNoDeterminismConfig() NoDeterminismConfig {
-	return NoDeterminismConfig{PackagePrefixes: []string{
-		"nwade/internal/sim",
-		"nwade/internal/nwade",
-		"nwade/internal/eval",
-		"nwade/internal/vnet",
-		"nwade/internal/attack",
-		"nwade/internal/traffic",
-		"nwade/internal/chain",
-	}}
+	return NoDeterminismConfig{
+		PackagePrefixes: []string{
+			"nwade/internal/sim",
+			"nwade/internal/nwade",
+			"nwade/internal/eval",
+			"nwade/internal/vnet",
+			"nwade/internal/attack",
+			"nwade/internal/traffic",
+			"nwade/internal/chain",
+			"nwade/internal/obs",
+		},
+		Sanctioned: []string{"nwade/internal/obs.wallNow"},
+	}
 }
 
 // bannedTimeFuncs are the wall-clock reads of package time. Durations and
@@ -57,41 +70,73 @@ func NewNoDeterminism(cfg NoDeterminismConfig) *Analyzer {
 		Name: "nodeterminism",
 		Doc:  "bans wall-clock reads and global math/rand draws in the simulation core",
 	}
+	sanctioned := make(map[string]bool, len(cfg.Sanctioned))
+	for _, s := range cfg.Sanctioned {
+		sanctioned[s] = true
+	}
 	a.Run = func(pass *Pass) {
 		if !prefixApplies(pass.Pkg.Path, cfg.PackagePrefixes) {
 			return
 		}
 		for _, f := range pass.Pkg.Files {
-			ast.Inspect(f, func(n ast.Node) bool {
-				call, ok := n.(*ast.CallExpr)
-				if !ok {
-					return true
+			for _, decl := range f.Decls {
+				if fd, ok := decl.(*ast.FuncDecl); ok && sanctioned[funcQualName(pass.Pkg.Path, fd)] {
+					continue
 				}
-				sel, ok := call.Fun.(*ast.SelectorExpr)
-				if !ok {
-					return true
-				}
-				qual, ok := sel.X.(*ast.Ident)
-				if !ok {
-					return true
-				}
-				switch pass.pkgPathOf(qual) {
-				case "time":
-					if bannedTimeFuncs[sel.Sel.Name] {
-						pass.Reportf(call.Pos(),
-							"time.%s reads the wall clock; seeded replays must derive every timestamp from simulated time", sel.Sel.Name)
+				ast.Inspect(decl, func(n ast.Node) bool {
+					call, ok := n.(*ast.CallExpr)
+					if !ok {
+						return true
 					}
-				case "math/rand", "math/rand/v2":
-					if bannedRandFuncs[sel.Sel.Name] {
-						pass.Reportf(call.Pos(),
-							"rand.%s draws from the global RNG; use a seeded *rand.Rand owned by the component", sel.Sel.Name)
+					sel, ok := call.Fun.(*ast.SelectorExpr)
+					if !ok {
+						return true
 					}
-				}
-				return true
-			})
+					qual, ok := sel.X.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch pass.pkgPathOf(qual) {
+					case "time":
+						if bannedTimeFuncs[sel.Sel.Name] {
+							pass.Reportf(call.Pos(),
+								"time.%s reads the wall clock; seeded replays must derive every timestamp from simulated time", sel.Sel.Name)
+						}
+					case "math/rand", "math/rand/v2":
+						if bannedRandFuncs[sel.Sel.Name] {
+							pass.Reportf(call.Pos(),
+								"rand.%s draws from the global RNG; use a seeded *rand.Rand owned by the component", sel.Sel.Name)
+						}
+					}
+					return true
+				})
+			}
 		}
 	}
 	return a
+}
+
+// funcQualName renders a declaration as "pkg/path.Func" or
+// "pkg/path.Type.Method" for the Sanctioned lookup. Pointer receivers
+// and generic receivers collapse to the bare type name.
+func funcQualName(pkgPath string, fd *ast.FuncDecl) string {
+	name := fd.Name.Name
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		t := fd.Recv.List[0].Type
+		if star, ok := t.(*ast.StarExpr); ok {
+			t = star.X
+		}
+		switch tt := t.(type) {
+		case *ast.IndexExpr:
+			t = tt.X
+		case *ast.IndexListExpr:
+			t = tt.X
+		}
+		if id, ok := t.(*ast.Ident); ok {
+			name = id.Name + "." + name
+		}
+	}
+	return pkgPath + "." + name
 }
 
 // prefixApplies reports whether path is covered by the prefix list

@@ -1,0 +1,150 @@
+// Package benchfmt defines the JSON schema emitted by nwade-bench and
+// the comparison logic used by nwade-benchdiff and the CI regression
+// gate. Keeping the types here (rather than in cmd/nwade-bench) lets
+// the producer and the comparator share one definition, so a schema
+// drift breaks the build instead of silently producing empty diffs.
+package benchfmt
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Timing is one experiment's wall-clock measurement.
+type Timing struct {
+	Experiment string  `json:"experiment"`
+	WallMS     float64 `json:"wall_ms"`
+	Rounds     int     `json:"rounds"`
+	Workers    int     `json:"workers"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// Report is a full nwade-bench run: machine shape plus per-experiment
+// timings.
+type Report struct {
+	GOMAXPROCS  int      `json:"gomaxprocs"`
+	NumCPU      int      `json:"numcpu"`
+	Workers     int      `json:"workers"`
+	Experiments []Timing `json:"experiments"`
+}
+
+// Load reads a Report from a JSON file written by nwade-bench -json.
+func Load(path string) (Report, error) {
+	var r Report
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, err
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("%s: %w", path, err)
+	}
+	return r, nil
+}
+
+// ParseThreshold accepts either a percentage ("15%") or a plain ratio
+// ("0.15") and returns the ratio. Negative thresholds are rejected: a
+// gate that fails on any slowdown at all should say "0%".
+func ParseThreshold(s string) (float64, error) {
+	trimmed := strings.TrimSpace(s)
+	pct := strings.HasSuffix(trimmed, "%")
+	trimmed = strings.TrimSuffix(trimmed, "%")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil {
+		return 0, fmt.Errorf("threshold %q: %w", s, err)
+	}
+	if pct {
+		v /= 100
+	}
+	if v < 0 {
+		return 0, fmt.Errorf("threshold %q: must be >= 0", s)
+	}
+	return v, nil
+}
+
+// Delta is the comparison of one experiment across two reports. An
+// experiment present in only one report has Missing set and never
+// gates: baselines age as experiments are added and removed, and a
+// one-sided entry is a schema change to flag, not a regression.
+type Delta struct {
+	Experiment string
+	OldMS      float64
+	NewMS      float64
+	// Ratio is (new-old)/old; 0.15 means 15% slower.
+	Ratio float64
+	// Regressed is true when Ratio exceeds the gate threshold.
+	Regressed bool
+	// Missing notes a one-sided experiment: "old" (removed) or "new"
+	// (added). Empty when both sides measured it.
+	Missing string
+}
+
+// Diff matches experiments by name and flags every one whose slowdown
+// ratio exceeds threshold. Results are ordered: two-sided deltas first
+// in baseline order, then additions in new-report order.
+func Diff(old, new Report, threshold float64) []Delta {
+	newByName := make(map[string]Timing, len(new.Experiments))
+	for _, t := range new.Experiments {
+		newByName[t.Experiment] = t
+	}
+	var out []Delta
+	seen := make(map[string]bool, len(old.Experiments))
+	for _, o := range old.Experiments {
+		seen[o.Experiment] = true
+		n, ok := newByName[o.Experiment]
+		if !ok {
+			out = append(out, Delta{Experiment: o.Experiment, OldMS: o.WallMS, Missing: "old"})
+			continue
+		}
+		d := Delta{Experiment: o.Experiment, OldMS: o.WallMS, NewMS: n.WallMS}
+		if o.WallMS > 0 {
+			d.Ratio = (n.WallMS - o.WallMS) / o.WallMS
+		}
+		d.Regressed = d.Ratio > threshold
+		out = append(out, d)
+	}
+	var added []Delta
+	for _, n := range new.Experiments {
+		if !seen[n.Experiment] {
+			added = append(added, Delta{Experiment: n.Experiment, NewMS: n.WallMS, Missing: "new"})
+		}
+	}
+	sort.SliceStable(added, func(i, j int) bool { return added[i].Experiment < added[j].Experiment })
+	return append(out, added...)
+}
+
+// Regressions counts the deltas that exceeded the threshold.
+func Regressions(deltas []Delta) int {
+	n := 0
+	for _, d := range deltas {
+		if d.Regressed {
+			n++
+		}
+	}
+	return n
+}
+
+// Format renders a diff as an aligned human-readable table.
+func Format(deltas []Delta) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%-28s %12s %12s %9s\n", "experiment", "old ms", "new ms", "delta")
+	for _, d := range deltas {
+		switch d.Missing {
+		case "old":
+			fmt.Fprintf(&b, "%-28s %12.3f %12s %9s\n", d.Experiment, d.OldMS, "-", "removed")
+		case "new":
+			fmt.Fprintf(&b, "%-28s %12s %12.3f %9s\n", d.Experiment, "-", d.NewMS, "added")
+		default:
+			mark := ""
+			if d.Regressed {
+				mark = " REGRESSION"
+			}
+			fmt.Fprintf(&b, "%-28s %12.3f %12.3f %+8.1f%%%s\n",
+				d.Experiment, d.OldMS, d.NewMS, d.Ratio*100, mark)
+		}
+	}
+	return b.String()
+}

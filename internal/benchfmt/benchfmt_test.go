@@ -1,0 +1,109 @@
+package benchfmt
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestParseThreshold(t *testing.T) {
+	cases := []struct {
+		in   string
+		want float64
+		ok   bool
+	}{
+		{"15%", 0.15, true},
+		{"0.15", 0.15, true},
+		{" 10% ", 0.10, true},
+		{"0", 0, true},
+		{"-5%", 0, false},
+		{"abc", 0, false},
+		{"", 0, false},
+	}
+	for _, c := range cases {
+		got, err := ParseThreshold(c.in)
+		if c.ok != (err == nil) {
+			t.Fatalf("ParseThreshold(%q) err=%v, want ok=%v", c.in, err, c.ok)
+		}
+		if c.ok && got != c.want {
+			t.Fatalf("ParseThreshold(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDiffFlagsRegressions(t *testing.T) {
+	old := Report{Experiments: []Timing{
+		{Experiment: "a", WallMS: 100},
+		{Experiment: "b", WallMS: 100},
+		{Experiment: "gone", WallMS: 50},
+	}}
+	new := Report{Experiments: []Timing{
+		{Experiment: "a", WallMS: 110}, // +10%: under threshold
+		{Experiment: "b", WallMS: 130}, // +30%: regression
+		{Experiment: "fresh", WallMS: 5},
+	}}
+	deltas := Diff(old, new, 0.15)
+	if len(deltas) != 4 {
+		t.Fatalf("got %d deltas, want 4", len(deltas))
+	}
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Experiment] = d
+	}
+	if byName["a"].Regressed {
+		t.Fatalf("a (+10%%) should not regress at 15%% threshold")
+	}
+	if !byName["b"].Regressed {
+		t.Fatalf("b (+30%%) should regress at 15%% threshold")
+	}
+	if byName["gone"].Missing != "old" || byName["gone"].Regressed {
+		t.Fatalf("removed experiment should be non-gating: %+v", byName["gone"])
+	}
+	if byName["fresh"].Missing != "new" || byName["fresh"].Regressed {
+		t.Fatalf("added experiment should be non-gating: %+v", byName["fresh"])
+	}
+	if got := Regressions(deltas); got != 1 {
+		t.Fatalf("Regressions = %d, want 1", got)
+	}
+}
+
+func TestDiffZeroBaseline(t *testing.T) {
+	old := Report{Experiments: []Timing{{Experiment: "a", WallMS: 0}}}
+	new := Report{Experiments: []Timing{{Experiment: "a", WallMS: 10}}}
+	deltas := Diff(old, new, 0.15)
+	if deltas[0].Regressed {
+		t.Fatalf("zero baseline must not divide by zero into a regression")
+	}
+}
+
+func TestLoadRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	body := `{"gomaxprocs":4,"numcpu":8,"workers":0,"experiments":[
+		{"experiment":"x","wall_ms":12.5,"rounds":3,"workers":1}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.GOMAXPROCS != 4 || len(r.Experiments) != 1 || r.Experiments[0].WallMS != 12.5 {
+		t.Fatalf("unexpected report: %+v", r)
+	}
+	if _, err := Load(filepath.Join(dir, "missing.json")); err == nil {
+		t.Fatalf("Load of missing file should error")
+	}
+}
+
+func TestFormat(t *testing.T) {
+	deltas := []Delta{
+		{Experiment: "a", OldMS: 100, NewMS: 130, Ratio: 0.3, Regressed: true},
+		{Experiment: "fresh", NewMS: 5, Missing: "new"},
+	}
+	out := Format(deltas)
+	if !strings.Contains(out, "REGRESSION") || !strings.Contains(out, "added") {
+		t.Fatalf("Format output missing markers:\n%s", out)
+	}
+}

@@ -18,6 +18,7 @@ import (
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
 	"nwade/internal/nwade"
+	"nwade/internal/obs"
 	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/sim"
@@ -59,6 +60,12 @@ type Config struct {
 	Settings []string
 	// Densities restricts density sweeps (nil = the paper's full list).
 	Densities []float64
+	// Obs, when non-nil, is installed into every simulation round:
+	// counters and histograms aggregate across the whole sweep (the sink
+	// is internally synchronized). Callers that also give the sink a
+	// trace writer should run with Workers=1 — concurrent rounds would
+	// interleave their trace records.
+	Obs *obs.Sink
 }
 
 // Normalize fills defaults.

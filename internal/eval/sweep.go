@@ -100,7 +100,11 @@ func (r *runner) runSpecs(specs []simSpec) ([]*outcome, error) {
 		if r.cfg.Resilience {
 			s.cfg.Resilience = true
 		}
-		e, err := sim.New(s.cfg, sim.WithSigner(r.signer))
+		opts := []sim.Option{sim.WithSigner(r.signer)}
+		if r.cfg.Obs != nil {
+			opts = append(opts, sim.WithObs(r.cfg.Obs))
+		}
+		e, err := sim.New(s.cfg, opts...)
 		if err != nil {
 			return nil, fmt.Errorf("%s: %w", s.label, err)
 		}

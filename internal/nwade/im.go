@@ -9,6 +9,7 @@ import (
 	"nwade/internal/chain"
 	"nwade/internal/geom"
 	"nwade/internal/intersection"
+	obspkg "nwade/internal/obs"
 	"nwade/internal/ordered"
 	"nwade/internal/plan"
 	"nwade/internal/sched"
@@ -139,6 +140,7 @@ type IMCore struct {
 	auto   *IMAutomaton
 	sink   EventSink
 	mal    *IMMalice
+	obs    *obspkg.Sink
 
 	blocks    []*chain.Block // full history, for serving block requests
 	pending   map[plan.VehicleID]sched.Request
@@ -195,6 +197,16 @@ func NewIMCore(cfg IMConfig, inter *intersection.Intersection, signer *chain.Sig
 		gone:           make(map[plan.VehicleID]bool),
 		watching:       make(map[plan.VehicleID]int),
 		unplannedSince: make(map[plan.VehicleID]time.Duration),
+	}
+}
+
+// SetObs installs the observability sink (nil disables it), propagating
+// it to the schedulers the IM drives.
+func (im *IMCore) SetObs(o *obspkg.Sink) {
+	im.obs = o
+	im.evac.SetObs(o)
+	if oa, ok := im.sch.(sched.ObsAware); ok {
+		oa.SetObs(o)
 	}
 }
 
@@ -351,6 +363,7 @@ const coreZoneRadius = 80.0
 
 // directCheck compares the suspect's observed status with its plan.
 func (im *IMCore) directCheck(now time.Duration, ir IncidentReport, obs plan.Status) []Out {
+	im.obs.Inc(obspkg.CntDirectChecks)
 	p, ok := im.ledger.Get(ir.Suspect)
 	if !ok {
 		// No plan on file. An unplanned vehicle inside the conflict
@@ -466,6 +479,7 @@ func (im *IMCore) startVote(now time.Duration, ir IncidentReport, round int, pre
 			Payload: VerifyRequest{Suspect: ir.Suspect, Nonce: v.nonce}, Size: sizeVerifyReq})
 	}
 	im.verifs[v.nonce] = v
+	im.obs.Inc(obspkg.CntVoteRounds)
 	im.sink.emit(Event{At: now, Type: EvVoteRound, Subject: ir.Suspect,
 		Info: fmt.Sprintf("round %d, %d verifiers", round, len(group))})
 	return outs
@@ -643,6 +657,9 @@ func (im *IMCore) recover(now time.Duration) []Out {
 // hazard plans that the new schedules must avoid. Vehicles that cannot be
 // rescheduled keep their old plans.
 func (im *IMCore) rescheduleAll(now time.Duration, scheduler sched.Scheduler, hazards bool) []*plan.TravelPlan {
+	if oa, ok := scheduler.(sched.ObsAware); ok {
+		oa.SetObs(im.obs)
+	}
 	fresh := sched.NewLedger(im.inter)
 	if hazards {
 		for _, id := range ordered.Keys(im.suspects) {
@@ -779,6 +796,8 @@ func (im *IMCore) packageAndBroadcast(now time.Duration, plans []*plan.TravelPla
 		b.Sig[0] ^= 0xFF
 	}
 	im.blocks = append(im.blocks, b)
+	im.obs.Inc(obspkg.CntBlocksPackaged)
+	im.obs.Observe(obspkg.HistBlockPlans, float64(len(b.Plans)))
 	im.sink.emit(Event{At: now, Type: EvBlockBroadcast, Info: fmt.Sprintf("seq %d, %d plans, evac=%v", b.Seq, len(b.Plans), evacuation)})
 	var out Out
 	if evacuation {
@@ -903,6 +922,7 @@ func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
 			}
 			pe, se, _ := CheckConduct(p, r, o.Status, im.cfg.Tolerance)
 			why, mag := aggressiveWhy(p, r, o.Status, im.cfg.Tolerance)
+			im.obs.Inc(obspkg.CntDirectChecks)
 			im.sink.emit(Event{At: now, Type: EvDirectCheck, Subject: id,
 				Info: fmt.Sprintf("self-monitoring posErr=%.1f spdErr=%.1f %s=%.1f", pe, se, why, mag)})
 			outs = append(outs, im.confirmIncident(now, id, o.Status)...)
@@ -950,6 +970,7 @@ func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
 	// vehicles that lost it re-join the chain.
 	if im.cfg.HeadRebroadcast > 0 && im.lastCastMsg != nil && now-im.lastCastAt >= im.cfg.HeadRebroadcast {
 		im.lastCastAt = now
+		im.obs.Inc(obspkg.CntRetransmits)
 		im.sink.emit(Event{At: now, Type: EvRetransmit, Info: fmt.Sprintf("head seq %d", im.Head().Seq)})
 		outs = append(outs, *im.lastCastMsg)
 	}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nwade/internal/chain"
+	obspkg "nwade/internal/obs"
 	"nwade/internal/ordered"
 	"nwade/internal/vnet"
 )
@@ -208,6 +209,7 @@ func (vc *VehicleCore) resilienceTick(now time.Duration) []Out {
 				continue
 			}
 			rs.bump(now, res)
+			vc.obs.Inc(obspkg.CntRetransmits)
 			vc.sink.emit(Event{At: now, Type: EvRetransmit, Actor: vc.id,
 				Info: fmt.Sprintf("block-req seq %d attempt %d", seq, rs.attempts)})
 			outs = append(outs, Out{To: vnet.Broadcast, Kind: KindBlockReq,
@@ -222,6 +224,7 @@ func (vc *VehicleCore) resilienceTick(now time.Duration) []Out {
 		vc.reportRetry.attempts < res.MaxAttempts {
 		vc.reportRetry.bump(now, res)
 		ir := *vc.pendingReport
+		vc.obs.Inc(obspkg.CntRetransmits)
 		vc.sink.emit(Event{At: now, Type: EvRetransmit, Actor: vc.id, Subject: ir.Suspect,
 			Info: fmt.Sprintf("incident attempt %d", vc.reportRetry.attempts)})
 		outs = append(outs, Out{To: vnet.IMNode, Kind: KindIncident, Payload: ir, Size: sizeIncident})
@@ -241,6 +244,7 @@ func (vc *VehicleCore) globalResendTick(now time.Duration) []Out {
 		return nil
 	}
 	vc.globalRetry.bump(now, res)
+	vc.obs.Inc(obspkg.CntRetransmits)
 	vc.sink.emit(Event{At: now, Type: EvRetransmit, Actor: vc.id, Subject: vc.globalOut.Suspect,
 		Info: fmt.Sprintf("global attempt %d", vc.globalRetry.attempts)})
 	return []Out{{To: vnet.Broadcast, Kind: KindGlobal, Payload: *vc.globalOut, Size: sizeGlobal}}

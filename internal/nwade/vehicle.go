@@ -7,6 +7,7 @@ import (
 
 	"nwade/internal/chain"
 	"nwade/internal/intersection"
+	obspkg "nwade/internal/obs"
 	"nwade/internal/plan"
 	"nwade/internal/units"
 	"nwade/internal/vnet"
@@ -136,6 +137,7 @@ type VehicleCore struct {
 	cfg   VehicleConfig
 	sink  EventSink
 	mal   *VehicleMalice
+	obs   *obspkg.Sink
 
 	arriveAt time.Duration
 	speed0   float64
@@ -219,6 +221,9 @@ func NewVehicleCore(id plan.VehicleID, char plan.Characteristics, route *interse
 	}
 }
 
+// SetObs installs the observability sink (nil disables it).
+func (vc *VehicleCore) SetObs(o *obspkg.Sink) { vc.obs = o }
+
 // State exposes the DFA state.
 func (vc *VehicleCore) State() VehicleState { return vc.auto.State() }
 
@@ -291,11 +296,13 @@ func (vc *VehicleCore) enterSelfEvac(now time.Duration, reason GlobalReason, blo
 	vc.evacReason = reason
 	vc.distrustIM = true
 	_ = vc.auto.To(VSelfEvac)
+	vc.obs.Inc(obspkg.CntSelfEvacuations)
 	vc.sink.emit(Event{At: now, Type: EvSelfEvacuation, Actor: vc.id, Subject: suspect, Info: reason.String()})
 	if vc.sentGlobal {
 		return nil
 	}
 	vc.sentGlobal = true
+	vc.obs.Inc(obspkg.CntGlobalReports)
 	vc.sink.emit(Event{At: now, Type: EvGlobalSent, Actor: vc.id, Subject: suspect, Info: reason.String()})
 	gr := GlobalReport{Reporter: vc.id, Reason: reason, BlockSeq: blockSeq, Suspect: suspect, At: now}
 	if vc.resilient() {
@@ -394,8 +401,9 @@ func (vc *VehicleCore) handleBlock(now time.Duration, b *chain.Block, evacuation
 func (vc *VehicleCore) processBlock(now time.Duration, b *chain.Block, evacuation bool) []Out {
 	prevState := vc.auto.State()
 	_ = vc.auto.To(VBlockVerify)
-	err := VerifyBlock(vc.cache, vc.chk, b, vc.knownSuspects)
+	err := verifyBlockObs(vc.cache, vc.chk, b, vc.knownSuspects, vc.obs)
 	if err != nil {
+		vc.obs.Inc(obspkg.CntBlocksRejected)
 		vc.sink.emit(Event{At: now, Type: EvBlockRejected, Actor: vc.id, Info: err.Error()})
 		reason := ReasonBadBlock
 		if errors.Is(err, ErrConflictingPlans) {
@@ -403,6 +411,7 @@ func (vc *VehicleCore) processBlock(now time.Duration, b *chain.Block, evacuatio
 		}
 		return vc.enterSelfEvac(now, reason, b.Seq, 0)
 	}
+	vc.obs.Inc(obspkg.CntBlocksVerified)
 	vc.sink.emit(Event{At: now, Type: EvBlockAccepted, Actor: vc.id, Info: fmt.Sprintf("seq %d", b.Seq)})
 	delete(vc.missing, b.Seq)
 	delete(vc.blockRetry, b.Seq)
@@ -495,12 +504,15 @@ func (vc *VehicleCore) handleBlockResp(now time.Duration, b *chain.Block) []Out 
 // consistency without touching the cache (used for blocks named in
 // global reports).
 func (vc *VehicleCore) recheckBlock(b *chain.Block) error {
+	vc.obs.Inc(obspkg.CntSigChecks)
 	if err := chain.VerifySignature(vc.cache.PublicKey(), b); err != nil {
 		return err
 	}
+	vc.obs.Inc(obspkg.CntMerkleChecks)
 	if err := chain.VerifyRoot(b); err != nil {
 		return err
 	}
+	vc.obs.Inc(obspkg.CntConflictChecks)
 	if cs := vc.chk.CheckAll(b.Plans, nil); len(cs) > 0 {
 		return fmt.Errorf("%w: %v", ErrConflictingPlans, cs[0])
 	}
@@ -519,6 +531,7 @@ func (vc *VehicleCore) oldestSeq() uint64 {
 // handleVerifyReq answers the IM's local-verification request with the
 // vehicle's own observation of the suspect.
 func (vc *VehicleCore) handleVerifyReq(now time.Duration, vr VerifyRequest) []Out {
+	vc.obs.Inc(obspkg.CntVotesCast)
 	obs, visible := vc.lastNeighbors[vr.Suspect]
 	abnormal := false
 	if visible {
@@ -856,6 +869,7 @@ func (vc *VehicleCore) watch(now time.Duration, neighbors []Neighbor) []Out {
 		vc.pendingSince = now
 		vc.cooldown[n.ID] = now + vc.cfg.ReportCooldown
 		_ = vc.auto.To(VReporting)
+		vc.obs.Inc(obspkg.CntLocalReports)
 		vc.sink.emit(Event{At: now, Type: EvReportSent, Actor: vc.id, Subject: n.ID})
 		ir := IncidentReport{
 			Reporter: vc.id,
@@ -899,6 +913,7 @@ func (vc *VehicleCore) malTick(now time.Duration, neighbors []Neighbor) []Out {
 				ev.Pos = ev.Pos.Add(ev.Pos.Unit().Scale(25))
 				ev.Speed += 10
 			}
+			vc.obs.Inc(obspkg.CntLocalReports)
 			vc.sink.emit(Event{At: now, Type: EvReportSent, Actor: vc.id, Subject: target, Info: "FALSE report"})
 			outs = append(outs, Out{To: vnet.IMNode, Kind: KindIncident, Payload: IncidentReport{
 				Reporter: vc.id, Suspect: target, Evidence: ev, At: now,
@@ -915,6 +930,7 @@ func (vc *VehicleCore) malTick(now time.Duration, neighbors []Neighbor) []Out {
 		if h := vc.cache.Head(); h != nil {
 			seq = h.Seq
 		}
+		vc.obs.Inc(obspkg.CntGlobalReports)
 		vc.sink.emit(Event{At: now, Type: EvGlobalSent, Actor: vc.id, Info: "FALSE global report"})
 		outs = append(outs, Out{To: vnet.Broadcast, Kind: KindGlobal, Payload: GlobalReport{
 			Reporter: vc.id, Reason: reason, BlockSeq: seq, At: now,

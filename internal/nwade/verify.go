@@ -7,6 +7,7 @@ import (
 
 	"nwade/internal/chain"
 	"nwade/internal/intersection"
+	obspkg "nwade/internal/obs"
 	"nwade/internal/plan"
 )
 
@@ -115,21 +116,32 @@ var ErrConflictingPlans = errors.New("nwade: block contains conflicting travel p
 // confirmed suspects named in an evacuation alert, whose old plans the
 // new schedules deliberately conflict with. It may be nil.
 func VerifyBlock(c *chain.Chain, checker *plan.ConflictChecker, b *chain.Block, exclude map[plan.VehicleID]bool) error {
+	return verifyBlockObs(c, checker, b, exclude, nil)
+}
+
+// verifyBlockObs is VerifyBlock with per-check counters: each counter
+// increments only when its check actually runs, so early exits are
+// measured precisely. A nil sink costs one pointer check per counter.
+func verifyBlockObs(c *chain.Chain, checker *plan.ConflictChecker, b *chain.Block, exclude map[plan.VehicleID]bool, o *obspkg.Sink) error {
 	// Steps i and iii are enforced by the chain cache (signature, root,
 	// link); do the cheap cryptographic checks before the plan math.
 	head := c.Head()
+	o.Inc(obspkg.CntSigChecks)
 	if err := chain.VerifySignature(c.PublicKey(), b); err != nil {
 		return err
 	}
+	o.Inc(obspkg.CntMerkleChecks)
 	if err := chain.VerifyRoot(b); err != nil {
 		return err
 	}
 	if head != nil {
+		o.Inc(obspkg.CntLinkChecks)
 		if err := chain.VerifyLink(head, b); err != nil {
 			return err
 		}
 	}
 	// Step ii: internal consistency of the new plans.
+	o.Inc(obspkg.CntConflictChecks)
 	if cs := checker.CheckAll(b.Plans, nil); len(cs) > 0 {
 		return fmt.Errorf("%w: %v", ErrConflictingPlans, cs[0])
 	}
@@ -148,6 +160,7 @@ func VerifyBlock(c *chain.Chain, checker *plan.ConflictChecker, b *chain.Block, 
 		}
 	}
 	if len(prior) > 0 {
+		o.Inc(obspkg.CntConflictChecks)
 		if cs := checker.CheckAll(b.Plans, prior); len(cs) > 0 {
 			return fmt.Errorf("%w: %v", ErrConflictingPlans, cs[0])
 		}

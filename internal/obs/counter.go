@@ -1,0 +1,83 @@
+package obs
+
+// Counter identifies one monotonic counter. The set mirrors the costs the
+// paper's evaluation cares about: verification work (signature, Merkle,
+// linkage, conflict checks), protocol traffic (reports, votes,
+// retransmissions), network load, and scheduler admission pressure.
+type Counter uint8
+
+// Counters. The enum order is the deterministic output order.
+const (
+	// Protocol: block pipeline.
+	CntBlocksPackaged Counter = iota
+	CntBlocksVerified
+	CntBlocksRejected
+	CntSigChecks
+	CntMerkleChecks
+	CntLinkChecks
+	CntConflictChecks
+
+	// Protocol: neighborhood watch and global verification.
+	CntLocalReports
+	CntGlobalReports
+	CntVotesCast
+	CntVoteRounds
+	CntDirectChecks
+	CntRetransmits
+	CntSelfEvacuations
+
+	// Virtual network.
+	CntNetPackets
+	CntNetBytes
+	CntNetDelivered
+	CntNetDropped
+	CntNetFaultDropped
+	CntNetDuplicated
+
+	// Scheduler admission.
+	CntSchedRequests
+	CntSchedAdmitted
+	CntSchedRejected
+
+	numCounters
+)
+
+var counterNames = [numCounters]string{
+	CntBlocksPackaged:  "blocks-packaged",
+	CntBlocksVerified:  "blocks-verified",
+	CntBlocksRejected:  "blocks-rejected",
+	CntSigChecks:       "sig-checks",
+	CntMerkleChecks:    "merkle-checks",
+	CntLinkChecks:      "link-checks",
+	CntConflictChecks:  "conflict-checks",
+	CntLocalReports:    "local-reports",
+	CntGlobalReports:   "global-reports",
+	CntVotesCast:       "votes-cast",
+	CntVoteRounds:      "vote-rounds",
+	CntDirectChecks:    "direct-checks",
+	CntRetransmits:     "retransmits",
+	CntSelfEvacuations: "self-evacuations",
+	CntNetPackets:      "net-packets",
+	CntNetBytes:        "net-bytes",
+	CntNetDelivered:    "net-delivered",
+	CntNetDropped:      "net-dropped",
+	CntNetFaultDropped: "net-fault-dropped",
+	CntNetDuplicated:   "net-duplicated",
+	CntSchedRequests:   "sched-requests",
+	CntSchedAdmitted:   "sched-admitted",
+	CntSchedRejected:   "sched-rejected",
+}
+
+// String implements fmt.Stringer.
+func (c Counter) String() string {
+	if c < numCounters {
+		return counterNames[c]
+	}
+	return "unknown-counter"
+}
+
+// CounterStat is one counter in a summary.
+type CounterStat struct {
+	Name  string `json:"name"`
+	Value uint64 `json:"value"`
+}

@@ -1,0 +1,73 @@
+package obs
+
+// HistID identifies one fixed-bucket histogram.
+type HistID uint8
+
+// Histograms.
+const (
+	// HistMsgBytes is the size distribution of network transmissions.
+	HistMsgBytes HistID = iota
+	// HistBlockPlans is the number of travel plans per packaged block.
+	HistBlockPlans
+	// HistAdmitDelayMS is the scheduling delay granted plans receive
+	// (plan start relative to batch time), in milliseconds.
+	HistAdmitDelayMS
+	numHists
+)
+
+// histDefs fixes each histogram's name and bucket upper bounds. Fixed
+// buckets keep merged and diffed summaries comparable across runs.
+var histDefs = [numHists]struct {
+	name   string
+	bounds []float64
+}{
+	HistMsgBytes:     {"msg-bytes", []float64{64, 128, 256, 512, 1024, 2048, 4096, 8192, 16384}},
+	HistBlockPlans:   {"block-plans", []float64{1, 2, 4, 8, 16, 32, 64}},
+	HistAdmitDelayMS: {"admit-delay-ms", []float64{0, 250, 600, 1200, 2500, 5000, 10000, 30000}},
+}
+
+// String implements fmt.Stringer.
+func (h HistID) String() string {
+	if h < numHists {
+		return histDefs[h].name
+	}
+	return "unknown-hist"
+}
+
+// histogram is the internal fixed-bucket accumulator.
+type histogram struct {
+	bounds []float64
+	counts []uint64 // len(bounds)+1; the last bucket is +Inf
+	n      uint64
+	sum    float64
+}
+
+func (h *histogram) init(bounds []float64) {
+	h.bounds = bounds
+	h.counts = make([]uint64, len(bounds)+1)
+}
+
+func (h *histogram) observe(v float64) {
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i]++
+	h.n++
+	h.sum += v
+}
+
+// HistStat is one histogram in a summary.
+type HistStat struct {
+	Name   string    `json:"name"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+	N      uint64    `json:"n"`
+	Sum    float64   `json:"sum"`
+}
+
+func (h *histogram) stat(id HistID) HistStat {
+	counts := make([]uint64, len(h.counts))
+	copy(counts, h.counts)
+	return HistStat{Name: id.String(), Bounds: h.bounds, Counts: counts, N: h.n, Sum: h.sum}
+}

@@ -1,0 +1,104 @@
+package obs
+
+import "time"
+
+// spanFrame is one open span on the stack.
+type spanFrame struct {
+	path      string
+	simStart  time.Duration
+	wallStart time.Time // zero unless profiling
+	items     int64
+}
+
+// SpanStat is the per-path span aggregate. Spans are hierarchical: a span
+// begun while another is open gets the parent's path as a prefix
+// ("tick/deliver"), so the summary reads as a flattened call tree.
+//
+// SimNS is simulated time covered by the span — replay-stable by
+// construction. Within a single tick every phase span covers zero
+// simulated time; Items carries the useful deterministic signal there
+// (how much work the phase processed). WallNS is real elapsed time and is
+// only non-zero in profiling mode.
+type SpanStat struct {
+	Path   string `json:"path"`
+	Count  uint64 `json:"count"`
+	Items  int64  `json:"items,omitempty"`
+	SimNS  int64  `json:"sim_ns"`
+	WallNS int64  `json:"wall_ns,omitempty"`
+}
+
+// Span is a handle to an open span. The zero value (from a nil Sink) is
+// inert.
+type Span struct {
+	s   *Sink
+	idx int
+	ok  bool
+}
+
+// Begin opens a span named name at simulated time at. Spans nest: the new
+// span's path is the innermost open span's path plus "/" plus name.
+func (s *Sink) Begin(name string, at time.Duration) Span {
+	if s == nil {
+		return Span{}
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	path := name
+	if n := len(s.stack); n > 0 {
+		path = s.stack[n-1].path + "/" + name
+	}
+	fr := spanFrame{path: path, simStart: at}
+	if s.opts.Profile {
+		fr.wallStart = wallNow()
+	}
+	s.stack = append(s.stack, fr)
+	return Span{s: s, idx: len(s.stack) - 1, ok: true}
+}
+
+// AddItems attributes n work items to the span (messages delivered,
+// vehicles ticked, ...).
+func (sp Span) AddItems(n int) {
+	if !sp.ok {
+		return
+	}
+	s := sp.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp.idx < len(s.stack) {
+		s.stack[sp.idx].items += int64(n)
+	}
+}
+
+// End closes the span at simulated time at and folds it into the per-path
+// aggregate. Ending a span also ends any child spans left open (unbalanced
+// instrumentation degrades gracefully instead of corrupting the stack).
+func (sp Span) End(at time.Duration) {
+	if !sp.ok {
+		return
+	}
+	s := sp.s
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sp.idx >= len(s.stack) {
+		return
+	}
+	var wallEnd time.Time
+	if s.opts.Profile {
+		wallEnd = wallNow()
+	}
+	for len(s.stack) > sp.idx {
+		fr := s.stack[len(s.stack)-1]
+		s.stack = s.stack[:len(s.stack)-1]
+		st := s.spans[fr.path]
+		if st == nil {
+			st = &SpanStat{Path: fr.path}
+			s.spans[fr.path] = st
+		}
+		st.Count++
+		st.Items += fr.items
+		st.SimNS += int64(at - fr.simStart)
+		if s.opts.Profile {
+			st.WallNS += wallEnd.Sub(fr.wallStart).Nanoseconds()
+		}
+	}
+}

@@ -1,0 +1,239 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Trace record kinds (the "k" field of every JSONL line).
+const (
+	recMeta = "meta"
+	recEv   = "ev"
+	recNet  = "net"
+	recSum  = "sum"
+)
+
+// Meta is the run header: the first record of a trace.
+type Meta struct {
+	K            string `json:"k"`
+	Tool         string `json:"tool,omitempty"`
+	Experiment   string `json:"experiment,omitempty"`
+	Scenario     string `json:"scenario,omitempty"`
+	Seed         int64  `json:"seed"`
+	Intersection string `json:"intersection,omitempty"`
+	DurationNS   int64  `json:"duration_ns,omitempty"`
+	Profile      bool   `json:"profile,omitempty"`
+}
+
+// Ev is one protocol event (mirrors nwade.Event; Actor 0 is the IM).
+type Ev struct {
+	K       string `json:"k"`
+	T       int64  `json:"t"` // simulated time, ns
+	Type    string `json:"type"`
+	Actor   uint64 `json:"actor,omitempty"`
+	Subject uint64 `json:"subject,omitempty"`
+	Info    string `json:"info,omitempty"`
+}
+
+// Net is one transmission on the virtual network (one record per send;
+// a broadcast is one record with Bcast set).
+type Net struct {
+	K     string `json:"k"`
+	T     int64  `json:"t"`
+	Kind  string `json:"kind"`
+	From  string `json:"from"`
+	To    string `json:"to"`
+	Bytes int    `json:"bytes"`
+	Bcast bool   `json:"bcast,omitempty"`
+}
+
+// Summary is the final record of a trace: every aggregate the Sink
+// accumulated, in deterministic order.
+type Summary struct {
+	K        string        `json:"k"`
+	Counters []CounterStat `json:"counters,omitempty"`
+	Net      []KindStat    `json:"net,omitempty"`
+	Spans    []SpanStat    `json:"spans,omitempty"`
+	Hists    []HistStat    `json:"hists,omitempty"`
+}
+
+// WriteMeta writes the run-header record. Call it once, before the run.
+func (s *Sink) WriteMeta(m Meta) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.opts.Trace == nil {
+		return
+	}
+	m.K = recMeta
+	m.Profile = s.opts.Profile
+	s.writeRecord(m)
+}
+
+// writeRecord marshals one record as a JSON line. Caller holds the lock.
+// encoding/json emits struct fields in declaration order, so lines are
+// byte-stable across runs.
+func (s *Sink) writeRecord(rec any) {
+	if s.err != nil {
+		return
+	}
+	b, err := json.Marshal(rec)
+	if err != nil {
+		s.err = err
+		return
+	}
+	b = append(b, '\n')
+	if _, err := s.opts.Trace.Write(b); err != nil {
+		s.err = err
+	}
+}
+
+// Trace is a parsed JSONL trace.
+type Trace struct {
+	Meta    *Meta
+	Events  []Ev
+	Net     []Net
+	Summary *Summary
+}
+
+// ReadTrace parses a JSONL trace stream. Unknown record kinds are
+// skipped, so the format can grow without breaking older readers.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	tr := &Trace{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var probe struct {
+			K string `json:"k"`
+		}
+		if err := json.Unmarshal(line, &probe); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+		}
+		switch probe.K {
+		case recMeta:
+			var m Meta
+			if err := json.Unmarshal(line, &m); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			tr.Meta = &m
+		case recEv:
+			var e Ev
+			if err := json.Unmarshal(line, &e); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			tr.Events = append(tr.Events, e)
+		case recNet:
+			var n Net
+			if err := json.Unmarshal(line, &n); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			tr.Net = append(tr.Net, n)
+		case recSum:
+			var sum Summary
+			if err := json.Unmarshal(line, &sum); err != nil {
+				return nil, fmt.Errorf("obs: trace line %d: %w", lineNo, err)
+			}
+			tr.Summary = &sum
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("obs: trace: %w", err)
+	}
+	return tr, nil
+}
+
+// TraceStats are aggregates recomputed from a trace's raw records alone —
+// deliberately not read from the sum record, so a trace can be checked
+// for internal consistency and summarized even when truncated.
+type TraceStats struct {
+	Events       int
+	EventsByType map[string]int // insertion order irrelevant; render via ordered.Keys
+	NetPackets   int
+	NetBytes     int
+	KindPackets  map[string]int
+	KindBytes    map[string]int
+	// Detection timeline, following the evaluation harness's semantics:
+	// FirstBroadcast is the first block-broadcast, FirstReport the first
+	// report-sent, FirstReject the first block-rejected, FirstConfirm the
+	// first incident-confirmed, and FirstEvac the first of
+	// evacuation-started / self-evacuation. Negative values mean "never
+	// happened".
+	FirstBroadcast time.Duration
+	FirstReport    time.Duration
+	FirstReject    time.Duration
+	FirstConfirm   time.Duration
+	FirstEvac      time.Duration
+}
+
+// DetectionLatency is the vehicle-attack detection delay as the
+// evaluation harness defines it: first incident confirmation relative to
+// the first incident report. ok is false when either endpoint is missing.
+func (ts TraceStats) DetectionLatency() (time.Duration, bool) {
+	if ts.FirstReport < 0 || ts.FirstConfirm < 0 || ts.FirstConfirm < ts.FirstReport {
+		return 0, false
+	}
+	return ts.FirstConfirm - ts.FirstReport, true
+}
+
+// IMDetectionLatency is the IM-attack detection delay: first block
+// rejection relative to the first block broadcast.
+func (ts TraceStats) IMDetectionLatency() (time.Duration, bool) {
+	if ts.FirstBroadcast < 0 || ts.FirstReject < 0 || ts.FirstReject < ts.FirstBroadcast {
+		return 0, false
+	}
+	return ts.FirstReject - ts.FirstBroadcast, true
+}
+
+// Stats recomputes aggregates from the trace's ev and net records.
+func (tr *Trace) Stats() TraceStats {
+	ts := TraceStats{
+		EventsByType:   make(map[string]int),
+		KindPackets:    make(map[string]int),
+		KindBytes:      make(map[string]int),
+		FirstBroadcast: -1,
+		FirstReport:    -1,
+		FirstReject:    -1,
+		FirstConfirm:   -1,
+		FirstEvac:      -1,
+	}
+	first := func(cur time.Duration, at int64) time.Duration {
+		if cur < 0 || time.Duration(at) < cur {
+			return time.Duration(at)
+		}
+		return cur
+	}
+	for _, e := range tr.Events {
+		ts.Events++
+		ts.EventsByType[e.Type]++
+		switch e.Type {
+		case "block-broadcast":
+			ts.FirstBroadcast = first(ts.FirstBroadcast, e.T)
+		case "report-sent":
+			ts.FirstReport = first(ts.FirstReport, e.T)
+		case "block-rejected":
+			ts.FirstReject = first(ts.FirstReject, e.T)
+		case "incident-confirmed":
+			ts.FirstConfirm = first(ts.FirstConfirm, e.T)
+		case "evacuation-started", "self-evacuation":
+			ts.FirstEvac = first(ts.FirstEvac, e.T)
+		}
+	}
+	for _, n := range tr.Net {
+		ts.NetPackets++
+		ts.NetBytes += n.Bytes
+		ts.KindPackets[n.Kind]++
+		ts.KindBytes[n.Kind] += n.Bytes
+	}
+	return ts
+}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nwade/internal/obs"
 	"nwade/internal/plan"
 )
 
@@ -19,9 +20,14 @@ type Platoon struct {
 	Gap time.Duration
 	// Profile overrides kinematic limits.
 	Profile ProfileConfig
+
+	obs *obs.Sink
 }
 
 var _ Scheduler = (*Platoon)(nil)
+
+// SetObs implements ObsAware.
+func (p *Platoon) SetObs(o *obs.Sink) { p.obs = o }
 
 // Name implements Scheduler.
 func (p *Platoon) Name() string { return "platoon" }
@@ -41,7 +47,8 @@ func (p *Platoon) gap() time.Duration {
 }
 
 // Schedule implements Scheduler.
-func (p *Platoon) Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([]*plan.TravelPlan, error) {
+func (p *Platoon) Schedule(reqs []Request, now time.Duration, ledger *Ledger) (out []*plan.TravelPlan, err error) {
+	defer func() { obsRecord(p.obs, reqs, now, out, err) }()
 	prof := p.Profile.params()
 	ordered := sortBatch(reqs)
 	// Group consecutive same-route requests.
@@ -66,7 +73,7 @@ func (p *Platoon) Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([
 			byVehicle[grp[i].Vehicle] = q
 		}
 	}
-	out := make([]*plan.TravelPlan, len(reqs))
+	out = make([]*plan.TravelPlan, len(reqs))
 	for i, req := range reqs {
 		out[i] = byVehicle[req.Vehicle]
 	}

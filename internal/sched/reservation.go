@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"nwade/internal/obs"
 	"nwade/internal/plan"
 )
 
@@ -14,7 +15,12 @@ import (
 type Reservation struct {
 	// Profile overrides the kinematic limits; zero value uses defaults.
 	Profile ProfileConfig
+
+	obs *obs.Sink
 }
+
+// SetObs implements ObsAware.
+func (r *Reservation) SetObs(o *obs.Sink) { r.obs = o }
 
 // ProfileConfig exposes the tunable kinematics of generated plans.
 type ProfileConfig struct {
@@ -44,7 +50,8 @@ var _ Scheduler = (*Reservation)(nil)
 func (r *Reservation) Name() string { return "reservation" }
 
 // Schedule implements Scheduler: FCFS admission with minimal entry delay.
-func (r *Reservation) Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([]*plan.TravelPlan, error) {
+func (r *Reservation) Schedule(reqs []Request, now time.Duration, ledger *Ledger) (out []*plan.TravelPlan, err error) {
+	defer func() { obsRecord(r.obs, reqs, now, out, err) }()
 	prof := r.Profile.params()
 	ordered := sortBatch(reqs)
 	accepted := make([]*plan.TravelPlan, 0, len(ordered))
@@ -58,7 +65,7 @@ func (r *Reservation) Schedule(reqs []Request, now time.Duration, ledger *Ledger
 		byVehicle[req.Vehicle] = p
 	}
 	// Return plans in the caller's original request order.
-	out := make([]*plan.TravelPlan, len(reqs))
+	out = make([]*plan.TravelPlan, len(reqs))
 	for i, req := range reqs {
 		out[i] = byVehicle[req.Vehicle]
 	}

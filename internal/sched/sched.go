@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"nwade/internal/intersection"
+	"nwade/internal/obs"
 	"nwade/internal/ordered"
 	"nwade/internal/plan"
 )
@@ -41,6 +42,36 @@ type Scheduler interface {
 	// Schedule plans the batch at time now against already-accepted
 	// plans in the ledger, returning one plan per request (same order).
 	Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([]*plan.TravelPlan, error)
+}
+
+// ObsAware is implemented by schedulers that accept an observability
+// sink. All three built-in schedulers do; the engine (and the IM core for
+// its internal evacuation/recovery schedulers) install the sink through
+// this interface so custom Scheduler implementations stay untouched.
+type ObsAware interface {
+	SetObs(*obs.Sink)
+}
+
+// obsRecord folds one Schedule call's outcome into the sink: request and
+// admission counters plus the granted-delay histogram (plan start
+// relative to the batch time). Nil sinks cost one pointer check.
+func obsRecord(o *obs.Sink, reqs []Request, now time.Duration, plans []*plan.TravelPlan, err error) {
+	if o == nil {
+		return
+	}
+	o.Add(obs.CntSchedRequests, uint64(len(reqs)))
+	if err != nil {
+		o.Add(obs.CntSchedRejected, uint64(len(reqs)))
+		return
+	}
+	o.Add(obs.CntSchedAdmitted, uint64(len(plans)))
+	for _, p := range plans {
+		d := p.Start() - now
+		if d < 0 {
+			d = 0
+		}
+		o.Observe(obs.HistAdmitDelayMS, float64(d.Milliseconds()))
+	}
 }
 
 // Ledger tracks accepted, still-active travel plans, and provides the

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"nwade/internal/intersection"
+	"nwade/internal/obs"
 	"nwade/internal/plan"
 )
 
@@ -20,9 +21,14 @@ type TrafficLight struct {
 	AllRed time.Duration
 	// Profile overrides kinematic limits.
 	Profile ProfileConfig
+
+	obs *obs.Sink
 }
 
 var _ Scheduler = (*TrafficLight)(nil)
+
+// SetObs implements ObsAware.
+func (t *TrafficLight) SetObs(o *obs.Sink) { t.obs = o }
 
 // Name implements Scheduler.
 func (t *TrafficLight) Name() string { return "traffic-light" }
@@ -70,7 +76,8 @@ func (t *TrafficLight) NextGreen(leg int, at time.Duration) (start, end time.Dur
 
 // Schedule implements Scheduler: hold each vehicle at the line until its
 // leg's green, then admit conflict-free.
-func (t *TrafficLight) Schedule(reqs []Request, now time.Duration, ledger *Ledger) ([]*plan.TravelPlan, error) {
+func (t *TrafficLight) Schedule(reqs []Request, now time.Duration, ledger *Ledger) (out []*plan.TravelPlan, err error) {
+	defer func() { obsRecord(t.obs, reqs, now, out, err) }()
 	prof := t.Profile.params()
 	ordered := sortBatch(reqs)
 	accepted := make([]*plan.TravelPlan, 0, len(ordered))
@@ -89,7 +96,7 @@ func (t *TrafficLight) Schedule(reqs []Request, now time.Duration, ledger *Ledge
 		accepted = append(accepted, p)
 		byVehicle[req.Vehicle] = p
 	}
-	out := make([]*plan.TravelPlan, len(reqs))
+	out = make([]*plan.TravelPlan, len(reqs))
 	for i, req := range reqs {
 		out[i] = byVehicle[req.Vehicle]
 	}

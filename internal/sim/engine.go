@@ -17,6 +17,7 @@ import (
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
 	"nwade/internal/nwade"
+	"nwade/internal/obs"
 	"nwade/internal/plan"
 	"nwade/internal/sched"
 	"nwade/internal/traffic"
@@ -198,6 +199,11 @@ type Engine struct {
 	// deferred holds arrivals whose spawn point is still occupied by a
 	// queued vehicle (queue spill-back past the spawn location).
 	deferred []traffic.Arrival
+
+	// obs is the nil-by-default observability sink: phase spans, protocol
+	// counters, and the structured event trace. When nil (the default)
+	// the hot path pays one pointer check per instrumentation point.
+	obs *obs.Sink
 }
 
 // Option configures an Engine beyond its Config.
@@ -206,6 +212,7 @@ type Option func(*options)
 type options struct {
 	signer *chain.Signer
 	faults *vnet.FaultConfig
+	obs    *obs.Sink
 }
 
 // WithSigner reuses a pre-generated signing key. Key generation is the
@@ -219,6 +226,14 @@ func WithSigner(s *chain.Signer) Option {
 // Config.Net.Faults).
 func WithFaults(fc vnet.FaultConfig) Option {
 	return func(o *options) { o.faults = &fc }
+}
+
+// WithObs installs an observability sink: phase spans, protocol counters
+// and histograms, and (when the sink has a trace writer) the structured
+// protocol event trace. The sink observes without perturbing the run —
+// results are bit-identical with and without it.
+func WithObs(s *obs.Sink) Option {
+	return func(o *options) { o.obs = s }
 }
 
 // New builds an engine. A signer is generated unless WithSigner provides
@@ -257,12 +272,31 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		moveSlack: 45 * cfg.Step.Seconds(),
 		lanes:     make(map[intersection.LaneRef][]*body),
 		byNode:    make(map[vnet.NodeID]*body),
+		obs:       o.obs,
 	}
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
+	e.net.SetObs(e.obs)
 	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
-	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.col.Sink(), cfg.Scenario.IMMalice())
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.sink(), cfg.Scenario.IMMalice())
+	e.im.SetObs(e.obs)
 	e.net.Register(vnet.IMNode)
 	return e, nil
+}
+
+// sink returns the protocol event sink: the metrics collector, teed into
+// the observability trace when one is installed. The tee only forwards
+// to the trace — counters belong to the protocol cores, so the trace
+// layer never double-counts.
+func (e *Engine) sink() nwade.EventSink {
+	base := e.col.Sink()
+	if e.obs == nil {
+		return base
+	}
+	o := e.obs
+	return func(ev nwade.Event) {
+		base(ev)
+		o.Event(ev.At, ev.Type.String(), uint64(ev.Actor), uint64(ev.Subject), ev.Info)
+	}
 }
 
 // NewWithSigner builds an engine with a pre-generated signing key.
@@ -343,24 +377,46 @@ func (e *Engine) Run() metrics.RunResult {
 // tests and tools may drive it manually for instrumentation.
 func (e *Engine) Step() { e.step() }
 
-// step advances one tick.
+// step advances one tick. The phase spans are straight-line Begin/End
+// pairs (no closures) so a disabled sink costs one nil check per phase;
+// span durations are sim-clock based and therefore zero within a tick —
+// the spans carry per-phase call and item counts, and wall-clock time
+// only under the sanctioned profiling mode.
 func (e *Engine) step() {
 	e.now += e.cfg.Step
 	now := e.now
 
+	tick := e.obs.Begin("tick", now)
+	sp := e.obs.Begin("spawn", now)
 	e.spawn(now)
 	e.activateAttack(now)
+	sp.End(now)
 	// Index positions as they stand entering the physics phase; queries
 	// issued while bodies move widen by moveSlack.
+	sp = e.obs.Begin("reindex", now)
 	e.reindex(now)
-	e.deliver(now)
+	sp.End(now)
+	sp = e.obs.Begin("deliver", now)
+	sp.AddItems(e.deliver(now))
+	sp.End(now)
+	sp = e.obs.Begin("physics", now)
 	e.physics(now)
+	sp.End(now)
 	// Reindex settled positions for the protocol phase (IM perception
 	// and vehicle sensing read exact post-physics state).
+	sp = e.obs.Begin("regrid", now)
 	e.grid.rebuild(e.order, e.bodies, now)
-	e.tickIM(now)
-	e.tickVehicles(now)
+	sp.End(now)
+	sp = e.obs.Begin("im", now)
+	sp.AddItems(e.tickIM(now))
+	sp.End(now)
+	sp = e.obs.Begin("vehicles", now)
+	sp.AddItems(e.tickVehicles(now))
+	sp.End(now)
+	sp = e.obs.Begin("collisions", now)
 	e.collisions(now)
+	sp.End(now)
+	tick.End(now)
 }
 
 // reindex rebuilds the per-tick spatial structures: the hash grid and the
@@ -398,7 +454,8 @@ func (e *Engine) spawn(now time.Duration) {
 			continue
 		}
 		core := nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
-			e.cfg.VehicleConfig, e.col.Sink(), nil, now, a.Speed)
+			e.cfg.VehicleConfig, e.sink(), nil, now, a.Speed)
+		core.SetObs(e.obs)
 		b := &body{id: a.Vehicle, core: core, route: a.Route, v: a.Speed, arrive: now, orderIdx: len(e.order)}
 		if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
 			b.legacy = true
@@ -492,9 +549,11 @@ func (e *Engine) activateAttack(now time.Duration) {
 	e.rolesAssigned = true
 }
 
-// deliver routes due network messages into the protocol cores.
-func (e *Engine) deliver(now time.Duration) {
-	for _, d := range e.net.Poll(now) {
+// deliver routes due network messages into the protocol cores, returning
+// the number of deliveries processed.
+func (e *Engine) deliver(now time.Duration) int {
+	due := e.net.Poll(now)
+	for _, d := range due {
 		if d.To == vnet.IMNode {
 			e.dispatch(now, vnet.IMNode, e.im.HandleMessage(now, d.Msg))
 			continue
@@ -509,6 +568,7 @@ func (e *Engine) deliver(now time.Duration) {
 		}
 		e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
 	}
+	return len(due)
 }
 
 // plainHandle is the no-NWADE baseline: adopt plans without verification,
@@ -538,7 +598,7 @@ func (e *Engine) dispatch(now time.Duration, from vnet.NodeID, outs []nwade.Out)
 // tickIM feeds the manager its perception snapshot and pumps its outputs.
 // Visibility is a grid query around the intersection center; the grid was
 // rebuilt after physics, so indexed positions are exact.
-func (e *Engine) tickIM(now time.Duration) {
+func (e *Engine) tickIM(now time.Duration) int {
 	var visible []nwade.VehicleObs
 	r := e.cfg.IMConfig.PerceptionRadius
 	e.grid.forEachOrdered(geom.V(0, 0), r, 0, func(b *body) bool {
@@ -548,10 +608,13 @@ func (e *Engine) tickIM(now time.Duration) {
 		return true
 	})
 	e.dispatch(now, vnet.IMNode, e.im.Tick(now, visible))
+	return len(visible)
 }
 
-// tickVehicles runs each vehicle core with its sensed neighborhood.
-func (e *Engine) tickVehicles(now time.Duration) {
+// tickVehicles runs each vehicle core with its sensed neighborhood,
+// returning the number of cores ticked.
+func (e *Engine) tickVehicles(now time.Duration) int {
+	var ticked int
 	if !e.cfg.NWADE {
 		// Baseline: only the plan request is needed.
 		for _, id := range e.order {
@@ -560,8 +623,9 @@ func (e *Engine) tickVehicles(now time.Duration) {
 				continue
 			}
 			e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.TickRequestOnly(now))
+			ticked++
 		}
-		return
+		return ticked
 	}
 	for _, id := range e.order {
 		b := e.bodies[id]
@@ -570,7 +634,9 @@ func (e *Engine) tickVehicles(now time.Duration) {
 		}
 		neighbors := e.sense(b)
 		e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.Tick(now, b.status(now), neighbors))
+		ticked++
 	}
+	return ticked
 }
 
 // sense returns the ground-truth statuses of vehicles within the sensing

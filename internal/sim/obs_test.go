@@ -1,0 +1,120 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+	"time"
+
+	"nwade/internal/nwade"
+	"nwade/internal/obs"
+)
+
+// TestObsOnDigestUnchanged is the acceptance criterion for the
+// observability layer: running the golden reference scenario with a full
+// sink attached (trace writer and all counters live) must produce a
+// bit-identical run. Instrumentation that consumed randomness, reordered
+// deliveries, or perturbed scheduling would change the digest.
+// (The obs-off case is TestZeroFaultRegression: the engine default is a
+// nil sink.)
+func TestObsOnDigestUnchanged(t *testing.T) {
+	var trace bytes.Buffer
+	sink := obs.New(obs.Options{Trace: &trace})
+	e, err := New(zeroFaultRefConfig(t), WithObs(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := runDigest(t, e.Run())
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if got != zeroFaultGolden {
+		t.Fatalf("obs-on run digest changed:\n got  %s\n want %s", got, zeroFaultGolden)
+	}
+}
+
+// TestTraceReproducesRunAggregates replays the reference run with a
+// trace attached and checks that the JSONL alone reproduces the run's
+// aggregates: the protocol event log, the detection-latency endpoints,
+// and the per-message-kind network load.
+func TestTraceReproducesRunAggregates(t *testing.T) {
+	var trace bytes.Buffer
+	sink := obs.New(obs.Options{Trace: &trace})
+	e, err := New(zeroFaultRefConfig(t), WithObs(sink))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := e.Run()
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	tr, err := obs.ReadTrace(&trace)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := tr.Stats()
+
+	// Every protocol event the collector saw went through the same teed
+	// sink, so the trace must carry the identical log.
+	events := res.Collector.Events()
+	if ts.Events != len(events) {
+		t.Fatalf("trace has %d events, collector %d", ts.Events, len(events))
+	}
+	firstOf := func(typ nwade.EventType) time.Duration {
+		for _, ev := range events {
+			if ev.Type == typ {
+				return ev.At
+			}
+		}
+		return -1
+	}
+	if want := firstOf(nwade.EvReportSent); ts.FirstReport != want {
+		t.Fatalf("first report-sent: trace %v, collector %v", ts.FirstReport, want)
+	}
+	if want := firstOf(nwade.EvIncidentConfirmed); ts.FirstConfirm != want {
+		t.Fatalf("first incident-confirmed: trace %v, collector %v", ts.FirstConfirm, want)
+	}
+	lat, ok := ts.DetectionLatency()
+	if !ok {
+		t.Fatalf("reference V1 run must yield a detection latency; stats: %+v", ts)
+	}
+	if want := firstOf(nwade.EvIncidentConfirmed) - firstOf(nwade.EvReportSent); lat != want {
+		t.Fatalf("detection latency: trace %v, collector %v", lat, want)
+	}
+
+	// Network load per message kind must match the vnet statistics.
+	for kind, wantPkts := range res.Net.Packets {
+		if ts.KindPackets[kind] != wantPkts {
+			t.Fatalf("kind %q: trace %d packets, vnet %d", kind, ts.KindPackets[kind], wantPkts)
+		}
+		if ts.KindBytes[kind] != res.Net.Bytes[kind] {
+			t.Fatalf("kind %q: trace %d bytes, vnet %d", kind, ts.KindBytes[kind], res.Net.Bytes[kind])
+		}
+	}
+	if ts.NetPackets != res.Net.TotalPackets() {
+		t.Fatalf("trace has %d packets, vnet %d", ts.NetPackets, res.Net.TotalPackets())
+	}
+
+	// The sink's counters agree with both.
+	if got := sink.Counter(obs.CntNetPackets); got != uint64(res.Net.TotalPackets()) {
+		t.Fatalf("net-packets counter %d, vnet %d", got, res.Net.TotalPackets())
+	}
+
+	// The sum record carries the engine's span table: one "tick" root
+	// with the per-phase children under it.
+	if tr.Summary == nil {
+		t.Fatalf("trace missing sum record")
+	}
+	var sawTick, sawDeliver bool
+	for _, sp := range tr.Summary.Spans {
+		switch sp.Path {
+		case "tick":
+			sawTick = sp.Count > 0
+		case "tick/deliver":
+			sawDeliver = sp.Count > 0
+		}
+	}
+	if !sawTick || !sawDeliver {
+		t.Fatalf("span table missing engine phases: %+v", tr.Summary.Spans)
+	}
+}

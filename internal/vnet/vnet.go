@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"nwade/internal/geom"
+	"nwade/internal/obs"
 	"nwade/internal/ordered"
 	"nwade/internal/units"
 )
@@ -117,6 +118,17 @@ type Network struct {
 	queue   deliveryHeap
 	seq     uint64
 	stats   Stats
+	// obs is the nil-by-default observability sink: per-kind packet and
+	// byte counters, the message-size histogram, and one trace record
+	// per transmission.
+	obs *obs.Sink
+}
+
+// SetObs installs the observability sink (nil disables it).
+func (n *Network) SetObs(o *obs.Sink) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.obs = o
 }
 
 // New creates a network. locator may be nil, which disables radius checks.
@@ -180,14 +192,18 @@ func (n *Network) Unicast(now time.Duration, from, to NodeID, kind string, paylo
 	}
 	n.stats.Packets[kind]++
 	n.stats.Bytes[kind] += size
+	n.obs.NetSend(now, string(from), string(to), kind, size, false)
 	if !n.inRange(from, to) || n.dropped() {
 		n.stats.Dropped++
+		n.obs.Inc(obs.CntNetDropped)
 		return false, nil
 	}
 	f := n.fm.judge(now, from, to)
 	if f.drop {
 		n.stats.Dropped++
 		n.stats.FaultDropped++
+		n.obs.Inc(obs.CntNetDropped)
+		n.obs.Inc(obs.CntNetFaultDropped)
 		return false, nil
 	}
 	n.deliverCopies(f, Delivery{To: to, Msg: Message{
@@ -204,6 +220,7 @@ func (n *Network) deliverCopies(f fate, d Delivery) {
 	n.push(d)
 	if f.dup {
 		n.stats.Duplicated++
+		n.obs.Inc(obs.CntNetDuplicated)
 		dup := d
 		dup.Msg.Deliver += f.dupExtra
 		n.push(dup)
@@ -219,6 +236,7 @@ func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payl
 	defer n.mu.Unlock()
 	n.stats.Packets[kind]++
 	n.stats.Bytes[kind] += size
+	n.obs.NetSend(now, string(from), string(Broadcast), kind, size, true)
 	// Deterministic receiver order.
 	var count int
 	for _, id := range ordered.Keys(n.nodes) {
@@ -227,12 +245,15 @@ func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payl
 		}
 		if !n.inRange(from, id) || n.dropped() {
 			n.stats.Dropped++
+			n.obs.Inc(obs.CntNetDropped)
 			continue
 		}
 		f := n.fm.judge(now, from, id)
 		if f.drop {
 			n.stats.Dropped++
 			n.stats.FaultDropped++
+			n.obs.Inc(obs.CntNetDropped)
+			n.obs.Inc(obs.CntNetFaultDropped)
 			continue
 		}
 		n.deliverCopies(f, Delivery{To: id, Msg: Message{
@@ -266,9 +287,11 @@ func (n *Network) Poll(now time.Duration) []Delivery {
 		d := heap.Pop(&n.queue).(queued)
 		if !n.nodes[d.To] {
 			n.stats.Dropped++
+			n.obs.Inc(obs.CntNetDropped)
 			continue
 		}
 		n.stats.Delivered++
+		n.obs.Inc(obs.CntNetDelivered)
 		out = append(out, d.Delivery)
 	}
 	return out
