@@ -44,20 +44,21 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nwade-bench", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		exp      = fs.String("exp", "all", "experiment name, group, or \"all\" (see -list)")
-		rounds   = fs.Int("rounds", 10, "rounds per attack setting (paper: 10)")
-		duration = fs.Duration("duration", 60*time.Second, "simulated span of each round")
-		density  = fs.Float64("density", 80, "default vehicle density (veh/min)")
-		seed     = fs.Int64("seed", 1, "base random seed")
-		quick    = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
-		workers  = fs.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
-		faults   = fs.String("faults", "", "network fault profile injected into every round ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-		retrans  = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
-		list     = fs.Bool("list", false, "list registered experiments and exit")
-		jsonOut  = fs.String("json", "", "write per-experiment wall times to this JSON file")
-		traceOut = fs.String("trace", "", "write a JSONL protocol-event trace to this file (forces -workers 1)")
-		obsRep   = fs.Bool("obs", false, "print aggregated observability counters after the run")
-		pprofOut = fs.String("pprof", "", "write a CPU profile to this file")
+		exp       = fs.String("exp", "all", "experiment name, group, or \"all\" (see -list)")
+		rounds    = fs.Int("rounds", 10, "rounds per attack setting (paper: 10)")
+		duration  = fs.Duration("duration", 60*time.Second, "simulated span of each round")
+		density   = fs.Float64("density", 80, "default vehicle density (veh/min)")
+		seed      = fs.Int64("seed", 1, "base random seed")
+		quick     = fs.Bool("quick", false, "reduced sweeps for a fast smoke run")
+		workers   = fs.Int("workers", 0, "concurrent simulation rounds (0 = GOMAXPROCS, 1 = sequential; results are identical)")
+		faults    = fs.String("faults", "", "network fault profile injected into every round ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans   = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		list      = fs.Bool("list", false, "list registered experiments and exit")
+		jsonOut   = fs.String("json", "", "write per-experiment wall times to this JSON file")
+		traceOut  = fs.String("trace", "", "write a JSONL protocol-event trace to this file (forces -workers 1)")
+		obsRep    = fs.Bool("obs", false, "print aggregated observability counters after the run")
+		pprofOut  = fs.String("pprof", "", "write a CPU profile to this file")
+		resumeDir = fs.String("resume-dir", "", "persist finished simulation rounds to this directory and resume interrupted sweeps per cell")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -114,6 +115,13 @@ func run(args []string, out io.Writer) error {
 		Faults:     fc,
 		Resilience: *retrans,
 		Obs:        sink,
+	}
+	if *resumeDir != "" {
+		store, err := eval.NewDirStore(*resumeDir)
+		if err != nil {
+			return err
+		}
+		cfg.Store = store
 	}
 	if *quick {
 		cfg.Rounds = 2

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -53,5 +54,30 @@ func TestRunTraceForcesSequential(t *testing.T) {
 func TestRunUnknownExperiment(t *testing.T) {
 	if err := run([]string{"-exp", "nope"}, &bytes.Buffer{}); err == nil {
 		t.Fatalf("unknown experiment should fail")
+	}
+}
+
+func TestRunResumeDir(t *testing.T) {
+	dir := t.TempDir()
+	args := []string{"-exp", "fig4", "-quick", "-rounds", "1", "-duration", "4s",
+		"-workers", "1", "-resume-dir", dir}
+	var first, second bytes.Buffer
+	if err := run(args, &first); err != nil {
+		t.Fatalf("first sweep: %v\n%s", err, first.String())
+	}
+	cells, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) == 0 {
+		t.Fatal("resume dir is empty after a sweep")
+	}
+	// Second run resumes from the store; results must match.
+	if err := run(args, &second); err != nil {
+		t.Fatalf("resumed sweep: %v\n%s", err, second.String())
+	}
+	trim := func(s string) string { return s[:strings.Index(s, "[fig4:")] }
+	if trim(first.String()) != trim(second.String()) {
+		t.Errorf("resumed sweep output differs:\n--- first\n%s--- second\n%s", first.String(), second.String())
 	}
 }

@@ -1,0 +1,439 @@
+// nwade-replay resumes checkpointed simulation runs and localizes
+// replay divergence.
+//
+//	nwade-replay resume -in run.snap          # continue a run to the end
+//	nwade-replay check  -in run.snap          # resumed digest == continuous digest?
+//	nwade-replay bisect -in run.snap          # first divergent tick + subsystem
+//
+// A checkpoint (written by nwade-sim -checkpoint-every, or by this
+// tool) carries the run's Spec and its complete state at one tick.
+// `check` replays the run both ways — continuously from t=0 and resumed
+// from the checkpoint — and compares the final run digests; on a
+// deterministic build they are bit-identical. `bisect` steps both runs
+// tick by tick and binary-searches the first tick whose per-subsystem
+// state digests differ, attributing the divergence to the engine
+// (physical world), traffic generator, network, protocol cores, or
+// metrics collector. The -perturb flag injects a deliberate state
+// mutation at a chosen tick, which exercises the bisector and
+// demonstrates the attribution (the CI replay job uses it).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+	"time"
+
+	"nwade/internal/chain"
+	"nwade/internal/metrics"
+	"nwade/internal/nwade"
+	"nwade/internal/obs"
+	"nwade/internal/sim"
+	"nwade/internal/snap"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-replay:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: nwade-replay <resume|check|bisect> [flags] (-h for help)")
+	}
+	switch args[0] {
+	case "resume":
+		return runResume(args[1:], out)
+	case "check":
+		return runCheck(args[1:], out)
+	case "bisect":
+		return runBisect(args[1:], out)
+	default:
+		return fmt.Errorf("unknown subcommand %q (want resume, check or bisect)", args[0])
+	}
+}
+
+// load reads a checkpoint and rebuilds its configuration and signer.
+func load(path string) (sim.Config, *sim.State, *chain.Signer, error) {
+	spec, st, err := snap.ReadFile(path)
+	if err != nil {
+		return sim.Config{}, nil, nil, err
+	}
+	cfg, err := spec.BuildConfig()
+	if err != nil {
+		return sim.Config{}, nil, nil, err
+	}
+	signer, err := chain.RestoreSigner(st.Protocol.Signer)
+	if err != nil {
+		return sim.Config{}, nil, nil, err
+	}
+	return cfg, st, signer, nil
+}
+
+func summarize(out io.Writer, label string, res metrics.RunResult) {
+	fmt.Fprintf(out, "%-10s spawned=%d exited=%d collisions=%d digest=%s\n",
+		label, res.Spawned, res.Exited, res.Collisions, metrics.Digest(res))
+}
+
+// runResume continues a checkpointed run to its configured duration.
+func runResume(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-replay resume", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "checkpoint file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("resume: -in is required")
+	}
+	cfg, st, _, err := load(*in)
+	if err != nil {
+		return err
+	}
+	e, err := sim.Restore(cfg, st)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "resumed at %v of %v (%d vehicles live)\n",
+		st.Engine.Now, cfg.Duration, len(st.Engine.Bodies))
+	summarize(out, "resumed", e.Run())
+	return nil
+}
+
+// runCheck replays the run continuously and resumed, and compares the
+// final digests. Exit status is the CI contract: non-zero on mismatch.
+func runCheck(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-replay check", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "checkpoint file (required)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("check: -in is required")
+	}
+	cfg, st, signer, err := load(*in)
+	if err != nil {
+		return err
+	}
+	cont, err := sim.New(cfg, sim.WithSigner(signer))
+	if err != nil {
+		return err
+	}
+	contRes := cont.Run()
+	resumed, err := sim.Restore(cfg, st)
+	if err != nil {
+		return err
+	}
+	resRes := resumed.Run()
+	summarize(out, "continuous", contRes)
+	summarize(out, "resumed", resRes)
+	if metrics.Digest(contRes) != metrics.Digest(resRes) {
+		return fmt.Errorf("check: resumed run diverged from continuous run (bisect to localize)")
+	}
+	fmt.Fprintln(out, "check: digests match")
+	return nil
+}
+
+// lane is one replayable run for the bisector: a base state plus a memo
+// of per-tick snapshots, so probing tick t restores from the nearest
+// snapshot at or before t instead of stepping from the start each time.
+// An optional perturbation is applied the moment the lane reaches its
+// tick; snapshots at or past it always derive from the perturbed state.
+type lane struct {
+	cfg       sim.Config
+	base      *sim.State
+	perturbAt time.Duration
+	perturb   func(*sim.State) error
+	cache     map[time.Duration]*sim.State
+}
+
+func newLane(cfg sim.Config, base *sim.State) *lane {
+	return &lane{cfg: cfg, base: base,
+		cache: map[time.Duration]*sim.State{base.Engine.Now: base}}
+}
+
+// stateAt returns the lane's state at tick boundary t (a multiple of the
+// step, at or after the base tick). Callers must not mutate the result.
+func (l *lane) stateAt(t time.Duration) (*sim.State, error) {
+	if l.perturb != nil && t >= l.perturbAt {
+		if err := l.ensurePerturbed(); err != nil {
+			return nil, err
+		}
+	}
+	if st, ok := l.cache[t]; ok {
+		return st, nil
+	}
+	// Nearest snapshot at or before t; probes past the perturbation
+	// must not restart from before it (the mutation is baked into the
+	// cached perturbed state, not into the step function).
+	var fromTick time.Duration = -1
+	for tick := range l.cache {
+		if tick <= t && tick > fromTick {
+			if l.perturb != nil && t >= l.perturbAt && tick < l.perturbAt {
+				continue
+			}
+			fromTick = tick
+		}
+	}
+	if fromTick < 0 {
+		return nil, fmt.Errorf("bisect: no snapshot at or before %v", t)
+	}
+	e, err := sim.Restore(l.cfg, l.cache[fromTick])
+	if err != nil {
+		return nil, err
+	}
+	for e.Now() < t {
+		e.Step()
+	}
+	st, err := e.Snapshot()
+	if err != nil {
+		return nil, err
+	}
+	l.cache[t] = st
+	return st, nil
+}
+
+// ensurePerturbed computes the state at the perturbation tick, applies
+// the mutation to a deep copy, and caches the result under that tick.
+func (l *lane) ensurePerturbed() error {
+	if _, ok := l.cache[l.perturbAt]; ok {
+		return nil
+	}
+	fn := l.perturb
+	l.perturb = nil // compute the pre-perturbation state without recursing
+	st, err := l.stateAt(l.perturbAt)
+	l.perturb = fn
+	if err != nil {
+		return err
+	}
+	mutated, err := cloneState(st)
+	if err != nil {
+		return err
+	}
+	if err := fn(mutated); err != nil {
+		return err
+	}
+	l.cache[l.perturbAt] = mutated
+	return nil
+}
+
+// cloneState deep-copies a state through its canonical encoding.
+func cloneState(st *sim.State) (*sim.State, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("bisect: clone: %w", err)
+	}
+	out := &sim.State{}
+	if err := json.Unmarshal(b, out); err != nil {
+		return nil, fmt.Errorf("bisect: clone: %w", err)
+	}
+	return out, nil
+}
+
+// parsePerturb parses "<duration>:<subsystem>" and returns the tick and
+// the state mutation that injects a divergence into that subsystem.
+func parsePerturb(s string) (time.Duration, func(*sim.State) error, error) {
+	at, sub, ok := strings.Cut(s, ":")
+	if !ok {
+		return 0, nil, fmt.Errorf("bisect: -perturb wants <duration>:<subsystem>, got %q", s)
+	}
+	tick, err := time.ParseDuration(at)
+	if err != nil {
+		return 0, nil, fmt.Errorf("bisect: -perturb time: %w", err)
+	}
+	var fn func(*sim.State) error
+	switch sub {
+	case "engine":
+		fn = func(st *sim.State) error {
+			for i := range st.Engine.Bodies {
+				if !st.Engine.Bodies[i].Exited {
+					st.Engine.Bodies[i].S += 0.5
+					return nil
+				}
+			}
+			return fmt.Errorf("bisect: no live body to perturb at %v", st.Engine.Now)
+		}
+	case "traffic":
+		fn = func(st *sim.State) error {
+			st.Traffic.NextAt += 100 * time.Millisecond
+			return nil
+		}
+	case "net":
+		fn = func(st *sim.State) error {
+			if len(st.Net.Queue) == 0 {
+				return fmt.Errorf("bisect: no queued delivery to perturb at %v", st.Engine.Now)
+			}
+			st.Net.Queue[0].Deliver += 100 * time.Millisecond
+			return nil
+		}
+	case "protocol":
+		fn = func(st *sim.State) error {
+			st.Protocol.IM.Nonce++
+			return nil
+		}
+	case "collector":
+		fn = func(st *sim.State) error {
+			st.Collector.Events = append(st.Collector.Events,
+				nwade.Event{At: st.Engine.Now, Type: nwade.EvBlockBroadcast, Info: "perturbed"})
+			return nil
+		}
+	default:
+		return 0, nil, fmt.Errorf("bisect: unknown subsystem %q (want one of %s)",
+			sub, strings.Join(snap.Subsystems, ", "))
+	}
+	return tick, fn, nil
+}
+
+// runBisect binary-searches the first tick at which the resumed run's
+// state digest diverges from the continuous run's, and reports which
+// subsystems differ there. Divergence is assumed persistent once it
+// appears (state feeds forward), which is what makes the search valid.
+func runBisect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-replay bisect", flag.ContinueOnError)
+	fs.SetOutput(out)
+	in := fs.String("in", "", "checkpoint file (required)")
+	perturb := fs.String("perturb", "", "inject a divergence: <duration>:<subsystem> (subsystems: "+strings.Join(snap.Subsystems, ", ")+")")
+	tracePath := fs.String("trace", "", "obs trace (JSONL) of the original run, for event context around the divergence")
+	window := fs.Duration("window", 2*time.Second, "context window around the divergent tick for -trace events")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *in == "" {
+		return fmt.Errorf("bisect: -in is required")
+	}
+	cfg, st, signer, err := load(*in)
+	if err != nil {
+		return err
+	}
+	base := st.Engine.Now
+
+	// Reference lane: the continuous run, snapshotted at the
+	// checkpoint tick. Candidate lane: the checkpointed state itself,
+	// optionally perturbed.
+	cont, err := sim.New(cfg, sim.WithSigner(signer))
+	if err != nil {
+		return err
+	}
+	for cont.Now() < base {
+		cont.Step()
+	}
+	refBase, err := cont.Snapshot()
+	if err != nil {
+		return err
+	}
+	ref := newLane(cfg, refBase)
+	cand := newLane(cfg, st)
+	if *perturb != "" {
+		tick, fn, err := parsePerturb(*perturb)
+		if err != nil {
+			return err
+		}
+		if tick < base || tick > cfg.Duration {
+			return fmt.Errorf("bisect: -perturb tick %v outside [%v, %v]", tick, base, cfg.Duration)
+		}
+		cand.perturbAt = tick.Truncate(cfg.Step)
+		cand.perturb = fn
+	}
+
+	diverged := func(t time.Duration) ([]string, error) {
+		rs, err := ref.stateAt(t)
+		if err != nil {
+			return nil, err
+		}
+		cs, err := cand.stateAt(t)
+		if err != nil {
+			return nil, err
+		}
+		rd, _, err := snap.Digests(rs)
+		if err != nil {
+			return nil, err
+		}
+		cd, _, err := snap.Digests(cs)
+		if err != nil {
+			return nil, err
+		}
+		var diff []string
+		for _, name := range snap.Subsystems {
+			if rd[name] != cd[name] {
+				diff = append(diff, name)
+			}
+		}
+		return diff, nil
+	}
+
+	n := int((cfg.Duration - base) / cfg.Step)
+	tickAt := func(i int) time.Duration { return base + time.Duration(i)*cfg.Step }
+	lastDiff, err := diverged(tickAt(n))
+	if err != nil {
+		return err
+	}
+	if len(lastDiff) == 0 {
+		fmt.Fprintf(out, "no divergence: states identical from %v through %v (%d ticks)\n",
+			base, tickAt(n), n+1)
+		return nil
+	}
+	// Invariant: diverged(hi) is true; find the smallest such tick.
+	lo, hi := 0, n
+	firstDiff := lastDiff
+	for lo < hi {
+		mid := (lo + hi) / 2
+		diff, err := diverged(tickAt(mid))
+		if err != nil {
+			return err
+		}
+		if len(diff) > 0 {
+			hi, firstDiff = mid, diff
+		} else {
+			lo = mid + 1
+		}
+	}
+	at := tickAt(hi)
+	fmt.Fprintf(out, "divergence at tick %v (first differing state)\n", at)
+	fmt.Fprintf(out, "subsystems   : %s\n", strings.Join(firstDiff, ", "))
+	if *tracePath != "" {
+		if err := printTraceContext(out, *tracePath, at, *window); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// printTraceContext prints the original run's observed events near the
+// divergent tick, so the operator sees what the run was doing there.
+func printTraceContext(out io.Writer, path string, at, window time.Duration) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	tr, err := obs.ReadTrace(f)
+	if err != nil {
+		return err
+	}
+	var near []obs.Ev
+	for _, ev := range tr.Events {
+		t := time.Duration(ev.T)
+		if t >= at-window && t <= at+window {
+			near = append(near, ev)
+		}
+	}
+	sort.SliceStable(near, func(i, j int) bool { return near[i].T < near[j].T })
+	fmt.Fprintf(out, "trace events within %v of the divergence (%d):\n", window, len(near))
+	const maxShown = 24
+	for i, ev := range near {
+		if i == maxShown {
+			fmt.Fprintf(out, "  ... %d more\n", len(near)-maxShown)
+			break
+		}
+		fmt.Fprintf(out, "  %-10v %-22s actor=%d subject=%d %s\n",
+			time.Duration(ev.T).Round(time.Millisecond), ev.Type, ev.Actor, ev.Subject, ev.Info)
+	}
+	return nil
+}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime/pprof"
 	"sort"
 	"strings"
@@ -29,6 +30,7 @@ import (
 	"nwade/internal/metrics"
 	"nwade/internal/obs"
 	"nwade/internal/sim"
+	"nwade/internal/snap"
 	"nwade/internal/vnet"
 )
 
@@ -52,25 +54,31 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nwade-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
 	var (
-		kindName = fs.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
-		density  = fs.Float64("density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
-		duration = fs.Duration("duration", 60*time.Second, "simulated time span")
-		seed     = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		scenario = fs.String("scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
-		attackAt = fs.Duration("attack-at", 25*time.Second, "when the compromise activates")
-		nwadeOn  = fs.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
-		events   = fs.Bool("events", false, "print the protocol event log")
-		keyBits  = fs.Int("keybits", 1024, "IM signing key size (paper: 2048)")
-		rounds   = fs.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
-		workers  = fs.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
-		faults   = fs.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-		retrans  = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
-		traceOut = fs.String("trace", "", "write a JSONL protocol-event trace to this file (inspect with nwade-inspect trace)")
-		obsRep   = fs.Bool("obs", false, "print the observability report (counters, histograms, spans) after the run")
-		pprofOut = fs.String("pprof", "", "write a CPU profile to this file (enables wall-clock span timing)")
+		kindName  = fs.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
+		density   = fs.Float64("density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
+		duration  = fs.Duration("duration", 60*time.Second, "simulated time span")
+		seed      = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
+		scenario  = fs.String("scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
+		attackAt  = fs.Duration("attack-at", 25*time.Second, "when the compromise activates")
+		nwadeOn   = fs.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
+		events    = fs.Bool("events", false, "print the protocol event log")
+		keyBits   = fs.Int("keybits", 1024, "IM signing key size (paper: 2048)")
+		rounds    = fs.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
+		workers   = fs.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
+		faults    = fs.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+		retrans   = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
+		traceOut  = fs.String("trace", "", "write a JSONL protocol-event trace to this file (inspect with nwade-inspect trace)")
+		obsRep    = fs.Bool("obs", false, "print the observability report (counters, histograms, spans) after the run")
+		pprofOut  = fs.String("pprof", "", "write a CPU profile to this file (enables wall-clock span timing)")
+		ckptEvery = fs.Duration("checkpoint-every", 0, "write a checkpoint every interval of simulated time (single run only; resume with -resume or nwade-replay)")
+		ckptDir   = fs.String("checkpoint-dir", ".", "directory for -checkpoint-every files (ckpt-<time>.snap)")
+		resume    = fs.String("resume", "", "resume from a checkpoint file; the checkpoint's spec replaces the configuration flags")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if (*ckptEvery > 0 || *resume != "") && *rounds > 1 {
+		return fmt.Errorf("-checkpoint-every/-resume apply to single runs, not -rounds %d", *rounds)
 	}
 
 	kind, ok := kindByName[*kindName]
@@ -168,15 +176,44 @@ func run(args []string, out io.Writer) error {
 	if sink != nil {
 		simOpts = append(simOpts, sim.WithObs(sink))
 	}
-	engine, err := sim.New(mkConfig(*seed), simOpts...)
-	if err != nil {
-		return err
+	cfg := mkConfig(*seed)
+	var engine *sim.Engine
+	if *resume != "" {
+		spec, st, err := snap.ReadFile(*resume)
+		if err != nil {
+			return err
+		}
+		cfg, err = spec.BuildConfig()
+		if err != nil {
+			return err
+		}
+		inter, sc = cfg.Inter, cfg.Scenario
+		engine, err = sim.Restore(cfg, st, simOpts...)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed      : %s at %v\n", *resume, st.Engine.Now)
+	} else {
+		engine, err = sim.New(cfg, simOpts...)
+		if err != nil {
+			return err
+		}
 	}
-	res := engine.Run()
+	var res metrics.RunResult
+	if *ckptEvery > 0 {
+		res, err = runWithCheckpoints(out, engine, cfg, *ckptEvery, *ckptDir)
+		if err != nil {
+			return err
+		}
+	} else {
+		res = engine.Run()
+	}
 
 	fmt.Fprintf(out, "intersection : %s\n", inter.Name)
 	fmt.Fprintf(out, "scenario     : %s (attack at %v)\n", sc.Name, sc.AttackAt)
-	fmt.Fprintf(out, "density      : %g veh/min for %v (seed %d, NWADE %v)\n", *density, *duration, *seed, *nwadeOn)
+	// Read from cfg, not the flags: after -resume the run parameters
+	// come from the checkpoint's spec, not the command line.
+	fmt.Fprintf(out, "density      : %g veh/min for %v (seed %d, NWADE %v)\n", cfg.RatePerMin, cfg.Duration, cfg.Seed, cfg.NWADE)
 	if degraded {
 		fmt.Fprintf(out, "faults       : %s (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
 			profileName(*faults), *retrans, res.Net.FaultDropped, res.Net.Duplicated, res.Retransmits)
@@ -324,4 +361,31 @@ func runReplicas(out io.Writer, rr replicaRun) error {
 			dropped, duplicated, retransmits)
 	}
 	return nil
+}
+
+// runWithCheckpoints drives the engine to its duration, writing a
+// checkpoint (ckpt-<time>.snap) at every multiple of the interval. The
+// result is identical to engine.Run(): checkpointing observes state at
+// tick boundaries without perturbing it.
+func runWithCheckpoints(out io.Writer, e *sim.Engine, cfg sim.Config, every time.Duration, dir string) (metrics.RunResult, error) {
+	spec, err := snap.SpecFromConfig(cfg)
+	if err != nil {
+		return metrics.RunResult{}, err
+	}
+	duration := cfg.Normalize().Duration
+	for next := e.Now() + every; next < duration; next += every {
+		for e.Now() < next {
+			e.Step()
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ckpt-%s.snap", e.Now()))
+		st, err := e.Snapshot()
+		if err != nil {
+			return metrics.RunResult{}, err
+		}
+		if err := snap.WriteFile(path, spec, st); err != nil {
+			return metrics.RunResult{}, err
+		}
+		fmt.Fprintf(out, "checkpoint   : %s\n", path)
+	}
+	return e.Run(), nil
 }

@@ -75,3 +75,42 @@ func TestRunBadFlags(t *testing.T) {
 		}
 	}
 }
+
+func TestCheckpointAndResume(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	args := []string{"-scenario", "V1", "-attack-at", "2s", "-duration", "6s",
+		"-density", "40", "-keybits", "1024", "-seed", "3",
+		"-checkpoint-every", "2s", "-checkpoint-dir", dir}
+	if err := run(args, &buf); err != nil {
+		t.Fatalf("checkpointed run: %v\n%s", err, buf.String())
+	}
+	for _, name := range []string{"ckpt-2s.snap", "ckpt-4s.snap"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Fatalf("missing checkpoint %s: %v\n%s", name, err, buf.String())
+		}
+	}
+
+	buf.Reset()
+	if err := run([]string{"-resume", filepath.Join(dir, "ckpt-4s.snap")}, &buf); err != nil {
+		t.Fatalf("resume: %v\n%s", err, buf.String())
+	}
+	out := buf.String()
+	// "seed 3" guards the banner against reporting flag defaults
+	// instead of the checkpoint's spec on -resume.
+	for _, want := range []string{"resumed", "at 4s", "spawned", "seed 3", "for 6s"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("resume output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestCheckpointRejectsReplicas(t *testing.T) {
+	var buf bytes.Buffer
+	if err := run([]string{"-rounds", "2", "-checkpoint-every", "1s"}, &buf); err == nil {
+		t.Fatal("-checkpoint-every with -rounds should fail")
+	}
+	if err := run([]string{"-rounds", "2", "-resume", "x.snap"}, &buf); err == nil {
+		t.Fatal("-resume with -rounds should fail")
+	}
+}

@@ -37,6 +37,10 @@ func DefaultErrDropConfig() ErrDropConfig {
 		{PkgPath: "nwade/internal/chain", Recv: "", Name: "MerkleRoot"},
 		{PkgPath: "nwade/internal/chain", Recv: "", Name: "BuildProof"},
 		{PkgPath: "nwade/internal/plan", Recv: "", Name: "Decode"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "Encode"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "Decode"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "WriteFile"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "ReadFile"},
 		{PkgPath: "encoding/json", Recv: "Encoder", Name: "Encode"},
 		{PkgPath: "encoding/json", Recv: "", Name: "Marshal"},
 		{PkgPath: "os", Recv: "", Name: "WriteFile"},

@@ -8,6 +8,8 @@ import (
 	"os"
 
 	"nwade/internal/chain"
+	"nwade/internal/sim"
+	"nwade/internal/snap"
 )
 
 // dropped uses must-check calls as bare statements.
@@ -47,4 +49,22 @@ func checked(c *chain.Chain, b *chain.Block) error {
 // errors; the analyzer stays silent.
 func unlisted() {
 	os.Remove("x")
+}
+
+// droppedSnap discards checkpoint codec errors: a torn or unread
+// checkpoint must never pass silently.
+func droppedSnap(spec snap.Spec, st *sim.State) {
+	snap.Encode(os.Stdout, spec, st)   // want "error result of nwade/internal/snap\.Encode discarded"
+	snap.WriteFile("x.snap", spec, st) // want "error result of nwade/internal/snap\.WriteFile discarded"
+	_, _, _ = snap.Decode(os.Stdin)    // want "error result of nwade/internal/snap\.Decode assigned to _"
+	_, _, _ = snap.ReadFile("x.snap")  // want "error result of nwade/internal/snap\.ReadFile assigned to _"
+}
+
+// checkedSnap handles every checkpoint error: nothing to report.
+func checkedSnap(spec snap.Spec, st *sim.State) error {
+	if err := snap.Encode(os.Stdout, spec, st); err != nil {
+		return err
+	}
+	_, _, err := snap.ReadFile("x.snap")
+	return err
 }

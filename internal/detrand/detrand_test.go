@@ -1,0 +1,79 @@
+package detrand
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestMatchesPlainSource asserts the counting wrapper is invisible: a
+// *rand.Rand over it draws the same values as one over the plain
+// source, across the method mix the simulator actually uses.
+func TestMatchesPlainSource(t *testing.T) {
+	want := rand.New(rand.NewSource(42))
+	got, _ := New(42)
+	for i := 0; i < 2000; i++ {
+		switch i % 5 {
+		case 0:
+			if a, b := want.Float64(), got.Float64(); a != b {
+				t.Fatalf("draw %d: Float64 %v != %v", i, b, a)
+			}
+		case 1:
+			if a, b := want.Intn(97), got.Intn(97); a != b {
+				t.Fatalf("draw %d: Intn %v != %v", i, b, a)
+			}
+		case 2:
+			if a, b := want.ExpFloat64(), got.ExpFloat64(); a != b {
+				t.Fatalf("draw %d: ExpFloat64 %v != %v", i, b, a)
+			}
+		case 3:
+			if a, b := want.Int63n(1<<40), got.Int63n(1<<40); a != b {
+				t.Fatalf("draw %d: Int63n %v != %v", i, b, a)
+			}
+		case 4:
+			if a, b := want.Uint64(), got.Uint64(); a != b {
+				t.Fatalf("draw %d: Uint64 %v != %v", i, b, a)
+			}
+		}
+	}
+}
+
+// TestRestoreResumesStream captures the source mid-stream and checks a
+// restored twin continues with the identical draws.
+func TestRestoreResumesStream(t *testing.T) {
+	r, src := New(7)
+	for i := 0; i < 1234; i++ {
+		r.Float64()
+		if i%3 == 0 {
+			r.ExpFloat64() // variable draw counts per call
+		}
+	}
+	st := src.State()
+	if st.Seed != 7 || st.Steps == 0 {
+		t.Fatalf("state = %+v", st)
+	}
+
+	twinR, twinSrc := New(0)
+	twinSrc.Restore(st)
+	if twinSrc.State() != st {
+		t.Fatalf("restored state %+v != %+v", twinSrc.State(), st)
+	}
+	for i := 0; i < 500; i++ {
+		if a, b := r.Float64(), twinR.Float64(); a != b {
+			t.Fatalf("draw %d after restore: %v != %v", i, b, a)
+		}
+	}
+}
+
+// TestSeedResets checks Seed rewinds the position counter.
+func TestSeedResets(t *testing.T) {
+	r, src := New(3)
+	r.Uint64()
+	src.Seed(9)
+	if st := src.State(); st != (State{Seed: 9, Steps: 0}) {
+		t.Fatalf("state after Seed = %+v", st)
+	}
+	fresh, _ := New(9)
+	if a, b := fresh.Uint64(), r.Uint64(); a != b {
+		t.Fatalf("reseeded stream diverged: %v != %v", b, a)
+	}
+}

@@ -1,0 +1,164 @@
+package eval
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/chain"
+	"nwade/internal/intersection"
+	"nwade/internal/metrics"
+	"nwade/internal/obs"
+	"nwade/internal/sim"
+	"nwade/internal/vnet"
+)
+
+var (
+	propKeyOnce sync.Once
+	propKey     *chain.Signer
+)
+
+func propSigner(t *testing.T) *chain.Signer {
+	t.Helper()
+	propKeyOnce.Do(func() {
+		s, err := chain.NewSigner(1024)
+		if err != nil {
+			t.Fatalf("NewSigner: %v", err)
+		}
+		propKey = s
+	})
+	return propKey
+}
+
+// captureConfigs enumerates the sim.Configs a generator would run under
+// a quick harness configuration, via the spec probe (no simulation is
+// paid for). Generators that never reach runSpecs (analytic curves,
+// key-benchmarks) return nothing.
+func captureConfigs(t *testing.T, g Generator) []sim.Config {
+	t.Helper()
+	var got []sim.Config
+	specProbe = func(cfg sim.Config) { got = append(got, cfg) }
+	defer func() { specProbe = nil }()
+	cfg := Config{
+		Rounds: 1, Duration: 8 * time.Second, AttackAt: 3 * time.Second,
+		KeyBits: 1024, BaseSeed: 5, Workers: 1,
+		Settings:  []string{"V1", "IM_V1"},
+		Densities: []float64{60},
+	}
+	if _, err := g.Fn(cfg); err != nil && !errors.Is(err, errProbeAbort) {
+		t.Fatalf("%s: probe run: %v", g.Name, err)
+	}
+	return got
+}
+
+// assertResumable is the core property: for snapshot ticks near the
+// start, middle, and end of the run, snapshot + restore produces a
+// RunResult digest bit-identical to the continuous run.
+func assertResumable(t *testing.T, label string, cfg sim.Config, sink *obs.Sink) {
+	t.Helper()
+	opts := []sim.Option{sim.WithSigner(propSigner(t))}
+	restoreOpts := []sim.Option{}
+	if sink != nil {
+		opts = append(opts, sim.WithObs(sink))
+		restoreOpts = append(restoreOpts, sim.WithObs(sink))
+	}
+	norm := cfg.Normalize()
+	cont, err := sim.New(cfg, opts...)
+	if err != nil {
+		t.Fatalf("%s: %v", label, err)
+	}
+	want := metrics.Digest(cont.Run())
+
+	for _, k := range []time.Duration{norm.Step, norm.Duration / 2, norm.Duration - norm.Step} {
+		e, err := sim.New(cfg, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", label, err)
+		}
+		for e.Now() < k {
+			e.Step()
+		}
+		st, err := e.Snapshot()
+		if err != nil {
+			t.Fatalf("%s: snapshot at %v: %v", label, k, err)
+		}
+		r, err := sim.Restore(cfg, st, restoreOpts...)
+		if err != nil {
+			t.Fatalf("%s: restore at %v: %v", label, k, err)
+		}
+		if got := metrics.Digest(r.Run()); got != want {
+			t.Errorf("%s: resume from %v: digest %s != continuous %s", label, k, got, want)
+		}
+	}
+}
+
+// TestEveryExperimentConfigIsResumable sweeps the registry: for each
+// registered generator, the first round configuration it would actually
+// run must checkpoint and resume bit-identically at start, middle and
+// end ticks.
+func TestEveryExperimentConfigIsResumable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint property sweep is slow")
+	}
+	covered := 0
+	for _, g := range All() {
+		cfgs := captureConfigs(t, g)
+		if len(cfgs) == 0 {
+			continue // no simulation rounds (analytic / crypto benchmarks)
+		}
+		covered++
+		cfg := cfgs[0]
+		if cfg.Duration > 10*time.Second {
+			cfg.Duration = 10 * time.Second
+		}
+		cfg.KeyBits = 1024
+		assertResumable(t, g.Name, cfg, nil)
+	}
+	if covered < 5 {
+		t.Fatalf("probe covered only %d generators; registry wiring broken?", covered)
+	}
+}
+
+// TestFaultProfilesAreResumable runs the property under every named
+// fault profile with the resilience layer on: the fault model's RNG and
+// channel state must survive the checkpoint round-trip.
+func TestFaultProfilesAreResumable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint property sweep is slow")
+	}
+	inter, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := attack.ByName("V1", 3*time.Second)
+	for _, name := range vnet.FaultProfileNames() {
+		fc, ok := vnet.FaultProfile(name)
+		if !ok {
+			t.Fatalf("profile %q vanished", name)
+		}
+		cfg := sim.Config{
+			Inter: inter, Duration: 8 * time.Second, RatePerMin: 60,
+			Seed: 11, Scenario: sc, NWADE: true, KeyBits: 1024,
+			Resilience: true,
+		}
+		cfg.Net.Faults = fc
+		assertResumable(t, fmt.Sprintf("faults/%s", name), cfg, nil)
+	}
+}
+
+// TestObsEnabledRunIsResumable resumes with an observability sink
+// installed on both halves: instrumentation must not perturb the run.
+func TestObsEnabledRunIsResumable(t *testing.T) {
+	inter, err := intersection.Cross4(intersection.Config{}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, _ := attack.ByName("IM", 3*time.Second)
+	cfg := sim.Config{
+		Inter: inter, Duration: 8 * time.Second, RatePerMin: 60,
+		Seed: 13, Scenario: sc, NWADE: true, KeyBits: 1024,
+	}
+	assertResumable(t, "obs-enabled", cfg, obs.New(obs.Options{}))
+}

@@ -60,6 +60,11 @@ type Config struct {
 	Settings []string
 	// Densities restricts density sweeps (nil = the paper's full list).
 	Densities []float64
+	// Store, when non-nil, persists every finished simulation round so
+	// an interrupted sweep resumes per cell (see RunCellsStored); cells
+	// already in the store are loaded instead of re-run. Results are
+	// identical with or without a store.
+	Store CellStore
 	// Obs, when non-nil, is installed into every simulation round:
 	// counters and histograms aggregate across the whole sweep (the sink
 	// is internally synchronized). Callers that also give the sink a

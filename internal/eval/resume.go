@@ -1,0 +1,219 @@
+// Per-cell sweep resume: finished simulation rounds persist to a
+// CellStore so an interrupted multi-hour sweep restarts where it
+// stopped instead of from zero. A cell's key digests everything that
+// determines its outcome — the harness configuration and the full round
+// configuration — so a stale store entry (different code knobs, seeds,
+// or sweeps) simply misses and the cell re-runs.
+//
+// The shared signing key is deliberately NOT part of the key: protocol
+// outcomes are key-independent (signature sizes are fixed by KeyBits and
+// verification always succeeds), so cells stored by a previous process
+// with a different key remain valid.
+package eval
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/metrics"
+	"nwade/internal/plan"
+	"nwade/internal/vnet"
+)
+
+// CellStore persists finished sweep cells between runs. Load reports
+// ok=false on a missing key. Implementations must be safe for
+// concurrent use: RunCells invokes cells from a worker pool.
+type CellStore interface {
+	Load(key string) ([]byte, bool, error)
+	Save(key string, data []byte) error
+}
+
+// DirStore is a CellStore backed by one file per cell in a directory.
+type DirStore struct{ dir string }
+
+// NewDirStore creates the directory if needed.
+func NewDirStore(dir string) (*DirStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("eval: cell store: %w", err)
+	}
+	return &DirStore{dir: dir}, nil
+}
+
+func (s *DirStore) path(key string) string { return filepath.Join(s.dir, key+".json") }
+
+// Load reads one cell; a missing file is a miss, not an error.
+func (s *DirStore) Load(key string) ([]byte, bool, error) {
+	data, err := os.ReadFile(s.path(key))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("eval: cell store: %w", err)
+	}
+	return data, true, nil
+}
+
+// Save writes one cell atomically (temp file + rename), so a crash
+// mid-write cannot leave a torn cell that poisons the next resume.
+func (s *DirStore) Save(key string, data []byte) error {
+	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
+	if err != nil {
+		return fmt.Errorf("eval: cell store: %w", err)
+	}
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: cell store: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: cell store: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("eval: cell store: %w", err)
+	}
+	return nil
+}
+
+// CellCodec serializes one cell result for a CellStore.
+type CellCodec[R any] struct {
+	Encode func(R) ([]byte, error)
+	Decode func([]byte) (R, error)
+}
+
+// RunCellsStored is RunCells with a write-through cache: a cell whose
+// key is already in the store decodes instead of running; a freshly-run
+// cell is saved before it is returned. A corrupt or undecodable store
+// entry falls back to running the cell; a failed save fails the cell
+// (silently losing checkpoints would defeat the resume). A nil store
+// degrades to plain RunCells.
+func RunCellsStored[C, R any](workers int, store CellStore, key func(int, C) string,
+	codec CellCodec[R], cells []C, run func(C) (R, error)) ([]R, error) {
+	if store == nil {
+		return RunCells(workers, cells, run)
+	}
+	idx := make([]int, len(cells))
+	for i := range idx {
+		idx[i] = i
+	}
+	return RunCells(workers, idx, func(i int) (R, error) {
+		c := cells[i]
+		k := key(i, c)
+		if data, ok, err := store.Load(k); err == nil && ok {
+			if r, derr := codec.Decode(data); derr == nil {
+				return r, nil
+			}
+			// Undecodable (older format, torn write): recompute.
+		}
+		r, err := run(c)
+		if err != nil {
+			return r, err
+		}
+		data, err := codec.Encode(r)
+		if err != nil {
+			return r, fmt.Errorf("eval: encode cell %s: %w", k, err)
+		}
+		if err := store.Save(k, data); err != nil {
+			return r, err
+		}
+		return r, nil
+	})
+}
+
+// --- outcome serialization --------------------------------------------
+
+// outcomeRecord is the stored form of an outcome. metrics.RunResult
+// carries a live *Collector, so the record flattens it to its state.
+type outcomeRecord struct {
+	Scenario    attack.Scenario
+	Roles       attack.Roles
+	Onsets      map[plan.VehicleID]time.Duration
+	Violations  map[plan.VehicleID]time.Duration
+	ResScenario string
+	ResSeed     int64
+	ResDuration time.Duration
+	Retransmits int
+	Net         vnet.Stats
+	Collector   metrics.CollectorState
+}
+
+func encodeOutcome(o *outcome) ([]byte, error) {
+	return json.Marshal(outcomeRecord{
+		Scenario:    o.scenario,
+		Roles:       o.roles,
+		Onsets:      o.onsets,
+		Violations:  o.violations,
+		ResScenario: o.res.Scenario,
+		ResSeed:     o.res.Seed,
+		ResDuration: o.res.Duration,
+		Retransmits: o.res.Retransmits,
+		Net:         o.res.Net,
+		Collector:   o.res.Collector.Snapshot(),
+	})
+}
+
+func decodeOutcome(data []byte) (*outcome, error) {
+	var rec outcomeRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return nil, err
+	}
+	col := metrics.NewCollector()
+	col.RestoreState(rec.Collector)
+	return &outcome{
+		res: metrics.RunResult{
+			Scenario:    rec.ResScenario,
+			Seed:        rec.ResSeed,
+			Duration:    rec.ResDuration,
+			Spawned:     rec.Collector.Spawned,
+			Exited:      rec.Collector.Exited,
+			Collisions:  rec.Collector.Collisions,
+			Retransmits: rec.Retransmits,
+			Net:         rec.Net,
+			Collector:   col,
+		},
+		scenario:   rec.Scenario,
+		roles:      rec.Roles,
+		onsets:     rec.Onsets,
+		violations: rec.Violations,
+	}, nil
+}
+
+var outcomeCodec = CellCodec[*outcome]{Encode: encodeOutcome, Decode: decodeOutcome}
+
+// harnessDigest identifies the harness knobs a stored cell depends on.
+// Workers and Obs are excluded: neither changes results.
+func (r *runner) harnessDigest() string {
+	c := r.cfg
+	h := sha256.New()
+	fmt.Fprintf(h, "rounds=%d density=%g duration=%v attackAt=%v keybits=%d seed=%d faults=%+v resilience=%v settings=%q densities=%v",
+		c.Rounds, c.Density, c.Duration, c.AttackAt, c.KeyBits, c.BaseSeed,
+		c.Faults, c.Resilience, c.Settings, c.Densities)
+	return hex.EncodeToString(h.Sum(nil))
+}
+
+// cellKey digests one round's full configuration (after harness knobs
+// are applied) plus its position in the sweep.
+func (r *runner) cellKey(harness string, i int, s simSpec) string {
+	c := s.cfg
+	schedName := ""
+	if c.Scheduler != nil {
+		schedName = c.Scheduler.Name()
+	}
+	interName := ""
+	if c.Inter != nil {
+		interName = fmt.Sprintf("%v/%s", c.Inter.Kind, c.Inter.Name)
+	}
+	h := sha256.New()
+	fmt.Fprintf(h, "%s|%d|%s|", harness, i, s.label)
+	fmt.Fprintf(h, "inter=%s sched=%s dur=%v step=%v rate=%g seed=%d scen=%+v nwade=%v legacy=%g im=%+v veh=%+v net=%+v resilience=%v keybits=%d",
+		interName, schedName, c.Duration, c.Step, c.RatePerMin, c.Seed, c.Scenario,
+		c.NWADE, c.LegacyFraction, c.IMConfig, c.VehicleConfig, c.Net, c.Resilience, c.KeyBits)
+	return hex.EncodeToString(h.Sum(nil))
+}

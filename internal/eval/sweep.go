@@ -5,8 +5,10 @@
 package eval
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 
@@ -69,12 +71,31 @@ func RunCells[C, R any](workers int, cells []C, run func(C) (R, error)) ([]R, er
 	return results, nil
 }
 
-// runCell invokes run, converting a panic into an error so one bad cell
-// cannot take down a whole sweep (or the process, from a pool goroutine).
+// CellPanicError is a panic recovered inside one sweep cell. It carries
+// the cell spec and the panicking goroutine's stack so a crashed cell in
+// a multi-hour sweep is diagnosable from the error alone; RunCells
+// prefixes it with the failing cell's position ("cell %d of %d").
+type CellPanicError struct {
+	// Spec is the cell value rendered with %+v — the sim.Config /
+	// seed / label that was being run.
+	Spec string
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack trace.
+	Stack []byte
+}
+
+func (e *CellPanicError) Error() string {
+	return fmt.Sprintf("eval: cell panicked: %v (spec %s)\n%s", e.Value, e.Spec, e.Stack)
+}
+
+// runCell invokes run, converting a panic into a *CellPanicError so one
+// bad cell cannot take down a whole sweep (or the process, from a pool
+// goroutine).
 func runCell[C, R any](run func(C) (R, error), c C) (r R, err error) {
 	defer func() {
 		if p := recover(); p != nil {
-			err = fmt.Errorf("eval: cell panicked: %v", p)
+			err = &CellPanicError{Spec: fmt.Sprintf("%+v", c), Value: p, Stack: debug.Stack()}
 		}
 	}()
 	return run(c)
@@ -87,19 +108,47 @@ type simSpec struct {
 	label string
 }
 
+// applyHarness layers the harness-level fault profile and resilience
+// switch onto one spec, so every generator inherits them uniformly,
+// whether it went through runner.spec or built its sim.Config by hand.
+func (r *runner) applyHarness(s simSpec) simSpec {
+	if r.cfg.Faults.Enabled() && !s.cfg.Net.Faults.Enabled() {
+		s.cfg.Net.Faults = r.cfg.Faults
+	}
+	if r.cfg.Resilience {
+		s.cfg.Resilience = true
+	}
+	return s
+}
+
+// specProbe, when non-nil, intercepts every round configuration a sweep
+// would run (after harness layering) and aborts the sweep with
+// errProbeAbort instead of simulating. Tests use it to enumerate the
+// exact sim.Configs each registered experiment produces without paying
+// for the runs.
+var specProbe func(sim.Config)
+
+// errProbeAbort is returned by runSpecs when a specProbe is installed.
+var errProbeAbort = errors.New("eval: sweep aborted by spec probe")
+
 // runSpecs executes one engine per spec across the worker pool, sharing
-// the runner's signing key, and returns the outcomes in spec order. The
-// harness-level fault profile and resilience switch are applied here so
-// every generator inherits them uniformly, whether it went through
-// runner.spec or built its sim.Config by hand.
+// the runner's signing key, and returns the outcomes in spec order.
+// When the runner's Config carries a CellStore, finished rounds persist
+// and already-stored rounds load instead of re-running.
 func (r *runner) runSpecs(specs []simSpec) ([]*outcome, error) {
-	return RunCells(r.cfg.Workers, specs, func(s simSpec) (*outcome, error) {
-		if r.cfg.Faults.Enabled() && !s.cfg.Net.Faults.Enabled() {
-			s.cfg.Net.Faults = r.cfg.Faults
+	if specProbe != nil {
+		for _, s := range specs {
+			specProbe(r.applyHarness(s).cfg)
 		}
-		if r.cfg.Resilience {
-			s.cfg.Resilience = true
-		}
+		return nil, errProbeAbort
+	}
+	harness := ""
+	if r.cfg.Store != nil {
+		harness = r.harnessDigest()
+	}
+	key := func(i int, s simSpec) string { return r.cellKey(harness, i, s) }
+	return RunCellsStored(r.cfg.Workers, r.cfg.Store, key, outcomeCodec, specs, func(s simSpec) (*outcome, error) {
+		s = r.applyHarness(s)
 		opts := []sim.Option{sim.WithSigner(r.signer)}
 		if r.cfg.Obs != nil {
 			opts = append(opts, sim.WithObs(r.cfg.Obs))

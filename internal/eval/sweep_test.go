@@ -56,19 +56,71 @@ func TestRunCellsFirstErrorInInputOrder(t *testing.T) {
 }
 
 func TestRunCellsPanicRecovered(t *testing.T) {
-	cells := []int{0, 1, 2}
-	got, err := RunCells(2, cells, func(c int) (int, error) {
-		if c == 1 {
+	type spec struct {
+		Label string
+		Seed  int64
+	}
+	cells := []spec{{"a", 1}, {"b", 2}, {"c", 3}}
+	got, err := RunCells(2, cells, func(c spec) (int, error) {
+		if c.Label == "b" {
 			panic("kaboom")
 		}
-		return c + 10, nil
+		return int(c.Seed) + 10, nil
 	})
 	if err == nil || !strings.Contains(err.Error(), "kaboom") {
 		t.Fatalf("err = %v, want recovered panic", err)
 	}
+	// The error carries the position, the cell spec, and the stack of
+	// the panicking goroutine.
+	var cpe *CellPanicError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("err = %T, want *CellPanicError in the chain", err)
+	}
+	if !strings.Contains(cpe.Spec, "b") || !strings.Contains(cpe.Spec, "2") {
+		t.Errorf("Spec = %q, want the cell's %%+v rendering", cpe.Spec)
+	}
+	if !strings.Contains(string(cpe.Stack), "runCell") {
+		t.Errorf("Stack does not reach runCell:\n%s", cpe.Stack)
+	}
+	if !strings.Contains(err.Error(), "cell 2 of 3") {
+		t.Errorf("err = %v, want cell position prefix", err)
+	}
 	// Healthy cells still completed.
-	if got[0] != 10 || got[2] != 12 {
+	if got[0] != 11 || got[2] != 13 {
 		t.Fatalf("results = %v", got)
+	}
+}
+
+// TestPanickingGeneratorSurfacesCell runs a deliberately panicking
+// experiment generator through the registry signature and checks that
+// the sweep reports the failing cell instead of crashing the process.
+func TestPanickingGeneratorSurfacesCell(t *testing.T) {
+	g := Generator{
+		Name: "panic-probe",
+		Meta: Meta{Desc: "test-only generator whose middle cell panics"},
+		Fn: func(cfg Config) (Result, error) {
+			seeds := []int64{cfg.BaseSeed, cfg.BaseSeed + 1, cfg.BaseSeed + 2}
+			_, err := RunCells(cfg.Workers, seeds, func(seed int64) (int, error) {
+				if seed == cfg.BaseSeed+1 {
+					panic(fmt.Sprintf("generator blew up at seed %d", seed))
+				}
+				return 0, nil
+			})
+			return nil, err
+		},
+	}
+	_, err := g.Run(Config{BaseSeed: 40, Workers: 3})
+	if err == nil {
+		t.Fatal("panicking generator returned nil error")
+	}
+	var cpe *CellPanicError
+	if !errors.As(err, &cpe) {
+		t.Fatalf("err = %T (%v), want *CellPanicError in the chain", err, err)
+	}
+	for _, want := range []string{"cell 2 of 3", "generator blew up at seed 41", "spec 41"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("err missing %q:\n%v", want, err)
+		}
 	}
 }
 

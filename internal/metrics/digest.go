@@ -1,0 +1,25 @@
+// Run digests: a cheap, order-sensitive hash over everything observable
+// about a finished run. Two runs digest equal iff they behaved
+// identically — the replay tools compare digests to decide whether a
+// resumed run matches its continuous twin.
+package metrics
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// Digest hashes the full event log, the traffic counters, and the
+// network totals of a run. The format is stable: the sim package's
+// golden-digest regression test pins it.
+func Digest(res RunResult) string {
+	h := sha256.New()
+	for _, e := range res.Collector.Events() {
+		fmt.Fprintf(h, "%d|%d|%d|%d|%s\n", e.At, e.Type, e.Actor, e.Subject, e.Info)
+	}
+	fmt.Fprintf(h, "spawned=%d exited=%d collisions=%d\n", res.Spawned, res.Exited, res.Collisions)
+	fmt.Fprintf(h, "delivered=%d dropped=%d packets=%d\n",
+		res.Net.Delivered, res.Net.Dropped, res.Net.TotalPackets())
+	return hex.EncodeToString(h.Sum(nil))
+}

@@ -1,0 +1,51 @@
+// Checkpoint support: the collector's state is its event log plus the
+// aggregate counters. Event is already a plain-data type, so the state
+// serializes directly.
+package metrics
+
+import (
+	"time"
+
+	"nwade/internal/nwade"
+)
+
+// CollectorState is a serializable snapshot of a Collector.
+type CollectorState struct {
+	Events     []nwade.Event
+	Spawned    int
+	Exited     int
+	Collisions int
+	Towed      int
+	ExitTimes  []time.Duration
+}
+
+// Snapshot captures the collector's state.
+func (c *Collector) Snapshot() CollectorState {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	st := CollectorState{
+		Events:     make([]nwade.Event, len(c.events)),
+		Spawned:    c.Spawned,
+		Exited:     c.Exited,
+		Collisions: c.Collisions,
+		Towed:      c.Towed,
+		ExitTimes:  make([]time.Duration, len(c.ExitTimes)),
+	}
+	copy(st.Events, c.events)
+	copy(st.ExitTimes, c.ExitTimes)
+	return st
+}
+
+// RestoreState rewinds the collector to a snapshot.
+func (c *Collector) RestoreState(st CollectorState) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.events = make([]nwade.Event, len(st.Events))
+	copy(c.events, st.Events)
+	c.Spawned = st.Spawned
+	c.Exited = st.Exited
+	c.Collisions = st.Collisions
+	c.Towed = st.Towed
+	c.ExitTimes = make([]time.Duration, len(st.ExitTimes))
+	copy(c.ExitTimes, st.ExitTimes)
+}

@@ -1,0 +1,25 @@
+// Checkpoint support: a ledger's state is exactly its set of active
+// plans (the conflict checker is derived from the intersection).
+package sched
+
+import "nwade/internal/plan"
+
+// Snapshot returns the active plans in deterministic (vehicle ID) order.
+// Plans are treated as immutable after issue, so the snapshot stores
+// them by value.
+func (l *Ledger) Snapshot() []plan.TravelPlan {
+	out := make([]plan.TravelPlan, 0, len(l.plans))
+	for _, p := range l.Active() {
+		out = append(out, *p)
+	}
+	return out
+}
+
+// RestoreState replaces the ledger's plans with the snapshot's.
+func (l *Ledger) RestoreState(ps []plan.TravelPlan) {
+	l.plans = make(map[plan.VehicleID]*plan.TravelPlan, len(ps))
+	for i := range ps {
+		p := ps[i]
+		l.plans[p.Vehicle] = &p
+	}
+}

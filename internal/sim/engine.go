@@ -13,6 +13,7 @@ import (
 
 	"nwade/internal/attack"
 	"nwade/internal/chain"
+	"nwade/internal/detrand"
 	"nwade/internal/geom"
 	"nwade/internal/intersection"
 	"nwade/internal/metrics"
@@ -162,8 +163,11 @@ func (b *body) status(now time.Duration) plan.Status {
 
 // Engine is one simulation run.
 type Engine struct {
-	cfg    Config
-	rng    *rand.Rand
+	cfg Config
+	rng *rand.Rand
+	// rngSrc is rng's counting source, so checkpoints can capture the
+	// engine's exact position in its random stream.
+	rngSrc *detrand.Source
 	signer *chain.Signer
 	im     *nwade.IMCore
 	net    *vnet.Network
@@ -199,6 +203,10 @@ type Engine struct {
 	// deferred holds arrivals whose spawn point is still occupied by a
 	// queued vehicle (queue spill-back past the spawn location).
 	deferred []traffic.Arrival
+	// spawnScratch is the spawn phase's double buffer: due arrivals are
+	// staged here each tick so the loop can rebuild deferred in place
+	// without aliasing the slice it is ranging over.
+	spawnScratch []traffic.Arrival
 
 	// obs is the nil-by-default observability sink: phase spans, protocol
 	// counters, and the structured event trace. When nil (the default)
@@ -260,7 +268,6 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	}
 	e := &Engine{
 		cfg:          cfg,
-		rng:          rand.New(rand.NewSource(cfg.Seed)),
 		signer:       signer,
 		col:          metrics.NewCollector(),
 		bodies:       make(map[plan.VehicleID]*body),
@@ -274,6 +281,7 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		byNode:    make(map[vnet.NodeID]*body),
 		obs:       o.obs,
 	}
+	e.rng, e.rngSrc = detrand.New(cfg.Seed)
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
 	e.net.SetObs(e.obs)
 	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
@@ -441,7 +449,11 @@ func (e *Engine) reindex(now time.Duration) {
 // is still occupied near the spawn point (a queue reaching back to the
 // edge of the simulated area) is deferred until the lane clears.
 func (e *Engine) spawn(now time.Duration) {
-	pending := append(e.deferred, e.gen.Until(now)...)
+	// Stage this tick's candidates in the scratch buffer: appending to
+	// e.deferred directly would alias its backing array while the loop
+	// below truncates and refills it.
+	pending := append(append(e.spawnScratch[:0], e.deferred...), e.gen.Until(now)...)
+	e.spawnScratch = pending[:0]
 	e.deferred = e.deferred[:0]
 	blockedLanes := make(map[intersection.LaneRef]bool)
 	for _, a := range pending {

@@ -1,9 +1,6 @@
 package sim
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"fmt"
 	"testing"
 	"time"
 
@@ -17,14 +14,7 @@ import (
 // runs digest equal iff they behaved identically.
 func runDigest(t *testing.T, res metrics.RunResult) string {
 	t.Helper()
-	h := sha256.New()
-	for _, e := range res.Collector.Events() {
-		fmt.Fprintf(h, "%d|%d|%d|%d|%s\n", e.At, e.Type, e.Actor, e.Subject, e.Info)
-	}
-	fmt.Fprintf(h, "spawned=%d exited=%d collisions=%d\n", res.Spawned, res.Exited, res.Collisions)
-	fmt.Fprintf(h, "delivered=%d dropped=%d packets=%d\n",
-		res.Net.Delivered, res.Net.Dropped, res.Net.TotalPackets())
-	return hex.EncodeToString(h.Sum(nil))
+	return metrics.Digest(res)
 }
 
 // zeroFaultGolden is the digest of the reference run below, recorded on

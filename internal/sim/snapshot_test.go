@@ -1,0 +1,88 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// stepTo advances the engine tick by tick until now >= t.
+func stepTo(e *Engine, t time.Duration) {
+	for e.Now() < t {
+		e.Step()
+	}
+}
+
+// finish runs the engine to its configured duration and digests it.
+func finish(t *testing.T, e *Engine) string {
+	t.Helper()
+	return runDigest(t, e.Run())
+}
+
+// TestSnapshotResumeMatchesContinuous is the core checkpoint property on
+// the reference configuration: snapshotting mid-run and resuming from
+// the snapshot produces a run digest bit-identical to the uninterrupted
+// run, including mid-attack state (V1 activates at 20s; the snapshot at
+// 25s carries live verification and suspect state).
+func TestSnapshotResumeMatchesContinuous(t *testing.T) {
+	cfg := zeroFaultRefConfig(t)
+
+	cont, err := New(cfg, WithSigner(testSigner(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := finish(t, cont)
+	if want != zeroFaultGolden {
+		t.Fatalf("continuous run digest %s != golden %s", want, zeroFaultGolden)
+	}
+
+	for _, k := range []time.Duration{100 * time.Millisecond, 25 * time.Second, cfg.Duration - cfg.Step} {
+		e, err := New(cfg, WithSigner(testSigner(t)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		stepTo(e, k)
+		st, err := e.Snapshot()
+		if err != nil {
+			t.Fatalf("snapshot at %v: %v", k, err)
+		}
+		r, err := Restore(cfg, st)
+		if err != nil {
+			t.Fatalf("restore at %v: %v", k, err)
+		}
+		if got := finish(t, r); got != want {
+			t.Errorf("resume from %v: digest %s != continuous %s", k, got, want)
+		}
+	}
+}
+
+// TestSnapshotIsStable asserts a snapshot is a deep copy: stepping the
+// engine after snapshotting must not mutate the captured state.
+func TestSnapshotIsStable(t *testing.T) {
+	cfg := zeroFaultRefConfig(t)
+	cfg.Duration = 30 * time.Second
+	e, err := New(cfg, WithSigner(testSigner(t)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepTo(e, 22*time.Second)
+	st, err := e.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	r1, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := finish(t, r1)
+
+	// Step the original well past the snapshot, then restore again from
+	// the same captured state.
+	stepTo(e, 28*time.Second)
+	r2, err := Restore(cfg, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := finish(t, r2); got != want {
+		t.Fatalf("snapshot mutated by later stepping: %s != %s", got, want)
+	}
+}

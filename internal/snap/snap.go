@@ -1,0 +1,271 @@
+// Package snap is the versioned on-disk checkpoint format for a
+// simulation run. A checkpoint pairs a Spec — the run's configuration in
+// a rebuildable, named form — with a sim.State, the complete mutable
+// state at one tick boundary. The encoding is canonical JSON: struct
+// fields serialize in declaration order, map keys sort, and every
+// queue-like structure is serialized in a total order upstream (the sim
+// snapshot layer guarantees this), so the same state always encodes to
+// the same bytes and checkpoints can be compared by digest.
+//
+// The format carries a magic string and a version number. Decoding an
+// unknown version fails loudly rather than misinterpreting state.
+package snap
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"nwade/internal/attack"
+	"nwade/internal/intersection"
+	"nwade/internal/sched"
+	"nwade/internal/sim"
+	"nwade/internal/vnet"
+)
+
+// Magic identifies a checkpoint file.
+const Magic = "NWADE-SNAP"
+
+// Version is the current encoding version. Bump it whenever the state
+// layout changes incompatibly.
+const Version = 1
+
+// kindNames maps the CLI layout names to intersection kinds. It must
+// stay in sync with cmd/nwade-sim's flag vocabulary.
+var kindNames = map[string]intersection.Kind{
+	"roundabout3": intersection.KindRoundabout3,
+	"cross4":      intersection.KindCross4,
+	"irregular5":  intersection.KindIrregular5,
+	"cfi4":        intersection.KindCFI4,
+	"ddi4":        intersection.KindDDI4,
+}
+
+// KindName returns the CLI name of an intersection kind ("" if the kind
+// has none).
+func KindName(k intersection.Kind) string {
+	for name, kind := range kindNames {
+		if kind == k {
+			return name
+		}
+	}
+	return ""
+}
+
+// KindNames lists the supported layout names, sorted.
+func KindNames() []string {
+	out := make([]string, 0, len(kindNames))
+	for name := range kindNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Spec is a run configuration in named, serializable form: everything
+// needed to rebuild the sim.Config a checkpoint was taken under.
+// Intersections and schedulers are stored by name and rebuilt with their
+// standard constructors, so a Spec only round-trips configurations
+// expressible through the CLI (which is all the replay tools need).
+type Spec struct {
+	// Intersection is the layout name: one of KindNames().
+	Intersection string
+	// Scheduler is the scheduler name ("" means the default
+	// reservation scheduler).
+	Scheduler string
+
+	Duration       time.Duration
+	Step           time.Duration
+	RatePerMin     float64
+	Seed           int64
+	Scenario       attack.Scenario
+	NWADE          bool
+	LegacyFraction float64
+	Resilience     bool
+	KeyBits        int
+	Net            vnet.Config
+}
+
+// SpecFromConfig captures a sim.Config as a Spec. It fails when the
+// configuration is not expressible by name: a hand-built intersection or
+// a customized scheduler.
+func SpecFromConfig(cfg sim.Config) (Spec, error) {
+	cfg = cfg.Normalize()
+	if cfg.Inter == nil {
+		return Spec{}, fmt.Errorf("snap: config has no intersection")
+	}
+	kindName := KindName(cfg.Inter.Kind)
+	if kindName == "" {
+		return Spec{}, fmt.Errorf("snap: intersection kind %v has no CLI name; checkpoint specs only cover the standard layouts", cfg.Inter.Kind)
+	}
+	schedName := ""
+	if cfg.Scheduler != nil {
+		schedName = cfg.Scheduler.Name()
+	}
+	if _, err := schedulerByName(schedName, cfg.Inter); err != nil {
+		return Spec{}, err
+	}
+	return Spec{
+		Intersection:   kindName,
+		Scheduler:      schedName,
+		Duration:       cfg.Duration,
+		Step:           cfg.Step,
+		RatePerMin:     cfg.RatePerMin,
+		Seed:           cfg.Seed,
+		Scenario:       cfg.Scenario,
+		NWADE:          cfg.NWADE,
+		LegacyFraction: cfg.LegacyFraction,
+		Resilience:     cfg.Resilience,
+		KeyBits:        cfg.KeyBits,
+		Net:            cfg.Net,
+	}, nil
+}
+
+// schedulerByName builds a scheduler with default parameters.
+func schedulerByName(name string, inter *intersection.Intersection) (sched.Scheduler, error) {
+	switch name {
+	case "", "reservation":
+		return &sched.Reservation{}, nil
+	case "traffic-light":
+		return &sched.TrafficLight{Inter: inter}, nil
+	case "platoon":
+		return &sched.Platoon{}, nil
+	default:
+		return nil, fmt.Errorf("snap: unknown scheduler %q", name)
+	}
+}
+
+// BuildConfig rebuilds the sim.Config a Spec describes.
+func (s Spec) BuildConfig() (sim.Config, error) {
+	kind, ok := kindNames[s.Intersection]
+	if !ok {
+		return sim.Config{}, fmt.Errorf("snap: unknown intersection %q", s.Intersection)
+	}
+	inter, err := intersection.Build(kind, intersection.Config{})
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("snap: rebuild intersection: %w", err)
+	}
+	scheduler, err := schedulerByName(s.Scheduler, inter)
+	if err != nil {
+		return sim.Config{}, err
+	}
+	cfg := sim.Config{
+		Inter:          inter,
+		Scheduler:      scheduler,
+		Duration:       s.Duration,
+		Step:           s.Step,
+		RatePerMin:     s.RatePerMin,
+		Seed:           s.Seed,
+		Scenario:       s.Scenario,
+		NWADE:          s.NWADE,
+		LegacyFraction: s.LegacyFraction,
+		Resilience:     s.Resilience,
+		KeyBits:        s.KeyBits,
+		Net:            s.Net,
+	}
+	return cfg.Normalize(), nil
+}
+
+// envelope is the on-disk layout.
+type envelope struct {
+	Magic   string
+	Version int
+	Spec    Spec
+	State   *sim.State
+}
+
+// Encode writes a versioned checkpoint. The output is canonical: the
+// same (spec, state) pair always encodes to the same bytes.
+func Encode(w io.Writer, spec Spec, st *sim.State) error {
+	if st == nil {
+		return fmt.Errorf("snap: encode: nil state")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(envelope{Magic: Magic, Version: Version, Spec: spec, State: st}); err != nil {
+		return fmt.Errorf("snap: encode: %w", err)
+	}
+	return nil
+}
+
+// Decode reads a checkpoint, rejecting wrong magic or version.
+func Decode(r io.Reader) (Spec, *sim.State, error) {
+	var env envelope
+	if err := json.NewDecoder(r).Decode(&env); err != nil {
+		return Spec{}, nil, fmt.Errorf("snap: decode: %w", err)
+	}
+	if env.Magic != Magic {
+		return Spec{}, nil, fmt.Errorf("snap: decode: bad magic %q (want %q)", env.Magic, Magic)
+	}
+	if env.Version != Version {
+		return Spec{}, nil, fmt.Errorf("snap: decode: unsupported version %d (have %d)", env.Version, Version)
+	}
+	if env.State == nil {
+		return Spec{}, nil, fmt.Errorf("snap: decode: checkpoint has no state")
+	}
+	return env.Spec, env.State, nil
+}
+
+// WriteFile encodes a checkpoint to path.
+func WriteFile(path string, spec Spec, st *sim.State) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	if err := Encode(f, spec, st); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return fmt.Errorf("snap: %w", err)
+	}
+	return nil
+}
+
+// ReadFile decodes a checkpoint from path.
+func ReadFile(path string) (Spec, *sim.State, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, nil, fmt.Errorf("snap: %w", err)
+	}
+	defer f.Close()
+	return Decode(f)
+}
+
+// Subsystems are the digest keys reported by Digests, in report order.
+// They mirror the sim.State sections and name who owns each slice of
+// state: the physical world, the arrival process, the network, the
+// protocol cores, and the metrics collector.
+var Subsystems = []string{"engine", "traffic", "net", "protocol", "collector"}
+
+// Digests hashes each subsystem section of a state separately and
+// returns the per-subsystem digests plus an overall digest. Two states
+// digest equal iff they serialize identically, so a digest mismatch on a
+// subsystem localizes which state diverged.
+func Digests(st *sim.State) (map[string]string, string, error) {
+	sections := []struct {
+		name string
+		v    any
+	}{
+		{"engine", st.Engine},
+		{"traffic", st.Traffic},
+		{"net", st.Net},
+		{"protocol", st.Protocol},
+		{"collector", st.Collector},
+	}
+	per := make(map[string]string, len(sections))
+	all := sha256.New()
+	for _, s := range sections {
+		b, err := json.Marshal(s.v)
+		if err != nil {
+			return nil, "", fmt.Errorf("snap: digest %s: %w", s.name, err)
+		}
+		sum := sha256.Sum256(b)
+		per[s.name] = hex.EncodeToString(sum[:])
+		fmt.Fprintf(all, "%s=%x\n", s.name, sum)
+	}
+	return per, hex.EncodeToString(all.Sum(nil)), nil
+}

@@ -1,0 +1,73 @@
+// Checkpoint support: the generator's complete state is its RNG position,
+// the next scheduled arrival, the ID counter, and the per-lane busy-until
+// map. Restoring them reproduces the exact remaining arrival stream.
+package traffic
+
+import (
+	"time"
+
+	"nwade/internal/detrand"
+	"nwade/internal/intersection"
+)
+
+// LaneBusyState is one entry of the per-lane spawn-gap map, flattened to
+// a slice sorted by lane so the encoding is canonical.
+type LaneBusyState struct {
+	Leg   int
+	Lane  int
+	Until time.Duration
+}
+
+// GeneratorState is a serializable snapshot of a Generator.
+type GeneratorState struct {
+	RNG      detrand.State
+	NextAt   time.Duration
+	NextID   uint64
+	LaneBusy []LaneBusyState
+}
+
+// Snapshot captures the generator's position in the arrival stream.
+func (g *Generator) Snapshot() GeneratorState {
+	st := GeneratorState{
+		RNG:    g.rngSrc.State(),
+		NextAt: g.nextAt,
+		NextID: g.nextID,
+	}
+	for _, ref := range orderedLaneRefs(g.laneBusy) {
+		st.LaneBusy = append(st.LaneBusy, LaneBusyState{
+			Leg: ref.Leg, Lane: ref.Lane, Until: g.laneBusy[ref],
+		})
+	}
+	return st
+}
+
+// RestoreState rewinds the generator to a snapshot. The generator must
+// have been built over the same intersection and config as the original.
+func (g *Generator) RestoreState(st GeneratorState) {
+	g.rngSrc.Restore(st.RNG)
+	g.nextAt = st.NextAt
+	g.nextID = st.NextID
+	g.laneBusy = make(map[intersection.LaneRef]time.Duration, len(st.LaneBusy))
+	for _, lb := range st.LaneBusy {
+		g.laneBusy[intersection.LaneRef{Leg: lb.Leg, Lane: lb.Lane}] = lb.Until
+	}
+}
+
+// orderedLaneRefs sorts lane keys by (leg, index) for canonical output.
+func orderedLaneRefs(m map[intersection.LaneRef]time.Duration) []intersection.LaneRef {
+	refs := make([]intersection.LaneRef, 0, len(m))
+	//lint:ignore maprange extract-then-sort: the insertion sort below canonicalizes the order
+	for ref := range m {
+		refs = append(refs, ref)
+	}
+	for i := 1; i < len(refs); i++ {
+		for j := i; j > 0; j-- {
+			a, b := refs[j-1], refs[j]
+			if a.Leg < b.Leg || (a.Leg == b.Leg && a.Lane < b.Lane) {
+				break
+			}
+			refs[j-1], refs[j] = b, a
+		}
+	}
+	return refs
+}

@@ -10,6 +10,7 @@ import (
 	"math/rand"
 	"time"
 
+	"nwade/internal/detrand"
 	"nwade/internal/intersection"
 	"nwade/internal/plan"
 	"nwade/internal/units"
@@ -63,9 +64,12 @@ func (c Config) Normalize() Config {
 
 // Generator produces a deterministic (per seed) Poisson arrival stream.
 type Generator struct {
-	cfg       Config
-	inter     *intersection.Intersection
-	rng       *rand.Rand
+	cfg   Config
+	inter *intersection.Intersection
+	rng   *rand.Rand
+	// rngSrc is rng's counting source, so checkpoints can capture the
+	// generator's exact position in the arrival stream.
+	rngSrc    *detrand.Source
 	nextAt    time.Duration
 	nextID    uint64
 	laneBusy  map[intersection.LaneRef]time.Duration
@@ -85,10 +89,10 @@ func NewGenerator(inter *intersection.Intersection, cfg Config, seed int64) *Gen
 	g := &Generator{
 		cfg:      cfg.Normalize(),
 		inter:    inter,
-		rng:      rand.New(rand.NewSource(seed)),
 		laneBusy: make(map[intersection.LaneRef]time.Duration),
 		nextID:   1,
 	}
+	g.rng, g.rngSrc = detrand.New(seed)
 	g.advance(0)
 	return g
 }

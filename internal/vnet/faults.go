@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"nwade/internal/detrand"
 	"nwade/internal/ordered"
 )
 
@@ -126,7 +127,10 @@ type fate struct {
 type FaultModel struct {
 	cfg FaultConfig
 	rng *rand.Rand
-	bad bool // Gilbert–Elliott channel state
+	// rngSrc is rng's counting source, so checkpoints can capture the
+	// model's exact position in its stream.
+	rngSrc *detrand.Source
+	bad    bool // Gilbert–Elliott channel state
 }
 
 // NewFaultModel builds a fault model; it returns nil when cfg injects
@@ -135,7 +139,9 @@ func NewFaultModel(cfg FaultConfig, seed int64) *FaultModel {
 	if !cfg.Enabled() {
 		return nil
 	}
-	return &FaultModel{cfg: cfg, rng: rand.New(rand.NewSource(seed))}
+	fm := &FaultModel{cfg: cfg}
+	fm.rng, fm.rngSrc = detrand.New(seed)
+	return fm
 }
 
 // judge decides one delivery's fate. Draw order is fixed — burst, loss,

@@ -1,0 +1,175 @@
+// Checkpoint support for the network: the registered-node set, the
+// delivery heap with its FIFO sequence counter, both RNG streams (the
+// legacy DropRate stream and the fault model's), the Gilbert–Elliott
+// channel phase, and the load statistics.
+//
+// Message payloads are `any`-typed and their concrete types live in
+// packages above vnet, so the snapshot carries them through a caller-
+// supplied codec: Snapshot receives an encoder that turns a payload into
+// a self-describing PayloadEnvelope, RestoreState the matching decoder.
+// The queue is serialized sorted by (deliver time, sequence) — the order
+// Poll drains it — so the encoding is canonical: two networks that will
+// behave identically snapshot to identical bytes even if their heap
+// arrays are internally permuted differently.
+package vnet
+
+import (
+	"container/heap"
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"nwade/internal/detrand"
+	"nwade/internal/ordered"
+)
+
+// PayloadEnvelope is a serialized message payload tagged with its
+// concrete type name, so a decoder can rebuild the original value.
+type PayloadEnvelope struct {
+	Type string
+	Data json.RawMessage
+}
+
+// PayloadEncoder converts a payload value into its envelope.
+type PayloadEncoder func(any) (PayloadEnvelope, error)
+
+// PayloadDecoder rebuilds a payload value from its envelope.
+type PayloadDecoder func(PayloadEnvelope) (any, error)
+
+// QueuedMsgState is one in-flight delivery.
+type QueuedMsgState struct {
+	To      NodeID // receiver of this copy
+	From    NodeID
+	MsgTo   NodeID // Message.To: Broadcast for broadcast transmissions
+	Kind    string
+	Payload PayloadEnvelope
+	Size    int
+	Sent    time.Duration
+	Deliver time.Duration
+	Seq     uint64
+}
+
+// FaultModelState is the fault layer's mutable state.
+type FaultModelState struct {
+	RNG detrand.State
+	Bad bool // Gilbert–Elliott channel phase
+}
+
+// NetworkState is a serializable snapshot of a Network.
+type NetworkState struct {
+	RNG   detrand.State
+	Fault *FaultModelState // nil when no fault model is configured
+	Nodes []NodeID
+	Queue []QueuedMsgState
+	Seq   uint64
+	Stats Stats
+}
+
+// Snapshot captures the network's complete mutable state. enc serializes
+// message payloads; it must accept every payload type currently queued.
+func (n *Network) Snapshot(enc PayloadEncoder) (NetworkState, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	st := NetworkState{
+		RNG:   n.rngSrc.State(),
+		Nodes: ordered.Keys(n.nodes),
+		Seq:   n.seq,
+		Stats: n.statsCopyLocked(),
+	}
+	if n.fm != nil {
+		st.Fault = &FaultModelState{RNG: n.fm.rngSrc.State(), Bad: n.fm.bad}
+	}
+	st.Queue = make([]QueuedMsgState, 0, len(n.queue))
+	for _, q := range n.queue {
+		env, err := enc(q.Msg.Payload)
+		if err != nil {
+			return NetworkState{}, fmt.Errorf("vnet: snapshot queued %s: %w", q.Msg.Kind, err)
+		}
+		st.Queue = append(st.Queue, QueuedMsgState{
+			To: q.To, From: q.Msg.From, MsgTo: q.Msg.To, Kind: q.Msg.Kind,
+			Payload: env, Size: q.Msg.Size, Sent: q.Msg.Sent,
+			Deliver: q.Msg.Deliver, Seq: q.seq,
+		})
+	}
+	sort.Slice(st.Queue, func(i, j int) bool {
+		if st.Queue[i].Deliver != st.Queue[j].Deliver {
+			return st.Queue[i].Deliver < st.Queue[j].Deliver
+		}
+		return st.Queue[i].Seq < st.Queue[j].Seq
+	})
+	return st, nil
+}
+
+// RestoreState rewinds the network to a snapshot. The network must have
+// been built with the same Config and seed as the original, so the fault
+// model's presence matches the snapshot's.
+func (n *Network) RestoreState(st NetworkState, dec PayloadDecoder) error {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.rngSrc.Restore(st.RNG)
+	if (n.fm == nil) != (st.Fault == nil) {
+		return fmt.Errorf("vnet: restore: fault model mismatch (have %v, snapshot %v)",
+			n.fm != nil, st.Fault != nil)
+	}
+	if n.fm != nil {
+		n.fm.rngSrc.Restore(st.Fault.RNG)
+		n.fm.bad = st.Fault.Bad
+	}
+	n.nodes = make(map[NodeID]bool, len(st.Nodes))
+	for _, id := range st.Nodes {
+		n.nodes[id] = true
+	}
+	n.seq = st.Seq
+	n.stats = Stats{
+		Packets:      make(map[string]int, len(st.Stats.Packets)),
+		Bytes:        make(map[string]int, len(st.Stats.Bytes)),
+		Dropped:      st.Stats.Dropped,
+		Delivered:    st.Stats.Delivered,
+		FaultDropped: st.Stats.FaultDropped,
+		Duplicated:   st.Stats.Duplicated,
+	}
+	for k, v := range st.Stats.Packets {
+		n.stats.Packets[k] = v
+	}
+	for k, v := range st.Stats.Bytes {
+		n.stats.Bytes[k] = v
+	}
+	n.queue = n.queue[:0]
+	for _, q := range st.Queue {
+		payload, err := dec(q.Payload)
+		if err != nil {
+			return fmt.Errorf("vnet: restore queued %s: %w", q.Kind, err)
+		}
+		n.queue = append(n.queue, queued{
+			Delivery: Delivery{To: q.To, Msg: Message{
+				From: q.From, To: q.MsgTo, Kind: q.Kind, Payload: payload,
+				Size: q.Size, Sent: q.Sent, Deliver: q.Deliver,
+			}},
+			seq: q.Seq,
+		})
+	}
+	// The snapshot is sorted by (deliver, seq) — already a valid heap by
+	// the same comparison — but re-establish the invariant explicitly.
+	heap.Init(&n.queue)
+	return nil
+}
+
+// statsCopyLocked deep-copies the stats. Caller holds the lock.
+func (n *Network) statsCopyLocked() Stats {
+	out := Stats{
+		Packets:      make(map[string]int, len(n.stats.Packets)),
+		Bytes:        make(map[string]int, len(n.stats.Bytes)),
+		Dropped:      n.stats.Dropped,
+		Delivered:    n.stats.Delivered,
+		FaultDropped: n.stats.FaultDropped,
+		Duplicated:   n.stats.Duplicated,
+	}
+	for k, v := range n.stats.Packets {
+		out.Packets[k] = v
+	}
+	for k, v := range n.stats.Bytes {
+		out.Bytes[k] = v
+	}
+	return out
+}

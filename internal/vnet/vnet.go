@@ -17,6 +17,7 @@ import (
 	"sync"
 	"time"
 
+	"nwade/internal/detrand"
 	"nwade/internal/geom"
 	"nwade/internal/obs"
 	"nwade/internal/ordered"
@@ -109,9 +110,12 @@ func (s Stats) TotalPackets() int {
 
 // Network is the simulated medium.
 type Network struct {
-	mu      sync.Mutex
-	cfg     Config
-	rng     *rand.Rand
+	mu  sync.Mutex
+	cfg Config
+	rng *rand.Rand
+	// rngSrc is rng's counting source (the legacy DropRate stream), so
+	// checkpoints can capture its exact position.
+	rngSrc  *detrand.Source
 	fm      *FaultModel
 	locator Locator
 	nodes   map[NodeID]bool
@@ -136,9 +140,8 @@ func (n *Network) SetObs(o *obs.Sink) {
 // from seed) so the legacy DropRate stream is undisturbed.
 func New(cfg Config, seed int64, locator Locator) *Network {
 	cfg = cfg.Normalize()
-	return &Network{
+	n := &Network{
 		cfg:     cfg,
-		rng:     rand.New(rand.NewSource(seed)),
 		fm:      NewFaultModel(cfg.Faults, seed^0x5eedfa17),
 		locator: locator,
 		nodes:   make(map[NodeID]bool),
@@ -147,6 +150,8 @@ func New(cfg Config, seed int64, locator Locator) *Network {
 			Bytes:   make(map[string]int),
 		},
 	}
+	n.rng, n.rngSrc = detrand.New(seed)
+	return n
 }
 
 // Register adds a node to the medium.
