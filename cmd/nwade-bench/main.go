@@ -152,8 +152,16 @@ func run(args []string, out io.Writer) error {
 		if sr, ok := res.(*eval.SpeedupResult); ok {
 			report.Experiments = append(report.Experiments,
 				benchfmt.Timing{Experiment: "speedup-sequential", WallMS: ms(sr.Sequential), Rounds: sr.Rounds, Workers: 1},
-				benchfmt.Timing{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds, Workers: sr.Workers, Speedup: sr.Ratio()},
+				benchfmt.Timing{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds,
+					Workers: sr.Workers, RequestedWorkers: sr.RequestedWorkers, Speedup: sr.Ratio()},
 			)
+			continue
+		}
+		if ar, ok := res.(*eval.TickAllocResult); ok {
+			report.Experiments = append(report.Experiments, benchfmt.Timing{
+				Experiment: g.Name, WallMS: ms(wall), Rounds: 1, Workers: 1,
+				AllocTicks: ar.Ticks, AllocsPerTick: ar.AllocsPerTick, BytesPerTick: ar.BytesPerTick,
+			})
 			continue
 		}
 		report.Experiments = append(report.Experiments, benchfmt.Timing{

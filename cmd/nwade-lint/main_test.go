@@ -16,7 +16,7 @@ func TestRunList(t *testing.T) {
 		t.Fatalf("-list reported %d findings", findings)
 	}
 	out := buf.String()
-	for _, want := range []string{"nodeterminism", "maprange", "floateq", "errdrop"} {
+	for _, want := range []string{"nodeterminism", "maprange", "floateq", "errdrop", "hotalloc"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)
 		}

@@ -65,6 +65,7 @@ func run(args []string, out io.Writer) error {
 		keyBits   = fs.Int("keybits", 1024, "IM signing key size (paper: 2048)")
 		rounds    = fs.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
 		workers   = fs.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
+		tickWork  = fs.Int("tick-workers", 1, "in-run worker pool sharding each tick across cores (results are bit-identical for any value)")
 		faults    = fs.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
 		retrans   = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
 		traceOut  = fs.String("trace", "", "write a JSONL protocol-event trace to this file (inspect with nwade-inspect trace)")
@@ -142,6 +143,7 @@ func run(args []string, out io.Writer) error {
 			NWADE:      *nwadeOn,
 			KeyBits:    *keyBits,
 			Resilience: *retrans,
+			Workers:    *tickWork,
 		}
 		cfg.Net.Faults = fc
 		return cfg

@@ -134,6 +134,7 @@ func Default() []*Analyzer {
 		NewMapRange(DefaultMapRangeConfig()),
 		NewFloatEq(DefaultFloatEqConfig()),
 		NewErrDrop(DefaultErrDropConfig()),
+		NewHotAlloc(DefaultHotAllocConfig()),
 	}
 }
 

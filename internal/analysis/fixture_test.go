@@ -108,6 +108,14 @@ func TestErrDropFixture(t *testing.T) {
 	runFixture(t, "errdrop", []*Analyzer{NewErrDrop(DefaultErrDropConfig())})
 }
 
+func TestHotAllocFixture(t *testing.T) {
+	// PkgPath "" applies the rule to the fixture package; the function
+	// list mirrors the fixture's hot functions (cold is absent).
+	runFixture(t, "hotalloc", []*Analyzer{NewHotAlloc(HotAllocConfig{
+		Functions: []string{"tick", "sense", "rebuild"},
+	})})
+}
+
 // TestRepositoryLintClean is the meta-test: the production analyzer set
 // must report zero findings on the repository itself. Any rule change
 // that reintroduces findings on the tree fails here, not just in CI.

@@ -1,0 +1,72 @@
+// Fixture for the hotalloc analyzer: per-tick functions must not make
+// or append into non-hoisted storage. The fixture's analyzer config
+// lists tick, sense, and rebuild as hot; cold is not listed.
+package hotalloc
+
+type item struct{ v int }
+
+type engine struct {
+	all     []*item
+	scratch []*item
+	lanes   map[int][]*item
+	blocked map[int]bool
+}
+
+type worker struct{ buf []*item }
+
+func (e *engine) tick(w *worker) {
+	fresh := make([]*item, 0, len(e.all)) // want "make allocates every tick"
+	for _, it := range e.all {
+		fresh = append(fresh, it) // want "append to a non-hoisted slice"
+	}
+	var loose []*item
+	loose = append(loose, fresh...) // want "append to a non-hoisted slice"
+	_ = loose
+
+	// Hoisted reuse patterns: field append, scratch truncation, an
+	// append chain rooted at a field, and lazy field init.
+	e.all = append(e.all, nil)
+	out := w.buf[:0]
+	out = append(out, e.all...)
+	w.buf = out
+	pending := append(e.scratch[:0], e.all...)
+	pending = append(pending, nil)
+	e.scratch = pending[:0]
+	e.lanes[0] = append(e.lanes[0], nil)
+	if e.blocked == nil {
+		e.blocked = make(map[int]bool)
+	}
+}
+
+func (e *engine) sense(w *worker) []*item {
+	// Closures inside a hot function are part of its tick body.
+	collect := func() {
+		var found []*item
+		found = append(found, e.all...) // want "append to a non-hoisted slice"
+		_ = found
+	}
+	collect()
+	//lint:ignore hotalloc fixture: suppression keeps the reference path
+	legacy := make([]*item, 0, len(e.all))
+	for _, it := range e.all {
+		//lint:ignore hotalloc fixture: suppression keeps the reference path
+		legacy = append(legacy, it)
+	}
+	_ = w
+	return legacy
+}
+
+func (e *engine) rebuild() {
+	for k := range e.lanes {
+		delete(e.lanes, k)
+	}
+	for i, it := range e.all {
+		e.lanes[i%4] = append(e.lanes[i%4], it)
+	}
+}
+
+// cold is not on the hot list: it may allocate freely.
+func (e *engine) cold() []*item {
+	out := make([]*item, 0, len(e.all))
+	return append(out, e.all...)
+}

@@ -14,13 +14,25 @@ import (
 	"strings"
 )
 
-// Timing is one experiment's wall-clock measurement.
+// Timing is one experiment's measurement: always a wall-clock time,
+// plus heap-traffic counters for experiments that measure allocation
+// behaviour (the tickalloc experiment). Zero alloc fields mean "not
+// measured", not "allocation-free" — the diff gate only compares them
+// when both sides carry a nonzero window.
 type Timing struct {
 	Experiment string  `json:"experiment"`
 	WallMS     float64 `json:"wall_ms"`
 	Rounds     int     `json:"rounds"`
 	Workers    int     `json:"workers"`
-	Speedup    float64 `json:"speedup,omitempty"`
+	// RequestedWorkers is the pre-clamp worker count when an experiment
+	// clamps its pool to the machine's cores (speedup-parallel).
+	RequestedWorkers int     `json:"requested_workers,omitempty"`
+	Speedup          float64 `json:"speedup,omitempty"`
+	// AllocTicks is the measured tick window behind the per-tick
+	// averages below; nonzero marks the alloc fields as measured.
+	AllocTicks    int     `json:"alloc_ticks,omitempty"`
+	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
+	BytesPerTick  float64 `json:"bytes_per_tick,omitempty"`
 }
 
 // Report is a full nwade-bench run: machine shape plus per-experiment
@@ -80,6 +92,31 @@ type Delta struct {
 	// Missing notes a one-sided experiment: "old" (removed) or "new"
 	// (added). Empty when both sides measured it.
 	Missing string
+	// AllocsMeasured is true when both sides carried a nonzero
+	// allocation window; the fields below are only meaningful then.
+	AllocsMeasured bool
+	OldAllocs      float64
+	NewAllocs      float64
+	OldBytes       float64
+	NewBytes       float64
+	// AllocRegressed is true when the per-tick allocation count or byte
+	// volume grew past the threshold plus a small absolute slack —
+	// near-zero baselines would otherwise turn measurement jitter of a
+	// fraction of an allocation into a relative blow-up.
+	AllocRegressed bool
+}
+
+// Absolute slack added on top of the relative threshold when gating
+// allocation counters: a steady-state baseline of ~0 allocs/tick makes a
+// pure ratio meaningless, so growth below these floors never gates.
+const (
+	allocSlackPerTick = 2.0
+	byteSlackPerTick  = 256.0
+)
+
+// allocRegressed applies the relative-threshold-plus-absolute-slack rule.
+func allocRegressed(old, new, threshold, slack float64) bool {
+	return new > old*(1+threshold)+slack
 }
 
 // Diff matches experiments by name and flags every one whose slowdown
@@ -104,6 +141,13 @@ func Diff(old, new Report, threshold float64) []Delta {
 			d.Ratio = (n.WallMS - o.WallMS) / o.WallMS
 		}
 		d.Regressed = d.Ratio > threshold
+		if o.AllocTicks > 0 && n.AllocTicks > 0 {
+			d.AllocsMeasured = true
+			d.OldAllocs, d.NewAllocs = o.AllocsPerTick, n.AllocsPerTick
+			d.OldBytes, d.NewBytes = o.BytesPerTick, n.BytesPerTick
+			d.AllocRegressed = allocRegressed(d.OldAllocs, d.NewAllocs, threshold, allocSlackPerTick) ||
+				allocRegressed(d.OldBytes, d.NewBytes, threshold, byteSlackPerTick)
+		}
 		out = append(out, d)
 	}
 	var added []Delta
@@ -116,11 +160,12 @@ func Diff(old, new Report, threshold float64) []Delta {
 	return append(out, added...)
 }
 
-// Regressions counts the deltas that exceeded the threshold.
+// Regressions counts the deltas that exceeded the threshold on any
+// gated dimension (wall time or allocation counters).
 func Regressions(deltas []Delta) int {
 	n := 0
 	for _, d := range deltas {
-		if d.Regressed {
+		if d.Regressed || d.AllocRegressed {
 			n++
 		}
 	}
@@ -144,6 +189,16 @@ func Format(deltas []Delta) string {
 			}
 			fmt.Fprintf(&b, "%-28s %12.3f %12.3f %+8.1f%%%s\n",
 				d.Experiment, d.OldMS, d.NewMS, d.Ratio*100, mark)
+			if d.AllocsMeasured {
+				mark = ""
+				if d.AllocRegressed {
+					mark = " REGRESSION"
+				}
+				fmt.Fprintf(&b, "%-28s %8.2f/tick %8.2f/tick %9s%s\n",
+					"  allocs", d.OldAllocs, d.NewAllocs, "", mark)
+				fmt.Fprintf(&b, "%-28s %7.0fB/tick %7.0fB/tick\n",
+					"  bytes", d.OldBytes, d.NewBytes)
+			}
 		}
 	}
 	return b.String()

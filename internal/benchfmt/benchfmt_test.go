@@ -68,6 +68,60 @@ func TestDiffFlagsRegressions(t *testing.T) {
 	}
 }
 
+func TestDiffGatesAllocations(t *testing.T) {
+	old := Report{Experiments: []Timing{
+		{Experiment: "tickalloc", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 0.05, BytesPerTick: 40},
+		{Experiment: "bytes", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 0.05, BytesPerTick: 1000},
+		{Experiment: "nomeasure", WallMS: 100},
+	}}
+	new := Report{Experiments: []Timing{
+		// Allocations ballooned well past threshold + slack: regression
+		// even though wall time is flat.
+		{Experiment: "tickalloc", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 6.0, BytesPerTick: 50},
+		// Bytes more than doubled past the 256 B slack.
+		{Experiment: "bytes", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 0.05, BytesPerTick: 2500},
+		// One side never measured allocations: wall-only comparison.
+		{Experiment: "nomeasure", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 9, BytesPerTick: 9000},
+	}}
+	deltas := Diff(old, new, 0.15)
+	byName := map[string]Delta{}
+	for _, d := range deltas {
+		byName[d.Experiment] = d
+	}
+	if d := byName["tickalloc"]; !d.AllocsMeasured || !d.AllocRegressed || d.Regressed {
+		t.Fatalf("alloc blow-up should gate on allocations only: %+v", d)
+	}
+	if d := byName["bytes"]; !d.AllocRegressed {
+		t.Fatalf("byte blow-up should gate: %+v", d)
+	}
+	if d := byName["nomeasure"]; d.AllocsMeasured || d.AllocRegressed {
+		t.Fatalf("one-sided alloc window must not gate: %+v", d)
+	}
+	if got := Regressions(deltas); got != 2 {
+		t.Fatalf("Regressions = %d, want 2", got)
+	}
+	out := Format(deltas)
+	if !strings.Contains(out, "allocs") || !strings.Contains(out, "REGRESSION") {
+		t.Fatalf("Format should render alloc rows:\n%s", out)
+	}
+}
+
+func TestDiffAllocSlackAbsorbsJitter(t *testing.T) {
+	// A near-zero baseline growing by under the absolute slack must not
+	// gate: 0.03 -> 1.5 allocs/tick is jitter, not a leak, and a pure
+	// ratio would call it a 49x regression.
+	old := Report{Experiments: []Timing{
+		{Experiment: "tickalloc", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 0.03, BytesPerTick: 30},
+	}}
+	new := Report{Experiments: []Timing{
+		{Experiment: "tickalloc", WallMS: 100, AllocTicks: 1000, AllocsPerTick: 1.5, BytesPerTick: 200},
+	}}
+	deltas := Diff(old, new, 0.15)
+	if deltas[0].AllocRegressed {
+		t.Fatalf("growth within absolute slack must not gate: %+v", deltas[0])
+	}
+}
+
 func TestDiffZeroBaseline(t *testing.T) {
 	old := Report{Experiments: []Timing{{Experiment: "a", WallMS: 0}}}
 	new := Report{Experiments: []Timing{{Experiment: "a", WallMS: 10}}}

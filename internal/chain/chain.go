@@ -94,6 +94,24 @@ func (c *Chain) Append(b *Block) error {
 	return nil
 }
 
+// AppendVerified appends a block whose signature, Merkle root, and link
+// to the current head the caller has itself just verified — Algorithm 1
+// runs exactly those checks before appending, and repeating the RSA
+// signature verification here would double the per-block crypto cost.
+// Only the genesis-link case (first block of a fresh cache), which the
+// caller cannot have checked against a nil head, is re-examined. Use
+// Append for blocks that arrive unchecked.
+func (c *Chain) AppendVerified(b *Block) error {
+	if c.Head() == nil && b.Seq == 0 {
+		if err := VerifyLink(nil, b); err != nil {
+			return err
+		}
+	}
+	c.blocks = append(c.blocks, b)
+	c.prune()
+	return nil
+}
+
 // Prepend verifies a block that precedes the oldest cached block and
 // inserts it at the front. Vehicles that join mid-stream use this to
 // back-fill the plans of vehicles that entered earlier: the forward link

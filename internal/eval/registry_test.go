@@ -12,7 +12,7 @@ func TestRegistryContents(t *testing.T) {
 		"table2", "fig4", "fig5", "fig6", "fig7", "fig8",
 		"eq2", "eq3", "mixed",
 		"ablation-scheduler", "ablation-sensing", "ablation-doublecheck", "ablation-loss",
-		"faultsweep", "speedup",
+		"faultsweep", "speedup", "tickalloc",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -44,17 +44,23 @@ func TestRegistryContents(t *testing.T) {
 
 func TestRegistryGroups(t *testing.T) {
 	groups := Groups()
-	if len(groups) != 1 || groups[0] != "ablations" {
-		t.Fatalf("Groups() = %v, want [ablations]", groups)
+	if len(groups) != 2 || groups[0] != "ablations" || groups[1] != "perf" {
+		t.Fatalf("Groups() = %v, want [ablations perf]", groups)
 	}
-	var members int
-	for _, g := range All() {
-		if g.Meta.Group == "ablations" {
-			members++
+	count := func(group string) int {
+		var n int
+		for _, g := range All() {
+			if g.Meta.Group == group {
+				n++
+			}
 		}
+		return n
 	}
-	if members != 4 {
-		t.Errorf("ablations group has %d members, want 4", members)
+	if n := count("ablations"); n != 4 {
+		t.Errorf("ablations group has %d members, want 4", n)
+	}
+	if n := count("perf"); n != 2 {
+		t.Errorf("perf group has %d members, want 2 (speedup, tickalloc)", n)
 	}
 }
 

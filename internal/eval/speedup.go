@@ -16,7 +16,13 @@ type SpeedupResult struct {
 	Densities  []float64
 	Sequential time.Duration
 	Parallel   time.Duration
-	Workers    int
+	// Workers is the effective pool size the parallel sweep ran with:
+	// the requested size clamped to the machine's core count — beyond
+	// that, extra workers only add scheduler churn to the measurement.
+	Workers int
+	// RequestedWorkers is the pre-clamp pool size (GOMAXPROCS), recorded
+	// so a bench JSON from a core-restricted container is comparable.
+	RequestedWorkers int
 }
 
 // Ratio returns sequential-over-parallel wall time.
@@ -28,7 +34,7 @@ func (s *SpeedupResult) Ratio() float64 {
 }
 
 func init() {
-	Register("speedup", Meta{Desc: "Parallel-vs-sequential sweep timing (results verified identical)", Order: 110},
+	Register("speedup", Meta{Desc: "Parallel-vs-sequential sweep timing (results verified identical)", Group: "perf", Order: 110},
 		func(cfg Config) (Result, error) { return Speedup(cfg) })
 }
 
@@ -57,7 +63,11 @@ func Speedup(cfg Config) (*SpeedupResult, error) {
 	//lint:ignore nodeterminism wall-clock timing IS this experiment's measurement; results stay seed-deterministic
 	seqWall := time.Since(t0)
 
-	parWorkers := runtime.GOMAXPROCS(0)
+	requested := runtime.GOMAXPROCS(0)
+	parWorkers := requested
+	if ncpu := runtime.NumCPU(); parWorkers > ncpu {
+		parWorkers = ncpu
+	}
 	cfg.Workers = parWorkers
 	//lint:ignore nodeterminism wall-clock timing IS this experiment's measurement; results stay seed-deterministic
 	t1 := time.Now()
@@ -72,24 +82,29 @@ func Speedup(cfg Config) (*SpeedupResult, error) {
 		return nil, fmt.Errorf("speedup: parallel results differ from sequential")
 	}
 	return &SpeedupResult{
-		Rounds:     cfg.Rounds,
-		Settings:   settings,
-		Densities:  densities,
-		Sequential: seqWall,
-		Parallel:   parWall,
-		Workers:    parWorkers,
+		Rounds:           cfg.Rounds,
+		Settings:         settings,
+		Densities:        densities,
+		Sequential:       seqWall,
+		Parallel:         parWall,
+		Workers:          parWorkers,
+		RequestedWorkers: requested,
 	}, nil
 }
 
 // String renders the timing comparison.
 func (s *SpeedupResult) String() string {
+	clamp := ""
+	if s.RequestedWorkers > s.Workers {
+		clamp = fmt.Sprintf(" (requested %d, clamped to cores)", s.RequestedWorkers)
+	}
 	return fmt.Sprintf(
 		"Speedup — reduced Fig. 4 sweep (%d rounds × %d settings × %d densities)\n"+
 			"  sequential (workers=1):  %8.0f ms\n"+
-			"  parallel   (workers=%d):  %8.0f ms\n"+
+			"  parallel   (workers=%d):  %8.0f ms%s\n"+
 			"  speedup: %.2fx on %d CPU(s); results identical",
 		s.Rounds, len(s.Settings), len(s.Densities),
 		float64(s.Sequential.Microseconds())/1000,
-		s.Workers, float64(s.Parallel.Microseconds())/1000,
+		s.Workers, float64(s.Parallel.Microseconds())/1000, clamp,
 		s.Ratio(), runtime.NumCPU())
 }

@@ -862,7 +862,11 @@ func (im *IMCore) retimeOnto(p, v *plan.TravelPlan) bool {
 // Tick advances time-driven behavior: batching, vote deadlines,
 // evacuation clearance, and scheduled malice.
 func (im *IMCore) Tick(now time.Duration, visible []VehicleObs) []Out {
-	im.visible = make(map[plan.VehicleID]plan.Status, len(visible))
+	if im.visible == nil {
+		im.visible = make(map[plan.VehicleID]plan.Status, len(visible))
+	} else {
+		clear(im.visible)
+	}
 	for _, o := range visible {
 		im.visible[o.ID] = o.Status
 		if _, isSuspect := im.suspects[o.ID]; isSuspect {

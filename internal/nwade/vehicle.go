@@ -283,9 +283,6 @@ func (vc *VehicleCore) MarkExited(now time.Duration) {
 	}
 }
 
-// node returns the vehicle's network address.
-func (vc *VehicleCore) node() vnet.NodeID { return vnet.VehicleNode(uint64(vc.id)) }
-
 // enterSelfEvac performs the one-way transition into self-evacuation and
 // broadcasts the corresponding global report (once).
 func (vc *VehicleCore) enterSelfEvac(now time.Duration, reason GlobalReason, blockSeq uint64, suspect plan.VehicleID) []Out {
@@ -751,7 +748,7 @@ func (vc *VehicleCore) Tick(now time.Duration, self plan.Status, neighbors []Nei
 		return vc.globalResendTick(now)
 	}
 	var outs []Out
-	vc.lastNeighbors = make(map[plan.VehicleID]plan.Status, len(neighbors))
+	clear(vc.lastNeighbors)
 	for _, n := range neighbors {
 		vc.lastNeighbors[n.ID] = n.Status
 	}

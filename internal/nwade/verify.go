@@ -165,5 +165,7 @@ func verifyBlockObs(c *chain.Chain, checker *plan.ConflictChecker, b *chain.Bloc
 			return fmt.Errorf("%w: %v", ErrConflictingPlans, cs[0])
 		}
 	}
-	return c.Append(b)
+	// Signature, root, and head linkage were verified above (steps i and
+	// iii), so the append must not repeat the RSA work.
+	return c.AppendVerified(b)
 }

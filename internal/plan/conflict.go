@@ -31,16 +31,49 @@ func (c *ConflictChecker) headway() time.Duration {
 	return DefaultHeadway
 }
 
-// Conflict describes a detected plan-vs-plan conflict.
+// Conflict describes a detected plan-vs-plan conflict. It carries the
+// structured detail of the violation; the human-readable reason is
+// formatted on demand by Reason(), because the schedulers' admission
+// loops probe (and reject) large numbers of candidate pairs without ever
+// reading the text.
 type Conflict struct {
-	A, B   VehicleID
-	Reason string
+	A, B VehicleID
+	kind conflictKind
+	why  string // conflictOther: preformatted reason (rare error paths)
+	// conflictFollowing detail.
+	d, gap time.Duration
+	s      float64
+	// conflictZone detail.
+	zoneA, zoneB int
+	aIn, aOut    time.Duration
+	bIn, bOut    time.Duration
+}
+
+type conflictKind uint8
+
+const (
+	conflictOther conflictKind = iota
+	conflictFollowing
+	conflictZone
+)
+
+// Reason formats the human-readable explanation of the conflict.
+func (c *Conflict) Reason() string {
+	switch c.kind {
+	case conflictFollowing:
+		return fmt.Sprintf("car-following gap %v at s=%.1f below headway %v", c.d, c.s, c.gap)
+	case conflictZone:
+		return fmt.Sprintf("overlapping occupancy of conflict zone %d/%d: [%v,%v] vs [%v,%v]",
+			c.zoneA, c.zoneB, c.aIn, c.aOut, c.bIn, c.bOut)
+	default:
+		return c.why
+	}
 }
 
 // Error implements error so a Conflict can be returned through error
 // channels when convenient.
 func (c *Conflict) Error() string {
-	return fmt.Sprintf("plan conflict between %v and %v: %s", c.A, c.B, c.Reason)
+	return fmt.Sprintf("plan conflict between %v and %v: %s", c.A, c.B, c.Reason())
 }
 
 // Check reports the first conflict found between plans a and b, or nil.
@@ -50,17 +83,18 @@ func (c *ConflictChecker) Check(a, b *TravelPlan) *Conflict {
 	}
 	ra, err := c.Inter.Route(a.RouteID)
 	if err != nil {
-		return &Conflict{A: a.Vehicle, B: b.Vehicle, Reason: fmt.Sprintf("plan %v references %v", a.Vehicle, err)}
+		return &Conflict{A: a.Vehicle, B: b.Vehicle, why: fmt.Sprintf("plan %v references %v", a.Vehicle, err)}
 	}
 	rb, err := c.Inter.Route(b.RouteID)
 	if err != nil {
-		return &Conflict{A: a.Vehicle, B: b.Vehicle, Reason: fmt.Sprintf("plan %v references %v", b.Vehicle, err)}
+		return &Conflict{A: a.Vehicle, B: b.Vehicle, why: fmt.Sprintf("plan %v references %v", b.Vehicle, err)}
 	}
 	// Same incoming lane: enforce car-following separation along the
 	// shared approach.
 	if ra.From == rb.From {
-		if bad, why := c.followingViolation(a, b, ra, rb); bad {
-			return &Conflict{A: a.Vehicle, B: b.Vehicle, Reason: why}
+		if cf := c.followingViolation(a, b, ra, rb); cf != nil {
+			cf.A, cf.B = a.Vehicle, b.Vehicle
+			return cf
 		}
 	}
 	// Conflict-zone overlaps.
@@ -83,9 +117,9 @@ func (c *ConflictChecker) Check(a, b *TravelPlan) *Conflict {
 		gap := c.headway()
 		if aIn < bOut+gap && bIn < aOut+gap {
 			return &Conflict{
-				A: a.Vehicle, B: b.Vehicle,
-				Reason: fmt.Sprintf("overlapping occupancy of conflict zone %d/%d: [%v,%v] vs [%v,%v]",
-					cz.A, cz.B, aIn, aOut, bIn, bOut),
+				A: a.Vehicle, B: b.Vehicle, kind: conflictZone,
+				zoneA: cz.A, zoneB: cz.B,
+				aIn: aIn, aOut: aOut, bIn: bIn, bOut: bOut,
 			}
 		}
 	}
@@ -141,7 +175,7 @@ func occupancy(p *TravelPlan, lo, hi float64) (in, out time.Duration, crosses bo
 // headway. Positions before a plan's starting arc length are excluded —
 // a mid-route reschedule never travels them, and TimeAt would clamp to
 // the start time there, fabricating conflicts.
-func (c *ConflictChecker) followingViolation(a, b *TravelPlan, ra, rb *intersection.Route) (bool, string) {
+func (c *ConflictChecker) followingViolation(a, b *TravelPlan, ra, rb *intersection.Route) *Conflict {
 	shared := ra.CrossStart
 	if rb.CrossStart < shared {
 		shared = rb.CrossStart
@@ -154,7 +188,7 @@ func (c *ConflictChecker) followingViolation(a, b *TravelPlan, ra, rb *intersect
 		lo = b.Waypoints[0].S
 	}
 	if lo >= shared {
-		return false, ""
+		return nil
 	}
 	gap := c.headway()
 	const samples = 8
@@ -170,8 +204,8 @@ func (c *ConflictChecker) followingViolation(a, b *TravelPlan, ra, rb *intersect
 			d = -d
 		}
 		if d < gap {
-			return true, fmt.Sprintf("car-following gap %v at s=%.1f below headway %v", d, s, gap)
+			return &Conflict{kind: conflictFollowing, d: d, s: s, gap: gap}
 		}
 	}
-	return false, ""
+	return nil
 }

@@ -102,8 +102,8 @@ func TestCarFollowingViolation(t *testing.T) {
 	if cf == nil {
 		t.Fatal("tailgating plans must conflict")
 	}
-	if !strings.Contains(cf.Reason, "car-following") {
-		t.Errorf("reason = %q, want car-following", cf.Reason)
+	if !strings.Contains(cf.Reason(), "car-following") {
+		t.Errorf("reason = %q, want car-following", cf.Reason())
 	}
 	// A full headway apart is fine.
 	c := planThrough(3, r, 3*time.Second, 15)

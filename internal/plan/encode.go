@@ -75,9 +75,17 @@ func (d *decoder) str() (string, error) {
 	return s, nil
 }
 
-// Encode serialises the plan deterministically.
+// Encode serialises the plan deterministically. The buffer is presized
+// to the exact encoded length, so one Encode costs one allocation.
 func (p *TravelPlan) Encode() []byte {
-	var e encoder
+	size := 1 + 8 + // version, vehicle
+		3*8 + len(p.Char.Brand) + len(p.Char.Model) + len(p.Char.Color) +
+		2*8 + // length, width
+		5*8 + // status pos/speed/heading/at
+		2*8 + // route, issued
+		1 + // evacuation
+		8 + 24*len(p.Waypoints)
+	e := encoder{buf: make([]byte, 0, size)}
 	e.u8(encVersion)
 	e.u64(uint64(p.Vehicle))
 	e.str(p.Char.Brand)

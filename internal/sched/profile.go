@@ -102,6 +102,16 @@ func findLeader(req Request, t0 time.Duration, prior []*plan.TravelPlan, ledger 
 // the controller additionally keeps a speed-dependent gap behind the
 // leading vehicle's scheduled position on the shared approach.
 func buildPlan(req Request, now time.Duration, delay time.Duration, prof profileParams, lead *leadInfo) *plan.TravelPlan {
+	p, _ := buildPlanInto(nil, req, now, delay, prof, lead)
+	return p
+}
+
+// buildPlanInto is buildPlan integrating into a reusable waypoint buffer:
+// the returned plan's Waypoints alias scratch's backing array, and the
+// grown buffer is returned for the next attempt. Retry loops that discard
+// most candidate plans (admit, the traffic-light scheduler) pass the same
+// scratch each iteration and copy the waypoints only on acceptance.
+func buildPlanInto(scratch []plan.Waypoint, req Request, now time.Duration, delay time.Duration, prof profileParams, lead *leadInfo) (*plan.TravelPlan, []plan.Waypoint) {
 	r := req.Route
 	t0 := req.ArriveAt
 	if now > t0 {
@@ -113,7 +123,7 @@ func buildPlan(req Request, now time.Duration, delay time.Duration, prof profile
 
 	dt := prof.dt.Seconds()
 	t, s, v := t0, req.CurrentS, req.Speed
-	ws := []plan.Waypoint{{T: t, S: s, V: v}}
+	ws := append(scratch[:0], plan.Waypoint{T: t, S: s, V: v})
 	lastWP := t
 	// Guard against runaway integration; generous enough for a stop of
 	// several minutes at a saturated intersection.
@@ -178,5 +188,5 @@ func buildPlan(req Request, now time.Duration, delay time.Duration, prof profile
 		RouteID:   r.ID,
 		Waypoints: ws,
 		Issued:    now,
-	}
+	}, ws
 }

@@ -146,8 +146,13 @@ func admit(req Request, now time.Duration, ledger *Ledger, batch []*plan.TravelP
 	delay := time.Duration(0)
 	step := 600 * time.Millisecond
 	const maxIter = 400
+	// Rejected candidate plans dominate this loop, so they all integrate
+	// into one reusable waypoint buffer; only the accepted plan's
+	// waypoints are copied out.
+	var ws []plan.Waypoint
 	for i := 0; i < maxIter; i++ {
-		p := buildPlan(req, now, delay, prof, lead)
+		var p *plan.TravelPlan
+		p, ws = buildPlanInto(ws, req, now, delay, prof, lead)
 		ok := true
 		for _, q := range prior {
 			if cf := ledger.checker.Check(p, q); cf != nil {
@@ -156,6 +161,7 @@ func admit(req Request, now time.Duration, ledger *Ledger, batch []*plan.TravelP
 			}
 		}
 		if ok {
+			p.Waypoints = append([]plan.Waypoint(nil), p.Waypoints...)
 			return p, nil
 		}
 		delay += step

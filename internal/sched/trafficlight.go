@@ -113,6 +113,9 @@ func (t *TrafficLight) admitInGreen(req Request, now, earliest time.Duration, le
 	lead := findLeader(req, t0, append(append([]*plan.TravelPlan{}, prior...), batch...), ledger)
 	const maxWindows = 40
 	entry := earliest
+	// Same scratch discipline as admit: rejected candidates reuse one
+	// waypoint buffer, the accepted plan copies out.
+	var ws []plan.Waypoint
 	for w := 0; w < maxWindows; w++ {
 		gs, ge := t.NextGreen(req.Route.From.Leg, entry)
 		if entry < gs {
@@ -124,7 +127,8 @@ func (t *TrafficLight) admitInGreen(req Request, now, earliest time.Duration, le
 			if delay < 0 {
 				delay = 0
 			}
-			p := buildPlan(req, now, delay, prof, lead)
+			var p *plan.TravelPlan
+			p, ws = buildPlanInto(ws, req, now, delay, prof, lead)
 			if in, ok := p.TimeAt(req.Route.CrossStart); ok && in >= ge {
 				break // integration drifted past the window
 			}
@@ -144,6 +148,7 @@ func (t *TrafficLight) admitInGreen(req Request, now, earliest time.Duration, le
 				}
 			}
 			if !conflict {
+				p.Waypoints = append([]plan.Waypoint(nil), p.Waypoints...)
 				return p, nil
 			}
 			entry += 700 * time.Millisecond

@@ -1,0 +1,52 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+// steadyAllocBudget is the per-tick heap-allocation ceiling once the
+// reference scenario reaches steady state. The engine's tick path is
+// allocation-free by construction; the budget is not zero because a few
+// protocol events remain legitimately episodic — watcher incident
+// reports, the IM's once-per-second legacy-hazard sync, and sorted-key
+// extraction when a vehicle files a report — and testing.AllocsPerRun
+// averages whole allocations over a finite window. Raising this number
+// is a regression: find the new allocation with a heap-profile delta
+// (see DESIGN.md §12) before touching the budget.
+const steadyAllocBudget = 2.0
+
+// TestSteadyStateAllocBudget pins the tick path's allocation behaviour.
+// SpawnCutoff closes the arrival stream at 20s; by 45s every spawned
+// vehicle has crossed or settled, block issuance has drained, and each
+// Step should run through spawn, delivery, physics, grid rebuild, IM and
+// vehicle protocol ticks, and collision checks without touching the
+// heap.
+func TestSteadyStateAllocBudget(t *testing.T) {
+	if testing.Short() {
+		t.Skip("steady-state warm-up is ~45s of sim time")
+	}
+	inter, err := Cross4ForTest()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		Inter:       inter,
+		Duration:    time.Hour,
+		RatePerMin:  80,
+		Seed:        42,
+		NWADE:       true,
+		KeyBits:     1024,
+		SpawnCutoff: 20 * time.Second,
+	}
+	e, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepTo(e, 45*time.Second)
+	avg := testing.AllocsPerRun(100, e.Step)
+	t.Logf("steady-state allocs/tick = %.2f", avg)
+	if avg > steadyAllocBudget {
+		t.Fatalf("steady-state allocs/tick = %.2f, budget %.1f", avg, steadyAllocBudget)
+	}
+}

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"nwade/internal/attack"
@@ -66,6 +68,17 @@ type Config struct {
 	// KeyBits sizes the IM's signing key (default 2048; tests may use
 	// 1024 for speed).
 	KeyBits int
+	// Workers bounds the in-run worker pool that shards the message-
+	// delivery and vehicle-protocol phases of each tick across cores
+	// (<= 1 = fully sequential, the default). Results are bit-identical
+	// for any worker count: the parallel phases buffer their effects and
+	// commit them in the engine's deterministic spawn order.
+	Workers int
+	// SpawnCutoff stops drawing new arrivals from the traffic generator
+	// after this simulated time (0 = never). Arrivals already deferred
+	// by queue spill-back still materialise. Used by the allocation and
+	// steady-state benchmarks to close the system after a warm-up.
+	SpawnCutoff time.Duration
 }
 
 // HeadRebroadcastDefault is the IM head re-broadcast period installed by
@@ -108,6 +121,9 @@ func (c Config) Normalize() Config {
 	if c.KeyBits == 0 {
 		c.KeyBits = chain.DefaultKeyBits
 	}
+	if c.Workers < 1 {
+		c.Workers = 1
+	}
 	return c
 }
 
@@ -136,6 +152,18 @@ type body struct {
 	orderIdx int
 
 	posCache geom.Vec2
+
+	// node is the body's network address, computed once at spawn so the
+	// per-tick phases never re-format it.
+	node vnet.NodeID
+	// buffered redirects the core's event sink into evBuf while a
+	// parallel phase owns this body; the engine flips it strictly before
+	// and after the phase, so workers only ever read it.
+	buffered bool
+	// evBuf/tickOuts hold the events and protocol outputs produced by a
+	// parallel phase until the deterministic commit replays them.
+	evBuf    []nwade.Event
+	tickOuts []nwade.Out
 }
 
 // WreckClearance is how long a permanently stopped vehicle blocks the
@@ -174,8 +202,10 @@ type Engine struct {
 	gen    *traffic.Generator
 	col    *metrics.Collector
 	bodies map[plan.VehicleID]*body
-	order  []plan.VehicleID // deterministic iteration order
-	now    time.Duration
+	// all is the dense body list in deterministic spawn order — the
+	// engine's hot loops iterate it directly instead of chasing the map.
+	all []*body
+	now time.Duration
 
 	// grid indexes present bodies for radius queries (sensing, legacy
 	// gap acceptance, IM visibility). Rebuilt twice per tick.
@@ -212,6 +242,75 @@ type Engine struct {
 	// counters, and the structured event trace. When nil (the default)
 	// the hot path pays one pointer check per instrumentation point.
 	obs *obs.Sink
+
+	// emit is the engine-level event sink (metrics collector plus the
+	// optional obs trace tee); the per-core sinks route through it so the
+	// parallel phases can buffer and replay events deterministically.
+	emit nwade.EventSink
+
+	// workers is the normalized in-run worker count (>= 1).
+	workers int
+	// wctxs holds one sensing/query context per worker; wctxs[0] doubles
+	// as the sequential path's scratch.
+	wctxs []workerCtx
+	// imBuffered/imEvBuf buffer the IM core's events while the parallel
+	// delivery phase owns it, exactly like body.buffered/evBuf.
+	imBuffered bool
+	imEvBuf    []nwade.Event
+
+	// Reusable per-tick buffers (allocation-free steady state): polled
+	// deliveries, IM perception, the spawn phase's blocked-lane set, the
+	// protocol tick's active-body list, and the parallel partition and
+	// delivery-commit state.
+	pollBuf  []vnet.Delivery
+	visBuf   []nwade.VehicleObs
+	blocked  map[intersection.LaneRef]bool
+	tickList []*body
+	parts    []tickPart
+	partIdx  map[gridKey]int
+	nParts   int
+	groups   []delivGroup
+	groupIdx map[vnet.NodeID]int
+	nGroups  int
+	delivRes []delivResult
+}
+
+// workerCtx is one worker's private query state for the parallel
+// protocol phase: a neighbor buffer for sense and a grid query scratch.
+type workerCtx struct {
+	neigh []nwade.Neighbor
+	gs    gridScratch
+}
+
+// tickPart is one spatial partition of the protocol phase: the protocol
+// vehicles of one grid region, in spawn order. Partitions are the unit
+// of work handed to the worker pool; the commit phase ignores them and
+// replays results in global spawn order, so the partitioning affects
+// locality only, never results. The region key is designed as the future
+// per-intersection shard boundary (see spatialGrid.regionOf).
+type tickPart struct {
+	bodies []*body
+}
+
+// delivGroup is one receiver's due deliveries (indices into the polled
+// batch, ascending). Grouping by receiver lets a worker process a
+// receiver's messages in their original relative order while other
+// receivers proceed concurrently.
+type delivGroup struct {
+	recv *body // nil for the IM
+	idxs []int
+}
+
+// delivResult records one delivery's buffered effects: the handler's
+// outputs and the half-open event segment appended to the receiver's
+// buffer. The commit phase replays segments and dispatches outputs in
+// the original delivery order.
+type delivResult struct {
+	outs     []nwade.Out
+	recv     *body // nil for the IM
+	im       bool
+	skip     bool
+	ev0, ev1 int
 }
 
 // Option configures an Engine beyond its Config.
@@ -280,12 +379,15 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		lanes:     make(map[intersection.LaneRef][]*body),
 		byNode:    make(map[vnet.NodeID]*body),
 		obs:       o.obs,
+		workers:   cfg.Workers,
+		wctxs:     make([]workerCtx, cfg.Workers),
 	}
+	e.emit = e.sink()
 	e.rng, e.rngSrc = detrand.New(cfg.Seed)
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
 	e.net.SetObs(e.obs)
 	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
-	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.sink(), cfg.Scenario.IMMalice())
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Scenario.IMMalice())
 	e.im.SetObs(e.obs)
 	e.net.Register(vnet.IMNode)
 	return e, nil
@@ -304,6 +406,31 @@ func (e *Engine) sink() nwade.EventSink {
 	return func(ev nwade.Event) {
 		base(ev)
 		o.Event(ev.At, ev.Type.String(), uint64(ev.Actor), uint64(ev.Subject), ev.Info)
+	}
+}
+
+// sinkFor returns the event sink wired into one body's protocol core: it
+// forwards to the engine sink, except while a parallel phase owns the
+// body — then events land in the body's buffer and the commit phase
+// replays them in deterministic order.
+func (e *Engine) sinkFor(b *body) nwade.EventSink {
+	return func(ev nwade.Event) {
+		if b.buffered {
+			b.evBuf = append(b.evBuf, ev)
+			return
+		}
+		e.emit(ev)
+	}
+}
+
+// imSink is sinkFor's counterpart for the manager core.
+func (e *Engine) imSink() nwade.EventSink {
+	return func(ev nwade.Event) {
+		if e.imBuffered {
+			e.imEvBuf = append(e.imEvBuf, ev)
+			return
+		}
+		e.emit(ev)
 	}
 }
 
@@ -413,7 +540,7 @@ func (e *Engine) step() {
 	// Reindex settled positions for the protocol phase (IM perception
 	// and vehicle sensing read exact post-physics state).
 	sp = e.obs.Begin("regrid", now)
-	e.grid.rebuild(e.order, e.bodies, now)
+	e.grid.rebuild(e.all, now)
 	sp.End(now)
 	sp = e.obs.Begin("im", now)
 	sp.AddItems(e.tickIM(now))
@@ -432,12 +559,11 @@ func (e *Engine) step() {
 // stay valid for the whole tick; grid positions go stale during physics
 // and are compensated by moveSlack.
 func (e *Engine) reindex(now time.Duration) {
-	e.grid.rebuild(e.order, e.bodies, now)
+	e.grid.rebuild(e.all, now)
 	for ref, s := range e.lanes {
 		e.lanes[ref] = s[:0]
 	}
-	for _, id := range e.order {
-		b := e.bodies[id]
+	for _, b := range e.all {
 		if b.exited {
 			continue
 		}
@@ -452,10 +578,18 @@ func (e *Engine) spawn(now time.Duration) {
 	// Stage this tick's candidates in the scratch buffer: appending to
 	// e.deferred directly would alias its backing array while the loop
 	// below truncates and refills it.
-	pending := append(append(e.spawnScratch[:0], e.deferred...), e.gen.Until(now)...)
+	pending := append(e.spawnScratch[:0], e.deferred...)
+	if e.cfg.SpawnCutoff <= 0 || now <= e.cfg.SpawnCutoff {
+		pending = append(pending, e.gen.Until(now)...)
+	}
 	e.spawnScratch = pending[:0]
 	e.deferred = e.deferred[:0]
-	blockedLanes := make(map[intersection.LaneRef]bool)
+	if e.blocked == nil {
+		e.blocked = make(map[intersection.LaneRef]bool)
+	} else {
+		clear(e.blocked)
+	}
+	blockedLanes := e.blocked
 	for _, a := range pending {
 		// An arrival only materialises at its due time, on an
 		// unblocked lane, preserving per-lane FIFO order. Until then
@@ -465,21 +599,22 @@ func (e *Engine) spawn(now time.Duration) {
 			e.deferred = append(e.deferred, a)
 			continue
 		}
-		core := nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
-			e.cfg.VehicleConfig, e.sink(), nil, now, a.Speed)
-		core.SetObs(e.obs)
-		b := &body{id: a.Vehicle, core: core, route: a.Route, v: a.Speed, arrive: now, orderIdx: len(e.order)}
+		b := &body{id: a.Vehicle, route: a.Route, v: a.Speed, arrive: now,
+			orderIdx: len(e.all), node: vnet.VehicleNode(uint64(a.Vehicle))}
+		b.core = nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
+			e.cfg.VehicleConfig, e.sinkFor(b), nil, now, a.Speed)
+		b.core.SetObs(e.obs)
 		if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
 			b.legacy = true
 		}
 		b.refreshPos()
 		e.bodies[a.Vehicle] = b
-		e.order = append(e.order, a.Vehicle)
-		e.byNode[vnet.VehicleNode(uint64(a.Vehicle))] = b
+		e.all = append(e.all, b)
+		e.byNode[b.node] = b
 		if !b.legacy {
 			// Legacy vehicles carry no radio: they never join the
 			// network or the protocol.
-			e.net.Register(vnet.VehicleNode(uint64(a.Vehicle)))
+			e.net.Register(b.node)
 		}
 		e.col.Spawned++
 		// Only one vehicle can materialise per lane per tick; the next
@@ -520,8 +655,7 @@ func (e *Engine) activateAttack(now time.Duration) {
 	// Candidates: active vehicles with plans, still on approach or in
 	// the conflict area.
 	var cands []*body
-	for _, id := range e.order {
-		b := e.bodies[id]
+	for _, b := range e.all {
 		if !b.present(now) || b.core.Plan() == nil {
 			continue
 		}
@@ -562,25 +696,177 @@ func (e *Engine) activateAttack(now time.Duration) {
 }
 
 // deliver routes due network messages into the protocol cores, returning
-// the number of deliveries processed.
+// the number of deliveries processed. With workers > 1 the handlers run
+// concurrently, grouped by receiver (a receiver's messages keep their
+// relative order); their events and outputs are buffered and committed
+// in the original delivery order, so the event log and the network
+// schedule are bit-identical to the sequential path.
 func (e *Engine) deliver(now time.Duration) int {
-	due := e.net.Poll(now)
-	for _, d := range due {
-		if d.To == vnet.IMNode {
-			e.dispatch(now, vnet.IMNode, e.im.HandleMessage(now, d.Msg))
-			continue
+	due := e.net.PollInto(now, e.pollBuf[:0])
+	e.pollBuf = due
+	if e.workers <= 1 || len(due) < minParallelDeliveries {
+		for _, d := range due {
+			if d.To == vnet.IMNode {
+				e.dispatch(now, vnet.IMNode, e.im.HandleMessage(now, d.Msg))
+				continue
+			}
+			b := e.byNode[d.To]
+			if b == nil || b.exited || b.legacy {
+				continue
+			}
+			if !e.cfg.NWADE {
+				e.plainHandle(b, d.Msg)
+				continue
+			}
+			e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
 		}
-		b := e.byNode[d.To]
-		if b == nil || b.exited || b.legacy {
-			continue
-		}
-		if !e.cfg.NWADE {
-			e.plainHandle(b, d.Msg)
-			continue
-		}
-		e.dispatch(now, d.To, b.core.HandleMessage(now, d.Msg))
+		return len(due)
 	}
+	e.deliverParallel(now, due)
 	return len(due)
+}
+
+// minParallelDeliveries / minParallelBodies gate the parallel paths: a
+// near-empty tick runs sequentially, avoiding pool overhead. The cutover
+// cannot affect results — both paths commit in the same order.
+const (
+	minParallelDeliveries = 4
+	minParallelBodies     = 8
+)
+
+// deliverParallel is the workers > 1 delivery phase: group by receiver,
+// handle groups concurrently with buffered effects, then commit in
+// delivery order.
+func (e *Engine) deliverParallel(now time.Duration, due []vnet.Delivery) {
+	// Group deliveries by receiver, preserving each receiver's order.
+	if e.groupIdx == nil {
+		e.groupIdx = make(map[vnet.NodeID]int)
+	} else {
+		clear(e.groupIdx)
+	}
+	e.nGroups = 0
+	if cap(e.delivRes) < len(due) {
+		e.delivRes = make([]delivResult, len(due))
+	} else {
+		e.delivRes = e.delivRes[:len(due)]
+	}
+	for i := range e.delivRes {
+		e.delivRes[i] = delivResult{}
+	}
+	for i, d := range due {
+		var recv *body
+		if d.To != vnet.IMNode {
+			recv = e.byNode[d.To]
+			if recv == nil || recv.exited || recv.legacy {
+				e.delivRes[i].skip = true
+				continue
+			}
+		}
+		gi, ok := e.groupIdx[d.To]
+		if !ok {
+			gi = e.claimGroup(recv)
+			e.groupIdx[d.To] = gi
+			if recv == nil {
+				e.imBuffered = true
+				e.imEvBuf = e.imEvBuf[:0]
+			} else {
+				recv.buffered = true
+				recv.evBuf = recv.evBuf[:0]
+			}
+		}
+		e.groups[gi].idxs = append(e.groups[gi].idxs, i)
+	}
+	// Handle each group's deliveries on the worker pool.
+	e.runPool(e.nGroups, func(gi int, _ *workerCtx) {
+		g := &e.groups[gi]
+		for _, di := range g.idxs {
+			d := due[di]
+			r := &e.delivRes[di]
+			r.recv = g.recv
+			if g.recv == nil {
+				r.im = true
+				r.ev0 = len(e.imEvBuf)
+				r.outs = e.im.HandleMessage(now, d.Msg)
+				r.ev1 = len(e.imEvBuf)
+				continue
+			}
+			r.ev0 = len(g.recv.evBuf)
+			if !e.cfg.NWADE {
+				e.plainHandle(g.recv, d.Msg)
+			} else {
+				r.outs = g.recv.core.HandleMessage(now, d.Msg)
+			}
+			r.ev1 = len(g.recv.evBuf)
+		}
+	})
+	// Commit strictly in delivery order: replay the handler's events,
+	// then put its outputs on the network — the exact interleaving the
+	// sequential loop produces.
+	e.imBuffered = false
+	for gi := 0; gi < e.nGroups; gi++ {
+		if b := e.groups[gi].recv; b != nil {
+			b.buffered = false
+		}
+	}
+	for i := range e.delivRes {
+		r := &e.delivRes[i]
+		if r.skip {
+			continue
+		}
+		if r.im {
+			for _, ev := range e.imEvBuf[r.ev0:r.ev1] {
+				e.emit(ev)
+			}
+			e.dispatch(now, vnet.IMNode, r.outs)
+			continue
+		}
+		for _, ev := range r.recv.evBuf[r.ev0:r.ev1] {
+			e.emit(ev)
+		}
+		e.dispatch(now, r.recv.node, r.outs)
+	}
+}
+
+// claimGroup reuses (or extends) the delivery-group scratch, returning
+// the new group's index.
+func (e *Engine) claimGroup(recv *body) int {
+	gi := e.nGroups
+	if gi < len(e.groups) {
+		e.groups[gi].recv = recv
+		e.groups[gi].idxs = e.groups[gi].idxs[:0]
+	} else {
+		e.groups = append(e.groups, delivGroup{recv: recv})
+	}
+	e.nGroups++
+	return gi
+}
+
+// runPool executes fn(i, ctx) for i in [0, n) on the engine's worker
+// pool. Work items are claimed atomically; each worker gets its own
+// context. The assignment of items to workers is scheduling-dependent —
+// callers must buffer any ordered effects and commit them afterwards.
+func (e *Engine) runPool(n int, fn func(int, *workerCtx)) {
+	workers := e.workers
+	if workers > n {
+		workers = n
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		ctx := &e.wctxs[w]
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i, ctx)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // plainHandle is the no-NWADE baseline: adopt plans without verification,
@@ -611,7 +897,7 @@ func (e *Engine) dispatch(now time.Duration, from vnet.NodeID, outs []nwade.Out)
 // Visibility is a grid query around the intersection center; the grid was
 // rebuilt after physics, so indexed positions are exact.
 func (e *Engine) tickIM(now time.Duration) int {
-	var visible []nwade.VehicleObs
+	visible := e.visBuf[:0]
 	r := e.cfg.IMConfig.PerceptionRadius
 	e.grid.forEachOrdered(geom.V(0, 0), r, 0, func(b *body) bool {
 		if b.present(now) && b.pos().Len() <= r {
@@ -619,47 +905,109 @@ func (e *Engine) tickIM(now time.Duration) int {
 		}
 		return true
 	})
+	e.visBuf = visible
 	e.dispatch(now, vnet.IMNode, e.im.Tick(now, visible))
 	return len(visible)
 }
 
 // tickVehicles runs each vehicle core with its sensed neighborhood,
-// returning the number of cores ticked.
+// returning the number of cores ticked. With workers > 1 the sense +
+// decision phase runs per spatial partition on the worker pool; each
+// core's events and outputs are buffered and committed in spawn order,
+// which makes the result independent of the worker count (and identical
+// to the sequential path) by construction.
 func (e *Engine) tickVehicles(now time.Duration) int {
 	var ticked int
 	if !e.cfg.NWADE {
 		// Baseline: only the plan request is needed.
-		for _, id := range e.order {
-			b := e.bodies[id]
+		for _, b := range e.all {
 			if !b.present(now) || b.legacy {
 				continue
 			}
-			e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.TickRequestOnly(now))
+			e.dispatch(now, b.node, b.core.TickRequestOnly(now))
 			ticked++
 		}
 		return ticked
 	}
-	for _, id := range e.order {
-		b := e.bodies[id]
+	// Collect this tick's protocol vehicles once, in spawn order.
+	e.tickList = e.tickList[:0]
+	for _, b := range e.all {
 		if !b.present(now) || b.legacy {
 			continue
 		}
-		neighbors := e.sense(b)
-		e.dispatch(now, vnet.VehicleNode(uint64(id)), b.core.Tick(now, b.status(now), neighbors))
-		ticked++
+		e.tickList = append(e.tickList, b)
 	}
-	return ticked
+	if e.workers <= 1 || len(e.tickList) < minParallelBodies {
+		w := &e.wctxs[0]
+		for _, b := range e.tickList {
+			e.dispatch(now, b.node, b.core.Tick(now, b.status(now), e.sense(b, w)))
+		}
+		return len(e.tickList)
+	}
+	// Partition by spatial-grid region (the future per-intersection
+	// boundary). The partition layout steers locality only: results are
+	// committed in spawn order regardless of which worker ran a body.
+	if e.partIdx == nil {
+		e.partIdx = make(map[gridKey]int)
+	} else {
+		clear(e.partIdx)
+	}
+	e.nParts = 0
+	for _, b := range e.tickList {
+		k := e.grid.regionOf(b.pos())
+		pi, ok := e.partIdx[k]
+		if !ok {
+			pi = e.claimPart()
+			e.partIdx[k] = pi
+		}
+		e.parts[pi].bodies = append(e.parts[pi].bodies, b)
+		b.buffered = true
+		b.evBuf = b.evBuf[:0]
+		b.tickOuts = nil
+	}
+	e.runPool(e.nParts, func(pi int, ctx *workerCtx) {
+		for _, b := range e.parts[pi].bodies {
+			b.tickOuts = b.core.Tick(now, b.status(now), e.sense(b, ctx))
+		}
+	})
+	// Deterministic commit: replay each body's events and dispatch its
+	// outputs in spawn order — the sequential loop's exact interleaving.
+	for _, b := range e.tickList {
+		b.buffered = false
+		for _, ev := range b.evBuf {
+			e.emit(ev)
+		}
+		e.dispatch(now, b.node, b.tickOuts)
+		b.tickOuts = nil
+	}
+	return len(e.tickList)
+}
+
+// claimPart reuses (or extends) the partition scratch, returning the new
+// partition's index.
+func (e *Engine) claimPart() int {
+	pi := e.nParts
+	if pi < len(e.parts) {
+		e.parts[pi].bodies = e.parts[pi].bodies[:0]
+	} else {
+		e.parts = append(e.parts, tickPart{})
+	}
+	e.nParts++
+	return pi
 }
 
 // sense returns the ground-truth statuses of vehicles within the sensing
-// radius of b, in the engine's deterministic iteration order. The grid
-// query and the all-pairs scan (senseScan) are equivalent by
-// construction; grid_test.go asserts it tick by tick.
-func (e *Engine) sense(b *body) []nwade.Neighbor {
-	var out []nwade.Neighbor
+// radius of b, in the engine's deterministic iteration order, using the
+// caller's worker context for all scratch space (the grid index itself
+// is read-only here, so concurrent sense calls are safe). The grid query
+// and the all-pairs scan (senseScan) are equivalent by construction;
+// grid_test.go asserts it tick by tick. The returned slice is valid
+// until the context's next sense call; cores do not retain it.
+func (e *Engine) sense(b *body, w *workerCtx) []nwade.Neighbor {
+	out := w.neigh[:0]
 	r := e.cfg.VehicleConfig.SensingRadius
 	bp := b.pos()
-	e.grid.forEachOrdered(bp, r, 0, func(o *body) bool {
+	e.grid.forEachOrderedWith(&w.gs, bp, r, 0, func(o *body) bool {
 		if o == b || !o.present(e.now) {
 			return true
 		}
@@ -668,6 +1016,7 @@ func (e *Engine) sense(b *body) []nwade.Neighbor {
 		}
 		return true
 	})
+	w.neigh = out
 	return out
 }
 
@@ -676,12 +1025,12 @@ func (e *Engine) sense(b *body) []nwade.Neighbor {
 func (e *Engine) senseScan(b *body) []nwade.Neighbor {
 	var out []nwade.Neighbor
 	r := e.cfg.VehicleConfig.SensingRadius
-	for _, id := range e.order {
-		o := e.bodies[id]
+	for _, o := range e.all {
 		if o.id == b.id || !o.present(e.now) {
 			continue
 		}
 		if o.pos().Dist(b.pos()) <= r {
+			//lint:ignore hotalloc reference implementation, not on the tick path
 			out = append(out, nwade.Neighbor{ID: o.id, Status: o.status(e.now)})
 		}
 	}
@@ -694,13 +1043,13 @@ func (e *Engine) senseScan(b *body) []nwade.Neighbor {
 // pair; it relies on the grid state left by the last Step.
 func (e *Engine) SenseAll(useGrid bool) int {
 	var n int
-	for _, id := range e.order {
-		b := e.bodies[id]
+	w := &e.wctxs[0]
+	for _, b := range e.all {
 		if !b.present(e.now) || b.legacy {
 			continue
 		}
 		if useGrid {
-			n += len(e.sense(b))
+			n += len(e.sense(b, w))
 		} else {
 			n += len(e.senseScan(b))
 		}
@@ -711,8 +1060,7 @@ func (e *Engine) SenseAll(useGrid bool) int {
 // physics advances every body one tick.
 func (e *Engine) physics(now time.Duration) {
 	dt := e.cfg.Step.Seconds()
-	for _, id := range e.order {
-		b := e.bodies[id]
+	for _, b := range e.all {
 		if b.exited || now < b.arrive {
 			continue
 		}
@@ -724,7 +1072,7 @@ func (e *Engine) physics(now time.Duration) {
 			b.exited = true
 			b.core.MarkExited(now)
 			e.im.VehicleGone(b.id)
-			e.net.Unregister(vnet.VehicleNode(uint64(b.id)))
+			e.net.Unregister(b.node)
 			e.col.Towed++
 			continue
 		}
@@ -732,7 +1080,7 @@ func (e *Engine) physics(now time.Duration) {
 			b.exited = true
 			b.core.MarkExited(now)
 			e.im.VehicleGone(b.id)
-			e.net.Unregister(vnet.VehicleNode(uint64(b.id)))
+			e.net.Unregister(b.node)
 			e.col.RecordExit(now)
 		}
 	}
@@ -986,19 +1334,20 @@ func (e *Engine) leaderGap(b *body) (float64, bool) {
 	return best, found
 }
 
-// collisions detects physical contact and stops the involved bodies.
+// collisions detects physical contact and stops the involved bodies. The
+// grid was rebuilt after physics, so indexed positions are exact; each
+// unordered pair is visited once (o.orderIdx > a.orderIdx), in the same
+// (i, j>i) order as the original all-pairs scan.
 func (e *Engine) collisions(now time.Duration) {
-	for i := 0; i < len(e.order); i++ {
-		a := e.bodies[e.order[i]]
+	for _, a := range e.all {
 		if !a.present(now) {
 			continue
 		}
-		for j := i + 1; j < len(e.order); j++ {
-			c := e.bodies[e.order[j]]
-			if !c.present(now) {
-				continue
+		e.grid.forEachOrdered(a.pos(), collisionDist, 0, func(c *body) bool {
+			if c.orderIdx <= a.orderIdx || !c.present(now) {
+				return true
 			}
-			if a.pos().Dist(c.pos()) < 2.2 {
+			if a.pos().Dist(c.pos()) < collisionDist {
 				if !a.stopped || !c.stopped {
 					e.col.Collisions++
 				}
@@ -1010,9 +1359,13 @@ func (e *Engine) collisions(now time.Duration) {
 				}
 				a.v, c.v = 0, 0
 			}
-		}
+			return true
+		})
 	}
 }
+
+// collisionDist is the center-to-center contact threshold in meters.
+const collisionDist = 2.2
 
 // ActiveVehicles returns the number of vehicles currently in the
 // simulation.

@@ -49,12 +49,12 @@ func TestGridSenseMatchesScan(t *testing.T) {
 	e := gridEngine(t, 0.3)
 	for e.Now() < 30*time.Second {
 		e.Step()
-		for _, id := range e.order {
-			b := e.bodies[id]
+		for _, b := range e.all {
+			id := b.id
 			if !b.present(e.now) || b.legacy {
 				continue
 			}
-			got := e.sense(b)
+			got := e.sense(b, &e.wctxs[0])
 			want := e.senseScan(b)
 			if len(got) != len(want) {
 				t.Fatalf("t=%v v%d: grid %d neighbors, scan %d", e.Now(), id, len(got), len(want))
@@ -86,8 +86,7 @@ func TestGridIMVisibilityMatchesScan(t *testing.T) {
 			return true
 		})
 		var want []nwade.VehicleObs
-		for _, id := range e.order {
-			b := e.bodies[id]
+		for _, b := range e.all {
 			if !b.present(e.now) {
 				continue
 			}
@@ -116,15 +115,14 @@ func TestGridBoxClearMatchesScan(t *testing.T) {
 	e := gridEngine(t, 0.5)
 	for e.Now() < 30*time.Second {
 		e.Step()
-		for _, id := range e.order {
-			b := e.bodies[id]
+		for _, b := range e.all {
+			id := b.id
 			if !b.present(e.now) {
 				continue
 			}
 			got := e.boxClearFor(b)
 			want := true
-			for _, oid := range e.order {
-				o := e.bodies[oid]
+			for _, o := range e.all {
 				if o.id == b.id || !o.present(e.now) {
 					continue
 				}
@@ -147,16 +145,15 @@ func TestGridLaneQueriesMatchScan(t *testing.T) {
 	e := gridEngine(t, 0.3)
 	for e.Now() < 30*time.Second {
 		e.Step()
-		for _, id := range e.order {
-			b := e.bodies[id]
+		for _, b := range e.all {
+			id := b.id
 			if !b.present(e.now) {
 				continue
 			}
 			gotGap, gotOK := e.leaderGap(b)
 			wantGap, wantOK := 60.0, false
 			if b.s < b.route.CrossStart-2 {
-				for _, oid := range e.order {
-					o := e.bodies[oid]
+				for _, o := range e.all {
 					if o.id == b.id || !o.present(e.now) {
 						continue
 					}

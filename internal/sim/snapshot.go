@@ -97,7 +97,7 @@ func (e *Engine) Snapshot() (*State, error) {
 		Engine: EngineState{
 			Now:           e.now,
 			RNG:           e.rngSrc.State(),
-			Bodies:        make([]BodyState, 0, len(e.order)),
+			Bodies:        make([]BodyState, 0, len(e.all)),
 			Roles:         copyRoles(e.roles),
 			RolesAssigned: e.rolesAssigned,
 			AttackOnsets:  e.AttackOnsets(),
@@ -108,7 +108,7 @@ func (e *Engine) Snapshot() (*State, error) {
 		Protocol: ProtocolState{
 			Signer:   e.signer.Snapshot(),
 			IM:       imState,
-			Vehicles: make([]nwade.VehicleCoreState, 0, len(e.order)),
+			Vehicles: make([]nwade.VehicleCoreState, 0, len(e.all)),
 		},
 		Collector: e.col.Snapshot(),
 	}
@@ -117,8 +117,7 @@ func (e *Engine) Snapshot() (*State, error) {
 			At: a.At, Vehicle: a.Vehicle, RouteID: a.Route.ID, Speed: a.Speed, Char: a.Char,
 		})
 	}
-	for _, id := range e.order {
-		b := e.bodies[id]
+	for _, b := range e.all {
 		st.Engine.Bodies = append(st.Engine.Bodies, BodyState{
 			ID: b.id, RouteID: b.route.ID, S: b.s, V: b.v, Lat: b.lat,
 			Arrive: b.arrive, Exited: b.exited, Stopped: b.stopped,
@@ -170,7 +169,10 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 		byNode:       make(map[vnet.NodeID]*body),
 		obs:          o.obs,
 		now:          st.Engine.Now,
+		workers:      cfg.Workers,
+		wctxs:        make([]workerCtx, cfg.Workers),
 	}
+	e.emit = e.sink()
 	e.rng, e.rngSrc = detrand.New(cfg.Seed)
 	e.rngSrc.Restore(st.Engine.RNG)
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
@@ -180,7 +182,7 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 	}
 	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
 	e.gen.RestoreState(st.Traffic)
-	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.sink(), cfg.Scenario.IMMalice())
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Scenario.IMMalice())
 	e.im.SetObs(e.obs)
 	if err := e.im.RestoreState(st.Protocol.IM); err != nil {
 		return nil, fmt.Errorf("sim: restore: %w", err)
@@ -212,8 +214,14 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("sim: restore body %v: %w", bs.ID, err)
 		}
+		b := &body{
+			id: bs.ID, route: route, s: bs.S, v: bs.V, lat: bs.Lat,
+			arrive: bs.Arrive, exited: bs.Exited, stopped: bs.Stopped,
+			legacy: bs.Legacy, waitingSince: bs.WaitingSince, stoppedAt: bs.StoppedAt,
+			orderIdx: i, node: vnet.VehicleNode(uint64(bs.ID)),
+		}
 		core := nwade.NewVehicleCore(bs.ID, cs.Char, route, cfg.Inter, signer,
-			cfg.VehicleConfig, e.sink(), nil, cs.ArriveAt, cs.Speed0)
+			cfg.VehicleConfig, e.sinkFor(b), nil, cs.ArriveAt, cs.Speed0)
 		core.SetObs(e.obs)
 		if cs.Malice != nil {
 			m := cfg.Scenario.MaliceFor(bs.ID, e.roles)
@@ -225,16 +233,11 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 		if err := core.RestoreState(cs); err != nil {
 			return nil, fmt.Errorf("sim: restore: %w", err)
 		}
-		b := &body{
-			id: bs.ID, core: core, route: route, s: bs.S, v: bs.V, lat: bs.Lat,
-			arrive: bs.Arrive, exited: bs.Exited, stopped: bs.Stopped,
-			legacy: bs.Legacy, waitingSince: bs.WaitingSince, stoppedAt: bs.StoppedAt,
-			orderIdx: i,
-		}
+		b.core = core
 		b.refreshPos()
 		e.bodies[bs.ID] = b
-		e.order = append(e.order, bs.ID)
-		e.byNode[vnet.VehicleNode(uint64(bs.ID))] = b
+		e.all = append(e.all, b)
+		e.byNode[b.node] = b
 		if !b.exited {
 			e.lanes[b.route.From] = append(e.lanes[b.route.From], b)
 		}

@@ -14,7 +14,6 @@
 package vnet
 
 import (
-	"container/heap"
 	"encoding/json"
 	"fmt"
 	"sort"
@@ -117,6 +116,9 @@ func (n *Network) RestoreState(st NetworkState, dec PayloadDecoder) error {
 		n.fm.bad = st.Fault.Bad
 	}
 	n.nodes = make(map[NodeID]bool, len(st.Nodes))
+	// st.Nodes is sorted (ordered.Keys at snapshot time), so it can seed
+	// the maintained broadcast order directly.
+	n.order = append(n.order[:0], st.Nodes...)
 	for _, id := range st.Nodes {
 		n.nodes[id] = true
 	}
@@ -151,7 +153,7 @@ func (n *Network) RestoreState(st NetworkState, dec PayloadDecoder) error {
 	}
 	// The snapshot is sorted by (deliver, seq) — already a valid heap by
 	// the same comparison — but re-establish the invariant explicitly.
-	heap.Init(&n.queue)
+	n.queue.init()
 	return nil
 }
 

@@ -10,17 +10,16 @@
 package vnet
 
 import (
-	"container/heap"
 	"errors"
 	"fmt"
 	"math/rand"
+	"sort"
 	"sync"
 	"time"
 
 	"nwade/internal/detrand"
 	"nwade/internal/geom"
 	"nwade/internal/obs"
-	"nwade/internal/ordered"
 	"nwade/internal/units"
 )
 
@@ -119,9 +118,13 @@ type Network struct {
 	fm      *FaultModel
 	locator Locator
 	nodes   map[NodeID]bool
-	queue   deliveryHeap
-	seq     uint64
-	stats   Stats
+	// order keeps the registered nodes sorted; it is maintained
+	// incrementally by Register/Unregister so BroadcastMsg never has to
+	// collect-and-sort the node set per transmission.
+	order []NodeID
+	queue deliveryHeap
+	seq   uint64
+	stats Stats
 	// obs is the nil-by-default observability sink: per-kind packet and
 	// byte counters, the message-size histogram, and one trace record
 	// per transmission.
@@ -158,7 +161,14 @@ func New(cfg Config, seed int64, locator Locator) *Network {
 func (n *Network) Register(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if n.nodes[id] {
+		return
+	}
 	n.nodes[id] = true
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+	n.order = append(n.order, "")
+	copy(n.order[i+1:], n.order[i:])
+	n.order[i] = id
 }
 
 // Unregister removes a node; queued deliveries to it are discarded at
@@ -166,7 +176,12 @@ func (n *Network) Register(id NodeID) {
 func (n *Network) Unregister(id NodeID) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
+	if !n.nodes[id] {
+		return
+	}
 	delete(n.nodes, id)
+	i := sort.Search(len(n.order), func(i int) bool { return n.order[i] >= id })
+	n.order = append(n.order[:i], n.order[i+1:]...)
 }
 
 // ErrUnknownNode is returned when sending to an unregistered node.
@@ -242,9 +257,10 @@ func (n *Network) BroadcastMsg(now time.Duration, from NodeID, kind string, payl
 	n.stats.Packets[kind]++
 	n.stats.Bytes[kind] += size
 	n.obs.NetSend(now, string(from), string(Broadcast), kind, size, true)
-	// Deterministic receiver order.
+	// Deterministic receiver order (the maintained sorted node list —
+	// identical to sorting the node set per call).
 	var count int
-	for _, id := range ordered.Keys(n.nodes) {
+	for _, id := range n.order {
 		if id == from {
 			continue
 		}
@@ -278,18 +294,24 @@ func (n *Network) dropped() bool {
 // push enqueues a delivery. Caller holds the lock.
 func (n *Network) push(d Delivery) {
 	n.seq++
-	heap.Push(&n.queue, queued{Delivery: d, seq: n.seq})
+	n.queue.push(queued{Delivery: d, seq: n.seq})
 }
 
 // Poll returns every delivery due at or before now, in delivery-time
 // order (FIFO among equal times). Deliveries to nodes that have since
 // unregistered are silently discarded.
 func (n *Network) Poll(now time.Duration) []Delivery {
+	return n.PollInto(now, nil)
+}
+
+// PollInto is Poll appending into a caller-provided buffer (pass
+// buf[:0] to reuse its capacity across ticks).
+func (n *Network) PollInto(now time.Duration, buf []Delivery) []Delivery {
 	n.mu.Lock()
 	defer n.mu.Unlock()
-	var out []Delivery
+	out := buf
 	for n.queue.Len() > 0 && n.queue[0].Msg.Deliver <= now {
-		d := heap.Pop(&n.queue).(queued)
+		d := n.queue.pop()
 		if !n.nodes[d.To] {
 			n.stats.Dropped++
 			n.obs.Inc(obs.CntNetDropped)
@@ -336,21 +358,79 @@ type queued struct {
 	seq uint64
 }
 
+// deliveryHeap is a binary min-heap ordered by delivery time, then seq.
+// It implements sifting directly — container/heap's interface methods box
+// every pushed and popped element into an `any`, one heap allocation per
+// message copy on the tick's hottest queue.
 type deliveryHeap []queued
 
 func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
+func (h deliveryHeap) less(i, j int) bool {
 	if h[i].Msg.Deliver != h[j].Msg.Deliver {
 		return h[i].Msg.Deliver < h[j].Msg.Deliver
 	}
 	return h[i].seq < h[j].seq
 }
-func (h deliveryHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)   { *h = append(*h, x.(queued)) }
-func (h *deliveryHeap) Pop() any {
-	old := *h
-	n := len(old)
-	it := old[n-1]
-	*h = old[:n-1]
-	return it
+
+func (h *deliveryHeap) push(q queued) {
+	*h = append(*h, q)
+	s := *h
+	i := len(s) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !s.less(i, parent) {
+			break
+		}
+		s[i], s[parent] = s[parent], s[i]
+		i = parent
+	}
+}
+
+func (h *deliveryHeap) pop() queued {
+	s := *h
+	top := s[0]
+	last := len(s) - 1
+	s[0] = s[last]
+	s[last] = queued{} // drop payload references
+	*h = s[:last]
+	s = s[:last]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < len(s) && s.less(l, min) {
+			min = l
+		}
+		if r < len(s) && s.less(r, min) {
+			min = r
+		}
+		if min == i {
+			return top
+		}
+		s[i], s[min] = s[min], s[i]
+		i = min
+	}
+}
+
+// init restores the heap invariant over arbitrary contents (snapshot
+// restore).
+func (h deliveryHeap) init() {
+	for i := len(h)/2 - 1; i >= 0; i-- {
+		j := i
+		for {
+			l, r := 2*j+1, 2*j+2
+			min := j
+			if l < len(h) && h.less(l, min) {
+				min = l
+			}
+			if r < len(h) && h.less(r, min) {
+				min = r
+			}
+			if min == j {
+				break
+			}
+			h[j], h[min] = h[min], h[j]
+			j = min
+		}
+	}
 }
