@@ -274,14 +274,14 @@ func BenchmarkSchedulerAdmit(b *testing.B) {
 // intersection (all protocol layers live).
 func BenchmarkSimSecond(b *testing.B) {
 	signer, inter := benchFixtures(b)
-	e, err := sim.NewWithSigner(sim.Config{
+	e, err := sim.New(sim.Scenario{
 		Inter:      inter,
 		Duration:   time.Hour, // driven manually below
 		RatePerMin: 80,
 		Seed:       1,
-		Scenario:   attack.Benign(),
+		Attack:     attack.Benign(),
 		NWADE:      true,
-	}, signer)
+	}, sim.WithSigner(signer))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -350,15 +350,15 @@ func BenchmarkVNetBroadcast(b *testing.B) {
 // traffic (the transitional-period extension).
 func BenchmarkSimSecondMixed(b *testing.B) {
 	signer, inter := benchFixtures(b)
-	e, err := sim.NewWithSigner(sim.Config{
+	e, err := sim.New(sim.Scenario{
 		Inter:          inter,
 		Duration:       time.Hour,
 		RatePerMin:     80,
 		Seed:           2,
-		Scenario:       attack.Benign(),
+		Attack:         attack.Benign(),
 		NWADE:          true,
 		LegacyFraction: 0.3,
-	}, signer)
+	}, sim.WithSigner(signer))
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -380,12 +380,12 @@ func BenchmarkSimSecondMixed(b *testing.B) {
 func senseEngine(b *testing.B, radiusFt float64) *sim.Engine {
 	b.Helper()
 	signer, inter := benchFixtures(b)
-	cfg := sim.Config{
+	cfg := sim.Scenario{
 		Inter:      inter,
 		Duration:   time.Hour,
 		RatePerMin: 120,
 		Seed:       3,
-		Scenario:   attack.Benign(),
+		Attack:     attack.Benign(),
 		NWADE:      true,
 	}
 	if radiusFt > 0 {
@@ -393,7 +393,7 @@ func senseEngine(b *testing.B, radiusFt float64) *sim.Engine {
 		vcfg.SensingRadius = units.Feet(radiusFt)
 		cfg.VehicleConfig = vcfg
 	}
-	e, err := sim.NewWithSigner(cfg, signer)
+	e, err := sim.New(cfg, sim.WithSigner(signer))
 	if err != nil {
 		b.Fatal(err)
 	}

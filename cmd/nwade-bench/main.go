@@ -155,6 +155,12 @@ func run(args []string, out io.Writer) error {
 				benchfmt.Timing{Experiment: "speedup-parallel", WallMS: ms(sr.Parallel), Rounds: sr.Rounds,
 					Workers: sr.Workers, RequestedWorkers: sr.RequestedWorkers, Speedup: sr.Ratio()},
 			)
+			if sr.Network != "" {
+				report.Experiments = append(report.Experiments, benchfmt.Timing{
+					Experiment: "speedup-network", WallMS: ms(sr.NetworkWall), Rounds: 1,
+					Workers: sr.Workers, Imbalance: sr.Imbalance(),
+				})
+			}
 			continue
 		}
 		if ar, ok := res.(*eval.TickAllocResult); ok {

@@ -6,32 +6,39 @@
 //	nwade-replay bisect -in run.snap          # first divergent tick + subsystem
 //
 // A checkpoint (written by nwade-sim -checkpoint-every, or by this
-// tool) carries the run's Spec and its complete state at one tick.
-// `check` replays the run both ways — continuously from t=0 and resumed
-// from the checkpoint — and compares the final run digests; on a
-// deterministic build they are bit-identical. `bisect` steps both runs
-// tick by tick and binary-searches the first tick whose per-subsystem
-// state digests differ, attributing the divergence to the engine
-// (physical world), traffic generator, network, protocol cores, or
-// metrics collector. The -perturb flag injects a deliberate state
+// tool) carries the run's Spec and its complete state at one tick —
+// either a single intersection or a whole road network; every
+// subcommand handles both. `check` replays the run both ways —
+// continuously from t=0 and resumed from the checkpoint — and compares
+// the final run digests; on a deterministic build they are
+// bit-identical. `bisect` steps both runs tick by tick and
+// binary-searches the first tick whose per-subsystem state digests
+// differ, attributing the divergence to the engine (physical world),
+// traffic generator, network, protocol cores, or metrics collector —
+// and, for a road network, to the region (r0/engine, r3/protocol, ...)
+// or the backbone. The -perturb flag injects a deliberate state
 // mutation at a chosen tick, which exercises the bisector and
 // demonstrates the attribution (the CI replay job uses it).
 package main
 
 import (
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
-	"nwade/internal/chain"
+	"nwade/internal/cliconf"
 	"nwade/internal/metrics"
 	"nwade/internal/nwade"
 	"nwade/internal/obs"
+	"nwade/internal/roadnet"
 	"nwade/internal/sim"
 	"nwade/internal/snap"
 )
@@ -59,26 +66,21 @@ func run(args []string, out io.Writer) error {
 	}
 }
 
-// load reads a checkpoint and rebuilds its configuration and signer.
-func load(path string) (sim.Config, *sim.State, *chain.Signer, error) {
-	spec, st, err := snap.ReadFile(path)
-	if err != nil {
-		return sim.Config{}, nil, nil, err
-	}
-	cfg, err := spec.BuildConfig()
-	if err != nil {
-		return sim.Config{}, nil, nil, err
-	}
-	signer, err := chain.RestoreSigner(st.Protocol.Signer)
-	if err != nil {
-		return sim.Config{}, nil, nil, err
-	}
-	return cfg, st, signer, nil
-}
-
 func summarize(out io.Writer, label string, res metrics.RunResult) {
 	fmt.Fprintf(out, "%-10s spawned=%d exited=%d collisions=%d digest=%s\n",
 		label, res.Spawned, res.Exited, res.Collisions, metrics.Digest(res))
+}
+
+func summarizeNet(out io.Writer, label string, n *roadnet.Network) {
+	var spawned, exited, collisions int
+	for _, res := range n.Results() {
+		spawned += res.Spawned
+		exited += res.Exited
+		collisions += res.Collisions
+	}
+	st := n.Stats()
+	fmt.Fprintf(out, "%-10s spawned=%d exited=%d collisions=%d handoffs=%d digest=%s\n",
+		label, spawned, exited, collisions, st.Handoffs, n.Digest())
 }
 
 // runResume continues a checkpointed run to its configured duration.
@@ -92,16 +94,26 @@ func runResume(args []string, out io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("resume: -in is required")
 	}
-	cfg, st, _, err := load(*in)
+	c, err := cliconf.Load(*in)
 	if err != nil {
 		return err
 	}
-	e, err := sim.Restore(cfg, st)
+	if c.IsNetwork() {
+		n, err := roadnet.Restore(c.Cfg, c.Net)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed at %v of %v (%d regions)\n", c.Now(), c.Cfg.Duration, n.Regions())
+		n.Run()
+		summarizeNet(out, "resumed", n)
+		return nil
+	}
+	e, err := sim.Restore(c.Cfg, c.State)
 	if err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "resumed at %v of %v (%d vehicles live)\n",
-		st.Engine.Now, cfg.Duration, len(st.Engine.Bodies))
+		c.Now(), c.Cfg.Duration, len(c.State.Engine.Bodies))
 	summarize(out, "resumed", e.Run())
 	return nil
 }
@@ -118,16 +130,39 @@ func runCheck(args []string, out io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("check: -in is required")
 	}
-	cfg, st, signer, err := load(*in)
+	c, err := cliconf.Load(*in)
 	if err != nil {
 		return err
 	}
-	cont, err := sim.New(cfg, sim.WithSigner(signer))
+	signers, err := c.Signers()
+	if err != nil {
+		return err
+	}
+	if c.IsNetwork() {
+		cont, err := roadnet.New(c.Cfg, roadnet.WithSigners(signers))
+		if err != nil {
+			return err
+		}
+		cont.Run()
+		resumed, err := roadnet.Restore(c.Cfg, c.Net)
+		if err != nil {
+			return err
+		}
+		resumed.Run()
+		summarizeNet(out, "continuous", cont)
+		summarizeNet(out, "resumed", resumed)
+		if cont.Digest() != resumed.Digest() {
+			return fmt.Errorf("check: resumed run diverged from continuous run (bisect to localize)")
+		}
+		fmt.Fprintln(out, "check: digests match")
+		return nil
+	}
+	cont, err := sim.New(c.Cfg, sim.WithSigner(signers[0]))
 	if err != nil {
 		return err
 	}
 	contRes := cont.Run()
-	resumed, err := sim.Restore(cfg, st)
+	resumed, err := sim.Restore(c.Cfg, c.State)
 	if err != nil {
 		return err
 	}
@@ -141,27 +176,143 @@ func runCheck(args []string, out io.Writer) error {
 	return nil
 }
 
+// replayable abstracts the two run kinds for the bisector: restore a
+// state, step to a tick, snapshot, and digest per subsystem.
+type replayable interface {
+	// stateNow returns the simulated time a state was taken at.
+	stateNow(st any) time.Duration
+	// advance restores st, steps to tick t, and snapshots.
+	advance(st any, t time.Duration) (any, error)
+	// digests fingerprints every subsystem of a state.
+	digests(st any) (map[string]string, error)
+	// clone deep-copies a state.
+	clone(st any) (any, error)
+	// subsystems lists the digest keys, in report order.
+	subsystems() []string
+}
+
+// simReplay is the single-intersection replayable.
+type simReplay struct{ cfg sim.Scenario }
+
+func (r simReplay) stateNow(st any) time.Duration { return st.(*sim.State).Engine.Now }
+
+func (r simReplay) advance(st any, t time.Duration) (any, error) {
+	e, err := sim.Restore(r.cfg, st.(*sim.State))
+	if err != nil {
+		return nil, err
+	}
+	for e.Now() < t {
+		e.Step()
+	}
+	return e.Snapshot()
+}
+
+func (r simReplay) digests(st any) (map[string]string, error) {
+	per, _, err := snap.Digests(st.(*sim.State))
+	return per, err
+}
+
+func (r simReplay) clone(st any) (any, error) {
+	b, err := json.Marshal(st.(*sim.State))
+	if err != nil {
+		return nil, fmt.Errorf("bisect: clone: %w", err)
+	}
+	out := &sim.State{}
+	if err := json.Unmarshal(b, out); err != nil {
+		return nil, fmt.Errorf("bisect: clone: %w", err)
+	}
+	return out, nil
+}
+
+func (r simReplay) subsystems() []string { return snap.Subsystems }
+
+// netReplay is the road-network replayable. Subsystem keys are
+// region-qualified (r0/engine ... rN/collector) plus "backbone" for the
+// cross-region state: inter-IM messages in flight, suspect and head
+// tables, and the handoff counters.
+type netReplay struct {
+	cfg     sim.Scenario
+	regions int
+}
+
+func (r netReplay) stateNow(st any) time.Duration { return st.(*roadnet.State).Now }
+
+func (r netReplay) advance(st any, t time.Duration) (any, error) {
+	n, err := roadnet.Restore(r.cfg, st.(*roadnet.State))
+	if err != nil {
+		return nil, err
+	}
+	for n.Now() < t {
+		n.Step()
+	}
+	return n.Snapshot()
+}
+
+func (r netReplay) digests(st any) (map[string]string, error) {
+	ns := st.(*roadnet.State)
+	out := make(map[string]string, r.regions*len(snap.Subsystems)+1)
+	for i, rs := range ns.Regions {
+		per, _, err := snap.Digests(rs)
+		if err != nil {
+			return nil, fmt.Errorf("region %d: %w", i, err)
+		}
+		for sub, d := range per {
+			out[fmt.Sprintf("r%d/%s", i, sub)] = d
+		}
+	}
+	cross := struct {
+		Backbone any
+		Tables   any
+		Stats    roadnet.Stats
+	}{ns.Backbone, ns.Tables, ns.Stats}
+	b, err := json.Marshal(cross)
+	if err != nil {
+		return nil, fmt.Errorf("backbone digest: %w", err)
+	}
+	sum := sha256.Sum256(b)
+	out["backbone"] = hex.EncodeToString(sum[:])
+	return out, nil
+}
+
+func (r netReplay) clone(st any) (any, error) {
+	b, err := st.(*roadnet.State).Encode()
+	if err != nil {
+		return nil, fmt.Errorf("bisect: clone: %w", err)
+	}
+	return roadnet.DecodeState(b)
+}
+
+func (r netReplay) subsystems() []string {
+	out := make([]string, 0, r.regions*len(snap.Subsystems)+1)
+	for i := 0; i < r.regions; i++ {
+		for _, sub := range snap.Subsystems {
+			out = append(out, fmt.Sprintf("r%d/%s", i, sub))
+		}
+	}
+	return append(out, "backbone")
+}
+
 // lane is one replayable run for the bisector: a base state plus a memo
 // of per-tick snapshots, so probing tick t restores from the nearest
 // snapshot at or before t instead of stepping from the start each time.
 // An optional perturbation is applied the moment the lane reaches its
 // tick; snapshots at or past it always derive from the perturbed state.
 type lane struct {
-	cfg       sim.Config
-	base      *sim.State
+	rp        replayable
+	base      any
 	perturbAt time.Duration
-	perturb   func(*sim.State) error
-	cache     map[time.Duration]*sim.State
+	perturb   func(any) error
+	cache     map[time.Duration]any
 }
 
-func newLane(cfg sim.Config, base *sim.State) *lane {
-	return &lane{cfg: cfg, base: base,
-		cache: map[time.Duration]*sim.State{base.Engine.Now: base}}
+func newLane(rp replayable, base any) *lane {
+	return &lane{rp: rp, base: base,
+		cache: map[time.Duration]any{rp.stateNow(base): base}}
 }
 
 // stateAt returns the lane's state at tick boundary t (a multiple of the
 // step, at or after the base tick). Callers must not mutate the result.
-func (l *lane) stateAt(t time.Duration) (*sim.State, error) {
+func (l *lane) stateAt(t time.Duration) (any, error) {
 	if l.perturb != nil && t >= l.perturbAt {
 		if err := l.ensurePerturbed(); err != nil {
 			return nil, err
@@ -185,14 +336,7 @@ func (l *lane) stateAt(t time.Duration) (*sim.State, error) {
 	if fromTick < 0 {
 		return nil, fmt.Errorf("bisect: no snapshot at or before %v", t)
 	}
-	e, err := sim.Restore(l.cfg, l.cache[fromTick])
-	if err != nil {
-		return nil, err
-	}
-	for e.Now() < t {
-		e.Step()
-	}
-	st, err := e.Snapshot()
+	st, err := l.rp.advance(l.cache[fromTick], t)
 	if err != nil {
 		return nil, err
 	}
@@ -213,7 +357,7 @@ func (l *lane) ensurePerturbed() error {
 	if err != nil {
 		return err
 	}
-	mutated, err := cloneState(st)
+	mutated, err := l.rp.clone(st)
 	if err != nil {
 		return err
 	}
@@ -224,22 +368,55 @@ func (l *lane) ensurePerturbed() error {
 	return nil
 }
 
-// cloneState deep-copies a state through its canonical encoding.
-func cloneState(st *sim.State) (*sim.State, error) {
-	b, err := json.Marshal(st)
-	if err != nil {
-		return nil, fmt.Errorf("bisect: clone: %w", err)
+// perturbFn returns the state mutation that injects a divergence into a
+// single-intersection subsystem.
+func perturbFn(sub string) (func(*sim.State) error, error) {
+	switch sub {
+	case "engine":
+		return func(st *sim.State) error {
+			for i := range st.Engine.Bodies {
+				if !st.Engine.Bodies[i].Exited {
+					st.Engine.Bodies[i].S += 0.5
+					return nil
+				}
+			}
+			return fmt.Errorf("bisect: no live body to perturb at %v", st.Engine.Now)
+		}, nil
+	case "traffic":
+		return func(st *sim.State) error {
+			st.Traffic.NextAt += 100 * time.Millisecond
+			return nil
+		}, nil
+	case "net":
+		return func(st *sim.State) error {
+			if len(st.Net.Queue) == 0 {
+				return fmt.Errorf("bisect: no queued delivery to perturb at %v", st.Engine.Now)
+			}
+			st.Net.Queue[0].Deliver += 100 * time.Millisecond
+			return nil
+		}, nil
+	case "protocol":
+		return func(st *sim.State) error {
+			st.Protocol.IM.Nonce++
+			return nil
+		}, nil
+	case "collector":
+		return func(st *sim.State) error {
+			st.Collector.Events = append(st.Collector.Events,
+				nwade.Event{At: st.Engine.Now, Type: nwade.EvBlockBroadcast, Info: "perturbed"})
+			return nil
+		}, nil
+	default:
+		return nil, fmt.Errorf("bisect: unknown subsystem %q (want one of %s)",
+			sub, strings.Join(snap.Subsystems, ", "))
 	}
-	out := &sim.State{}
-	if err := json.Unmarshal(b, out); err != nil {
-		return nil, fmt.Errorf("bisect: clone: %w", err)
-	}
-	return out, nil
 }
 
-// parsePerturb parses "<duration>:<subsystem>" and returns the tick and
-// the state mutation that injects a divergence into that subsystem.
-func parsePerturb(s string) (time.Duration, func(*sim.State) error, error) {
+// parsePerturb parses "<duration>:<subsystem>" — for network runs the
+// subsystem may carry a region prefix ("12s:r3/engine", default r0) or
+// name the backbone ("12s:backbone") — and returns the tick and the
+// type-erased state mutation.
+func parsePerturb(s string, network bool, regions int) (time.Duration, func(any) error, error) {
 	at, sub, ok := strings.Cut(s, ":")
 	if !ok {
 		return 0, nil, fmt.Errorf("bisect: -perturb wants <duration>:<subsystem>, got %q", s)
@@ -248,47 +425,41 @@ func parsePerturb(s string) (time.Duration, func(*sim.State) error, error) {
 	if err != nil {
 		return 0, nil, fmt.Errorf("bisect: -perturb time: %w", err)
 	}
-	var fn func(*sim.State) error
-	switch sub {
-	case "engine":
-		fn = func(st *sim.State) error {
-			for i := range st.Engine.Bodies {
-				if !st.Engine.Bodies[i].Exited {
-					st.Engine.Bodies[i].S += 0.5
-					return nil
-				}
-			}
-			return fmt.Errorf("bisect: no live body to perturb at %v", st.Engine.Now)
+	if !network {
+		fn, err := perturbFn(sub)
+		if err != nil {
+			return 0, nil, err
 		}
-	case "traffic":
-		fn = func(st *sim.State) error {
-			st.Traffic.NextAt += 100 * time.Millisecond
-			return nil
-		}
-	case "net":
-		fn = func(st *sim.State) error {
-			if len(st.Net.Queue) == 0 {
-				return fmt.Errorf("bisect: no queued delivery to perturb at %v", st.Engine.Now)
-			}
-			st.Net.Queue[0].Deliver += 100 * time.Millisecond
-			return nil
-		}
-	case "protocol":
-		fn = func(st *sim.State) error {
-			st.Protocol.IM.Nonce++
-			return nil
-		}
-	case "collector":
-		fn = func(st *sim.State) error {
-			st.Collector.Events = append(st.Collector.Events,
-				nwade.Event{At: st.Engine.Now, Type: nwade.EvBlockBroadcast, Info: "perturbed"})
-			return nil
-		}
-	default:
-		return 0, nil, fmt.Errorf("bisect: unknown subsystem %q (want one of %s)",
-			sub, strings.Join(snap.Subsystems, ", "))
+		return tick, func(st any) error { return fn(st.(*sim.State)) }, nil
 	}
-	return tick, fn, nil
+	if sub == "backbone" {
+		return tick, func(st any) error {
+			ns := st.(*roadnet.State)
+			if len(ns.Backbone.Queue) == 0 {
+				return fmt.Errorf("bisect: no queued backbone delivery to perturb at %v", ns.Now)
+			}
+			ns.Backbone.Queue[0].Deliver += 100 * time.Millisecond
+			return nil
+		}, nil
+	}
+	region := 0
+	if rest, ok := strings.CutPrefix(sub, "r"); ok {
+		if rs, subsys, ok := strings.Cut(rest, "/"); ok {
+			region, err = strconv.Atoi(rs)
+			if err != nil {
+				return 0, nil, fmt.Errorf("bisect: -perturb region in %q: %w", sub, err)
+			}
+			sub = subsys
+		}
+	}
+	if region < 0 || region >= regions {
+		return 0, nil, fmt.Errorf("bisect: -perturb region %d out of range [0,%d)", region, regions)
+	}
+	fn, err := perturbFn(sub)
+	if err != nil {
+		return 0, nil, err
+	}
+	return tick, func(st any) error { return fn(st.(*roadnet.State).Regions[region]) }, nil
 }
 
 // runBisect binary-searches the first tick at which the resumed run's
@@ -299,7 +470,8 @@ func runBisect(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nwade-replay bisect", flag.ContinueOnError)
 	fs.SetOutput(out)
 	in := fs.String("in", "", "checkpoint file (required)")
-	perturb := fs.String("perturb", "", "inject a divergence: <duration>:<subsystem> (subsystems: "+strings.Join(snap.Subsystems, ", ")+")")
+	perturb := fs.String("perturb", "", "inject a divergence: <duration>:<subsystem> (subsystems: "+
+		strings.Join(snap.Subsystems, ", ")+"; network runs accept rK/<subsystem> and backbone)")
 	tracePath := fs.String("trace", "", "obs trace (JSONL) of the original run, for event context around the divergence")
 	window := fs.Duration("window", 2*time.Second, "context window around the divergent tick for -trace events")
 	if err := fs.Parse(args); err != nil {
@@ -308,30 +480,58 @@ func runBisect(args []string, out io.Writer) error {
 	if *in == "" {
 		return fmt.Errorf("bisect: -in is required")
 	}
-	cfg, st, signer, err := load(*in)
+	c, err := cliconf.Load(*in)
 	if err != nil {
 		return err
 	}
-	base := st.Engine.Now
+	cfg := c.Cfg
+	base := c.Now()
+	signers, err := c.Signers()
+	if err != nil {
+		return err
+	}
 
-	// Reference lane: the continuous run, snapshotted at the
-	// checkpoint tick. Candidate lane: the checkpointed state itself,
-	// optionally perturbed.
-	cont, err := sim.New(cfg, sim.WithSigner(signer))
-	if err != nil {
-		return err
+	// Reference lane: the continuous run (checkpointed keys, so state
+	// digests are comparable), snapshotted at the checkpoint tick.
+	// Candidate lane: the checkpointed state itself, optionally
+	// perturbed.
+	var rp replayable
+	var refBase, candBase any
+	if c.IsNetwork() {
+		n, err := roadnet.New(cfg, roadnet.WithSigners(signers))
+		if err != nil {
+			return err
+		}
+		for n.Now() < base {
+			n.Step()
+		}
+		if refBase, err = n.Snapshot(); err != nil {
+			return err
+		}
+		rp = netReplay{cfg: cfg, regions: n.Regions()}
+		candBase = c.Net
+	} else {
+		e, err := sim.New(cfg, sim.WithSigner(signers[0]))
+		if err != nil {
+			return err
+		}
+		for e.Now() < base {
+			e.Step()
+		}
+		if refBase, err = e.Snapshot(); err != nil {
+			return err
+		}
+		rp = simReplay{cfg: cfg}
+		candBase = c.State
 	}
-	for cont.Now() < base {
-		cont.Step()
-	}
-	refBase, err := cont.Snapshot()
-	if err != nil {
-		return err
-	}
-	ref := newLane(cfg, refBase)
-	cand := newLane(cfg, st)
+	ref := newLane(rp, refBase)
+	cand := newLane(rp, candBase)
 	if *perturb != "" {
-		tick, fn, err := parsePerturb(*perturb)
+		regions := 0
+		if nr, ok := rp.(netReplay); ok {
+			regions = nr.regions
+		}
+		tick, fn, err := parsePerturb(*perturb, c.IsNetwork(), regions)
 		if err != nil {
 			return err
 		}
@@ -351,16 +551,16 @@ func runBisect(args []string, out io.Writer) error {
 		if err != nil {
 			return nil, err
 		}
-		rd, _, err := snap.Digests(rs)
+		rd, err := rp.digests(rs)
 		if err != nil {
 			return nil, err
 		}
-		cd, _, err := snap.Digests(cs)
+		cd, err := rp.digests(cs)
 		if err != nil {
 			return nil, err
 		}
 		var diff []string
-		for _, name := range snap.Subsystems {
+		for _, name := range rp.subsystems() {
 			if rd[name] != cd[name] {
 				diff = append(diff, name)
 			}

@@ -44,9 +44,9 @@ func writeCheckpoint(t *testing.T, at time.Duration) string {
 	if !ok {
 		t.Fatal("scenario V1 missing")
 	}
-	cfg := sim.Config{
+	cfg := sim.Scenario{
 		Inter: inter, Duration: 10 * time.Second, RatePerMin: 80,
-		Seed: 7, Scenario: sc, NWADE: true, KeyBits: 1024,
+		Seed: 7, Attack: sc, NWADE: true, KeyBits: 1024,
 	}
 	e, err := sim.New(cfg, sim.WithSigner(testSigner(t)))
 	if err != nil {
@@ -59,7 +59,7 @@ func writeCheckpoint(t *testing.T, at time.Duration) string {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := snap.SpecFromConfig(cfg)
+	spec, err := snap.SpecFromScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

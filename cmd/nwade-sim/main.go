@@ -11,6 +11,8 @@
 //	nwade-sim -scenario IM -faults partition -retrans   # degraded network
 //	nwade-sim -scenario V1 -trace run.jsonl   # protocol-event trace
 //	nwade-sim -scenario V1 -obs -pprof cpu.pb # counters + CPU profile
+//	nwade-sim -network grid:3x3 -scenario V3 -attack-region 4   # city grid
+//	nwade-sim -network corridor:4 -intersection mix -tick-workers 4
 package main
 
 import (
@@ -21,17 +23,16 @@ import (
 	"path/filepath"
 	"runtime/pprof"
 	"sort"
-	"strings"
 	"time"
 
-	"nwade/internal/attack"
+	"nwade/internal/cliconf"
 	"nwade/internal/eval"
-	"nwade/internal/intersection"
 	"nwade/internal/metrics"
+	"nwade/internal/nwade"
 	"nwade/internal/obs"
+	"nwade/internal/roadnet"
 	"nwade/internal/sim"
 	"nwade/internal/snap"
-	"nwade/internal/vnet"
 )
 
 func main() {
@@ -41,33 +42,14 @@ func main() {
 	}
 }
 
-// kindByName maps CLI names to intersection kinds.
-var kindByName = map[string]intersection.Kind{
-	"roundabout3": intersection.KindRoundabout3,
-	"cross4":      intersection.KindCross4,
-	"irregular5":  intersection.KindIrregular5,
-	"cfi4":        intersection.KindCFI4,
-	"ddi4":        intersection.KindDDI4,
-}
-
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("nwade-sim", flag.ContinueOnError)
 	fs.SetOutput(out)
+	cf := cliconf.Register(fs)
 	var (
-		kindName  = fs.String("intersection", "cross4", "layout: roundabout3, cross4, irregular5, cfi4, ddi4")
-		density   = fs.Float64("density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
-		duration  = fs.Duration("duration", 60*time.Second, "simulated time span")
-		seed      = fs.Int64("seed", 1, "random seed (runs are deterministic per seed)")
-		scenario  = fs.String("scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
-		attackAt  = fs.Duration("attack-at", 25*time.Second, "when the compromise activates")
-		nwadeOn   = fs.Bool("nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
 		events    = fs.Bool("events", false, "print the protocol event log")
-		keyBits   = fs.Int("keybits", 1024, "IM signing key size (paper: 2048)")
 		rounds    = fs.Int("rounds", 1, "replicas with consecutive seeds (seed, seed+1, ...)")
 		workers   = fs.Int("workers", 0, "concurrent replicas when rounds > 1 (0 = GOMAXPROCS)")
-		tickWork  = fs.Int("tick-workers", 1, "in-run worker pool sharding each tick across cores (results are bit-identical for any value)")
-		faults    = fs.String("faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-		retrans   = fs.Bool("retrans", false, "enable the protocol retransmission layer (pair with -faults)")
 		traceOut  = fs.String("trace", "", "write a JSONL protocol-event trace to this file (inspect with nwade-inspect trace)")
 		obsRep    = fs.Bool("obs", false, "print the observability report (counters, histograms, spans) after the run")
 		pprofOut  = fs.String("pprof", "", "write a CPU profile to this file (enables wall-clock span timing)")
@@ -81,48 +63,96 @@ func run(args []string, out io.Writer) error {
 	if (*ckptEvery > 0 || *resume != "") && *rounds > 1 {
 		return fmt.Errorf("-checkpoint-every/-resume apply to single runs, not -rounds %d", *rounds)
 	}
-
-	kind, ok := kindByName[*kindName]
-	if !ok {
-		return fmt.Errorf("unknown intersection %q", *kindName)
-	}
-	inter, err := intersection.Build(kind, intersection.Config{})
+	cfg, err := cf.Build()
 	if err != nil {
 		return err
 	}
-	sc, ok := attack.ByName(*scenario, *attackAt)
-	if !ok {
-		return fmt.Errorf("unknown scenario %q", *scenario)
-	}
-	fc, err := vnet.ParseFaultProfile(*faults)
-	if err != nil {
-		return err
-	}
-
-	// Observability sink: nil unless one of -trace/-obs/-pprof asks for
-	// it, so the default run pays only nil checks.
-	var sink *obs.Sink
-	if *traceOut != "" || *obsRep || *pprofOut != "" {
-		o := obs.Options{Profile: *pprofOut != ""}
-		if *traceOut != "" {
-			tf, err := os.Create(*traceOut)
-			if err != nil {
-				return err
-			}
-			defer tf.Close()
-			o.Trace = tf
+	if *resume != "" {
+		// The checkpoint decides single vs network; peek before routing.
+		c, err := cliconf.Load(*resume)
+		if err != nil {
+			return err
 		}
-		sink = obs.New(o)
-		sink.WriteMeta(obs.Meta{
-			Tool:         "nwade-sim",
-			Scenario:     sc.Name,
-			Seed:         *seed,
-			Intersection: inter.Name,
-			DurationNS:   int64(*duration),
+		if c.IsNetwork() {
+			return runNetwork(out, c.Cfg, c, *events, *ckptEvery, *ckptDir)
+		}
+		return runSingle(out, c.Cfg, c, singleRun{
+			Events: *events, TraceOut: *traceOut, ObsRep: *obsRep, PprofOut: *pprofOut,
+			CkptEvery: *ckptEvery, CkptDir: *ckptDir, ResumePath: *resume,
 		})
 	}
-	if *pprofOut != "" {
-		pf, err := os.Create(*pprofOut)
+	if cfg.IsNetwork() {
+		if *rounds > 1 {
+			return fmt.Errorf("-rounds applies to single-intersection runs, not -network %s", cfg.Network)
+		}
+		if *traceOut != "" || *obsRep || *pprofOut != "" {
+			return fmt.Errorf("-trace/-obs/-pprof are not supported with -network yet")
+		}
+		return runNetwork(out, cfg, nil, *events, *ckptEvery, *ckptDir)
+	}
+	if *rounds > 1 {
+		return runRounds(out, cfg, cf, *rounds, *workers, *traceOut, *obsRep)
+	}
+	return runSingle(out, cfg, nil, singleRun{
+		Events: *events, TraceOut: *traceOut, ObsRep: *obsRep, PprofOut: *pprofOut,
+		CkptEvery: *ckptEvery, CkptDir: *ckptDir,
+	})
+}
+
+// singleRun bundles the tool-specific knobs of one single-intersection
+// run; the scenario itself comes from cliconf (or a checkpoint spec).
+type singleRun struct {
+	Events     bool
+	TraceOut   string
+	ObsRep     bool
+	PprofOut   string
+	CkptEvery  time.Duration
+	CkptDir    string
+	ResumePath string
+}
+
+// newSink builds the observability sink when any of -trace/-obs/-pprof
+// asks for one (nil otherwise, so the default run pays only nil checks).
+func newSink(cfg sim.Scenario, sr singleRun) (*obs.Sink, func(), error) {
+	if sr.TraceOut == "" && !sr.ObsRep && sr.PprofOut == "" {
+		return nil, func() {}, nil
+	}
+	o := obs.Options{Profile: sr.PprofOut != ""}
+	closers := []func(){}
+	if sr.TraceOut != "" {
+		tf, err := os.Create(sr.TraceOut)
+		if err != nil {
+			return nil, nil, err
+		}
+		closers = append(closers, func() { tf.Close() })
+		o.Trace = tf
+	}
+	sink := obs.New(o)
+	sink.WriteMeta(obs.Meta{
+		Tool:         "nwade-sim",
+		Scenario:     cfg.Attack.Name,
+		Seed:         cfg.Seed,
+		Intersection: cfg.Intersection,
+		DurationNS:   int64(cfg.Duration),
+	})
+	cleanup := func() {
+		for i := len(closers) - 1; i >= 0; i-- {
+			closers[i]()
+		}
+	}
+	return sink, cleanup, nil
+}
+
+// runSingle executes one single-intersection run, fresh or resumed.
+func runSingle(out io.Writer, cfg sim.Scenario, ckpt *cliconf.Checkpoint, sr singleRun) error {
+	cfg = cfg.Normalize()
+	sink, cleanup, err := newSink(cfg, sr)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+	if sr.PprofOut != "" {
+		pf, err := os.Create(sr.PprofOut)
 		if err != nil {
 			return err
 		}
@@ -132,69 +162,17 @@ func run(args []string, out io.Writer) error {
 		}
 		defer pprof.StopCPUProfile()
 	}
-
-	mkConfig := func(seed int64) sim.Config {
-		cfg := sim.Config{
-			Inter:      inter,
-			Duration:   *duration,
-			RatePerMin: *density,
-			Seed:       seed,
-			Scenario:   sc,
-			NWADE:      *nwadeOn,
-			KeyBits:    *keyBits,
-			Resilience: *retrans,
-			Workers:    *tickWork,
-		}
-		cfg.Net.Faults = fc
-		return cfg
-	}
-	degraded := fc.Enabled() || *retrans
-	if *rounds > 1 {
-		if *traceOut != "" && *workers != 1 {
-			// Concurrent replicas would interleave their trace records.
-			fmt.Fprintln(out, "note: -trace forces -workers 1")
-			*workers = 1
-		}
-		err := runReplicas(out, replicaRun{
-			MkConfig: mkConfig,
-			Rounds:   *rounds,
-			Workers:  *workers,
-			BaseSeed: *seed,
-			Inter:    inter.Name,
-			Scenario: sc.Name,
-			Density:  *density,
-			Duration: *duration,
-			NWADE:    *nwadeOn,
-			Faults:   *faults,
-			Retrans:  *retrans,
-			Obs:      sink,
-		})
-		if err != nil {
-			return err
-		}
-		return finishObs(out, sink, *obsRep, *traceOut)
-	}
 	simOpts := []sim.Option{}
 	if sink != nil {
 		simOpts = append(simOpts, sim.WithObs(sink))
 	}
-	cfg := mkConfig(*seed)
 	var engine *sim.Engine
-	if *resume != "" {
-		spec, st, err := snap.ReadFile(*resume)
+	if ckpt != nil {
+		engine, err = sim.Restore(cfg, ckpt.State, simOpts...)
 		if err != nil {
 			return err
 		}
-		cfg, err = spec.BuildConfig()
-		if err != nil {
-			return err
-		}
-		inter, sc = cfg.Inter, cfg.Scenario
-		engine, err = sim.Restore(cfg, st, simOpts...)
-		if err != nil {
-			return err
-		}
-		fmt.Fprintf(out, "resumed      : %s at %v\n", *resume, st.Engine.Now)
+		fmt.Fprintf(out, "resumed      : %s at %v\n", sr.ResumePath, ckpt.Now())
 	} else {
 		engine, err = sim.New(cfg, simOpts...)
 		if err != nil {
@@ -202,8 +180,8 @@ func run(args []string, out io.Writer) error {
 		}
 	}
 	var res metrics.RunResult
-	if *ckptEvery > 0 {
-		res, err = runWithCheckpoints(out, engine, cfg, *ckptEvery, *ckptDir)
+	if sr.CkptEvery > 0 {
+		res, err = runWithCheckpoints(out, engine, cfg, sr.CkptEvery, sr.CkptDir)
 		if err != nil {
 			return err
 		}
@@ -211,14 +189,12 @@ func run(args []string, out io.Writer) error {
 		res = engine.Run()
 	}
 
-	fmt.Fprintf(out, "intersection : %s\n", inter.Name)
-	fmt.Fprintf(out, "scenario     : %s (attack at %v)\n", sc.Name, sc.AttackAt)
-	// Read from cfg, not the flags: after -resume the run parameters
-	// come from the checkpoint's spec, not the command line.
+	fmt.Fprintf(out, "intersection : %s\n", cfg.Intersection)
+	fmt.Fprintf(out, "scenario     : %s (attack at %v)\n", cfg.Attack.Name, cfg.Attack.AttackAt)
 	fmt.Fprintf(out, "density      : %g veh/min for %v (seed %d, NWADE %v)\n", cfg.RatePerMin, cfg.Duration, cfg.Seed, cfg.NWADE)
-	if degraded {
-		fmt.Fprintf(out, "faults       : %s (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
-			profileName(*faults), *retrans, res.Net.FaultDropped, res.Net.Duplicated, res.Retransmits)
+	if cfg.Net.Faults.Enabled() || cfg.Resilience {
+		fmt.Fprintf(out, "faults       : enabled=%v (retrans %v): dropped %d, duplicated %d, retransmits %d\n",
+			cfg.Net.Faults.Enabled(), cfg.Resilience, res.Net.FaultDropped, res.Net.Duplicated, res.Retransmits)
 	}
 	fmt.Fprintf(out, "spawned      : %d\n", res.Spawned)
 	fmt.Fprintf(out, "exited       : %d (%.1f veh/min)\n", res.Exited, res.Throughput())
@@ -226,36 +202,134 @@ func run(args []string, out io.Writer) error {
 	if roles := engine.Roles(); len(roles.All) > 0 {
 		fmt.Fprintf(out, "coalition    : violator=%v falseReporters=%v\n", roles.Violator, roles.FalseReporters)
 	}
+	printPackets(out, res.Net.Packets, res.Net.Bytes, res.Net.TotalPackets())
+	if sr.Events {
+		fmt.Fprintln(out, "\nprotocol events:")
+		printEvents(out, "  ", res.Collector.Events())
+	}
+	return finishObs(out, sink, sr.ObsRep, sr.TraceOut)
+}
 
+// runNetwork executes a multi-intersection run, fresh or resumed from a
+// network checkpoint.
+func runNetwork(out io.Writer, cfg sim.Scenario, ckpt *cliconf.Checkpoint, events bool, ckptEvery time.Duration, ckptDir string) error {
+	cfg = cfg.Normalize()
+	var n *roadnet.Network
+	var err error
+	if ckpt != nil {
+		n, err = roadnet.Restore(cfg, ckpt.Net)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "resumed      : network at %v\n", ckpt.Now())
+	} else {
+		n, err = roadnet.New(cfg)
+		if err != nil {
+			return err
+		}
+	}
+	if ckptEvery > 0 {
+		if err := runNetworkCheckpoints(out, n, cfg, ckptEvery, ckptDir); err != nil {
+			return err
+		}
+	}
+	results := n.Run()
+
+	topo := n.Topology()
+	fmt.Fprintf(out, "network      : %s (%dx%d, %d regions, layout %s)\n",
+		cfg.Network, topo.Rows, topo.Cols, len(topo.Regions), cfg.Intersection)
+	fmt.Fprintf(out, "scenario     : %s (attack at %v in region %d)\n", cfg.Attack.Name, cfg.Attack.AttackAt, cfg.AttackRegion)
+	fmt.Fprintf(out, "density      : %g veh/min for %v (seed %d, NWADE %v, workers %d)\n",
+		cfg.RatePerMin, cfg.Duration, cfg.Seed, cfg.NWADE, cfg.Workers)
+	fmt.Fprintf(out, "\n  %-7s %-12s %8s %8s %11s\n", "region", "layout", "spawned", "exited", "collisions")
+	var spawned, exited, collisions int
+	for i, res := range results {
+		fmt.Fprintf(out, "  %-7d %-12s %8d %8d %11d\n",
+			i, topo.Regions[i].Inter.Name, res.Spawned, res.Exited, res.Collisions)
+		spawned += res.Spawned
+		exited += res.Exited
+		collisions += res.Collisions
+	}
+	fmt.Fprintf(out, "  %-7s %-12s %8d %8d %11d\n", "TOTAL", "", spawned, exited, collisions)
+	st := n.Stats()
+	fmt.Fprintf(out, "\nhandoffs     : %d (boundary exits %d)\n", st.Handoffs, st.BoundaryExits)
+	fmt.Fprintf(out, "watch        : %d reports, %d relays, %d advisories\n", st.Reports, st.ReportRelays, st.Advisories)
+	fmt.Fprintf(out, "head exchange: %d beacons, %d mismatches\n", st.HeadBeacons, st.HeadMismatches)
+	bb := n.BackboneStats()
+	printPackets(out, bb.Packets, bb.Bytes, bb.TotalPackets())
+	fmt.Fprintf(out, "digest       : %s\n", n.Digest())
+	if events {
+		for i, res := range results {
+			evs := res.Collector.Events()
+			if len(evs) == 0 {
+				continue
+			}
+			fmt.Fprintf(out, "\nregion %d protocol events:\n", i)
+			printEvents(out, "  ", evs)
+		}
+	}
+	return nil
+}
+
+// runNetworkCheckpoints drives the network up to (but not through) its
+// duration, writing a checkpoint at every multiple of the interval; the
+// caller's Run finishes the remainder.
+func runNetworkCheckpoints(out io.Writer, n *roadnet.Network, cfg sim.Scenario, every time.Duration, dir string) error {
+	spec, err := snap.SpecFromScenario(cfg)
+	if err != nil {
+		return err
+	}
+	for next := n.Now() + every; next < cfg.Duration; next += every {
+		for n.Now() < next {
+			n.Step()
+		}
+		st, err := n.Snapshot()
+		if err != nil {
+			return err
+		}
+		raw, err := st.Encode()
+		if err != nil {
+			return err
+		}
+		path := filepath.Join(dir, fmt.Sprintf("ckpt-%s.snap", n.Now()))
+		if err := snap.WriteNetFile(path, spec, raw); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "checkpoint   : %s\n", path)
+	}
+	return nil
+}
+
+// printPackets renders a packets-by-kind table.
+func printPackets(out io.Writer, packets map[string]int, bytes map[string]int, total int) {
 	fmt.Fprintln(out, "\nnetwork packets by kind:")
-	kinds := make([]string, 0, len(res.Net.Packets))
-	for k := range res.Net.Packets {
+	kinds := make([]string, 0, len(packets))
+	for k := range packets {
 		kinds = append(kinds, k)
 	}
 	sort.Strings(kinds)
 	for _, k := range kinds {
-		fmt.Fprintf(out, "  %-12s %6d (%d bytes)\n", k, res.Net.Packets[k], res.Net.Bytes[k])
+		fmt.Fprintf(out, "  %-12s %6d (%d bytes)\n", k, packets[k], bytes[k])
 	}
-	fmt.Fprintf(out, "  %-12s %6d\n", "TOTAL", res.Net.TotalPackets())
+	fmt.Fprintf(out, "  %-12s %6d\n", "TOTAL", total)
+}
 
-	if *events {
-		fmt.Fprintln(out, "\nprotocol events:")
-		for _, e := range res.Collector.Events() {
-			actor := "IM"
-			if e.Actor != 0 {
-				actor = e.Actor.String()
-			}
-			fmt.Fprintf(out, "  %-10v %-22v %-5s", e.At.Round(time.Millisecond), e.Type, actor)
-			if e.Subject != 0 {
-				fmt.Fprintf(out, " subject=%v", e.Subject)
-			}
-			if e.Info != "" {
-				fmt.Fprintf(out, "  %s", e.Info)
-			}
-			fmt.Fprintln(out)
+// printEvents renders a protocol event log.
+func printEvents(out io.Writer, indent string, evs []nwade.Event) {
+	for _, e := range evs {
+		actor := "IM"
+		if e.Actor != 0 {
+			actor = e.Actor.String()
 		}
+		fmt.Fprintf(out, "%s%-10v %-22v %-5s", indent, e.At.Round(time.Millisecond), e.Type, actor)
+		if e.Subject != 0 {
+			fmt.Fprintf(out, " subject=%v", e.Subject)
+		}
+		if e.Info != "" {
+			fmt.Fprintf(out, "  %s", e.Info)
+		}
+		fmt.Fprintln(out)
 	}
-	return finishObs(out, sink, *obsRep, *traceOut)
 }
 
 // finishObs seals the sink (writing the trace's sum record) and prints
@@ -277,52 +351,38 @@ func finishObs(out io.Writer, sink *obs.Sink, report bool, tracePath string) err
 	return nil
 }
 
-// profileName renders a -faults value for display.
-func profileName(name string) string {
-	if name == "" {
-		return "none"
+// runRounds executes a multi-seed replica sweep across the eval worker
+// pool and prints per-round and aggregate traffic summaries.
+func runRounds(out io.Writer, cfg sim.Scenario, cf *cliconf.Flags, rounds, workers int, traceOut string, obsRep bool) error {
+	var sink *obs.Sink
+	if traceOut != "" || obsRep {
+		if traceOut != "" && workers != 1 {
+			// Concurrent replicas would interleave their trace records.
+			fmt.Fprintln(out, "note: -trace forces -workers 1")
+			workers = 1
+		}
+		sr := singleRun{TraceOut: traceOut, ObsRep: obsRep}
+		var cleanup func()
+		var err error
+		sink, cleanup, err = newSink(cfg, sr)
+		if err != nil {
+			return err
+		}
+		defer cleanup()
 	}
-	return name
-}
-
-// replicaRun bundles what a multi-seed replica sweep needs: the round
-// factory plus the already-resolved labels the summary header prints.
-// A typed struct instead of a positional parameter list, so new knobs
-// (fault profiles, retransmission) ride in as fields.
-type replicaRun struct {
-	MkConfig func(int64) sim.Config
-	Rounds   int
-	Workers  int
-	BaseSeed int64
-	Inter    string
-	Scenario string
-	Density  float64
-	Duration time.Duration
-	NWADE    bool
-	// Faults is the -faults profile name ("" = clean network) and
-	// Retrans whether the retransmission layer was on; both only affect
-	// the printed summary (MkConfig already applied them).
-	Faults  string
-	Retrans bool
-	// Obs, when non-nil, is installed into every replica (counters
-	// aggregate across the sweep; run caps Workers at 1 when tracing).
-	Obs *obs.Sink
-}
-
-// runReplicas executes the replica sweep across the eval worker pool and
-// prints per-round and aggregate traffic summaries.
-func runReplicas(out io.Writer, rr replicaRun) error {
-	seeds := make([]int64, rr.Rounds)
+	seeds := make([]int64, rounds)
 	for i := range seeds {
-		seeds[i] = rr.BaseSeed + int64(i)
+		seeds[i] = cfg.Seed + int64(i)
 	}
 	start := time.Now()
-	results, err := eval.RunCells(rr.Workers, seeds, func(seed int64) (metrics.RunResult, error) {
+	results, err := eval.RunCells(workers, seeds, func(seed int64) (metrics.RunResult, error) {
+		rc := cfg
+		rc.Seed = seed
 		opts := []sim.Option{}
-		if rr.Obs != nil {
-			opts = append(opts, sim.WithObs(rr.Obs))
+		if sink != nil {
+			opts = append(opts, sim.WithObs(sink))
 		}
-		engine, err := sim.New(rr.MkConfig(seed), opts...)
+		engine, err := sim.New(rc, opts...)
 		if err != nil {
 			return metrics.RunResult{}, fmt.Errorf("seed %d: %w", seed, err)
 		}
@@ -333,14 +393,18 @@ func runReplicas(out io.Writer, rr replicaRun) error {
 	}
 	wall := time.Since(start)
 
-	fmt.Fprintf(out, "intersection : %s\n", rr.Inter)
-	fmt.Fprintf(out, "scenario     : %s\n", rr.Scenario)
-	fmt.Fprintf(out, "density      : %g veh/min for %v (NWADE %v)\n", rr.Density, rr.Duration, rr.NWADE)
-	if rr.Faults != "" || rr.Retrans {
-		fmt.Fprintf(out, "faults       : %s (retrans %v)\n", profileName(rr.Faults), rr.Retrans)
+	fmt.Fprintf(out, "intersection : %s\n", cfg.Intersection)
+	fmt.Fprintf(out, "scenario     : %s\n", cfg.Attack.Name)
+	fmt.Fprintf(out, "density      : %g veh/min for %v (NWADE %v)\n", cfg.RatePerMin, cfg.Duration, cfg.NWADE)
+	if cf.Faults != "" || cfg.Resilience {
+		faults := cf.Faults
+		if faults == "" {
+			faults = "none"
+		}
+		fmt.Fprintf(out, "faults       : %s (retrans %v)\n", faults, cfg.Resilience)
 	}
 	fmt.Fprintf(out, "replicas     : %d (seeds %d..%d, workers=%d, %v wall)\n\n",
-		rr.Rounds, rr.BaseSeed, seeds[rr.Rounds-1], rr.Workers, wall.Round(time.Millisecond))
+		rounds, cfg.Seed, seeds[rounds-1], workers, wall.Round(time.Millisecond))
 	fmt.Fprintf(out, "  %-6s %8s %8s %12s %11s\n", "seed", "spawned", "exited", "veh/min", "collisions")
 	var spawned, exited, collisions int
 	var dropped, duplicated, retransmits int
@@ -355,22 +419,22 @@ func runReplicas(out io.Writer, rr replicaRun) error {
 		duplicated += res.Net.Duplicated
 		retransmits += res.Retransmits
 	}
-	n := float64(rr.Rounds)
+	n := float64(rounds)
 	fmt.Fprintf(out, "  %-6s %8.1f %8.1f %12.1f %11.1f\n", "mean",
 		float64(spawned)/n, float64(exited)/n, thr/n, float64(collisions)/n)
-	if rr.Faults != "" || rr.Retrans {
+	if cf.Faults != "" || cfg.Resilience {
 		fmt.Fprintf(out, "\n  fault-dropped %d, duplicated %d, retransmits %d (totals)\n",
 			dropped, duplicated, retransmits)
 	}
-	return nil
+	return finishObs(out, sink, obsRep, traceOut)
 }
 
 // runWithCheckpoints drives the engine to its duration, writing a
 // checkpoint (ckpt-<time>.snap) at every multiple of the interval. The
 // result is identical to engine.Run(): checkpointing observes state at
 // tick boundaries without perturbing it.
-func runWithCheckpoints(out io.Writer, e *sim.Engine, cfg sim.Config, every time.Duration, dir string) (metrics.RunResult, error) {
-	spec, err := snap.SpecFromConfig(cfg)
+func runWithCheckpoints(out io.Writer, e *sim.Engine, cfg sim.Scenario, every time.Duration, dir string) (metrics.RunResult, error) {
+	spec, err := snap.SpecFromScenario(cfg)
 	if err != nil {
 		return metrics.RunResult{}, err
 	}

@@ -34,12 +34,12 @@ func run() error {
 		return err
 	}
 	sc, _ := attack.ByName("IM_V5", 30*time.Second)
-	engine, err := sim.New(sim.Config{
+	engine, err := sim.New(sim.Scenario{
 		Inter:      inter,
 		Duration:   90 * time.Second,
 		RatePerMin: 120, // big-city density
 		Seed:       3,
-		Scenario:   sc,
+		Attack:     sc,
 		NWADE:      true,
 		KeyBits:    1024,
 	})

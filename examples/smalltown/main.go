@@ -32,12 +32,12 @@ func run() error {
 		return err
 	}
 	sc, _ := attack.ByName("V1", 30*time.Second)
-	engine, err := sim.New(sim.Config{
+	engine, err := sim.New(sim.Scenario{
 		Inter:      inter,
 		Duration:   90 * time.Second,
 		RatePerMin: 20, // small-town density
 		Seed:       7,
-		Scenario:   sc,
+		Attack:     sc,
 		NWADE:      true,
 		KeyBits:    1024,
 	})

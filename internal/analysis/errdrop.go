@@ -41,6 +41,17 @@ func DefaultErrDropConfig() ErrDropConfig {
 		{PkgPath: "nwade/internal/snap", Recv: "", Name: "Decode"},
 		{PkgPath: "nwade/internal/snap", Recv: "", Name: "WriteFile"},
 		{PkgPath: "nwade/internal/snap", Recv: "", Name: "ReadFile"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "EncodeNet"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "DecodeNet"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "WriteNetFile"},
+		{PkgPath: "nwade/internal/snap", Recv: "", Name: "ReadNetFile"},
+		{PkgPath: "nwade/internal/roadnet", Recv: "", Name: "New"},
+		{PkgPath: "nwade/internal/roadnet", Recv: "", Name: "Restore"},
+		{PkgPath: "nwade/internal/roadnet", Recv: "Network", Name: "Snapshot"},
+		{PkgPath: "nwade/internal/roadnet", Recv: "State", Name: "Encode"},
+		{PkgPath: "nwade/internal/roadnet", Recv: "", Name: "DecodeState"},
+		{PkgPath: "nwade/internal/cliconf", Recv: "Flags", Name: "Build"},
+		{PkgPath: "nwade/internal/cliconf", Recv: "", Name: "Load"},
 		{PkgPath: "encoding/json", Recv: "Encoder", Name: "Encode"},
 		{PkgPath: "encoding/json", Recv: "", Name: "Marshal"},
 		{PkgPath: "os", Recv: "", Name: "WriteFile"},

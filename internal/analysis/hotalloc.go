@@ -13,6 +13,11 @@ type HotAllocConfig struct {
 	// Functions names the per-tick functions and methods whose bodies —
 	// including closures defined inside them — must not allocate.
 	Functions []string
+	// PkgFunctions maps further import paths to their own hot-function
+	// lists, checked with the same rules as PkgPath/Functions. Each
+	// engine keeps its own list because the per-tick call trees are
+	// disjoint.
+	PkgFunctions map[string][]string
 }
 
 // DefaultHotAllocConfig lists the simulation engine's per-tick call
@@ -34,6 +39,14 @@ func DefaultHotAllocConfig() HotAllocConfig {
 			// Spatial grid per-tick path.
 			"rebuild", "gatherInto", "forEach", "forEachOrdered", "forEachOrderedWith",
 		},
+		PkgFunctions: map[string][]string{
+			// The road network's every-tick path. The exchange-cadence
+			// functions (beacon, relay, handleReport) run at most once
+			// per second and may allocate.
+			"nwade/internal/roadnet": {
+				"Step", "stepRegions", "deliverBackbone", "handoffs",
+			},
+		},
 	}
 }
 
@@ -52,17 +65,32 @@ func DefaultHotAllocConfig() HotAllocConfig {
 // allocation: either hoist it or annotate the line with
 // //lint:ignore hotalloc <reason>.
 func NewHotAlloc(cfg HotAllocConfig) *Analyzer {
-	hot := make(map[string]bool, len(cfg.Functions))
-	for _, f := range cfg.Functions {
-		hot[f] = true
+	toSet := func(fns []string) map[string]bool {
+		s := make(map[string]bool, len(fns))
+		for _, f := range fns {
+			s[f] = true
+		}
+		return s
+	}
+	base := toSet(cfg.Functions)
+	hotByPkg := make(map[string]map[string]bool, 1+len(cfg.PkgFunctions))
+	if cfg.PkgPath != "" {
+		hotByPkg[cfg.PkgPath] = base
+	}
+	for p, fns := range cfg.PkgFunctions {
+		hotByPkg[p] = toSet(fns)
 	}
 	a := &Analyzer{
 		Name: "hotalloc",
 		Doc:  "flags non-hoisted make/append in per-tick engine functions",
 	}
 	a.Run = func(pass *Pass) {
-		if cfg.PkgPath != "" && pass.Pkg.Path != cfg.PkgPath {
-			return
+		hot := hotByPkg[pass.Pkg.Path]
+		if hot == nil {
+			if cfg.PkgPath != "" || len(cfg.PkgFunctions) > 0 {
+				return
+			}
+			hot = base // fixture mode: every package uses the flat list
 		}
 		for _, f := range pass.Pkg.Files {
 			for _, decl := range f.Decls {

@@ -34,8 +34,12 @@ func DefaultNoDeterminismConfig() NoDeterminismConfig {
 			"nwade/internal/traffic",
 			"nwade/internal/chain",
 			"nwade/internal/obs",
+			"nwade/internal/roadnet",
 		},
-		Sanctioned: []string{"nwade/internal/obs.wallNow"},
+		Sanctioned: []string{
+			"nwade/internal/obs.wallNow",
+			"nwade/internal/roadnet.wallNow",
+		},
 	}
 }
 

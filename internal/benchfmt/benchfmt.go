@@ -33,6 +33,9 @@ type Timing struct {
 	AllocTicks    int     `json:"alloc_ticks,omitempty"`
 	AllocsPerTick float64 `json:"allocs_per_tick,omitempty"`
 	BytesPerTick  float64 `json:"bytes_per_tick,omitempty"`
+	// Imbalance is the per-region tick imbalance (max/mean of region
+	// step wall time) of a road-network run (speedup-network).
+	Imbalance float64 `json:"imbalance,omitempty"`
 }
 
 // Report is a full nwade-bench run: machine shape plus per-experiment

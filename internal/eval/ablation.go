@@ -81,10 +81,10 @@ func SchedulerAblation(cfg Config) (*SchedulerAblationResult, error) {
 		for i := 0; i < cfg.Rounds; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("ablation sched %s round %d", s.Name(), i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Scheduler: s, Duration: cfg.Duration,
 					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*211,
-					Scenario: sc, NWADE: true,
+					Attack: sc, NWADE: true,
 				},
 			})
 		}
@@ -159,10 +159,10 @@ func SensingSweep(cfg Config, radiiFt []float64) (*SensingSweepResult, error) {
 		for i := 0; i < cfg.Rounds; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("ablation sensing %gft round %d", ft, i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Duration: cfg.Duration,
 					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*223,
-					Scenario: sc, NWADE: true, VehicleConfig: vcfg,
+					Attack: sc, NWADE: true, VehicleConfig: vcfg,
 				},
 			})
 		}
@@ -252,10 +252,10 @@ func DoubleCheckAblation(cfg Config) (*DoubleCheckResult, error) {
 		for i := 0; i < cfg.Rounds; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("ablation double-check=%v round %d", enabled, i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Duration: cfg.Duration,
 					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*227,
-					Scenario: sc, NWADE: true, IMConfig: imCfg,
+					Attack: sc, NWADE: true, IMConfig: imCfg,
 				},
 			})
 		}
@@ -335,10 +335,10 @@ func PacketLoss(cfg Config, rates []float64) (*PacketLossResult, error) {
 		for i := 0; i < cfg.Rounds; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("ablation loss=%.2f round %d", rate, i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Duration: cfg.Duration,
 					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*233,
-					Scenario: sc, NWADE: true,
+					Attack: sc, NWADE: true,
 					Net: vnetConfigWithLoss(rate),
 				},
 			})

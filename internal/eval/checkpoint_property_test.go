@@ -33,14 +33,14 @@ func propSigner(t *testing.T) *chain.Signer {
 	return propKey
 }
 
-// captureConfigs enumerates the sim.Configs a generator would run under
+// captureConfigs enumerates the sim.Scenarios a generator would run under
 // a quick harness configuration, via the spec probe (no simulation is
 // paid for). Generators that never reach runSpecs (analytic curves,
 // key-benchmarks) return nothing.
-func captureConfigs(t *testing.T, g Generator) []sim.Config {
+func captureConfigs(t *testing.T, g Generator) []sim.Scenario {
 	t.Helper()
-	var got []sim.Config
-	specProbe = func(cfg sim.Config) { got = append(got, cfg) }
+	var got []sim.Scenario
+	specProbe = func(cfg sim.Scenario) { got = append(got, cfg) }
 	defer func() { specProbe = nil }()
 	cfg := Config{
 		Rounds: 1, Duration: 8 * time.Second, AttackAt: 3 * time.Second,
@@ -57,7 +57,7 @@ func captureConfigs(t *testing.T, g Generator) []sim.Config {
 // assertResumable is the core property: for snapshot ticks near the
 // start, middle, and end of the run, snapshot + restore produces a
 // RunResult digest bit-identical to the continuous run.
-func assertResumable(t *testing.T, label string, cfg sim.Config, sink *obs.Sink) {
+func assertResumable(t *testing.T, label string, cfg sim.Scenario, sink *obs.Sink) {
 	t.Helper()
 	opts := []sim.Option{sim.WithSigner(propSigner(t))}
 	restoreOpts := []sim.Option{}
@@ -138,9 +138,9 @@ func TestFaultProfilesAreResumable(t *testing.T) {
 		if !ok {
 			t.Fatalf("profile %q vanished", name)
 		}
-		cfg := sim.Config{
+		cfg := sim.Scenario{
 			Inter: inter, Duration: 8 * time.Second, RatePerMin: 60,
-			Seed: 11, Scenario: sc, NWADE: true, KeyBits: 1024,
+			Seed: 11, Attack: sc, NWADE: true, KeyBits: 1024,
 			Resilience: true,
 		}
 		cfg.Net.Faults = fc
@@ -156,9 +156,9 @@ func TestObsEnabledRunIsResumable(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc, _ := attack.ByName("IM", 3*time.Second)
-	cfg := sim.Config{
+	cfg := sim.Scenario{
 		Inter: inter, Duration: 8 * time.Second, RatePerMin: 60,
-		Seed: 13, Scenario: sc, NWADE: true, KeyBits: 1024,
+		Seed: 13, Attack: sc, NWADE: true, KeyBits: 1024,
 	}
 	assertResumable(t, "obs-enabled", cfg, obs.New(obs.Options{}))
 }

@@ -53,7 +53,7 @@ type Config struct {
 	// zero value keeps rounds byte-identical to a fault-free build.
 	Faults vnet.FaultConfig
 	// Resilience enables the protocol retransmission layer in every
-	// round (sim.Config.Resilience).
+	// round (sim.Scenario.Resilience).
 	Resilience bool
 	// Settings restricts sweeps over attack settings (nil = the paper's
 	// full list); used by the generator registry wrappers for quick runs.
@@ -142,16 +142,16 @@ type RunSpec struct {
 }
 
 // spec builds the standard round configuration the experiments share;
-// generators override individual sim.Config fields for their ablations.
+// generators override individual sim.Scenario fields for their ablations.
 func (r *runner) spec(s RunSpec) simSpec {
 	return simSpec{
 		label: s.Label,
-		cfg: sim.Config{
+		cfg: sim.Scenario{
 			Inter:      s.Inter,
 			Duration:   r.cfg.Duration,
 			RatePerMin: s.Density,
 			Seed:       s.Seed,
-			Scenario:   s.Scenario,
+			Attack:     s.Scenario,
 			NWADE:      s.NWADE,
 		},
 	}

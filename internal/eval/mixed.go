@@ -59,10 +59,10 @@ func MixedTraffic(cfg Config, fractions []float64) (*MixedResult, error) {
 		for i := 0; i < cfg.Rounds; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("mixed legacy=%.0f%% round %d", frac*100, i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Duration: cfg.Duration,
 					RatePerMin: cfg.Density, Seed: cfg.BaseSeed + int64(i)*241,
-					Scenario: sc, NWADE: true, LegacyFraction: frac,
+					Attack: sc, NWADE: true, LegacyFraction: frac,
 				},
 			})
 		}

@@ -13,6 +13,7 @@ func TestRegistryContents(t *testing.T) {
 		"eq2", "eq3", "mixed",
 		"ablation-scheduler", "ablation-sensing", "ablation-doublecheck", "ablation-loss",
 		"faultsweep", "speedup", "tickalloc",
+		"netevac", "netprop",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -44,8 +45,8 @@ func TestRegistryContents(t *testing.T) {
 
 func TestRegistryGroups(t *testing.T) {
 	groups := Groups()
-	if len(groups) != 2 || groups[0] != "ablations" || groups[1] != "perf" {
-		t.Fatalf("Groups() = %v, want [ablations perf]", groups)
+	if len(groups) != 3 || groups[0] != "ablations" || groups[1] != "network" || groups[2] != "perf" {
+		t.Fatalf("Groups() = %v, want [ablations network perf]", groups)
 	}
 	count := func(group string) int {
 		var n int
@@ -61,6 +62,9 @@ func TestRegistryGroups(t *testing.T) {
 	}
 	if n := count("perf"); n != 2 {
 		t.Errorf("perf group has %d members, want 2 (speedup, tickalloc)", n)
+	}
+	if n := count("network"); n != 2 {
+		t.Errorf("network group has %d members, want 2 (netevac, netprop)", n)
 	}
 }
 

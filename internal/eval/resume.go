@@ -202,7 +202,7 @@ func (r *runner) harnessDigest() string {
 // are applied) plus its position in the sweep.
 func (r *runner) cellKey(harness string, i int, s simSpec) string {
 	c := s.cfg
-	schedName := ""
+	schedName := c.Sched
 	if c.Scheduler != nil {
 		schedName = c.Scheduler.Name()
 	}
@@ -213,7 +213,7 @@ func (r *runner) cellKey(harness string, i int, s simSpec) string {
 	h := sha256.New()
 	fmt.Fprintf(h, "%s|%d|%s|", harness, i, s.label)
 	fmt.Fprintf(h, "inter=%s sched=%s dur=%v step=%v rate=%g seed=%d scen=%+v nwade=%v legacy=%g im=%+v veh=%+v net=%+v resilience=%v keybits=%d",
-		interName, schedName, c.Duration, c.Step, c.RatePerMin, c.Seed, c.Scenario,
+		interName, schedName, c.Duration, c.Step, c.RatePerMin, c.Seed, c.Attack,
 		c.NWADE, c.LegacyFraction, c.IMConfig, c.VehicleConfig, c.Net, c.Resilience, c.KeyBits)
 	return hex.EncodeToString(h.Sum(nil))
 }

@@ -169,9 +169,9 @@ func TestSweepResumesPerCell(t *testing.T) {
 		for i := 0; i < 3; i++ {
 			specs = append(specs, simSpec{
 				label: fmt.Sprintf("resume test round %d", i),
-				cfg: sim.Config{
+				cfg: sim.Scenario{
 					Inter: inter, Duration: 6 * time.Second, RatePerMin: 60,
-					Seed: int64(100 + i), Scenario: sc, NWADE: true, KeyBits: 1024,
+					Seed: int64(100 + i), Attack: sc, NWADE: true, KeyBits: 1024,
 				},
 			})
 		}

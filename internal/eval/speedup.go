@@ -5,6 +5,9 @@ import (
 	"reflect"
 	"runtime"
 	"time"
+
+	"nwade/internal/roadnet"
+	"nwade/internal/sim"
 )
 
 // SpeedupResult compares a reduced Fig. 4 sweep run sequentially and
@@ -23,6 +26,25 @@ type SpeedupResult struct {
 	// RequestedWorkers is the pre-clamp pool size (GOMAXPROCS), recorded
 	// so a bench JSON from a core-restricted container is comparable.
 	RequestedWorkers int
+
+	// Network-phase measurement: one road-network run on the worker
+	// pool, reporting how evenly the per-region tick work spread.
+	Network     string
+	NetworkWall time.Duration
+	// RegionWallMax and RegionWallMean summarize each region's
+	// accumulated Step wall time; Imbalance is their ratio (1.0 =
+	// perfectly even, higher = one region dominates the tick).
+	RegionWallMax  time.Duration
+	RegionWallMean time.Duration
+}
+
+// Imbalance is the per-region tick imbalance of the network phase:
+// max over mean of the regions' accumulated step wall time.
+func (s *SpeedupResult) Imbalance() float64 {
+	if s.RegionWallMean <= 0 {
+		return 0
+	}
+	return float64(s.RegionWallMax) / float64(s.RegionWallMean)
 }
 
 // Ratio returns sequential-over-parallel wall time.
@@ -81,6 +103,43 @@ func Speedup(cfg Config) (*SpeedupResult, error) {
 	if !reflect.DeepEqual(seq.Points, par.Points) {
 		return nil, fmt.Errorf("speedup: parallel results differ from sequential")
 	}
+
+	// Network phase: one grid run on the same worker pool, recording how
+	// evenly the tick work spread across regions. Max/mean near 1.0 means
+	// the pool has balanced work to steal; a high ratio means one hot
+	// region bounds the parallel tick regardless of worker count.
+	const network = "grid:2x2"
+	netCfg := sim.Scenario{
+		Network:    network,
+		Duration:   cfg.Duration,
+		RatePerMin: cfg.Density,
+		Seed:       cfg.BaseSeed,
+		NWADE:      true,
+		KeyBits:    cfg.KeyBits,
+		Workers:    parWorkers,
+	}
+	n, err := roadnet.New(netCfg)
+	if err != nil {
+		return nil, fmt.Errorf("speedup network phase: %w", err)
+	}
+	//lint:ignore nodeterminism wall-clock timing IS this experiment's measurement; results stay seed-deterministic
+	t2 := time.Now()
+	n.Run()
+	//lint:ignore nodeterminism wall-clock timing IS this experiment's measurement; results stay seed-deterministic
+	netWall := time.Since(t2)
+	walls := n.RegionWall()
+	var wallMax, wallSum time.Duration
+	for _, w := range walls {
+		wallSum += w
+		if w > wallMax {
+			wallMax = w
+		}
+	}
+	var wallMean time.Duration
+	if len(walls) > 0 {
+		wallMean = wallSum / time.Duration(len(walls))
+	}
+
 	return &SpeedupResult{
 		Rounds:           cfg.Rounds,
 		Settings:         settings,
@@ -89,6 +148,10 @@ func Speedup(cfg Config) (*SpeedupResult, error) {
 		Parallel:         parWall,
 		Workers:          parWorkers,
 		RequestedWorkers: requested,
+		Network:          network,
+		NetworkWall:      netWall,
+		RegionWallMax:    wallMax,
+		RegionWallMean:   wallMean,
 	}, nil
 }
 
@@ -98,7 +161,7 @@ func (s *SpeedupResult) String() string {
 	if s.RequestedWorkers > s.Workers {
 		clamp = fmt.Sprintf(" (requested %d, clamped to cores)", s.RequestedWorkers)
 	}
-	return fmt.Sprintf(
+	out := fmt.Sprintf(
 		"Speedup — reduced Fig. 4 sweep (%d rounds × %d settings × %d densities)\n"+
 			"  sequential (workers=1):  %8.0f ms\n"+
 			"  parallel   (workers=%d):  %8.0f ms%s\n"+
@@ -107,4 +170,13 @@ func (s *SpeedupResult) String() string {
 		float64(s.Sequential.Microseconds())/1000,
 		s.Workers, float64(s.Parallel.Microseconds())/1000, clamp,
 		s.Ratio(), runtime.NumCPU())
+	if s.Network != "" {
+		out += fmt.Sprintf(
+			"\n  network %s (workers=%d): %8.0f ms wall\n"+
+				"  region tick imbalance (max/mean): %.2f (max %v, mean %v)",
+			s.Network, s.Workers, float64(s.NetworkWall.Microseconds())/1000,
+			s.Imbalance(), s.RegionWallMax.Round(time.Millisecond),
+			s.RegionWallMean.Round(time.Millisecond))
+	}
+	return out
 }

@@ -76,7 +76,7 @@ func RunCells[C, R any](workers int, cells []C, run func(C) (R, error)) ([]R, er
 // a multi-hour sweep is diagnosable from the error alone; RunCells
 // prefixes it with the failing cell's position ("cell %d of %d").
 type CellPanicError struct {
-	// Spec is the cell value rendered with %+v — the sim.Config /
+	// Spec is the cell value rendered with %+v — the sim.Scenario /
 	// seed / label that was being run.
 	Spec string
 	// Value is the recovered panic value.
@@ -104,13 +104,13 @@ func runCell[C, R any](run func(C) (R, error), c C) (r R, err error) {
 // simSpec is one simulation round of a sweep: a fully-specified engine
 // configuration plus a label for error messages.
 type simSpec struct {
-	cfg   sim.Config
+	cfg   sim.Scenario
 	label string
 }
 
 // applyHarness layers the harness-level fault profile and resilience
 // switch onto one spec, so every generator inherits them uniformly,
-// whether it went through runner.spec or built its sim.Config by hand.
+// whether it went through runner.spec or built its sim.Scenario by hand.
 func (r *runner) applyHarness(s simSpec) simSpec {
 	if r.cfg.Faults.Enabled() && !s.cfg.Net.Faults.Enabled() {
 		s.cfg.Net.Faults = r.cfg.Faults
@@ -124,9 +124,9 @@ func (r *runner) applyHarness(s simSpec) simSpec {
 // specProbe, when non-nil, intercepts every round configuration a sweep
 // would run (after harness layering) and aborts the sweep with
 // errProbeAbort instead of simulating. Tests use it to enumerate the
-// exact sim.Configs each registered experiment produces without paying
+// exact sim.Scenarios each registered experiment produces without paying
 // for the runs.
-var specProbe func(sim.Config)
+var specProbe func(sim.Scenario)
 
 // errProbeAbort is returned by runSpecs when a specProbe is installed.
 var errProbeAbort = errors.New("eval: sweep aborted by spec probe")
@@ -160,7 +160,7 @@ func (r *runner) runSpecs(specs []simSpec) ([]*outcome, error) {
 		res := e.Run()
 		return &outcome{
 			res:        res,
-			scenario:   s.cfg.Scenario,
+			scenario:   s.cfg.Attack,
 			roles:      e.Roles(),
 			onsets:     e.AttackOnsets(),
 			violations: e.Violations(),

@@ -57,7 +57,7 @@ func TickAlloc(cfg Config) (*TickAllocResult, error) {
 	if err != nil {
 		return nil, err
 	}
-	e, err := sim.New(sim.Config{
+	e, err := sim.New(sim.Scenario{
 		Inter:       inter,
 		Duration:    time.Hour,
 		RatePerMin:  cfg.Density,

@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sort"
 
 	"nwade/internal/geom"
 )
@@ -52,6 +53,42 @@ func (k Kind) String() string {
 // Kinds returns all layout kinds in display order.
 func Kinds() []Kind {
 	return []Kind{KindRoundabout3, KindCross4, KindIrregular5, KindCFI4, KindDDI4}
+}
+
+// kindNames maps the stable layout names — the vocabulary shared by the
+// CLIs, scenario specs, and checkpoint files — to kinds.
+var kindNames = map[string]Kind{
+	"roundabout3": KindRoundabout3,
+	"cross4":      KindCross4,
+	"irregular5":  KindIrregular5,
+	"cfi4":        KindCFI4,
+	"ddi4":        KindDDI4,
+}
+
+// KindByName resolves a layout name to its kind.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindNames[name]
+	return k, ok
+}
+
+// KindName returns the stable layout name of a kind ("" if it has none).
+func KindName(k Kind) string {
+	for name, kind := range kindNames {
+		if kind == k {
+			return name
+		}
+	}
+	return ""
+}
+
+// KindNameList lists the supported layout names, sorted.
+func KindNameList() []string {
+	out := make([]string, 0, len(kindNames))
+	for name := range kindNames {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
 }
 
 // Movement classifies a route by its turn direction.

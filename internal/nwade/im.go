@@ -246,6 +246,13 @@ func (im *IMCore) VehicleGone(id plan.VehicleID) {
 	delete(im.pending, id)
 }
 
+// Returning clears a vehicle's gone flag: a road-network loop brought it
+// back into this region, and its fresh scheduling requests must not be
+// discarded as stale.
+func (im *IMCore) Returning(id plan.VehicleID) {
+	delete(im.gone, id)
+}
+
 // HandleMessage processes one inbound message.
 func (im *IMCore) HandleMessage(now time.Duration, msg vnet.Message) []Out {
 	switch msg.Kind {

@@ -159,6 +159,13 @@ type GlobalReport struct {
 	At       time.Duration
 }
 
+// GlobalBroadcast wraps a report in its broadcast output, sized like the
+// vehicle-originated form. Roadnet gateways use it to replay a
+// cross-intersection report into a region's VANET.
+func GlobalBroadcast(r GlobalReport) Out {
+	return Out{To: vnet.Broadcast, Kind: KindGlobal, Payload: r, Size: sizeGlobal}
+}
+
 // Approximate on-wire sizes (bytes) for the network-load experiment.
 const (
 	sizeRequest    = 96

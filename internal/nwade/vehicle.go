@@ -272,6 +272,10 @@ func (vc *VehicleCore) TickRequestOnly(now time.Duration) []Out {
 	}, Size: sizeRequest}}
 }
 
+// Char returns the vehicle's physical characteristics (carried across
+// road-network handoffs with the vehicle's identity).
+func (vc *VehicleCore) Char() plan.Characteristics { return vc.char }
+
 // Route returns the vehicle's route.
 func (vc *VehicleCore) Route() *intersection.Route { return vc.route }
 

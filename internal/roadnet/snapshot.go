@@ -1,0 +1,160 @@
+// Checkpoint/restore for a whole road network. The network's mutable
+// state is the clock, every region's complete sim.State, the backbone
+// network (in-flight beacons and reports included), the per-region
+// suspect and head tables, and the cross-region counters. Everything is
+// serialized in a total order — regions by index, table entries by key —
+// so the same network state always encodes to the same bytes.
+package roadnet
+
+import (
+	"encoding/json"
+	"fmt"
+	"sort"
+	"time"
+
+	"nwade/internal/plan"
+	"nwade/internal/sim"
+	"nwade/internal/vnet"
+)
+
+// SuspectSeen is one entry of a region's suspect knowledge table.
+type SuspectSeen struct {
+	Suspect plan.VehicleID
+	At      time.Duration
+	Hop     int
+}
+
+// RegionTables is the roadnet-level mutable state of one region.
+type RegionTables struct {
+	FirstSeen []SuspectSeen `json:",omitempty"` // sorted by suspect
+	Heads     []HeadMsg     `json:",omitempty"` // sorted by origin region
+}
+
+// State is a complete network snapshot.
+type State struct {
+	Now      time.Duration
+	Regions  []*sim.State
+	Backbone vnet.NetworkState
+	Tables   []RegionTables
+	Stats    Stats
+}
+
+// encodeBackbonePayload serializes a backbone message payload for the
+// vnet snapshot layer.
+func encodeBackbonePayload(p any) (vnet.PayloadEnvelope, error) {
+	switch v := p.(type) {
+	case HeadMsg:
+		b, err := json.Marshal(v)
+		return vnet.PayloadEnvelope{Type: "roadnet.HeadMsg", Data: b}, err
+	case CrossReport:
+		b, err := json.Marshal(v)
+		return vnet.PayloadEnvelope{Type: "roadnet.CrossReport", Data: b}, err
+	default:
+		return vnet.PayloadEnvelope{}, fmt.Errorf("roadnet: unknown backbone payload %T", p)
+	}
+}
+
+// decodeBackbonePayload is encodeBackbonePayload's inverse.
+func decodeBackbonePayload(env vnet.PayloadEnvelope) (any, error) {
+	switch env.Type {
+	case "roadnet.HeadMsg":
+		var v HeadMsg
+		err := json.Unmarshal(env.Data, &v)
+		return v, err
+	case "roadnet.CrossReport":
+		var v CrossReport
+		err := json.Unmarshal(env.Data, &v)
+		return v, err
+	default:
+		return nil, fmt.Errorf("roadnet: unknown backbone payload type %q", env.Type)
+	}
+}
+
+// Snapshot captures the network's complete state. Call it only between
+// Steps.
+func (n *Network) Snapshot() (*State, error) {
+	back, err := n.back.Snapshot(encodeBackbonePayload)
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: snapshot: %w", err)
+	}
+	st := &State{
+		Now:      n.now,
+		Backbone: back,
+		Stats:    n.stats,
+	}
+	for i, r := range n.regs {
+		rs, err := r.eng.Snapshot()
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: snapshot region %d: %w", i, err)
+		}
+		st.Regions = append(st.Regions, rs)
+		var t RegionTables
+		for s, seen := range r.firstSeen {
+			t.FirstSeen = append(t.FirstSeen, SuspectSeen{Suspect: s, At: seen.At, Hop: seen.Hop})
+		}
+		sort.Slice(t.FirstSeen, func(a, b int) bool { return t.FirstSeen[a].Suspect < t.FirstSeen[b].Suspect })
+		for _, hm := range r.heads {
+			t.Heads = append(t.Heads, hm)
+		}
+		sort.Slice(t.Heads, func(a, b int) bool { return t.Heads[a].Region < t.Heads[b].Region })
+		st.Tables = append(st.Tables, t)
+	}
+	return st, nil
+}
+
+// Restore rebuilds a network from a snapshot. cfg must be the original
+// run's scenario. The restored network is bit-identical to the
+// snapshotted one: stepping both produces the same per-region event
+// logs, backbone schedule and digests.
+func Restore(cfg sim.Scenario, st *State) (*Network, error) {
+	n, scens, err := build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if len(st.Regions) != len(n.regs) {
+		return nil, fmt.Errorf("roadnet: restore: snapshot has %d regions but scenario builds %d",
+			len(st.Regions), len(n.regs))
+	}
+	if len(st.Tables) != len(n.regs) {
+		return nil, fmt.Errorf("roadnet: restore: snapshot has %d region tables but scenario builds %d",
+			len(st.Tables), len(n.regs))
+	}
+	for i, rs := range st.Regions {
+		eng, err := sim.Restore(scens[i], rs)
+		if err != nil {
+			return nil, fmt.Errorf("roadnet: restore region %d: %w", i, err)
+		}
+		n.regs[i].eng = eng
+		for _, s := range st.Tables[i].FirstSeen {
+			n.regs[i].firstSeen[s.Suspect] = Seen{At: s.At, Hop: s.Hop}
+		}
+		for _, hm := range st.Tables[i].Heads {
+			n.regs[i].heads[hm.Region] = hm
+		}
+	}
+	if err := n.back.RestoreState(st.Backbone, decodeBackbonePayload); err != nil {
+		return nil, fmt.Errorf("roadnet: restore backbone: %w", err)
+	}
+	n.now = st.Now
+	n.stats = st.Stats
+	return n, nil
+}
+
+// Encode serializes a network state as canonical JSON for the snap
+// checkpoint envelope.
+func (st *State) Encode() ([]byte, error) {
+	b, err := json.Marshal(st)
+	if err != nil {
+		return nil, fmt.Errorf("roadnet: encode state: %w", err)
+	}
+	return b, nil
+}
+
+// DecodeState is Encode's inverse.
+func DecodeState(b []byte) (*State, error) {
+	var st State
+	if err := json.Unmarshal(b, &st); err != nil {
+		return nil, fmt.Errorf("roadnet: decode state: %w", err)
+	}
+	return &st, nil
+}

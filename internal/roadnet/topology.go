@@ -1,0 +1,264 @@
+// Package roadnet composes single-intersection simulation engines into a
+// city-scale road network: a grid (or corridor) of intersections joined
+// by directed links. Each intersection is one region — its own engine,
+// traffic generator, VANET, intersection manager and plan chain —
+// stepping in lockstep with the others. Regions interact only at tick
+// boundaries, through two deterministic channels:
+//
+//   - Handoff: a vehicle crossing a linked exit leg is re-injected into
+//     the adjacent region after the link's travel time, keeping its
+//     identity, characteristics and legacy status.
+//   - The backbone: intersection managers exchange chain-head beacons
+//     and gossip cross-intersection attack reports over a dedicated
+//     vnet, so one region's confirmed suspect raises the neighborhood
+//     watch across the network.
+//
+// Regions advance in parallel on a worker pool; every cross-region
+// effect is applied sequentially in region-index order, so results are
+// bit-identical for any worker count.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"nwade/internal/intersection"
+	"nwade/internal/sim"
+)
+
+// legTolerance is how far (radians) a leg's outward heading may deviate
+// from the compass direction of a neighboring region and still carry
+// the connecting road. 50° admits the irregular five-leg layout's
+// slanted approaches while rejecting genuinely sideways legs.
+const legTolerance = 50 * math.Pi / 180
+
+// compassDirs are the headings toward the four possible neighbors of a
+// grid cell, indexed like neighborOffsets: east, north, west, south.
+// Row 0 is the northern edge; rows grow southward.
+var compassDirs = [4]float64{0, math.Pi / 2, math.Pi, 3 * math.Pi / 2}
+
+// neighborOffsets are the (row, col) deltas matching compassDirs.
+var neighborOffsets = [4][2]int{{0, 1}, {-1, 0}, {0, -1}, {1, 0}}
+
+// Link is a directed road from one region's exit leg to an adjacent
+// region's entry leg.
+type Link struct {
+	From, To       int // region indices
+	FromLeg, ToLeg int // leg index within each region's intersection
+}
+
+// Region is one intersection's place in the network.
+type Region struct {
+	Index    int
+	Row, Col int
+	Kind     intersection.Kind
+	Inter    *intersection.Intersection
+	// BoundaryLegs are the legs with no link: fresh traffic arrives and
+	// finished traffic leaves the network there. Sorted.
+	BoundaryLegs []int
+}
+
+// Topology is the static structure of a road network: the region grid
+// and the directed links joining adjacent intersections.
+type Topology struct {
+	Rows, Cols int
+	Regions    []*Region
+	Links      []Link
+	// out[i][leg] is the link leaving region i through that leg.
+	out []map[int]*Link
+	// in[i][leg] lists the entry routes of region i starting at that
+	// leg, in route-ID order (handoff destinations).
+	in []map[int][]*intersection.Route
+}
+
+// BuildTopology constructs the network described by a scenario's Network
+// and Intersection fields. The special layout name "mix" cycles through
+// every standard layout across the regions.
+func BuildTopology(cfg sim.Scenario) (*Topology, error) {
+	rows, cols, err := cfg.NetworkDims()
+	if err != nil {
+		return nil, err
+	}
+	kinds, err := regionKinds(cfg.Intersection, rows*cols)
+	if err != nil {
+		return nil, err
+	}
+	t := &Topology{Rows: rows, Cols: cols}
+	built := make(map[intersection.Kind]*intersection.Intersection)
+	for r := 0; r < rows; r++ {
+		for c := 0; c < cols; c++ {
+			i := r*cols + c
+			kind := kinds[i]
+			inter, ok := built[kind]
+			if !ok {
+				inter, err = intersection.Build(kind, intersection.Config{})
+				if err != nil {
+					return nil, fmt.Errorf("roadnet: region %d: %w", i, err)
+				}
+				built[kind] = inter
+			}
+			t.Regions = append(t.Regions, &Region{
+				Index: i, Row: r, Col: c, Kind: kind, Inter: inter,
+			})
+		}
+	}
+	t.out = make([]map[int]*Link, len(t.Regions))
+	t.in = make([]map[int][]*intersection.Route, len(t.Regions))
+	for i := range t.Regions {
+		t.out[i] = make(map[int]*Link)
+		t.in[i] = make(map[int][]*intersection.Route)
+	}
+	// Directed links: for each region and compass direction with a
+	// neighbor, connect the best-matching legs on both sides. Both
+	// directions of a road share the same leg pair, so links come in
+	// opposite-direction couples.
+	for _, reg := range t.Regions {
+		legs := matchLegs(reg.Inter)
+		for d, off := range neighborOffsets {
+			nr, nc := reg.Row+off[0], reg.Col+off[1]
+			if nr < 0 || nr >= rows || nc < 0 || nc >= cols {
+				continue
+			}
+			fromLeg := legs[d]
+			if fromLeg < 0 {
+				continue
+			}
+			j := nr*cols + nc
+			// The neighbor's facing leg points the opposite way.
+			toLeg := matchLegs(t.Regions[j].Inter)[(d+2)%4]
+			if toLeg < 0 {
+				continue
+			}
+			t.Links = append(t.Links, Link{From: reg.Index, To: j, FromLeg: fromLeg, ToLeg: toLeg})
+		}
+	}
+	// Index links only after the slice is final (appends reallocate).
+	for k := range t.Links {
+		lk := &t.Links[k]
+		t.out[lk.From][lk.FromLeg] = lk
+	}
+	// Boundary legs and entry-route tables.
+	for _, reg := range t.Regions {
+		linked := make(map[int]bool)
+		for _, lk := range t.Links {
+			if lk.From == reg.Index {
+				linked[lk.FromLeg] = true
+			}
+			if lk.To == reg.Index {
+				linked[lk.ToLeg] = true
+			}
+		}
+		reg.BoundaryLegs = make([]int, 0, len(reg.Inter.LegHeadings))
+		for leg := range reg.Inter.LegHeadings {
+			if !linked[leg] {
+				reg.BoundaryLegs = append(reg.BoundaryLegs, leg)
+			}
+		}
+		sort.Ints(reg.BoundaryLegs)
+		for _, rt := range reg.Inter.Routes {
+			t.in[reg.Index][rt.From.Leg] = append(t.in[reg.Index][rt.From.Leg], rt)
+		}
+		for leg := range t.in[reg.Index] {
+			routes := t.in[reg.Index][leg]
+			sort.Slice(routes, func(a, b int) bool { return routes[a].ID < routes[b].ID })
+		}
+	}
+	return t, nil
+}
+
+// regionKinds resolves the layout of each region: one named kind for
+// all, or the full cycle under "mix".
+func regionKinds(name string, n int) ([]intersection.Kind, error) {
+	if name == "" {
+		name = "cross4"
+	}
+	out := make([]intersection.Kind, n)
+	if name == "mix" {
+		all := intersection.Kinds()
+		for i := range out {
+			out[i] = all[i%len(all)]
+		}
+		return out, nil
+	}
+	kind, ok := intersection.KindByName(name)
+	if !ok {
+		return nil, fmt.Errorf("roadnet: unknown intersection layout %q (want one of %v or mix)",
+			name, intersection.KindNameList())
+	}
+	for i := range out {
+		out[i] = kind
+	}
+	return out, nil
+}
+
+// matchLegs assigns each compass direction the leg whose outward heading
+// is nearest (within legTolerance), -1 when no leg qualifies. Each leg
+// serves at most one direction; ties resolve to the better angular fit,
+// then to the lower direction index — all deterministic.
+func matchLegs(in *intersection.Intersection) [4]int {
+	var out [4]int
+	for d := range out {
+		out[d] = -1
+	}
+	type cand struct {
+		d, leg int
+		diff   float64
+	}
+	var cands []cand
+	for d, dir := range compassDirs {
+		for leg, h := range in.LegHeadings {
+			if diff := angDiff(h, dir); diff <= legTolerance {
+				cands = append(cands, cand{d: d, leg: leg, diff: diff})
+			}
+		}
+	}
+	sort.Slice(cands, func(a, b int) bool {
+		//lint:ignore floateq exact bit comparison is the sort tiebreak, not an approximate-equality test
+		if cands[a].diff != cands[b].diff {
+			return cands[a].diff < cands[b].diff
+		}
+		if cands[a].d != cands[b].d {
+			return cands[a].d < cands[b].d
+		}
+		return cands[a].leg < cands[b].leg
+	})
+	usedLeg := make(map[int]bool)
+	for _, c := range cands {
+		if out[c.d] >= 0 || usedLeg[c.leg] {
+			continue
+		}
+		out[c.d] = c.leg
+		usedLeg[c.leg] = true
+	}
+	return out
+}
+
+// angDiff is the absolute angular distance between two headings, wrapped
+// to [0, π].
+func angDiff(a, b float64) float64 {
+	d := math.Mod(a-b, 2*math.Pi)
+	if d < 0 {
+		d += 2 * math.Pi
+	}
+	if d > math.Pi {
+		d = 2*math.Pi - d
+	}
+	return d
+}
+
+// LinkFrom returns the link leaving region i through the given leg.
+func (t *Topology) LinkFrom(i, leg int) (*Link, bool) {
+	lk, ok := t.out[i][leg]
+	return lk, ok
+}
+
+// EntryRoutes lists region i's routes entering at the given leg, in
+// route-ID order.
+func (t *Topology) EntryRoutes(i, leg int) []*intersection.Route {
+	return t.in[i][leg]
+}
+
+// Diameter is the longest shortest-path hop count between two regions —
+// the gossip TTL needed for full report coverage.
+func (t *Topology) Diameter() int { return t.Rows + t.Cols - 2 }

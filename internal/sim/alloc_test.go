@@ -30,7 +30,7 @@ func TestSteadyStateAllocBudget(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{
+	cfg := Scenario{
 		Inter:       inter,
 		Duration:    time.Hour,
 		RatePerMin:  80,

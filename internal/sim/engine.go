@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -28,11 +29,32 @@ import (
 	"nwade/internal/vnet"
 )
 
-// Config parameterises a simulation run.
-type Config struct {
+// Scenario is the single specification of a simulation run: road layout
+// (one intersection or a whole network), traffic, attack setting, NWADE
+// toggles, network faults, and execution knobs. It is the one input of
+// sim.New and roadnet.New; the CLIs build it through internal/cliconf.
+type Scenario struct {
+	// Network selects a multi-intersection road network: "" (the
+	// default) is a single intersection, "grid:RxC" is an R-by-C grid,
+	// and "corridor:N" is an N-long arterial (a 1xN grid). Network runs
+	// are built by roadnet.New; sim.New rejects them.
+	Network string
+	// Intersection is the layout name (one of
+	// intersection.KindNameList, default "cross4") used when Inter is
+	// nil. Network scenarios additionally accept "mix", which cycles
+	// through all five layouts across the regions.
+	Intersection string
+	// Inter overrides Intersection with a prebuilt layout (tests and
+	// sweeps construct custom geometry directly). Single-intersection
+	// scenarios only.
 	Inter *intersection.Intersection
-	// Scheduler is the intersection-management algorithm (default:
-	// DASH-like reservation).
+	// Sched is the scheduler name ("", "reservation", "traffic-light",
+	// "platoon"; "" is the DASH-like reservation default) used when
+	// Scheduler is nil. Network runs build one scheduler per region from
+	// this name, so region state never aliases.
+	Sched string
+	// Scheduler overrides Sched with a prebuilt intersection-management
+	// algorithm instance (single-intersection scenarios only).
 	Scheduler sched.Scheduler
 	// Duration is the simulated time span (default 2 min).
 	Duration time.Duration
@@ -42,8 +64,12 @@ type Config struct {
 	RatePerMin float64
 	// Seed drives every stochastic choice of the run.
 	Seed int64
-	// Scenario is the attack setting (default benign).
-	Scenario attack.Scenario
+	// Attack is the attack setting (default benign).
+	Attack attack.Scenario
+	// AttackRegion is the region index the attack activates in (network
+	// scenarios only; region 0 is the top-left corner of a grid and the
+	// west end of a corridor).
+	AttackRegion int
 	// NWADE disables the security mechanism when false: plans are
 	// distributed unverified and nobody watches (the Fig. 8 baseline).
 	NWADE bool
@@ -79,6 +105,44 @@ type Config struct {
 	// by queue spill-back still materialise. Used by the allocation and
 	// steady-state benchmarks to close the system after a warm-up.
 	SpawnCutoff time.Duration
+
+	// ExchangeEvery is the cadence of the cross-intersection head-
+	// exchange beacons on the backbone (network scenarios; default 1s).
+	ExchangeEvery time.Duration
+	// LinkDelay is the travel time across a directed link between two
+	// adjacent regions (network scenarios; default 2s).
+	LinkDelay time.Duration
+	// ReportTTL bounds how many hops a cross-intersection attack report
+	// is gossiped (network scenarios; default: the network diameter).
+	ReportTTL int
+	// AdvisoryReports is how many distinct advisory global reports a
+	// region's gateway injects locally when a cross-intersection report
+	// arrives (network scenarios; default 1). Raising it to the vehicle
+	// cores' GlobalQuorum makes a propagated report trigger the same
+	// self-evacuation response as a locally confirmed one.
+	AdvisoryReports int
+
+	// Region carries the per-region wiring installed by internal/roadnet
+	// when this scenario is one region of a network. Standalone runs
+	// leave it zero.
+	Region RegionConfig
+}
+
+// RegionConfig is the per-region wiring of a network run: internal/roadnet
+// derives one Scenario per region and fills these fields; standalone
+// scenarios leave them zero.
+type RegionConfig struct {
+	// FirstID is the traffic generator's first vehicle ID, offset per
+	// region so IDs stay globally unique across the network (0 = 1).
+	FirstID uint64
+	// Legs restricts fresh arrivals to the named legs — the region's
+	// network-boundary legs; traffic on linked legs arrives by handoff.
+	// nil means every leg; empty (non-nil) disables fresh arrivals.
+	Legs []int
+	// CaptureExits diverts completed crossings into the engine's exit
+	// buffer (TakeExits) instead of letting them leave the world
+	// silently, so roadnet can hand them to the next region.
+	CaptureExits bool
 }
 
 // HeadRebroadcastDefault is the IM head re-broadcast period installed by
@@ -87,18 +151,29 @@ const HeadRebroadcastDefault = 2 * time.Second
 
 // Normalize fills defaults (exported for symmetry with vnet.Config and
 // eval.Config).
-func (c Config) Normalize() Config {
+func (c Scenario) Normalize() Scenario {
 	if c.Duration <= 0 {
 		c.Duration = 2 * time.Minute
+	}
+	if c.Inter == nil && c.Intersection == "" {
+		c.Intersection = "cross4"
+	}
+	if c.IsNetwork() {
+		if c.ExchangeEvery <= 0 {
+			c.ExchangeEvery = time.Second
+		}
+		if c.LinkDelay <= 0 {
+			c.LinkDelay = 2 * time.Second
+		}
+		if c.AdvisoryReports <= 0 {
+			c.AdvisoryReports = 1
+		}
 	}
 	if c.Step <= 0 {
 		c.Step = units.SimStep
 	}
 	if c.RatePerMin <= 0 {
 		c.RatePerMin = 80
-	}
-	if c.Scheduler == nil {
-		c.Scheduler = &sched.Reservation{}
 	}
 	if c.IMConfig.BatchWindow <= 0 {
 		hr := c.IMConfig.HeadRebroadcast
@@ -125,6 +200,71 @@ func (c Config) Normalize() Config {
 		c.Workers = 1
 	}
 	return c
+}
+
+// IsNetwork reports whether the scenario describes a multi-intersection
+// road network (built by roadnet.New) rather than a single intersection.
+func (c Scenario) IsNetwork() bool { return c.Network != "" }
+
+// NetworkDims parses the Network topology string into grid dimensions:
+// "grid:RxC" is R rows by C columns and "corridor:N" is 1 row by N
+// columns.
+func (c Scenario) NetworkDims() (rows, cols int, err error) {
+	switch {
+	case strings.HasPrefix(c.Network, "grid:"):
+		if _, err := fmt.Sscanf(c.Network, "grid:%dx%d", &rows, &cols); err != nil {
+			return 0, 0, fmt.Errorf("sim: bad network %q (want grid:RxC)", c.Network)
+		}
+	case strings.HasPrefix(c.Network, "corridor:"):
+		rows = 1
+		if _, err := fmt.Sscanf(c.Network, "corridor:%d", &cols); err != nil {
+			return 0, 0, fmt.Errorf("sim: bad network %q (want corridor:N)", c.Network)
+		}
+	default:
+		return 0, 0, fmt.Errorf("sim: unknown network topology %q", c.Network)
+	}
+	if rows < 1 || cols < 1 || rows*cols < 2 {
+		return 0, 0, fmt.Errorf("sim: network %q needs at least two regions", c.Network)
+	}
+	return rows, cols, nil
+}
+
+// BuildInter resolves the scenario's intersection: the prebuilt Inter
+// when set, otherwise the named layout.
+func (c Scenario) BuildInter() (*intersection.Intersection, error) {
+	if c.Inter != nil {
+		return c.Inter, nil
+	}
+	name := c.Intersection
+	if name == "" {
+		name = "cross4"
+	}
+	kind, ok := intersection.KindByName(name)
+	if !ok {
+		return nil, fmt.Errorf("sim: unknown intersection layout %q (want one of %v)",
+			name, intersection.KindNameList())
+	}
+	return intersection.Build(kind, intersection.Config{})
+}
+
+// BuildScheduler resolves the scenario's scheduler for the given
+// intersection: the prebuilt Scheduler instance when set, otherwise the
+// named algorithm with default parameters. Network runs call this once
+// per region so schedulers with intersection state never alias.
+func (c Scenario) BuildScheduler(inter *intersection.Intersection) (sched.Scheduler, error) {
+	if c.Scheduler != nil {
+		return c.Scheduler, nil
+	}
+	switch c.Sched {
+	case "", "reservation":
+		return &sched.Reservation{}, nil
+	case "traffic-light":
+		return &sched.TrafficLight{Inter: inter}, nil
+	case "platoon":
+		return &sched.Platoon{}, nil
+	default:
+		return nil, fmt.Errorf("sim: unknown scheduler %q", c.Sched)
+	}
 }
 
 // body is a vehicle's physical state, advanced by the engine.
@@ -170,6 +310,21 @@ type body struct {
 // road before it is towed away.
 const WreckClearance = 20 * time.Second
 
+// Exit is one vehicle that completed its route while Region.CaptureExits
+// was set: everything the next region needs to re-admit it with its
+// identity intact. Towed wrecks are not exits — they leave the road, not
+// the region.
+type Exit struct {
+	Vehicle plan.VehicleID
+	// ToLeg is the leg the vehicle left the intersection on; roadnet
+	// maps it to a directed link (or to the network boundary).
+	ToLeg  int
+	Speed  float64
+	Legacy bool
+	At     time.Duration
+	Char   plan.Characteristics
+}
+
 // pos returns the body's ground-truth position (cached per tick).
 func (b *body) pos() geom.Vec2 { return b.posCache }
 
@@ -191,7 +346,7 @@ func (b *body) status(now time.Duration) plan.Status {
 
 // Engine is one simulation run.
 type Engine struct {
-	cfg Config
+	cfg Scenario
 	rng *rand.Rand
 	// rngSrc is rng's counting source, so checkpoints can capture the
 	// engine's exact position in its random stream.
@@ -231,8 +386,12 @@ type Engine struct {
 	violations map[plan.VehicleID]time.Duration
 
 	// deferred holds arrivals whose spawn point is still occupied by a
-	// queued vehicle (queue spill-back past the spawn location).
+	// queued vehicle (queue spill-back past the spawn location), plus
+	// handoff arrivals still in transit on an inter-region link.
 	deferred []traffic.Arrival
+	// exits buffers completed crossings for roadnet handoff when
+	// Region.CaptureExits is set; TakeExits drains it.
+	exits []Exit
 	// spawnScratch is the spawn phase's double buffer: due arrivals are
 	// staged here each tick so the loop can rebuild deferred in place
 	// without aliasing the slice it is ranging over.
@@ -343,15 +502,20 @@ func WithObs(s *obs.Sink) Option {
 	return func(o *options) { o.obs = s }
 }
 
-// New builds an engine. A signer is generated unless WithSigner provides
-// one.
-func New(cfg Config, opts ...Option) (*Engine, error) {
+// New builds an engine from a single-intersection scenario. A signer is
+// generated unless WithSigner provides one. Network scenarios
+// (Scenario.IsNetwork) are built by roadnet.New, which composes one
+// engine per region.
+func New(cfg Scenario, opts ...Option) (*Engine, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
 	}
 	if o.faults != nil {
 		cfg.Net.Faults = *o.faults
+	}
+	if cfg.IsNetwork() {
+		return nil, fmt.Errorf("sim: scenario %q is a road network; build it with roadnet.New", cfg.Network)
 	}
 	signer := o.signer
 	if signer == nil {
@@ -362,9 +526,16 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 		}
 	}
 	cfg = cfg.Normalize()
-	if cfg.Inter == nil {
-		return nil, fmt.Errorf("sim: no intersection configured")
+	inter, err := cfg.BuildInter()
+	if err != nil {
+		return nil, err
 	}
+	cfg.Inter = inter
+	scheduler, err := cfg.BuildScheduler(inter)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scheduler = scheduler
 	e := &Engine{
 		cfg:          cfg,
 		signer:       signer,
@@ -386,11 +557,21 @@ func New(cfg Config, opts ...Option) (*Engine, error) {
 	e.rng, e.rngSrc = detrand.New(cfg.Seed)
 	e.net = vnet.New(cfg.Net, cfg.Seed+1, e.locate)
 	e.net.SetObs(e.obs)
-	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
-	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Scenario.IMMalice())
+	e.gen = traffic.NewGenerator(cfg.Inter, e.genConfig(), cfg.Seed+2)
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Attack.IMMalice())
 	e.im.SetObs(e.obs)
 	e.net.Register(vnet.IMNode)
 	return e, nil
+}
+
+// genConfig derives the traffic generator's configuration, including the
+// per-region wiring of network runs.
+func (e *Engine) genConfig() traffic.Config {
+	return traffic.Config{
+		RatePerMin: e.cfg.RatePerMin,
+		FirstID:    e.cfg.Region.FirstID,
+		Legs:       e.cfg.Region.Legs,
+	}
 }
 
 // sink returns the protocol event sink: the metrics collector, teed into
@@ -432,13 +613,6 @@ func (e *Engine) imSink() nwade.EventSink {
 		}
 		e.emit(ev)
 	}
-}
-
-// NewWithSigner builds an engine with a pre-generated signing key.
-//
-// Deprecated: use New(cfg, WithSigner(signer)) instead.
-func NewWithSigner(cfg Config, signer *chain.Signer) (*Engine, error) {
-	return New(cfg, WithSigner(signer))
 }
 
 // Collector exposes the run's metrics.
@@ -495,8 +669,14 @@ func (e *Engine) Run() metrics.RunResult {
 	for e.now < e.cfg.Duration {
 		e.step()
 	}
+	return e.Result()
+}
+
+// Result summarises the run so far. Run calls it at the configured
+// duration; roadnet calls it per region after driving Step itself.
+func (e *Engine) Result() metrics.RunResult {
 	return metrics.RunResult{
-		Scenario:    e.cfg.Scenario.Name,
+		Scenario:    e.cfg.Attack.Name,
 		Seed:        e.cfg.Seed,
 		Duration:    e.cfg.Duration,
 		Spawned:     e.col.Spawned,
@@ -506,6 +686,43 @@ func (e *Engine) Run() metrics.RunResult {
 		Net:         e.net.Stats(),
 		Collector:   e.col,
 	}
+}
+
+// TakeExits returns the crossings completed since the last call (only
+// populated under Region.CaptureExits) and resets the buffer. The
+// returned slice is valid until the engine's next Step.
+func (e *Engine) TakeExits() []Exit {
+	out := e.exits
+	e.exits = e.exits[:0]
+	return out
+}
+
+// InjectArrival schedules an externally built arrival — a vehicle handed
+// off from an adjacent region. Call it between Steps; the arrival
+// materialises at its At time through the regular spawn path (per-lane
+// FIFO and spill-back rules included).
+func (e *Engine) InjectArrival(a traffic.Arrival) {
+	e.deferred = append(e.deferred, a)
+}
+
+// BroadcastGlobal puts a global attack report on this region's VANET from
+// the roadside unit, between Steps. Roadnet gateways use it to replay
+// cross-intersection reports into the local neighborhood watch.
+func (e *Engine) BroadcastGlobal(r nwade.GlobalReport) {
+	o := nwade.GlobalBroadcast(r)
+	e.net.BroadcastMsg(e.now, vnet.IMNode, o.Kind, o.Payload, o.Size)
+}
+
+// PresentVehicles returns the IDs of vehicles currently on the road, in
+// spawn order (tests and the network conservation checks).
+func (e *Engine) PresentVehicles() []plan.VehicleID {
+	var out []plan.VehicleID
+	for _, b := range e.all {
+		if b.present(e.now) {
+			out = append(out, b.id)
+		}
+	}
+	return out
 }
 
 // Step advances the simulation by one tick; Run calls it in a loop, and
@@ -604,7 +821,16 @@ func (e *Engine) spawn(now time.Duration) {
 		b.core = nwade.NewVehicleCore(a.Vehicle, a.Char, a.Route, e.cfg.Inter, e.signer,
 			e.cfg.VehicleConfig, e.sinkFor(b), nil, now, a.Speed)
 		b.core.SetObs(e.obs)
-		if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
+		if a.Handoff {
+			// A handoff keeps its identity: the legacy flag crosses the
+			// link with the vehicle, and the fresh-arrival RNG stream is
+			// untouched, so regions digest identically with or without
+			// inbound links. A looping vehicle may re-enter a region it
+			// exited earlier; clear its gone flag so it can be scheduled
+			// again.
+			b.legacy = a.Legacy
+			e.im.Returning(a.Vehicle)
+		} else if e.cfg.LegacyFraction > 0 && e.rng.Float64() < e.cfg.LegacyFraction {
 			b.legacy = true
 		}
 		b.refreshPos()
@@ -644,7 +870,7 @@ func (e *Engine) spawnBlocked(a traffic.Arrival, now time.Duration) bool {
 // an anchor vehicle mid-approach plus its nearest active peers, so the
 // coalition is spatially clustered (threat category ii).
 func (e *Engine) activateAttack(now time.Duration) {
-	sc := e.cfg.Scenario
+	sc := e.cfg.Attack
 	if e.rolesAssigned || sc.Name == "" || sc.Name == "benign" || now < sc.AttackAt {
 		return
 	}
@@ -1082,6 +1308,12 @@ func (e *Engine) physics(now time.Duration) {
 			e.im.VehicleGone(b.id)
 			e.net.Unregister(b.node)
 			e.col.RecordExit(now)
+			if e.cfg.Region.CaptureExits {
+				e.exits = append(e.exits, Exit{
+					Vehicle: b.id, ToLeg: b.route.ToLeg, Speed: b.v,
+					Legacy: b.legacy, At: now, Char: b.core.Char(),
+				})
+			}
 		}
 	}
 }

@@ -30,7 +30,7 @@ func testSigner(t testing.TB) *chain.Signer {
 	return key
 }
 
-func testEngine(t testing.TB, cfg Config) *Engine {
+func testEngine(t testing.TB, cfg Scenario) *Engine {
 	t.Helper()
 	if cfg.Inter == nil {
 		in, err := intersection.Cross4(intersection.Config{}, 2)
@@ -40,7 +40,7 @@ func testEngine(t testing.TB, cfg Config) *Engine {
 		cfg.Inter = in
 	}
 	cfg.NWADE = true
-	e, err := NewWithSigner(cfg, testSigner(t))
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -48,11 +48,11 @@ func testEngine(t testing.TB, cfg Config) *Engine {
 }
 
 func TestBenignRunNoFalsePositives(t *testing.T) {
-	e := testEngine(t, Config{
+	e := testEngine(t, Scenario{
 		Duration:   90 * time.Second,
 		RatePerMin: 60,
 		Seed:       1,
-		Scenario:   attack.Benign(),
+		Attack:     attack.Benign(),
 	})
 	res := e.Run()
 	if res.Spawned < 40 {
@@ -81,8 +81,8 @@ func TestBenignRunNoFalsePositives(t *testing.T) {
 
 func TestDeterminismAcrossRuns(t *testing.T) {
 	run := func() (int, int, int) {
-		e := testEngine(t, Config{Duration: 45 * time.Second, RatePerMin: 60, Seed: 7,
-			Scenario: attack.Scenario{Name: "V2", MaliciousVehicles: 2, PlanViolations: 1, FalseReports: 1, AttackAt: 20 * time.Second}})
+		e := testEngine(t, Scenario{Duration: 45 * time.Second, RatePerMin: 60, Seed: 7,
+			Attack: attack.Scenario{Name: "V2", MaliciousVehicles: 2, PlanViolations: 1, FalseReports: 1, AttackAt: 20 * time.Second}})
 		res := e.Run()
 		return res.Spawned, res.Exited, res.Collector.Count(nwade.EvReportSent)
 	}
@@ -95,11 +95,11 @@ func TestDeterminismAcrossRuns(t *testing.T) {
 
 func TestSingleViolatorDetectedAndEvacuated(t *testing.T) {
 	sc, _ := attack.ByName("V1", 25*time.Second)
-	e := testEngine(t, Config{
+	e := testEngine(t, Scenario{
 		Duration:   70 * time.Second,
 		RatePerMin: 80,
 		Seed:       3,
-		Scenario:   sc,
+		Attack:     sc,
 	})
 	res := e.Run()
 	col := res.Collector
@@ -129,11 +129,11 @@ func TestSingleViolatorDetectedAndEvacuated(t *testing.T) {
 
 func TestMaliciousIMConflictingPlansDetectedInSim(t *testing.T) {
 	sc, _ := attack.ByName("IM", 0)
-	e := testEngine(t, Config{
+	e := testEngine(t, Scenario{
 		Duration:   40 * time.Second,
 		RatePerMin: 80,
 		Seed:       5,
-		Scenario:   sc,
+		Attack:     sc,
 	})
 	res := e.Run()
 	col := res.Collector
@@ -153,14 +153,14 @@ func TestNoNWADEBaselineStillFlows(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{
+	cfg := Scenario{
 		Inter:      in,
 		Duration:   90 * time.Second,
 		RatePerMin: 60,
 		Seed:       1,
 		NWADE:      false,
 	}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -184,8 +184,8 @@ func TestThroughputParityWithAndWithoutNWADE(t *testing.T) {
 		t.Fatal(err)
 	}
 	run := func(enabled bool) float64 {
-		cfg := Config{Inter: in, Duration: 2 * time.Minute, RatePerMin: 60, Seed: 11, NWADE: enabled}
-		e, err := NewWithSigner(cfg, testSigner(t))
+		cfg := Scenario{Inter: in, Duration: 2 * time.Minute, RatePerMin: 60, Seed: 11, NWADE: enabled}
+		e, err := New(cfg, WithSigner(testSigner(t)))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -205,7 +205,7 @@ func TestThroughputParityWithAndWithoutNWADE(t *testing.T) {
 
 func TestAttackRolesClustered(t *testing.T) {
 	sc, _ := attack.ByName("V5", 25*time.Second)
-	e := testEngine(t, Config{Duration: 30 * time.Second, RatePerMin: 100, Seed: 9, Scenario: sc})
+	e := testEngine(t, Scenario{Duration: 30 * time.Second, RatePerMin: 100, Seed: 9, Attack: sc})
 	e.Run()
 	roles := e.Roles()
 	if len(roles.All) == 0 {
@@ -230,7 +230,7 @@ func TestAttackRolesClustered(t *testing.T) {
 func TestViolationKinematics(t *testing.T) {
 	// A speeding violator must physically diverge from its plan.
 	sc, _ := attack.ByName("V1", 20*time.Second)
-	e := testEngine(t, Config{Duration: 35 * time.Second, RatePerMin: 60, Seed: 13, Scenario: sc})
+	e := testEngine(t, Scenario{Duration: 35 * time.Second, RatePerMin: 60, Seed: 13, Attack: sc})
 	e.Run()
 	roles := e.Roles()
 	if roles.Violator == 0 {
@@ -257,7 +257,7 @@ func TestViolationKinematics(t *testing.T) {
 }
 
 func TestVehicleGoneCleansUp(t *testing.T) {
-	e := testEngine(t, Config{Duration: 2 * time.Minute, RatePerMin: 40, Seed: 17, Scenario: attack.Benign()})
+	e := testEngine(t, Scenario{Duration: 2 * time.Minute, RatePerMin: 40, Seed: 17, Attack: attack.Benign()})
 	res := e.Run()
 	if res.Exited == 0 {
 		t.Fatal("nothing exited")
@@ -268,9 +268,19 @@ func TestVehicleGoneCleansUp(t *testing.T) {
 	}
 }
 
-func TestNoIntersectionError(t *testing.T) {
-	if _, err := NewWithSigner(Config{}, testSigner(t)); err == nil {
-		t.Fatal("engine without intersection accepted")
+func TestScenarioResolutionErrors(t *testing.T) {
+	// An empty scenario defaults to cross4 and must build.
+	if _, err := New(Scenario{}, WithSigner(testSigner(t))); err != nil {
+		t.Fatalf("empty scenario rejected: %v", err)
+	}
+	if _, err := New(Scenario{Intersection: "hexagon9"}, WithSigner(testSigner(t))); err == nil {
+		t.Fatal("unknown intersection layout accepted")
+	}
+	if _, err := New(Scenario{Sched: "bogus"}, WithSigner(testSigner(t))); err == nil {
+		t.Fatal("unknown scheduler name accepted")
+	}
+	if _, err := New(Scenario{Network: "grid:2x2"}, WithSigner(testSigner(t))); err == nil {
+		t.Fatal("network scenario accepted by single-intersection constructor")
 	}
 }
 
@@ -284,8 +294,8 @@ func TestCollisionsWithoutNWADEUnderAttack(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc, _ := attack.ByName("V1", 20*time.Second)
-	cfg := Config{Inter: in, Duration: 60 * time.Second, RatePerMin: 80, Seed: 23, Scenario: sc, NWADE: false}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	cfg := Scenario{Inter: in, Duration: 60 * time.Second, RatePerMin: 80, Seed: 23, Attack: sc, NWADE: false}
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,7 +8,7 @@ import (
 
 // faultRefConfig is the zero-fault reference run degraded with the
 // all-faults profile and the resilience layer on.
-func faultRefConfig(t *testing.T) Config {
+func faultRefConfig(t *testing.T) Scenario {
 	t.Helper()
 	cfg := zeroFaultRefConfig(t)
 	chaos, ok := vnet.FaultProfile("chaos")

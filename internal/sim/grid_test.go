@@ -21,12 +21,12 @@ func gridEngine(t *testing.T, legacy float64) *Engine {
 		t.Fatal(err)
 	}
 	sc, _ := attack.ByName("V1", 15*time.Second)
-	e, err := New(Config{
+	e, err := New(Scenario{
 		Inter:          inter,
 		Duration:       time.Hour, // stepped manually
 		RatePerMin:     120,
 		Seed:           11,
-		Scenario:       sc,
+		Attack:         sc,
 		NWADE:          true,
 		LegacyFraction: legacy,
 		KeyBits:        1024,

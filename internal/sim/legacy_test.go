@@ -14,11 +14,11 @@ func TestLegacyMixBasics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{
+	cfg := Scenario{
 		Inter: in, Duration: 2 * time.Minute, RatePerMin: 50,
-		Seed: 5, Scenario: attack.Benign(), NWADE: true, LegacyFraction: 0.3,
+		Seed: 5, Attack: attack.Benign(), NWADE: true, LegacyFraction: 0.3,
 	}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,11 +67,11 @@ func TestLegacyDoesNotBreakDetection(t *testing.T) {
 		t.Fatal(err)
 	}
 	sc, _ := attack.ByName("V1", 25*time.Second)
-	cfg := Config{
+	cfg := Scenario{
 		Inter: in, Duration: 70 * time.Second, RatePerMin: 60,
-		Seed: 9, Scenario: sc, NWADE: true, LegacyFraction: 0.2,
+		Seed: 9, Attack: sc, NWADE: true, LegacyFraction: 0.2,
 	}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -92,8 +92,8 @@ func TestLegacyZeroFractionUnchanged(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{Inter: in, Duration: 45 * time.Second, RatePerMin: 60, Seed: 1, NWADE: true}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	cfg := Scenario{Inter: in, Duration: 45 * time.Second, RatePerMin: 60, Seed: 1, NWADE: true}
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}

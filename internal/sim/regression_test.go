@@ -24,7 +24,7 @@ func runDigest(t *testing.T, res metrics.RunResult) string {
 // never touch.
 const zeroFaultGolden = "6d5b9e4e6fcb4da030067409d5e1de5df2bfaae641bd86a5818858c58e67aa6c"
 
-func zeroFaultRefConfig(t *testing.T) Config {
+func zeroFaultRefConfig(t *testing.T) Scenario {
 	t.Helper()
 	inter, err := intersection.Cross4(intersection.Config{}, 2)
 	if err != nil {
@@ -34,12 +34,12 @@ func zeroFaultRefConfig(t *testing.T) Config {
 	if !ok {
 		t.Fatal("unknown scenario V1")
 	}
-	return Config{
+	return Scenario{
 		Inter:      inter,
 		Duration:   40 * time.Second,
 		RatePerMin: 80,
 		Seed:       42,
-		Scenario:   sc,
+		Attack:     sc,
 		NWADE:      true,
 		KeyBits:    1024,
 	}

@@ -42,13 +42,17 @@ type BodyState struct {
 	StoppedAt    time.Duration
 }
 
-// ArrivalState is one deferred arrival, with the route by ID.
+// ArrivalState is one deferred arrival, with the route by ID. Handoff
+// and Legacy carry the road-network handoff marker across checkpoints,
+// so an in-transit vehicle restores with its identity rules intact.
 type ArrivalState struct {
 	At      time.Duration
 	Vehicle plan.VehicleID
 	RouteID int
 	Speed   float64
 	Char    plan.Characteristics
+	Handoff bool `json:",omitempty"`
+	Legacy  bool `json:",omitempty"`
 }
 
 // EngineState is the physical-world subsystem: clock, engine RNG, bodies
@@ -63,6 +67,10 @@ type EngineState struct {
 	RolesAssigned bool
 	AttackOnsets  map[plan.VehicleID]time.Duration
 	Violations    map[plan.VehicleID]time.Duration
+	// Exits are captured crossings not yet drained by TakeExits
+	// (network regions only; roadnet drains every tick, so this is
+	// normally empty at checkpoint boundaries).
+	Exits []Exit `json:",omitempty"`
 }
 
 // ProtocolState is the NWADE subsystem: the signing key, the manager
@@ -115,8 +123,10 @@ func (e *Engine) Snapshot() (*State, error) {
 	for _, a := range e.deferred {
 		st.Engine.Deferred = append(st.Engine.Deferred, ArrivalState{
 			At: a.At, Vehicle: a.Vehicle, RouteID: a.Route.ID, Speed: a.Speed, Char: a.Char,
+			Handoff: a.Handoff, Legacy: a.Legacy,
 		})
 	}
+	st.Engine.Exits = append(st.Engine.Exits, e.exits...)
 	for _, b := range e.all {
 		st.Engine.Bodies = append(st.Engine.Bodies, BodyState{
 			ID: b.id, RouteID: b.route.ID, S: b.s, V: b.v, Lat: b.lat,
@@ -136,7 +146,7 @@ func (e *Engine) Snapshot() (*State, error) {
 //
 // The restored engine is bit-identical to the snapshotted one: stepping
 // both produces the same event log, network schedule and digests.
-func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
+func Restore(cfg Scenario, st *State, opts ...Option) (*Engine, error) {
 	var o options
 	for _, fn := range opts {
 		fn(&o)
@@ -149,9 +159,16 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 		return nil, fmt.Errorf("sim: restore: %w", err)
 	}
 	cfg = cfg.Normalize()
-	if cfg.Inter == nil {
-		return nil, fmt.Errorf("sim: no intersection configured")
+	inter, err := cfg.BuildInter()
+	if err != nil {
+		return nil, err
 	}
+	cfg.Inter = inter
+	scheduler, err := cfg.BuildScheduler(inter)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Scheduler = scheduler
 	if len(st.Engine.Bodies) != len(st.Protocol.Vehicles) {
 		return nil, fmt.Errorf("sim: restore: %d bodies but %d vehicle cores",
 			len(st.Engine.Bodies), len(st.Protocol.Vehicles))
@@ -180,9 +197,9 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 	if err := e.net.RestoreState(st.Net, nwade.DecodePayload); err != nil {
 		return nil, fmt.Errorf("sim: restore: %w", err)
 	}
-	e.gen = traffic.NewGenerator(cfg.Inter, traffic.Config{RatePerMin: cfg.RatePerMin}, cfg.Seed+2)
+	e.gen = traffic.NewGenerator(cfg.Inter, e.genConfig(), cfg.Seed+2)
 	e.gen.RestoreState(st.Traffic)
-	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Scenario.IMMalice())
+	e.im = nwade.NewIMCore(cfg.IMConfig, cfg.Inter, signer, cfg.Scheduler, e.imSink(), cfg.Attack.IMMalice())
 	e.im.SetObs(e.obs)
 	if err := e.im.RestoreState(st.Protocol.IM); err != nil {
 		return nil, fmt.Errorf("sim: restore: %w", err)
@@ -203,8 +220,10 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 		}
 		e.deferred = append(e.deferred, traffic.Arrival{
 			At: a.At, Vehicle: a.Vehicle, Route: route, Speed: a.Speed, Char: a.Char,
+			Handoff: a.Handoff, Legacy: a.Legacy,
 		})
 	}
+	e.exits = append(e.exits, st.Engine.Exits...)
 	for i, bs := range st.Engine.Bodies {
 		cs := st.Protocol.Vehicles[i]
 		if cs.ID != bs.ID {
@@ -224,7 +243,7 @@ func Restore(cfg Config, st *State, opts ...Option) (*Engine, error) {
 			cfg.VehicleConfig, e.sinkFor(b), nil, cs.ArriveAt, cs.Speed0)
 		core.SetObs(e.obs)
 		if cs.Malice != nil {
-			m := cfg.Scenario.MaliceFor(bs.ID, e.roles)
+			m := cfg.Attack.MaliceFor(bs.ID, e.roles)
 			if m == nil {
 				return nil, fmt.Errorf("sim: restore body %v: snapshot has malice flags but scenario assigns none", bs.ID)
 			}

@@ -22,15 +22,15 @@ func TestSpawnDeferredLongQueue(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg := Config{
+	cfg := Scenario{
 		Inter:      in,
 		Duration:   25 * time.Second,
 		RatePerMin: 600, // ~10× lane capacity: queues spill back past the spawn points
 		Seed:       7,
-		Scenario:   attack.Benign(),
+		Attack:     attack.Benign(),
 		NWADE:      false,
 	}
-	e, err := NewWithSigner(cfg, testSigner(t))
+	e, err := New(cfg, WithSigner(testSigner(t)))
 	if err != nil {
 		t.Fatal(err)
 	}

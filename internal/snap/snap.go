@@ -1,11 +1,13 @@
 // Package snap is the versioned on-disk checkpoint format for a
 // simulation run. A checkpoint pairs a Spec — the run's configuration in
-// a rebuildable, named form — with a sim.State, the complete mutable
-// state at one tick boundary. The encoding is canonical JSON: struct
-// fields serialize in declaration order, map keys sort, and every
-// queue-like structure is serialized in a total order upstream (the sim
-// snapshot layer guarantees this), so the same state always encodes to
-// the same bytes and checkpoints can be compared by digest.
+// a rebuildable, named form — with the complete mutable state at one
+// tick boundary: a sim.State for a single-intersection run, or a
+// roadnet network state for a multi-intersection run. The encoding is
+// canonical JSON: struct fields serialize in declaration order, map keys
+// sort, and every queue-like structure is serialized in a total order
+// upstream (the sim snapshot layer guarantees this), so the same state
+// always encodes to the same bytes and checkpoints can be compared by
+// digest.
 //
 // The format carries a magic string and a version number. Decoding an
 // unknown version fails loudly rather than misinterpreting state.
@@ -18,12 +20,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"sort"
 	"time"
 
 	"nwade/internal/attack"
 	"nwade/internal/intersection"
-	"nwade/internal/sched"
 	"nwade/internal/sim"
 	"nwade/internal/vnet"
 )
@@ -32,47 +32,29 @@ import (
 const Magic = "NWADE-SNAP"
 
 // Version is the current encoding version. Bump it whenever the state
-// layout changes incompatibly.
-const Version = 1
-
-// kindNames maps the CLI layout names to intersection kinds. It must
-// stay in sync with cmd/nwade-sim's flag vocabulary.
-var kindNames = map[string]intersection.Kind{
-	"roundabout3": intersection.KindRoundabout3,
-	"cross4":      intersection.KindCross4,
-	"irregular5":  intersection.KindIrregular5,
-	"cfi4":        intersection.KindCFI4,
-	"ddi4":        intersection.KindDDI4,
-}
+// layout changes incompatibly. Version 2 renamed the attack field,
+// added the road-network spec knobs, and stores scenario layouts by
+// name only.
+const Version = 2
 
 // KindName returns the CLI name of an intersection kind ("" if the kind
 // has none).
-func KindName(k intersection.Kind) string {
-	for name, kind := range kindNames {
-		if kind == k {
-			return name
-		}
-	}
-	return ""
-}
+func KindName(k intersection.Kind) string { return intersection.KindName(k) }
 
 // KindNames lists the supported layout names, sorted.
-func KindNames() []string {
-	out := make([]string, 0, len(kindNames))
-	for name := range kindNames {
-		out = append(out, name)
-	}
-	sort.Strings(out)
-	return out
-}
+func KindNames() []string { return intersection.KindNameList() }
 
 // Spec is a run configuration in named, serializable form: everything
-// needed to rebuild the sim.Config a checkpoint was taken under.
+// needed to rebuild the sim.Scenario a checkpoint was taken under.
 // Intersections and schedulers are stored by name and rebuilt with their
 // standard constructors, so a Spec only round-trips configurations
 // expressible through the CLI (which is all the replay tools need).
 type Spec struct {
-	// Intersection is the layout name: one of KindNames().
+	// Network is the road-network topology ("" for a single
+	// intersection; "grid:RxC" or "corridor:N" otherwise).
+	Network string `json:",omitempty"`
+	// Intersection is the layout name: one of KindNames(), or "mix" in
+	// network specs (roadnet cycles through the layouts).
 	Intersection string
 	// Scheduler is the scheduler name ("" means the default
 	// reservation scheduler).
@@ -82,104 +64,111 @@ type Spec struct {
 	Step           time.Duration
 	RatePerMin     float64
 	Seed           int64
-	Scenario       attack.Scenario
+	Attack         attack.Scenario
+	AttackRegion   int `json:",omitempty"`
 	NWADE          bool
 	LegacyFraction float64
 	Resilience     bool
 	KeyBits        int
 	Net            vnet.Config
+
+	// Road-network exchange knobs (zero for single-intersection runs;
+	// sim.Scenario.Normalize fills network defaults).
+	ExchangeEvery   time.Duration `json:",omitempty"`
+	LinkDelay       time.Duration `json:",omitempty"`
+	ReportTTL       int           `json:",omitempty"`
+	AdvisoryReports int           `json:",omitempty"`
 }
 
-// SpecFromConfig captures a sim.Config as a Spec. It fails when the
+// SpecFromScenario captures a sim.Scenario as a Spec. It fails when the
 // configuration is not expressible by name: a hand-built intersection or
 // a customized scheduler.
-func SpecFromConfig(cfg sim.Config) (Spec, error) {
+func SpecFromScenario(cfg sim.Scenario) (Spec, error) {
 	cfg = cfg.Normalize()
-	if cfg.Inter == nil {
-		return Spec{}, fmt.Errorf("snap: config has no intersection")
+	interName := cfg.Intersection
+	if cfg.Inter != nil {
+		interName = intersection.KindName(cfg.Inter.Kind)
+		if interName == "" {
+			return Spec{}, fmt.Errorf("snap: intersection kind %v has no CLI name; checkpoint specs only cover the standard layouts", cfg.Inter.Kind)
+		}
 	}
-	kindName := KindName(cfg.Inter.Kind)
-	if kindName == "" {
-		return Spec{}, fmt.Errorf("snap: intersection kind %v has no CLI name; checkpoint specs only cover the standard layouts", cfg.Inter.Kind)
-	}
-	schedName := ""
+	schedName := cfg.Sched
 	if cfg.Scheduler != nil {
 		schedName = cfg.Scheduler.Name()
 	}
-	if _, err := schedulerByName(schedName, cfg.Inter); err != nil {
-		return Spec{}, err
+	if _, err := (sim.Scenario{Sched: schedName}).BuildScheduler(nil); err != nil {
+		return Spec{}, fmt.Errorf("snap: %w", err)
 	}
 	return Spec{
-		Intersection:   kindName,
-		Scheduler:      schedName,
-		Duration:       cfg.Duration,
-		Step:           cfg.Step,
-		RatePerMin:     cfg.RatePerMin,
-		Seed:           cfg.Seed,
-		Scenario:       cfg.Scenario,
-		NWADE:          cfg.NWADE,
-		LegacyFraction: cfg.LegacyFraction,
-		Resilience:     cfg.Resilience,
-		KeyBits:        cfg.KeyBits,
-		Net:            cfg.Net,
+		Network:         cfg.Network,
+		Intersection:    interName,
+		Scheduler:       schedName,
+		Duration:        cfg.Duration,
+		Step:            cfg.Step,
+		RatePerMin:      cfg.RatePerMin,
+		Seed:            cfg.Seed,
+		Attack:          cfg.Attack,
+		AttackRegion:    cfg.AttackRegion,
+		NWADE:           cfg.NWADE,
+		LegacyFraction:  cfg.LegacyFraction,
+		Resilience:      cfg.Resilience,
+		KeyBits:         cfg.KeyBits,
+		Net:             cfg.Net,
+		ExchangeEvery:   cfg.ExchangeEvery,
+		LinkDelay:       cfg.LinkDelay,
+		ReportTTL:       cfg.ReportTTL,
+		AdvisoryReports: cfg.AdvisoryReports,
 	}, nil
 }
 
-// schedulerByName builds a scheduler with default parameters.
-func schedulerByName(name string, inter *intersection.Intersection) (sched.Scheduler, error) {
-	switch name {
-	case "", "reservation":
-		return &sched.Reservation{}, nil
-	case "traffic-light":
-		return &sched.TrafficLight{Inter: inter}, nil
-	case "platoon":
-		return &sched.Platoon{}, nil
-	default:
-		return nil, fmt.Errorf("snap: unknown scheduler %q", name)
+// Scenario rebuilds the sim.Scenario a Spec describes. The intersection
+// and scheduler come back by name; sim.New (or roadnet.New for network
+// specs) instantiates them.
+func (s Spec) Scenario() (sim.Scenario, error) {
+	cfg := sim.Scenario{
+		Network:         s.Network,
+		Intersection:    s.Intersection,
+		Sched:           s.Scheduler,
+		Duration:        s.Duration,
+		Step:            s.Step,
+		RatePerMin:      s.RatePerMin,
+		Seed:            s.Seed,
+		Attack:          s.Attack,
+		AttackRegion:    s.AttackRegion,
+		NWADE:           s.NWADE,
+		LegacyFraction:  s.LegacyFraction,
+		Resilience:      s.Resilience,
+		KeyBits:         s.KeyBits,
+		Net:             s.Net,
+		ExchangeEvery:   s.ExchangeEvery,
+		LinkDelay:       s.LinkDelay,
+		ReportTTL:       s.ReportTTL,
+		AdvisoryReports: s.AdvisoryReports,
 	}
-}
-
-// BuildConfig rebuilds the sim.Config a Spec describes.
-func (s Spec) BuildConfig() (sim.Config, error) {
-	kind, ok := kindNames[s.Intersection]
-	if !ok {
-		return sim.Config{}, fmt.Errorf("snap: unknown intersection %q", s.Intersection)
+	if !cfg.IsNetwork() && s.Intersection != "" {
+		if _, err := cfg.BuildInter(); err != nil {
+			return sim.Scenario{}, fmt.Errorf("snap: %w", err)
+		}
 	}
-	inter, err := intersection.Build(kind, intersection.Config{})
-	if err != nil {
-		return sim.Config{}, fmt.Errorf("snap: rebuild intersection: %w", err)
-	}
-	scheduler, err := schedulerByName(s.Scheduler, inter)
-	if err != nil {
-		return sim.Config{}, err
-	}
-	cfg := sim.Config{
-		Inter:          inter,
-		Scheduler:      scheduler,
-		Duration:       s.Duration,
-		Step:           s.Step,
-		RatePerMin:     s.RatePerMin,
-		Seed:           s.Seed,
-		Scenario:       s.Scenario,
-		NWADE:          s.NWADE,
-		LegacyFraction: s.LegacyFraction,
-		Resilience:     s.Resilience,
-		KeyBits:        s.KeyBits,
-		Net:            s.Net,
+	if _, err := (sim.Scenario{Sched: s.Scheduler}).BuildScheduler(nil); err != nil {
+		return sim.Scenario{}, fmt.Errorf("snap: %w", err)
 	}
 	return cfg.Normalize(), nil
 }
 
-// envelope is the on-disk layout.
+// envelope is the on-disk layout. Exactly one of State (single
+// intersection) and Net (road network, serialized by roadnet) is set.
 type envelope struct {
 	Magic   string
 	Version int
 	Spec    Spec
-	State   *sim.State
+	State   *sim.State      `json:",omitempty"`
+	Net     json.RawMessage `json:",omitempty"`
 }
 
-// Encode writes a versioned checkpoint. The output is canonical: the
-// same (spec, state) pair always encodes to the same bytes.
+// Encode writes a versioned single-intersection checkpoint. The output
+// is canonical: the same (spec, state) pair always encodes to the same
+// bytes.
 func Encode(w io.Writer, spec Spec, st *sim.State) error {
 	if st == nil {
 		return fmt.Errorf("snap: encode: nil state")
@@ -191,31 +180,99 @@ func Encode(w io.Writer, spec Spec, st *sim.State) error {
 	return nil
 }
 
-// Decode reads a checkpoint, rejecting wrong magic or version.
-func Decode(r io.Reader) (Spec, *sim.State, error) {
+// EncodeNet writes a versioned road-network checkpoint. The network
+// state is pre-serialized by the roadnet package (snap stays below
+// roadnet in the dependency order) and must be canonical JSON.
+func EncodeNet(w io.Writer, spec Spec, netState []byte) error {
+	if len(netState) == 0 {
+		return fmt.Errorf("snap: encode: empty network state")
+	}
+	enc := json.NewEncoder(w)
+	if err := enc.Encode(envelope{Magic: Magic, Version: Version, Spec: spec, Net: netState}); err != nil {
+		return fmt.Errorf("snap: encode: %w", err)
+	}
+	return nil
+}
+
+// decodeEnvelope reads and validates the common header.
+func decodeEnvelope(r io.Reader) (envelope, error) {
 	var env envelope
 	if err := json.NewDecoder(r).Decode(&env); err != nil {
-		return Spec{}, nil, fmt.Errorf("snap: decode: %w", err)
+		return env, fmt.Errorf("snap: decode: %w", err)
 	}
 	if env.Magic != Magic {
-		return Spec{}, nil, fmt.Errorf("snap: decode: bad magic %q (want %q)", env.Magic, Magic)
+		return env, fmt.Errorf("snap: decode: bad magic %q (want %q)", env.Magic, Magic)
 	}
 	if env.Version != Version {
-		return Spec{}, nil, fmt.Errorf("snap: decode: unsupported version %d (have %d)", env.Version, Version)
+		return env, fmt.Errorf("snap: decode: unsupported version %d (have %d)", env.Version, Version)
+	}
+	return env, nil
+}
+
+// Decode reads a single-intersection checkpoint, rejecting wrong magic,
+// wrong version, or a network checkpoint.
+func Decode(r io.Reader) (Spec, *sim.State, error) {
+	env, err := decodeEnvelope(r)
+	if err != nil {
+		return Spec{}, nil, err
 	}
 	if env.State == nil {
+		if len(env.Net) > 0 {
+			return Spec{}, nil, fmt.Errorf("snap: decode: checkpoint holds a road network (%s); use DecodeNet", env.Spec.Network)
+		}
 		return Spec{}, nil, fmt.Errorf("snap: decode: checkpoint has no state")
 	}
 	return env.Spec, env.State, nil
 }
 
-// WriteFile encodes a checkpoint to path.
+// DecodeNet reads a road-network checkpoint and returns the raw network
+// state for roadnet to deserialize. Single-intersection checkpoints are
+// rejected.
+func DecodeNet(r io.Reader) (Spec, []byte, error) {
+	env, err := decodeEnvelope(r)
+	if err != nil {
+		return Spec{}, nil, err
+	}
+	if len(env.Net) == 0 {
+		if env.State != nil {
+			return Spec{}, nil, fmt.Errorf("snap: decode: checkpoint holds a single intersection; use Decode")
+		}
+		return Spec{}, nil, fmt.Errorf("snap: decode: checkpoint has no state")
+	}
+	return env.Spec, env.Net, nil
+}
+
+// IsNetFile reports whether the checkpoint at path holds a road-network
+// state, without fully deserializing it.
+func IsNetFile(path string) (bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("snap: %w", err)
+	}
+	defer f.Close()
+	env, err := decodeEnvelope(f)
+	if err != nil {
+		return false, err
+	}
+	return len(env.Net) > 0, nil
+}
+
+// WriteFile encodes a single-intersection checkpoint to path.
 func WriteFile(path string, spec Spec, st *sim.State) error {
+	return writeFile(path, func(f io.Writer) error { return Encode(f, spec, st) })
+}
+
+// WriteNetFile encodes a road-network checkpoint to path.
+func WriteNetFile(path string, spec Spec, netState []byte) error {
+	return writeFile(path, func(f io.Writer) error { return EncodeNet(f, spec, netState) })
+}
+
+func writeFile(path string, encode func(io.Writer) error) error {
 	f, err := os.Create(path)
 	if err != nil {
 		return fmt.Errorf("snap: %w", err)
 	}
-	if err := Encode(f, spec, st); err != nil {
+	if err := encode(f); err != nil {
 		f.Close()
 		return err
 	}
@@ -225,7 +282,7 @@ func WriteFile(path string, spec Spec, st *sim.State) error {
 	return nil
 }
 
-// ReadFile decodes a checkpoint from path.
+// ReadFile decodes a single-intersection checkpoint from path.
 func ReadFile(path string) (Spec, *sim.State, error) {
 	f, err := os.Open(path)
 	if err != nil {
@@ -233,6 +290,16 @@ func ReadFile(path string) (Spec, *sim.State, error) {
 	}
 	defer f.Close()
 	return Decode(f)
+}
+
+// ReadNetFile decodes a road-network checkpoint from path.
+func ReadNetFile(path string) (Spec, []byte, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return Spec{}, nil, fmt.Errorf("snap: %w", err)
+	}
+	defer f.Close()
+	return DecodeNet(f)
 }
 
 // Subsystems are the digest keys reported by Digests, in report order.

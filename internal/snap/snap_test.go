@@ -31,7 +31,7 @@ func testSigner(t *testing.T) *chain.Signer {
 	return key
 }
 
-func refConfig(t *testing.T) sim.Config {
+func refConfig(t *testing.T) sim.Scenario {
 	t.Helper()
 	inter, err := intersection.Build(intersection.KindCross4, intersection.Config{})
 	if err != nil {
@@ -41,12 +41,12 @@ func refConfig(t *testing.T) sim.Config {
 	if !ok {
 		t.Fatal("scenario V1 missing")
 	}
-	return sim.Config{
+	return sim.Scenario{
 		Inter:      inter,
 		Duration:   20 * time.Second,
 		RatePerMin: 80,
 		Seed:       42,
-		Scenario:   sc,
+		Attack:     sc,
 		NWADE:      true,
 		KeyBits:    1024,
 	}
@@ -74,7 +74,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := SpecFromConfig(cfg)
+	spec, err := SpecFromScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +87,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	cfg2, err := spec2.BuildConfig()
+	cfg2, err := spec2.Scenario()
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -115,7 +115,7 @@ func TestEncodeIsCanonical(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	spec, err := SpecFromConfig(cfg)
+	spec, err := SpecFromScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -170,7 +170,8 @@ func TestDecodeRejectsBadEnvelope(t *testing.T) {
 		{"garbage", "not json", "decode"},
 		{"magic", `{"Magic":"OTHER","Version":1}`, "bad magic"},
 		{"version", `{"Magic":"NWADE-SNAP","Version":99}`, "unsupported version"},
-		{"nostate", `{"Magic":"NWADE-SNAP","Version":1}`, "no state"},
+		{"oldversion", `{"Magic":"NWADE-SNAP","Version":1}`, "unsupported version"},
+		{"nostate", `{"Magic":"NWADE-SNAP","Version":2}`, "no state"},
 	} {
 		_, _, err := Decode(strings.NewReader(tc.in))
 		if err == nil || !strings.Contains(err.Error(), tc.want) {
@@ -179,37 +180,46 @@ func TestDecodeRejectsBadEnvelope(t *testing.T) {
 	}
 }
 
-// TestSpecRoundTrip checks Spec <-> sim.Config fidelity for named
+// TestSpecRoundTrip checks Spec <-> sim.Scenario fidelity for named
 // layouts and schedulers, and rejection of unnameable configs.
 func TestSpecRoundTrip(t *testing.T) {
 	cfg := refConfig(t)
 	cfg.Resilience = true
-	spec, err := SpecFromConfig(cfg)
+	spec, err := SpecFromScenario(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if spec.Intersection != "cross4" {
 		t.Errorf("intersection name %q, want cross4", spec.Intersection)
 	}
-	got, err := spec.BuildConfig()
+	got, err := spec.Scenario()
 	if err != nil {
 		t.Fatal(err)
 	}
-	if got.Inter.Kind != cfg.Inter.Kind || got.Duration != cfg.Duration.Round(0) ||
-		got.Seed != cfg.Seed || got.Scenario != cfg.Scenario || !got.Resilience {
+	if got.Intersection != "cross4" || got.Duration != cfg.Duration.Round(0) ||
+		got.Seed != cfg.Seed || got.Attack != cfg.Attack || !got.Resilience {
 		t.Errorf("rebuilt config differs: %+v", got)
 	}
-	if got.Scheduler == nil || got.Scheduler.Name() != "reservation" {
-		t.Errorf("rebuilt scheduler %v, want reservation", got.Scheduler)
+	// The rebuilt scenario carries names, not instances; sim.New
+	// instantiates them.
+	inter, err := got.BuildInter()
+	if err != nil || inter.Kind != cfg.Inter.Kind {
+		t.Errorf("rebuilt intersection %v (%v), want kind %v", inter, err, cfg.Inter.Kind)
+	}
+	schedr, err := got.BuildScheduler(inter)
+	if err != nil || schedr.Name() != "reservation" {
+		t.Errorf("rebuilt scheduler %v (%v), want reservation", schedr, err)
 	}
 
-	if _, err := SpecFromConfig(sim.Config{}); err == nil {
-		t.Error("SpecFromConfig accepted a config without an intersection")
+	// An empty scenario names the default layout after normalization.
+	emptySpec, err := SpecFromScenario(sim.Scenario{})
+	if err != nil || emptySpec.Intersection != "cross4" {
+		t.Errorf("SpecFromScenario(zero) = %+v (%v), want cross4 default", emptySpec, err)
 	}
-	if _, err := (Spec{Intersection: "nope"}).BuildConfig(); err == nil {
+	if _, err := (Spec{Intersection: "nope"}).Scenario(); err == nil {
 		t.Error("BuildConfig accepted an unknown layout name")
 	}
-	if _, err := (Spec{Intersection: "cross4", Scheduler: "nope"}).BuildConfig(); err == nil {
+	if _, err := (Spec{Intersection: "cross4", Scheduler: "nope"}).Scenario(); err == nil {
 		t.Error("BuildConfig accepted an unknown scheduler name")
 	}
 
@@ -218,7 +228,8 @@ func TestSpecRoundTrip(t *testing.T) {
 		t.Errorf("KindNames() = %v, want 5 layouts", names)
 	}
 	for _, name := range names {
-		if KindName(kindNames[name]) != name {
+		kind, ok := intersection.KindByName(name)
+		if !ok || KindName(kind) != name {
 			t.Errorf("KindName round-trip failed for %q", name)
 		}
 	}

@@ -23,6 +23,12 @@ type Arrival struct {
 	Route   *intersection.Route
 	Speed   float64 // entry speed in m/s
 	Char    plan.Characteristics
+	// Handoff marks a vehicle entering from an adjacent region of a road
+	// network rather than from the arrival process: it keeps its identity
+	// and its Legacy status instead of re-rolling them.
+	Handoff bool
+	// Legacy carries the human-driven flag across a handoff.
+	Legacy bool
 }
 
 // Config parameterises the generator.
@@ -39,6 +45,13 @@ type Config struct {
 	// MinSpawnGap is the minimum time between two arrivals on the same
 	// lane, so vehicles never materialise inside each other.
 	MinSpawnGap time.Duration
+	// FirstID is the first vehicle ID handed out (0 = 1). Road networks
+	// offset it per region so IDs stay globally unique.
+	FirstID uint64
+	// Legs restricts arrivals to the named legs. nil means every leg —
+	// the exact classic draw — and an empty (non-nil) slice disables the
+	// generator entirely (an interior region fed only by handoffs).
+	Legs []int
 }
 
 // Normalize fills defaults.
@@ -74,6 +87,9 @@ type Generator struct {
 	nextID    uint64
 	laneBusy  map[intersection.LaneRef]time.Duration
 	exhausted bool
+	// legs are the entry legs arrivals may use (resolved from
+	// Config.Legs; the full leg set when unrestricted).
+	legs []int
 }
 
 // Vehicle characteristic pools; purely cosmetic but exercised by incident
@@ -92,6 +108,16 @@ func NewGenerator(inter *intersection.Intersection, cfg Config, seed int64) *Gen
 		laneBusy: make(map[intersection.LaneRef]time.Duration),
 		nextID:   1,
 	}
+	if cfg.FirstID > 0 {
+		g.nextID = cfg.FirstID
+	}
+	g.legs = cfg.Legs
+	if g.legs == nil {
+		g.legs = make([]int, len(inter.LegHeadings))
+		for i := range g.legs {
+			g.legs[i] = i
+		}
+	}
 	g.rng, g.rngSrc = detrand.New(seed)
 	g.advance(0)
 	return g
@@ -109,6 +135,12 @@ func (g *Generator) advance(t time.Duration) {
 
 // Until returns all arrivals with At <= t, in time order.
 func (g *Generator) Until(t time.Duration) []Arrival {
+	if len(g.legs) == 0 {
+		// Arrivals disabled (an interior network region): consume no
+		// randomness at all, so the region's streams stay independent of
+		// how long it idles.
+		return nil
+	}
 	var out []Arrival
 	for g.nextAt <= t {
 		at := g.nextAt
@@ -123,7 +155,9 @@ func (g *Generator) Until(t time.Duration) []Arrival {
 
 // draw realises one arrival at time t.
 func (g *Generator) draw(at time.Duration) (Arrival, bool) {
-	leg := g.rng.Intn(len(g.inter.LegHeadings))
+	// With the full leg set this is the classic draw bit for bit: the
+	// index range equals len(LegHeadings) and the mapping is identity.
+	leg := g.legs[g.rng.Intn(len(g.legs))]
 	m, ok := g.pickMovement(leg)
 	if !ok {
 		return Arrival{}, false
