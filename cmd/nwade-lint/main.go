@@ -9,13 +9,27 @@
 //
 //	go run ./cmd/nwade-lint ./...
 //	go run ./cmd/nwade-lint ./internal/nwade ./internal/eval/...
+//	go run ./cmd/nwade-lint -json ./... > findings.json
+//	go run ./cmd/nwade-lint -github -baseline lint.baseline.json ./...
+//
+// Output modes: the default is the human "file:line: [analyzer] message"
+// form; -json emits a machine-readable findings array; -github emits
+// GitHub Actions workflow commands so CI findings surface as inline
+// error annotations on the pull request.
+//
+// A baseline file (-baseline) holds accepted findings as the same JSON
+// array -json writes: findings matching a baseline entry by (file,
+// analyzer, message) are suppressed, so a rule can land before the last
+// offender is fixed without making the gate advisory. The repository's
+// checked-in baseline (lint.baseline.json) is empty and must stay so.
 //
 // Suppression: //lint:ignore <analyzer> <reason> on the offending line
-// or the line directly above it. The reason is mandatory. DESIGN.md §9
-// documents every rule.
+// or the line directly above it (comma-separate several analyzers). The
+// reason is mandatory. DESIGN.md §9 and §14 document every rule.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -38,19 +52,34 @@ func main() {
 	}
 }
 
+// finding is the machine-readable diagnostic form shared by -json
+// output and the baseline file.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
 // run lints the requested patterns and returns the surviving finding
 // count (the caller maps >0 to exit code 1, errors to 2).
 func run(args []string, out io.Writer) (int, error) {
 	fs := flag.NewFlagSet("nwade-lint", flag.ContinueOnError)
 	fs.SetOutput(out)
 	list := fs.Bool("list", false, "list the analyzers and exit")
+	asJSON := fs.Bool("json", false, "emit findings as a JSON array")
+	github := fs.Bool("github", false, "emit findings as GitHub Actions error annotations")
+	baselinePath := fs.String("baseline", "", "JSON baseline file of accepted findings to suppress")
 	fs.Usage = func() {
-		fmt.Fprintf(out, "usage: nwade-lint [packages]\n\n"+
+		fmt.Fprintf(out, "usage: nwade-lint [flags] [packages]\n\n"+
 			"Patterns: ./... (module tree), dir, dir/... — relative to the module root.\n\n")
 		fs.PrintDefaults()
 	}
 	if err := fs.Parse(args); err != nil {
 		return 0, err
+	}
+	if *asJSON && *github {
+		return 0, fmt.Errorf("-json and -github are mutually exclusive")
 	}
 
 	analyzers := analysis.Default()
@@ -66,6 +95,10 @@ func run(args []string, out io.Writer) (int, error) {
 		return 0, err
 	}
 	loader, err := analysis.NewLoader(root)
+	if err != nil {
+		return 0, err
+	}
+	baseline, err := loadBaseline(*baselinePath)
 	if err != nil {
 		return 0, err
 	}
@@ -93,14 +126,79 @@ func run(args []string, out io.Writer) (int, error) {
 	if err != nil {
 		return 0, err
 	}
+	var findings []finding
 	for _, d := range diags {
-		rel := d
-		if r, err := filepath.Rel(root, d.Pos.Filename); err == nil && !strings.HasPrefix(r, "..") {
-			rel.Pos.Filename = r
+		file := d.Pos.Filename
+		if r, err := filepath.Rel(root, file); err == nil && !strings.HasPrefix(r, "..") {
+			file = filepath.ToSlash(r)
 		}
-		fmt.Fprintln(out, rel)
+		f := finding{File: file, Line: d.Pos.Line, Analyzer: d.Analyzer, Message: d.Message}
+		if baseline[baselineKey(f)] {
+			continue
+		}
+		findings = append(findings, f)
 	}
-	return len(diags), nil
+
+	switch {
+	case *asJSON:
+		enc := json.NewEncoder(out)
+		enc.SetIndent("", "  ")
+		if findings == nil {
+			findings = []finding{} // encode as [], never null
+		}
+		if err := enc.Encode(findings); err != nil {
+			return 0, err
+		}
+	case *github:
+		for _, f := range findings {
+			// GitHub Actions workflow command: renders as an inline error
+			// annotation on the offending line of the PR diff.
+			fmt.Fprintf(out, "::error file=%s,line=%d,title=nwade-lint %s::%s\n",
+				f.File, f.Line, f.Analyzer, escapeAnnotation(f.Message))
+		}
+	default:
+		for _, f := range findings {
+			fmt.Fprintf(out, "%s:%d: [%s] %s\n", f.File, f.Line, f.Analyzer, f.Message)
+		}
+	}
+	return len(findings), nil
+}
+
+// baselineKey identifies a finding for baseline matching. Line numbers
+// are deliberately excluded: unrelated edits shift them, and a stale
+// baseline that silently stops matching would re-fail the build.
+func baselineKey(f finding) string {
+	return f.File + "\x00" + f.Analyzer + "\x00" + f.Message
+}
+
+// loadBaseline reads a -json findings array to suppress ("" means no
+// baseline; an empty array is valid and suppresses nothing).
+func loadBaseline(path string) (map[string]bool, error) {
+	if path == "" {
+		return nil, nil
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("baseline: %w", err)
+	}
+	var entries []finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	set := make(map[string]bool, len(entries))
+	for _, f := range entries {
+		set[baselineKey(f)] = true
+	}
+	return set, nil
+}
+
+// escapeAnnotation encodes a message for the workflow-command data
+// section (its own mini escaping scheme, per the Actions docs).
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // expand resolves one package pattern to directories.

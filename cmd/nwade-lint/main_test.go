@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -16,9 +19,69 @@ func TestRunList(t *testing.T) {
 		t.Fatalf("-list reported %d findings", findings)
 	}
 	out := buf.String()
-	for _, want := range []string{"nodeterminism", "maprange", "floateq", "errdrop", "hotalloc"} {
+	for _, want := range []string{"nodeterminism", "maprange", "floateq", "errdrop", "hotalloc", "phasepurity", "snapdrift"} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("-list output missing %q:\n%s", want, out)
 		}
+	}
+}
+
+func TestJSONAndGithubAreExclusive(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := run([]string{"-json", "-github"}, &buf); err == nil {
+		t.Fatal("-json -github should be rejected")
+	}
+}
+
+func TestBaselineRejectsMalformedFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "base.json")
+	if err := os.WriteFile(path, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := run([]string{"-baseline", path, "-list"}, &buf); err != nil {
+		// -list exits before the baseline loads; run again against a tiny
+		// package set to hit the loader.
+		t.Fatalf("unexpected -list error: %v", err)
+	}
+	if _, err := run([]string{"-baseline", path, "./cmd/nwade-lint"}, &buf); err == nil {
+		t.Fatal("malformed baseline should be an error")
+	}
+}
+
+func TestBaselineKeyIgnoresLine(t *testing.T) {
+	a := finding{File: "x.go", Line: 10, Analyzer: "maprange", Message: "m"}
+	b := finding{File: "x.go", Line: 99, Analyzer: "maprange", Message: "m"}
+	if baselineKey(a) != baselineKey(b) {
+		t.Fatal("baseline keys must not depend on line numbers")
+	}
+	c := finding{File: "x.go", Line: 10, Analyzer: "floateq", Message: "m"}
+	if baselineKey(a) == baselineKey(c) {
+		t.Fatal("baseline keys must distinguish analyzers")
+	}
+}
+
+func TestCheckedInBaselineIsEmpty(t *testing.T) {
+	// The repository gate runs with lint.baseline.json; it exists so a
+	// future rule can land with known offenders, but today it must stay
+	// empty — a finding belongs in the code or in a //lint:ignore with a
+	// reason, not parked invisibly in the baseline.
+	data, err := os.ReadFile("../../lint.baseline.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var entries []finding
+	if err := json.Unmarshal(data, &entries); err != nil {
+		t.Fatalf("lint.baseline.json is not a findings array: %v", err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("lint.baseline.json holds %d parked finding(s); fix or //lint:ignore them instead", len(entries))
+	}
+}
+
+func TestEscapeAnnotation(t *testing.T) {
+	got := escapeAnnotation("50% of\nlines")
+	if got != "50%25 of%0Alines" {
+		t.Fatalf("escapeAnnotation = %q", got)
 	}
 }

@@ -13,16 +13,17 @@ import (
 	"go/token"
 	"go/types"
 	"regexp"
-	"sort"
-	"strings"
 )
 
-// Analyzer is one named rule. Run inspects a package and reports
-// findings through the pass.
+// Analyzer is one named rule. Per-package rules set Run, which inspects
+// one package at a time; whole-program rules set RunProgram, which sees
+// every loaded package at once (the call-graph and field-coverage
+// analyzers). Exactly one of the two is set.
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass)
+	Name       string
+	Doc        string
+	Run        func(*Pass)
+	RunProgram func(*ProgramPass)
 }
 
 // Pass hands one package to one analyzer.
@@ -64,70 +65,44 @@ type ignoreKey struct {
 	line     int
 }
 
-// RunPackage applies the analyzers to one loaded package and returns the
-// surviving diagnostics sorted by position. A //lint:ignore directive on
-// the offending line, or on the line directly above it, suppresses that
-// analyzer's findings there.
+// RunPackage applies per-package analyzers to one loaded package and
+// returns the surviving diagnostics sorted by position. A //lint:ignore
+// directive on the offending line, or on the line directly above it,
+// suppresses that analyzer's findings there. Program analyzers are
+// skipped — use Run with a Program for those.
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var diags []Diagnostic
 	for _, a := range analyzers {
-		a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		if a.Run != nil {
+			a.Run(&Pass{Analyzer: a, Pkg: pkg, diags: &diags})
+		}
 	}
 	ignores := make(map[ignoreKey]bool)
-	for _, f := range pkg.Files {
-		for _, cg := range f.Comments {
-			for _, c := range cg.List {
-				m := ignoreRe.FindStringSubmatch(c.Text)
-				if m == nil {
-					continue
-				}
-				pos := pkg.Fset.Position(c.Pos())
-				if strings.TrimSpace(m[2]) == "" {
-					diags = append(diags, Diagnostic{Pos: pos, Analyzer: "directive",
-						Message: fmt.Sprintf("lint:ignore %s without a reason", m[1])})
-					continue
-				}
-				ignores[ignoreKey{m[1], pos.Filename, pos.Line}] = true
-			}
-		}
-	}
-	out := diags[:0]
-	for _, d := range diags {
-		if ignores[ignoreKey{d.Analyzer, d.Pos.Filename, d.Pos.Line}] ||
-			ignores[ignoreKey{d.Analyzer, d.Pos.Filename, d.Pos.Line - 1}] {
-			continue
-		}
-		out = append(out, d)
-	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Pos.Filename != out[j].Pos.Filename {
-			return out[i].Pos.Filename < out[j].Pos.Filename
-		}
-		if out[i].Pos.Line != out[j].Pos.Line {
-			return out[i].Pos.Line < out[j].Pos.Line
-		}
-		return out[i].Analyzer < out[j].Analyzer
-	})
-	return out
+	diags = collectIgnores(pkg, diags, ignores)
+	return finishDiags(diags, ignores)
 }
 
-// LintDirs loads every directory and runs the analyzers, concatenating
-// the per-package diagnostics (already sorted within a package).
+// LintDirs loads every directory and runs the analyzers — per-package
+// rules over each directory's package, whole-program rules once over
+// the loaded set — returning the surviving diagnostics sorted by
+// position.
 func LintDirs(l *Loader, dirs []string, analyzers []*Analyzer) ([]Diagnostic, error) {
-	var diags []Diagnostic
+	var pkgs []*Package
 	for _, dir := range dirs {
 		pkg, err := l.LoadDir(dir)
 		if err != nil {
-			return diags, err
+			return nil, err
 		}
-		diags = append(diags, RunPackage(pkg, analyzers)...)
+		pkgs = append(pkgs, pkg)
 	}
-	return diags, nil
+	return Run(NewProgram(l, pkgs), analyzers), nil
 }
 
 // Default returns the production analyzer set with this repository's
 // configuration. The determinism rules apply to the simulation core; the
-// error-discipline rule applies everywhere.
+// error-discipline rule applies everywhere; the whole-program rules
+// (phasepurity, snapdrift) follow the declared parallel roots and
+// checkpoint structs wherever they lead.
 func Default() []*Analyzer {
 	return []*Analyzer{
 		NewNoDeterminism(DefaultNoDeterminismConfig()),
@@ -135,13 +110,19 @@ func Default() []*Analyzer {
 		NewFloatEq(DefaultFloatEqConfig()),
 		NewErrDrop(DefaultErrDropConfig()),
 		NewHotAlloc(DefaultHotAllocConfig()),
+		NewPhasePurity(DefaultPhasePurityConfig()),
+		NewSnapDrift(DefaultSnapDriftConfig()),
 	}
 }
 
 // pkgPathOf resolves an identifier that names an imported package,
 // giving its import path ("" when id is not a package qualifier).
-func (p *Pass) pkgPathOf(id *ast.Ident) string {
-	if pn, ok := p.Pkg.Info.Uses[id].(*types.PkgName); ok {
+func (p *Pass) pkgPathOf(id *ast.Ident) string { return p.Pkg.pkgPathOf(id) }
+
+// pkgPathOf is the Package-level form, shared with the whole-program
+// analyzers, which work outside any single Pass.
+func (p *Package) pkgPathOf(id *ast.Ident) string {
+	if pn, ok := p.Info.Uses[id].(*types.PkgName); ok {
 		return pn.Imported().Path()
 	}
 	return ""

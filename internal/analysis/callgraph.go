@@ -1,0 +1,385 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"path/filepath"
+	"sort"
+)
+
+// The call graph is the spine of the whole-program analyzers: one node
+// per function body (declaration or literal), edges for every call the
+// type checker can resolve statically. Beyond plain calls it follows the
+// two higher-order shapes the engines actually use, so a worker-pool
+// driver's reachability includes the work it is handed:
+//
+//   - function values passed as arguments: a call F(..., g) adds an edge
+//     F -> g (F may invoke g), and when F is outside the module (e.g.
+//     sort.Slice) the edge is attributed to the caller instead, since
+//     the callback still runs on the caller's goroutine;
+//   - calls through function-typed parameters and locals: fn(i) where fn
+//     is a parameter of F resolves to every function value passed at
+//     that position across F's call sites, and f() where f was assigned
+//     a literal resolves to the assigned bodies.
+//
+// Dynamic dispatch through interfaces and function-typed struct fields
+// that are never assigned a resolvable value stays unresolved: those
+// paths are the race detector's job (the nightly -race run), not the
+// lint's. DESIGN.md §14 spells out the division of labor.
+
+// cgNode is one function body in the graph.
+type cgNode struct {
+	pkg  *Package
+	decl *ast.FuncDecl // exactly one of decl / lit is set
+	lit  *ast.FuncLit
+	// parent is the lexically enclosing body for literals (nil for
+	// declarations).
+	parent *cgNode
+}
+
+// body returns the node's block statement.
+func (n *cgNode) body() *ast.BlockStmt {
+	if n.decl != nil {
+		return n.decl.Body
+	}
+	return n.lit.Body
+}
+
+// name renders the node for diagnostics: the qualified name of a
+// declaration, or the position of a literal.
+func (n *cgNode) name() string {
+	if n.decl != nil {
+		return funcQualName(n.pkg.Path, n.decl)
+	}
+	pos := n.pkg.Fset.Position(n.lit.Pos())
+	return fmt.Sprintf("func literal at %s:%d", filepath.Base(pos.Filename), pos.Line)
+}
+
+// qualName is the Sanctioned-list key: set only for declarations.
+func (n *cgNode) qualName() string {
+	if n.decl == nil {
+		return ""
+	}
+	return funcQualName(n.pkg.Path, n.decl)
+}
+
+// paramKey identifies one function-typed parameter position of a
+// declared function.
+type paramKey struct {
+	owner *cgNode
+	index int
+}
+
+// callGraph is the whole-program graph plus the lookup tables needed to
+// resolve indirect calls.
+type callGraph struct {
+	byAst     map[ast.Node]*cgNode
+	byObj     map[types.Object]*cgNode // declared function -> node
+	paramOf   map[types.Object]paramKey
+	varBind   map[types.Object][]*cgNode // var/field -> assigned bodies
+	paramBind map[paramKey][]*cgNode     // param position -> argument bodies
+	edges     map[*cgNode][]*cgNode
+	nodes     []*cgNode // deterministic iteration order
+	// pending are calls through function-typed variables or parameters,
+	// resolved only after every body has recorded its bindings: a worker
+	// body's fn(i) call site usually precedes the binding site in source
+	// order, so resolving eagerly would miss it.
+	pending []pendingCall
+}
+
+// pendingCall is one indirect call awaiting resolution.
+type pendingCall struct {
+	caller *cgNode
+	obj    types.Object // the function-typed var or param being called
+}
+
+// buildCallGraph constructs the graph over every loaded module package.
+func buildCallGraph(pkgs []*Package) *callGraph {
+	g := &callGraph{
+		byAst:     make(map[ast.Node]*cgNode),
+		byObj:     make(map[types.Object]*cgNode),
+		paramOf:   make(map[types.Object]paramKey),
+		varBind:   make(map[types.Object][]*cgNode),
+		paramBind: make(map[paramKey][]*cgNode),
+		edges:     make(map[*cgNode][]*cgNode),
+	}
+	// Pass 1: index every body and the parameter objects of declarations.
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			g.indexFile(pkg, f)
+		}
+	}
+	// Pass 2: resolve the calls and function-valued flows in every body.
+	for _, n := range g.nodes {
+		g.connect(n)
+	}
+	// Pass 3: with every binding recorded, resolve the indirect calls.
+	for _, pc := range g.pending {
+		if key, ok := g.paramOf[pc.obj]; ok {
+			for _, t := range g.paramBind[key] {
+				g.addEdge(pc.caller, t)
+			}
+		}
+		for _, t := range g.varBind[pc.obj] {
+			g.addEdge(pc.caller, t)
+		}
+	}
+	return g
+}
+
+// indexFile registers the declarations and literals of one file,
+// wiring lexical-nesting edges (a body reaches the literals it defines).
+func (g *callGraph) indexFile(pkg *Package, f *ast.File) {
+	for _, decl := range f.Decls {
+		if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+			node := &cgNode{pkg: pkg, decl: fd}
+			g.register(node)
+			idx := 0
+			for _, field := range fd.Type.Params.List {
+				for _, name := range field.Names {
+					if obj := pkg.Info.Defs[name]; obj != nil {
+						g.paramOf[obj] = paramKey{owner: node, index: idx}
+					}
+					idx++
+				}
+				if len(field.Names) == 0 {
+					idx++
+				}
+			}
+			g.indexLits(pkg, node, fd.Body)
+			continue
+		}
+		// Package-level initializers may hold literals too.
+		g.indexLits(pkg, nil, decl)
+	}
+}
+
+// indexLits registers the function literals nested directly or
+// indirectly under root, each parented to the closest enclosing body.
+func (g *callGraph) indexLits(pkg *Package, parent *cgNode, root ast.Node) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		lit, ok := n.(*ast.FuncLit)
+		if !ok {
+			return true
+		}
+		node := &cgNode{pkg: pkg, lit: lit, parent: parent}
+		if parent != nil {
+			g.addEdge(parent, node)
+		}
+		g.register(node)
+		g.indexLits(pkg, node, lit.Body)
+		return false
+	})
+}
+
+// register adds a node to the indexes.
+func (g *callGraph) register(n *cgNode) {
+	if n.decl != nil {
+		g.byAst[n.decl] = n
+		if obj := n.pkg.Info.Defs[n.decl.Name]; obj != nil {
+			g.byObj[obj] = n
+		}
+	} else {
+		g.byAst[n.lit] = n
+	}
+	g.nodes = append(g.nodes, n)
+}
+
+// addEdge records caller -> callee once.
+func (g *callGraph) addEdge(from, to *cgNode) {
+	for _, e := range g.edges[from] {
+		if e == to {
+			return
+		}
+	}
+	g.edges[from] = append(g.edges[from], to)
+}
+
+// connect resolves the calls, bindings and function-valued arguments in
+// one body, excluding nested literals (they are their own nodes).
+func (g *callGraph) connect(n *cgNode) {
+	info := n.pkg.Info
+	walkOwnBody(n, func(stmt ast.Node) bool {
+		switch x := stmt.(type) {
+		case *ast.AssignStmt:
+			// Record function-value bindings: v = func(){...}, v = f,
+			// s.field = handler. Calls through v resolve to the union of
+			// everything ever assigned to it (module-wide).
+			if len(x.Lhs) == len(x.Rhs) {
+				for i, lhs := range x.Lhs {
+					targets := g.funcValues(n, x.Rhs[i])
+					if len(targets) == 0 {
+						continue
+					}
+					if obj := lvalueObject(info, lhs); obj != nil {
+						g.varBind[obj] = append(g.varBind[obj], targets...)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			g.connectCall(n, x)
+		}
+		return true
+	})
+}
+
+// connectCall wires the edges of one call expression.
+func (g *callGraph) connectCall(n *cgNode, call *ast.CallExpr) {
+	info := n.pkg.Info
+	fun := ast.Unparen(call.Fun)
+	var callee *cgNode
+	switch fn := fun.(type) {
+	case *ast.FuncLit:
+		callee = g.byAst[fn] // immediately invoked literal
+	case *ast.Ident:
+		switch obj := info.Uses[fn].(type) {
+		case *types.Func:
+			callee = g.lookupFunc(obj)
+		case *types.Var:
+			// Call through a parameter or local function value: resolved
+			// in pass 3, once every binding is known.
+			g.pending = append(g.pending, pendingCall{caller: n, obj: obj})
+		}
+	case *ast.SelectorExpr:
+		switch obj := info.Uses[fn.Sel].(type) {
+		case *types.Func:
+			callee = g.lookupFunc(obj)
+		case *types.Var:
+			g.pending = append(g.pending, pendingCall{caller: n, obj: obj})
+		}
+	}
+	if callee != nil {
+		g.addEdge(n, callee)
+	}
+	// Function-valued arguments: the callee (or, for out-of-module
+	// callees, the caller) may invoke them.
+	for i, arg := range call.Args {
+		targets := g.funcValues(n, arg)
+		if len(targets) == 0 {
+			continue
+		}
+		for _, t := range targets {
+			if callee != nil {
+				g.addEdge(callee, t)
+				g.paramBind[paramKey{owner: callee, index: i}] =
+					append(g.paramBind[paramKey{owner: callee, index: i}], t)
+			} else {
+				g.addEdge(n, t)
+			}
+		}
+	}
+}
+
+// funcValues resolves an expression to the function bodies it denotes
+// (nil when it is not a resolvable function value).
+func (g *callGraph) funcValues(n *cgNode, e ast.Expr) []*cgNode {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.FuncLit:
+		if t := g.byAst[x]; t != nil {
+			return []*cgNode{t}
+		}
+	case *ast.Ident:
+		if f, ok := n.pkg.Info.Uses[x].(*types.Func); ok {
+			if t := g.lookupFunc(f); t != nil {
+				return []*cgNode{t}
+			}
+		}
+	case *ast.SelectorExpr:
+		if f, ok := n.pkg.Info.Uses[x.Sel].(*types.Func); ok {
+			if t := g.lookupFunc(f); t != nil {
+				return []*cgNode{t}
+			}
+		}
+	}
+	return nil
+}
+
+// lookupFunc maps a types.Func (possibly an instantiation) to its node.
+func (g *callGraph) lookupFunc(f *types.Func) *cgNode {
+	if n, ok := g.byObj[f]; ok {
+		return n
+	}
+	if o := f.Origin(); o != f {
+		return g.byObj[o]
+	}
+	return nil
+}
+
+// walkOwnBody visits the statements of a node's own body, stopping at
+// nested function literals (each literal is analyzed as its own node).
+func walkOwnBody(n *cgNode, visit func(ast.Node) bool) {
+	body := n.body()
+	if body == nil {
+		return
+	}
+	ast.Inspect(body, func(x ast.Node) bool {
+		if lit, ok := x.(*ast.FuncLit); ok && lit != n.lit {
+			return false
+		}
+		if x == nil {
+			return true
+		}
+		return visit(x)
+	})
+}
+
+// lvalueObject resolves an assignment target to the variable or field
+// object it writes ("" cases return nil).
+func lvalueObject(info *types.Info, e ast.Expr) types.Object {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if obj := info.Defs[x]; obj != nil {
+			return obj
+		}
+		return info.Uses[x]
+	case *ast.SelectorExpr:
+		return info.Uses[x.Sel]
+	}
+	return nil
+}
+
+// reachableFrom runs a BFS from the roots and returns, for every
+// reachable node, the root it was first reached from (roots map to
+// themselves). The traversal order is deterministic: nodes were
+// registered in (package, file, position) order and edges in source
+// order.
+func reachableFrom(g *callGraph, roots []*cgNode) map[*cgNode]*cgNode {
+	origin := make(map[*cgNode]*cgNode, len(roots))
+	queue := make([]*cgNode, 0, len(roots))
+	for _, r := range roots {
+		if _, ok := origin[r]; !ok {
+			origin[r] = r
+			queue = append(queue, r)
+		}
+	}
+	for len(queue) > 0 {
+		n := queue[0]
+		queue = queue[1:]
+		for _, next := range g.edges[n] {
+			if _, ok := origin[next]; !ok {
+				origin[next] = origin[n]
+				queue = append(queue, next)
+			}
+		}
+	}
+	return origin
+}
+
+// sortedNodes returns the reachable nodes in deterministic position
+// order for reporting.
+func sortedNodes(set map[*cgNode]*cgNode) []*cgNode {
+	out := make([]*cgNode, 0, len(set))
+	for n := range set {
+		out = append(out, n)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		pi := out[i].pkg.Fset.Position(out[i].body().Pos())
+		pj := out[j].pkg.Fset.Position(out[j].body().Pos())
+		if pi.Filename != pj.Filename {
+			return pi.Filename < pj.Filename
+		}
+		return pi.Offset < pj.Offset
+	})
+	return out
+}

@@ -70,7 +70,10 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 	if len(wants) == 0 {
 		t.Fatalf("fixture %s plants no expectations", name)
 	}
-	for _, d := range RunPackage(pkg, analyzers) {
+	// Run with a single-package Program: per-package rules behave exactly
+	// as RunPackage would, and program rules (phasepurity, snapdrift) see
+	// the fixture as their whole scope.
+	for _, d := range Run(NewProgram(l, []*Package{pkg}), analyzers) {
 		matched := false
 		for _, w := range wants {
 			if !w.hit && w.file == d.Pos.Filename && w.line == d.Pos.Line && w.re.MatchString(d.Message) {
@@ -113,6 +116,29 @@ func TestHotAllocFixture(t *testing.T) {
 	// list mirrors the fixture's hot functions (cold is absent).
 	runFixture(t, "hotalloc", []*Analyzer{NewHotAlloc(HotAllocConfig{
 		Functions: []string{"tick", "sense", "rebuild"},
+	})})
+}
+
+// fixturePath is the import-path prefix of the fixture packages.
+const fixturePath = "nwade/internal/analysis/testdata/src/"
+
+func TestPhasePurityFixture(t *testing.T) {
+	// The fixture declares its own sanctioned wall-clock shim and an
+	// approved commit helper, mirroring the production configuration.
+	runFixture(t, "phasepurity", []*Analyzer{NewPhasePurity(PhasePurityConfig{
+		Sanctioned:   []string{fixturePath + "phasepurity.wallNow"},
+		ApprovedSync: []string{fixturePath + "phasepurity.engine.commitLocked"},
+	})})
+}
+
+func TestSnapDriftFixture(t *testing.T) {
+	// mustHave exists without a directive; ghostStruct is required but
+	// does not exist. Both drift cases must be reported.
+	runFixture(t, "snapdrift", []*Analyzer{NewSnapDrift(SnapDriftConfig{
+		RequiredStructs: []string{
+			fixturePath + "snapdrift.ghostStruct",
+			fixturePath + "snapdrift.mustHave",
+		},
 	})})
 }
 

@@ -148,7 +148,7 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		call, ok := st.Rhs[0].(*ast.CallExpr)
-		if !ok || !isBuiltinCall(pass, call, "make") {
+		if !ok || !isBuiltinCall(pass.Pkg, call, "make") {
 			return true
 		}
 		if _, bare := st.Lhs[0].(*ast.Ident); !bare {
@@ -162,13 +162,13 @@ func checkHotFunc(pass *Pass, fn *ast.FuncDecl) {
 			return true
 		}
 		switch {
-		case isBuiltinCall(pass, call, "make"):
+		case isBuiltinCall(pass.Pkg, call, "make"):
 			if !exemptMake[call] {
 				pass.Reportf(call.Pos(),
 					"%s is on the per-tick path: make allocates every tick; hoist the buffer into engine or worker scratch state (or annotate //lint:ignore hotalloc <reason>)",
 					fn.Name.Name)
 			}
-		case isBuiltinCall(pass, call, "append") && len(call.Args) > 0:
+		case isBuiltinCall(pass.Pkg, call, "append") && len(call.Args) > 0:
 			if !hoistedExpr(hoisted, call.Args[0]) {
 				pass.Reportf(call.Pos(),
 					"%s is on the per-tick path: append to a non-hoisted slice allocates on growth every tick; reuse a scratch buffer via x = buf[:0] (or annotate //lint:ignore hotalloc <reason>)",
@@ -210,10 +210,10 @@ func hoistedExpr(hoisted map[string]bool, e ast.Expr) bool {
 
 // isBuiltinCall reports whether call invokes the named builtin (not a
 // shadowing local).
-func isBuiltinCall(pass *Pass, call *ast.CallExpr, name string) bool {
+func isBuiltinCall(pkg *Package, call *ast.CallExpr, name string) bool {
 	id, ok := call.Fun.(*ast.Ident)
 	if !ok || id.Name != name {
 		return false
 	}
-	return isBuiltinAppend(pass, id)
+	return isBuiltinAppend(pkg, id)
 }

@@ -69,6 +69,22 @@ func NewLoader(moduleRoot string) (*Loader, error) {
 // ModuleRoot returns the absolute module root directory.
 func (l *Loader) ModuleRoot() string { return l.moduleRoot }
 
+// FileSet returns the loader's shared file set, which positions every
+// node of every loaded package.
+func (l *Loader) FileSet() *token.FileSet { return l.fset }
+
+// Loaded returns every module-local package this loader has
+// type-checked so far — requested packages and their module
+// dependencies alike — sorted by import path.
+func (l *Loader) Loaded() []*Package {
+	out := make([]*Package, 0, len(l.pkgs))
+	for _, p := range l.pkgs {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out
+}
+
 // ModulePath returns the module's import path prefix.
 func (l *Loader) ModulePath() string { return l.modulePath }
 

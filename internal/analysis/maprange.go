@@ -83,11 +83,11 @@ func checkFuncBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) {
 		if !isMapType(pass.Pkg.Info.TypeOf(rng.X)) {
 			return true
 		}
-		loop := scanRangeBody(pass, rng.Body, mutators)
+		loop := scanRangeBody(pass.Pkg, rng.Body, mutators)
 		if len(loop.kinds) == 0 {
 			return true
 		}
-		if loop.pure && allSortedLater(pass, body, rng, loop.appends) {
+		if loop.pure && allSortedLater(pass.Pkg, body, rng, loop.appends) {
 			return true // key-extraction idiom: append-only, sorted below
 		}
 		var kinds []string
@@ -106,7 +106,7 @@ func checkFuncBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) {
 // scanRangeBody classifies the order-sensitive effects in a loop body,
 // including nested literals and loops (the effect still runs once per
 // random-order iteration).
-func scanRangeBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) *mapRangeLoop {
+func scanRangeBody(pkg *Package, body *ast.BlockStmt, mutators map[string]bool) *mapRangeLoop {
 	loop := &mapRangeLoop{kinds: make(map[string]bool), pure: true}
 	record := func(kind string) {
 		loop.kinds[kind] = true
@@ -126,14 +126,14 @@ func scanRangeBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) *m
 			}
 			switch x.Tok {
 			case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
-				if len(x.Lhs) == 1 && isFloat(pass.Pkg.Info.TypeOf(x.Lhs[0])) {
+				if len(x.Lhs) == 1 && isFloat(pkg.Info.TypeOf(x.Lhs[0])) {
 					record("float accumulation")
 				}
 			}
 		case *ast.CallExpr:
 			switch fun := x.Fun.(type) {
 			case *ast.Ident:
-				if fun.Name == "append" && isBuiltinAppend(pass, fun) {
+				if fun.Name == "append" && isBuiltinAppend(pkg, fun) {
 					// append outside an assignment (argument position):
 					// destination unknown, never exempt.
 					if !insideAppendAssign(body, x) {
@@ -144,7 +144,7 @@ func scanRangeBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) *m
 			case *ast.SelectorExpr:
 				name := fun.Sel.Name
 				if qual, ok := fun.X.(*ast.Ident); ok {
-					switch pass.pkgPathOf(qual) {
+					switch pkg.pkgPathOf(qual) {
 					case "fmt":
 						if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
 							record("output")
@@ -162,7 +162,7 @@ func scanRangeBody(pass *Pass, body *ast.BlockStmt, mutators map[string]bool) *m
 						return true // other stdlib/package call
 					}
 				}
-				if isRandRecv(pass, fun.X) {
+				if isRandRecv(pkg, fun.X) {
 					record("rand draw")
 					return true
 				}
@@ -215,8 +215,8 @@ func insideAppendAssign(body *ast.BlockStmt, call *ast.CallExpr) bool {
 
 // isBuiltinAppend confirms the ident resolves to the append builtin (not
 // a shadowing local).
-func isBuiltinAppend(pass *Pass, id *ast.Ident) bool {
-	obj := pass.Pkg.Info.Uses[id]
+func isBuiltinAppend(pkg *Package, id *ast.Ident) bool {
+	obj := pkg.Info.Uses[id]
 	if obj == nil {
 		return true // unresolved: assume the builtin
 	}
@@ -225,8 +225,8 @@ func isBuiltinAppend(pass *Pass, id *ast.Ident) bool {
 }
 
 // isRandRecv reports whether expr is a *math/rand.Rand (or /v2) value.
-func isRandRecv(pass *Pass, expr ast.Expr) bool {
-	t := pass.Pkg.Info.TypeOf(expr)
+func isRandRecv(pkg *Package, expr ast.Expr) bool {
+	t := pkg.Info.TypeOf(expr)
 	if t == nil {
 		return false
 	}
@@ -262,7 +262,7 @@ func isFloat(t types.Type) bool {
 // allSortedLater reports whether every append destination is passed to a
 // sort/slices ordering call after the loop, within the same function
 // body — the extract-keys-then-sort idiom.
-func allSortedLater(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, sites []appendSite) bool {
+func allSortedLater(pkg *Package, fnBody *ast.BlockStmt, rng *ast.RangeStmt, sites []appendSite) bool {
 	if len(sites) == 0 {
 		return false
 	}
@@ -280,7 +280,7 @@ func allSortedLater(pass *Pass, fnBody *ast.BlockStmt, rng *ast.RangeStmt, sites
 		if !ok {
 			return true
 		}
-		switch pass.pkgPathOf(qual) {
+		switch pkg.pkgPathOf(qual) {
 		case "sort", "slices":
 		default:
 			return true

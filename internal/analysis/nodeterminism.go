@@ -74,10 +74,7 @@ func NewNoDeterminism(cfg NoDeterminismConfig) *Analyzer {
 		Name: "nodeterminism",
 		Doc:  "bans wall-clock reads and global math/rand draws in the simulation core",
 	}
-	sanctioned := make(map[string]bool, len(cfg.Sanctioned))
-	for _, s := range cfg.Sanctioned {
-		sanctioned[s] = true
-	}
+	sanctioned := mustSortedSet("nodeterminism", "Sanctioned", cfg.Sanctioned)
 	a.Run = func(pass *Pass) {
 		if !prefixApplies(pass.Pkg.Path, cfg.PackagePrefixes) {
 			return

@@ -1,0 +1,307 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"strings"
+)
+
+// SnapDriftConfig scopes the snapdrift analyzer.
+type SnapDriftConfig struct {
+	// RequiredStructs lists fully-qualified struct types
+	// ("pkg/path.Type") that MUST carry a //lint:checkpoint-state
+	// directive: the live engine states and snapshot envelopes at the
+	// heart of the checkpoint/restore contract. A required struct without
+	// a directive is itself a finding, so the coverage check cannot be
+	// disabled by silently deleting the annotation. Sorted,
+	// duplicate-free (NewSnapDrift panics otherwise).
+	RequiredStructs []string
+}
+
+// DefaultSnapDriftConfig requires directives on the structs the
+// checkpoint digests walk (snap.Digests' subsystem list): the live
+// engines and their serialized state roots.
+func DefaultSnapDriftConfig() SnapDriftConfig {
+	return SnapDriftConfig{
+		RequiredStructs: []string{
+			"nwade/internal/roadnet.Network",
+			"nwade/internal/roadnet.State",
+			"nwade/internal/sim.Engine",
+			"nwade/internal/sim.State",
+			"nwade/internal/snap.Spec",
+		},
+	}
+}
+
+// checkpointStateRe matches the declaration directive. It goes in a
+// struct's doc comment:
+//
+//	//lint:checkpoint-state encode=Engine.Snapshot decode=Restore derived=grid,lanes
+//
+// encode= and decode= name same-package functions ("Func" or
+// "Type.Method") that together must mention every field; derived= lists
+// fields that are legitimately rebuilt rather than serialized. Several
+// directive lines in one doc comment merge, so long field lists can
+// wrap.
+var checkpointStateRe = regexp.MustCompile(`^//lint:checkpoint-state\b(.*)$`)
+
+// snapDirective is the merged directive of one struct.
+type snapDirective struct {
+	pos     token.Pos
+	encode  []string
+	decode  []string
+	derived []string
+}
+
+// NewSnapDrift builds the snapdrift analyzer: for every struct carrying
+// a checkpoint-state directive it cross-checks the declared fields
+// against the encode and decode function bodies, flagging any field
+// added to live state but missing from serialization — the drift that
+// otherwise surfaces weeks later as a replay divergence after restore.
+// Exactly one finding is produced per uncovered field, at the field's
+// declaration. Directive drift (unknown functions, unknown derived
+// fields, duplicate entries, missing clauses) is reported too.
+func NewSnapDrift(cfg SnapDriftConfig) *Analyzer {
+	required := mustSortedSet("snapdrift", "RequiredStructs", cfg.RequiredStructs)
+	a := &Analyzer{
+		Name: "snapdrift",
+		Doc:  "cross-checks checkpointed struct fields against their encode/decode coverage",
+	}
+	a.RunProgram = func(pass *ProgramPass) {
+		// Directives are seeded from the in-scope packages only: the
+		// loader cache may hold half the module from earlier runs, and a
+		// partial lint must not report on packages nobody asked about.
+		for _, pkg := range pass.Prog.Pkgs {
+			checkPackageSnapshots(pass, pkg, required)
+		}
+	}
+	return a
+}
+
+// checkPackageSnapshots runs the field-coverage check over one package.
+func checkPackageSnapshots(pass *ProgramPass, pkg *Package, required map[string]bool) {
+	fns := localFuncs(pkg)
+	uses := make(map[string]map[types.Object]bool) // local fn name -> mentioned objects
+	usedBy := func(name string) map[types.Object]bool {
+		if set, ok := uses[name]; ok {
+			return set
+		}
+		set := make(map[types.Object]bool)
+		if fd := fns[name]; fd != nil {
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					if obj := pkg.Info.Uses[id]; obj != nil {
+						set[obj] = true
+					}
+				}
+				return true
+			})
+		}
+		uses[name] = set
+		return set
+	}
+	found := make(map[string]bool) // required structs seen in this package
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.TYPE {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				ts, ok := spec.(*ast.TypeSpec)
+				if !ok {
+					continue
+				}
+				st, ok := ts.Type.(*ast.StructType)
+				if !ok {
+					continue
+				}
+				qual := pkg.Path + "." + ts.Name.Name
+				if required[qual] {
+					found[qual] = true
+				}
+				dir := parseCheckpointDirective(pass, pkg, docsOf(gd, ts))
+				if dir == nil {
+					if required[qual] {
+						pass.Reportf(ts.Pos(),
+							"%s holds checkpointed state but carries no //lint:checkpoint-state directive; declare its encode/decode functions", qual)
+					}
+					continue
+				}
+				checkStructCoverage(pass, pkg, ts.Name.Name, st, dir, fns, usedBy)
+			}
+		}
+	}
+	for q := range required {
+		if strings.HasPrefix(q, pkg.Path+".") && !strings.Contains(strings.TrimPrefix(q, pkg.Path+"."), ".") && !found[q] {
+			pass.Reportf(pkg.Files[0].Pos(),
+				"required checkpoint struct %s does not exist; update the snapdrift RequiredStructs list", q)
+		}
+	}
+}
+
+// checkStructCoverage verifies one annotated struct: every field is
+// either mentioned by at least one encode AND one decode function, or
+// listed as derived.
+func checkStructCoverage(pass *ProgramPass, pkg *Package, name string, st *ast.StructType,
+	dir *snapDirective, fns map[string]*ast.FuncDecl, usedBy func(string) map[types.Object]bool) {
+	if len(dir.encode) == 0 || len(dir.decode) == 0 {
+		pass.Reportf(dir.pos,
+			"checkpoint-state directive on %s needs both encode= and decode= clauses", name)
+		return
+	}
+	for _, side := range []struct {
+		clause string
+		names  []string
+	}{{"encode", dir.encode}, {"decode", dir.decode}} {
+		for _, fn := range side.names {
+			if fns[fn] == nil {
+				pass.Reportf(dir.pos,
+					"checkpoint-state %s function %s is not declared in package %s; the directive drifted from the code",
+					side.clause, fn, pkg.Path)
+				return
+			}
+		}
+	}
+	derived := make(map[string]bool, len(dir.derived))
+	for _, d := range dir.derived {
+		derived[d] = true
+	}
+	matched := make(map[string]bool, len(derived))
+	covered := func(names []string, obj types.Object) bool {
+		for _, fn := range names {
+			if usedBy(fn)[obj] {
+				return true
+			}
+		}
+		return false
+	}
+	for _, field := range st.Fields.List {
+		idents := field.Names
+		var objs []types.Object
+		if len(idents) == 0 {
+			// Embedded field: the implicit field object, named after the type.
+			if obj := pkg.Info.Implicits[field]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		for _, id := range idents {
+			if id.Name == "_" {
+				continue
+			}
+			if obj := pkg.Info.Defs[id]; obj != nil {
+				objs = append(objs, obj)
+			}
+		}
+		for _, obj := range objs {
+			if derived[obj.Name()] {
+				matched[obj.Name()] = true
+				continue
+			}
+			enc := covered(dir.encode, obj)
+			dec := covered(dir.decode, obj)
+			switch {
+			case !enc && !dec:
+				pass.Reportf(obj.Pos(),
+					"field %s of %s is missing from serialization: no encode or decode function mentions it; serialize it or list it in derived=",
+					obj.Name(), name)
+			case !enc:
+				pass.Reportf(obj.Pos(),
+					"field %s of %s is missing from serialization: restored by decode but written by no encode function (%s)",
+					obj.Name(), name, strings.Join(dir.encode, ", "))
+			case !dec:
+				pass.Reportf(obj.Pos(),
+					"field %s of %s is missing from serialization: encoded but restored by no decode function (%s)",
+					obj.Name(), name, strings.Join(dir.decode, ", "))
+			}
+		}
+	}
+	for _, d := range dir.derived {
+		if !matched[d] {
+			pass.Reportf(dir.pos,
+				"checkpoint-state derived= names %s, which is not a field of %s; the directive drifted from the code", d, name)
+		}
+	}
+}
+
+// parseCheckpointDirective extracts and merges the directive lines of a
+// struct's doc comments (nil when there is no directive). Malformed
+// clauses and duplicate entries are reported as findings.
+func parseCheckpointDirective(pass *ProgramPass, pkg *Package, docs []*ast.CommentGroup) *snapDirective {
+	var dir *snapDirective
+	seen := make(map[string]bool)
+	for _, doc := range docs {
+		if doc == nil {
+			continue
+		}
+		for _, c := range doc.List {
+			m := checkpointStateRe.FindStringSubmatch(c.Text)
+			if m == nil {
+				continue
+			}
+			if dir == nil {
+				dir = &snapDirective{pos: c.Pos()}
+			}
+			clauses := m[1]
+			// A trailing comment ("... // rationale") is not part of the
+			// directive.
+			if i := strings.Index(clauses, " //"); i >= 0 {
+				clauses = clauses[:i]
+			}
+			for _, tok := range strings.Fields(clauses) {
+				key, val, ok := strings.Cut(tok, "=")
+				if !ok || val == "" {
+					pass.Reportf(c.Pos(), "malformed checkpoint-state clause %q; want key=name[,name...]", tok)
+					continue
+				}
+				var dst *[]string
+				switch key {
+				case "encode":
+					dst = &dir.encode
+				case "decode":
+					dst = &dir.decode
+				case "derived":
+					dst = &dir.derived
+				default:
+					pass.Reportf(c.Pos(), "unknown checkpoint-state clause %q; want encode=, decode= or derived=", key)
+					continue
+				}
+				for _, name := range strings.Split(val, ",") {
+					if name = strings.TrimSpace(name); name == "" {
+						continue
+					}
+					if seen[key+"="+name] {
+						pass.Reportf(c.Pos(), "duplicate %s entry %s in checkpoint-state directive", key, name)
+						continue
+					}
+					seen[key+"="+name] = true
+					*dst = append(*dst, name)
+				}
+			}
+		}
+	}
+	return dir
+}
+
+// docsOf returns the comment groups that may carry a struct's directive:
+// the TypeSpec's own doc (grouped declarations) and the GenDecl's doc
+// (the common single-type form).
+func docsOf(gd *ast.GenDecl, ts *ast.TypeSpec) []*ast.CommentGroup {
+	return []*ast.CommentGroup{ts.Doc, gd.Doc}
+}
+
+// localFuncs indexes a package's declared functions by local name
+// ("Func" or "Type.Method").
+func localFuncs(pkg *Package) map[string]*ast.FuncDecl {
+	fns := make(map[string]*ast.FuncDecl)
+	for _, f := range pkg.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				fns[strings.TrimPrefix(funcQualName(pkg.Path, fd), pkg.Path+".")] = fd
+			}
+		}
+	}
+	return fns
+}

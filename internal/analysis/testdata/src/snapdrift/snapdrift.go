@@ -1,0 +1,75 @@
+// Package snapdrift is the snapdrift analyzer's fixture: a checkpointed
+// state struct whose serialization coverage has drifted in every way the
+// analyzer detects.
+package snapdrift // want "required checkpoint struct nwade/internal/analysis/testdata/src/snapdrift.ghostStruct does not exist"
+
+// state is the checkpointed live state. clock and bodies round-trip,
+// scratch is declared derived, and three fields have drifted.
+//
+//lint:checkpoint-state encode=state.snapshot decode=restore derived=scratch
+type state struct {
+	clock   int
+	bodies  []int
+	scratch []int
+	added   int // want "field added of state is missing from serialization: no encode or decode function mentions it"
+	halfEnc int // want "field halfEnc of state is missing from serialization: encoded but restored by no decode function"
+	halfDec int // want "field halfDec of state is missing from serialization: restored by decode but written by no encode function"
+}
+
+// snap is the serialized form (no directive: only annotated structs are
+// checked).
+type snap struct {
+	Clock   int
+	Bodies  []int
+	HalfEnc int
+	HalfDec int
+}
+
+func (s *state) snapshot() snap {
+	return snap{Clock: s.clock, Bodies: s.bodies, HalfEnc: s.halfEnc}
+}
+
+func restore(sn snap) *state {
+	return &state{clock: sn.Clock, bodies: sn.Bodies, halfDec: sn.HalfDec}
+}
+
+// mustHave is on the fixture's RequiredStructs list but carries no
+// directive.
+type mustHave struct { // want "holds checkpointed state but carries no //lint:checkpoint-state directive"
+	x int
+}
+
+//lint:checkpoint-state encode=missingFn decode=restore // want "checkpoint-state encode function missingFn is not declared in package"
+type badFns struct {
+	x int
+}
+
+//lint:checkpoint-state encode=onlyEnc.snapshot // want "needs both encode= and decode= clauses"
+type onlyEnc struct {
+	x int
+}
+
+func (o *onlyEnc) snapshot() int { return o.x }
+
+//lint:checkpoint-state enc0de=bad decode=dupRestore // want "unknown checkpoint-state clause" // want "needs both encode= and decode= clauses"
+type badClause struct {
+	x int
+}
+
+//lint:checkpoint-state encode=dup.snapshot,dup.snapshot decode=dupRestore derived=ghost // want "duplicate encode entry dup.snapshot" // want "derived= names ghost, which is not a field of dup"
+type dup struct {
+	x int
+}
+
+func (d *dup) snapshot() int { return d.x }
+
+func dupRestore(x int) *dup { return &dup{x: x} }
+
+//lint:checkpoint-state encode=mal.snapshot decode=malRestore derived // want "malformed checkpoint-state clause"
+type mal struct {
+	x int
+}
+
+func (m *mal) snapshot() int { return m.x }
+
+func malRestore(x int) *mal { return &mal{x: x} }

@@ -1,0 +1,92 @@
+package cliconf
+
+import (
+	"flag"
+	"io"
+	"strings"
+	"testing"
+)
+
+// buildFrom parses args through the real flag registration and resolves
+// them, exercising exactly the path the CLI tools use.
+func buildFrom(t *testing.T, args ...string) (Flags, error) {
+	t.Helper()
+	fs := flag.NewFlagSet("test", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	f := Register(fs)
+	if err := fs.Parse(args); err != nil {
+		t.Fatalf("parse %v: %v", args, err)
+	}
+	_, err := f.Build()
+	return *f, err
+}
+
+func TestBuildDefaultsResolve(t *testing.T) {
+	if _, err := buildFrom(t); err != nil {
+		t.Fatalf("default flags must build: %v", err)
+	}
+}
+
+func TestBuildRejectsUnknownScenario(t *testing.T) {
+	_, err := buildFrom(t, "-scenario", "V99")
+	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {
+		t.Fatalf("want unknown-scenario error, got %v", err)
+	}
+}
+
+func TestBuildRejectsUnknownFaultProfile(t *testing.T) {
+	if _, err := buildFrom(t, "-faults", "nosuchprofile"); err == nil {
+		t.Fatal("want fault-profile error, got nil")
+	}
+}
+
+func TestBuildRejectsMalformedNetworkSpecs(t *testing.T) {
+	for _, spec := range []string{
+		"grid",        // missing dims
+		"grid:2",      // missing columns
+		"grid:ax3",    // non-numeric rows
+		"grid:0x0",    // handled as malformed dims
+		"grid:2x-1",   // negative
+		"corridor:",   // missing count
+		"corridor:zz", // non-numeric
+		"ring:4",      // unknown topology
+	} {
+		if _, err := buildFrom(t, "-network", spec); err == nil {
+			t.Errorf("network spec %q should be rejected", spec)
+		}
+	}
+}
+
+func TestBuildAcceptsValidNetworkSpecs(t *testing.T) {
+	for _, spec := range []string{"grid:2x2", "grid:2x3", "corridor:3"} {
+		if _, err := buildFrom(t, "-network", spec); err != nil {
+			t.Errorf("network spec %q should build: %v", spec, err)
+		}
+	}
+}
+
+func TestBuildRejectsAttackRegionWithoutNetwork(t *testing.T) {
+	_, err := buildFrom(t, "-attack-region", "1")
+	if err == nil || !strings.Contains(err.Error(), "-attack-region needs -network") {
+		t.Fatalf("want attack-region error, got %v", err)
+	}
+}
+
+func TestBuildRejectsMixWithoutNetwork(t *testing.T) {
+	_, err := buildFrom(t, "-intersection", "mix")
+	if err == nil || !strings.Contains(err.Error(), `"mix" needs -network`) {
+		t.Fatalf("want mix-needs-network error, got %v", err)
+	}
+}
+
+func TestBuildAcceptsMixWithNetwork(t *testing.T) {
+	if _, err := buildFrom(t, "-network", "grid:2x2", "-intersection", "mix"); err != nil {
+		t.Fatalf("mix with a network must build: %v", err)
+	}
+}
+
+func TestBuildRejectsUnknownIntersection(t *testing.T) {
+	if _, err := buildFrom(t, "-intersection", "hexagon"); err == nil {
+		t.Fatal("unknown layout should be rejected")
+	}
+}

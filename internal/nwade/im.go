@@ -346,7 +346,7 @@ func (im *IMCore) handleIncident(now time.Duration, ir IncidentReport) []Out {
 	}
 	// A suspect already under verification: remember the additional
 	// reporter so it gets the verdict instead of timing out.
-	//lint:ignore maprange at most one verification matches: a second one per suspect is never opened (checked right here)
+	//lint:ignore maprange,phasepurity at most one verification matches: a second one per suspect is never opened (checked right here)
 	for _, v := range im.verifs {
 		if v.suspect == ir.Suspect {
 			if ir.Reporter != v.reporter {

@@ -104,6 +104,8 @@ type Stats struct {
 }
 
 // region is one intersection's runtime state inside the network.
+//
+//lint:checkpoint-state encode=Network.Snapshot decode=Restore derived=idx,node,wall
 type region struct {
 	idx  int
 	eng  *sim.Engine
@@ -120,6 +122,9 @@ type region struct {
 }
 
 // Network is a multi-intersection road-network simulation.
+//
+//lint:checkpoint-state encode=Network.Snapshot decode=Restore
+//lint:checkpoint-state derived=cfg,topo,byNode,workers,ttl,pollBuf
 type Network struct {
 	cfg     sim.Scenario
 	topo    *Topology
@@ -362,6 +367,7 @@ func (n *Network) stepRegions() {
 	var wg sync.WaitGroup
 	for k := 0; k < w; k++ {
 		wg.Add(1)
+		//lint:parallel-root per-region step worker pool
 		go func() {
 			defer wg.Done()
 			for {

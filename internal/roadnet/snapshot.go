@@ -18,6 +18,8 @@ import (
 )
 
 // SuspectSeen is one entry of a region's suspect knowledge table.
+//
+//lint:checkpoint-state encode=Network.Snapshot decode=Restore
 type SuspectSeen struct {
 	Suspect plan.VehicleID
 	At      time.Duration
@@ -25,12 +27,16 @@ type SuspectSeen struct {
 }
 
 // RegionTables is the roadnet-level mutable state of one region.
+//
+//lint:checkpoint-state encode=Network.Snapshot decode=Restore
 type RegionTables struct {
 	FirstSeen []SuspectSeen `json:",omitempty"` // sorted by suspect
 	Heads     []HeadMsg     `json:",omitempty"` // sorted by origin region
 }
 
 // State is a complete network snapshot.
+//
+//lint:checkpoint-state encode=Network.Snapshot decode=Restore
 type State struct {
 	Now      time.Duration
 	Regions  []*sim.State

@@ -345,6 +345,10 @@ func (b *body) status(now time.Duration) plan.Status {
 }
 
 // Engine is one simulation run.
+//
+//lint:checkpoint-state encode=Engine.Snapshot,Engine.AttackOnsets,Engine.Violations decode=Restore
+//lint:checkpoint-state derived=cfg,rng,bodies,grid,moveSlack,lanes,byNode,spawnScratch,obs,emit,workers,wctxs
+//lint:checkpoint-state derived=imBuffered,imEvBuf,pollBuf,visBuf,blocked,tickList,parts,partIdx,nParts,groups,groupIdx,nGroups,delivRes
 type Engine struct {
 	cfg Scenario
 	rng *rand.Rand
@@ -1081,6 +1085,7 @@ func (e *Engine) runPool(n int, fn func(int, *workerCtx)) {
 	for w := 0; w < workers; w++ {
 		ctx := &e.wctxs[w]
 		wg.Add(1)
+		//lint:parallel-root engine tick/delivery worker pool
 		go func() {
 			defer wg.Done()
 			for {

@@ -28,6 +28,8 @@ import (
 )
 
 // BodyState is one vehicle's physical state.
+//
+//lint:checkpoint-state encode=Engine.Snapshot decode=Restore
 type BodyState struct {
 	ID           plan.VehicleID
 	RouteID      int
@@ -45,6 +47,8 @@ type BodyState struct {
 // ArrivalState is one deferred arrival, with the route by ID. Handoff
 // and Legacy carry the road-network handoff marker across checkpoints,
 // so an in-transit vehicle restores with its identity rules intact.
+//
+//lint:checkpoint-state encode=Engine.Snapshot decode=Restore
 type ArrivalState struct {
 	At      time.Duration
 	Vehicle plan.VehicleID
@@ -58,6 +62,8 @@ type ArrivalState struct {
 // EngineState is the physical-world subsystem: clock, engine RNG, bodies
 // in deterministic iteration order, spill-back queue, and the attack
 // ground truth.
+//
+//lint:checkpoint-state encode=Engine.Snapshot decode=Restore
 type EngineState struct {
 	Now           time.Duration
 	RNG           detrand.State
@@ -75,6 +81,8 @@ type EngineState struct {
 
 // ProtocolState is the NWADE subsystem: the signing key, the manager
 // core, and one vehicle core per body (same order as EngineState.Bodies).
+//
+//lint:checkpoint-state encode=Engine.Snapshot decode=Restore
 type ProtocolState struct {
 	Signer   chain.SignerState
 	IM       nwade.IMCoreState
@@ -82,6 +90,8 @@ type ProtocolState struct {
 }
 
 // State is a complete simulation snapshot.
+//
+//lint:checkpoint-state encode=Engine.Snapshot decode=Restore
 type State struct {
 	Engine    EngineState
 	Traffic   traffic.GeneratorState

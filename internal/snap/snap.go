@@ -49,6 +49,8 @@ func KindNames() []string { return intersection.KindNameList() }
 // Intersections and schedulers are stored by name and rebuilt with their
 // standard constructors, so a Spec only round-trips configurations
 // expressible through the CLI (which is all the replay tools need).
+//
+//lint:checkpoint-state encode=SpecFromScenario decode=Spec.Scenario
 type Spec struct {
 	// Network is the road-network topology ("" for a single
 	// intersection; "grid:RxC" or "corridor:N" otherwise).
@@ -158,6 +160,8 @@ func (s Spec) Scenario() (sim.Scenario, error) {
 
 // envelope is the on-disk layout. Exactly one of State (single
 // intersection) and Net (road network, serialized by roadnet) is set.
+//
+//lint:checkpoint-state encode=Encode,EncodeNet decode=Decode,DecodeNet,decodeEnvelope
 type envelope struct {
 	Magic   string
 	Version int
