@@ -59,6 +59,9 @@ func run(args []string, out io.Writer) error {
 		obsRep    = fs.Bool("obs", false, "print aggregated observability counters after the run")
 		pprofOut  = fs.String("pprof", "", "write a CPU profile to this file")
 		resumeDir = fs.String("resume-dir", "", "persist finished simulation rounds to this directory and resume interrupted sweeps per cell")
+		drain     = fs.Bool("drain", false, "cooperative drain: share -resume-dir with other concurrent workers, each cell runs exactly once across the fleet")
+		workerID  = fs.String("worker-id", "", "worker identity recorded in -drain lease files (default w<pid>)")
+		leaseTTL  = fs.Duration("lease-ttl", 10*time.Minute, "after this long without completing, a -drain worker's cell is presumed abandoned and reclaimed")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -116,12 +119,21 @@ func run(args []string, out io.Writer) error {
 		Resilience: *retrans,
 		Obs:        sink,
 	}
+	if *drain && *resumeDir == "" {
+		return fmt.Errorf("-drain needs -resume-dir (the shared sweep directory)")
+	}
+	var queue *eval.DirQueue
 	if *resumeDir != "" {
-		store, err := eval.NewDirStore(*resumeDir)
+		// Single-worker resume and multi-worker drain are the same store;
+		// -drain only adds an identity and a lease TTL worth naming.
+		queue, err = eval.NewDirQueue(*resumeDir, eval.QueueOptions{
+			Owner:    *workerID,
+			LeaseTTL: *leaseTTL,
+		})
 		if err != nil {
 			return err
 		}
-		cfg.Store = store
+		cfg.Store = queue
 	}
 	if *quick {
 		cfg.Rounds = 2
@@ -173,6 +185,14 @@ func run(args []string, out io.Writer) error {
 		report.Experiments = append(report.Experiments, benchfmt.Timing{
 			Experiment: g.Name, WallMS: ms(wall), Rounds: cfg.Rounds, Workers: *workers,
 		})
+	}
+
+	if *drain {
+		// Bracket-prefixed like the wall-time lines, so output
+		// comparisons across worker fleets can filter both the same way.
+		st := queue.Stats()
+		fmt.Fprintf(out, "[drain %s: executed %d, loaded %d, reclaimed %d, conflicts %d, quarantined %d]\n",
+			queue.Owner(), st.Executed, st.Loaded, st.Reclaimed, st.Conflicts, st.Quarantined)
 	}
 
 	if sink != nil {

@@ -1,0 +1,90 @@
+// nwade-serve is the simulation service daemon: it exposes the engine
+// behind a JSON HTTP API (submit, status, result, cancel, live SSE
+// event streams, /healthz, /metricsz) and checkpoints running jobs so a
+// killed daemon resumes them on restart. See DESIGN.md §15 and the
+// README quickstart.
+//
+//	nwade-serve -addr 127.0.0.1:8787 -dir serve-state
+//	curl -s -X POST localhost:8787/jobs -d '{"scenario":"V1","duration":"60s","seed":42}'
+//	curl -N localhost:8787/jobs/j0000/events
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"nwade/internal/serve"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "nwade-serve:", err)
+		os.Exit(1)
+	}
+}
+
+// testQuit, when non-nil, lets tests request the same graceful shutdown
+// a SIGTERM triggers without signalling the whole test process.
+var testQuit chan struct{}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("nwade-serve", flag.ContinueOnError)
+	fs.SetOutput(out)
+	var (
+		addr      = fs.String("addr", "127.0.0.1:8787", "listen address (host:port; port 0 picks a free port)")
+		dir       = fs.String("dir", "serve-state", "state directory; restart with the same directory to resume jobs")
+		jobs      = fs.Int("jobs", 2, "concurrently running simulation jobs")
+		ckptEvery = fs.Duration("checkpoint-every", 5*time.Second,
+			"default per-job checkpoint interval in simulated time (negative disables)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 0 {
+		return fmt.Errorf("unexpected arguments: %v", fs.Args())
+	}
+	// Bind the port before touching the state directory: if another
+	// daemon already serves this address (and so likely owns the same
+	// state dir), fail without recovering — and racing on — its jobs.
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		return err
+	}
+	s, err := serve.New(serve.Options{Dir: *dir, Workers: *jobs, CheckpointEvery: *ckptEvery})
+	if err != nil {
+		closeErr := ln.Close()
+		return errors.Join(err, closeErr)
+	}
+	fmt.Fprintf(out, "nwade-serve listening on http://%s (state %s)\n", ln.Addr(), *dir)
+
+	hs := &http.Server{Handler: s}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	select {
+	case <-ctx.Done():
+	case <-testQuit:
+	case err := <-errc:
+		closeErr := s.Close()
+		return errors.Join(err, closeErr)
+	}
+
+	// Graceful shutdown: stop accepting, then park running jobs as
+	// checkpointed-and-queued so the next start resumes them.
+	fmt.Fprintln(out, "nwade-serve: shutting down")
+	sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	shutErr := hs.Shutdown(sctx)
+	return errors.Join(shutErr, s.Close())
+}

@@ -1,0 +1,140 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http"
+	"regexp"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// syncBuffer is a goroutine-safe writer the daemon's startup banner
+// lands in; the test scrapes the bound address out of it.
+type syncBuffer struct {
+	mu sync.Mutex
+	b  bytes.Buffer
+}
+
+func (s *syncBuffer) Write(p []byte) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Write(p)
+}
+
+func (s *syncBuffer) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.String()
+}
+
+var listenRe = regexp.MustCompile(`listening on (http://[^ ]+) `)
+
+// TestServeEndToEnd boots the real daemon on an ephemeral port, drives
+// one job through the HTTP API, and shuts it down gracefully via the
+// test quit channel (standing in for SIGTERM).
+func TestServeEndToEnd(t *testing.T) {
+	out := &syncBuffer{}
+	testQuit = make(chan struct{})
+	defer func() { testQuit = nil }()
+	done := make(chan error, 1)
+	go func() {
+		done <- run([]string{"-addr", "127.0.0.1:0", "-dir", t.TempDir(), "-jobs", "1"}, out)
+	}()
+
+	var base string
+	for deadline := time.Now().Add(time.Minute); ; {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			base = m[1]
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	resp, err := http.Get(base + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz: %d", resp.StatusCode)
+	}
+
+	resp, err = http.Post(base+"/jobs", "application/json",
+		strings.NewReader(`{"scenario":"benign","duration":"3s","seed":5,"keybits":512}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID    string `json:"id"`
+		State string `json:"state"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted || v.ID == "" {
+		t.Fatalf("submit: %d %+v", resp.StatusCode, v)
+	}
+
+	for deadline := time.Now().Add(time.Minute); ; {
+		resp, err := http.Get(base + "/jobs/" + v.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State  string `json:"state"`
+			Error  string `json:"error"`
+			Result *struct {
+				Digest string `json:"digest"`
+			} `json:"result"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == "done" {
+			if st.Result == nil || st.Result.Digest == "" {
+				t.Fatalf("done without digest: %+v", st)
+			}
+			break
+		}
+		if st.State == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s", st.State)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	close(testQuit)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not shut down")
+	}
+	if !strings.Contains(out.String(), "shutting down") {
+		t.Errorf("missing shutdown banner in %q", out.String())
+	}
+}
+
+func TestServeRejectsArgsAndBadFlags(t *testing.T) {
+	if err := run([]string{"stray"}, &syncBuffer{}); err == nil {
+		t.Error("stray positional argument must be rejected")
+	}
+	if err := run([]string{"-nosuchflag"}, &syncBuffer{}); err == nil {
+		t.Error("unknown flag must be rejected")
+	}
+	if err := run([]string{"-addr", "999.999.999.999:1", "-dir", t.TempDir()}, &syncBuffer{}); err == nil {
+		t.Error("unusable listen address must be rejected")
+	}
+}

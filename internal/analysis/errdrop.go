@@ -52,6 +52,11 @@ func DefaultErrDropConfig() ErrDropConfig {
 		{PkgPath: "nwade/internal/roadnet", Recv: "", Name: "DecodeState"},
 		{PkgPath: "nwade/internal/cliconf", Recv: "Flags", Name: "Build"},
 		{PkgPath: "nwade/internal/cliconf", Recv: "", Name: "Load"},
+		{PkgPath: "nwade/internal/eval", Recv: "DirQueue", Name: "Complete"},
+		{PkgPath: "nwade/internal/eval", Recv: "DirQueue", Name: "Release"},
+		{PkgPath: "nwade/internal/eval", Recv: "DirQueue", Name: "Quarantine"},
+		{PkgPath: "nwade/internal/serve", Recv: "", Name: "WriteJob"},
+		{PkgPath: "nwade/internal/serve", Recv: "", Name: "ReadJob"},
 		{PkgPath: "encoding/json", Recv: "Encoder", Name: "Encode"},
 		{PkgPath: "encoding/json", Recv: "", Name: "Marshal"},
 		{PkgPath: "os", Recv: "", Name: "WriteFile"},

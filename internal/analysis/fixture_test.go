@@ -96,7 +96,11 @@ func runFixture(t *testing.T, name string, analyzers []*Analyzer) {
 func TestNoDeterminismFixture(t *testing.T) {
 	// An empty prefix list applies the rule to every package, so the
 	// fixture is in scope even though it lives outside the sim core.
-	runFixture(t, "nodeterminism", []*Analyzer{NewNoDeterminism(NoDeterminismConfig{})})
+	// The fixture declares its own wallNow shim, sanctioned exactly as
+	// the production eval/obs/roadnet shims are.
+	runFixture(t, "nodeterminism", []*Analyzer{NewNoDeterminism(NoDeterminismConfig{
+		Sanctioned: []string{fixturePath + "nodeterminism.wallNow"},
+	})})
 }
 
 func TestMapRangeFixture(t *testing.T) {
@@ -115,7 +119,7 @@ func TestHotAllocFixture(t *testing.T) {
 	// PkgPath "" applies the rule to the fixture package; the function
 	// list mirrors the fixture's hot functions (cold is absent).
 	runFixture(t, "hotalloc", []*Analyzer{NewHotAlloc(HotAllocConfig{
-		Functions: []string{"tick", "sense", "rebuild"},
+		Functions: []string{"tick", "sense", "rebuild", "publish"},
 	})})
 }
 

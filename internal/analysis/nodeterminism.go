@@ -20,9 +20,10 @@ type NoDeterminismConfig struct {
 
 // DefaultNoDeterminismConfig bans wall-clock and global-RNG reads inside
 // the simulation core: everything a seeded replay flows through. The
-// observability layer is in scope too — its one sanctioned wall-clock
-// read (obs.wallNow, behind the explicit profiling mode) is the only
-// place the host clock may enter.
+// observability and sweep layers are in scope too; the host clock may
+// enter only through the sanctioned per-package wallNow shims —
+// obs.wallNow (behind the explicit profiling mode), roadnet.wallNow,
+// and eval.wallNow (work-queue lease stamps; sequencing, never results).
 func DefaultNoDeterminismConfig() NoDeterminismConfig {
 	return NoDeterminismConfig{
 		PackagePrefixes: []string{
@@ -37,6 +38,7 @@ func DefaultNoDeterminismConfig() NoDeterminismConfig {
 			"nwade/internal/roadnet",
 		},
 		Sanctioned: []string{
+			"nwade/internal/eval.wallNow",
 			"nwade/internal/obs.wallNow",
 			"nwade/internal/roadnet.wallNow",
 		},

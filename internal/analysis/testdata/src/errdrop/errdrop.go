@@ -8,6 +8,8 @@ import (
 	"os"
 
 	"nwade/internal/chain"
+	"nwade/internal/eval"
+	"nwade/internal/serve"
 	"nwade/internal/sim"
 	"nwade/internal/snap"
 )
@@ -66,5 +68,30 @@ func checkedSnap(spec snap.Spec, st *sim.State) error {
 		return err
 	}
 	_, _, err := snap.ReadFile("x.snap")
+	return err
+}
+
+// droppedQueue discards work-queue lease errors: a Complete whose
+// ErrLeaseLost goes unread double-records a cell; a dropped Release
+// leaves the cell stuck until the TTL reclaims it.
+func droppedQueue(q *eval.DirQueue, l *eval.Lease) {
+	q.Complete(l, nil)    // want "error result of nwade/internal/eval\.DirQueue\.Complete discarded"
+	defer q.Release(l)    // want "error result of nwade/internal/eval\.DirQueue\.Release discarded"
+	_ = q.Quarantine("k") // want "error result of nwade/internal/eval\.DirQueue\.Quarantine assigned to _"
+}
+
+// droppedServe discards job-record persistence errors: a lost job.json
+// write is a job the next daemon start silently forgets.
+func droppedServe(rec serve.JobRecord) {
+	serve.WriteJob("job.json", rec)  // want "error result of nwade/internal/serve\.WriteJob discarded"
+	_, _ = serve.ReadJob("job.json") // want "error result of nwade/internal/serve\.ReadJob assigned to _"
+}
+
+// checkedQueue handles every queue and job-record error.
+func checkedQueue(q *eval.DirQueue, l *eval.Lease) error {
+	if err := q.Complete(l, nil); err != nil {
+		return err
+	}
+	_, err := serve.ReadJob("job.json")
 	return err
 }

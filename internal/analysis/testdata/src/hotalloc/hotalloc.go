@@ -70,3 +70,16 @@ func (e *engine) cold() []*item {
 	out := make([]*item, 0, len(e.all))
 	return append(out, e.all...)
 }
+
+// publish models a trace-stream hub's per-record fan-out (the serve
+// broadcaster's shape): it runs once per simulated event, so copies
+// must reuse hoisted storage just like tick-path code.
+func (e *engine) publish(line []*item) {
+	dup := make([]*item, len(line)) // want "make allocates every tick"
+	copy(dup, line)
+	var backlog []*item
+	backlog = append(backlog, dup...) // want "append to a non-hoisted slice"
+	_ = backlog
+	// Hoisted reuse: the hub's scratch buffer absorbs the line.
+	e.scratch = append(e.scratch[:0], line...)
+}

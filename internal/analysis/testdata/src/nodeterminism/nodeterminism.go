@@ -41,3 +41,18 @@ func suppressed() time.Time {
 	//lint:ignore nodeterminism fixture demonstrates an explained suppression
 	return time.Now()
 }
+
+// wallNow mirrors the production wallNow shims (eval, obs, roadnet):
+// the fixture config sanctions it, so its body may read the host clock
+// without a finding.
+func wallNow() time.Time { return time.Now() }
+
+// leaseExpired models the eval work-queue's TTL check done wrong: a
+// clock read outside the sanctioned shim is flagged even though the
+// same expression inside wallNow is not.
+func leaseExpired(expiry time.Time) bool {
+	if wallNow().After(expiry) { // sanctioned path: silent
+		return true
+	}
+	return time.Now().After(expiry) // want "time\.Now reads the wall clock"
+}

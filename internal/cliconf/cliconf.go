@@ -38,24 +38,43 @@ type Flags struct {
 	TickWorkers  int
 }
 
+// Defaults returns the flag values every tool starts from. Register
+// installs exactly these as flag defaults; non-flag front ends (the
+// nwade-serve JSON API) overlay submissions onto the same struct, so a
+// field a client omits means what an unset flag means.
+func Defaults() Flags {
+	return Flags{
+		Intersection: "cross4",
+		Density:      80,
+		Duration:     60 * time.Second,
+		Seed:         1,
+		AttackName:   "benign",
+		AttackAt:     25 * time.Second,
+		NWADE:        true,
+		KeyBits:      1024,
+		TickWorkers:  1,
+	}
+}
+
 // Register installs the shared scenario flags on a flag set and returns
 // the struct they parse into.
 func Register(fs *flag.FlagSet) *Flags {
+	d := Defaults()
 	f := &Flags{}
-	fs.StringVar(&f.Network, "network", "", `road network: "grid:RxC" or "corridor:N" (empty = single intersection)`)
-	fs.StringVar(&f.Intersection, "intersection", "cross4",
+	fs.StringVar(&f.Network, "network", d.Network, `road network: "grid:RxC" or "corridor:N" (empty = single intersection)`)
+	fs.StringVar(&f.Intersection, "intersection", d.Intersection,
 		"layout: "+strings.Join(intersection.KindNameList(), ", ")+"; with -network also \"mix\"")
-	fs.Float64Var(&f.Density, "density", 80, "arrival rate in vehicles per minute (paper: 20-120)")
-	fs.DurationVar(&f.Duration, "duration", 60*time.Second, "simulated time span")
-	fs.Int64Var(&f.Seed, "seed", 1, "random seed (runs are deterministic per seed)")
-	fs.StringVar(&f.AttackName, "scenario", "benign", "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
-	fs.DurationVar(&f.AttackAt, "attack-at", 25*time.Second, "when the compromise activates")
-	fs.IntVar(&f.AttackRegion, "attack-region", 0, "region index mounting the attack (network runs only)")
-	fs.BoolVar(&f.NWADE, "nwade", true, "enable the NWADE mechanism (false = plain AIM baseline)")
-	fs.IntVar(&f.KeyBits, "keybits", 1024, "IM signing key size (paper: 2048)")
-	fs.StringVar(&f.Faults, "faults", "", "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
-	fs.BoolVar(&f.Retrans, "retrans", false, "enable the protocol retransmission layer (pair with -faults)")
-	fs.IntVar(&f.TickWorkers, "tick-workers", 1,
+	fs.Float64Var(&f.Density, "density", d.Density, "arrival rate in vehicles per minute (paper: 20-120)")
+	fs.DurationVar(&f.Duration, "duration", d.Duration, "simulated time span")
+	fs.Int64Var(&f.Seed, "seed", d.Seed, "random seed (runs are deterministic per seed)")
+	fs.StringVar(&f.AttackName, "scenario", d.AttackName, "attack setting: benign, V1, V2, V3, V5, V10, IM, IM_V1..IM_V10")
+	fs.DurationVar(&f.AttackAt, "attack-at", d.AttackAt, "when the compromise activates")
+	fs.IntVar(&f.AttackRegion, "attack-region", d.AttackRegion, "region index mounting the attack (network runs only)")
+	fs.BoolVar(&f.NWADE, "nwade", d.NWADE, "enable the NWADE mechanism (false = plain AIM baseline)")
+	fs.IntVar(&f.KeyBits, "keybits", d.KeyBits, "IM signing key size (paper: 2048)")
+	fs.StringVar(&f.Faults, "faults", d.Faults, "network fault profile ("+strings.Join(vnet.FaultProfileNames(), ", ")+")")
+	fs.BoolVar(&f.Retrans, "retrans", d.Retrans, "enable the protocol retransmission layer (pair with -faults)")
+	fs.IntVar(&f.TickWorkers, "tick-workers", d.TickWorkers,
 		"in-run worker pool (per-tick phases for one intersection, regions for a network; results are bit-identical for any value)")
 	return f
 }

@@ -27,6 +27,20 @@ func TestBuildDefaultsResolve(t *testing.T) {
 	}
 }
 
+// TestRegisterMatchesDefaults pins the flag defaults to Defaults(): the
+// JSON front end overlays submissions onto that struct, so a drifting
+// flag default would make "omitted over HTTP" and "omitted on the
+// command line" mean different scenarios.
+func TestRegisterMatchesDefaults(t *testing.T) {
+	got, err := buildFrom(t)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != Defaults() {
+		t.Errorf("parsed defaults %+v differ from Defaults() %+v", got, Defaults())
+	}
+}
+
 func TestBuildRejectsUnknownScenario(t *testing.T) {
 	_, err := buildFrom(t, "-scenario", "V99")
 	if err == nil || !strings.Contains(err.Error(), "unknown scenario") {

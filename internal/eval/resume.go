@@ -16,8 +16,6 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
 	"time"
 
 	"nwade/internal/attack"
@@ -34,52 +32,15 @@ type CellStore interface {
 	Save(key string, data []byte) error
 }
 
-// DirStore is a CellStore backed by one file per cell in a directory.
-type DirStore struct{ dir string }
-
-// NewDirStore creates the directory if needed.
-func NewDirStore(dir string) (*DirStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("eval: cell store: %w", err)
-	}
-	return &DirStore{dir: dir}, nil
-}
-
-func (s *DirStore) path(key string) string { return filepath.Join(s.dir, key+".json") }
-
-// Load reads one cell; a missing file is a miss, not an error.
-func (s *DirStore) Load(key string) ([]byte, bool, error) {
-	data, err := os.ReadFile(s.path(key))
-	if os.IsNotExist(err) {
-		return nil, false, nil
-	}
-	if err != nil {
-		return nil, false, fmt.Errorf("eval: cell store: %w", err)
-	}
-	return data, true, nil
-}
-
-// Save writes one cell atomically (temp file + rename), so a crash
-// mid-write cannot leave a torn cell that poisons the next resume.
-func (s *DirStore) Save(key string, data []byte) error {
-	tmp, err := os.CreateTemp(s.dir, key+".tmp-*")
-	if err != nil {
-		return fmt.Errorf("eval: cell store: %w", err)
-	}
-	if _, err := tmp.Write(data); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("eval: cell store: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("eval: cell store: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), s.path(key)); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("eval: cell store: %w", err)
-	}
-	return nil
+// NewDirStore opens a directory-backed cell store, creating the
+// directory if needed. Historically this returned a write-through
+// DirStore whose cell files carried no lease or ownership metadata, so
+// two workers sharing a directory could both claim — and both run — the
+// same cell. It now returns a *DirQueue (see queue.go): every directory
+// store runs the lease protocol, and single-worker resume is simply the
+// uncontended case.
+func NewDirStore(dir string) (*DirQueue, error) {
+	return NewDirQueue(dir, QueueOptions{})
 }
 
 // CellCodec serializes one cell result for a CellStore.
@@ -93,11 +54,17 @@ type CellCodec[R any] struct {
 // cell is saved before it is returned. A corrupt or undecodable store
 // entry falls back to running the cell; a failed save fails the cell
 // (silently losing checkpoints would defeat the resume). A nil store
-// degrades to plain RunCells.
+// degrades to plain RunCells; a Queue-capable store switches to the
+// cooperative drain protocol (see drain.go), under which several
+// workers sharing the store each execute a disjoint subset of the cells
+// while every worker still returns the full result set.
 func RunCellsStored[C, R any](workers int, store CellStore, key func(int, C) string,
 	codec CellCodec[R], cells []C, run func(C) (R, error)) ([]R, error) {
 	if store == nil {
 		return RunCells(workers, cells, run)
+	}
+	if q, ok := store.(Queue); ok {
+		return runCellsQueued(workers, q, key, codec, cells, run)
 	}
 	idx := make([]int, len(cells))
 	for i := range idx {

@@ -1,0 +1,303 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nwade/internal/metrics"
+	"nwade/internal/obs"
+	"nwade/internal/sim"
+	"nwade/internal/snap"
+)
+
+// JobState is a job's position in its lifecycle. queued and running
+// survive a daemon kill (both restart as queued); the other three are
+// terminal.
+type JobState string
+
+const (
+	JobQueued   JobState = "queued"
+	JobRunning  JobState = "running"
+	JobDone     JobState = "done"
+	JobFailed   JobState = "failed"
+	JobCanceled JobState = "canceled"
+)
+
+// jobStates is every state in rendering order (list endpoint, metrics).
+var jobStates = []JobState{JobQueued, JobRunning, JobDone, JobFailed, JobCanceled}
+
+// JobResult is the summary of a finished run. Digest is
+// metrics.Digest of the full run result — the replay-gate identity, so
+// a resumed job proving bit-equality to an uninterrupted one is one
+// string comparison.
+type JobResult struct {
+	Spawned     int    `json:"spawned"`
+	Exited      int    `json:"exited"`
+	Collisions  int    `json:"collisions"`
+	Retransmits int    `json:"retransmits"`
+	Digest      string `json:"digest"`
+}
+
+// JobRecord is the durable form of a job: everything needed to rebuild
+// and finish it after a daemon restart. The scenario is stored as a
+// snap.Spec — the same named, rebuildable form checkpoints use — so the
+// job file and its ckpt.snap can never disagree about configuration.
+type JobRecord struct {
+	ID                string     `json:"id"`
+	Spec              snap.Spec  `json:"spec"`
+	CheckpointEveryNS int64      `json:"checkpoint_every_ns"`
+	ThrottleNS        int64      `json:"throttle_ns,omitempty"`
+	State             JobState   `json:"state"`
+	Resumes           int        `json:"resumes,omitempty"`
+	Error             string     `json:"error,omitempty"`
+	Result            *JobResult `json:"result,omitempty"`
+}
+
+// WriteJob persists a job record atomically (temp + rename), so a kill
+// mid-write leaves the previous record, never a torn one.
+func WriteJob(path string, rec JobRecord) error {
+	data, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: job record: %w", err)
+	}
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("serve: job record: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return fmt.Errorf("serve: job record: %w", err)
+	}
+	return nil
+}
+
+// ReadJob loads a persisted job record.
+func ReadJob(path string) (JobRecord, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return JobRecord{}, fmt.Errorf("serve: job record: %w", err)
+	}
+	var rec JobRecord
+	if err := json.Unmarshal(data, &rec); err != nil {
+		return JobRecord{}, fmt.Errorf("serve: job record %s: %w", path, err)
+	}
+	return rec, nil
+}
+
+// job is one submission's live form: the durable record plus the
+// in-memory machinery around it.
+type job struct {
+	id  string
+	dir string
+
+	mu  sync.Mutex // guards rec
+	rec JobRecord
+
+	simNowNS atomic.Int64
+	cancel   atomic.Bool
+	// crash is the in-process stand-in for kill -9 (the CI service job
+	// does it for real): the run loop abandons the job without
+	// persisting anything further, leaving state "running" on disk so
+	// the next daemon start must resume it.
+	crash atomic.Bool
+
+	bc   *broadcaster
+	done chan struct{}
+}
+
+func (j *job) recordPath() string { return filepath.Join(j.dir, "job.json") }
+func (j *job) ckptPath() string   { return filepath.Join(j.dir, "ckpt.snap") }
+func (j *job) tracePath() string  { return filepath.Join(j.dir, "trace.jsonl") }
+
+// snapshot returns a copy of the record for rendering.
+func (j *job) snapshot() JobRecord {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.rec
+}
+
+// update mutates the record under the lock and persists it.
+func (j *job) update(f func(*JobRecord)) error {
+	j.mu.Lock()
+	f(&j.rec)
+	rec := j.rec
+	j.mu.Unlock()
+	return WriteJob(j.recordPath(), rec)
+}
+
+// finish moves the job to a terminal state: persist first, then close
+// the stream (subscribers see the last trace line before their channel
+// ends) and signal waiters.
+func (j *job) finish(f func(*JobRecord)) {
+	if err := j.update(f); err != nil {
+		// The run is over either way; the record on disk is stale but
+		// intact (WriteJob is atomic). Surface it to status readers.
+		j.mu.Lock()
+		if j.rec.Error == "" {
+			j.rec.Error = err.Error()
+		}
+		j.mu.Unlock()
+	}
+	if err := j.bc.Close(); err != nil {
+		j.mu.Lock()
+		if j.rec.Error == "" {
+			j.rec.Error = err.Error()
+		}
+		j.mu.Unlock()
+	}
+	close(j.done)
+}
+
+// runJob executes one job on a pool worker: build (or restore) the
+// engine, step it to completion with periodic checkpoints, record the
+// result. The digest of a job that was killed and resumed any number of
+// times is bit-identical to an uninterrupted run — the engine's
+// restore guarantee, which the CI service job re-proves end to end.
+func (s *Server) runJob(j *job) {
+	if j.cancel.Load() {
+		j.finish(func(r *JobRecord) { r.State = JobCanceled })
+		return
+	}
+	if err := j.update(func(r *JobRecord) { r.State = JobRunning }); err != nil {
+		s.failJob(j, err)
+		return
+	}
+	rec := j.snapshot()
+	cfg, err := rec.Spec.Scenario()
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	duration := cfg.Normalize().Duration
+
+	sink := obs.New(obs.Options{Trace: j.bc})
+	sink.WriteMeta(obs.Meta{
+		Tool:         "nwade-serve",
+		Scenario:     cfg.Attack.Name,
+		Seed:         cfg.Seed,
+		Intersection: cfg.Intersection,
+		DurationNS:   int64(duration),
+	})
+
+	var e *sim.Engine
+	if _, serr := os.Stat(j.ckptPath()); serr == nil {
+		_, st, rerr := snap.ReadFile(j.ckptPath())
+		if rerr != nil {
+			s.failJob(j, fmt.Errorf("resume checkpoint: %w", rerr))
+			return
+		}
+		e, err = sim.Restore(cfg, st, sim.WithObs(sink))
+	} else {
+		e, err = sim.New(cfg, sim.WithObs(sink))
+	}
+	if err != nil {
+		s.failJob(j, err)
+		return
+	}
+	j.simNowNS.Store(int64(e.Now()))
+
+	every := time.Duration(rec.CheckpointEveryNS)
+	throttle := time.Duration(rec.ThrottleNS)
+	next := duration
+	if every > 0 {
+		// First checkpoint boundary strictly ahead of the (possibly
+		// restored) clock, aligned to multiples of the interval.
+		next = every * (e.Now()/every + 1)
+	}
+	for e.Now() < duration {
+		if j.crash.Load() {
+			// Simulated power loss: close the fds a real kill would
+			// close, persist nothing.
+			if err := j.bc.Close(); err != nil {
+				_ = err // the "process" is gone; nobody to report to
+			}
+			return
+		}
+		if j.cancel.Load() {
+			j.finish(func(r *JobRecord) { r.State = JobCanceled })
+			return
+		}
+		select {
+		case <-s.stopping:
+			s.suspendJob(j, e, rec.Spec)
+			return
+		default:
+		}
+		e.Step()
+		s.ticks.Add(1)
+		j.simNowNS.Store(int64(e.Now()))
+		if every > 0 && e.Now() >= next && e.Now() < duration {
+			if err := s.checkpoint(j, e, rec.Spec); err != nil {
+				s.failJob(j, err)
+				return
+			}
+			next += every
+		}
+		if throttle > 0 {
+			time.Sleep(throttle)
+		}
+	}
+	res := e.Result()
+	if err := sink.Close(); err != nil {
+		s.failJob(j, fmt.Errorf("trace: %w", err))
+		return
+	}
+	j.finish(func(r *JobRecord) {
+		r.State = JobDone
+		r.Result = &JobResult{
+			Spawned:     res.Spawned,
+			Exited:      res.Exited,
+			Collisions:  res.Collisions,
+			Retransmits: res.Retransmits,
+			Digest:      metrics.Digest(res),
+		}
+	})
+}
+
+// checkpoint snapshots the engine at the current tick boundary and
+// replaces ckpt.snap atomically: at every instant there is exactly one
+// complete checkpoint on disk for a killed daemon to resume from.
+func (s *Server) checkpoint(j *job, e *sim.Engine, spec snap.Spec) error {
+	st, err := e.Snapshot()
+	if err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	tmp := j.ckptPath() + ".tmp"
+	if err := snap.WriteFile(tmp, spec, st); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, j.ckptPath()); err != nil {
+		return fmt.Errorf("checkpoint: %w", err)
+	}
+	return nil
+}
+
+// suspendJob parks a running job for daemon shutdown: checkpoint at the
+// current boundary, back to queued, stream closed. The next daemon
+// start re-enqueues it and the engine restores exactly here.
+func (s *Server) suspendJob(j *job, e *sim.Engine, spec snap.Spec) {
+	if err := s.checkpoint(j, e, spec); err != nil {
+		s.failJob(j, fmt.Errorf("suspend: %w", err))
+		return
+	}
+	if err := j.update(func(r *JobRecord) { r.State = JobQueued }); err != nil {
+		s.failJob(j, err)
+		return
+	}
+	if err := j.bc.Close(); err != nil {
+		s.failJob(j, err)
+	}
+	// done stays open: the job is not over, this daemon just is.
+}
+
+// failJob records a terminal failure.
+func (s *Server) failJob(j *job, err error) {
+	j.finish(func(r *JobRecord) {
+		r.State = JobFailed
+		r.Error = err.Error()
+	})
+}

@@ -1,0 +1,584 @@
+// Package serve is the simulation-as-a-service layer: a long-lived
+// daemon around the same engine the batch CLIs drive. Clients submit
+// scenarios (the cliconf vocabulary, as JSON), a bounded worker pool
+// runs them, trace events stream live over SSE, and every job
+// checkpoints through internal/snap as it runs — a killed daemon
+// restarts, re-enqueues its in-flight jobs, and finishes them with
+// results bit-identical to an uninterrupted run. DESIGN.md §15 covers
+// the architecture and its guarantees.
+//
+// The state directory layout is one subdirectory per job:
+//
+//	<dir>/jobs/<id>/job.json     durable JobRecord (atomic replace)
+//	<dir>/jobs/<id>/ckpt.snap    latest checkpoint (atomic replace)
+//	<dir>/jobs/<id>/trace.jsonl  append-only obs trace
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"nwade/internal/cliconf"
+	"nwade/internal/snap"
+)
+
+// Options configures a Server.
+type Options struct {
+	// Dir is the state directory; it is created if needed and is the
+	// unit of daemon identity — restart with the same Dir to resume.
+	Dir string
+	// Workers bounds concurrently running jobs (default 2).
+	Workers int
+	// CheckpointEvery is the default simulated-time checkpoint interval
+	// for submissions that don't set their own (default 5s). Zero after
+	// an explicit negative disables default checkpointing.
+	CheckpointEvery time.Duration
+}
+
+func (o Options) normalize() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.CheckpointEvery == 0 {
+		o.CheckpointEvery = 5 * time.Second
+	}
+	if o.CheckpointEvery < 0 {
+		o.CheckpointEvery = 0
+	}
+	return o
+}
+
+// queueDepth bounds jobs accepted but not yet running; past it, submits
+// get 503 rather than unbounded memory growth.
+const queueDepth = 1024
+
+// Server is the daemon: an http.Handler plus the job table and worker
+// pool behind it.
+type Server struct {
+	opts  Options
+	mux   *http.ServeMux
+	start time.Time
+
+	mu     sync.Mutex
+	jobs   map[string]*job
+	order  []string
+	nextID int
+	closed bool
+
+	queue    chan *job
+	stopping chan struct{}
+	wg       sync.WaitGroup
+
+	submitted atomic.Int64
+	resumed   atomic.Int64
+	ticks     atomic.Int64
+	requests  atomic.Int64
+}
+
+// New opens (or creates) a state directory, re-enqueues every job a
+// previous daemon left queued or running, and starts the worker pool.
+func New(opts Options) (*Server, error) {
+	s := &Server{
+		opts:     opts.normalize(),
+		start:    time.Now(),
+		jobs:     map[string]*job{},
+		queue:    make(chan *job, queueDepth),
+		stopping: make(chan struct{}),
+	}
+	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
+		return nil, fmt.Errorf("serve: state dir: %w", err)
+	}
+	if err := s.recover(); err != nil {
+		return nil, err
+	}
+	s.routes()
+	for i := 0; i < s.opts.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s, nil
+}
+
+func (s *Server) jobsDir() string { return filepath.Join(s.opts.Dir, "jobs") }
+
+// recover scans the state directory and rebuilds the job table. Jobs
+// found running were interrupted by a kill: they restart as queued with
+// Resumes bumped, and their checkpoint (if any) decides where the
+// engine picks up. ReadDir returns sorted names and IDs are
+// zero-padded, so re-enqueueing preserves submission order.
+func (s *Server) recover() error {
+	entries, err := os.ReadDir(s.jobsDir())
+	if err != nil {
+		return fmt.Errorf("serve: state dir: %w", err)
+	}
+	for _, ent := range entries {
+		if !ent.IsDir() {
+			continue
+		}
+		j := &job{id: ent.Name(), dir: filepath.Join(s.jobsDir(), ent.Name()), done: make(chan struct{})}
+		rec, err := ReadJob(j.recordPath())
+		if err != nil {
+			return err
+		}
+		j.rec = rec
+		var n int
+		if _, err := fmt.Sscanf(j.id, "j%d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+		switch rec.State {
+		case JobRunning, JobQueued:
+			if rec.State == JobRunning {
+				if err := j.update(func(r *JobRecord) { r.State = JobQueued; r.Resumes++ }); err != nil {
+					return err
+				}
+				s.resumed.Add(1)
+			}
+			bc, err := newBroadcaster(j.tracePath())
+			if err != nil {
+				return err
+			}
+			j.bc = bc
+			s.queue <- j
+		default:
+			// Terminal: history only. Events replay from the trace file,
+			// so no broadcaster is opened (done is already closed).
+			close(j.done)
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j.id)
+	}
+	return nil
+}
+
+// worker drains the job queue until shutdown.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-s.stopping:
+			return
+		case j, ok := <-s.queue:
+			if !ok {
+				return
+			}
+			s.runJob(j)
+		}
+	}
+}
+
+// Close stops the worker pool gracefully: running jobs checkpoint and
+// park as queued, queued jobs stay queued, and a later New on the same
+// directory picks all of them up.
+func (s *Server) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.mu.Unlock()
+	close(s.stopping)
+	s.wg.Wait()
+	// Broadcasters of jobs that never got a worker again: close so
+	// their subscribers end and the trace fds release.
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	for _, id := range s.order {
+		if bc := s.jobs[id].bc; bc != nil {
+			if err := bc.Close(); err != nil && firstErr == nil {
+				firstErr = err
+			}
+		}
+	}
+	return firstErr
+}
+
+// --- HTTP surface -----------------------------------------------------
+
+// Submit is the POST /jobs request body. Every field is optional and
+// overlays cliconf.Defaults(), so omitting a field over HTTP means
+// exactly what omitting the flag means on the nwade-sim command line.
+// Durations are Go duration strings ("45s", "2m").
+type Submit struct {
+	Network      string  `json:"network,omitempty"`
+	Intersection string  `json:"intersection,omitempty"`
+	Density      float64 `json:"density,omitempty"`
+	Duration     string  `json:"duration,omitempty"`
+	Seed         *int64  `json:"seed,omitempty"`
+	Scenario     string  `json:"scenario,omitempty"`
+	AttackAt     string  `json:"attack_at,omitempty"`
+	NWADE        *bool   `json:"nwade,omitempty"`
+	KeyBits      int     `json:"keybits,omitempty"`
+	Faults       string  `json:"faults,omitempty"`
+	Retrans      bool    `json:"retrans,omitempty"`
+	TickWorkers  int     `json:"tick_workers,omitempty"`
+	// CheckpointEvery overrides the daemon's default checkpoint
+	// interval (simulated time) for this job.
+	CheckpointEvery string `json:"checkpoint_every,omitempty"`
+	// Throttle sleeps this long of wall time per tick — pure pacing for
+	// live dashboards (and for the CI kill-mid-run window); it cannot
+	// affect results.
+	Throttle string `json:"throttle,omitempty"`
+}
+
+// flags overlays the submission onto the shared defaults.
+func (sub Submit) flags() (cliconf.Flags, error) {
+	f := cliconf.Defaults()
+	if sub.Network != "" {
+		f.Network = sub.Network
+	}
+	if sub.Intersection != "" {
+		f.Intersection = sub.Intersection
+	}
+	if sub.Density != 0 {
+		f.Density = sub.Density
+	}
+	if sub.Duration != "" {
+		d, err := time.ParseDuration(sub.Duration)
+		if err != nil {
+			return f, fmt.Errorf("duration: %w", err)
+		}
+		f.Duration = d
+	}
+	if sub.Seed != nil {
+		f.Seed = *sub.Seed
+	}
+	if sub.Scenario != "" {
+		f.AttackName = sub.Scenario
+	}
+	if sub.AttackAt != "" {
+		d, err := time.ParseDuration(sub.AttackAt)
+		if err != nil {
+			return f, fmt.Errorf("attack_at: %w", err)
+		}
+		f.AttackAt = d
+	}
+	if sub.NWADE != nil {
+		f.NWADE = *sub.NWADE
+	}
+	if sub.KeyBits != 0 {
+		f.KeyBits = sub.KeyBits
+	}
+	if sub.Faults != "" {
+		f.Faults = sub.Faults
+	}
+	if sub.Retrans {
+		f.Retrans = true
+	}
+	if sub.TickWorkers != 0 {
+		f.TickWorkers = sub.TickWorkers
+	}
+	return f, nil
+}
+
+// statusView is a job as the status endpoints render it.
+type statusView struct {
+	JobRecord
+	SimNowNS int64 `json:"sim_now_ns"`
+}
+
+func (s *Server) view(j *job) statusView {
+	return statusView{JobRecord: j.snapshot(), SimNowNS: j.simNowNS.Load()}
+}
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("POST /jobs", s.handleSubmit)
+	s.mux.HandleFunc("GET /jobs", s.handleList)
+	s.mux.HandleFunc("GET /jobs/{id}", s.handleStatus)
+	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
+	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
+	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.requests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// writeJSON renders one response body.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
+		// Headers are gone; nothing more useful than dropping the
+		// connection, which the server does for us on return.
+		return
+	}
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	var sub Submit
+	if err := dec.Decode(&sub); err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad submission: " + err.Error()})
+		return
+	}
+	f, err := sub.flags()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	cfg, err := f.Build()
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	if cfg.IsNetwork() {
+		writeJSON(w, http.StatusBadRequest,
+			apiError{Error: "network scenarios are batch-only for now: run nwade-sim -network"})
+		return
+	}
+	every := s.opts.CheckpointEvery
+	if sub.CheckpointEvery != "" {
+		if every, err = time.ParseDuration(sub.CheckpointEvery); err != nil || every < 0 {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad checkpoint_every"})
+			return
+		}
+	}
+	var throttle time.Duration
+	if sub.Throttle != "" {
+		if throttle, err = time.ParseDuration(sub.Throttle); err != nil || throttle < 0 || throttle > time.Second {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: "bad throttle (0..1s per tick)"})
+			return
+		}
+	}
+	spec, err := snap.SpecFromScenario(cfg)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+		return
+	}
+	j, err := s.register(spec, every, throttle)
+	if err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if j == nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "job queue full"})
+		return
+	}
+	s.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, s.view(j))
+}
+
+// register creates, persists, and enqueues one job. A nil, nil return
+// means the queue is full (the job was not created).
+func (s *Server) register(spec snap.Spec, every, throttle time.Duration) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, fmt.Errorf("server is shut down")
+	}
+	if len(s.queue) >= queueDepth {
+		return nil, nil
+	}
+	id := fmt.Sprintf("j%04d", s.nextID)
+	j := &job{
+		id:   id,
+		dir:  filepath.Join(s.jobsDir(), id),
+		done: make(chan struct{}),
+		rec: JobRecord{
+			ID:                id,
+			Spec:              spec,
+			CheckpointEveryNS: int64(every),
+			ThrottleNS:        int64(throttle),
+			State:             JobQueued,
+		},
+	}
+	if err := os.MkdirAll(j.dir, 0o755); err != nil {
+		return nil, fmt.Errorf("serve: job dir: %w", err)
+	}
+	if err := WriteJob(j.recordPath(), j.rec); err != nil {
+		return nil, err
+	}
+	bc, err := newBroadcaster(j.tracePath())
+	if err != nil {
+		return nil, err
+	}
+	j.bc = bc
+	s.nextID++
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.queue <- j
+	return j, nil
+}
+
+// lookup resolves the {id} path segment.
+func (s *Server) lookup(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *Server) handleList(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]statusView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.view(s.jobs[id]))
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, struct {
+		Jobs []statusView `json:"jobs"`
+	}{views})
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.view(j))
+}
+
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	rec := j.snapshot()
+	switch rec.State {
+	case JobDone:
+		writeJSON(w, http.StatusOK, rec.Result)
+	case JobFailed:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: rec.Error})
+	default:
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is %s", rec.State)})
+	}
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	j.cancel.Store(true)
+	writeJSON(w, http.StatusAccepted, s.view(j))
+}
+
+// handleEvents streams the job's obs trace as server-sent events: the
+// full history so far, then live lines until the job (or client) ends.
+// Each SSE data line is one JSONL trace record.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: "streaming unsupported"})
+		return
+	}
+	var history [][]byte
+	var live <-chan []byte
+	cancel := func() {}
+	if j.bc != nil {
+		var err error
+		history, live, cancel, err = j.bc.Subscribe()
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+	} else {
+		// Terminal job from a previous daemon life: replay the file.
+		var err error
+		history, err = readTraceLines(j.tracePath())
+		if err != nil {
+			writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+			return
+		}
+	}
+	defer cancel()
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+	for _, line := range history {
+		if !writeEvent(w, line) {
+			return
+		}
+	}
+	flusher.Flush()
+	if live == nil {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case line, ok := <-live:
+			if !ok {
+				return
+			}
+			if !writeEvent(w, line) {
+				return
+			}
+			flusher.Flush()
+		}
+	}
+}
+
+// writeEvent frames one trace line as an SSE event; false means the
+// client is gone.
+func writeEvent(w http.ResponseWriter, line []byte) bool {
+	if _, err := fmt.Fprintf(w, "data: %s\n\n", strings.TrimRight(string(line), "\n")); err != nil {
+		return false
+	}
+	return true
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if _, err := fmt.Fprintln(w, "ok"); err != nil {
+		return
+	}
+}
+
+// handleMetricsz renders the Prometheus text exposition format by hand
+// (the repo is dependency-free). Gauges and counters only.
+func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
+	counts := map[JobState]int{}
+	s.mu.Lock()
+	for _, id := range s.order {
+		st := s.jobs[id]
+		st.mu.Lock()
+		counts[st.rec.State]++
+		st.mu.Unlock()
+	}
+	s.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "# HELP nwade_jobs Jobs by state.\n# TYPE nwade_jobs gauge\n")
+	for _, st := range jobStates {
+		fmt.Fprintf(&b, "nwade_jobs{state=%q} %d\n", st, counts[st])
+	}
+	fmt.Fprintf(&b, "# TYPE nwade_jobs_submitted_total counter\nnwade_jobs_submitted_total %d\n", s.submitted.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_jobs_resumed_total counter\nnwade_jobs_resumed_total %d\n", s.resumed.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_sim_ticks_total counter\nnwade_sim_ticks_total %d\n", s.ticks.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_http_requests_total counter\nnwade_http_requests_total %d\n", s.requests.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_uptime_seconds gauge\nnwade_uptime_seconds %.3f\n", time.Since(s.start).Seconds())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	if _, err := w.Write([]byte(b.String())); err != nil {
+		return
+	}
+}

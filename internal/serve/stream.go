@@ -1,0 +1,138 @@
+package serve
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"sync"
+
+	"nwade/internal/ordered"
+)
+
+// errStreamClosed is returned by broadcaster.Write after Close; the obs
+// sink records it as its first write error, which is how a write to a
+// suspended job's trace surfaces instead of vanishing.
+var errStreamClosed = errors.New("serve: trace stream closed")
+
+// subscriberBuffer is each live subscriber's channel depth. A consumer
+// that falls further behind than this loses lines (the write side never
+// blocks the simulation); the trace file on disk stays complete.
+const subscriberBuffer = 1024
+
+// broadcaster owns one job's JSONL trace: every line the obs sink
+// writes is appended to the trace file — the durable copy that survives
+// a daemon kill and seeds replays on resume — and fanned out to live
+// HTTP subscribers. It implements io.Writer so it plugs straight into
+// obs.Options.Trace; the obs sink writes exactly one record per call,
+// so each Write is one line.
+type broadcaster struct {
+	mu     sync.Mutex
+	path   string
+	f      *os.File
+	subs   map[int]chan []byte
+	nextID int
+	closed bool
+}
+
+// newBroadcaster opens (or creates) the trace file in append mode, so a
+// resumed job extends its interrupted trace rather than truncating it.
+func newBroadcaster(path string) (*broadcaster, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("serve: trace stream: %w", err)
+	}
+	return &broadcaster{path: path, f: f, subs: map[int]chan []byte{}}, nil
+}
+
+// Write implements io.Writer: durable append first, then best-effort
+// fan-out. A full subscriber channel drops the line for that subscriber
+// only — a slow reader must never stall the simulation or its peers.
+func (b *broadcaster) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return 0, errStreamClosed
+	}
+	if _, err := b.f.Write(p); err != nil {
+		return 0, fmt.Errorf("serve: trace stream: %w", err)
+	}
+	line := append([]byte(nil), p...)
+	for _, id := range ordered.Keys(b.subs) {
+		select {
+		case b.subs[id] <- line:
+		default:
+		}
+	}
+	return len(p), nil
+}
+
+// Subscribe returns the trace so far (one line per element, read from
+// the file under the write lock, so no line is both missed and unsent),
+// a channel of lines written after that point, and a cancel function.
+// On a closed broadcaster the channel comes back already closed: the
+// subscriber replays history and ends cleanly.
+func (b *broadcaster) Subscribe() ([][]byte, <-chan []byte, func(), error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	history, err := readTraceLines(b.path)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	ch := make(chan []byte, subscriberBuffer)
+	if b.closed {
+		close(ch)
+		return history, ch, func() {}, nil
+	}
+	id := b.nextID
+	b.nextID++
+	b.subs[id] = ch
+	cancel := func() {
+		b.mu.Lock()
+		defer b.mu.Unlock()
+		if c, ok := b.subs[id]; ok {
+			delete(b.subs, id)
+			close(c)
+		}
+	}
+	return history, ch, cancel, nil
+}
+
+// Close ends the stream: subscriber channels close (their SSE loops
+// terminate after the last line) and the trace file is flushed shut.
+// Idempotent, so job teardown and daemon shutdown may both call it.
+func (b *broadcaster) Close() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	for _, id := range ordered.Keys(b.subs) {
+		close(b.subs[id])
+	}
+	b.subs = map[int]chan []byte{}
+	if err := b.f.Close(); err != nil {
+		return fmt.Errorf("serve: trace stream: %w", err)
+	}
+	return nil
+}
+
+// readTraceLines loads a trace file as whole lines; a missing file is
+// an empty history (the job has not started writing yet).
+func readTraceLines(path string) ([][]byte, error) {
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("serve: trace stream: %w", err)
+	}
+	var lines [][]byte
+	for _, line := range bytes.Split(data, []byte("\n")) {
+		if len(line) > 0 {
+			lines = append(lines, line)
+		}
+	}
+	return lines, nil
+}
