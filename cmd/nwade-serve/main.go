@@ -19,6 +19,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -45,6 +46,12 @@ func run(args []string, out io.Writer) error {
 		jobs      = fs.Int("jobs", 2, "concurrently running simulation jobs")
 		ckptEvery = fs.Duration("checkpoint-every", 5*time.Second,
 			"default per-job checkpoint interval in simulated time (negative disables)")
+		maxRunning = fs.Int("max-running-per-client", 0,
+			"cap on one client's concurrently running jobs (0 = unlimited)")
+		maxQueued = fs.Int("max-queued-per-client", 0,
+			"cap on one client's queued jobs before submits get 429 (0 = unlimited)")
+		importDir = fs.String("import", "",
+			"adopt a parked job directory (from another daemon's drain) before serving; repeatable via comma-separated paths")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -59,10 +66,26 @@ func run(args []string, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	s, err := serve.New(serve.Options{Dir: *dir, Workers: *jobs, CheckpointEvery: *ckptEvery})
+	s, err := serve.New(serve.Options{
+		Dir:                 *dir,
+		Workers:             *jobs,
+		CheckpointEvery:     *ckptEvery,
+		MaxRunningPerClient: *maxRunning,
+		MaxQueuedPerClient:  *maxQueued,
+	})
 	if err != nil {
 		closeErr := ln.Close()
 		return errors.Join(err, closeErr)
+	}
+	for _, src := range strings.Split(*importDir, ",") {
+		if src = strings.TrimSpace(src); src == "" {
+			continue
+		}
+		id, err := s.Import(src)
+		if err != nil {
+			return errors.Join(err, s.Close(), ln.Close())
+		}
+		fmt.Fprintf(out, "nwade-serve: imported %s as job %s\n", src, id)
 	}
 	fmt.Fprintf(out, "nwade-serve listening on http://%s (state %s)\n", ln.Addr(), *dir)
 

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"net/http"
+	"os"
 	"regexp"
 	"strings"
 	"sync"
@@ -127,6 +128,113 @@ func TestServeEndToEnd(t *testing.T) {
 	}
 }
 
+// startDaemon boots the daemon with extra flags and returns its base
+// URL, its exit channel, and the quit channel that stands in for
+// SIGTERM.
+func startDaemon(t *testing.T, out *syncBuffer, extra ...string) (string, chan error, chan struct{}) {
+	t.Helper()
+	quit := make(chan struct{})
+	testQuit = quit
+	done := make(chan error, 1)
+	args := append([]string{"-addr", "127.0.0.1:0", "-jobs", "1"}, extra...)
+	go func() { done <- run(args, out) }()
+	for deadline := time.Now().Add(time.Minute); ; {
+		if m := listenRe.FindStringSubmatch(out.String()); m != nil {
+			return m[1], done, quit
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its address; output: %q", out.String())
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// stopDaemon triggers the SIGTERM path and waits for a clean exit.
+func stopDaemon(t *testing.T, done chan error, quit chan struct{}) {
+	t.Helper()
+	close(quit)
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatalf("daemon exited with: %v", err)
+		}
+	case <-time.After(time.Minute):
+		t.Fatal("daemon did not shut down")
+	}
+	testQuit = nil
+}
+
+// pollState waits for a job to reach a state over the HTTP API.
+func pollState(t *testing.T, base, id, want string) {
+	t.Helper()
+	for deadline := time.Now().Add(time.Minute); ; {
+		resp, err := http.Get(base + "/jobs/" + id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var st struct {
+			State string `json:"state"`
+			Error string `json:"error"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if st.State == want {
+			return
+		}
+		if st.State == "failed" {
+			t.Fatalf("job failed: %s", st.Error)
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("job stuck in %s, want %s", st.State, want)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+}
+
+// TestServeDrainImportFlag migrates a job between two real daemons:
+// drain it on the first, adopt its parked directory on the second via
+// the -import flag, and watch it finish there.
+func TestServeDrainImportFlag(t *testing.T) {
+	dirA, dirB := t.TempDir(), t.TempDir()
+	outA := &syncBuffer{}
+	baseA, doneA, quitA := startDaemon(t, outA, "-dir", dirA)
+
+	resp, err := http.Post(baseA+"/jobs", "application/json",
+		strings.NewReader(`{"scenario":"benign","duration":"30s","seed":5,"keybits":512,"throttle":"10ms"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&v); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	pollState(t, baseA, v.ID, "running")
+	resp, err = http.Post(baseA+"/jobs/"+v.ID+"/drain", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("drain: status %d", resp.StatusCode)
+	}
+	pollState(t, baseA, v.ID, "parked")
+	stopDaemon(t, doneA, quitA)
+
+	outB := &syncBuffer{}
+	baseB, doneB, quitB := startDaemon(t, outB,
+		"-dir", dirB, "-import", dirA+"/jobs/"+v.ID)
+	if !strings.Contains(outB.String(), "imported") {
+		t.Errorf("missing import banner in %q", outB.String())
+	}
+	pollState(t, baseB, v.ID, "done")
+	stopDaemon(t, doneB, quitB)
+}
+
 func TestServeRejectsArgsAndBadFlags(t *testing.T) {
 	if err := run([]string{"stray"}, &syncBuffer{}); err == nil {
 		t.Error("stray positional argument must be rejected")
@@ -136,5 +244,16 @@ func TestServeRejectsArgsAndBadFlags(t *testing.T) {
 	}
 	if err := run([]string{"-addr", "999.999.999.999:1", "-dir", t.TempDir()}, &syncBuffer{}); err == nil {
 		t.Error("unusable listen address must be rejected")
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-dir", t.TempDir(),
+		"-import", t.TempDir() + "/no-such-job"}, &syncBuffer{}); err == nil {
+		t.Error("unreadable -import directory must be rejected")
+	}
+	badDir := t.TempDir() + "/flat"
+	if err := os.WriteFile(badDir, []byte("file, not a dir"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-addr", "127.0.0.1:0", "-dir", badDir}, &syncBuffer{}); err == nil {
+		t.Error("state dir that is a file must be rejected")
 	}
 }

@@ -1,0 +1,114 @@
+package cliconf
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+
+	"nwade/internal/roadnet"
+	"nwade/internal/sim"
+	"nwade/internal/snap"
+)
+
+// TestLoadSingleCheckpoint round-trips a single-intersection
+// checkpoint through Load: the kind, clock, and signing key must come
+// back.
+func TestLoadSingleCheckpoint(t *testing.T) {
+	f := Defaults()
+	f.Duration = 2 * time.Second
+	f.KeyBits = 512
+	cfg, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := sim.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		eng.Step()
+	}
+	st, err := eng.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := snap.SpecFromScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	if err := snap.WriteFile(path, spec, st); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.IsNetwork() {
+		t.Error("single-intersection checkpoint reports IsNetwork")
+	}
+	if c.Now() != eng.Now() {
+		t.Errorf("Now() = %v, want %v", c.Now(), eng.Now())
+	}
+	if c.Cfg.Seed != cfg.Seed || c.Cfg.Intersection != cfg.Intersection {
+		t.Errorf("rebuilt scenario drifted: %+v", c.Cfg)
+	}
+	signers, err := c.Signers()
+	if err != nil || len(signers) != 1 {
+		t.Fatalf("Signers() = %d, %v; want one key", len(signers), err)
+	}
+}
+
+// TestLoadNetworkCheckpoint does the same for a road-network
+// checkpoint: Load must detect the envelope kind and decode the full
+// network state, signers included (one per region).
+func TestLoadNetworkCheckpoint(t *testing.T) {
+	f := Defaults()
+	f.Network = "grid:2x2"
+	f.Duration = 2 * time.Second
+	f.KeyBits = 512
+	cfg, err := f.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := roadnet.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		n.Step()
+	}
+	st, err := n.Snapshot()
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := st.Encode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec, err := snap.SpecFromScenario(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "ckpt.snap")
+	if err := snap.WriteNetFile(path, spec, raw); err != nil {
+		t.Fatal(err)
+	}
+	c, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !c.IsNetwork() {
+		t.Fatal("network checkpoint not detected as network")
+	}
+	if c.Now() != n.Now() {
+		t.Errorf("Now() = %v, want %v", c.Now(), n.Now())
+	}
+	signers, err := c.Signers()
+	if err != nil || len(signers) != 4 {
+		t.Fatalf("Signers() = %d, %v; want one per region", len(signers), err)
+	}
+	if _, err := Load(filepath.Join(t.TempDir(), "missing.snap")); err == nil {
+		t.Error("Load of a missing file must error")
+	}
+}

@@ -32,8 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 )
@@ -139,6 +138,14 @@ type DirQueue struct {
 	opts QueueOptions
 	seq  atomic.Int64
 
+	// floorMu guards genFloor: per cell, the highest lease generation
+	// this process has observed. Generations only grow, so probes start
+	// at the floor instead of generation 1 — and, crucially, instead of
+	// listing the whole sweep directory (currentLease used to ReadDir,
+	// making a drain of N cells O(N·dir) stat work under contention).
+	floorMu  sync.Mutex
+	genFloor map[string]int
+
 	executed, loaded, reclaimed, conflicts, quarantined atomic.Int64
 }
 
@@ -147,7 +154,7 @@ func NewDirQueue(dir string, opts QueueOptions) (*DirQueue, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("eval: cell queue: %w", err)
 	}
-	return &DirQueue{dir: dir, opts: opts.normalize()}, nil
+	return &DirQueue{dir: dir, opts: opts.normalize(), genFloor: map[string]int{}}, nil
 }
 
 // Stats returns this worker's drain counters.
@@ -229,7 +236,11 @@ func (q *DirQueue) TryLease(key string) (*Lease, error) {
 	if reclaim {
 		q.reclaimed.Add(1)
 	}
-	q.removeLeases(key, next-1)
+	// Spent generations below next stay on disk until Complete or
+	// Release clears the chain: contiguity from generation 1 is what
+	// lets currentLease probe generation files directly instead of
+	// listing the directory.
+	q.raiseFloor(key, next)
 	return l, nil
 }
 
@@ -264,29 +275,73 @@ func (q *DirQueue) acquire(key string, gen int) (*Lease, error) {
 	return &Lease{Key: key, gen: gen, token: rec.Token}, nil
 }
 
+// leaseProbeGap is how many consecutive missing generations the probe
+// scans past before concluding no higher lease exists. The protocol
+// keeps each cell's lease chain contiguous from generation 1 (spent
+// generations stay on disk until Complete or Release clear the whole
+// chain, and removeLeases deletes top-down so a partial failure leaves
+// a contiguous prefix), so gaps cannot normally appear; the lookahead
+// is defense-in-depth against out-of-band file removal.
+const leaseProbeGap = 2
+
+// probeFloor returns the generation to start probing a cell at (>= 1).
+// It starts one below the cached floor so the common "top generation
+// was just released or completed" observation lands without a rescan.
+func (q *DirQueue) probeFloor(key string) int {
+	q.floorMu.Lock()
+	defer q.floorMu.Unlock()
+	if g := q.genFloor[key] - 1; g > 1 {
+		return g
+	}
+	return 1
+}
+
+// raiseFloor records that generation gen was observed for a cell, so
+// later probes skip the spent generations below it. Floors only rise;
+// setFloor force-assigns when a rescan proved the chain restarted.
+func (q *DirQueue) raiseFloor(key string, gen int) {
+	q.floorMu.Lock()
+	defer q.floorMu.Unlock()
+	if gen > q.genFloor[key] {
+		q.genFloor[key] = gen
+	}
+}
+
+func (q *DirQueue) setFloor(key string, gen int) {
+	q.floorMu.Lock()
+	defer q.floorMu.Unlock()
+	q.genFloor[key] = gen
+}
+
 // currentLease returns the highest lease generation on disk and its
 // decoded record. A generation whose file vanished or does not parse
 // yields (gen, nil, nil): the lease exists in name but its holder is
 // untrustworthy, so callers treat it as expired.
+//
+// Generations are probed directly — stat g<floor>, g<floor+1>, … upward
+// from the per-key cached floor — so the cost per probe is a handful of
+// stats regardless of how many cells (and their done-files) share the
+// sweep directory. A cached floor can overshoot reality when the chain
+// was cleared and restarted behind our back (another worker completed,
+// the done-file was quarantined, the cell re-ran from generation 1);
+// an empty probe above a floor therefore rescans from the bottom and
+// resets the floor to what it finds.
 func (q *DirQueue) currentLease(key string) (int, *leaseRecord, error) {
-	entries, err := os.ReadDir(q.dir)
+	start := q.probeFloor(key)
+	max, err := q.probeFrom(key, start)
 	if err != nil {
-		return 0, nil, fmt.Errorf("eval: cell queue: %w", err)
+		return 0, nil, err
 	}
-	prefix := key + ".lease.g"
-	max := 0
-	for _, e := range entries {
-		name := e.Name()
-		if !strings.HasPrefix(name, prefix) {
-			continue
+	if max == 0 && start > 1 {
+		if max, err = q.probeFrom(key, 1); err != nil {
+			return 0, nil, err
 		}
-		if g, err := strconv.Atoi(name[len(prefix):]); err == nil && g > max {
-			max = g
-		}
+		q.setFloor(key, max)
 	}
 	if max == 0 {
 		return 0, nil, nil
 	}
+	q.raiseFloor(key, max)
 	data, err := os.ReadFile(q.leaseName(key, max))
 	if err != nil {
 		return max, nil, nil
@@ -296,6 +351,25 @@ func (q *DirQueue) currentLease(key string) (int, *leaseRecord, error) {
 		return max, nil, nil
 	}
 	return max, &rec, nil
+}
+
+// probeFrom stats generation files upward from start, returning the
+// highest generation present (0 if none), tolerating leaseProbeGap
+// consecutive missing generations before giving up.
+func (q *DirQueue) probeFrom(key string, start int) (int, error) {
+	max, misses := 0, 0
+	for g := start; misses <= leaseProbeGap; g++ {
+		_, err := os.Stat(q.leaseName(key, g))
+		switch {
+		case err == nil:
+			max, misses = g, 0
+		case os.IsNotExist(err):
+			misses++
+		default:
+			return 0, fmt.Errorf("eval: cell queue: %w", err)
+		}
+	}
+	return max, nil
 }
 
 // removeLeases clears lease generations up to and including upto. Best
@@ -327,7 +401,10 @@ func (q *DirQueue) Complete(l *Lease, data []byte) error {
 	return nil
 }
 
-// Release implements Queue: drop the lease if it is still ours.
+// Release implements Queue: drop the lease if it is still ours. The
+// whole chain is cleared (not just our generation) so the cell reads
+// as unclaimed — leaving spent lower generations behind would make the
+// next claimant look like a crash reclaim.
 func (q *DirQueue) Release(l *Lease) error {
 	gen, cur, err := q.currentLease(l.Key)
 	if err != nil {
@@ -339,6 +416,7 @@ func (q *DirQueue) Release(l *Lease) error {
 	if err := os.Remove(q.leaseName(l.Key, l.gen)); err != nil && !os.IsNotExist(err) {
 		return fmt.Errorf("eval: cell queue: %w", err)
 	}
+	q.removeLeases(l.Key, l.gen-1)
 	return nil
 }
 

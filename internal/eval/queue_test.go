@@ -282,6 +282,148 @@ func TestConcurrentDrain(t *testing.T) {
 	}
 }
 
+// TestLeaseChainCleanup: terminal lease operations must leave no lease
+// files behind, whatever generation the chain reached — Complete and
+// Release both clear the whole chain, and a released cell reads as
+// unclaimed (claiming it again is not a reclaim).
+func TestLeaseChainCleanup(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	ttl := time.Minute
+	newQ := func(owner string) *DirQueue {
+		q, err := NewDirQueue(dir, QueueOptions{Owner: owner, LeaseTTL: ttl, Now: clk.Now})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return q
+	}
+	noLeases := func(when string) {
+		t.Helper()
+		left, err := filepath.Glob(filepath.Join(dir, "*.lease.*"))
+		if err != nil || len(left) != 0 {
+			t.Fatalf("%s: lease residue %v (err %v)", when, left, err)
+		}
+	}
+	qa, qb := newQ("a"), newQ("b")
+	// Drive the chain to generation 3 via two expiry reclaims.
+	if l, err := qa.TryLease("cell"); err != nil || l == nil {
+		t.Fatalf("gen-1 lease: %v, %v", l, err)
+	}
+	clk.Advance(2 * ttl)
+	if l, err := qb.TryLease("cell"); err != nil || l == nil {
+		t.Fatalf("gen-2 reclaim: %v, %v", l, err)
+	}
+	clk.Advance(2 * ttl)
+	l3, err := qa.TryLease("cell")
+	if err != nil || l3 == nil {
+		t.Fatalf("gen-3 reclaim: %v, %v", l3, err)
+	}
+	if err := qa.Release(l3); err != nil {
+		t.Fatal(err)
+	}
+	noLeases("after releasing a generation-3 lease")
+	// Re-claiming the released cell is a fresh claim, not a reclaim.
+	// qa's probe floor still points at the vanished generation 3, so
+	// this exercises the from-1 rescan after an empty probe — and its
+	// reclaim counter must still show only the expiry takeover.
+	la, err := qa.TryLease("cell")
+	if err != nil || la == nil {
+		t.Fatalf("post-release claim: %v, %v", la, err)
+	}
+	if got := qa.Stats().Reclaimed; got != 1 {
+		t.Errorf("Reclaimed = %d, want 1 (a released cell is unclaimed, not crashed)", got)
+	}
+	if err := qa.Complete(la, []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+	noLeases("after completion")
+	// qb carries a stale generation floor from the earlier chain; the
+	// completed cell must still resolve as done.
+	if l, err := qb.TryLease("cell"); err != nil || l != nil {
+		t.Fatalf("TryLease on completed cell = %v, %v; want nil, nil", l, err)
+	}
+}
+
+// TestLeaseProbeGapTolerance: the generation probe must find the top of
+// a chain even when a middle generation file was removed out-of-band
+// (the contiguity invariant holds in the protocol itself; the lookahead
+// is defense-in-depth, and this pins it).
+func TestLeaseProbeGapTolerance(t *testing.T) {
+	dir := t.TempDir()
+	clk := newFakeClock()
+	ttl := time.Minute
+	qa, err := NewDirQueue(dir, QueueOptions{Owner: "a", LeaseTTL: ttl, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for gen := 1; gen <= 3; gen++ {
+		if l, err := qa.TryLease("cell"); err != nil || l == nil {
+			t.Fatalf("gen-%d lease: %v, %v", gen, l, err)
+		}
+		clk.Advance(2 * ttl)
+	}
+	if err := os.Remove(qa.leaseName("cell", 2)); err != nil {
+		t.Fatal(err)
+	}
+	// A fresh worker (no cached floor) probes from generation 1 across
+	// the hole and must still see generation 3 as the top: its expired
+	// record is reclaimed as generation 4, never double-claimed lower.
+	qb, err := NewDirQueue(dir, QueueOptions{Owner: "b", LeaseTTL: ttl, Now: clk.Now})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, _, err := qb.currentLease("cell")
+	if err != nil || gen != 3 {
+		t.Fatalf("currentLease across gap = gen %d, %v; want 3", gen, err)
+	}
+	lb, err := qb.TryLease("cell")
+	if err != nil || lb == nil {
+		t.Fatalf("reclaim across gap: %v, %v", lb, err)
+	}
+	if lb.gen != 4 {
+		t.Errorf("reclaimed generation = %d, want 4", lb.gen)
+	}
+	if err := qb.Complete(lb, []byte("r")); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// BenchmarkTryLeaseBusyCrowdedDir measures the busy-cell probe with
+// thousands of sibling done-files in the sweep directory — the path
+// that used to os.ReadDir the whole directory per probe, making an
+// N-cell drain O(N·dir) under contention; it is now a constant handful
+// of generation-file stats.
+func BenchmarkTryLeaseBusyCrowdedDir(b *testing.B) {
+	dir := b.TempDir()
+	clk := newFakeClock()
+	qa, err := NewDirQueue(dir, QueueOptions{Owner: "a", Now: clk.Now})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < 4096; i++ {
+		if err := os.WriteFile(qa.path(fmt.Sprintf("done-%04d", i)), []byte("r"), 0o644); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if l, err := qa.TryLease("hot"); err != nil || l == nil {
+		b.Fatalf("setup lease: %v, %v", l, err)
+	}
+	qb, err := NewDirQueue(dir, QueueOptions{Owner: "b", Now: clk.Now})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		l, err := qb.TryLease("hot")
+		if err != nil {
+			b.Fatal(err)
+		}
+		if l != nil {
+			b.Fatal("busy cell was claimed")
+		}
+	}
+}
+
 // TestSaveQuarantinesDiffering: Save over an existing, differing record
 // (a stale format the caller recomputed) replaces it and preserves the
 // old bytes in a quarantine file rather than silently clobbering them.

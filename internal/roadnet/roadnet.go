@@ -13,6 +13,7 @@ import (
 	"nwade/internal/chain"
 	"nwade/internal/metrics"
 	"nwade/internal/nwade"
+	"nwade/internal/obs"
 	"nwade/internal/plan"
 	"nwade/internal/sim"
 	"nwade/internal/traffic"
@@ -144,6 +145,7 @@ type Option func(*options)
 
 type options struct {
 	signers []*chain.Signer
+	obs     *obs.Sink
 }
 
 // WithSigners supplies pre-generated per-region signing keys (index =
@@ -152,6 +154,13 @@ type options struct {
 // the checkpointed keys so state digests compare bit for bit.
 func WithSigners(ss []*chain.Signer) Option {
 	return func(o *options) { o.signers = ss }
+}
+
+// WithObs attaches an observability sink shared by every region engine.
+// The sink is concurrency-safe, so parallel region ticks may interleave
+// their trace records; digests are observability-blind either way.
+func WithObs(s *obs.Sink) Option {
+	return func(o *options) { o.obs = s }
 }
 
 // New builds the road network a scenario describes. The scenario must
@@ -170,10 +179,7 @@ func New(cfg sim.Scenario, opts ...Option) (*Network, error) {
 		return nil, fmt.Errorf("roadnet: %d signers for %d regions", len(o.signers), len(scens))
 	}
 	for i, rc := range scens {
-		var simOpts []sim.Option
-		if o.signers != nil {
-			simOpts = append(simOpts, sim.WithSigner(o.signers[i]))
-		}
+		simOpts := o.simOptions(i)
 		eng, err := sim.New(rc, simOpts...)
 		if err != nil {
 			return nil, fmt.Errorf("roadnet: region %d: %w", i, err)
@@ -181,6 +187,19 @@ func New(cfg sim.Scenario, opts ...Option) (*Network, error) {
 		n.regs[i].eng = eng
 	}
 	return n, nil
+}
+
+// simOptions translates the network options into region i's engine
+// options.
+func (o *options) simOptions(i int) []sim.Option {
+	var simOpts []sim.Option
+	if o.signers != nil {
+		simOpts = append(simOpts, sim.WithSigner(o.signers[i]))
+	}
+	if o.obs != nil {
+		simOpts = append(simOpts, sim.WithObs(o.obs))
+	}
+	return simOpts
 }
 
 // build constructs everything but the engines: topology, backbone, and

@@ -111,8 +111,15 @@ func (n *Network) Snapshot() (*State, error) {
 // Restore rebuilds a network from a snapshot. cfg must be the original
 // run's scenario. The restored network is bit-identical to the
 // snapshotted one: stepping both produces the same per-region event
-// logs, backbone schedule and digests.
-func Restore(cfg sim.Scenario, st *State) (*Network, error) {
+// logs, backbone schedule and digests. Options apply as in New (an
+// observability sink attaches to every restored region engine; signers
+// are ignored because the snapshot carries the keys).
+func Restore(cfg sim.Scenario, st *State, opts ...Option) (*Network, error) {
+	var o options
+	for _, opt := range opts {
+		opt(&o)
+	}
+	o.signers = nil // region keys come from the snapshot
 	n, scens, err := build(cfg)
 	if err != nil {
 		return nil, err
@@ -126,7 +133,7 @@ func Restore(cfg sim.Scenario, st *State) (*Network, error) {
 			len(st.Tables), len(n.regs))
 	}
 	for i, rs := range st.Regions {
-		eng, err := sim.Restore(scens[i], rs)
+		eng, err := sim.Restore(scens[i], rs, o.simOptions(i)...)
 		if err != nil {
 			return nil, fmt.Errorf("roadnet: restore region %d: %w", i, err)
 		}

@@ -1,0 +1,130 @@
+// The runner abstraction: one job loop drives both engine shapes. A
+// single-intersection job wraps sim.Engine, a network job wraps
+// roadnet.Network; the loop in runJob only ever sees Step/Now/
+// Checkpoint/Result, so crash-resume, drain/park, suspend, cancel and
+// throttling behave identically for both — and the digest guarantees
+// carry over unchanged.
+package serve
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"nwade/internal/cliconf"
+	"nwade/internal/metrics"
+	"nwade/internal/obs"
+	"nwade/internal/roadnet"
+	"nwade/internal/sim"
+	"nwade/internal/snap"
+)
+
+// runner is the engine surface the job loop needs.
+type runner interface {
+	// Step advances one tick.
+	Step()
+	// Now is the simulated clock.
+	Now() time.Duration
+	// Checkpoint writes a complete snapshot to path (the caller renames
+	// it into place atomically).
+	Checkpoint(path string, spec snap.Spec) error
+	// Result summarizes the run so far, digest included.
+	Result() JobResult
+}
+
+// newRunner builds (or restores, when a checkpoint exists at ckptPath)
+// the engine a scenario calls for. The checkpoint file's own kind —
+// single or network — is authoritative; it can never disagree with cfg
+// because both derive from the same persisted spec.
+func newRunner(cfg sim.Scenario, ckptPath string, sink *obs.Sink) (runner, error) {
+	if _, err := os.Stat(ckptPath); err == nil {
+		c, err := cliconf.Load(ckptPath)
+		if err != nil {
+			return nil, fmt.Errorf("resume checkpoint: %w", err)
+		}
+		if c.IsNetwork() {
+			n, err := roadnet.Restore(cfg, c.Net, roadnet.WithObs(sink))
+			if err != nil {
+				return nil, fmt.Errorf("resume checkpoint: %w", err)
+			}
+			return netRunner{n}, nil
+		}
+		e, err := sim.Restore(cfg, c.State, sim.WithObs(sink))
+		if err != nil {
+			return nil, fmt.Errorf("resume checkpoint: %w", err)
+		}
+		return simRunner{e}, nil
+	}
+	if cfg.IsNetwork() {
+		n, err := roadnet.New(cfg, roadnet.WithObs(sink))
+		if err != nil {
+			return nil, err
+		}
+		return netRunner{n}, nil
+	}
+	e, err := sim.New(cfg, sim.WithObs(sink))
+	if err != nil {
+		return nil, err
+	}
+	return simRunner{e}, nil
+}
+
+// simRunner adapts a single-intersection engine.
+type simRunner struct {
+	e *sim.Engine
+}
+
+func (r simRunner) Step()              { r.e.Step() }
+func (r simRunner) Now() time.Duration { return r.e.Now() }
+
+func (r simRunner) Checkpoint(path string, spec snap.Spec) error {
+	st, err := r.e.Snapshot()
+	if err != nil {
+		return err
+	}
+	return snap.WriteFile(path, spec, st)
+}
+
+func (r simRunner) Result() JobResult {
+	res := r.e.Result()
+	return JobResult{
+		Spawned:     res.Spawned,
+		Exited:      res.Exited,
+		Collisions:  res.Collisions,
+		Retransmits: res.Retransmits,
+		Digest:      metrics.Digest(res),
+	}
+}
+
+// netRunner adapts a road network. Its digest is the network digest —
+// exactly what nwade-sim -network prints — so an HTTP-submitted network
+// job and a batch run of the same scenario compare by one string.
+type netRunner struct {
+	n *roadnet.Network
+}
+
+func (r netRunner) Step()              { r.n.Step() }
+func (r netRunner) Now() time.Duration { return r.n.Now() }
+
+func (r netRunner) Checkpoint(path string, spec snap.Spec) error {
+	st, err := r.n.Snapshot()
+	if err != nil {
+		return err
+	}
+	raw, err := st.Encode()
+	if err != nil {
+		return err
+	}
+	return snap.WriteNetFile(path, spec, raw)
+}
+
+func (r netRunner) Result() JobResult {
+	out := JobResult{Regions: r.n.Regions(), Digest: r.n.Digest()}
+	for _, res := range r.n.Results() {
+		out.Spawned += res.Spawned
+		out.Exited += res.Exited
+		out.Collisions += res.Collisions
+		out.Retransmits += res.Retransmits
+	}
+	return out
+}

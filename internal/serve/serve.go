@@ -1,11 +1,14 @@
 // Package serve is the simulation-as-a-service layer: a long-lived
-// daemon around the same engine the batch CLIs drive. Clients submit
-// scenarios (the cliconf vocabulary, as JSON), a bounded worker pool
-// runs them, trace events stream live over SSE, and every job
-// checkpoints through internal/snap as it runs — a killed daemon
-// restarts, re-enqueues its in-flight jobs, and finishes them with
-// results bit-identical to an uninterrupted run. DESIGN.md §15 covers
-// the architecture and its guarantees.
+// daemon around the same engines the batch CLIs drive. Clients submit
+// scenarios (the cliconf vocabulary, as JSON) — single intersections
+// and full road networks alike — a bounded worker pool runs them under
+// per-client quotas and priorities, trace events stream live over SSE,
+// and every job checkpoints through internal/snap as it runs. A killed
+// daemon restarts, re-enqueues its in-flight jobs, and finishes them
+// with results bit-identical to an uninterrupted run; a drained job
+// parks its checkpoint and a second daemon adopts it with Import,
+// finishing it digest-identically. DESIGN.md §15 covers the
+// architecture and its guarantees.
 //
 // The state directory layout is one subdirectory per job:
 //
@@ -16,6 +19,7 @@ package serve
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"os"
@@ -26,6 +30,7 @@ import (
 	"time"
 
 	"nwade/internal/cliconf"
+	"nwade/internal/ordered"
 	"nwade/internal/snap"
 )
 
@@ -40,6 +45,18 @@ type Options struct {
 	// for submissions that don't set their own (default 5s). Zero after
 	// an explicit negative disables default checkpointing.
 	CheckpointEvery time.Duration
+	// QueueDepth bounds jobs accepted but not yet running (default
+	// 1024); past it, submits get 503 rather than unbounded memory
+	// growth. It gates admission only — recovery rebuilds arbitrarily
+	// many queued jobs.
+	QueueDepth int
+	// MaxRunningPerClient caps how many of one client's jobs run at
+	// once (0 = unlimited). A client at its cap is skipped, not
+	// blocked: other clients' jobs dispatch past it.
+	MaxRunningPerClient int
+	// MaxQueuedPerClient caps one client's pending jobs (0 =
+	// unlimited); past it, that client's submits get 429.
+	MaxQueuedPerClient int
 }
 
 func (o Options) normalize() Options {
@@ -52,12 +69,17 @@ func (o Options) normalize() Options {
 	if o.CheckpointEvery < 0 {
 		o.CheckpointEvery = 0
 	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 1024
+	}
 	return o
 }
 
-// queueDepth bounds jobs accepted but not yet running; past it, submits
-// get 503 rather than unbounded memory growth.
-const queueDepth = 1024
+// Admission sentinels; handleSubmit maps them onto HTTP statuses.
+var (
+	errQueueFull   = errors.New("job queue full")
+	errClientQuota = errors.New("client queued-job quota exceeded")
+)
 
 // Server is the daemon: an http.Handler plus the job table and worker
 // pool behind it.
@@ -67,31 +89,47 @@ type Server struct {
 	start time.Time
 
 	mu     sync.Mutex
+	cond   *sync.Cond // broadcast on scheduler state changes, guarded by mu
 	jobs   map[string]*job
 	order  []string
 	nextID int
 	closed bool
 
-	queue    chan *job
+	// pending is the dispatch queue, kept sorted by (priority desc,
+	// seq asc) so the next job to run is always pending[first eligible].
+	pending []*job
+	// running counts in-flight jobs per client (named clients only),
+	// for the MaxRunningPerClient skip rule.
+	running    map[string]int
+	nextSeq    int
+	dispatched int
+
 	stopping chan struct{}
 	wg       sync.WaitGroup
 
 	submitted atomic.Int64
 	resumed   atomic.Int64
+	parked    atomic.Int64
+	imported  atomic.Int64
 	ticks     atomic.Int64
 	requests  atomic.Int64
 }
 
-// New opens (or creates) a state directory, re-enqueues every job a
-// previous daemon left queued or running, and starts the worker pool.
+// New opens (or creates) a state directory, rebuilds the job table a
+// previous daemon left behind — re-queueing interrupted jobs, honoring
+// persisted cancels, leaving parked jobs parked — and starts the
+// worker pool. Recovery loads everything into the in-memory dispatch
+// queue before any worker starts, so a state directory of any size
+// (far past QueueDepth) recovers without blocking.
 func New(opts Options) (*Server, error) {
 	s := &Server{
 		opts:     opts.normalize(),
 		start:    time.Now(),
 		jobs:     map[string]*job{},
-		queue:    make(chan *job, queueDepth),
+		running:  map[string]int{},
 		stopping: make(chan struct{}),
 	}
+	s.cond = sync.NewCond(&s.mu)
 	if err := os.MkdirAll(s.jobsDir(), 0o755); err != nil {
 		return nil, fmt.Errorf("serve: state dir: %w", err)
 	}
@@ -111,8 +149,11 @@ func (s *Server) jobsDir() string { return filepath.Join(s.opts.Dir, "jobs") }
 // recover scans the state directory and rebuilds the job table. Jobs
 // found running were interrupted by a kill: they restart as queued with
 // Resumes bumped, and their checkpoint (if any) decides where the
-// engine picks up. ReadDir returns sorted names and IDs are
-// zero-padded, so re-enqueueing preserves submission order.
+// engine picks up — unless a persisted cancel request says to finish
+// them as canceled instead. Parked jobs stay parked (they belong to
+// whoever imports them). ReadDir returns sorted names and IDs are
+// zero-padded, so recovery preserves submission order within a
+// priority class.
 func (s *Server) recover() error {
 	entries, err := os.ReadDir(s.jobsDir())
 	if err != nil {
@@ -128,12 +169,20 @@ func (s *Server) recover() error {
 			return err
 		}
 		j.rec = rec
+		j.client, j.pri = rec.Client, rec.Priority
 		var n int
 		if _, err := fmt.Sscanf(j.id, "j%d", &n); err == nil && n >= s.nextID {
 			s.nextID = n + 1
 		}
-		switch rec.State {
-		case JobRunning, JobQueued:
+		switch {
+		case rec.State == JobRunning || rec.State == JobQueued:
+			if rec.CancelRequested {
+				// The cancel was accepted before the kill; honor it
+				// rather than resurrecting the job.
+				j.cancel.Store(true)
+				j.finish(func(r *JobRecord) { r.State = JobCanceled })
+				break
+			}
 			if rec.State == JobRunning {
 				if err := j.update(func(r *JobRecord) { r.State = JobQueued; r.Resumes++ }); err != nil {
 					return err
@@ -145,10 +194,14 @@ func (s *Server) recover() error {
 				return err
 			}
 			j.bc = bc
-			s.queue <- j
+			s.enqueueLocked(j)
+		case rec.State == JobParked:
+			// Inert until an Import (possibly by this very daemon)
+			// adopts it; status and trace history stay readable.
 		default:
 			// Terminal: history only. Events replay from the trace file,
 			// so no broadcaster is opened (done is already closed).
+			j.finished.Store(true)
 			close(j.done)
 		}
 		s.jobs[j.id] = j
@@ -157,19 +210,98 @@ func (s *Server) recover() error {
 	return nil
 }
 
-// worker drains the job queue until shutdown.
+// enqueueLocked inserts a job into the pending queue at its scheduling
+// position: priority descending, admission order ascending within a
+// class. Caller holds s.mu (or, during recovery, is the only actor).
+func (s *Server) enqueueLocked(j *job) {
+	s.nextSeq++
+	j.seq = s.nextSeq
+	i := len(s.pending)
+	for k, p := range s.pending {
+		if p.pri < j.pri {
+			i = k
+			break
+		}
+	}
+	s.pending = append(s.pending, nil)
+	copy(s.pending[i+1:], s.pending[i:])
+	s.pending[i] = j
+	s.cond.Broadcast()
+}
+
+// removePendingLocked takes a job out of the pending queue; false means
+// a worker already claimed it. Caller holds s.mu.
+func (s *Server) removePendingLocked(j *job) bool {
+	for i, p := range s.pending {
+		if p == j {
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// pendingForLocked counts a client's queued jobs. Caller holds s.mu.
+func (s *Server) pendingForLocked(client string) int {
+	n := 0
+	for _, p := range s.pending {
+		if p.client == client {
+			n++
+		}
+	}
+	return n
+}
+
+// next blocks until a dispatchable job exists (nil on shutdown): the
+// highest-priority, oldest pending job whose client is under its
+// running cap. Jobs of capped clients are skipped, not head-of-line
+// blockers.
+func (s *Server) next() *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for {
+		if s.closed {
+			return nil
+		}
+		for i, j := range s.pending {
+			if j.client != "" && s.opts.MaxRunningPerClient > 0 &&
+				s.running[j.client] >= s.opts.MaxRunningPerClient {
+				continue
+			}
+			s.pending = append(s.pending[:i], s.pending[i+1:]...)
+			if j.client != "" {
+				s.running[j.client]++
+			}
+			s.dispatched++
+			j.dispatchSeq = s.dispatched
+			return j
+		}
+		s.cond.Wait()
+	}
+}
+
+// release returns a worker slot: the job's client may dispatch again.
+func (s *Server) release(j *job) {
+	s.mu.Lock()
+	if j.client != "" {
+		if s.running[j.client]--; s.running[j.client] <= 0 {
+			delete(s.running, j.client)
+		}
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+}
+
+// worker runs jobs from the dispatch queue until shutdown.
 func (s *Server) worker() {
 	defer s.wg.Done()
 	for {
-		select {
-		case <-s.stopping:
+		j := s.next()
+		if j == nil {
 			return
-		case j, ok := <-s.queue:
-			if !ok {
-				return
-			}
-			s.runJob(j)
 		}
+		s.runJob(j)
+		s.release(j)
 	}
 }
 
@@ -183,6 +315,7 @@ func (s *Server) Close() error {
 		return nil
 	}
 	s.closed = true
+	s.cond.Broadcast()
 	s.mu.Unlock()
 	close(s.stopping)
 	s.wg.Wait()
@@ -201,12 +334,71 @@ func (s *Server) Close() error {
 	return firstErr
 }
 
+// Import adopts a parked job directory — typically from another
+// daemon's state dir, after a drain — into this daemon: the directory
+// moves into the local state dir (its ID is kept when free, remapped
+// otherwise), the job re-queues, and its checkpoint resumes exactly
+// where the origin daemon parked it, finishing with the same digest an
+// uninterrupted run produces. A persisted cancel request is honored
+// instead of running. Returns the job's local ID.
+func (s *Server) Import(src string) (string, error) {
+	rec, err := ReadJob(filepath.Join(src, "job.json"))
+	if err != nil {
+		return "", err
+	}
+	if rec.State != JobParked {
+		return "", fmt.Errorf("serve: import %s: job is %s, not parked", src, rec.State)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", fmt.Errorf("serve: import: server is shut down")
+	}
+	id := rec.ID
+	if _, taken := s.jobs[id]; taken || id == "" {
+		id = fmt.Sprintf("j%04d", s.nextID)
+		s.nextID++
+	} else {
+		var n int
+		if _, err := fmt.Sscanf(id, "j%d", &n); err == nil && n >= s.nextID {
+			s.nextID = n + 1
+		}
+	}
+	dst := filepath.Join(s.jobsDir(), id)
+	if err := os.Rename(src, dst); err != nil {
+		return "", fmt.Errorf("serve: import: %w", err)
+	}
+	j := &job{id: id, dir: dst, done: make(chan struct{})}
+	j.rec = rec
+	j.client, j.pri = rec.Client, rec.Priority
+	if err := j.update(func(r *JobRecord) { r.ID = id; r.State = JobQueued }); err != nil {
+		return "", err
+	}
+	if rec.CancelRequested {
+		j.cancel.Store(true)
+		j.finish(func(r *JobRecord) { r.State = JobCanceled })
+	} else {
+		bc, err := newBroadcaster(j.tracePath())
+		if err != nil {
+			return "", err
+		}
+		j.bc = bc
+		s.enqueueLocked(j)
+	}
+	s.jobs[id] = j
+	s.order = append(s.order, id)
+	s.imported.Add(1)
+	return id, nil
+}
+
 // --- HTTP surface -----------------------------------------------------
 
 // Submit is the POST /jobs request body. Every field is optional and
 // overlays cliconf.Defaults(), so omitting a field over HTTP means
-// exactly what omitting the flag means on the nwade-sim command line.
-// Durations are Go duration strings ("45s", "2m").
+// exactly what omitting the flag means on the nwade-sim command line;
+// pointer fields exist so a client can also express the non-default
+// direction explicitly. Durations are Go duration strings ("45s",
+// "2m").
 type Submit struct {
 	Network      string  `json:"network,omitempty"`
 	Intersection string  `json:"intersection,omitempty"`
@@ -215,11 +407,17 @@ type Submit struct {
 	Seed         *int64  `json:"seed,omitempty"`
 	Scenario     string  `json:"scenario,omitempty"`
 	AttackAt     string  `json:"attack_at,omitempty"`
+	AttackRegion *int    `json:"attack_region,omitempty"`
 	NWADE        *bool   `json:"nwade,omitempty"`
 	KeyBits      int     `json:"keybits,omitempty"`
 	Faults       string  `json:"faults,omitempty"`
-	Retrans      bool    `json:"retrans,omitempty"`
+	Retrans      *bool   `json:"retrans,omitempty"`
 	TickWorkers  int     `json:"tick_workers,omitempty"`
+	// Client names the submitting tenant for quotas and metrics; the
+	// X-NWADE-Client header sets it too (the body field wins).
+	Client string `json:"client,omitempty"`
+	// Priority orders dispatch: higher first, FIFO within a class.
+	Priority int `json:"priority,omitempty"`
 	// CheckpointEvery overrides the daemon's default checkpoint
 	// interval (simulated time) for this job.
 	CheckpointEvery string `json:"checkpoint_every,omitempty"`
@@ -229,9 +427,10 @@ type Submit struct {
 	Throttle string `json:"throttle,omitempty"`
 }
 
-// flags overlays the submission onto the shared defaults.
-func (sub Submit) flags() (cliconf.Flags, error) {
-	f := cliconf.Defaults()
+// overlay applies the submission on top of a base flag set (the shared
+// defaults in production; the parity test also overlays a fully
+// flipped base to prove every field expresses both directions).
+func (sub Submit) overlay(f cliconf.Flags) (cliconf.Flags, error) {
 	if sub.Network != "" {
 		f.Network = sub.Network
 	}
@@ -261,6 +460,9 @@ func (sub Submit) flags() (cliconf.Flags, error) {
 		}
 		f.AttackAt = d
 	}
+	if sub.AttackRegion != nil {
+		f.AttackRegion = *sub.AttackRegion
+	}
 	if sub.NWADE != nil {
 		f.NWADE = *sub.NWADE
 	}
@@ -270,8 +472,8 @@ func (sub Submit) flags() (cliconf.Flags, error) {
 	if sub.Faults != "" {
 		f.Faults = sub.Faults
 	}
-	if sub.Retrans {
-		f.Retrans = true
+	if sub.Retrans != nil {
+		f.Retrans = *sub.Retrans
 	}
 	if sub.TickWorkers != 0 {
 		f.TickWorkers = sub.TickWorkers
@@ -297,6 +499,7 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /jobs/{id}/result", s.handleResult)
 	s.mux.HandleFunc("GET /jobs/{id}/events", s.handleEvents)
 	s.mux.HandleFunc("POST /jobs/{id}/cancel", s.handleCancel)
+	s.mux.HandleFunc("POST /jobs/{id}/drain", s.handleDrain)
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metricsz", s.handleMetricsz)
 }
@@ -324,6 +527,22 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// validClient restricts client names to metrics-label-safe tokens.
+func validClient(c string) bool {
+	if len(c) > 64 {
+		return false
+	}
+	for _, r := range c {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9',
+			r == '-', r == '_', r == '.':
+		default:
+			return false
+		}
+	}
+	return true
+}
+
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(r.Body)
 	dec.DisallowUnknownFields()
@@ -332,7 +551,15 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad submission: " + err.Error()})
 		return
 	}
-	f, err := sub.flags()
+	client := r.Header.Get("X-NWADE-Client")
+	if sub.Client != "" {
+		client = sub.Client
+	}
+	if !validClient(client) {
+		writeJSON(w, http.StatusBadRequest, apiError{Error: "bad client name (64 chars of [A-Za-z0-9._-] max)"})
+		return
+	}
+	f, err := sub.overlay(cliconf.Defaults())
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
@@ -343,9 +570,16 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if cfg.IsNetwork() {
-		writeJSON(w, http.StatusBadRequest,
-			apiError{Error: "network scenarios are batch-only for now: run nwade-sim -network"})
-		return
+		rows, cols, err := cfg.NetworkDims()
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
+			return
+		}
+		if cfg.AttackRegion < 0 || cfg.AttackRegion >= rows*cols {
+			writeJSON(w, http.StatusBadRequest,
+				apiError{Error: fmt.Sprintf("attack_region %d out of range [0,%d)", cfg.AttackRegion, rows*cols)})
+			return
+		}
 	}
 	every := s.opts.CheckpointEvery
 	if sub.CheckpointEvery != "" {
@@ -366,41 +600,52 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, apiError{Error: err.Error()})
 		return
 	}
-	j, err := s.register(spec, every, throttle)
-	if err != nil {
-		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+	j, err := s.register(spec, every, throttle, client, sub.Priority)
+	switch {
+	case errors.Is(err, errQueueFull):
+		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: err.Error()})
 		return
-	}
-	if j == nil {
-		writeJSON(w, http.StatusServiceUnavailable, apiError{Error: "job queue full"})
+	case errors.Is(err, errClientQuota):
+		writeJSON(w, http.StatusTooManyRequests, apiError{Error: err.Error()})
+		return
+	case err != nil:
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
 		return
 	}
 	s.submitted.Add(1)
 	writeJSON(w, http.StatusAccepted, s.view(j))
 }
 
-// register creates, persists, and enqueues one job. A nil, nil return
-// means the queue is full (the job was not created).
-func (s *Server) register(spec snap.Spec, every, throttle time.Duration) (*job, error) {
+// register creates, persists, and enqueues one job, enforcing the
+// global queue depth and the per-client queued quota.
+func (s *Server) register(spec snap.Spec, every, throttle time.Duration, client string, pri int) (*job, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if s.closed {
 		return nil, fmt.Errorf("server is shut down")
 	}
-	if len(s.queue) >= queueDepth {
-		return nil, nil
+	if len(s.pending) >= s.opts.QueueDepth {
+		return nil, errQueueFull
+	}
+	if client != "" && s.opts.MaxQueuedPerClient > 0 &&
+		s.pendingForLocked(client) >= s.opts.MaxQueuedPerClient {
+		return nil, fmt.Errorf("%w (%d queued)", errClientQuota, s.opts.MaxQueuedPerClient)
 	}
 	id := fmt.Sprintf("j%04d", s.nextID)
 	j := &job{
-		id:   id,
-		dir:  filepath.Join(s.jobsDir(), id),
-		done: make(chan struct{}),
+		id:     id,
+		dir:    filepath.Join(s.jobsDir(), id),
+		client: client,
+		pri:    pri,
+		done:   make(chan struct{}),
 		rec: JobRecord{
 			ID:                id,
 			Spec:              spec,
 			CheckpointEveryNS: int64(every),
 			ThrottleNS:        int64(throttle),
 			State:             JobQueued,
+			Client:            client,
+			Priority:          pri,
 		},
 	}
 	if err := os.MkdirAll(j.dir, 0o755); err != nil {
@@ -417,7 +662,7 @@ func (s *Server) register(spec snap.Spec, every, throttle time.Duration) (*job, 
 	s.nextID++
 	s.jobs[id] = j
 	s.order = append(s.order, id)
-	s.queue <- j
+	s.enqueueLocked(j)
 	return j, nil
 }
 
@@ -467,13 +712,71 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
+// handleCancel cancels a job durably: the request is persisted in the
+// record before anything reacts to it, so a cancel accepted for a
+// queued or running job holds across a daemon kill. Cancel of a job
+// already in a terminal state is a conflict, not a silent accept.
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.lookup(r)
 	if !ok {
 		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
 		return
 	}
+	var already JobState
+	if err := j.update(func(rec *JobRecord) {
+		if rec.State.terminal() {
+			already = rec.State
+			return
+		}
+		rec.CancelRequested = true
+	}); err != nil {
+		writeJSON(w, http.StatusInternalServerError, apiError{Error: err.Error()})
+		return
+	}
+	if already != "" {
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is already %s", already)})
+		return
+	}
 	j.cancel.Store(true)
+	// A job no worker holds finishes right here: pending jobs leave
+	// the dispatch queue, parked jobs just close out. Running jobs
+	// finish at the loop's next cancel check.
+	s.mu.Lock()
+	removed := s.removePendingLocked(j)
+	s.mu.Unlock()
+	if removed || j.snapshot().State == JobParked {
+		j.finish(func(rec *JobRecord) { rec.State = JobCanceled })
+	}
+	writeJSON(w, http.StatusAccepted, s.view(j))
+}
+
+// handleDrain checkpoints and parks a job so another daemon can adopt
+// it (Import). A running job parks at its next tick boundary — poll
+// the status until it reads parked; a queued job parks immediately; a
+// parked job is already drained (200); terminal jobs conflict.
+func (s *Server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.lookup(r)
+	if !ok {
+		writeJSON(w, http.StatusNotFound, apiError{Error: "no such job"})
+		return
+	}
+	switch st := j.snapshot().State; {
+	case st == JobParked:
+		writeJSON(w, http.StatusOK, s.view(j))
+		return
+	case st.terminal():
+		writeJSON(w, http.StatusConflict, apiError{Error: fmt.Sprintf("job is already %s", st)})
+		return
+	}
+	j.drain.Store(true)
+	s.mu.Lock()
+	removed := s.removePendingLocked(j)
+	s.mu.Unlock()
+	if removed {
+		// Never ran (or is between daemon lives): park as-is; the
+		// adopter starts it from its checkpoint or from scratch.
+		s.park(j)
+	}
 	writeJSON(w, http.StatusAccepted, s.view(j))
 }
 
@@ -502,7 +805,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	} else {
-		// Terminal job from a previous daemon life: replay the file.
+		// Terminal or parked job from a previous daemon life: replay
+		// the file.
 		var err error
 		history, err = readTraceLines(j.tracePath())
 		if err != nil {
@@ -556,15 +860,23 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 }
 
 // handleMetricsz renders the Prometheus text exposition format by hand
-// (the repo is dependency-free). Gauges and counters only.
+// (the repo is dependency-free). Gauges and counters only. Per-client
+// gauges cover the quota-relevant states (queued, running) for every
+// named client with live jobs, in sorted client order.
 func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	counts := map[JobState]int{}
+	perClient := map[string]map[JobState]int{}
 	s.mu.Lock()
 	for _, id := range s.order {
 		st := s.jobs[id]
-		st.mu.Lock()
-		counts[st.rec.State]++
-		st.mu.Unlock()
+		rec := st.snapshot()
+		counts[rec.State]++
+		if rec.Client != "" && (rec.State == JobQueued || rec.State == JobRunning) {
+			if perClient[rec.Client] == nil {
+				perClient[rec.Client] = map[JobState]int{}
+			}
+			perClient[rec.Client][rec.State]++
+		}
 	}
 	s.mu.Unlock()
 	var b strings.Builder
@@ -572,8 +884,16 @@ func (s *Server) handleMetricsz(w http.ResponseWriter, r *http.Request) {
 	for _, st := range jobStates {
 		fmt.Fprintf(&b, "nwade_jobs{state=%q} %d\n", st, counts[st])
 	}
+	fmt.Fprintf(&b, "# HELP nwade_client_jobs Live jobs by client and state.\n# TYPE nwade_client_jobs gauge\n")
+	for _, c := range ordered.Keys(perClient) {
+		for _, st := range []JobState{JobQueued, JobRunning} {
+			fmt.Fprintf(&b, "nwade_client_jobs{client=%q,state=%q} %d\n", c, st, perClient[c][st])
+		}
+	}
 	fmt.Fprintf(&b, "# TYPE nwade_jobs_submitted_total counter\nnwade_jobs_submitted_total %d\n", s.submitted.Load())
 	fmt.Fprintf(&b, "# TYPE nwade_jobs_resumed_total counter\nnwade_jobs_resumed_total %d\n", s.resumed.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_jobs_parked_total counter\nnwade_jobs_parked_total %d\n", s.parked.Load())
+	fmt.Fprintf(&b, "# TYPE nwade_jobs_imported_total counter\nnwade_jobs_imported_total %d\n", s.imported.Load())
 	fmt.Fprintf(&b, "# TYPE nwade_sim_ticks_total counter\nnwade_sim_ticks_total %d\n", s.ticks.Load())
 	fmt.Fprintf(&b, "# TYPE nwade_http_requests_total counter\nnwade_http_requests_total %d\n", s.requests.Load())
 	fmt.Fprintf(&b, "# TYPE nwade_uptime_seconds gauge\nnwade_uptime_seconds %.3f\n", time.Since(s.start).Seconds())

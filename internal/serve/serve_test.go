@@ -123,11 +123,16 @@ func TestSubmitValidation(t *testing.T) {
 		name, body string
 	}{
 		{"unknown scenario", `{"scenario":"V99"}`},
-		{"network batch-only", `{"network":"grid:2x2"}`},
+		{"bad network dims", `{"network":"grid:0x0"}`},
+		{"attack_region out of range", `{"network":"grid:2x2","attack_region":4}`},
+		{"attack_region without network", `{"attack_region":1}`},
 		{"unknown field", `{"scenaro":"V1"}`},
 		{"bad duration", `{"duration":"banana"}`},
 		{"bad throttle", `{"throttle":"5s"}`},
+		{"bad checkpoint interval", `{"checkpoint_every":"banana"}`},
 		{"mix without network", `{"intersection":"mix"}`},
+		{"bad client name", `{"client":"no spaces allowed"}`},
+		{"client name too long", `{"client":"` + strings.Repeat("x", 65) + `"}`},
 	} {
 		resp, err := http.Post(hs.URL+"/jobs", "application/json", strings.NewReader(tc.body))
 		if err != nil {

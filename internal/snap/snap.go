@@ -82,6 +82,9 @@ type Spec struct {
 	AdvisoryReports int           `json:",omitempty"`
 }
 
+// IsNetwork reports whether the spec describes a road-network run.
+func (s Spec) IsNetwork() bool { return s.Network != "" }
+
 // SpecFromScenario captures a sim.Scenario as a Spec. It fails when the
 // configuration is not expressible by name: a hand-built intersection or
 // a customized scheduler.
